@@ -1,0 +1,60 @@
+//! Substrate bench: Union-Find operations at the SGB-Any usage pattern.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use sgb_dsu::DisjointSet;
+
+fn bench(c: &mut Criterion) {
+    let n = 100_000usize;
+    let mut group = c.benchmark_group("dsu");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_millis(1500));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.throughput(Throughput::Elements(n as u64));
+    group.bench_function("union_chain_100k", |b| {
+        b.iter(|| {
+            let mut dsu = DisjointSet::with_len(n);
+            for i in 1..n {
+                dsu.union(i - 1, i);
+            }
+            dsu.components()
+        })
+    });
+    group.bench_function("union_random_100k", |b| {
+        b.iter(|| {
+            let mut dsu = DisjointSet::with_len(n);
+            let mut state = 0x5EEDu64;
+            for _ in 0..n {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                let a = (state >> 33) as usize % n;
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                let b = (state >> 33) as usize % n;
+                dsu.union(a, b);
+            }
+            dsu.components()
+        })
+    });
+    group.bench_function("find_after_compression", |b| {
+        let mut dsu = DisjointSet::with_len(n);
+        for i in 1..n {
+            dsu.union(i - 1, i);
+        }
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 7919) % n;
+            dsu.find(i)
+        })
+    });
+    group.bench_function("into_groups_100k", |b| {
+        let mut dsu = DisjointSet::with_len(n);
+        for i in 1..n {
+            if i % 100 != 0 {
+                dsu.union(i - 1, i);
+            }
+        }
+        b.iter(|| dsu.clone().into_groups().len())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Figure 12 (micro): similarity vs standard GROUP BY through the SQL
+//! engine.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sgb_bench::queries;
+use sgb_datagen::TpchConfig;
+use sgb_relation::Database;
+
+fn bench(c: &mut Criterion) {
+    let mut db = Database::new();
+    TpchConfig::new(1.0)
+        .density(0.002)
+        .generate()
+        .register_all(&mut db);
+    let eps = 0.2;
+    let mut group = c.benchmark_group("fig12_overhead");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_millis(1500));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.bench_function("gb2_standard", |b| {
+        b.iter(|| db.query(queries::GB2).unwrap())
+    });
+    let sgb3 = queries::with_sgb_all(queries::SGB3_TEMPLATE, eps, "L2", "JOIN-ANY");
+    group.bench_function("sgb3_all_join_any", |b| b.iter(|| db.query(&sgb3).unwrap()));
+    let sgb3e = queries::with_sgb_all(queries::SGB3_TEMPLATE, eps, "L2", "ELIMINATE");
+    group.bench_function("sgb3_all_eliminate", |b| b.iter(|| db.query(&sgb3e).unwrap()));
+    let sgb4 = queries::with_sgb_any(queries::SGB3_TEMPLATE, eps, "L2");
+    group.bench_function("sgb4_any", |b| b.iter(|| db.query(&sgb4).unwrap()));
+    let sgb5 = queries::with_sgb_all(queries::SGB5_TEMPLATE, eps, "L2", "FORM-NEW-GROUP");
+    group.bench_function("sgb5_all_form_new", |b| b.iter(|| db.query(&sgb5).unwrap()));
+    group.bench_function("gb3_standard", |b| {
+        b.iter(|| db.query(queries::GB3).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Substrate bench: distance predicates, ε-All region maintenance, and the
+//! convex hull refinement of Section 6.4.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use sgb_datagen::clustered_points;
+use sgb_geom::{ConvexHull, EpsAllRegion, Metric, Point};
+
+fn bench(c: &mut Criterion) {
+    let points = clustered_points::<2>(10_000, 50, 0.01, 0x6E01);
+    let mut group = c.benchmark_group("geom");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_millis(1500));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.throughput(Throughput::Elements(points.len() as u64));
+
+    for metric in [Metric::L2, Metric::LInf] {
+        group.bench_function(format!("within_10k_{metric:?}"), |b| {
+            let q = Point::new([0.5, 0.5]);
+            b.iter(|| points.iter().filter(|p| metric.within(p, &q, 0.2)).count())
+        });
+    }
+
+    group.bench_function("eps_region_insert_10k", |b| {
+        b.iter(|| {
+            let mut reg = EpsAllRegion::new(0.2);
+            for p in &points {
+                reg.insert(p);
+            }
+            reg.allowed()
+        })
+    });
+
+    let cluster: Vec<Point<2>> = points.iter().take(200).copied().collect();
+    group.bench_function("hull_build_200", |b| b.iter(|| ConvexHull::build(&cluster)));
+
+    let hull = ConvexHull::build(&cluster);
+    group.bench_function("hull_admits", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let q = points[i % points.len()];
+            i += 1;
+            hull.admits(&q, 0.2, Metric::L2)
+        })
+    });
+    group.bench_function("hull_contains", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let q = points[i % points.len()];
+            i += 1;
+            hull.contains(&q)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! Substrate bench: R-tree insert / window query / delete / kNN.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sgb_datagen::clustered_points;
+use sgb_geom::{Metric, Point, Rect};
+use sgb_spatial::RTree;
+
+fn bench(c: &mut Criterion) {
+    let points = clustered_points::<2>(10_000, 100, 0.01, 0x47EE);
+    let mut group = c.benchmark_group("rtree");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_millis(1500));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+
+    group.throughput(Throughput::Elements(points.len() as u64));
+    group.bench_function("insert_10k", |b| {
+        b.iter(|| {
+            let mut tree: RTree<2, usize> = RTree::new();
+            for (i, p) in points.iter().enumerate() {
+                tree.insert_point(*p, i);
+            }
+            tree
+        })
+    });
+
+    let mut tree: RTree<2, usize> = RTree::new();
+    for (i, p) in points.iter().enumerate() {
+        tree.insert_point(*p, i);
+    }
+    for side in [0.01, 0.1] {
+        group.bench_with_input(BenchmarkId::new("window_query", side), &side, |b, &side| {
+            let mut acc = 0usize;
+            let mut i = 0usize;
+            b.iter(|| {
+                let center = points[i % points.len()];
+                i += 1;
+                let mut hits = 0usize;
+                tree.query(&Rect::centered(center, side), |_, _| hits += 1);
+                acc += hits;
+                hits
+            });
+            std::hint::black_box(acc);
+        });
+    }
+    group.bench_function("knn_10", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let q = points[i % points.len()];
+            i += 1;
+            tree.nearest(&q, 10, Metric::L2)
+        })
+    });
+    group.bench_function("delete_reinsert", |b| {
+        let mut tree = tree.clone();
+        let mut i = 0usize;
+        b.iter(|| {
+            let idx = i % points.len();
+            i += 1;
+            let p = points[idx];
+            assert!(tree.remove(&Rect::point(p), &idx));
+            tree.insert_point(p, idx);
+        })
+    });
+    // The SGB-All maintenance pattern: update a rectangle in place.
+    group.bench_function("update_group_rect", |b| {
+        let mut tree: RTree<2, u32> = RTree::new();
+        for g in 0..1000u32 {
+            let p = Point::new([(g % 32) as f64, (g / 32) as f64]);
+            tree.insert(Rect::centered(p, 0.3), g);
+        }
+        let mut i = 0u32;
+        b.iter(|| {
+            let g = i % 1000;
+            i += 1;
+            let p = Point::new([(g % 32) as f64, (g / 32) as f64]);
+            let old = Rect::centered(p, 0.3);
+            assert!(tree.update(&old, old, g));
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

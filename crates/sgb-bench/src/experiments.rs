@@ -1,0 +1,596 @@
+//! Experiment runners, one per table/figure of the paper's evaluation.
+//!
+//! Every runner returns an [`Experiment`] (series of `(x, seconds)` rows)
+//! and is wired to a `paper` subcommand. Default cardinalities are scaled
+//! down from the paper's so a full run finishes on one machine; the
+//! `scale` argument multiplies them (≈25× reaches the paper's sizes).
+
+use sgb_cluster::{birch, dbscan, kmeans, BirchConfig, DbscanConfig, KMeansConfig};
+use sgb_core::{
+    sgb_all, sgb_any, AllAlgorithm, AnyAlgorithm, OverlapAction, SgbAllConfig, SgbAnyConfig,
+};
+use sgb_datagen::{clustered_points, CheckinConfig, TpchConfig};
+use sgb_geom::{Metric, Point};
+use sgb_relation::Database;
+
+use crate::queries;
+use crate::timing::time;
+
+/// One plotted series: a name and `(x, seconds)` rows.
+#[derive(Clone, Debug)]
+pub struct Series {
+    /// Legend label (matches the paper's legends).
+    pub name: String,
+    /// `(x, seconds)` measurements.
+    pub rows: Vec<(f64, f64)>,
+}
+
+/// One regenerated table/figure.
+#[derive(Clone, Debug)]
+pub struct Experiment {
+    /// Identifier (`fig9a`, `table1`, …).
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    /// Meaning of the x column.
+    pub xlabel: String,
+    /// The measured series.
+    pub series: Vec<Series>,
+}
+
+impl Experiment {
+    /// Prints the experiment as CSV with `#` metadata lines.
+    pub fn print_csv(&self) {
+        println!("# {}: {}", self.id, self.title);
+        println!("experiment,series,{},seconds", self.xlabel);
+        for s in &self.series {
+            for (x, secs) in &s.rows {
+                println!("{},{},{x},{secs:.6}", self.id, s.name);
+            }
+        }
+    }
+}
+
+fn scaled(base: usize, scale: f64) -> usize {
+    ((base as f64 * scale).round() as usize).max(16)
+}
+
+/// The synthetic multi-dimensional workload of the ε sweep (Figure 9):
+/// clustered points in a 100×100 domain with cluster σ = 0.12, so the
+/// paper's ε range 0.1–0.9 spans many-small-cliques (ε = 0.1) to
+/// whole-cluster cliques (ε = 0.9) — the regime where the All-Pairs
+/// baseline's member scans grow deep while the rectangle filters stay
+/// constant-time per group.
+pub fn fig9_workload(n: usize, seed: u64) -> Vec<Point<2>> {
+    clustered_points::<2>(n, 64, 0.0012, seed)
+        .into_iter()
+        .map(|p| Point::new([p.x() * 100.0, p.y() * 100.0]))
+        .collect()
+}
+
+const EPS_SWEEP: [f64; 9] = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9];
+
+/// Figures 9a–9c: SGB-All runtime vs ε for one `ON-OVERLAP` option,
+/// comparing All-Pairs / Bounds-Checking / on-the-fly Index.
+pub fn fig9_all(sub: char, scale: f64) -> Experiment {
+    let (overlap, title) = match sub {
+        'a' => (OverlapAction::JoinAny, "SGB-All JOIN-ANY"),
+        'b' => (OverlapAction::Eliminate, "SGB-All ELIMINATE"),
+        'c' => (OverlapAction::FormNewGroup, "SGB-All FORM-NEW-GROUP"),
+        _ => panic!("fig9 sub-figure must be a/b/c/d"),
+    };
+    let n = scaled(20_000, scale);
+    let points = fig9_workload(n, 0x0F19);
+    let algos = [
+        ("All-Pairs", AllAlgorithm::AllPairs),
+        ("Bounds-Checking", AllAlgorithm::BoundsChecking),
+        ("on-the-fly Index", AllAlgorithm::Indexed),
+    ];
+    let mut series = Vec::new();
+    for (name, algo) in algos {
+        let mut rows = Vec::new();
+        for eps in EPS_SWEEP {
+            let cfg = SgbAllConfig::new(eps)
+                .metric(Metric::L2)
+                .overlap(overlap)
+                .algorithm(algo);
+            let (out, secs) = time(|| sgb_all(&points, &cfg));
+            rows.push((eps, secs));
+            eprintln!(
+                "#   fig9{sub} {name} eps={eps}: {secs:.3}s ({} groups)",
+                out.num_groups()
+            );
+        }
+        series.push(Series {
+            name: name.into(),
+            rows,
+        });
+    }
+    Experiment {
+        id: format!("fig9{sub}"),
+        title: format!("{title}: runtime vs similarity threshold (n = {n})"),
+        xlabel: "epsilon".into(),
+        series,
+    }
+}
+
+/// Figure 9d: SGB-Any runtime vs ε, All-Pairs vs on-the-fly Index.
+pub fn fig9_any(scale: f64) -> Experiment {
+    let n = scaled(20_000, scale);
+    let points = fig9_workload(n, 0x0F19);
+    let algos = [
+        ("All-Pairs", AnyAlgorithm::AllPairs),
+        ("on-the-fly Index", AnyAlgorithm::Indexed),
+    ];
+    let mut series = Vec::new();
+    for (name, algo) in algos {
+        let mut rows = Vec::new();
+        for eps in EPS_SWEEP {
+            let cfg = SgbAnyConfig::new(eps).metric(Metric::L2).algorithm(algo);
+            let (out, secs) = time(|| sgb_any(&points, &cfg));
+            rows.push((eps, secs));
+            eprintln!(
+                "#   fig9d {name} eps={eps}: {secs:.3}s ({} groups)",
+                out.num_groups()
+            );
+        }
+        series.push(Series {
+            name: name.into(),
+            rows,
+        });
+    }
+    Experiment {
+        id: "fig9d".into(),
+        title: format!("SGB-Any: runtime vs similarity threshold (n = {n})"),
+        xlabel: "epsilon".into(),
+        series,
+    }
+}
+
+/// The TPC-H-derived 2-D grouping attribute stream of the SGB1 query at a
+/// given scale factor, rescaled to a [0, 10]² domain (so the paper's
+/// ε = 0.2 is meaningful).
+pub fn fig10_points(sf: f64, scale: f64) -> Vec<Point<2>> {
+    let density = 0.01 * scale;
+    let (customer, orders) = TpchConfig::new(sf)
+        .density(density.min(1.0))
+        .generate_customer_orders();
+    sgb_datagen::tpch::sgb1_points_from(&customer, &orders)
+        .into_iter()
+        .map(|p| Point::new([p.x() * 10.0, p.y() * 10.0]))
+        .collect()
+}
+
+/// Figures 10a–10c: SGB-All runtime vs TPC-H scale factor (ε = 0.2),
+/// Bounds-Checking vs on-the-fly Index.
+pub fn fig10_all(sub: char, scale: f64) -> Experiment {
+    let (overlap, title) = match sub {
+        'a' => (OverlapAction::JoinAny, "SGB-All JOIN-ANY"),
+        'b' => (OverlapAction::Eliminate, "SGB-All ELIMINATE"),
+        'c' => (OverlapAction::FormNewGroup, "SGB-All FORM-NEW-GROUP"),
+        _ => panic!("fig10 sub-figure must be a/b/c/d"),
+    };
+    let sfs = [1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 60.0];
+    let algos = [
+        ("Bounds-Checking", AllAlgorithm::BoundsChecking),
+        ("on-the-fly Index", AllAlgorithm::Indexed),
+    ];
+    let mut series: Vec<Series> = algos
+        .iter()
+        .map(|(name, _)| Series {
+            name: (*name).into(),
+            rows: Vec::new(),
+        })
+        .collect();
+    for sf in sfs {
+        let points = fig10_points(sf, scale);
+        for (si, (name, algo)) in algos.iter().enumerate() {
+            let cfg = SgbAllConfig::new(0.2)
+                .metric(Metric::L2)
+                .overlap(overlap)
+                .algorithm(*algo);
+            let (out, secs) = time(|| sgb_all(&points, &cfg));
+            series[si].rows.push((sf, secs));
+            eprintln!(
+                "#   fig10{sub} {name} SF={sf}: {secs:.3}s ({} pts, {} groups)",
+                points.len(),
+                out.num_groups()
+            );
+        }
+    }
+    Experiment {
+        id: format!("fig10{sub}"),
+        title: format!("{title}: runtime vs TPC-H scale factor (eps = 0.2)"),
+        xlabel: "scale_factor".into(),
+        series,
+    }
+}
+
+/// Figure 10d: SGB-Any runtime vs TPC-H scale factor (ε = 0.2),
+/// All-Pairs vs on-the-fly Index.
+pub fn fig10_any(scale: f64) -> Experiment {
+    let sfs = [1.0, 2.0, 4.0, 8.0, 16.0, 32.0];
+    let algos = [
+        ("All-Pairs", AnyAlgorithm::AllPairs),
+        ("on-the-fly Index", AnyAlgorithm::Indexed),
+    ];
+    let mut series: Vec<Series> = algos
+        .iter()
+        .map(|(name, _)| Series {
+            name: (*name).into(),
+            rows: Vec::new(),
+        })
+        .collect();
+    for sf in sfs {
+        let points = fig10_points(sf, scale);
+        for (si, (name, algo)) in algos.iter().enumerate() {
+            let cfg = SgbAnyConfig::new(0.2).metric(Metric::L2).algorithm(*algo);
+            let (out, secs) = time(|| sgb_any(&points, &cfg));
+            series[si].rows.push((sf, secs));
+            eprintln!(
+                "#   fig10d {name} SF={sf}: {secs:.3}s ({} pts, {} groups)",
+                points.len(),
+                out.num_groups()
+            );
+        }
+    }
+    Experiment {
+        id: "fig10d".into(),
+        title: "SGB-Any: runtime vs TPC-H scale factor (eps = 0.2)".into(),
+        xlabel: "scale_factor".into(),
+        series,
+    }
+}
+
+/// Figure 11: SGB operators vs clustering baselines (DBSCAN, BIRCH,
+/// K-means with K=20/40) on check-in data. `'a'` = Brightkite-like,
+/// `'b'` = Gowalla-like. ε = 0.2 (degrees) as in the paper.
+///
+/// Baseline timings include the "impedance mismatch" step the paper
+/// describes: exporting the points out of the SQL engine before
+/// clustering. The SGB operators run in a single pass over the same rows.
+pub fn fig11(sub: char, scale: f64) -> Experiment {
+    let sizes: Vec<usize> = [30_000usize, 60_000, 90_000, 120_000, 150_000, 180_000]
+        .iter()
+        .map(|&n| scaled(n, scale))
+        .collect();
+    let eps = 0.2;
+    let mut series: Vec<Series> = [
+        "DBSCAN",
+        "BIRCH",
+        "K-means(40)",
+        "K-means(20)",
+        "SGB-All-Form-New",
+        "SGB-All-Eliminate",
+        "SGB-All-Join-Any",
+        "SGB-Any",
+    ]
+    .iter()
+    .map(|name| Series {
+        name: (*name).into(),
+        rows: Vec::new(),
+    })
+    .collect();
+
+    for &n in &sizes {
+        let dataset = match sub {
+            'a' => CheckinConfig::brightkite_like(n).generate(),
+            'b' => CheckinConfig::gowalla_like(n).generate(),
+            _ => panic!("fig11 sub-figure must be a/b"),
+        };
+        // Register the check-ins in the engine: baselines must export them
+        // first (the paper's impedance-mismatch cost), SGB runs in-engine.
+        let mut db = Database::new();
+        let mut table = sgb_relation::Table::empty(sgb_relation::Schema::new(["lat", "lon"]));
+        for c in &dataset.checkins {
+            table
+                .push(vec![
+                    sgb_relation::Value::Float(c.location.x()),
+                    sgb_relation::Value::Float(c.location.y()),
+                ])
+                .unwrap();
+        }
+        db.register("checkins", table);
+
+        let export = || -> Vec<Point<2>> {
+            let out = db.query("SELECT lat, lon FROM checkins").unwrap();
+            out.rows
+                .iter()
+                .map(|r| Point::new([r[0].as_f64().unwrap(), r[1].as_f64().unwrap()]))
+                .collect()
+        };
+
+        let x = n as f64;
+        // DBSCAN (R-tree accelerated, ε = 0.2, minPts = 4).
+        let (_, secs) = time(|| {
+            let pts = export();
+            dbscan(&pts, &DbscanConfig::new(eps).min_pts(4))
+        });
+        series[0].rows.push((x, secs));
+        // BIRCH (threshold ε).
+        let (_, secs) = time(|| {
+            let pts = export();
+            birch(&pts, &BirchConfig::new(eps))
+        });
+        series[1].rows.push((x, secs));
+        // K-means, K = 40 then K = 20: classic fixed-iteration Lloyd
+        // (tolerance 0 ⇒ run to an exact assignment fixpoint, capped at
+        // 100 iterations like the era's standard implementations).
+        for (si, k) in [(2usize, 40usize), (3, 20)] {
+            let (_, secs) = time(|| {
+                let pts = export();
+                kmeans(&pts, &KMeansConfig::new(k).max_iters(100).tol(0.0))
+            });
+            series[si].rows.push((x, secs));
+        }
+        // SGB variants (in-engine single pass over the same rows).
+        let points = dataset.points();
+        for (si, overlap) in [
+            (4usize, OverlapAction::FormNewGroup),
+            (5, OverlapAction::Eliminate),
+            (6, OverlapAction::JoinAny),
+        ] {
+            let cfg = SgbAllConfig::new(eps).metric(Metric::L2).overlap(overlap);
+            let (_, secs) = time(|| sgb_all(&points, &cfg));
+            series[si].rows.push((x, secs));
+        }
+        let (_, secs) = time(|| sgb_any(&points, &SgbAnyConfig::new(eps).metric(Metric::L2)));
+        series[7].rows.push((x, secs));
+        eprintln!("#   fig11{sub} n={n} done");
+    }
+
+    let which = if sub == 'a' { "Brightkite-like" } else { "Gowalla-like" };
+    Experiment {
+        id: format!("fig11{sub}"),
+        title: format!("SGB vs clustering algorithms on {which} check-ins (eps = 0.2)"),
+        xlabel: "checkins".into(),
+        series,
+    }
+}
+
+/// Figure 12: overhead of SGB vs traditional GROUP BY through the SQL
+/// engine on TPC-H. `'a'` = GB2 vs SGB3/SGB4 (Q9 shape),
+/// `'b'` = GB3 vs SGB5/SGB6 (Q15 shape).
+pub fn fig12(sub: char, scale: f64) -> Experiment {
+    let (gb, template, label) = match sub {
+        'a' => (queries::GB2, queries::SGB3_TEMPLATE, "GB2/SGB3/SGB4"),
+        'b' => (queries::GB3, queries::SGB5_TEMPLATE, "GB3/SGB5/SGB6"),
+        _ => panic!("fig12 sub-figure must be a/b"),
+    };
+    let sfs = [1.0, 2.0, 4.0, 8.0, 16.0, 20.0];
+    let eps = 0.2;
+    let variants: Vec<(String, String)> = vec![
+        ("Group-By".into(), gb.to_owned()),
+        (
+            "SGB-All-Join-Any".into(),
+            queries::with_sgb_all(template, eps, "L2", "JOIN-ANY"),
+        ),
+        (
+            "SGB-All-Eliminate".into(),
+            queries::with_sgb_all(template, eps, "L2", "ELIMINATE"),
+        ),
+        (
+            "SGB-All-Form-New".into(),
+            queries::with_sgb_all(template, eps, "L2", "FORM-NEW-GROUP"),
+        ),
+        ("SGB-Any".into(), queries::with_sgb_any(template, eps, "L2")),
+    ];
+    let mut series: Vec<Series> = variants
+        .iter()
+        .map(|(name, _)| Series {
+            name: name.clone(),
+            rows: Vec::new(),
+        })
+        .collect();
+    for sf in sfs {
+        let mut db = Database::new();
+        TpchConfig::new(sf)
+            .density((0.002 * scale).min(1.0))
+            .generate()
+            .register_all(&mut db);
+        for (si, (name, sql)) in variants.iter().enumerate() {
+            let (out, secs) = time(|| db.query(sql).unwrap());
+            series[si].rows.push((sf, secs));
+            eprintln!("#   fig12{sub} {name} SF={sf}: {secs:.3}s ({} rows)", out.len());
+        }
+    }
+    Experiment {
+        id: format!("fig12{sub}"),
+        title: format!("{label}: SGB vs standard GROUP BY through SQL (eps = {eps})"),
+        xlabel: "scale_factor".into(),
+        series,
+    }
+}
+
+/// Table 1: empirical scaling exponents of the SGB-All variants under L∞,
+/// fitted from a log–log regression of runtime against input size,
+/// printed next to the paper's stated average-case bounds.
+pub fn table1(scale: f64) -> Experiment {
+    let sizes: Vec<usize> = [2_000usize, 4_000, 8_000, 16_000]
+        .iter()
+        .map(|&n| scaled(n, scale))
+        .collect();
+    let algos = [
+        ("All-Pairs", AllAlgorithm::AllPairs),
+        ("Bounds-Checking", AllAlgorithm::BoundsChecking),
+        ("on-the-fly Index", AllAlgorithm::Indexed),
+    ];
+    let overlaps = [
+        ("JOIN-ANY", OverlapAction::JoinAny),
+        ("ELIMINATE", OverlapAction::Eliminate),
+        ("FORM-NEW-GROUP", OverlapAction::FormNewGroup),
+    ];
+    let mut series = Vec::new();
+    for (aname, algo) in algos {
+        for (oname, overlap) in overlaps {
+            let mut rows = Vec::new();
+            for &n in &sizes {
+                let points = fig9_workload(n, 0x7AB1);
+                let cfg = SgbAllConfig::new(0.3)
+                    .metric(Metric::LInf)
+                    .overlap(overlap)
+                    .algorithm(algo);
+                let (_, secs) = time(|| sgb_all(&points, &cfg));
+                rows.push((n as f64, secs));
+            }
+            eprintln!(
+                "#   table1 {aname}/{oname}: fitted exponent {:.2}",
+                fit_loglog_slope(&rows)
+            );
+            series.push(Series {
+                name: format!("{aname}/{oname}"),
+                rows,
+            });
+        }
+    }
+    Experiment {
+        id: "table1".into(),
+        title: "SGB-All complexity (L-inf): runtime vs n; fit the log-log slope \
+                against the paper's bounds (All-Pairs O(n^2)/O(n^3), \
+                Bounds-Checking O(n|G|), Index O(n log |G|))"
+            .into(),
+        xlabel: "n".into(),
+        series,
+    }
+}
+
+/// Fits the slope of `log(seconds)` against `log(x)` — the empirical
+/// scaling exponent.
+pub fn fit_loglog_slope(rows: &[(f64, f64)]) -> f64 {
+    let pts: Vec<(f64, f64)> = rows
+        .iter()
+        .filter(|(x, y)| *x > 0.0 && *y > 0.0)
+        .map(|(x, y)| (x.ln(), y.ln()))
+        .collect();
+    let n = pts.len() as f64;
+    if pts.len() < 2 {
+        return f64::NAN;
+    }
+    let sx: f64 = pts.iter().map(|(x, _)| x).sum();
+    let sy: f64 = pts.iter().map(|(_, y)| y).sum();
+    let sxx: f64 = pts.iter().map(|(x, _)| x * x).sum();
+    let sxy: f64 = pts.iter().map(|(x, y)| x * y).sum();
+    (n * sxy - sx * sy) / (n * sxx - sx * sx)
+}
+
+/// Table 2: runs each evaluation query once through the SQL engine at a
+/// small scale factor and reports `(query, rows, seconds)` — `x` is the
+/// query index, and the row count is logged to stderr.
+pub fn table2(scale: f64) -> Experiment {
+    let mut db = Database::new();
+    TpchConfig::new(1.0)
+        .density((0.005 * scale).min(1.0))
+        .generate()
+        .register_all(&mut db);
+    let eps = 0.2;
+    let named: Vec<(&str, String)> = vec![
+        ("GB1", queries::GB1.to_owned()),
+        (
+            "SGB1",
+            queries::with_sgb_all(queries::SGB1_TEMPLATE, eps, "L2", "JOIN-ANY"),
+        ),
+        (
+            "SGB2",
+            queries::with_sgb_any(queries::SGB1_TEMPLATE, eps, "L2"),
+        ),
+        ("GB2", queries::GB2.to_owned()),
+        (
+            "SGB3",
+            queries::with_sgb_all(queries::SGB3_TEMPLATE, eps, "L2", "FORM-NEW-GROUP"),
+        ),
+        (
+            "SGB4",
+            queries::with_sgb_any(queries::SGB3_TEMPLATE, eps, "L2"),
+        ),
+        ("GB3", queries::GB3.to_owned()),
+        (
+            "SGB5",
+            queries::with_sgb_all(queries::SGB5_TEMPLATE, eps, "L2", "ELIMINATE"),
+        ),
+        (
+            "SGB6",
+            queries::with_sgb_any(queries::SGB5_TEMPLATE, eps, "L2"),
+        ),
+    ];
+    let mut series = Vec::new();
+    for (i, (name, sql)) in named.iter().enumerate() {
+        let (out, secs) = time(|| db.query(sql).unwrap());
+        eprintln!("#   table2 {name}: {} rows in {secs:.3}s", out.len());
+        series.push(Series {
+            name: (*name).into(),
+            rows: vec![(i as f64, secs)],
+        });
+    }
+    Experiment {
+        id: "table2".into(),
+        title: "Table 2 evaluation queries through the SQL engine (SF 1)".into(),
+        xlabel: "query_index".into(),
+        series,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fit_slope_recovers_known_exponent() {
+        // y = c · x²  → slope 2.
+        let rows: Vec<(f64, f64)> = (1..=5).map(|i| (i as f64, 3.0 * (i * i) as f64)).collect();
+        assert!((fit_loglog_slope(&rows) - 2.0).abs() < 1e-9);
+        // y = c · x  → slope 1.
+        let rows: Vec<(f64, f64)> = (1..=5).map(|i| (i as f64, 0.5 * i as f64)).collect();
+        assert!((fit_loglog_slope(&rows) - 1.0).abs() < 1e-9);
+        assert!(fit_loglog_slope(&[(1.0, 1.0)]).is_nan());
+    }
+
+    #[test]
+    fn fig9_workload_is_deterministic_and_scaled() {
+        let a = fig9_workload(100, 1);
+        let b = fig9_workload(100, 1);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|p| (0.0..=100.0).contains(&p.x())));
+    }
+
+    // Smoke tests: each experiment runs end-to-end at a tiny scale.
+    #[test]
+    fn fig9_smoke() {
+        let e = fig9_all('a', 0.01);
+        assert_eq!(e.series.len(), 3);
+        assert!(e.series.iter().all(|s| s.rows.len() == 9));
+        let e = fig9_any(0.01);
+        assert_eq!(e.series.len(), 2);
+    }
+
+    #[test]
+    fn fig10_smoke() {
+        let e = fig10_all('b', 0.02);
+        assert_eq!(e.series.len(), 2);
+        assert!(e.series.iter().all(|s| s.rows.len() == 7));
+        let e = fig10_any(0.02);
+        assert!(e.series.iter().all(|s| s.rows.len() == 6));
+    }
+
+    #[test]
+    fn fig11_smoke() {
+        let e = fig11('a', 0.002);
+        assert_eq!(e.series.len(), 8);
+        assert!(e.series.iter().all(|s| s.rows.len() == 6));
+    }
+
+    #[test]
+    fn fig12_smoke() {
+        let e = fig12('a', 0.05);
+        assert_eq!(e.series.len(), 5);
+        let e = fig12('b', 0.05);
+        assert_eq!(e.series.len(), 5);
+    }
+
+    #[test]
+    fn tables_smoke() {
+        let e = table1(0.01);
+        assert_eq!(e.series.len(), 9);
+        let e = table2(0.2);
+        assert_eq!(e.series.len(), 9);
+    }
+}

@@ -1,0 +1,21 @@
+#![warn(missing_docs)]
+
+//! Benchmark harness regenerating the evaluation of the SGB paper
+//! (Section 8): every figure and table has a corresponding experiment
+//! runner here, exposed through the `paper` binary:
+//!
+//! ```text
+//! cargo run -p sgb-bench --release --bin paper -- fig9a
+//! cargo run -p sgb-bench --release --bin paper -- all --scale 0.5
+//! ```
+//!
+//! Experiments print CSV rows (`# comment` lines carry metadata) so the
+//! series can be plotted directly against the paper's figures. Default
+//! cardinalities are scaled down from the paper's (recorded per experiment
+//! in EXPERIMENTS.md); `--scale` multiplies them.
+
+pub mod experiments;
+pub mod queries;
+pub mod timing;
+
+pub use timing::time;

@@ -1,0 +1,158 @@
+//! The evaluation queries of Table 2, adapted to this engine.
+//!
+//! Deviations from the paper's listing (documented in DESIGN.md):
+//!
+//! * The paper's SGB5/SGB6 reference `s_acctbal` inside a
+//!   `FROM lineitem`-only subquery — a typo in the listing; the supplier
+//!   join is restored here.
+//! * The grouping attributes are rescaled inside the query
+//!   (`tp / 3000000.0` etc.) so one ε works across both dimensions; the
+//!   paper's ε values (0.1–0.9) likewise presuppose normalised attributes.
+//! * Selectivity thresholds (`sum(l_quantity) > …`, `o_totalprice > …`)
+//!   are scaled to this generator's cardinalities (the official values
+//!   would select almost nothing at laptop scale).
+
+/// GB1 — the standard-group-by baseline of SGB1/SGB2 (TPC-H Q18 shape:
+/// large-volume customers).
+pub const GB1: &str = "\
+SELECT c_custkey, sum(o_totalprice) AS spend \
+FROM customer, orders \
+WHERE c_custkey = o_custkey \
+  AND o_orderkey IN (SELECT l_orderkey FROM lineitem \
+                     GROUP BY l_orderkey HAVING sum(l_quantity) > 100) \
+GROUP BY c_custkey";
+
+/// SGB1/SGB2 template — customers with similar buying power and account
+/// balance. `{SIMILARITY}` is replaced by a `DISTANCE-…` clause tail.
+pub const SGB1_TEMPLATE: &str = "\
+SELECT max(ab), min(tp), max(tp), avg(ab), array_agg(r1.c_custkey) \
+FROM (SELECT c_custkey, c_acctbal AS ab FROM customer WHERE c_acctbal > 100) AS r1, \
+     (SELECT o_custkey, sum(o_totalprice) AS tp FROM orders \
+      WHERE o_orderkey IN (SELECT l_orderkey FROM lineitem \
+                           GROUP BY l_orderkey HAVING sum(l_quantity) > 100) \
+        AND o_totalprice > 30000 \
+      GROUP BY o_custkey) AS r2 \
+WHERE r1.c_custkey = r2.o_custkey \
+GROUP BY ab / 11000.0, tp / 3000000.0 {SIMILARITY}";
+
+/// GB2 — the standard-group-by baseline of SGB3/SGB4 (TPC-H Q9 shape:
+/// product-type profit). Equality grouping over the same derived profit
+/// relation the SGB variants group similarly.
+pub const GB2: &str = "\
+SELECT count(*), sum(tprof), sum(stime) \
+FROM (SELECT ps_partkey AS partkey, \
+             sum(l_extendedprice * (1 - l_discount) - ps_supplycost * l_quantity) AS tprof, \
+             sum(l_receiptdate - l_shipdate) AS stime \
+      FROM lineitem, partsupp, supplier \
+      WHERE ps_partkey = l_partkey AND s_suppkey = ps_suppkey \
+      GROUP BY ps_partkey) AS profit \
+GROUP BY tprof, stime";
+
+/// SGB3/SGB4 template — parts with similar profit and shipment time.
+pub const SGB3_TEMPLATE: &str = "\
+SELECT count(*), sum(tprof), sum(stime) \
+FROM (SELECT ps_partkey AS partkey, \
+             sum(l_extendedprice * (1 - l_discount) - ps_supplycost * l_quantity) AS tprof, \
+             sum(l_receiptdate - l_shipdate) AS stime \
+      FROM lineitem, partsupp, supplier \
+      WHERE ps_partkey = l_partkey AND s_suppkey = ps_suppkey \
+      GROUP BY ps_partkey) AS profit \
+GROUP BY tprof / 10000000.0, stime / 3000.0 {SIMILARITY}";
+
+/// GB3 — the standard-group-by baseline of SGB5/SGB6 (TPC-H Q15 shape:
+/// top supplier revenue).
+pub const GB3: &str = "\
+SELECT l_suppkey, sum(l_extendedprice * (1 - l_discount)) AS trevenue \
+FROM lineitem \
+WHERE l_shipdate > date '1995-01-01' \
+  AND l_shipdate < date '1995-01-01' + interval '10' month \
+GROUP BY l_suppkey";
+
+/// SGB5/SGB6 template — suppliers with similar revenue and account
+/// balance (supplier join restored, see module docs).
+pub const SGB5_TEMPLATE: &str = "\
+SELECT array_agg(suppkey), sum(trevenue), sum(acctbal) \
+FROM (SELECT l_suppkey AS suppkey, \
+             sum(l_extendedprice * (1 - l_discount)) AS trevenue, \
+             max(s_acctbal) AS acctbal \
+      FROM lineitem, supplier \
+      WHERE s_suppkey = l_suppkey \
+        AND l_shipdate > date '1995-01-01' \
+        AND l_shipdate < date '1995-01-01' + interval '10' month \
+      GROUP BY l_suppkey) AS r \
+GROUP BY trevenue / 100000000.0, acctbal / 10000.0 {SIMILARITY}";
+
+/// Fills a `{SIMILARITY}` template with a `DISTANCE-TO-ALL` clause.
+pub fn with_sgb_all(template: &str, eps: f64, metric: &str, overlap: &str) -> String {
+    template.replace(
+        "{SIMILARITY}",
+        &format!("DISTANCE-TO-ALL {metric} WITHIN {eps} ON-OVERLAP {overlap}"),
+    )
+}
+
+/// Fills a `{SIMILARITY}` template with a `DISTANCE-TO-ANY` clause.
+pub fn with_sgb_any(template: &str, eps: f64, metric: &str) -> String {
+    template.replace(
+        "{SIMILARITY}",
+        &format!("DISTANCE-TO-ANY {metric} WITHIN {eps}"),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sgb_datagen::TpchConfig;
+    use sgb_relation::Database;
+
+    fn tiny_db() -> Database {
+        let mut db = Database::new();
+        TpchConfig::new(1.0)
+            .density(0.0005)
+            .generate()
+            .register_all(&mut db);
+        db
+    }
+
+    #[test]
+    fn every_table2_query_parses_and_runs() {
+        let db = tiny_db();
+        let all = with_sgb_all(SGB1_TEMPLATE, 0.2, "L2", "JOIN-ANY");
+        let queries: Vec<String> = vec![
+            GB1.into(),
+            all,
+            with_sgb_any(SGB1_TEMPLATE, 0.2, "L2"),
+            GB2.into(),
+            with_sgb_all(SGB3_TEMPLATE, 0.2, "LINF", "ELIMINATE"),
+            with_sgb_any(SGB3_TEMPLATE, 0.2, "LINF"),
+            GB3.into(),
+            with_sgb_all(SGB5_TEMPLATE, 0.2, "L2", "FORM-NEW-GROUP"),
+            with_sgb_any(SGB5_TEMPLATE, 0.2, "L2"),
+        ];
+        for q in &queries {
+            let out = db.query(q).unwrap_or_else(|e| panic!("query failed: {e}\n{q}"));
+            // Results exist and are well-formed (group counts > 0 whenever
+            // the generator produced qualifying rows).
+            assert!(!out.schema.is_empty(), "query: {q}");
+        }
+    }
+
+    #[test]
+    fn sgb_groups_at_most_standard_groups() {
+        // Similarity grouping can only merge equality groups (ε ≥ 0), so
+        // the SGB-Any variant never yields more groups than equality
+        // grouping over the same derived relation.
+        let db = tiny_db();
+        let gb = db.query(GB2).unwrap();
+        let sgb = db.query(&with_sgb_any(SGB3_TEMPLATE, 0.2, "L2")).unwrap();
+        assert!(sgb.len() <= gb.len(), "{} > {}", sgb.len(), gb.len());
+        assert!(!sgb.is_empty());
+    }
+
+    #[test]
+    fn templates_have_placeholder() {
+        for t in [SGB1_TEMPLATE, SGB3_TEMPLATE, SGB5_TEMPLATE] {
+            assert!(t.contains("{SIMILARITY}"));
+            assert!(!with_sgb_any(t, 0.1, "L2").contains("{SIMILARITY}"));
+        }
+    }
+}

@@ -1,0 +1,28 @@
+//! Wall-clock timing helpers.
+
+use std::time::Instant;
+
+/// Runs `f`, returning its result and the elapsed wall-clock seconds.
+pub fn time<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed().as_secs_f64())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_elapsed_time() {
+        let ((), secs) = time(|| std::thread::sleep(std::time::Duration::from_millis(20)));
+        assert!(secs >= 0.019, "got {secs}");
+        assert!(secs < 1.0, "got {secs}");
+    }
+
+    #[test]
+    fn passes_through_result() {
+        let (v, _) = time(|| 21 * 2);
+        assert_eq!(v, 42);
+    }
+}

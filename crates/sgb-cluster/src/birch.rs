@@ -1,0 +1,499 @@
+//! BIRCH clustering via a CF-tree (clustering-feature tree).
+//!
+//! BIRCH [Zhang, Ramakrishnan, Livny 1996] summarises the dataset in one
+//! pass into a height-balanced tree of *clustering features*
+//! `CF = (N, LS, SS)` — count, linear sum and squared sum of the points of a
+//! subcluster — then treats the leaf entries as clusters. The CF algebra
+//! makes insertions and merges constant-time per entry.
+
+use sgb_geom::Point;
+
+/// A clustering feature: the additive summary of a subcluster.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Cf<const D: usize> {
+    /// Number of points.
+    pub n: u64,
+    /// Per-dimension linear sum `Σ xᵢ`.
+    pub ls: [f64; D],
+    /// Scalar squared sum `Σ ‖xᵢ‖²`.
+    pub ss: f64,
+}
+
+impl<const D: usize> Cf<D> {
+    /// The empty feature (additive identity).
+    pub fn zero() -> Self {
+        Self {
+            n: 0,
+            ls: [0.0; D],
+            ss: 0.0,
+        }
+    }
+
+    /// The feature of a single point.
+    pub fn from_point(p: &Point<D>) -> Self {
+        let mut cf = Self::zero();
+        cf.add_point(p);
+        cf
+    }
+
+    /// Absorbs one point.
+    pub fn add_point(&mut self, p: &Point<D>) {
+        self.n += 1;
+        let mut norm2 = 0.0;
+        for d in 0..D {
+            self.ls[d] += p.coord(d);
+            norm2 += p.coord(d) * p.coord(d);
+        }
+        self.ss += norm2;
+    }
+
+    /// Merges another feature (CF additivity theorem).
+    pub fn merge(&mut self, other: &Cf<D>) {
+        self.n += other.n;
+        for d in 0..D {
+            self.ls[d] += other.ls[d];
+        }
+        self.ss += other.ss;
+    }
+
+    /// The subcluster centroid.
+    pub fn centroid(&self) -> Point<D> {
+        debug_assert!(self.n > 0);
+        let mut c = [0.0; D];
+        for (d, v) in c.iter_mut().enumerate() {
+            *v = self.ls[d] / self.n as f64;
+        }
+        Point::new(c)
+    }
+
+    /// RMS radius `sqrt(SS/N − ‖centroid‖²)`; 0 for singletons.
+    pub fn radius(&self) -> f64 {
+        if self.n == 0 {
+            return 0.0;
+        }
+        let n = self.n as f64;
+        let mut c2 = 0.0;
+        for d in 0..D {
+            let c = self.ls[d] / n;
+            c2 += c * c;
+        }
+        (self.ss / n - c2).max(0.0).sqrt()
+    }
+
+    /// The radius this feature would have after absorbing `p`.
+    pub fn radius_with(&self, p: &Point<D>) -> f64 {
+        let mut tmp = *self;
+        tmp.add_point(p);
+        tmp.radius()
+    }
+}
+
+/// Configuration for [`birch`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct BirchConfig {
+    /// Branching factor `B` of internal nodes.
+    pub branching: usize,
+    /// Maximum entries `L` per leaf.
+    pub leaf_capacity: usize,
+    /// Radius threshold `T`: a leaf entry absorbs a point only while its
+    /// RMS radius stays at or below `T`.
+    pub threshold: f64,
+}
+
+impl BirchConfig {
+    /// A configuration with conventional defaults (`B = 8`, `L = 8`).
+    pub fn new(threshold: f64) -> Self {
+        assert!(threshold >= 0.0 && threshold.is_finite(), "threshold must be finite and non-negative");
+        Self {
+            branching: 8,
+            leaf_capacity: 8,
+            threshold,
+        }
+    }
+
+    /// Sets the branching factor.
+    pub fn branching(mut self, b: usize) -> Self {
+        assert!(b >= 2, "branching factor must be at least 2");
+        self.branching = b;
+        self
+    }
+
+    /// Sets the leaf capacity.
+    pub fn leaf_capacity(mut self, l: usize) -> Self {
+        assert!(l >= 2, "leaf capacity must be at least 2");
+        self.leaf_capacity = l;
+        self
+    }
+}
+
+/// Output of [`birch`].
+#[derive(Clone, Debug)]
+pub struct BirchResult<const D: usize> {
+    /// One feature per discovered subcluster (the CF-tree leaf entries).
+    pub clusters: Vec<Cf<D>>,
+    /// Index into `clusters` per input point (nearest-centroid assignment,
+    /// the lightweight variant of BIRCH's global phase).
+    pub assignment: Vec<usize>,
+}
+
+enum NodeKind<const D: usize> {
+    Leaf(Vec<Cf<D>>),
+    Internal(Vec<usize>),
+}
+
+struct Node<const D: usize> {
+    cf: Cf<D>,
+    kind: NodeKind<D>,
+}
+
+struct CfTree<const D: usize> {
+    cfg: BirchConfig,
+    nodes: Vec<Node<D>>,
+    root: usize,
+}
+
+impl<const D: usize> CfTree<D> {
+    fn new(cfg: BirchConfig) -> Self {
+        let root = Node {
+            cf: Cf::zero(),
+            kind: NodeKind::Leaf(Vec::new()),
+        };
+        Self {
+            cfg,
+            nodes: vec![root],
+            root: 0,
+        }
+    }
+
+    fn insert(&mut self, p: &Point<D>) {
+        if let Some(sibling) = self.insert_rec(self.root, p) {
+            // Root split: grow by one level.
+            let old_root = self.root;
+            let mut cf = self.nodes[old_root].cf;
+            cf.merge(&self.nodes[sibling].cf);
+            self.nodes.push(Node {
+                cf,
+                kind: NodeKind::Internal(vec![old_root, sibling]),
+            });
+            self.root = self.nodes.len() - 1;
+        }
+    }
+
+    /// Recursive insert; returns the id of a newly split-off sibling when
+    /// `node` overflowed.
+    fn insert_rec(&mut self, node: usize, p: &Point<D>) -> Option<usize> {
+        match &self.nodes[node].kind {
+            NodeKind::Leaf(_) => self.insert_leaf(node, p),
+            NodeKind::Internal(children) => {
+                // Descend into the child whose centroid is closest.
+                let child = *children
+                    .iter()
+                    .min_by(|&&a, &&b| {
+                        let da = self.nodes[a].cf.centroid().dist_sq(p);
+                        let db = self.nodes[b].cf.centroid().dist_sq(p);
+                        da.partial_cmp(&db).unwrap()
+                    })
+                    .expect("internal nodes are never empty");
+                let split = self.insert_rec(child, p);
+                self.nodes[node].cf.add_point(p);
+                let sibling = split?;
+                if let NodeKind::Internal(children) = &mut self.nodes[node].kind {
+                    children.push(sibling);
+                    if children.len() > self.cfg.branching {
+                        return Some(self.split_internal(node));
+                    }
+                }
+                None
+            }
+        }
+    }
+
+    fn insert_leaf(&mut self, node: usize, p: &Point<D>) -> Option<usize> {
+        let threshold = self.cfg.threshold;
+        let NodeKind::Leaf(entries) = &mut self.nodes[node].kind else {
+            unreachable!()
+        };
+        // Closest entry by centroid; absorb when the radius stays under T.
+        let closest = entries
+            .iter_mut()
+            .min_by(|a, b| {
+                let da = a.centroid().dist_sq(p);
+                let db = b.centroid().dist_sq(p);
+                da.partial_cmp(&db).unwrap()
+            });
+        match closest {
+            Some(entry) if entry.radius_with(p) <= threshold => entry.add_point(p),
+            _ => entries.push(Cf::from_point(p)),
+        }
+        let overflow = entries.len() > self.cfg.leaf_capacity;
+        self.nodes[node].cf.add_point(p);
+        overflow.then(|| self.split_leaf(node))
+    }
+
+    fn split_leaf(&mut self, node: usize) -> usize {
+        let NodeKind::Leaf(entries) = std::mem::replace(
+            &mut self.nodes[node].kind,
+            NodeKind::Leaf(Vec::new()),
+        ) else {
+            unreachable!()
+        };
+        let (a, b) = split_by_farthest_pair(entries, |cf| cf.centroid());
+        let cf_of = |list: &[Cf<D>]| {
+            let mut cf = Cf::zero();
+            for e in list {
+                cf.merge(e);
+            }
+            cf
+        };
+        self.nodes[node].cf = cf_of(&a);
+        self.nodes[node].kind = NodeKind::Leaf(a);
+        let sibling_cf = cf_of(&b);
+        self.nodes.push(Node {
+            cf: sibling_cf,
+            kind: NodeKind::Leaf(b),
+        });
+        self.nodes.len() - 1
+    }
+
+    fn split_internal(&mut self, node: usize) -> usize {
+        let NodeKind::Internal(children) = std::mem::replace(
+            &mut self.nodes[node].kind,
+            NodeKind::Leaf(Vec::new()),
+        ) else {
+            unreachable!()
+        };
+        let centroids: Vec<(usize, Point<D>)> = children
+            .iter()
+            .map(|&c| (c, self.nodes[c].cf.centroid()))
+            .collect();
+        let (a, b) = split_by_farthest_pair(centroids, |(_, c)| *c);
+        let ids = |list: &[(usize, Point<D>)]| list.iter().map(|(id, _)| *id).collect::<Vec<_>>();
+        let cf_of = |tree: &CfTree<D>, list: &[usize]| {
+            let mut cf = Cf::zero();
+            for &c in list {
+                cf.merge(&tree.nodes[c].cf);
+            }
+            cf
+        };
+        let a_ids = ids(&a);
+        let b_ids = ids(&b);
+        self.nodes[node].cf = cf_of(self, &a_ids);
+        self.nodes[node].kind = NodeKind::Internal(a_ids);
+        let sibling_cf = cf_of(self, &b_ids);
+        self.nodes.push(Node {
+            cf: sibling_cf,
+            kind: NodeKind::Internal(b_ids),
+        });
+        self.nodes.len() - 1
+    }
+
+    fn leaf_entries(&self) -> Vec<Cf<D>> {
+        let mut out = Vec::new();
+        let mut stack = vec![self.root];
+        while let Some(id) = stack.pop() {
+            match &self.nodes[id].kind {
+                NodeKind::Leaf(entries) => out.extend(entries.iter().copied()),
+                NodeKind::Internal(children) => stack.extend_from_slice(children),
+            }
+        }
+        out
+    }
+}
+
+/// Splits entries by seeding with the farthest pair of centroids and
+/// assigning the rest to the closer seed.
+fn split_by_farthest_pair<T, const D: usize>(
+    entries: Vec<T>,
+    centroid: impl Fn(&T) -> Point<D>,
+) -> (Vec<T>, Vec<T>) {
+    debug_assert!(entries.len() >= 2);
+    let (mut si, mut sj, mut worst) = (0, 1, f64::NEG_INFINITY);
+    for i in 0..entries.len() {
+        for j in (i + 1)..entries.len() {
+            let d = centroid(&entries[i]).dist_sq(&centroid(&entries[j]));
+            if d > worst {
+                worst = d;
+                si = i;
+                sj = j;
+            }
+        }
+    }
+    let ca = centroid(&entries[si]);
+    let cb = centroid(&entries[sj]);
+    let mut a = Vec::new();
+    let mut b = Vec::new();
+    for (idx, e) in entries.into_iter().enumerate() {
+        if idx == si {
+            a.push(e);
+        } else if idx == sj {
+            b.push(e);
+        } else if centroid(&e).dist_sq(&ca) <= centroid(&e).dist_sq(&cb) {
+            a.push(e);
+        } else {
+            b.push(e);
+        }
+    }
+    (a, b)
+}
+
+/// Runs BIRCH phase 1 (CF-tree construction) over `points`, then assigns
+/// each point to the nearest leaf-entry centroid.
+pub fn birch<const D: usize>(points: &[Point<D>], cfg: &BirchConfig) -> BirchResult<D> {
+    if points.is_empty() {
+        return BirchResult {
+            clusters: Vec::new(),
+            assignment: Vec::new(),
+        };
+    }
+    let mut tree = CfTree::new(cfg.clone());
+    for p in points {
+        tree.insert(p);
+    }
+    let clusters = tree.leaf_entries();
+    let centroids: Vec<Point<D>> = clusters.iter().map(Cf::centroid).collect();
+    let assignment = points
+        .iter()
+        .map(|p| {
+            let mut best = (0usize, f64::INFINITY);
+            for (i, c) in centroids.iter().enumerate() {
+                let d2 = p.dist_sq(c);
+                if d2 < best.1 {
+                    best = (i, d2);
+                }
+            }
+            best.0
+        })
+        .collect();
+    BirchResult {
+        clusters,
+        assignment,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn blob(center: [f64; 2], n: usize, spread: f64, seed: u64) -> Vec<Point<2>> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                Point::new([
+                    center[0] + rng.gen_range(-spread..spread),
+                    center[1] + rng.gen_range(-spread..spread),
+                ])
+            })
+            .collect()
+    }
+
+    #[test]
+    fn cf_algebra() {
+        let mut cf = Cf::<2>::zero();
+        cf.add_point(&Point::new([1.0, 2.0]));
+        cf.add_point(&Point::new([3.0, 4.0]));
+        assert_eq!(cf.n, 2);
+        assert_eq!(cf.ls, [4.0, 6.0]);
+        assert_eq!(cf.ss, 1.0 + 4.0 + 9.0 + 16.0);
+        assert_eq!(cf.centroid(), Point::new([2.0, 3.0]));
+        // Additivity: merging two single-point CFs equals adding both points.
+        let mut m = Cf::from_point(&Point::new([1.0, 2.0]));
+        m.merge(&Cf::from_point(&Point::new([3.0, 4.0])));
+        assert_eq!(m, cf);
+    }
+
+    #[test]
+    fn cf_radius_matches_hand_computation() {
+        let mut cf = Cf::<2>::zero();
+        cf.add_point(&Point::new([-1.0, 0.0]));
+        cf.add_point(&Point::new([1.0, 0.0]));
+        // centroid (0,0); RMS radius = sqrt((1+1)/2 − 0) = 1.
+        assert!((cf.radius() - 1.0).abs() < 1e-12);
+        assert_eq!(Cf::from_point(&Point::new([5.0, 5.0])).radius(), 0.0);
+    }
+
+    #[test]
+    fn tight_blobs_become_few_clusters() {
+        let mut points = blob([0.0, 0.0], 100, 0.2, 1);
+        points.extend(blob([10.0, 10.0], 100, 0.2, 2));
+        let res = birch(&points, &BirchConfig::new(0.5));
+        // Two well-separated blobs with threshold » spread: few subclusters,
+        // and no subcluster spans both blobs.
+        assert!(res.clusters.len() >= 2, "at least one per blob");
+        assert!(res.clusters.len() <= 10, "tight blobs must compress");
+        let a = res.assignment[0];
+        let b = res.assignment[100];
+        assert!(res.assignment[..100].iter().all(|&x| {
+            res.clusters[x].centroid().dist_l2(&res.clusters[a].centroid()) < 5.0
+        }));
+        assert!(res.clusters[a].centroid().dist_l2(&res.clusters[b].centroid()) > 5.0);
+    }
+
+    #[test]
+    fn point_counts_are_preserved() {
+        let points = blob([1.0, 1.0], 500, 3.0, 3);
+        let res = birch(&points, &BirchConfig::new(0.3));
+        let total: u64 = res.clusters.iter().map(|c| c.n).sum();
+        assert_eq!(total, 500);
+        assert_eq!(res.assignment.len(), 500);
+    }
+
+    #[test]
+    fn every_cluster_respects_threshold() {
+        let points = blob([0.0, 0.0], 300, 2.0, 4);
+        let t = 0.4;
+        let res = birch(&points, &BirchConfig::new(t));
+        for c in &res.clusters {
+            assert!(c.radius() <= t + 1e-9, "radius {} > {t}", c.radius());
+        }
+    }
+
+    #[test]
+    fn zero_threshold_keeps_duplicates_together() {
+        let mut points = vec![Point::new([1.0, 1.0]); 5];
+        points.extend(vec![Point::new([2.0, 2.0]); 5]);
+        let res = birch(&points, &BirchConfig::new(0.0).leaf_capacity(4));
+        assert_eq!(res.clusters.len(), 2);
+        let mut ns: Vec<u64> = res.clusters.iter().map(|c| c.n).collect();
+        ns.sort();
+        assert_eq!(ns, vec![5, 5]);
+    }
+
+    #[test]
+    fn empty_input() {
+        let res = birch::<2>(&[], &BirchConfig::new(1.0));
+        assert!(res.clusters.is_empty());
+        assert!(res.assignment.is_empty());
+    }
+
+    #[test]
+    fn splits_exercise_internal_nodes() {
+        // Many well-separated micro-clusters force leaf and internal splits.
+        let mut points = Vec::new();
+        for gx in 0..10 {
+            for gy in 0..10 {
+                points.extend(blob(
+                    [gx as f64 * 20.0, gy as f64 * 20.0],
+                    5,
+                    0.1,
+                    (gx * 10 + gy) as u64,
+                ));
+            }
+        }
+        let res = birch(&points, &BirchConfig::new(0.5).branching(4).leaf_capacity(4));
+        // CF-tree routing is greedy, so a blob may occasionally be covered
+        // by two entries — but the count must stay near 100 and no entry
+        // may span two blobs (blob spacing 20 ≫ threshold 0.5).
+        assert!(
+            (100..=115).contains(&res.clusters.len()),
+            "got {} clusters",
+            res.clusters.len()
+        );
+        let total: u64 = res.clusters.iter().map(|c| c.n).sum();
+        assert_eq!(total, 500);
+        for c in &res.clusters {
+            assert!(c.radius() <= 0.5 + 1e-9);
+        }
+    }
+}

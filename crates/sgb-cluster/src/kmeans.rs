@@ -1,0 +1,291 @@
+//! K-means clustering (Lloyd's algorithm with k-means++ seeding).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use sgb_geom::Point;
+
+/// Configuration for [`kmeans`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct KMeansConfig {
+    /// Number of clusters `K` (the paper uses 20 and 40 in Figure 11).
+    pub k: usize,
+    /// Maximum Lloyd iterations.
+    pub max_iters: usize,
+    /// Convergence threshold: stop when no centroid moves farther than
+    /// this (squared Euclidean).
+    pub tol: f64,
+    /// Seed for the k-means++ initialisation.
+    pub seed: u64,
+}
+
+impl KMeansConfig {
+    /// A configuration with conventional defaults
+    /// (`max_iters = 100`, `tol = 1e-6`).
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "K must be positive");
+        Self {
+            k,
+            max_iters: 100,
+            tol: 1e-6,
+            seed: 0x5EED,
+        }
+    }
+
+    /// Sets the iteration cap.
+    pub fn max_iters(mut self, max_iters: usize) -> Self {
+        self.max_iters = max_iters;
+        self
+    }
+
+    /// Sets the convergence threshold.
+    pub fn tol(mut self, tol: f64) -> Self {
+        self.tol = tol;
+        self
+    }
+
+    /// Sets the seeding RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// Output of [`kmeans`].
+#[derive(Clone, Debug)]
+pub struct KMeansResult<const D: usize> {
+    /// Final cluster centroids (at most `K`; fewer when `n < K`).
+    pub centroids: Vec<Point<D>>,
+    /// Cluster index per input point.
+    pub assignment: Vec<usize>,
+    /// Lloyd iterations executed.
+    pub iterations: usize,
+    /// Sum of squared distances of points to their centroid.
+    pub inertia: f64,
+}
+
+/// Runs k-means++ seeded Lloyd's algorithm over `points`.
+///
+/// Deterministic for a fixed seed. Returns an empty result for empty input.
+pub fn kmeans<const D: usize>(points: &[Point<D>], cfg: &KMeansConfig) -> KMeansResult<D> {
+    if points.is_empty() {
+        return KMeansResult {
+            centroids: Vec::new(),
+            assignment: Vec::new(),
+            iterations: 0,
+            inertia: 0.0,
+        };
+    }
+    let k = cfg.k.min(points.len());
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let mut centroids = plus_plus_seeds(points, k, &mut rng);
+    let mut assignment = vec![0usize; points.len()];
+    let mut iterations = 0;
+
+    for _ in 0..cfg.max_iters {
+        iterations += 1;
+        // Assignment step.
+        for (i, p) in points.iter().enumerate() {
+            assignment[i] = nearest_centroid(p, &centroids).0;
+        }
+        // Update step.
+        let mut sums = vec![[0.0f64; D]; k];
+        let mut counts = vec![0usize; k];
+        for (i, p) in points.iter().enumerate() {
+            let c = assignment[i];
+            counts[c] += 1;
+            for (d, s) in sums[c].iter_mut().enumerate() {
+                *s += p.coord(d);
+            }
+        }
+        let mut max_shift = 0.0f64;
+        for c in 0..k {
+            if counts[c] == 0 {
+                // Empty cluster: re-seed it at the point farthest from its
+                // centroid assignment (classic fix keeping K clusters).
+                let far = points
+                    .iter()
+                    .enumerate()
+                    .max_by(|(_, a), (_, b)| {
+                        let da = a.dist_sq(&centroids[assignment[0]]);
+                        let db = b.dist_sq(&centroids[assignment[0]]);
+                        da.partial_cmp(&db).unwrap()
+                    })
+                    .map(|(i, _)| i)
+                    .unwrap_or(0);
+                centroids[c] = points[far];
+                max_shift = f64::INFINITY;
+                continue;
+            }
+            let mut fresh = [0.0f64; D];
+            for d in 0..D {
+                fresh[d] = sums[c][d] / counts[c] as f64;
+            }
+            let fresh = Point::new(fresh);
+            max_shift = max_shift.max(centroids[c].dist_sq(&fresh));
+            centroids[c] = fresh;
+        }
+        if max_shift <= cfg.tol {
+            break;
+        }
+    }
+
+    // Final assignment + inertia against the converged centroids.
+    let mut inertia = 0.0;
+    for (i, p) in points.iter().enumerate() {
+        let (c, d2) = nearest_centroid(p, &centroids);
+        assignment[i] = c;
+        inertia += d2;
+    }
+    KMeansResult {
+        centroids,
+        assignment,
+        iterations,
+        inertia,
+    }
+}
+
+/// The index and squared distance of the centroid nearest to `p`.
+fn nearest_centroid<const D: usize>(p: &Point<D>, centroids: &[Point<D>]) -> (usize, f64) {
+    let mut best = (0usize, f64::INFINITY);
+    for (c, q) in centroids.iter().enumerate() {
+        let d2 = p.dist_sq(q);
+        if d2 < best.1 {
+            best = (c, d2);
+        }
+    }
+    best
+}
+
+/// k-means++ seeding: first seed uniform, each next seed drawn with
+/// probability proportional to squared distance from the nearest chosen
+/// seed.
+fn plus_plus_seeds<const D: usize>(
+    points: &[Point<D>],
+    k: usize,
+    rng: &mut SmallRng,
+) -> Vec<Point<D>> {
+    let mut seeds = Vec::with_capacity(k);
+    seeds.push(points[rng.gen_range(0..points.len())]);
+    let mut dist2: Vec<f64> = points.iter().map(|p| p.dist_sq(&seeds[0])).collect();
+    while seeds.len() < k {
+        let total: f64 = dist2.iter().sum();
+        let next = if total <= 0.0 {
+            // All points coincide with existing seeds: any choice works.
+            rng.gen_range(0..points.len())
+        } else {
+            let mut target = rng.gen_range(0.0..total);
+            let mut chosen = points.len() - 1;
+            for (i, &d) in dist2.iter().enumerate() {
+                if target < d {
+                    chosen = i;
+                    break;
+                }
+                target -= d;
+            }
+            chosen
+        };
+        let seed = points[next];
+        seeds.push(seed);
+        for (i, p) in points.iter().enumerate() {
+            dist2[i] = dist2[i].min(p.dist_sq(&seed));
+        }
+    }
+    seeds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blob<const D: usize>(center: [f64; D], n: usize, spread: f64, seed: u64) -> Vec<Point<D>> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                let mut c = center;
+                for v in c.iter_mut() {
+                    *v += rng.gen_range(-spread..spread);
+                }
+                Point::new(c)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn separates_two_blobs() {
+        let mut points = blob([0.0, 0.0], 50, 0.5, 1);
+        points.extend(blob([10.0, 10.0], 50, 0.5, 2));
+        let res = kmeans(&points, &KMeansConfig::new(2));
+        assert_eq!(res.centroids.len(), 2);
+        // All points of one blob share a label, and the labels differ.
+        let first = res.assignment[0];
+        assert!(res.assignment[..50].iter().all(|&a| a == first));
+        let second = res.assignment[50];
+        assert!(res.assignment[50..].iter().all(|&a| a == second));
+        assert_ne!(first, second);
+        // Centroids near the blob centres.
+        for c in &res.centroids {
+            let near_origin = c.dist_l2(&Point::new([0.0, 0.0])) < 1.0;
+            let near_ten = c.dist_l2(&Point::new([10.0, 10.0])) < 1.0;
+            assert!(near_origin || near_ten, "stray centroid {c:?}");
+        }
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let points = blob([1.0, 2.0], 80, 2.0, 3);
+        let a = kmeans(&points, &KMeansConfig::new(5).seed(11));
+        let b = kmeans(&points, &KMeansConfig::new(5).seed(11));
+        assert_eq!(a.assignment, b.assignment);
+        assert_eq!(a.centroids, b.centroids);
+    }
+
+    #[test]
+    fn k_larger_than_n_is_clamped() {
+        let points = blob([0.0, 0.0], 3, 1.0, 4);
+        let res = kmeans(&points, &KMeansConfig::new(10));
+        assert_eq!(res.centroids.len(), 3);
+        assert!(res.assignment.iter().all(|&a| a < 3));
+    }
+
+    #[test]
+    fn empty_input() {
+        let res = kmeans::<2>(&[], &KMeansConfig::new(3));
+        assert!(res.centroids.is_empty());
+        assert!(res.assignment.is_empty());
+    }
+
+    #[test]
+    fn single_cluster_centroid_is_mean() {
+        let points = vec![
+            Point::new([0.0, 0.0]),
+            Point::new([2.0, 0.0]),
+            Point::new([0.0, 2.0]),
+            Point::new([2.0, 2.0]),
+        ];
+        let res = kmeans(&points, &KMeansConfig::new(1));
+        assert_eq!(res.centroids[0], Point::new([1.0, 1.0]));
+        assert!((res.inertia - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn iterations_bounded_by_cap() {
+        let points = blob([0.0, 0.0], 200, 5.0, 9);
+        let res = kmeans(&points, &KMeansConfig::new(8).max_iters(3));
+        assert!(res.iterations <= 3);
+    }
+
+    #[test]
+    fn duplicate_points_do_not_crash_seeding() {
+        let points = vec![Point::new([1.0, 1.0]); 20];
+        let res = kmeans(&points, &KMeansConfig::new(4));
+        assert!(res.inertia < 1e-12);
+    }
+
+    #[test]
+    fn three_dimensional() {
+        let mut points = blob([0.0, 0.0, 0.0], 30, 0.3, 5);
+        points.extend(blob([5.0, 5.0, 5.0], 30, 0.3, 6));
+        let res = kmeans(&points, &KMeansConfig::new(2));
+        assert_ne!(res.assignment[0], res.assignment[59]);
+    }
+}

@@ -1,0 +1,28 @@
+#![warn(missing_docs)]
+
+//! Clustering baselines used by the paper's evaluation (Section 8.6).
+//!
+//! The SGB operators are compared against three standalone clustering
+//! algorithms — the traditional way to group multi-dimensional data outside
+//! the DBMS:
+//!
+//! * [`kmeans()`](kmeans()) — Lloyd's algorithm with k-means++ seeding [Kanungo et al.],
+//!   run with `K = 20` and `K = 40` in Figure 11;
+//! * [`dbscan()`](dbscan()) — density-based clustering [Ester et al.] with R-tree
+//!   region queries (the "state-of-the-art implementation of DBSCAN with an
+//!   R-tree" the paper cites);
+//! * [`birch()`](birch()) — CF-tree based hierarchical clustering [Zhang et al.].
+//!
+//! These implementations are honest single-node baselines: they scan the
+//! data the way their original papers describe (K-means and BIRCH make
+//! multiple passes / maintain trees; DBSCAN performs one region query per
+//! point), which is exactly the behaviour the paper's Figure 11 contrasts
+//! with the single-pass SGB operators.
+
+pub mod birch;
+pub mod dbscan;
+pub mod kmeans;
+
+pub use birch::{birch, BirchConfig, BirchResult};
+pub use dbscan::{dbscan, DbscanConfig, DbscanResult, Label};
+pub use kmeans::{kmeans, KMeansConfig, KMeansResult};

@@ -1,0 +1,157 @@
+//! Aggregate evaluation over similarity groups.
+//!
+//! The SGB operators are *group-by* operators: their output feeds aggregate
+//! functions exactly like the standard relational group-by (`SELECT
+//! count(*), max(ab) … GROUP BY … DISTANCE-TO-ALL …`). This module provides
+//! the common aggregates over a [`Grouping`] paired with per-record payload
+//! values. The full SQL pipeline lives in the `sgb-relation` crate; these
+//! helpers serve programmatic users of the core operators.
+
+use crate::{Grouping, RecordId};
+
+/// An aggregate function over `f64` payloads, mirroring the aggregates used
+/// by the paper's evaluation queries (Table 2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum AggregateFn {
+    /// `count(*)` — number of records in the group.
+    Count,
+    /// `sum(col)`.
+    Sum,
+    /// `avg(col)`.
+    Avg,
+    /// `min(col)`.
+    Min,
+    /// `max(col)`.
+    Max,
+}
+
+impl AggregateFn {
+    /// Evaluates the aggregate over the payloads of one group.
+    /// `Min`/`Max`/`Avg` of an empty group yield `None`.
+    pub fn eval(&self, values: impl IntoIterator<Item = f64>) -> Option<f64> {
+        let mut count = 0usize;
+        let mut sum = 0.0f64;
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        for v in values {
+            count += 1;
+            sum += v;
+            min = min.min(v);
+            max = max.max(v);
+        }
+        match self {
+            AggregateFn::Count => Some(count as f64),
+            AggregateFn::Sum => Some(sum),
+            AggregateFn::Avg => (count > 0).then(|| sum / count as f64),
+            AggregateFn::Min => (count > 0).then_some(min),
+            AggregateFn::Max => (count > 0).then_some(max),
+        }
+    }
+}
+
+/// One row of aggregated output per group.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GroupAggregates {
+    /// Index of the group in the [`Grouping`].
+    pub group: usize,
+    /// One value per requested aggregate, in request order.
+    pub values: Vec<f64>,
+}
+
+/// Evaluates `aggs` over every group: `value(r)` supplies the payload of
+/// record `r` (e.g. a column of the input relation).
+pub fn aggregate_groups<F>(
+    grouping: &Grouping,
+    aggs: &[AggregateFn],
+    mut value: F,
+) -> Vec<GroupAggregates>
+where
+    F: FnMut(RecordId) -> f64,
+{
+    grouping
+        .groups
+        .iter()
+        .enumerate()
+        .map(|(gi, members)| {
+            let payloads: Vec<f64> = members.iter().map(|&r| value(r)).collect();
+            let values = aggs
+                .iter()
+                .map(|a| a.eval(payloads.iter().copied()).unwrap_or(f64::NAN))
+                .collect();
+            GroupAggregates { group: gi, values }
+        })
+        .collect()
+}
+
+/// `array_agg`-style helper: per group, the payloads produced by `value`.
+pub fn collect_groups<T, F>(grouping: &Grouping, mut value: F) -> Vec<Vec<T>>
+where
+    F: FnMut(RecordId) -> T,
+{
+    grouping
+        .groups
+        .iter()
+        .map(|members| members.iter().map(|&r| value(r)).collect())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grouping() -> Grouping {
+        Grouping {
+            groups: vec![vec![0, 1, 2], vec![3, 4]],
+            eliminated: vec![5],
+        }
+    }
+
+    #[test]
+    fn count_per_group() {
+        let vals = [10.0, 20.0, 30.0, 5.0, 15.0, 99.0];
+        let rows = aggregate_groups(&grouping(), &[AggregateFn::Count], |r| vals[r]);
+        assert_eq!(rows[0].values, vec![3.0]);
+        assert_eq!(rows[1].values, vec![2.0]);
+    }
+
+    #[test]
+    fn multiple_aggregates_in_order() {
+        let vals = [10.0, 20.0, 30.0, 5.0, 15.0, 99.0];
+        let rows = aggregate_groups(
+            &grouping(),
+            &[
+                AggregateFn::Sum,
+                AggregateFn::Avg,
+                AggregateFn::Min,
+                AggregateFn::Max,
+            ],
+            |r| vals[r],
+        );
+        assert_eq!(rows[0].values, vec![60.0, 20.0, 10.0, 30.0]);
+        assert_eq!(rows[1].values, vec![20.0, 10.0, 5.0, 15.0]);
+    }
+
+    #[test]
+    fn eliminated_records_never_aggregate() {
+        let rows = aggregate_groups(&grouping(), &[AggregateFn::Sum], |r| {
+            assert_ne!(r, 5, "eliminated record must not be visited");
+            1.0
+        });
+        assert_eq!(rows.len(), 2);
+    }
+
+    #[test]
+    fn collect_groups_preserves_member_order() {
+        let ids = collect_groups(&grouping(), |r| r * 100);
+        assert_eq!(ids, vec![vec![0, 100, 200], vec![300, 400]]);
+    }
+
+    #[test]
+    fn empty_aggregates() {
+        assert_eq!(AggregateFn::Count.eval([]), Some(0.0));
+        assert_eq!(AggregateFn::Sum.eval([]), Some(0.0));
+        assert_eq!(AggregateFn::Avg.eval([]), None);
+        assert_eq!(AggregateFn::Min.eval([]), None);
+        assert_eq!(AggregateFn::Max.eval([]), None);
+    }
+}

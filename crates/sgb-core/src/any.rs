@@ -1,0 +1,344 @@
+//! The SGB-Any operator (Section 7): distance-to-any grouping.
+//!
+//! A point belongs to a group when it is within ε of *at least one* other
+//! point of the group; groups therefore are the connected components of the
+//! ε-threshold graph, and overlapping groups merge (Figure 8). The
+//! framework (Procedure 7) processes points one at a time:
+//!
+//! 1. `FindCandidateGroups` (Procedure 8) finds the groups containing a
+//!    point within ε of the new point — either by scanning all previous
+//!    points (`AllPairs`) or with a window query on an on-the-fly R-tree
+//!    over the points (`Indexed`), followed by an exact distance check for
+//!    `L2` (`VerifyPoints`);
+//! 2. `ProcessGroupingANY` (Procedure 9) creates a group, joins the single
+//!    candidate, or merges all candidates via Union-Find
+//!    (`MergeGroupsInsert`).
+
+use sgb_dsu::DisjointSet;
+use sgb_geom::{Point, Rect};
+use sgb_spatial::RTree;
+
+use crate::{AnyAlgorithm, Grouping, RecordId, SgbAnyConfig};
+
+/// Streaming SGB-Any operator.
+///
+/// Push points in arrival order, then call [`finish`](Self::finish) to
+/// obtain the answer groups.
+///
+/// ```
+/// use sgb_core::{SgbAny, SgbAnyConfig};
+/// use sgb_geom::Point;
+///
+/// let mut op = SgbAny::new(SgbAnyConfig::new(3.0));
+/// for p in [[1.0, 1.0], [2.0, 2.0], [9.0, 9.0]] {
+///     op.push(Point::new(p));
+/// }
+/// let out = op.finish();
+/// assert_eq!(out.sorted_sizes(), vec![2, 1]);
+/// ```
+#[derive(Clone, Debug)]
+pub struct SgbAny<const D: usize> {
+    cfg: SgbAnyConfig,
+    points: Vec<Point<D>>,
+    dsu: DisjointSet,
+    /// `Points_IX` of Procedure 8 (only for [`AnyAlgorithm::Indexed`]).
+    index: Option<RTree<D, RecordId>>,
+    /// Scratch buffer for neighbour ids, reused across pushes.
+    neighbours: Vec<RecordId>,
+}
+
+impl<const D: usize> SgbAny<D> {
+    /// Creates the operator.
+    pub fn new(cfg: SgbAnyConfig) -> Self {
+        let index = match cfg.algorithm {
+            AnyAlgorithm::AllPairs => None,
+            AnyAlgorithm::Indexed => Some(RTree::with_max_entries(cfg.rtree_fanout)),
+        };
+        Self {
+            cfg,
+            points: Vec::new(),
+            dsu: DisjointSet::new(),
+            index,
+            neighbours: Vec::new(),
+        }
+    }
+
+    /// The configuration this operator runs with.
+    pub fn config(&self) -> &SgbAnyConfig {
+        &self.cfg
+    }
+
+    /// Number of points processed so far.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// `true` before the first point arrives.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Number of groups formed so far (before finishing).
+    pub fn num_groups(&self) -> usize {
+        self.dsu.components()
+    }
+
+    /// Processes one point (Procedure 7 body), returning its record id.
+    pub fn push(&mut self, p: Point<D>) -> RecordId {
+        assert!(p.is_finite(), "points must have finite coordinates");
+        let id = self.points.len();
+        let eps = self.cfg.eps;
+        let metric = self.cfg.metric;
+
+        // FindCandidateGroups: collect neighbours within ε.
+        self.neighbours.clear();
+        match &self.index {
+            None => {
+                // All-Pairs: scan every previously processed point.
+                for (j, q) in self.points.iter().enumerate() {
+                    if metric.within(&p, q, eps) {
+                        self.neighbours.push(j);
+                    }
+                }
+            }
+            Some(ix) => {
+                // Window query with the (ulp-dilated) ε-rectangle of `p`,
+                // then verify every hit with the canonical predicate —
+                // `VerifyPoints` of Procedure 8. The dilation makes the
+                // window a guaranteed superset of the floating-point
+                // predicate, so this path agrees with All-Pairs exactly,
+                // including on distances that tie with ε.
+                let window = Rect::centered_dilated(p, eps);
+                let points = &self.points;
+                let neighbours = &mut self.neighbours;
+                ix.query(&window, |_, &j| {
+                    if metric.within(&p, &points[j], eps) {
+                        neighbours.push(j);
+                    }
+                });
+            }
+        }
+
+        // ProcessGroupingANY: a fresh singleton, then merge with every
+        // candidate group. Distinguishing the 0/1/many candidate cases of
+        // Procedure 9 is unnecessary with union-find: union is idempotent
+        // per component.
+        self.points.push(p);
+        let me = self.dsu.push();
+        debug_assert_eq!(me, id);
+        for k in 0..self.neighbours.len() {
+            let j = self.neighbours[k];
+            self.dsu.union(me, j);
+        }
+        if let Some(ix) = &mut self.index {
+            ix.insert_point(p, id);
+        }
+        id
+    }
+
+    /// Materialises the answer groups (the connected components of the
+    /// ε-threshold graph). Groups are keyed by smallest member id; the
+    /// eliminated set is always empty for SGB-Any.
+    pub fn finish(self) -> Grouping {
+        Grouping {
+            groups: self.dsu.into_groups(),
+            eliminated: Vec::new(),
+        }
+    }
+}
+
+/// One-shot convenience: runs SGB-Any over a slice of points.
+pub fn sgb_any<const D: usize>(points: &[Point<D>], cfg: &SgbAnyConfig) -> Grouping {
+    let mut op = SgbAny::new(cfg.clone());
+    for p in points {
+        op.push(*p);
+    }
+    op.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sgb_geom::Metric;
+
+    fn pts(raw: &[[f64; 2]]) -> Vec<Point<2>> {
+        raw.iter().map(|&c| Point::new(c)).collect()
+    }
+
+    /// Brute-force reference: connected components of the ε-graph.
+    fn reference(points: &[Point<2>], eps: f64, metric: Metric) -> Grouping {
+        let mut dsu = DisjointSet::with_len(points.len());
+        for i in 0..points.len() {
+            for j in (i + 1)..points.len() {
+                if metric.within(&points[i], &points[j], eps) {
+                    dsu.union(i, j);
+                }
+            }
+        }
+        Grouping {
+            groups: dsu.into_groups(),
+            eliminated: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn fig1b_chain_forms_one_group() {
+        // Figure 1b: points a–h connected transitively under ε = 3 form a
+        // single group even though distant pairs exceed ε.
+        let points = pts(&[
+            [1.0, 5.0], // a
+            [2.0, 2.5], // b
+            [2.5, 4.0], // c  (within 3 of a, b, d, f)
+            [4.5, 3.0], // d
+            [6.5, 2.0], // e  (within 3 of d)
+            [4.0, 5.0], // f
+            [5.5, 5.5], // g
+            [6.0, 4.5], // h
+        ]);
+        let out = sgb_any(&points, &SgbAnyConfig::new(3.0));
+        assert_eq!(out.num_groups(), 1);
+        assert_eq!(out.groups[0].len(), 8);
+    }
+
+    #[test]
+    fn fig2_example2_groups_merge_on_overlap() {
+        // Figure 2 / Example 2: a5 is within ε of both g1 {a1,a2} and
+        // g2 {a3,a4}; the groups merge and the query output is {5}.
+        let points = pts(&[
+            [2.0, 6.0], // a1
+            [3.0, 7.0], // a2
+            [6.0, 5.0], // a3
+            [7.5, 4.0], // a4
+            [4.5, 5.5], // a5
+        ]);
+        for metric in [Metric::L2, Metric::LInf] {
+            let out = sgb_any(&points, &SgbAnyConfig::new(3.0).metric(metric));
+            assert_eq!(out.sizes(), vec![5], "metric {metric:?}");
+        }
+    }
+
+    #[test]
+    fn isolated_points_form_singletons() {
+        let points = pts(&[[0.0, 0.0], [10.0, 0.0], [20.0, 0.0]]);
+        let out = sgb_any(&points, &SgbAnyConfig::new(1.0));
+        assert_eq!(out.sizes(), vec![1, 1, 1]);
+        out.check_partition(3);
+    }
+
+    #[test]
+    fn empty_input() {
+        let out = sgb_any::<2>(&[], &SgbAnyConfig::new(1.0));
+        assert_eq!(out.num_groups(), 0);
+    }
+
+    #[test]
+    fn duplicate_points_group_together() {
+        let points = pts(&[[1.0, 1.0], [1.0, 1.0], [1.0, 1.0]]);
+        let out = sgb_any(&points, &SgbAnyConfig::new(0.0));
+        assert_eq!(out.sizes(), vec![3]);
+    }
+
+    #[test]
+    fn epsilon_zero_groups_only_exact_duplicates() {
+        let points = pts(&[[1.0, 1.0], [1.0, 1.0], [1.0, 1.000001]]);
+        let out = sgb_any(&points, &SgbAnyConfig::new(0.0));
+        assert_eq!(out.sorted_sizes(), vec![2, 1]);
+    }
+
+    #[test]
+    fn l2_verification_rejects_window_corners() {
+        // Two points at the corner of each other's ε-window: L∞ groups
+        // them, L2 must not (VerifyPoints, Procedure 8 line 4).
+        let points = pts(&[[0.0, 0.0], [0.9, 0.9]]);
+        let eps = 1.0;
+        for algo in [AnyAlgorithm::AllPairs, AnyAlgorithm::Indexed] {
+            let linf = sgb_any(&points, &SgbAnyConfig::new(eps).metric(Metric::LInf).algorithm(algo));
+            assert_eq!(linf.num_groups(), 1, "{algo:?}");
+            let l2 = sgb_any(&points, &SgbAnyConfig::new(eps).metric(Metric::L2).algorithm(algo));
+            assert_eq!(l2.num_groups(), 2, "{algo:?}");
+        }
+    }
+
+    #[test]
+    fn indexed_matches_all_pairs_and_reference() {
+        // Pseudo-random point cloud; all algorithms and the brute-force
+        // reference must agree exactly.
+        let mut state: u64 = 0xDEADBEEF;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f64) / (u32::MAX as f64)
+        };
+        let points: Vec<Point<2>> = (0..400)
+            .map(|_| Point::new([next() * 10.0, next() * 10.0]))
+            .collect();
+        for metric in [Metric::L2, Metric::LInf] {
+            for eps in [0.05, 0.2, 0.6] {
+                let expected = reference(&points, eps, metric).normalized();
+                for algo in [AnyAlgorithm::AllPairs, AnyAlgorithm::Indexed] {
+                    let cfg = SgbAnyConfig::new(eps).metric(metric).algorithm(algo);
+                    let got = sgb_any(&points, &cfg);
+                    got.check_partition(points.len());
+                    assert_eq!(got.normalized(), expected, "{algo:?} {metric:?} ε={eps}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn order_independence_of_components() {
+        // SGB-Any output is insertion-order independent (as a set of sets).
+        let points = pts(&[
+            [0.0, 0.0],
+            [1.0, 0.0],
+            [2.0, 0.0],
+            [8.0, 8.0],
+            [8.5, 8.5],
+            [20.0, 20.0],
+        ]);
+        let cfg = SgbAnyConfig::new(1.5);
+        let forward = sgb_any(&points, &cfg).normalized();
+        let mut rev = points.clone();
+        rev.reverse();
+        let backward = sgb_any(&rev, &cfg);
+        // Map reversed ids back to original ids before comparing.
+        let n = points.len();
+        let remapped = Grouping {
+            groups: backward
+                .groups
+                .iter()
+                .map(|g| g.iter().map(|&i| n - 1 - i).collect())
+                .collect(),
+            eliminated: vec![],
+        };
+        assert_eq!(remapped.normalized(), forward);
+    }
+
+    #[test]
+    fn streaming_group_count_is_monotone_under_merges() {
+        let mut op = SgbAny::new(SgbAnyConfig::new(1.5));
+        op.push(Point::new([0.0, 0.0]));
+        op.push(Point::new([5.0, 0.0]));
+        assert_eq!(op.num_groups(), 2);
+        // Bridging point merges both groups.
+        op.push(Point::new([2.0, 0.0])); // within 1.5 of neither! 2.0 vs 0.0 → 2.0 > 1.5
+        assert_eq!(op.num_groups(), 3);
+        op.push(Point::new([1.0, 0.0])); // links 0.0 and 2.0
+        assert_eq!(op.num_groups(), 2);
+        op.push(Point::new([3.5, 0.0])); // links 2.0 and 5.0
+        assert_eq!(op.num_groups(), 1);
+        assert_eq!(op.len(), 5);
+        let out = op.finish();
+        assert_eq!(out.sizes(), vec![5]);
+    }
+
+    #[test]
+    fn three_dimensional_points() {
+        let points: Vec<Point<3>> = vec![
+            Point::new([0.0, 0.0, 0.0]),
+            Point::new([0.5, 0.5, 0.5]),
+            Point::new([0.0, 0.0, 5.0]), // far only in z
+        ];
+        let out = sgb_any(&points, &SgbAnyConfig::new(1.0));
+        assert_eq!(out.sorted_sizes(), vec![2, 1]);
+    }
+}

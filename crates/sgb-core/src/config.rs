@@ -1,0 +1,247 @@
+//! Operator configuration: thresholds, metrics, overlap semantics, and
+//! algorithm selection.
+
+use sgb_geom::Metric;
+
+/// The `ON-OVERLAP` arbitration clause of SGB-All (Section 4.1).
+///
+/// When a point satisfies the membership criterion of more than one group,
+/// one of three actions is taken.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub enum OverlapAction {
+    /// `JOIN-ANY`: insert the point into one of the overlapping groups,
+    /// chosen pseudo-randomly (seeded, for reproducibility).
+    #[default]
+    JoinAny,
+    /// `ELIMINATE`: discard the point; also discard points of existing
+    /// groups that fall within ε of it (the overlap set `Oset`).
+    Eliminate,
+    /// `FORM-NEW-GROUP`: defer the point (and the overlapped points of
+    /// existing groups) to a set `S'`, regrouped recursively at the end.
+    FormNewGroup,
+}
+
+impl OverlapAction {
+    /// The SQL keyword used by the paper's grammar.
+    pub fn sql_keyword(&self) -> &'static str {
+        match self {
+            OverlapAction::JoinAny => "JOIN-ANY",
+            OverlapAction::Eliminate => "ELIMINATE",
+            OverlapAction::FormNewGroup => "FORM-NEW-GROUP",
+        }
+    }
+
+    /// Parses the SQL keyword (case-insensitive, `-`/`_` interchangeable).
+    pub fn from_sql_keyword(word: &str) -> Option<Self> {
+        match word.to_ascii_uppercase().replace('_', "-").as_str() {
+            "JOIN-ANY" | "JOINANY" => Some(OverlapAction::JoinAny),
+            "ELIMINATE" => Some(OverlapAction::Eliminate),
+            "FORM-NEW-GROUP" | "FORM-NEW" | "FORMNEWGROUP" => Some(OverlapAction::FormNewGroup),
+            _ => None,
+        }
+    }
+}
+
+/// Algorithm used to realise SGB-All (Section 6).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub enum AllAlgorithm {
+    /// Naive `FindCloseGroups` (Procedure 2): evaluate the predicate
+    /// against every previously processed point. `O(n²)`.
+    AllPairs,
+    /// Bounds-Checking (Procedure 4): constant-time ε-All rectangle tests
+    /// per group, linear scan over groups. `O(n · |G|)`.
+    BoundsChecking,
+    /// Index Bounds-Checking (Procedure 5): on-the-fly R-tree over group
+    /// rectangles, window query per point. `O(n · log |G|)`.
+    #[default]
+    Indexed,
+}
+
+/// Algorithm used to realise SGB-Any (Section 7).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub enum AnyAlgorithm {
+    /// Evaluate the predicate against every previously processed point.
+    AllPairs,
+    /// On-the-fly R-tree over points + Union-Find over groups
+    /// (Procedure 8). `O(n log n)`.
+    #[default]
+    Indexed,
+}
+
+/// Configuration of the SGB-All operator
+/// (`GROUP BY … DISTANCE-TO-ALL [L2|LINF] WITHIN ε ON-OVERLAP …`).
+#[derive(Clone, Debug, PartialEq)]
+pub struct SgbAllConfig {
+    /// Similarity threshold ε of the predicate `δ(a, b) ≤ ε`.
+    pub eps: f64,
+    /// Distance function δ.
+    pub metric: Metric,
+    /// Arbitration for points matching several groups.
+    pub overlap: OverlapAction,
+    /// Search strategy.
+    pub algorithm: AllAlgorithm,
+    /// Seed for the `JOIN-ANY` pseudo-random choice.
+    pub seed: u64,
+    /// Member count from which a group's convex hull is cached for the
+    /// `L2` refinement (Section 6.4); below it the exact check scans the
+    /// members. `usize::MAX` disables the hull entirely (ablation).
+    pub hull_threshold: usize,
+    /// Fan-out of the on-the-fly R-tree (`Groups_IX`) used by
+    /// [`AllAlgorithm::Indexed`].
+    pub rtree_fanout: usize,
+}
+
+impl SgbAllConfig {
+    /// A configuration with the default metric (`L2`), overlap action
+    /// (`JOIN-ANY`), algorithm (`Indexed`) and seed.
+    pub fn new(eps: f64) -> Self {
+        assert!(eps >= 0.0 && eps.is_finite(), "epsilon must be finite and non-negative");
+        Self {
+            eps,
+            metric: Metric::default(),
+            overlap: OverlapAction::default(),
+            algorithm: AllAlgorithm::default(),
+            seed: 0x5EED_u64,
+            hull_threshold: 16,
+            rtree_fanout: 12,
+        }
+    }
+
+    /// Sets the distance function.
+    pub fn metric(mut self, metric: Metric) -> Self {
+        self.metric = metric;
+        self
+    }
+
+    /// Sets the `ON-OVERLAP` action.
+    pub fn overlap(mut self, overlap: OverlapAction) -> Self {
+        self.overlap = overlap;
+        self
+    }
+
+    /// Sets the search algorithm.
+    pub fn algorithm(mut self, algorithm: AllAlgorithm) -> Self {
+        self.algorithm = algorithm;
+        self
+    }
+
+    /// Sets the `JOIN-ANY` randomisation seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the convex-hull caching threshold (`usize::MAX` disables the
+    /// hull refinement, falling back to member scans).
+    pub fn hull_threshold(mut self, members: usize) -> Self {
+        self.hull_threshold = members.max(1);
+        self
+    }
+
+    /// Sets the R-tree fan-out of the on-the-fly group index.
+    pub fn rtree_fanout(mut self, fanout: usize) -> Self {
+        assert!(fanout >= 4, "R-tree fan-out must be at least 4");
+        self.rtree_fanout = fanout;
+        self
+    }
+}
+
+/// Configuration of the SGB-Any operator
+/// (`GROUP BY … DISTANCE-TO-ANY [L2|LINF] WITHIN ε`).
+#[derive(Clone, Debug, PartialEq)]
+pub struct SgbAnyConfig {
+    /// Similarity threshold ε.
+    pub eps: f64,
+    /// Distance function δ.
+    pub metric: Metric,
+    /// Search strategy.
+    pub algorithm: AnyAlgorithm,
+    /// Fan-out of the on-the-fly R-tree (`Points_IX`) used by
+    /// [`AnyAlgorithm::Indexed`].
+    pub rtree_fanout: usize,
+}
+
+impl SgbAnyConfig {
+    /// A configuration with the default metric (`L2`) and algorithm
+    /// (`Indexed`).
+    pub fn new(eps: f64) -> Self {
+        assert!(eps >= 0.0 && eps.is_finite(), "epsilon must be finite and non-negative");
+        Self {
+            eps,
+            metric: Metric::default(),
+            algorithm: AnyAlgorithm::default(),
+            rtree_fanout: 12,
+        }
+    }
+
+    /// Sets the distance function.
+    pub fn metric(mut self, metric: Metric) -> Self {
+        self.metric = metric;
+        self
+    }
+
+    /// Sets the search algorithm.
+    pub fn algorithm(mut self, algorithm: AnyAlgorithm) -> Self {
+        self.algorithm = algorithm;
+        self
+    }
+
+    /// Sets the R-tree fan-out of the on-the-fly point index.
+    pub fn rtree_fanout(mut self, fanout: usize) -> Self {
+        assert!(fanout >= 4, "R-tree fan-out must be at least 4");
+        self.rtree_fanout = fanout;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overlap_keywords_round_trip() {
+        for action in [
+            OverlapAction::JoinAny,
+            OverlapAction::Eliminate,
+            OverlapAction::FormNewGroup,
+        ] {
+            assert_eq!(
+                OverlapAction::from_sql_keyword(action.sql_keyword()),
+                Some(action)
+            );
+        }
+        assert_eq!(OverlapAction::from_sql_keyword("form_new_group"), Some(OverlapAction::FormNewGroup));
+        assert_eq!(OverlapAction::from_sql_keyword("join-any"), Some(OverlapAction::JoinAny));
+        assert_eq!(OverlapAction::from_sql_keyword("drop"), None);
+    }
+
+    #[test]
+    fn builders_set_fields() {
+        let cfg = SgbAllConfig::new(0.5)
+            .metric(Metric::LInf)
+            .overlap(OverlapAction::Eliminate)
+            .algorithm(AllAlgorithm::BoundsChecking)
+            .seed(7);
+        assert_eq!(cfg.eps, 0.5);
+        assert_eq!(cfg.metric, Metric::LInf);
+        assert_eq!(cfg.overlap, OverlapAction::Eliminate);
+        assert_eq!(cfg.algorithm, AllAlgorithm::BoundsChecking);
+        assert_eq!(cfg.seed, 7);
+
+        let cfg = SgbAnyConfig::new(1.0).metric(Metric::LInf).algorithm(AnyAlgorithm::AllPairs);
+        assert_eq!(cfg.metric, Metric::LInf);
+        assert_eq!(cfg.algorithm, AnyAlgorithm::AllPairs);
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon")]
+    fn all_config_rejects_nan_eps() {
+        let _ = SgbAllConfig::new(f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon")]
+    fn any_config_rejects_negative_eps() {
+        let _ = SgbAnyConfig::new(-0.1);
+    }
+}

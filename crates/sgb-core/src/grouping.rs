@@ -1,0 +1,161 @@
+//! The answer-set representation produced by the SGB operators.
+
+/// Identifier of an input record: its zero-based position in the input
+/// stream (the order in which points were pushed into the operator).
+pub type RecordId = usize;
+
+/// The set of answer groups `Gs` produced by a similarity group-by
+/// (Definition 3), plus the records discarded by `ON-OVERLAP ELIMINATE`.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Grouping {
+    /// Output groups; each group lists its member record ids. SGB-All
+    /// reports groups in creation order with members in join order;
+    /// SGB-Any reports connected components keyed by their smallest member.
+    pub groups: Vec<Vec<RecordId>>,
+    /// Records dropped by `ON-OVERLAP ELIMINATE` (empty for the other
+    /// semantics and for SGB-Any), in elimination order.
+    pub eliminated: Vec<RecordId>,
+}
+
+impl Grouping {
+    /// Number of output groups.
+    #[inline]
+    pub fn num_groups(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Total number of records placed in groups.
+    pub fn grouped_records(&self) -> usize {
+        self.groups.iter().map(Vec::len).sum()
+    }
+
+    /// Group sizes in group order — e.g. the `{3, 2}` / `{2, 2}` /
+    /// `{2, 2, 1}` answers of Example 1.
+    pub fn sizes(&self) -> Vec<usize> {
+        self.groups.iter().map(Vec::len).collect()
+    }
+
+    /// Group sizes in descending order (order-insensitive comparisons).
+    pub fn sorted_sizes(&self) -> Vec<usize> {
+        let mut s = self.sizes();
+        s.sort_unstable_by(|a, b| b.cmp(a));
+        s
+    }
+
+    /// A canonical form: members sorted within each group, groups sorted by
+    /// first member, eliminated sorted. Two groupings are semantically equal
+    /// iff their normalized forms are equal.
+    pub fn normalized(&self) -> Grouping {
+        let mut groups: Vec<Vec<RecordId>> = self
+            .groups
+            .iter()
+            .map(|g| {
+                let mut g = g.clone();
+                g.sort_unstable();
+                g
+            })
+            .collect();
+        groups.sort();
+        let mut eliminated = self.eliminated.clone();
+        eliminated.sort_unstable();
+        Grouping { groups, eliminated }
+    }
+
+    /// Maps each record id in `0..n` to the index of the group containing
+    /// it (`None` for eliminated or never-seen records).
+    pub fn assignment(&self, n: usize) -> Vec<Option<usize>> {
+        let mut out = vec![None; n];
+        for (gi, g) in self.groups.iter().enumerate() {
+            for &r in g {
+                debug_assert!(r < n, "record id out of range");
+                debug_assert!(out[r].is_none(), "record {r} in two groups");
+                out[r] = Some(gi);
+            }
+        }
+        out
+    }
+
+    /// Asserts internal consistency for `n` input records: every record
+    /// appears in at most one group, never both grouped and eliminated.
+    /// Intended for tests.
+    pub fn check_partition(&self, n: usize) {
+        let mut seen = vec![false; n];
+        for g in &self.groups {
+            assert!(!g.is_empty(), "output groups must be non-empty");
+            for &r in g {
+                assert!(r < n, "record {r} out of range {n}");
+                assert!(!seen[r], "record {r} appears twice");
+                seen[r] = true;
+            }
+        }
+        for &r in &self.eliminated {
+            assert!(r < n, "eliminated record {r} out of range");
+            assert!(!seen[r], "record {r} both grouped and eliminated");
+            seen[r] = true;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Grouping {
+        Grouping {
+            groups: vec![vec![3, 1], vec![0, 2, 4]],
+            eliminated: vec![5],
+        }
+    }
+
+    #[test]
+    fn sizes_and_counts() {
+        let g = sample();
+        assert_eq!(g.num_groups(), 2);
+        assert_eq!(g.sizes(), vec![2, 3]);
+        assert_eq!(g.sorted_sizes(), vec![3, 2]);
+        assert_eq!(g.grouped_records(), 5);
+    }
+
+    #[test]
+    fn normalized_is_canonical() {
+        let a = sample();
+        let b = Grouping {
+            groups: vec![vec![4, 2, 0], vec![1, 3]],
+            eliminated: vec![5],
+        };
+        assert_ne!(a, b);
+        assert_eq!(a.normalized(), b.normalized());
+    }
+
+    #[test]
+    fn assignment_maps_records() {
+        let g = sample();
+        let a = g.assignment(6);
+        assert_eq!(a, vec![Some(1), Some(0), Some(1), Some(0), Some(1), None]);
+    }
+
+    #[test]
+    fn check_partition_accepts_valid() {
+        sample().check_partition(6);
+    }
+
+    #[test]
+    #[should_panic(expected = "appears twice")]
+    fn check_partition_rejects_duplicates() {
+        let g = Grouping {
+            groups: vec![vec![0, 1], vec![1]],
+            eliminated: vec![],
+        };
+        g.check_partition(2);
+    }
+
+    #[test]
+    #[should_panic(expected = "both grouped and eliminated")]
+    fn check_partition_rejects_grouped_and_eliminated() {
+        let g = Grouping {
+            groups: vec![vec![0]],
+            eliminated: vec![0],
+        };
+        g.check_partition(1);
+    }
+}

@@ -1,0 +1,57 @@
+#![warn(missing_docs)]
+
+//! # Similarity Group-By operators for multi-dimensional data
+//!
+//! This crate implements the two similarity-aware SQL group-by operators of
+//! *"Similarity Group-by Operators for Multi-dimensional Relational Data"*
+//! (Tang et al.): **SGB-All** and **SGB-Any**. Both group tuples whose
+//! grouping attributes form points in a low-dimensional metric space, using
+//! a similarity predicate `δ(a, b) ≤ ε` with δ either the Euclidean (`L2`)
+//! or maximum (`L∞`) distance.
+//!
+//! * [`SgbAll`] (*distance-to-all*) forms **maximal cliques**: every pair of
+//!   points in a group is within ε. A point matching several groups is
+//!   arbitrated by the [`OverlapAction`] (`JOIN-ANY`, `ELIMINATE`,
+//!   `FORM-NEW-GROUP`).
+//! * [`SgbAny`] (*distance-to-any*) forms **connected components**: a point
+//!   joins a group when it is within ε of at least one member; overlapping
+//!   groups merge.
+//!
+//! Both operators are *streaming*: points are processed in arrival order
+//! with filter-refine machinery (ε-All bounding rectangles, an on-the-fly
+//! R-tree, convex-hull refinement for `L2`, Union-Find for merges), and
+//! several algorithm variants are provided to reproduce the paper's
+//! baseline/optimised comparisons.
+//!
+//! ```
+//! use sgb_core::{sgb_all, sgb_any, SgbAllConfig, SgbAnyConfig};
+//! use sgb_geom::Point;
+//!
+//! let points: Vec<Point<2>> = vec![
+//!     Point::new([1.0, 1.0]),
+//!     Point::new([2.0, 2.0]),
+//!     Point::new([3.0, 3.0]),
+//!     Point::new([9.0, 9.0]),
+//! ];
+//! // Cliques of pairwise-near points (ε = 1.5, L2 by default):
+//! let all = sgb_all(&points, &SgbAllConfig::new(1.5));
+//! assert_eq!(all.sorted_sizes(), vec![2, 1, 1]);
+//! // Chain-connected components:
+//! let any = sgb_any(&points, &SgbAnyConfig::new(1.5));
+//! assert_eq!(any.sorted_sizes(), vec![3, 1]);
+//! ```
+
+pub mod aggregate;
+pub mod all;
+pub mod any;
+pub mod config;
+pub mod grouping;
+
+pub use aggregate::{aggregate_groups, collect_groups, AggregateFn, GroupAggregates};
+pub use all::{sgb_all, SgbAll};
+pub use any::{sgb_any, SgbAny};
+pub use config::{AllAlgorithm, AnyAlgorithm, OverlapAction, SgbAllConfig, SgbAnyConfig};
+pub use grouping::{Grouping, RecordId};
+
+// Re-export the geometry vocabulary so downstream users need one import.
+pub use sgb_geom::{Metric, Point, Point2, Point3, Rect};

@@ -1,0 +1,25 @@
+#![warn(missing_docs)]
+
+//! Deterministic workload generators for the SGB evaluation (Section 8.3).
+//!
+//! The paper evaluates on three datasets:
+//!
+//! * the **TPC-H benchmark** at scale factors 1–60 ([`tpch`]) — regenerated
+//!   here by a seeded generator producing the columns the evaluation
+//!   queries (Table 2) touch, with a configurable rows-per-scale-factor
+//!   density so sweeps finish on a single machine;
+//! * the **Brightkite** and **Gowalla** social check-in datasets
+//!   ([`checkin`]) — substituted by a seeded Gaussian-mixture "hotspot"
+//!   generator reproducing their spatial clusteredness (dense city centres
+//!   plus background noise), since the original SNAP downloads are not
+//!   available offline;
+//! * **synthetic multi-dimensional points** ([`synthetic`]) used for the
+//!   ε-sweep of Figure 9.
+
+pub mod checkin;
+pub mod synthetic;
+pub mod tpch;
+
+pub use checkin::{CheckinConfig, CheckinDataset};
+pub use synthetic::{clustered_points, uniform_points};
+pub use tpch::{TpchConfig, TpchData};

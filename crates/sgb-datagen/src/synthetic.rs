@@ -1,0 +1,126 @@
+//! Synthetic multi-dimensional point workloads.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use sgb_geom::Point;
+
+/// `n` points uniform in the unit hypercube (seeded).
+pub fn uniform_points<const D: usize>(n: usize, seed: u64) -> Vec<Point<D>> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let mut c = [0.0; D];
+            for v in c.iter_mut() {
+                *v = rng.gen::<f64>();
+            }
+            Point::new(c)
+        })
+        .collect()
+}
+
+/// `n` points from a Gaussian mixture of `clusters` centres (uniform in the
+/// unit hypercube) with per-coordinate standard deviation `spread`.
+/// Coordinates are clamped to `[0, 1]` so ε thresholds stay comparable
+/// across configurations. Deterministic per seed.
+pub fn clustered_points<const D: usize>(
+    n: usize,
+    clusters: usize,
+    spread: f64,
+    seed: u64,
+) -> Vec<Point<D>> {
+    assert!(clusters > 0, "need at least one cluster");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let centers: Vec<[f64; D]> = (0..clusters)
+        .map(|_| {
+            let mut c = [0.0; D];
+            for v in c.iter_mut() {
+                *v = rng.gen::<f64>();
+            }
+            c
+        })
+        .collect();
+    (0..n)
+        .map(|_| {
+            let center = centers[rng.gen_range(0..clusters)];
+            let mut c = [0.0; D];
+            for (d, v) in c.iter_mut().enumerate() {
+                *v = (center[d] + gaussian(&mut rng) * spread).clamp(0.0, 1.0);
+            }
+            Point::new(c)
+        })
+        .collect()
+}
+
+/// A standard-normal sample via the Box–Muller transform (keeps `rand` the
+/// only dependency; `rand_distr` is not in the offline set).
+pub fn gaussian(rng: &mut SmallRng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_points_in_unit_square() {
+        let pts = uniform_points::<2>(1000, 1);
+        assert_eq!(pts.len(), 1000);
+        for p in &pts {
+            assert!((0.0..=1.0).contains(&p.x()));
+            assert!((0.0..=1.0).contains(&p.y()));
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(uniform_points::<2>(50, 7), uniform_points::<2>(50, 7));
+        assert_ne!(uniform_points::<2>(50, 7), uniform_points::<2>(50, 8));
+        assert_eq!(
+            clustered_points::<2>(50, 5, 0.01, 3),
+            clustered_points::<2>(50, 5, 0.01, 3)
+        );
+    }
+
+    #[test]
+    fn clustered_points_are_clustered() {
+        // Average nearest-neighbour distance of clustered data must be far
+        // below that of uniform data at the same cardinality.
+        let n = 500;
+        let clustered = clustered_points::<2>(n, 10, 0.005, 42);
+        let uniform = uniform_points::<2>(n, 42);
+        let mean_nn = |pts: &[Point<2>]| {
+            let mut total = 0.0;
+            for (i, p) in pts.iter().enumerate() {
+                let mut best = f64::INFINITY;
+                for (j, q) in pts.iter().enumerate() {
+                    if i != j {
+                        best = best.min(p.dist_sq(q));
+                    }
+                }
+                total += best.sqrt();
+            }
+            total / pts.len() as f64
+        };
+        assert!(mean_nn(&clustered) < mean_nn(&uniform) / 2.0);
+    }
+
+    #[test]
+    fn gaussian_moments() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| gaussian(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "variance {var}");
+    }
+
+    #[test]
+    fn three_dimensional_generation() {
+        let pts = clustered_points::<3>(100, 4, 0.01, 5);
+        assert_eq!(pts.len(), 100);
+        assert!(pts.iter().all(|p| p.coords().iter().all(|c| (0.0..=1.0).contains(c))));
+    }
+}

@@ -1,0 +1,296 @@
+#![warn(missing_docs)]
+
+//! Disjoint-set union (Union-Find) over dense integer ids.
+//!
+//! SGB-Any (Section 7 of the paper) maintains its groups with "a Union-Find
+//! data structure \[19\] to keep track of existing, newly created, and merged
+//! groups": when a new point is within ε of points belonging to several
+//! groups, the groups merge into one encompassing group (Figure 8b). This
+//! crate implements the disjoint-set *forest* with path compression and
+//! union by size, giving the `O(m α(n))` amortised bound the paper's
+//! complexity analysis relies on.
+
+/// A disjoint-set forest over elements `0..len`.
+///
+/// Elements are added with [`DisjointSet::push`] (SGB processes points in
+/// arrival order, so ids are dense) or up-front with
+/// [`DisjointSet::with_len`].
+#[derive(Clone, Debug, Default)]
+pub struct DisjointSet {
+    /// parent[i] is i for roots.
+    parent: Vec<u32>,
+    /// size[i] is meaningful only for roots: the component size.
+    size: Vec<u32>,
+    /// Number of disjoint components.
+    components: usize,
+}
+
+impl DisjointSet {
+    /// An empty forest.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A forest of `len` singleton components.
+    pub fn with_len(len: usize) -> Self {
+        assert!(len <= u32::MAX as usize, "DisjointSet supports at most u32::MAX elements");
+        Self {
+            parent: (0..len as u32).collect(),
+            size: vec![1; len],
+            components: len,
+        }
+    }
+
+    /// Number of elements ever added.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// `true` when the forest has no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Number of disjoint components.
+    #[inline]
+    pub fn components(&self) -> usize {
+        self.components
+    }
+
+    /// Adds a new singleton element, returning its id.
+    pub fn push(&mut self) -> usize {
+        let id = self.parent.len();
+        assert!(id < u32::MAX as usize, "DisjointSet supports at most u32::MAX elements");
+        self.parent.push(id as u32);
+        self.size.push(1);
+        self.components += 1;
+        id
+    }
+
+    /// The canonical representative (root) of `x`'s component, with
+    /// two-pass path compression.
+    pub fn find(&mut self, x: usize) -> usize {
+        debug_assert!(x < self.parent.len());
+        // First pass: locate the root.
+        let mut root = x as u32;
+        while self.parent[root as usize] != root {
+            root = self.parent[root as usize];
+        }
+        // Second pass: compress the path.
+        let mut cur = x as u32;
+        while self.parent[cur as usize] != root {
+            let next = self.parent[cur as usize];
+            self.parent[cur as usize] = root;
+            cur = next;
+        }
+        root as usize
+    }
+
+    /// Root lookup without mutation (no compression); useful when only a
+    /// shared reference is available.
+    pub fn find_immutable(&self, x: usize) -> usize {
+        let mut cur = x as u32;
+        while self.parent[cur as usize] != cur {
+            cur = self.parent[cur as usize];
+        }
+        cur as usize
+    }
+
+    /// Merges the components of `a` and `b` (`MergeGroupsInsert`'s core).
+    /// Returns the root of the merged component. Union by size keeps the
+    /// forest shallow.
+    pub fn union(&mut self, a: usize, b: usize) -> usize {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        if ra == rb {
+            return ra;
+        }
+        let (big, small) = if self.size[ra] >= self.size[rb] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        self.parent[small] = big as u32;
+        self.size[big] += self.size[small];
+        self.components -= 1;
+        big
+    }
+
+    /// `true` when `a` and `b` are in the same component.
+    pub fn connected(&mut self, a: usize, b: usize) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Size of `x`'s component.
+    pub fn component_size(&mut self, x: usize) -> usize {
+        let r = self.find(x);
+        self.size[r] as usize
+    }
+
+    /// Groups all elements by component, returning one `Vec` of member ids
+    /// per component. Members appear in increasing id order; component order
+    /// follows the smallest member id. This materialises the final SGB-Any
+    /// answer groups.
+    pub fn into_groups(mut self) -> Vec<Vec<usize>> {
+        let n = self.parent.len();
+        let mut by_root: Vec<Vec<usize>> = Vec::new();
+        let mut root_slot: Vec<u32> = vec![u32::MAX; n];
+        for x in 0..n {
+            let r = self.find(x);
+            let slot = if root_slot[r] == u32::MAX {
+                root_slot[r] = by_root.len() as u32;
+                by_root.push(Vec::new());
+                by_root.len() - 1
+            } else {
+                root_slot[r] as usize
+            };
+            by_root[slot].push(x);
+        }
+        by_root
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_elements_are_singletons() {
+        let mut dsu = DisjointSet::with_len(4);
+        assert_eq!(dsu.components(), 4);
+        for i in 0..4 {
+            assert_eq!(dsu.find(i), i);
+            assert_eq!(dsu.component_size(i), 1);
+        }
+    }
+
+    #[test]
+    fn union_merges_and_counts() {
+        let mut dsu = DisjointSet::with_len(5);
+        dsu.union(0, 1);
+        dsu.union(2, 3);
+        assert_eq!(dsu.components(), 3);
+        assert!(dsu.connected(0, 1));
+        assert!(!dsu.connected(0, 2));
+        dsu.union(1, 3);
+        assert_eq!(dsu.components(), 2);
+        assert!(dsu.connected(0, 2));
+        assert_eq!(dsu.component_size(3), 4);
+        assert!(!dsu.connected(0, 4));
+    }
+
+    #[test]
+    fn union_is_idempotent() {
+        let mut dsu = DisjointSet::with_len(3);
+        let r1 = dsu.union(0, 1);
+        let r2 = dsu.union(0, 1);
+        assert_eq!(r1, r2);
+        assert_eq!(dsu.components(), 2);
+    }
+
+    #[test]
+    fn push_grows_forest() {
+        let mut dsu = DisjointSet::new();
+        assert!(dsu.is_empty());
+        let a = dsu.push();
+        let b = dsu.push();
+        assert_eq!((a, b), (0, 1));
+        assert_eq!(dsu.len(), 2);
+        assert_eq!(dsu.components(), 2);
+        dsu.union(a, b);
+        assert_eq!(dsu.components(), 1);
+    }
+
+    #[test]
+    fn find_immutable_agrees_with_find() {
+        let mut dsu = DisjointSet::with_len(6);
+        dsu.union(0, 1);
+        dsu.union(1, 2);
+        dsu.union(4, 5);
+        for i in 0..6 {
+            assert_eq!(dsu.find_immutable(i), dsu.clone().find(i));
+        }
+    }
+
+    #[test]
+    fn into_groups_materialises_components() {
+        let mut dsu = DisjointSet::with_len(6);
+        dsu.union(0, 2);
+        dsu.union(2, 4);
+        dsu.union(1, 5);
+        let groups = dsu.into_groups();
+        assert_eq!(groups, vec![vec![0, 2, 4], vec![1, 5], vec![3]]);
+    }
+
+    #[test]
+    fn fig8b_merge_example() {
+        // Figure 8b: x is within ε of members of g1 {a1,a2,a3}, g2 {c1,c2,c3}
+        // and g3 {b1,b2}; all three merge into one group; g4 {d1,d2} stays.
+        // ids: a1..a3 = 0..2, c1..c3 = 3..5, b1..b2 = 6..7, d1..d2 = 8..9, x = 10.
+        let mut dsu = DisjointSet::with_len(11);
+        dsu.union(0, 1);
+        dsu.union(0, 2);
+        dsu.union(3, 4);
+        dsu.union(3, 5);
+        dsu.union(6, 7);
+        dsu.union(8, 9);
+        assert_eq!(dsu.components(), 5);
+        // x arrives: merge g1, g2, g3 with x.
+        for neighbour in [0, 3, 6] {
+            dsu.union(10, neighbour);
+        }
+        assert_eq!(dsu.components(), 2);
+        assert_eq!(dsu.component_size(10), 9);
+        assert_eq!(dsu.component_size(8), 2);
+    }
+
+    #[test]
+    fn path_compression_flattens() {
+        let mut dsu = DisjointSet::with_len(64);
+        // Build a chain by always unioning into the larger side.
+        for i in 1..64 {
+            dsu.union(i - 1, i);
+        }
+        let root = dsu.find(63);
+        // After compression every node points straight at the root.
+        for i in 0..64 {
+            let _ = dsu.find(i);
+            assert_eq!(dsu.parent[i], root as u32);
+        }
+    }
+
+    #[test]
+    fn randomised_against_naive_labels() {
+        // DSU must agree with a naive O(n²) label-propagation model.
+        let mut dsu = DisjointSet::with_len(40);
+        let mut labels: Vec<usize> = (0..40).collect();
+        // Deterministic pseudo-random unions (LCG to avoid a rand dep here).
+        let mut state: u64 = 0x9E3779B97F4A7C15;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as usize
+        };
+        for _ in 0..80 {
+            let a = next() % 40;
+            let b = next() % 40;
+            dsu.union(a, b);
+            let (la, lb) = (labels[a], labels[b]);
+            if la != lb {
+                for l in labels.iter_mut() {
+                    if *l == lb {
+                        *l = la;
+                    }
+                }
+            }
+        }
+        for a in 0..40 {
+            for b in 0..40 {
+                assert_eq!(dsu.connected(a, b), labels[a] == labels[b]);
+            }
+        }
+        let distinct: std::collections::HashSet<_> = labels.iter().collect();
+        assert_eq!(dsu.components(), distinct.len());
+    }
+}

@@ -1,0 +1,349 @@
+//! 2-D convex hulls for the `L2` false-positive refinement (Section 6.4).
+//!
+//! Under the `L2` metric the ε-All bounding rectangle of a group admits
+//! false positives (the grey zone of Figure 7b). The paper refines them with
+//! the *Convex Hull Test* (Procedure 6): a candidate point `p`
+//!
+//! * inside the group's convex hull is guaranteed similar to all members
+//!   (the hull diameter of a valid group is at most ε, so every interior
+//!   point is within ε of every member);
+//! * outside the hull is similar to all members iff its distance to the
+//!   *farthest hull vertex* is at most ε (the farthest group member from any
+//!   query point is always a hull vertex).
+
+use crate::{Metric, Point};
+
+/// The convex hull of a set of 2-D points, stored in counter-clockwise
+/// order starting from the lexicographically smallest vertex.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ConvexHull {
+    /// CCW vertices; collinear interior points are dropped. For degenerate
+    /// inputs this may hold one (single point) or two (segment) vertices.
+    vertices: Vec<Point<2>>,
+}
+
+impl ConvexHull {
+    /// Builds the hull of `points` with Andrew's monotone chain,
+    /// `O(k log k)` (`getConvexHull(g)` in Procedure 6).
+    ///
+    /// Returns an empty hull for an empty input.
+    pub fn build(points: &[Point<2>]) -> Self {
+        let mut pts: Vec<Point<2>> = points.to_vec();
+        pts.sort_by(|a, b| {
+            a.x()
+                .partial_cmp(&b.x())
+                .unwrap()
+                .then(a.y().partial_cmp(&b.y()).unwrap())
+        });
+        pts.dedup();
+        if pts.len() <= 2 {
+            return Self { vertices: pts };
+        }
+
+        let mut hull: Vec<Point<2>> = Vec::with_capacity(pts.len() + 1);
+        // Lower chain.
+        for p in &pts {
+            while hull.len() >= 2
+                && Point::cross(&hull[hull.len() - 2], &hull[hull.len() - 1], p) <= 0.0
+            {
+                hull.pop();
+            }
+            hull.push(*p);
+        }
+        // Upper chain.
+        let lower_len = hull.len() + 1;
+        for p in pts.iter().rev() {
+            while hull.len() >= lower_len
+                && Point::cross(&hull[hull.len() - 2], &hull[hull.len() - 1], p) <= 0.0
+            {
+                hull.pop();
+            }
+            hull.push(*p);
+        }
+        hull.pop(); // last point repeats the first
+        if hull.len() <= 1 {
+            // All input points collinear: monotone chain collapses; keep the
+            // two extremes so the segment geometry survives.
+            let first = *pts.first().unwrap();
+            let last = *pts.last().unwrap();
+            let vertices = if first == last { vec![first] } else { vec![first, last] };
+            return Self { vertices };
+        }
+        Self { vertices: hull }
+    }
+
+    /// Number of hull vertices (the paper's `h`, expected `O(log k)` for
+    /// random inputs).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// `true` when the hull has no vertices.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.vertices.is_empty()
+    }
+
+    /// Hull vertices in CCW order.
+    #[inline]
+    pub fn vertices(&self) -> &[Point<2>] {
+        &self.vertices
+    }
+
+    /// `true` when `p` lies inside or on the hull (Procedure 6, line 2).
+    ///
+    /// `O(log h)` via binary search on the triangle fan rooted at
+    /// `vertices[0]`.
+    pub fn contains(&self, p: &Point<2>) -> bool {
+        let v = &self.vertices;
+        match v.len() {
+            0 => false,
+            1 => v[0] == *p,
+            2 => {
+                // On-segment test for the degenerate (collinear) hull.
+                if Point::cross(&v[0], &v[1], p) != 0.0 {
+                    return false;
+                }
+                let (lo_x, hi_x) = (v[0].x().min(v[1].x()), v[0].x().max(v[1].x()));
+                let (lo_y, hi_y) = (v[0].y().min(v[1].y()), v[0].y().max(v[1].y()));
+                lo_x <= p.x() && p.x() <= hi_x && lo_y <= p.y() && p.y() <= hi_y
+            }
+            n => {
+                // p must be inside the fan sector [v0→v1, v0→v_{n-1}].
+                if Point::cross(&v[0], &v[1], p) < 0.0 || Point::cross(&v[0], &v[n - 1], p) > 0.0 {
+                    return false;
+                }
+                // Binary search for the sector v0, v[i], v[i+1] containing p.
+                let (mut lo, mut hi) = (1, n - 1);
+                while hi - lo > 1 {
+                    let mid = (lo + hi) / 2;
+                    if Point::cross(&v[0], &v[mid], p) >= 0.0 {
+                        lo = mid;
+                    } else {
+                        hi = mid;
+                    }
+                }
+                Point::cross(&v[lo], &v[lo + 1], p) >= 0.0
+            }
+        }
+    }
+
+    /// The hull vertex farthest from `p` under `metric`, with its distance
+    /// (`getMaxDistElem` in Procedure 6). Linear in the hull size; hulls of
+    /// valid ε-groups are tiny (`h ≈ log k`), so this matches the paper's
+    /// `O(log k)` cost in practice without the fragile unimodality
+    /// assumption a ternary search would need.
+    pub fn farthest_from(&self, p: &Point<2>, metric: Metric) -> Option<(Point<2>, f64)> {
+        self.vertices
+            .iter()
+            .map(|v| (*v, metric.distance(v, p)))
+            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+    }
+
+    /// Hull diameter (largest pairwise vertex distance) under `metric`, via
+    /// rotating calipers for `L2` on proper hulls, falling back to the
+    /// quadratic scan for tiny/degenerate hulls and `L∞`.
+    ///
+    /// The SGB-All invariant (Section 6.4) is `diameter ≤ ε`; the test
+    /// suites use this to validate every output group.
+    pub fn diameter(&self, metric: Metric) -> f64 {
+        let v = &self.vertices;
+        let n = v.len();
+        if n < 2 {
+            return 0.0;
+        }
+        if metric == Metric::LInf || n <= 3 {
+            let mut best: f64 = 0.0;
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    best = best.max(metric.distance(&v[i], &v[j]));
+                }
+            }
+            return best;
+        }
+        // Rotating calipers over antipodal pairs.
+        let area2 = |a: &Point<2>, b: &Point<2>, c: &Point<2>| Point::cross(a, b, c).abs();
+        let mut best = 0.0f64;
+        let mut j = 1;
+        for i in 0..n {
+            let ni = (i + 1) % n;
+            while area2(&v[i], &v[ni], &v[(j + 1) % n]) > area2(&v[i], &v[ni], &v[j]) {
+                j = (j + 1) % n;
+            }
+            best = best.max(v[i].dist_l2(&v[j]));
+            best = best.max(v[ni].dist_l2(&v[j]));
+        }
+        best
+    }
+
+    /// The Convex Hull Test of Procedure 6: `true` when `p` genuinely
+    /// satisfies the similarity predicate against *all* group members
+    /// (i.e. `p` is not a false positive of the rectangle filter).
+    ///
+    /// The farthest-vertex branch evaluates [`Metric::within`] — the same
+    /// floating-point expression the member-scan path uses — so the two
+    /// exact checks cannot disagree on boundary-tied distances.
+    pub fn admits(&self, p: &Point<2>, eps: f64, metric: Metric) -> bool {
+        if self.is_empty() {
+            return true;
+        }
+        if self.contains(p) {
+            return true;
+        }
+        match self.farthest_from(p, metric) {
+            Some((far, _)) => metric.within(&far, p, eps),
+            None => true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(x: f64, y: f64) -> Point<2> {
+        Point::new([x, y])
+    }
+
+    #[test]
+    fn hull_of_square_with_interior_points() {
+        let pts = [
+            p(0.0, 0.0),
+            p(2.0, 0.0),
+            p(2.0, 2.0),
+            p(0.0, 2.0),
+            p(1.0, 1.0),  // interior
+            p(1.0, 0.0),  // edge-collinear
+            p(0.5, 1.9),  // interior
+        ];
+        let h = ConvexHull::build(&pts);
+        assert_eq!(h.len(), 4);
+        let vs = h.vertices();
+        assert!(vs.contains(&p(0.0, 0.0)));
+        assert!(vs.contains(&p(2.0, 0.0)));
+        assert!(vs.contains(&p(2.0, 2.0)));
+        assert!(vs.contains(&p(0.0, 2.0)));
+        assert!(!vs.contains(&p(1.0, 1.0)));
+    }
+
+    #[test]
+    fn hull_vertices_are_ccw() {
+        let pts = [p(0.0, 0.0), p(3.0, 1.0), p(2.0, 4.0), p(-1.0, 2.0), p(1.0, 1.5)];
+        let h = ConvexHull::build(&pts);
+        let v = h.vertices();
+        for i in 0..v.len() {
+            let a = &v[i];
+            let b = &v[(i + 1) % v.len()];
+            let c = &v[(i + 2) % v.len()];
+            assert!(Point::cross(a, b, c) > 0.0, "vertices must turn left");
+        }
+    }
+
+    #[test]
+    fn degenerate_hulls() {
+        assert!(ConvexHull::build(&[]).is_empty());
+        let single = ConvexHull::build(&[p(1.0, 1.0), p(1.0, 1.0)]);
+        assert_eq!(single.len(), 1);
+        assert!(single.contains(&p(1.0, 1.0)));
+        assert!(!single.contains(&p(1.0, 1.1)));
+        let seg = ConvexHull::build(&[p(0.0, 0.0), p(1.0, 1.0), p(2.0, 2.0)]);
+        assert_eq!(seg.len(), 2);
+        assert!(seg.contains(&p(1.5, 1.5)));
+        assert!(!seg.contains(&p(1.5, 1.6)));
+        assert!(!seg.contains(&p(3.0, 3.0)));
+        assert_eq!(seg.diameter(Metric::L2), 8.0f64.sqrt());
+    }
+
+    #[test]
+    fn containment_matches_halfplane_definition() {
+        let pts = [p(0.0, 0.0), p(4.0, 0.0), p(4.0, 3.0), p(0.0, 3.0), p(2.0, 5.0)];
+        let h = ConvexHull::build(&pts);
+        let inside = [p(2.0, 1.0), p(0.0, 0.0), p(2.0, 4.9), p(4.0, 3.0), p(2.0, 0.0)];
+        let outside = [p(-0.1, 0.0), p(4.1, 1.0), p(0.5, 4.5), p(2.0, 5.1), p(5.0, 5.0)];
+        for q in inside {
+            assert!(h.contains(&q), "{q:?} should be inside");
+        }
+        for q in outside {
+            assert!(!h.contains(&q), "{q:?} should be outside");
+        }
+    }
+
+    #[test]
+    fn farthest_vertex_is_true_farthest_member() {
+        // The farthest point of a set from any query is always on the hull.
+        let pts = [p(0.0, 0.0), p(2.0, 0.5), p(1.0, 1.0), p(0.5, 2.0), p(2.0, 2.0)];
+        let h = ConvexHull::build(&pts);
+        let q = p(-1.0, -1.0);
+        let (far, d) = h.farthest_from(&q, Metric::L2).unwrap();
+        assert_eq!(far, p(2.0, 2.0));
+        let brute = pts
+            .iter()
+            .map(|m| m.dist_l2(&q))
+            .fold(0.0f64, f64::max);
+        assert!((d - brute).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fig7c_convex_hull_test() {
+        // Figure 7c: group hull a1..a5, ε = 6. Interior point y passes; the
+        // outside point x passes iff its farthest hull vertex is within ε.
+        let hull_pts = [p(4.0, 3.0), p(7.0, 2.0), p(9.0, 4.0), p(8.0, 6.0), p(5.0, 6.0)];
+        let h = ConvexHull::build(&hull_pts);
+        assert_eq!(h.len(), 5);
+        let y = p(6.5, 4.0); // interior
+        assert!(h.contains(&y));
+        assert!(h.admits(&y, 6.0, Metric::L2));
+        let x = p(10.0, 7.0); // outside, farthest vertex a1=(4,3): dist ≈ 7.2
+        assert!(!h.contains(&x));
+        assert!(!h.admits(&x, 6.0, Metric::L2));
+        let x2 = p(9.5, 4.5); // outside but close to everything
+        assert!(!h.contains(&x2));
+        assert!(h.admits(&x2, 6.0, Metric::L2));
+    }
+
+    #[test]
+    fn diameter_rotating_calipers_matches_brute_force() {
+        let pts = [
+            p(0.0, 0.0),
+            p(5.0, 1.0),
+            p(6.0, 4.0),
+            p(3.0, 6.0),
+            p(-1.0, 4.0),
+            p(-2.0, 1.0),
+            p(2.0, 3.0),
+        ];
+        let h = ConvexHull::build(&pts);
+        let mut brute: f64 = 0.0;
+        for i in 0..pts.len() {
+            for j in (i + 1)..pts.len() {
+                brute = brute.max(pts[i].dist_l2(&pts[j]));
+            }
+        }
+        assert!((h.diameter(Metric::L2) - brute).abs() < 1e-12);
+        // L∞ diameter too.
+        let mut brute_inf: f64 = 0.0;
+        for i in 0..pts.len() {
+            for j in (i + 1)..pts.len() {
+                brute_inf = brute_inf.max(pts[i].dist_linf(&pts[j]));
+            }
+        }
+        assert!((h.diameter(Metric::LInf) - brute_inf).abs() < 1e-12);
+    }
+
+    #[test]
+    fn admits_equals_all_pairs_check() {
+        // admits(p) must equal "p within ε of every member" for points that
+        // passed the rectangle filter — here checked for arbitrary probes.
+        let members = [p(0.0, 0.0), p(1.0, 0.2), p(0.4, 0.9), p(0.8, 0.8), p(0.2, 0.4)];
+        let h = ConvexHull::build(&members);
+        let eps = 1.3;
+        for xi in -8..=16 {
+            for yi in -8..=16 {
+                let q = p(xi as f64 * 0.125, yi as f64 * 0.125);
+                let truth = members.iter().all(|m| Metric::L2.within(m, &q, eps));
+                assert_eq!(h.admits(&q, eps, Metric::L2), truth, "probe {q:?}");
+            }
+        }
+    }
+}

@@ -1,0 +1,41 @@
+#![warn(missing_docs)]
+
+//! Geometry primitives underlying the similarity group-by (SGB) operators.
+//!
+//! The paper ("Similarity Group-by Operators for Multi-dimensional Relational
+//! Data", Tang et al.) works over a metric space `〈D, δ〉` (Definition 1)
+//! where `δ` is a Minkowski distance — either Euclidean (`L2`) or maximum
+//! (`L∞`) — and views each tuple's grouping attributes as a point in a low
+//! dimensional space (two or three dimensions).
+//!
+//! This crate provides those building blocks:
+//!
+//! * [`Point`] — a `D`-dimensional point (const-generic over the dimension),
+//! * [`Metric`] — the `L2` / `L∞` distance functions and the similarity
+//!   predicate `ξ(δ, ε)` of Definition 2,
+//! * [`Rect`] — axis-aligned rectangles used both as group MBRs and as the
+//!   ε-All *allowed regions* of Definition 5,
+//! * [`EpsAllRegion`] — the incrementally maintained ε-All bounding
+//!   rectangle of a group (Section 6.3),
+//! * [`hull`] — 2-D convex hulls used by the false-positive refinement step
+//!   for `L2` (Section 6.4).
+
+pub mod hull;
+pub mod metric;
+pub mod point;
+pub mod rect;
+
+pub use hull::ConvexHull;
+pub use metric::Metric;
+pub use point::Point;
+pub use rect::{EpsAllRegion, Rect};
+
+/// A 2-dimensional point, the common case throughout the paper.
+pub type Point2 = Point<2>;
+/// A 3-dimensional point ("we mainly focus on two and three dimensional
+/// data space", Section 1).
+pub type Point3 = Point<3>;
+/// A 2-dimensional rectangle.
+pub type Rect2 = Rect<2>;
+/// A 3-dimensional box.
+pub type Rect3 = Rect<3>;

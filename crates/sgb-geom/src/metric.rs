@@ -1,0 +1,127 @@
+//! Minkowski distance functions and the similarity predicate.
+
+use crate::Point;
+
+/// The distance function `δ` of the metric space (Definition 1).
+///
+/// The paper considers two Minkowski distances (Section 3):
+///
+/// * [`Metric::L2`] — the Euclidean distance
+///   `δ2(pi, pj) = sqrt(Σ_y (piy − pjy)²)`, selected in SQL with `L2`;
+/// * [`Metric::LInf`] — the maximum distance
+///   `δ∞(pi, pj) = max_y |piy − pjy|`, selected in SQL with `LINF`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub enum Metric {
+    /// Euclidean distance.
+    #[default]
+    L2,
+    /// Maximum (Chebyshev / `L∞`) distance.
+    LInf,
+}
+
+impl Metric {
+    /// The distance `δ(a, b)` under this metric.
+    #[inline]
+    pub fn distance<const D: usize>(&self, a: &Point<D>, b: &Point<D>) -> f64 {
+        match self {
+            Metric::L2 => a.dist_l2(b),
+            Metric::LInf => a.dist_linf(b),
+        }
+    }
+
+    /// The similarity predicate `ξ(δ, ε)(a, b) : δ(a, b) ≤ ε`
+    /// (Definition 2).
+    ///
+    /// For `L2` the comparison is done on squared distances so the hot path
+    /// avoids a square root per pair.
+    #[inline]
+    pub fn within<const D: usize>(&self, a: &Point<D>, b: &Point<D>, eps: f64) -> bool {
+        match self {
+            Metric::L2 => a.dist_sq(b) <= eps * eps,
+            Metric::LInf => a.dist_linf(b) <= eps,
+        }
+    }
+
+    /// The SQL keyword for this metric in the paper's grammar
+    /// (`DISTANCE-TO-ALL [L2 | LINF]`).
+    pub fn sql_keyword(&self) -> &'static str {
+        match self {
+            Metric::L2 => "L2",
+            Metric::LInf => "LINF",
+        }
+    }
+
+    /// Parses the SQL keyword (case-insensitive). Accepts the paper's
+    /// prose variants `lone`/`ltwo` (Table 2) as well.
+    pub fn from_sql_keyword(word: &str) -> Option<Self> {
+        match word.to_ascii_uppercase().as_str() {
+            "L2" | "LTWO" => Some(Metric::L2),
+            "LINF" | "LONE" | "L_INF" | "LINFINITY" => Some(Metric::LInf),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_dispatch() {
+        let a = Point::new([0.0, 0.0]);
+        let b = Point::new([3.0, 4.0]);
+        assert_eq!(Metric::L2.distance(&a, &b), 5.0);
+        assert_eq!(Metric::LInf.distance(&a, &b), 4.0);
+    }
+
+    #[test]
+    fn predicate_is_inclusive_at_epsilon() {
+        // Definition 2 uses δ(pi, pj) ≤ ε, i.e. the boundary is similar.
+        let a = Point::new([0.0, 0.0]);
+        let b = Point::new([3.0, 0.0]);
+        assert!(Metric::L2.within(&a, &b, 3.0));
+        assert!(Metric::LInf.within(&a, &b, 3.0));
+        assert!(!Metric::L2.within(&a, &b, 2.999));
+        assert!(!Metric::LInf.within(&a, &b, 2.999));
+    }
+
+    #[test]
+    fn fig1_clique_points_are_pairwise_similar() {
+        // Figure 1a: points a–e form a clique under ε = 3.
+        let pts = [
+            Point::new([1.0, 2.0]),
+            Point::new([2.0, 4.0]),
+            Point::new([3.0, 2.5]),
+            Point::new([2.5, 1.5]),
+            Point::new([1.5, 3.0]),
+        ];
+        for i in 0..pts.len() {
+            for j in 0..pts.len() {
+                assert!(Metric::L2.within(&pts[i], &pts[j], 3.0));
+            }
+        }
+    }
+
+    #[test]
+    fn sql_keyword_round_trip() {
+        assert_eq!(Metric::from_sql_keyword("l2"), Some(Metric::L2));
+        assert_eq!(Metric::from_sql_keyword("LINF"), Some(Metric::LInf));
+        assert_eq!(Metric::from_sql_keyword("lone"), Some(Metric::LInf));
+        assert_eq!(Metric::from_sql_keyword("ltwo"), Some(Metric::L2));
+        assert_eq!(Metric::from_sql_keyword("cosine"), None);
+        assert_eq!(Metric::L2.sql_keyword(), "L2");
+        assert_eq!(Metric::LInf.sql_keyword(), "LINF");
+    }
+
+    #[test]
+    fn within_matches_distance_for_both_metrics() {
+        let a = Point::new([1.0, -2.0, 0.5]);
+        let b = Point::new([4.0, 2.0, -1.0]);
+        for metric in [Metric::L2, Metric::LInf] {
+            let d = metric.distance(&a, &b);
+            assert!(metric.within(&a, &b, d));
+            assert!(metric.within(&a, &b, d + 1e-9));
+            assert!(!metric.within(&a, &b, d - 1e-9));
+        }
+    }
+}

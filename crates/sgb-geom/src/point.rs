@@ -1,0 +1,271 @@
+//! `D`-dimensional points.
+
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// A point in `D`-dimensional Euclidean space.
+///
+/// The paper treats the grouping attributes of a tuple as a point
+/// `p : 〈x1, …, xd〉` (Section 3). `D` is a compile-time constant because the
+/// SGB operators are instantiated for a fixed set of grouping attributes.
+#[derive(Clone, Copy, PartialEq)]
+pub struct Point<const D: usize> {
+    coords: [f64; D],
+}
+
+impl<const D: usize> Point<D> {
+    /// Creates a point from its coordinates.
+    #[inline]
+    pub const fn new(coords: [f64; D]) -> Self {
+        Self { coords }
+    }
+
+    /// The origin (all coordinates zero).
+    #[inline]
+    pub const fn origin() -> Self {
+        Self { coords: [0.0; D] }
+    }
+
+    /// The number of dimensions.
+    #[inline]
+    pub const fn dims(&self) -> usize {
+        D
+    }
+
+    /// Coordinate along dimension `d`.
+    #[inline]
+    pub fn coord(&self, d: usize) -> f64 {
+        self.coords[d]
+    }
+
+    /// All coordinates as a slice.
+    #[inline]
+    pub fn coords(&self) -> &[f64; D] {
+        &self.coords
+    }
+
+    /// Returns `true` if every coordinate is finite (not NaN/±∞).
+    ///
+    /// The SGB operators require finite inputs; non-finite coordinates break
+    /// the bounding-rectangle invariants of Section 6.3.
+    #[inline]
+    pub fn is_finite(&self) -> bool {
+        self.coords.iter().all(|c| c.is_finite())
+    }
+
+    /// Component-wise minimum of two points.
+    #[inline]
+    pub fn min(&self, other: &Self) -> Self {
+        let mut out = [0.0; D];
+        for (d, v) in out.iter_mut().enumerate() {
+            *v = self.coords[d].min(other.coords[d]);
+        }
+        Self::new(out)
+    }
+
+    /// Component-wise maximum of two points.
+    #[inline]
+    pub fn max(&self, other: &Self) -> Self {
+        let mut out = [0.0; D];
+        for (d, v) in out.iter_mut().enumerate() {
+            *v = self.coords[d].max(other.coords[d]);
+        }
+        Self::new(out)
+    }
+
+    /// Squared Euclidean distance to `other`.
+    ///
+    /// Kept separate from [`crate::Metric::distance`] so hot paths can avoid
+    /// the square root: comparisons against a threshold `ε` use
+    /// `dist_sq ≤ ε²`.
+    #[inline]
+    pub fn dist_sq(&self, other: &Self) -> f64 {
+        let mut acc = 0.0;
+        for d in 0..D {
+            let diff = self.coords[d] - other.coords[d];
+            acc += diff * diff;
+        }
+        acc
+    }
+
+    /// Euclidean (`L2`) distance to `other`.
+    #[inline]
+    pub fn dist_l2(&self, other: &Self) -> f64 {
+        self.dist_sq(other).sqrt()
+    }
+
+    /// Maximum (`L∞` / Chebyshev) distance to `other`.
+    #[inline]
+    pub fn dist_linf(&self, other: &Self) -> f64 {
+        let mut acc: f64 = 0.0;
+        for d in 0..D {
+            acc = acc.max((self.coords[d] - other.coords[d]).abs());
+        }
+        acc
+    }
+}
+
+impl Point<2> {
+    /// X coordinate of a 2-D point.
+    #[inline]
+    pub fn x(&self) -> f64 {
+        self.coords[0]
+    }
+
+    /// Y coordinate of a 2-D point.
+    #[inline]
+    pub fn y(&self) -> f64 {
+        self.coords[1]
+    }
+
+    /// Twice the signed area of triangle `(a, b, c)`.
+    ///
+    /// Positive when `c` lies to the left of the directed line `a → b`;
+    /// the workhorse of the convex-hull routines.
+    #[inline]
+    pub fn cross(a: &Self, b: &Self, c: &Self) -> f64 {
+        (b.x() - a.x()) * (c.y() - a.y()) - (b.y() - a.y()) * (c.x() - a.x())
+    }
+}
+
+impl<const D: usize> Index<usize> for Point<D> {
+    type Output = f64;
+
+    #[inline]
+    fn index(&self, d: usize) -> &f64 {
+        &self.coords[d]
+    }
+}
+
+impl<const D: usize> IndexMut<usize> for Point<D> {
+    #[inline]
+    fn index_mut(&mut self, d: usize) -> &mut f64 {
+        &mut self.coords[d]
+    }
+}
+
+impl<const D: usize> From<[f64; D]> for Point<D> {
+    #[inline]
+    fn from(coords: [f64; D]) -> Self {
+        Self::new(coords)
+    }
+}
+
+impl From<(f64, f64)> for Point<2> {
+    #[inline]
+    fn from((x, y): (f64, f64)) -> Self {
+        Self::new([x, y])
+    }
+}
+
+impl<const D: usize> fmt::Debug for Point<D> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p(")?;
+        for (i, c) in self.coords.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{c}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl<const D: usize> fmt::Display for Point<D> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors_and_dims() {
+        let p = Point::new([1.0, 2.0, 3.0]);
+        assert_eq!(p.dims(), 3);
+        assert_eq!(p.coord(0), 1.0);
+        assert_eq!(p.coord(2), 3.0);
+        assert_eq!(p[1], 2.0);
+    }
+
+    #[test]
+    fn origin_is_all_zero() {
+        let p = Point::<4>::origin();
+        assert!(p.coords().iter().all(|&c| c == 0.0));
+    }
+
+    #[test]
+    fn l2_distance_matches_hand_computation() {
+        let a = Point::new([0.0, 0.0]);
+        let b = Point::new([3.0, 4.0]);
+        assert_eq!(a.dist_l2(&b), 5.0);
+        assert_eq!(a.dist_sq(&b), 25.0);
+    }
+
+    #[test]
+    fn linf_distance_takes_max_coordinate_gap() {
+        let a = Point::new([0.0, 0.0]);
+        let b = Point::new([3.0, -4.0]);
+        assert_eq!(a.dist_linf(&b), 4.0);
+    }
+
+    #[test]
+    fn distances_are_symmetric() {
+        let a = Point::new([1.5, -2.0, 7.0]);
+        let b = Point::new([-3.0, 0.25, 2.0]);
+        assert_eq!(a.dist_l2(&b), b.dist_l2(&a));
+        assert_eq!(a.dist_linf(&b), b.dist_linf(&a));
+    }
+
+    #[test]
+    fn distance_to_self_is_zero() {
+        let a = Point::new([9.0, -1.0]);
+        assert_eq!(a.dist_l2(&a), 0.0);
+        assert_eq!(a.dist_linf(&a), 0.0);
+    }
+
+    #[test]
+    fn linf_never_exceeds_l2() {
+        let a = Point::new([0.3, 1.7, -9.2]);
+        let b = Point::new([4.4, -3.3, 2.2]);
+        assert!(a.dist_linf(&b) <= a.dist_l2(&b));
+    }
+
+    #[test]
+    fn componentwise_min_max() {
+        let a = Point::new([1.0, 5.0]);
+        let b = Point::new([3.0, 2.0]);
+        assert_eq!(a.min(&b), Point::new([1.0, 2.0]));
+        assert_eq!(a.max(&b), Point::new([3.0, 5.0]));
+    }
+
+    #[test]
+    fn cross_product_orientation() {
+        let a = Point::new([0.0, 0.0]);
+        let b = Point::new([1.0, 0.0]);
+        let left = Point::new([0.5, 1.0]);
+        let right = Point::new([0.5, -1.0]);
+        let on = Point::new([2.0, 0.0]);
+        assert!(Point::cross(&a, &b, &left) > 0.0);
+        assert!(Point::cross(&a, &b, &right) < 0.0);
+        assert_eq!(Point::cross(&a, &b, &on), 0.0);
+    }
+
+    #[test]
+    fn finite_detection() {
+        assert!(Point::new([1.0, 2.0]).is_finite());
+        assert!(!Point::new([f64::NAN, 0.0]).is_finite());
+        assert!(!Point::new([0.0, f64::INFINITY]).is_finite());
+    }
+
+    #[test]
+    fn conversions() {
+        let p: Point<2> = (1.0, 2.0).into();
+        assert_eq!(p, Point::new([1.0, 2.0]));
+        let q: Point<3> = [1.0, 2.0, 3.0].into();
+        assert_eq!(q.coord(2), 3.0);
+        assert_eq!(format!("{q}"), "p(1, 2, 3)");
+    }
+}

@@ -1,0 +1,608 @@
+//! Axis-aligned rectangles: group MBRs and ε-All allowed regions.
+
+use crate::{Metric, Point};
+
+/// An axis-aligned `D`-dimensional rectangle `[lo, hi]` (inclusive bounds).
+///
+/// Rectangles appear in three roles in the paper:
+///
+/// * the *minimum bounding rectangle* (MBR) of a group's points,
+/// * the side-`2ε` window centred on a new point that drives window queries
+///   on the on-the-fly index (Procedures 5 and 8),
+/// * the ε-All *allowed region* of Definition 5 (see [`EpsAllRegion`]).
+///
+/// A rectangle may be *empty* (some `lo[d] > hi[d]`): ε-All regions shrink
+/// as members join a group and can vanish entirely.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Rect<const D: usize> {
+    lo: Point<D>,
+    hi: Point<D>,
+}
+
+impl<const D: usize> Rect<D> {
+    /// Creates a rectangle from its corner points. `lo` need not be below
+    /// `hi`; such a rectangle is simply [`empty`](Self::is_empty).
+    #[inline]
+    pub const fn new(lo: Point<D>, hi: Point<D>) -> Self {
+        Self { lo, hi }
+    }
+
+    /// The degenerate rectangle containing exactly `p`.
+    #[inline]
+    pub fn point(p: Point<D>) -> Self {
+        Self { lo: p, hi: p }
+    }
+
+    /// The side-`2ε` rectangle centred at `p` — the ε-rectangle used for
+    /// window queries (`CreateBoundingRectangle(pi, ε)` in Procedures 5/8).
+    ///
+    /// Under `L∞` it is exactly the ε-ball around `p`; under `L2` it is the
+    /// tightest axis-aligned superset of the ε-ball, making it a conservative
+    /// filter (Section 6.4).
+    #[inline]
+    pub fn centered(p: Point<D>, eps: f64) -> Self {
+        let mut lo = p;
+        let mut hi = p;
+        for d in 0..D {
+            lo[d] -= eps;
+            hi[d] += eps;
+        }
+        Self { lo, hi }
+    }
+
+    /// Like [`centered`](Self::centered) but dilated by a few units in the
+    /// last place per dimension, guaranteeing the window covers **every**
+    /// point the floating-point similarity predicate `fl(|p−q|) ≤ ε`
+    /// accepts, regardless of rounding in `p ± ε`. Index-based algorithms
+    /// use this so a window query is a true superset of the predicate and
+    /// hits can be verified with the canonical [`Metric::within`] —
+    /// otherwise boundary-tied distances (exactly ε up to rounding) could
+    /// be classified differently by indexed and scan-based algorithms.
+    #[inline]
+    pub fn centered_dilated(p: Point<D>, eps: f64) -> Self {
+        let mut lo = p;
+        let mut hi = p;
+        for d in 0..D {
+            // Error bound: forming p ± ε and the predicate's |p − q| each
+            // round once; 4 ulps of the operand magnitude dominates both.
+            let pad = eps + 4.0 * f64::EPSILON * (p[d].abs() + eps);
+            lo[d] -= pad;
+            hi[d] += pad;
+        }
+        Self { lo, hi }
+    }
+
+    /// A rectangle that is empty in every dimension; the identity for
+    /// [`expand`](Self::expand).
+    #[inline]
+    pub fn empty() -> Self {
+        Self {
+            lo: Point::new([f64::INFINITY; D]),
+            hi: Point::new([f64::NEG_INFINITY; D]),
+        }
+    }
+
+    /// Lower corner.
+    #[inline]
+    pub fn lo(&self) -> &Point<D> {
+        &self.lo
+    }
+
+    /// Upper corner.
+    #[inline]
+    pub fn hi(&self) -> &Point<D> {
+        &self.hi
+    }
+
+    /// `true` when the rectangle contains no point.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        (0..D).any(|d| self.lo[d] > self.hi[d])
+    }
+
+    /// Side length along dimension `d` (zero when empty along it).
+    #[inline]
+    pub fn side(&self, d: usize) -> f64 {
+        (self.hi[d] - self.lo[d]).max(0.0)
+    }
+
+    /// `D`-dimensional volume (area when `D = 2`). Empty rectangles have
+    /// zero volume.
+    #[inline]
+    pub fn volume(&self) -> f64 {
+        let mut v = 1.0;
+        for d in 0..D {
+            v *= self.side(d);
+        }
+        v
+    }
+
+    /// Half-perimeter style margin: the sum of side lengths. Used by the
+    /// R-tree split heuristics.
+    #[inline]
+    pub fn margin(&self) -> f64 {
+        (0..D).map(|d| self.side(d)).sum()
+    }
+
+    /// Geometric centre (meaningless for empty rectangles).
+    #[inline]
+    pub fn center(&self) -> Point<D> {
+        let mut c = [0.0; D];
+        for (d, v) in c.iter_mut().enumerate() {
+            *v = 0.5 * (self.lo[d] + self.hi[d]);
+        }
+        Point::new(c)
+    }
+
+    /// `true` when `p` lies inside the rectangle (boundary inclusive) —
+    /// `PointInRectangleTest` of Procedure 4. Branch-free accumulation:
+    /// this test runs once per existing group per input point in the
+    /// Bounds-Checking scan, on unpredictable data.
+    #[inline]
+    pub fn contains_point(&self, p: &Point<D>) -> bool {
+        let mut inside = true;
+        for d in 0..D {
+            inside &= (self.lo[d] <= p[d]) & (p[d] <= self.hi[d]);
+        }
+        inside
+    }
+
+    /// `true` when `other` lies fully inside `self` (boundary inclusive).
+    #[inline]
+    pub fn contains_rect(&self, other: &Rect<D>) -> bool {
+        if other.is_empty() {
+            return true;
+        }
+        (0..D).all(|d| self.lo[d] <= other.lo[d] && other.hi[d] <= self.hi[d])
+    }
+
+    /// `true` when the two rectangles share at least one point
+    /// (`OverlapRectangleTest` of Procedure 4). Empty rectangles intersect
+    /// nothing.
+    #[inline]
+    pub fn intersects(&self, other: &Rect<D>) -> bool {
+        if self.is_empty() || other.is_empty() {
+            return false;
+        }
+        (0..D).all(|d| self.lo[d] <= other.hi[d] && other.lo[d] <= self.hi[d])
+    }
+
+    /// The intersection of two rectangles (possibly empty). Rectangles are
+    /// closed under intersection — the property the paper relies on for the
+    /// correctness of the ε-All rectangle under `L∞` (Section 6.3).
+    #[inline]
+    pub fn intersection(&self, other: &Rect<D>) -> Rect<D> {
+        Rect::new(self.lo.max(&other.lo), self.hi.min(&other.hi))
+    }
+
+    /// The smallest rectangle covering both inputs.
+    #[inline]
+    pub fn union(&self, other: &Rect<D>) -> Rect<D> {
+        if self.is_empty() {
+            return *other;
+        }
+        if other.is_empty() {
+            return *self;
+        }
+        Rect::new(self.lo.min(&other.lo), self.hi.max(&other.hi))
+    }
+
+    /// Grows the rectangle in place to cover `p`.
+    #[inline]
+    pub fn expand(&mut self, p: &Point<D>) {
+        self.lo = self.lo.min(p);
+        self.hi = self.hi.max(p);
+    }
+
+    /// How much [`volume`](Self::volume) would grow if `other` were unioned
+    /// in. The R-tree `ChooseLeaf` criterion (least enlargement).
+    #[inline]
+    pub fn enlargement(&self, other: &Rect<D>) -> f64 {
+        self.union(other).volume() - self.volume()
+    }
+
+    /// Minimum distance from `p` to any point of the rectangle under
+    /// `metric` (zero when `p` is inside). Used by kNN search.
+    pub fn min_distance(&self, p: &Point<D>, metric: Metric) -> f64 {
+        let mut gaps = [0.0; D];
+        for d in 0..D {
+            gaps[d] = if p[d] < self.lo[d] {
+                self.lo[d] - p[d]
+            } else if p[d] > self.hi[d] {
+                p[d] - self.hi[d]
+            } else {
+                0.0
+            };
+        }
+        match metric {
+            Metric::L2 => gaps.iter().map(|g| g * g).sum::<f64>().sqrt(),
+            Metric::LInf => gaps.iter().cloned().fold(0.0, f64::max),
+        }
+    }
+}
+
+/// The ε-All bounding rectangle `R(ε−All)` of Definition 5, maintained
+/// incrementally as points join a group (Figures 5c–5e).
+///
+/// For a group whose members span `[lo_d, hi_d]` along dimension `d`, the
+/// region of space within `L∞` distance ε of *every* member is exactly the
+/// rectangle `A_d = [hi_d − ε, lo_d + ε]`: the intersection of the members'
+/// ε-squares, which is closed under intersection.
+///
+/// * Under `L∞`, membership of the region is an **exact** test: a point
+///   inside `A` is within ε of all members (Section 6.3).
+/// * Under `L2`, `A` is a **conservative filter**: a point outside `A`
+///   cannot be within ε of all members, a point inside might be a false
+///   positive, refined by the convex-hull test (Section 6.4).
+///
+/// The structure also tracks the member MBR, used for
+/// `OverlapRectangleTest` and for indexing groups in the on-the-fly R-tree.
+#[derive(Clone, Debug, PartialEq)]
+pub struct EpsAllRegion<const D: usize> {
+    eps: f64,
+    /// MBR of the member points inserted so far.
+    mbr: Rect<D>,
+    /// Cached allowed region: the running intersection of the members'
+    /// ε-squares (rectangles are closed under intersection, Section 6.3).
+    allowed: Rect<D>,
+    /// Cached reach region: the smallest rectangle covering every
+    /// member's ε-square, i.e. the MBR dilated by ε. A point outside it
+    /// cannot be within ε of any member (`OverlapRectangleTest`); inside,
+    /// a member scan decides.
+    reach: Rect<D>,
+    members: usize,
+}
+
+impl<const D: usize> EpsAllRegion<D> {
+    /// An empty region for a group with no members yet.
+    pub fn new(eps: f64) -> Self {
+        assert!(eps >= 0.0 && eps.is_finite(), "epsilon must be finite and non-negative");
+        Self {
+            eps,
+            mbr: Rect::empty(),
+            allowed: Rect::empty(),
+            reach: Rect::empty(),
+            members: 0,
+        }
+    }
+
+    /// A region for a group seeded with a single point (Figure 5c: the
+    /// allowed region starts as the `2ε × 2ε` square centred on it).
+    pub fn with_first(eps: f64, p: Point<D>) -> Self {
+        let mut r = Self::new(eps);
+        r.insert(&p);
+        r
+    }
+
+    /// Similarity threshold.
+    #[inline]
+    pub fn eps(&self) -> f64 {
+        self.eps
+    }
+
+    /// Number of inserted member points.
+    #[inline]
+    pub fn members(&self) -> usize {
+        self.members
+    }
+
+    /// MBR of the member points.
+    #[inline]
+    pub fn mbr(&self) -> Rect<D> {
+        self.mbr
+    }
+
+    /// The current allowed region `A` (Definition 5). Empty iff the group
+    /// has no members whose ε-squares still intersect — which cannot happen
+    /// while the group is a valid `L∞` clique, but can transiently under
+    /// `L2` filtering.
+    ///
+    /// Maintained incrementally: equals `[hi_d − ε, lo_d + ε]` for the
+    /// member extremes `lo`/`hi` along each dimension.
+    #[inline]
+    pub fn allowed(&self) -> Rect<D> {
+        self.allowed
+    }
+
+    /// The reach region: the smallest rectangle covering the members'
+    /// ε-squares (the MBR dilated by ε). Contains every point possibly
+    /// within ε of *some* member; being a bounding box, it may also
+    /// contain corner points near ε of none.
+    #[inline]
+    pub fn reach(&self) -> Rect<D> {
+        self.reach
+    }
+
+    /// Records a new member, growing the MBR (and therefore shrinking the
+    /// allowed region — Figures 5d/5e). Constant time per insertion.
+    #[inline]
+    pub fn insert(&mut self, p: &Point<D>) {
+        self.mbr.expand(p);
+        let eps_box = Rect::centered(*p, self.eps);
+        self.allowed = if self.members == 0 {
+            eps_box
+        } else {
+            self.allowed.intersection(&eps_box)
+        };
+        self.reach = self.reach.union(&eps_box);
+        self.members += 1;
+    }
+
+    /// Rebuilds the region from a fresh member set; used after ELIMINATE /
+    /// FORM-NEW-GROUP remove points from a group (Section 6.2.2).
+    pub fn rebuild<'a>(&mut self, points: impl IntoIterator<Item = &'a Point<D>>) {
+        self.mbr = Rect::empty();
+        self.allowed = Rect::empty();
+        self.reach = Rect::empty();
+        self.members = 0;
+        for p in points {
+            self.insert(p);
+        }
+    }
+
+    /// `PointInRectangleTest` (Procedure 4, line 4): `true` when `p` lies in
+    /// the allowed region. Exact under `L∞`; under `L2` a `true` still needs
+    /// the convex-hull refinement.
+    #[inline]
+    pub fn point_in_region(&self, p: &Point<D>) -> bool {
+        self.members > 0 && self.allowed.contains_point(p)
+    }
+
+    /// `OverlapRectangleTest` (Procedure 4, line 6): `true` when the
+    /// ε-rectangle of `p` intersects the member MBR — equivalently, `p`
+    /// lies in the cached reach region — i.e. some member *may* be within
+    /// ε of `p`.
+    #[inline]
+    pub fn may_overlap(&self, p: &Point<D>) -> bool {
+        self.members > 0 && self.reach.contains_point(p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(lo: [f64; 2], hi: [f64; 2]) -> Rect<2> {
+        Rect::new(Point::new(lo), Point::new(hi))
+    }
+
+    #[test]
+    fn centered_rect_has_side_two_eps() {
+        let w = Rect::centered(Point::new([1.0, 2.0]), 3.0);
+        assert_eq!(w, r([-2.0, -1.0], [4.0, 5.0]));
+        assert_eq!(w.side(0), 6.0);
+        assert_eq!(w.volume(), 36.0);
+        assert_eq!(w.margin(), 12.0);
+        assert_eq!(w.center(), Point::new([1.0, 2.0]));
+    }
+
+    #[test]
+    fn empty_rect_behaviour() {
+        let e = Rect::<2>::empty();
+        assert!(e.is_empty());
+        assert_eq!(e.volume(), 0.0);
+        assert!(!e.contains_point(&Point::origin()));
+        assert!(!e.intersects(&r([0.0, 0.0], [1.0, 1.0])));
+        // Union with empty is identity.
+        let a = r([0.0, 0.0], [1.0, 1.0]);
+        assert_eq!(e.union(&a), a);
+        assert_eq!(a.union(&e), a);
+        // Everything contains the empty rectangle.
+        assert!(a.contains_rect(&e));
+    }
+
+    #[test]
+    fn containment_is_boundary_inclusive() {
+        let a = r([0.0, 0.0], [2.0, 2.0]);
+        assert!(a.contains_point(&Point::new([0.0, 2.0])));
+        assert!(a.contains_point(&Point::new([1.0, 1.0])));
+        assert!(!a.contains_point(&Point::new([2.0000001, 1.0])));
+        assert!(a.contains_rect(&r([0.0, 0.0], [2.0, 2.0])));
+        assert!(!a.contains_rect(&r([0.0, 0.0], [2.1, 2.0])));
+    }
+
+    #[test]
+    fn intersection_of_overlapping_rects() {
+        let a = r([0.0, 0.0], [4.0, 4.0]);
+        let b = r([2.0, -1.0], [6.0, 3.0]);
+        assert!(a.intersects(&b));
+        assert_eq!(a.intersection(&b), r([2.0, 0.0], [4.0, 3.0]));
+        // Rectangles are closed under intersection (the SGB-All invariant).
+        assert!(!a.intersection(&b).is_empty());
+    }
+
+    #[test]
+    fn disjoint_rects_do_not_intersect() {
+        let a = r([0.0, 0.0], [1.0, 1.0]);
+        let b = r([2.0, 2.0], [3.0, 3.0]);
+        assert!(!a.intersects(&b));
+        assert!(a.intersection(&b).is_empty());
+        // Touching at a corner counts as intersecting (closed rectangles).
+        let c = r([1.0, 1.0], [2.0, 2.0]);
+        assert!(a.intersects(&c));
+    }
+
+    #[test]
+    fn union_and_enlargement() {
+        let a = r([0.0, 0.0], [1.0, 1.0]);
+        let b = r([2.0, 0.0], [3.0, 1.0]);
+        let u = a.union(&b);
+        assert_eq!(u, r([0.0, 0.0], [3.0, 1.0]));
+        assert_eq!(a.enlargement(&b), 3.0 - 1.0);
+        assert_eq!(a.enlargement(&a), 0.0);
+    }
+
+    #[test]
+    fn expand_grows_to_cover_point() {
+        let mut a = Rect::point(Point::new([1.0, 1.0]));
+        a.expand(&Point::new([-1.0, 3.0]));
+        assert_eq!(a, r([-1.0, 1.0], [1.0, 3.0]));
+    }
+
+    #[test]
+    fn min_distance_inside_is_zero() {
+        let a = r([0.0, 0.0], [2.0, 2.0]);
+        assert_eq!(a.min_distance(&Point::new([1.0, 1.0]), Metric::L2), 0.0);
+        assert_eq!(a.min_distance(&Point::new([5.0, 2.0]), Metric::L2), 3.0);
+        assert_eq!(
+            a.min_distance(&Point::new([5.0, 6.0]), Metric::L2),
+            (9.0f64 + 16.0).sqrt()
+        );
+        assert_eq!(a.min_distance(&Point::new([5.0, 6.0]), Metric::LInf), 4.0);
+    }
+
+    #[test]
+    fn eps_all_region_single_point_fig5c() {
+        // Figure 5c: group {a1}, ε = 2 → allowed region is the 2ε-square
+        // (sides 2ε... the paper draws side 2·ε centred at a1: "2 by 2" with
+        // ε=2 refers to half-side ε) centred at a1.
+        let reg = EpsAllRegion::with_first(2.0, Point::new([3.0, 3.0]));
+        assert_eq!(reg.allowed(), r([1.0, 1.0], [5.0, 5.0]));
+        assert_eq!(reg.members(), 1);
+        assert!(reg.point_in_region(&Point::new([4.9, 4.9])));
+        assert!(!reg.point_in_region(&Point::new([5.1, 3.0])));
+    }
+
+    #[test]
+    fn eps_all_region_shrinks_as_members_join() {
+        // Figures 5d–5e: inserting members shrinks the allowed region.
+        let mut reg = EpsAllRegion::with_first(2.0, Point::new([3.0, 3.0]));
+        let before = reg.allowed();
+        reg.insert(&Point::new([4.0, 4.0]));
+        let after = reg.allowed();
+        assert!(before.contains_rect(&after));
+        assert_eq!(after, r([2.0, 2.0], [5.0, 5.0]));
+        // Region floor: with members at the span extremes the region has
+        // side 2ε − span.
+        reg.insert(&Point::new([5.0, 3.0]));
+        assert_eq!(reg.allowed(), r([3.0, 2.0], [5.0, 5.0]));
+    }
+
+    #[test]
+    fn eps_all_region_exact_for_linf() {
+        // Any point inside the allowed region is within L∞ ε of all members.
+        let members = [
+            Point::new([0.0, 0.0]),
+            Point::new([1.5, 0.5]),
+            Point::new([0.5, 1.5]),
+        ];
+        let eps = 2.0;
+        let mut reg = EpsAllRegion::new(eps);
+        for m in &members {
+            reg.insert(m);
+        }
+        let a = reg.allowed();
+        // Probe a grid of points; inside ⇔ within ε of every member.
+        for xi in -10..=30 {
+            for yi in -10..=30 {
+                let p = Point::new([xi as f64 * 0.2, yi as f64 * 0.2]);
+                let inside = a.contains_point(&p);
+                let all_close = members.iter().all(|m| Metric::LInf.within(m, &p, eps));
+                assert_eq!(inside, all_close, "mismatch at {p:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn eps_all_region_conservative_for_l2() {
+        // Outside the region ⇒ not within L2 ε of all members. (The converse
+        // may fail: that is the false-positive zone of Figure 7b.)
+        let members = [Point::new([0.0, 0.0]), Point::new([1.0, 1.0])];
+        let eps = 1.5;
+        let mut reg = EpsAllRegion::new(eps);
+        for m in &members {
+            reg.insert(m);
+        }
+        let a = reg.allowed();
+        for xi in -20..=30 {
+            for yi in -20..=30 {
+                let p = Point::new([xi as f64 * 0.17, yi as f64 * 0.17]);
+                let all_close = members.iter().all(|m| Metric::L2.within(m, &p, eps));
+                if all_close {
+                    assert!(a.contains_point(&p), "region must cover {p:?}");
+                }
+            }
+        }
+        // And the false-positive zone exists: the region corner is inside
+        // the rectangle but not within ε of both members.
+        let corner = Point::new([a.lo()[0], a.hi()[1]]);
+        assert!(a.contains_point(&corner));
+        assert!(!members.iter().all(|m| Metric::L2.within(m, &corner, eps)));
+    }
+
+    #[test]
+    fn eps_all_rebuild_after_removal() {
+        let mut reg = EpsAllRegion::new(1.0);
+        reg.insert(&Point::new([0.0, 0.0]));
+        reg.insert(&Point::new([0.9, 0.0]));
+        let remaining = [Point::new([0.0, 0.0])];
+        reg.rebuild(remaining.iter());
+        assert_eq!(reg.members(), 1);
+        assert_eq!(reg.allowed(), r([-1.0, -1.0], [1.0, 1.0]));
+        reg.rebuild(std::iter::empty());
+        assert_eq!(reg.members(), 0);
+        assert!(reg.allowed().is_empty());
+        assert!(!reg.may_overlap(&Point::new([0.0, 0.0])));
+    }
+
+    #[test]
+    fn may_overlap_tracks_mbr_dilation() {
+        let mut reg = EpsAllRegion::new(1.0);
+        reg.insert(&Point::new([0.0, 0.0]));
+        reg.insert(&Point::new([2.0, 0.0]));
+        assert!(reg.may_overlap(&Point::new([3.0, 0.0]))); // within ε of MBR
+        assert!(!reg.may_overlap(&Point::new([3.1, 0.0])));
+        assert!(reg.may_overlap(&Point::new([1.0, 0.9])));
+    }
+
+    #[test]
+    fn centered_dilated_covers_predicate_boundary() {
+        // Points at floating-point distance exactly ε must fall inside the
+        // dilated window regardless of the rounding of p ± ε.
+        let eps = 0.08;
+        for k in 0..50 {
+            let base = 880.0 + k as f64 * 11.17;
+            let p = Point::new([base / 11000.0, 0.0]);
+            let q = Point::new([(base - 880.0) / 11000.0, 0.0]);
+            if Metric::LInf.within(&p, &q, eps) {
+                let w = Rect::centered_dilated(p, eps);
+                assert!(w.contains_point(&q), "k={k}");
+            }
+        }
+        // And it stays a tight superset of the plain window.
+        let p = Point::new([3.0, -2.0]);
+        let plain = Rect::centered(p, 0.5);
+        let dilated = Rect::centered_dilated(p, 0.5);
+        assert!(dilated.contains_rect(&plain));
+        assert!(dilated.volume() < plain.volume() * 1.0001);
+    }
+
+    #[test]
+    fn reach_region_is_union_of_eps_boxes() {
+        let mut reg = EpsAllRegion::new(1.0);
+        let members = [Point::new([0.0, 0.0]), Point::new([3.0, 1.0])];
+        for m in &members {
+            reg.insert(m);
+        }
+        assert_eq!(reg.reach(), r([-1.0, -1.0], [4.0, 2.0]));
+        // Conservativeness: within L∞ ε of some member ⇒ inside reach.
+        // (Not ⇔: reach is a bounding box, so offset-box corners like
+        // (-1, 1.1) are inside it without being near any member.)
+        for xi in -25..=55 {
+            for yi in -25..=35 {
+                let p = Point::new([xi as f64 * 0.1, yi as f64 * 0.1]);
+                let near_any = members.iter().any(|m| Metric::LInf.within(m, &p, 1.0));
+                if near_any {
+                    assert!(reg.reach().contains_point(&p), "{p:?}");
+                }
+            }
+        }
+        assert!(reg.reach().contains_point(&Point::new([-1.0, 1.1])));
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon")]
+    fn negative_epsilon_rejected() {
+        let _ = EpsAllRegion::<2>::new(-1.0);
+    }
+}

@@ -1,0 +1,163 @@
+//! The database façade: catalog + SQL entry points.
+
+use std::collections::HashMap;
+
+use sgb_core::{AllAlgorithm, AnyAlgorithm};
+
+use crate::error::{Error, Result};
+use crate::exec::execute;
+use crate::planner::plan_select;
+use crate::schema::Schema;
+use crate::sql::ast::Statement;
+use crate::sql::parser::parse_statement;
+use crate::table::Table;
+
+/// An in-memory database: named tables plus engine settings for the
+/// similarity operators.
+///
+/// ```
+/// use sgb_relation::Database;
+///
+/// let mut db = Database::new();
+/// db.execute("CREATE TABLE pts (x DOUBLE, y DOUBLE)").unwrap();
+/// db.execute("INSERT INTO pts VALUES (1.0, 1.0), (2.0, 2.0), (9.0, 9.0)").unwrap();
+/// let out = db
+///     .execute("SELECT count(*) FROM pts GROUP BY x, y DISTANCE-TO-ANY L2 WITHIN 1.5")
+///     .unwrap();
+/// assert_eq!(out.len(), 2); // {1,2} and {9}
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Database {
+    tables: HashMap<String, Table>,
+    sgb_all_algorithm: AllAlgorithm,
+    sgb_any_algorithm: AnyAlgorithm,
+    sgb_seed: u64,
+}
+
+impl Database {
+    /// An empty database with default operator settings (indexed SGB).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers (or replaces) a table under `name`.
+    pub fn register(&mut self, name: &str, table: Table) {
+        self.tables.insert(name.to_ascii_lowercase(), table);
+    }
+
+    /// Removes a table; `true` when it existed.
+    pub fn drop_table(&mut self, name: &str) -> bool {
+        self.tables.remove(&name.to_ascii_lowercase()).is_some()
+    }
+
+    /// Looks up a table.
+    pub fn table(&self, name: &str) -> Result<&Table> {
+        self.tables
+            .get(&name.to_ascii_lowercase())
+            .ok_or_else(|| Error::Binding(format!("unknown table '{name}'")))
+    }
+
+    /// Registered table names (sorted).
+    pub fn table_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.tables.keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Algorithm used by `DISTANCE-TO-ALL` queries.
+    pub fn sgb_all_algorithm(&self) -> AllAlgorithm {
+        self.sgb_all_algorithm
+    }
+
+    /// Algorithm used by `DISTANCE-TO-ANY` queries.
+    pub fn sgb_any_algorithm(&self) -> AnyAlgorithm {
+        self.sgb_any_algorithm
+    }
+
+    /// Seed for `ON-OVERLAP JOIN-ANY` arbitration.
+    pub fn sgb_seed(&self) -> u64 {
+        self.sgb_seed
+    }
+
+    /// Selects the SGB-All algorithm (the paper's All-Pairs /
+    /// Bounds-Checking / on-the-fly Index variants).
+    pub fn set_sgb_all_algorithm(&mut self, algorithm: AllAlgorithm) {
+        self.sgb_all_algorithm = algorithm;
+    }
+
+    /// Selects the SGB-Any algorithm.
+    pub fn set_sgb_any_algorithm(&mut self, algorithm: AnyAlgorithm) {
+        self.sgb_any_algorithm = algorithm;
+    }
+
+    /// Sets the JOIN-ANY arbitration seed (reproducible runs).
+    pub fn set_sgb_seed(&mut self, seed: u64) {
+        self.sgb_seed = seed;
+    }
+
+    /// Executes any statement (SELECT, CREATE TABLE, INSERT, DROP TABLE).
+    /// DDL/DML return an empty result table.
+    pub fn execute(&mut self, sql: &str) -> Result<Table> {
+        match parse_statement(sql)? {
+            Statement::Select(stmt) => {
+                let plan = plan_select(self, &stmt)?;
+                execute(&plan, self)
+            }
+            Statement::CreateTable { name, columns } => {
+                if self.tables.contains_key(&name.to_ascii_lowercase()) {
+                    return Err(Error::Binding(format!("table '{name}' already exists")));
+                }
+                self.register(&name, Table::empty(Schema::new(columns)));
+                Ok(Table::default())
+            }
+            Statement::Insert { table, rows } => {
+                // Bind row expressions as constants (empty input schema).
+                let planner_rows: Result<Vec<Vec<crate::value::Value>>> = rows
+                    .iter()
+                    .map(|row| {
+                        row.iter()
+                            .map(|e| {
+                                let bound = crate::planner::plan_const(self, e)?;
+                                bound.eval(&[])
+                            })
+                            .collect()
+                    })
+                    .collect();
+                let planner_rows = planner_rows?;
+                let t = self
+                    .tables
+                    .get_mut(&table.to_ascii_lowercase())
+                    .ok_or_else(|| Error::Binding(format!("unknown table '{table}'")))?;
+                for row in planner_rows {
+                    t.push(row)?;
+                }
+                Ok(Table::default())
+            }
+            Statement::DropTable { name } => {
+                if !self.drop_table(&name) {
+                    return Err(Error::Binding(format!("unknown table '{name}'")));
+                }
+                Ok(Table::default())
+            }
+        }
+    }
+
+    /// Executes a SELECT without requiring `&mut self`.
+    pub fn query(&self, sql: &str) -> Result<Table> {
+        match parse_statement(sql)? {
+            Statement::Select(stmt) => {
+                let plan = plan_select(self, &stmt)?;
+                execute(&plan, self)
+            }
+            _ => Err(Error::Unsupported("query() only accepts SELECT".into())),
+        }
+    }
+
+    /// Renders the physical plan of a SELECT (`EXPLAIN`).
+    pub fn explain(&self, sql: &str) -> Result<String> {
+        match parse_statement(sql)? {
+            Statement::Select(stmt) => Ok(plan_select(self, &stmt)?.explain()),
+            _ => Err(Error::Unsupported("explain() only accepts SELECT".into())),
+        }
+    }
+}

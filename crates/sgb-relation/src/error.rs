@@ -1,0 +1,32 @@
+//! Engine error type.
+
+use std::fmt;
+
+/// Errors surfaced by the SQL front-end, planner, and executor.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Error {
+    /// Tokenizer / parser error with position context.
+    Parse(String),
+    /// Unknown table, column, or function; ambiguous reference.
+    Binding(String),
+    /// The query shape is understood but unsupported by this engine.
+    Unsupported(String),
+    /// Runtime evaluation error (type mismatch, bad cast, …).
+    Eval(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Parse(msg) => write!(f, "parse error: {msg}"),
+            Error::Binding(msg) => write!(f, "binding error: {msg}"),
+            Error::Unsupported(msg) => write!(f, "unsupported: {msg}"),
+            Error::Eval(msg) => write!(f, "evaluation error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, Error>;

@@ -1,0 +1,418 @@
+//! Plan executor: materialises a [`Plan`] tree bottom-up.
+
+use std::collections::HashMap;
+
+use sgb_core::{sgb_all, sgb_any, Grouping, SgbAllConfig, SgbAnyConfig};
+use sgb_geom::Point;
+
+use crate::engine::Database;
+use crate::error::{Error, Result};
+use crate::expr::BoundExpr;
+use crate::plan::{AggCall, AggKind, Plan, SgbMode};
+use crate::table::{Row, Table};
+use crate::value::Value;
+
+/// Executes `plan` against the database catalog.
+pub fn execute(plan: &Plan, db: &Database) -> Result<Table> {
+    match plan {
+        Plan::Scan { table, .. } => {
+            let t = db.table(table)?;
+            Ok(Table {
+                schema: plan.schema().clone(),
+                rows: t.rows.clone(),
+            })
+        }
+        Plan::Filter { input, predicate } => {
+            let mut t = execute(input, db)?;
+            let mut kept = Vec::with_capacity(t.rows.len());
+            for row in t.rows.drain(..) {
+                if predicate.eval_predicate(&row)? {
+                    kept.push(row);
+                }
+            }
+            t.rows = kept;
+            Ok(t)
+        }
+        Plan::Project {
+            input,
+            exprs,
+            schema,
+        } => {
+            let t = execute(input, db)?;
+            let mut rows = Vec::with_capacity(t.rows.len());
+            for row in &t.rows {
+                let mut out = Vec::with_capacity(exprs.len());
+                for e in exprs {
+                    out.push(e.eval(row)?);
+                }
+                rows.push(out);
+            }
+            Ok(Table {
+                schema: schema.clone(),
+                rows,
+            })
+        }
+        Plan::HashJoin {
+            left,
+            right,
+            left_keys,
+            right_keys,
+            schema,
+        } => {
+            let l = execute(left, db)?;
+            let r = execute(right, db)?;
+            // Build on the right input.
+            let mut build: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
+            'rows: for (i, row) in r.rows.iter().enumerate() {
+                let mut key = Vec::with_capacity(right_keys.len());
+                for k in right_keys {
+                    let v = k.eval(row)?;
+                    if v.is_null() {
+                        continue 'rows; // NULL keys never join
+                    }
+                    key.push(v);
+                }
+                build.entry(key).or_default().push(i);
+            }
+            let mut rows = Vec::new();
+            'probe: for lrow in &l.rows {
+                let mut key = Vec::with_capacity(left_keys.len());
+                for k in left_keys {
+                    let v = k.eval(lrow)?;
+                    if v.is_null() {
+                        continue 'probe;
+                    }
+                    key.push(v);
+                }
+                if let Some(matches) = build.get(&key) {
+                    for &ri in matches {
+                        let mut out = lrow.clone();
+                        out.extend(r.rows[ri].iter().cloned());
+                        rows.push(out);
+                    }
+                }
+            }
+            Ok(Table {
+                schema: schema.clone(),
+                rows,
+            })
+        }
+        Plan::CrossJoin {
+            left,
+            right,
+            schema,
+        } => {
+            let l = execute(left, db)?;
+            let r = execute(right, db)?;
+            let mut rows = Vec::with_capacity(l.rows.len() * r.rows.len());
+            for lrow in &l.rows {
+                for rrow in &r.rows {
+                    let mut out = lrow.clone();
+                    out.extend(rrow.iter().cloned());
+                    rows.push(out);
+                }
+            }
+            Ok(Table {
+                schema: schema.clone(),
+                rows,
+            })
+        }
+        Plan::HashAggregate {
+            input,
+            group_exprs,
+            aggs,
+            having,
+            outputs,
+            schema,
+        } => {
+            let t = execute(input, db)?;
+            // First-seen group order (like PostgreSQL's hash agg output is
+            // unordered, but determinism helps tests).
+            let mut order: Vec<Vec<Value>> = Vec::new();
+            let mut index: HashMap<Vec<Value>, usize> = HashMap::new();
+            let mut states: Vec<Vec<AggState>> = Vec::new();
+            for row in &t.rows {
+                let mut key = Vec::with_capacity(group_exprs.len());
+                for g in group_exprs {
+                    key.push(g.eval(row)?);
+                }
+                let slot = match index.get(&key) {
+                    Some(&s) => s,
+                    None => {
+                        index.insert(key.clone(), states.len());
+                        order.push(key);
+                        states.push(aggs.iter().map(AggState::new).collect());
+                        states.len() - 1
+                    }
+                };
+                for (st, call) in states[slot].iter_mut().zip(aggs) {
+                    st.update(call, row)?;
+                }
+            }
+            // Global aggregation over empty input still yields one row.
+            if group_exprs.is_empty() && states.is_empty() {
+                order.push(Vec::new());
+                states.push(aggs.iter().map(AggState::new).collect());
+            }
+            let mut rows = Vec::with_capacity(states.len());
+            for (key, st) in order.into_iter().zip(states) {
+                let mut internal = key;
+                internal.extend(st.into_iter().map(AggState::finish));
+                if let Some(h) = having {
+                    if !h.eval_predicate(&internal)? {
+                        continue;
+                    }
+                }
+                let mut out = Vec::with_capacity(outputs.len());
+                for e in outputs {
+                    out.push(e.eval(&internal)?);
+                }
+                rows.push(out);
+            }
+            Ok(Table {
+                schema: schema.clone(),
+                rows,
+            })
+        }
+        Plan::SimilarityGroupBy {
+            input,
+            coords,
+            mode,
+            aggs,
+            having,
+            outputs,
+            schema,
+        } => {
+            let t = execute(input, db)?;
+            let grouping = run_sgb(&t.rows, coords, mode)?;
+            let mut rows = Vec::with_capacity(grouping.num_groups());
+            for members in &grouping.groups {
+                let mut st: Vec<AggState> = aggs.iter().map(AggState::new).collect();
+                for &r in members {
+                    for (s, call) in st.iter_mut().zip(aggs) {
+                        s.update(call, &t.rows[r])?;
+                    }
+                }
+                let internal: Row = st.into_iter().map(AggState::finish).collect();
+                if let Some(h) = having {
+                    if !h.eval_predicate(&internal)? {
+                        continue;
+                    }
+                }
+                let mut out = Vec::with_capacity(outputs.len());
+                for e in outputs {
+                    out.push(e.eval(&internal)?);
+                }
+                rows.push(out);
+            }
+            Ok(Table {
+                schema: schema.clone(),
+                rows,
+            })
+        }
+        Plan::Sort { input, keys } => {
+            let mut t = execute(input, db)?;
+            // Pre-compute sort keys (decorate-sort-undecorate).
+            let mut decorated: Vec<(Vec<Value>, Row)> = Vec::with_capacity(t.rows.len());
+            for row in t.rows.drain(..) {
+                let mut ks = Vec::with_capacity(keys.len());
+                for (e, _) in keys {
+                    ks.push(e.eval(&row)?);
+                }
+                decorated.push((ks, row));
+            }
+            decorated.sort_by(|(a, _), (b, _)| {
+                for ((x, y), (_, desc)) in a.iter().zip(b.iter()).zip(keys) {
+                    let ord = match (x.is_null(), y.is_null()) {
+                        (true, true) => std::cmp::Ordering::Equal,
+                        (true, false) => std::cmp::Ordering::Less,
+                        (false, true) => std::cmp::Ordering::Greater,
+                        (false, false) => x.cmp_non_null(y),
+                    };
+                    let ord = if *desc { ord.reverse() } else { ord };
+                    if ord != std::cmp::Ordering::Equal {
+                        return ord;
+                    }
+                }
+                std::cmp::Ordering::Equal
+            });
+            t.rows = decorated.into_iter().map(|(_, r)| r).collect();
+            Ok(t)
+        }
+        Plan::Limit { input, n } => {
+            let mut t = execute(input, db)?;
+            t.rows.truncate(*n);
+            Ok(t)
+        }
+    }
+}
+
+/// Extracts the 2-D or 3-D grouping points and runs the configured SGB
+/// operator (the paper's "two and three dimensional data space").
+fn run_sgb(rows: &[Row], coords: &[BoundExpr], mode: &SgbMode) -> Result<Grouping> {
+    match coords.len() {
+        2 => run_sgb_d::<2>(rows, coords, mode),
+        3 => run_sgb_d::<3>(rows, coords, mode),
+        n => Err(Error::Unsupported(format!(
+            "similarity grouping over {n} attributes (2 or 3 supported)"
+        ))),
+    }
+}
+
+fn run_sgb_d<const D: usize>(
+    rows: &[Row],
+    coords: &[BoundExpr],
+    mode: &SgbMode,
+) -> Result<Grouping> {
+    debug_assert_eq!(coords.len(), D);
+    let mut points: Vec<Point<D>> = Vec::with_capacity(rows.len());
+    for row in rows {
+        let mut c = [0.0f64; D];
+        for (d, expr) in coords.iter().enumerate() {
+            let v = expr.eval(row)?;
+            let Some(f) = v.as_f64() else {
+                return Err(Error::Eval(format!(
+                    "similarity grouping attributes must be numeric and non-null, got {v}"
+                )));
+            };
+            if !f.is_finite() {
+                return Err(Error::Eval(
+                    "similarity grouping attributes must be finite".into(),
+                ));
+            }
+            c[d] = f;
+        }
+        points.push(Point::new(c));
+    }
+    Ok(match mode {
+        SgbMode::All {
+            eps,
+            metric,
+            overlap,
+            algorithm,
+            seed,
+        } => {
+            let cfg = SgbAllConfig::new(*eps)
+                .metric(*metric)
+                .overlap(*overlap)
+                .algorithm(*algorithm)
+                .seed(*seed);
+            sgb_all(&points, &cfg)
+        }
+        SgbMode::Any {
+            eps,
+            metric,
+            algorithm,
+        } => {
+            let cfg = SgbAnyConfig::new(*eps).metric(*metric).algorithm(*algorithm);
+            sgb_any(&points, &cfg)
+        }
+    })
+}
+
+/// Running accumulator for one aggregate call.
+enum AggState {
+    CountStar(i64),
+    Count(i64),
+    Sum { sum: f64, all_int: bool, seen: bool },
+    Avg { sum: f64, n: i64 },
+    Min(Option<Value>),
+    Max(Option<Value>),
+    ArrayAgg(Vec<String>),
+}
+
+impl AggState {
+    fn new(call: &AggCall) -> Self {
+        match call.kind {
+            AggKind::CountStar => AggState::CountStar(0),
+            AggKind::Count => AggState::Count(0),
+            AggKind::Sum => AggState::Sum {
+                sum: 0.0,
+                all_int: true,
+                seen: false,
+            },
+            AggKind::Avg => AggState::Avg { sum: 0.0, n: 0 },
+            AggKind::Min => AggState::Min(None),
+            AggKind::Max => AggState::Max(None),
+            AggKind::ArrayAgg => AggState::ArrayAgg(Vec::new()),
+        }
+    }
+
+    fn update(&mut self, call: &AggCall, row: &[Value]) -> Result<()> {
+        if let AggState::CountStar(n) = self {
+            *n += 1;
+            return Ok(());
+        }
+        let arg = call
+            .arg
+            .as_ref()
+            .expect("non-count(*) aggregates carry an argument")
+            .eval(row)?;
+        if arg.is_null() {
+            return Ok(()); // SQL aggregates skip NULLs
+        }
+        match self {
+            AggState::CountStar(_) => unreachable!(),
+            AggState::Count(n) => *n += 1,
+            AggState::Sum { sum, all_int, seen } => {
+                let v = arg
+                    .as_f64()
+                    .ok_or_else(|| Error::Eval(format!("sum over non-numeric value {arg}")))?;
+                *sum += v;
+                *all_int &= matches!(arg, Value::Int(_));
+                *seen = true;
+            }
+            AggState::Avg { sum, n } => {
+                let v = arg
+                    .as_f64()
+                    .ok_or_else(|| Error::Eval(format!("avg over non-numeric value {arg}")))?;
+                *sum += v;
+                *n += 1;
+            }
+            AggState::Min(best) => {
+                let better = match best {
+                    None => true,
+                    Some(b) => arg.cmp_non_null(b) == std::cmp::Ordering::Less,
+                };
+                if better {
+                    *best = Some(arg);
+                }
+            }
+            AggState::Max(best) => {
+                let better = match best {
+                    None => true,
+                    Some(b) => arg.cmp_non_null(b) == std::cmp::Ordering::Greater,
+                };
+                if better {
+                    *best = Some(arg);
+                }
+            }
+            AggState::ArrayAgg(items) => items.push(arg.to_string()),
+        }
+        Ok(())
+    }
+
+    fn finish(self) -> Value {
+        match self {
+            AggState::CountStar(n) | AggState::Count(n) => Value::Int(n),
+            AggState::Sum { sum, all_int, seen } => {
+                if !seen {
+                    Value::Null
+                } else if all_int && sum.fract() == 0.0 && sum.abs() < 9e15 {
+                    Value::Int(sum as i64)
+                } else {
+                    Value::Float(sum)
+                }
+            }
+            AggState::Avg { sum, n } => {
+                if n == 0 {
+                    Value::Null
+                } else {
+                    Value::Float(sum / n as f64)
+                }
+            }
+            AggState::Min(v) | AggState::Max(v) => v.unwrap_or(Value::Null),
+            AggState::ArrayAgg(items) => Value::Str(format!("{{{}}}", items.join(","))),
+        }
+    }
+}

@@ -1,0 +1,281 @@
+//! Physical query plans.
+//!
+//! The planner lowers a parsed [`crate::sql::Select`] into this tree; the
+//! executor (`crate::exec`) materialises it bottom-up. The similarity
+//! group-by is a *first-class operator node* ([`Plan::SimilarityGroupBy`]),
+//! composing with scans, filters, joins and projections exactly as the
+//! paper's PostgreSQL integration does (Section 8.2).
+
+use sgb_core::{AllAlgorithm, AnyAlgorithm, OverlapAction};
+use sgb_geom::Metric;
+
+use crate::expr::BoundExpr;
+use crate::schema::Schema;
+
+/// Aggregate function kinds supported by the engine.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AggKind {
+    /// `count(*)` — row count.
+    CountStar,
+    /// `count(expr)` — non-null count.
+    Count,
+    /// `sum(expr)`.
+    Sum,
+    /// `avg(expr)`.
+    Avg,
+    /// `min(expr)`.
+    Min,
+    /// `max(expr)`.
+    Max,
+    /// `array_agg(expr)` — rendered as a `{v1,v2,…}` string.
+    ArrayAgg,
+}
+
+impl AggKind {
+    /// Maps a SQL function name (lower-case) to an aggregate kind.
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "count" => Some(AggKind::Count),
+            "sum" => Some(AggKind::Sum),
+            "avg" => Some(AggKind::Avg),
+            "min" => Some(AggKind::Min),
+            "max" => Some(AggKind::Max),
+            "array_agg" | "list_id" => Some(AggKind::ArrayAgg),
+            _ => None,
+        }
+    }
+}
+
+/// One aggregate call: kind plus argument (absent for `count(*)`),
+/// bound against the aggregate node's input.
+#[derive(Clone, Debug)]
+pub struct AggCall {
+    /// Aggregate kind.
+    pub kind: AggKind,
+    /// Argument expression (`None` only for [`AggKind::CountStar`]).
+    pub arg: Option<BoundExpr>,
+}
+
+/// Parameters of a similarity group-by node.
+#[derive(Clone, Debug)]
+pub enum SgbMode {
+    /// `DISTANCE-TO-ALL` (clique groups, Section 4.1).
+    All {
+        /// Threshold ε.
+        eps: f64,
+        /// Distance function.
+        metric: Metric,
+        /// Overlap arbitration.
+        overlap: OverlapAction,
+        /// Search algorithm.
+        algorithm: AllAlgorithm,
+        /// Seed for `JOIN-ANY`.
+        seed: u64,
+    },
+    /// `DISTANCE-TO-ANY` (connected components, Section 4.2).
+    Any {
+        /// Threshold ε.
+        eps: f64,
+        /// Distance function.
+        metric: Metric,
+        /// Search algorithm.
+        algorithm: AnyAlgorithm,
+    },
+}
+
+/// A physical plan node. Every node knows its output [`Schema`].
+#[derive(Clone, Debug)]
+pub enum Plan {
+    /// Full scan of a catalog table.
+    Scan {
+        /// Table name in the catalog.
+        table: String,
+        /// Output schema (possibly re-qualified by an alias).
+        schema: Schema,
+    },
+    /// Row filter.
+    Filter {
+        /// Input plan.
+        input: Box<Plan>,
+        /// Predicate (kept rows evaluate to SQL TRUE).
+        predicate: BoundExpr,
+    },
+    /// Expression projection.
+    Project {
+        /// Input plan.
+        input: Box<Plan>,
+        /// Output expressions.
+        exprs: Vec<BoundExpr>,
+        /// Output schema.
+        schema: Schema,
+    },
+    /// Inner equi-join (hash build on the right input).
+    HashJoin {
+        /// Left (probe) input.
+        left: Box<Plan>,
+        /// Right (build) input.
+        right: Box<Plan>,
+        /// Key expressions over the left schema.
+        left_keys: Vec<BoundExpr>,
+        /// Key expressions over the right schema.
+        right_keys: Vec<BoundExpr>,
+        /// Concatenated output schema.
+        schema: Schema,
+    },
+    /// Cartesian product (fallback when no equi-key connects the inputs).
+    CrossJoin {
+        /// Left input.
+        left: Box<Plan>,
+        /// Right input.
+        right: Box<Plan>,
+        /// Concatenated output schema.
+        schema: Schema,
+    },
+    /// Standard (equality) hash aggregation.
+    ///
+    /// Internal row layout: `[group values…, aggregate results…]`;
+    /// `having` and `outputs` are bound against that layout.
+    HashAggregate {
+        /// Input plan.
+        input: Box<Plan>,
+        /// Group-key expressions over the input schema.
+        group_exprs: Vec<BoundExpr>,
+        /// Aggregate calls over the input schema.
+        aggs: Vec<AggCall>,
+        /// Post-grouping filter over the internal layout.
+        having: Option<BoundExpr>,
+        /// Output expressions over the internal layout.
+        outputs: Vec<BoundExpr>,
+        /// Output schema.
+        schema: Schema,
+    },
+    /// Similarity group-by (SGB-All / SGB-Any).
+    ///
+    /// Internal row layout: `[aggregate results…]` (similarity groups have
+    /// no single grouping value); `having` and `outputs` bind against it.
+    SimilarityGroupBy {
+        /// Input plan.
+        input: Box<Plan>,
+        /// Coordinates of the grouping point (two or three expressions),
+        /// over the input schema.
+        coords: Vec<BoundExpr>,
+        /// Operator parameters.
+        mode: SgbMode,
+        /// Aggregate calls over the input schema.
+        aggs: Vec<AggCall>,
+        /// Post-grouping filter over the internal layout.
+        having: Option<BoundExpr>,
+        /// Output expressions over the internal layout.
+        outputs: Vec<BoundExpr>,
+        /// Output schema.
+        schema: Schema,
+    },
+    /// Sort by output expressions.
+    Sort {
+        /// Input plan.
+        input: Box<Plan>,
+        /// `(key expression, descending)` pairs over the input schema.
+        keys: Vec<(BoundExpr, bool)>,
+    },
+    /// Row-count limit.
+    Limit {
+        /// Input plan.
+        input: Box<Plan>,
+        /// Maximum rows.
+        n: usize,
+    },
+}
+
+impl Plan {
+    /// The node's output schema.
+    pub fn schema(&self) -> &Schema {
+        match self {
+            Plan::Scan { schema, .. }
+            | Plan::Project { schema, .. }
+            | Plan::HashJoin { schema, .. }
+            | Plan::CrossJoin { schema, .. }
+            | Plan::HashAggregate { schema, .. }
+            | Plan::SimilarityGroupBy { schema, .. } => schema,
+            Plan::Filter { input, .. } | Plan::Sort { input, .. } | Plan::Limit { input, .. } => {
+                input.schema()
+            }
+        }
+    }
+
+    /// An `EXPLAIN`-style indented tree rendering.
+    pub fn explain(&self) -> String {
+        let mut out = String::new();
+        self.explain_into(0, &mut out);
+        out
+    }
+
+    fn explain_into(&self, depth: usize, out: &mut String) {
+        let pad = "  ".repeat(depth);
+        match self {
+            Plan::Scan { table, .. } => out.push_str(&format!("{pad}Scan {table}\n")),
+            Plan::Filter { input, .. } => {
+                out.push_str(&format!("{pad}Filter\n"));
+                input.explain_into(depth + 1, out);
+            }
+            Plan::Project { input, exprs, .. } => {
+                out.push_str(&format!("{pad}Project ({} exprs)\n", exprs.len()));
+                input.explain_into(depth + 1, out);
+            }
+            Plan::HashJoin {
+                left,
+                right,
+                left_keys,
+                ..
+            } => {
+                out.push_str(&format!("{pad}HashJoin ({} keys)\n", left_keys.len()));
+                left.explain_into(depth + 1, out);
+                right.explain_into(depth + 1, out);
+            }
+            Plan::CrossJoin { left, right, .. } => {
+                out.push_str(&format!("{pad}CrossJoin\n"));
+                left.explain_into(depth + 1, out);
+                right.explain_into(depth + 1, out);
+            }
+            Plan::HashAggregate {
+                input,
+                group_exprs,
+                aggs,
+                ..
+            } => {
+                out.push_str(&format!(
+                    "{pad}HashAggregate (groups: {}, aggs: {})\n",
+                    group_exprs.len(),
+                    aggs.len()
+                ));
+                input.explain_into(depth + 1, out);
+            }
+            Plan::SimilarityGroupBy { input, mode, aggs, .. } => {
+                let desc = match mode {
+                    SgbMode::All {
+                        eps,
+                        metric,
+                        overlap,
+                        ..
+                    } => format!(
+                        "SGB-All {} WITHIN {eps} ON-OVERLAP {}",
+                        metric.sql_keyword(),
+                        overlap.sql_keyword()
+                    ),
+                    SgbMode::Any { eps, metric, .. } => {
+                        format!("SGB-Any {} WITHIN {eps}", metric.sql_keyword())
+                    }
+                };
+                out.push_str(&format!("{pad}SimilarityGroupBy [{desc}] (aggs: {})\n", aggs.len()));
+                input.explain_into(depth + 1, out);
+            }
+            Plan::Sort { input, keys } => {
+                out.push_str(&format!("{pad}Sort ({} keys)\n", keys.len()));
+                input.explain_into(depth + 1, out);
+            }
+            Plan::Limit { input, n } => {
+                out.push_str(&format!("{pad}Limit {n}\n"));
+                input.explain_into(depth + 1, out);
+            }
+        }
+    }
+}

@@ -1,0 +1,659 @@
+//! Query planner: binds a parsed AST against the catalog and lowers it into
+//! a [`Plan`] tree.
+//!
+//! The planner applies the textbook rewrites that, per the paper
+//! (Section 2), carry over to similarity group-by untouched:
+//! *predicate pushdown* (single-table conjuncts filter before the join) and
+//! *equi-join extraction* (WHERE `a = b` conjuncts across inputs become
+//! hash joins instead of filtered cartesian products). Uncorrelated
+//! `IN (SELECT …)` subqueries are materialised once at plan time.
+
+use std::collections::HashSet;
+use std::sync::Arc;
+
+use crate::engine::Database;
+use crate::error::{Error, Result};
+use crate::exec::execute;
+use crate::expr::{BinOp, BoundExpr};
+use crate::plan::{AggCall, AggKind, Plan, SgbMode};
+use crate::schema::{Column, Schema};
+use crate::sql::ast::{Expr, GroupBy, Select, SelectItem, TableRef};
+use crate::value::Value;
+
+/// Plans one SELECT statement against `db`.
+pub fn plan_select(db: &Database, stmt: &Select) -> Result<Plan> {
+    Planner { db }.select(stmt)
+}
+
+/// Binds a constant expression (no input columns) — used for INSERT row
+/// literals; subqueries and arithmetic still work.
+pub(crate) fn plan_const(db: &Database, expr: &Expr) -> Result<BoundExpr> {
+    Planner { db }.bind(expr, &Schema::default())
+}
+
+struct Planner<'a> {
+    db: &'a Database,
+}
+
+impl<'a> Planner<'a> {
+    // -- top level -----------------------------------------------------------
+
+    fn select(&self, stmt: &Select) -> Result<Plan> {
+        if stmt.from.is_empty() {
+            return Err(Error::Unsupported("FROM clause is required".into()));
+        }
+
+        // 1. Plan the FROM items.
+        let mut inputs: Vec<Plan> = Vec::with_capacity(stmt.from.len());
+        for item in &stmt.from {
+            inputs.push(self.table_ref(item)?);
+        }
+
+        // 2. Split WHERE into conjuncts; push single-input ones down.
+        let mut conjuncts: Vec<Option<Expr>> = Vec::new();
+        if let Some(w) = &stmt.where_clause {
+            let mut flat = Vec::new();
+            split_conjuncts(w, &mut flat);
+            conjuncts = flat.into_iter().map(Some).collect();
+        }
+        for slot in conjuncts.iter_mut() {
+            let c = slot.as_ref().unwrap();
+            let homes: Vec<usize> = inputs
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| self.resolvable(p.schema(), c))
+                .map(|(i, _)| i)
+                .collect();
+            // Exactly one input can evaluate it, and it actually reads
+            // columns: filter that input before joining.
+            if homes.len() == 1 && has_column_refs(c) {
+                let home = homes[0];
+                let predicate = self.bind(c, inputs[home].schema())?;
+                let input = std::mem::replace(
+                    &mut inputs[home],
+                    Plan::Scan {
+                        table: String::new(),
+                        schema: Schema::default(),
+                    },
+                );
+                inputs[home] = Plan::Filter {
+                    input: Box::new(input),
+                    predicate,
+                };
+                *slot = None;
+            }
+        }
+
+        // 3. Join the inputs left-deep, preferring hash joins over
+        //    extracted equi-conjuncts, falling back to cross joins.
+        let mut acc = inputs.remove(0);
+        while !inputs.is_empty() {
+            let mut pick: Option<(usize, Vec<usize>)> = None;
+            'candidates: for (i, cand) in inputs.iter().enumerate() {
+                let mut used = Vec::new();
+                for (ci, slot) in conjuncts.iter().enumerate() {
+                    let Some(c) = slot else { continue };
+                    if self.equi_key(acc.schema(), cand.schema(), c).is_some() {
+                        used.push(ci);
+                    }
+                }
+                if !used.is_empty() {
+                    pick = Some((i, used));
+                    break 'candidates;
+                }
+            }
+            match pick {
+                Some((i, used)) => {
+                    let cand = inputs.remove(i);
+                    let mut left_keys = Vec::new();
+                    let mut right_keys = Vec::new();
+                    for ci in used {
+                        let c = conjuncts[ci].take().unwrap();
+                        let (l, r) = self
+                            .equi_key(acc.schema(), cand.schema(), &c)
+                            .expect("re-check of equi key");
+                        left_keys.push(self.bind(l, acc.schema())?);
+                        right_keys.push(self.bind(r, cand.schema())?);
+                    }
+                    let schema = acc.schema().join(cand.schema());
+                    acc = Plan::HashJoin {
+                        left: Box::new(acc),
+                        right: Box::new(cand),
+                        left_keys,
+                        right_keys,
+                        schema,
+                    };
+                }
+                None => {
+                    let cand = inputs.remove(0);
+                    let schema = acc.schema().join(cand.schema());
+                    acc = Plan::CrossJoin {
+                        left: Box::new(acc),
+                        right: Box::new(cand),
+                        schema,
+                    };
+                }
+            }
+        }
+
+        // 4. Remaining conjuncts filter the joined relation.
+        for slot in conjuncts.iter_mut() {
+            if let Some(c) = slot.take() {
+                let predicate = self.bind(&c, acc.schema())?;
+                acc = Plan::Filter {
+                    input: Box::new(acc),
+                    predicate,
+                };
+            }
+        }
+
+        // 5. Grouping / projection.
+        let has_aggs = stmt.items.iter().any(|it| match it {
+            SelectItem::Expr { expr, .. } => expr_has_agg(expr),
+            SelectItem::Wildcard => false,
+        }) || stmt.having.as_ref().is_some_and(expr_has_agg);
+
+        acc = match (&stmt.group_by, has_aggs) {
+            (Some(GroupBy::Standard(keys)), _) => {
+                self.build_hash_aggregate(acc, keys.clone(), stmt)?
+            }
+            (Some(GroupBy::SimilarityAll { exprs, metric, eps, overlap }), _) => {
+                let mode = SgbMode::All {
+                    eps: *eps,
+                    metric: *metric,
+                    overlap: *overlap,
+                    algorithm: self.db.sgb_all_algorithm(),
+                    seed: self.db.sgb_seed(),
+                };
+                self.build_similarity(acc, exprs, mode, stmt)?
+            }
+            (Some(GroupBy::SimilarityAny { exprs, metric, eps }), _) => {
+                let mode = SgbMode::Any {
+                    eps: *eps,
+                    metric: *metric,
+                    algorithm: self.db.sgb_any_algorithm(),
+                };
+                self.build_similarity(acc, exprs, mode, stmt)?
+            }
+            (None, true) => self.build_hash_aggregate(acc, Vec::new(), stmt)?,
+            (None, false) => {
+                if stmt.having.is_some() {
+                    return Err(Error::Unsupported(
+                        "HAVING without GROUP BY or aggregates".into(),
+                    ));
+                }
+                self.build_projection(acc, stmt)?
+            }
+        };
+
+        // 6. ORDER BY, then LIMIT. Keys bind against the output schema;
+        //    for plain projections they may instead reference input columns
+        //    (`SELECT name FROM t ORDER BY id`), in which case the sort is
+        //    planned below the projection.
+        if !stmt.order_by.is_empty() {
+            let out_schema = acc.schema().clone();
+            // A sort key may also repeat a select item verbatim
+            // (`ORDER BY count(*)`): match syntactically and sort by that
+            // output column.
+            let item_position = |e: &Expr| {
+                stmt.items.iter().position(
+                    |it| matches!(it, SelectItem::Expr { expr, .. } if expr == e),
+                )
+            };
+            let out_keys: Result<Vec<(BoundExpr, bool)>> = stmt
+                .order_by
+                .iter()
+                .map(|k| {
+                    if let Some(i) = item_position(&k.expr) {
+                        return Ok((BoundExpr::Column(i), k.desc));
+                    }
+                    Ok((self.bind(&k.expr, &out_schema)?, k.desc))
+                })
+                .collect();
+            match out_keys {
+                Ok(keys) => {
+                    acc = Plan::Sort {
+                        input: Box::new(acc),
+                        keys,
+                    };
+                }
+                Err(out_err) => {
+                    let Plan::Project {
+                        input,
+                        exprs,
+                        schema,
+                    } = acc
+                    else {
+                        return Err(out_err);
+                    };
+                    let in_schema = input.schema().clone();
+                    let mut keys = Vec::new();
+                    for k in &stmt.order_by {
+                        let bound = self.bind(&k.expr, &in_schema).map_err(|_| out_err.clone())?;
+                        keys.push((bound, k.desc));
+                    }
+                    acc = Plan::Project {
+                        input: Box::new(Plan::Sort { input, keys }),
+                        exprs,
+                        schema,
+                    };
+                }
+            }
+        }
+        if let Some(n) = stmt.limit {
+            acc = Plan::Limit {
+                input: Box::new(acc),
+                n,
+            };
+        }
+        Ok(acc)
+    }
+
+    fn table_ref(&self, item: &TableRef) -> Result<Plan> {
+        match item {
+            TableRef::Named { name, alias } => {
+                let table = self.db.table(name)?;
+                let binding = alias.as_deref().unwrap_or(name);
+                Ok(Plan::Scan {
+                    table: name.clone(),
+                    schema: table.schema.clone().with_qualifier(binding),
+                })
+            }
+            TableRef::Subquery { query, alias } => {
+                let inner = self.select(query)?;
+                let schema = inner.schema().clone().with_qualifier(alias);
+                // Re-qualification is a zero-cost projection: reuse the
+                // inner plan and only swap the schema via Project identity.
+                let exprs = (0..schema.len()).map(BoundExpr::Column).collect();
+                Ok(Plan::Project {
+                    input: Box::new(inner),
+                    exprs,
+                    schema,
+                })
+            }
+        }
+    }
+
+    // -- grouping -------------------------------------------------------------
+
+    fn build_hash_aggregate(&self, input: Plan, keys: Vec<Expr>, stmt: &Select) -> Result<Plan> {
+        let input_schema = input.schema().clone();
+        let mut group_exprs = Vec::new();
+        for k in &keys {
+            group_exprs.push(self.bind(k, &input_schema)?);
+        }
+        let mut ctx = AggContext {
+            group_asts: keys,
+            aggs: Vec::new(),
+            agg_asts: Vec::new(),
+            sgb: false,
+        };
+        let (outputs, schema) = self.rewrite_outputs(stmt, &mut ctx, &input_schema)?;
+        let having = match &stmt.having {
+            Some(h) => Some(self.rewrite_agg(h, &mut ctx, &input_schema)?),
+            None => None,
+        };
+        Ok(Plan::HashAggregate {
+            input: Box::new(input),
+            group_exprs,
+            aggs: ctx.aggs,
+            having,
+            outputs,
+            schema,
+        })
+    }
+
+    fn build_similarity(
+        &self,
+        input: Plan,
+        grouping: &[Expr],
+        mode: SgbMode,
+        stmt: &Select,
+    ) -> Result<Plan> {
+        debug_assert!((2..=3).contains(&grouping.len()), "checked by the parser");
+        let input_schema = input.schema().clone();
+        let coords: Vec<BoundExpr> = grouping
+            .iter()
+            .map(|g| self.bind(g, &input_schema))
+            .collect::<Result<_>>()?;
+        let mut ctx = AggContext {
+            group_asts: Vec::new(),
+            aggs: Vec::new(),
+            agg_asts: Vec::new(),
+            sgb: true,
+        };
+        let (outputs, schema) = self.rewrite_outputs(stmt, &mut ctx, &input_schema)?;
+        let having = match &stmt.having {
+            Some(h) => Some(self.rewrite_agg(h, &mut ctx, &input_schema)?),
+            None => None,
+        };
+        Ok(Plan::SimilarityGroupBy {
+            input: Box::new(input),
+            coords,
+            mode,
+            aggs: ctx.aggs,
+            having,
+            outputs,
+            schema,
+        })
+    }
+
+    /// Rewrites the select list of a grouped query into expressions over the
+    /// aggregate node's internal layout, returning them plus the output
+    /// schema.
+    fn rewrite_outputs(
+        &self,
+        stmt: &Select,
+        ctx: &mut AggContext,
+        input_schema: &Schema,
+    ) -> Result<(Vec<BoundExpr>, Schema)> {
+        let mut outputs = Vec::new();
+        let mut columns = Vec::new();
+        for (i, item) in stmt.items.iter().enumerate() {
+            match item {
+                SelectItem::Wildcard => {
+                    return Err(Error::Unsupported(
+                        "SELECT * is not valid in a grouped query".into(),
+                    ))
+                }
+                SelectItem::Expr { expr, alias } => {
+                    outputs.push(self.rewrite_agg(expr, ctx, input_schema)?);
+                    columns.push(Column::new(output_name(expr, alias.as_deref(), i)));
+                }
+            }
+        }
+        Ok((outputs, Schema { columns }))
+    }
+
+    /// Rewrites one expression of a grouped query against the internal
+    /// layout `[group values…, aggregate results…]` (`[aggregates…]` for
+    /// similarity grouping).
+    fn rewrite_agg(
+        &self,
+        expr: &Expr,
+        ctx: &mut AggContext,
+        input_schema: &Schema,
+    ) -> Result<BoundExpr> {
+        // A select item that syntactically repeats a group expression
+        // refers to the group value.
+        if !ctx.sgb {
+            if let Some(i) = ctx.group_asts.iter().position(|g| g == expr) {
+                return Ok(BoundExpr::Column(i));
+            }
+        }
+        match expr {
+            Expr::Func { name, args, star } => {
+                if let Some(kind) = AggKind::from_name(name) {
+                    let kind = if *star && kind == AggKind::Count {
+                        AggKind::CountStar
+                    } else {
+                        kind
+                    };
+                    let arg = if kind == AggKind::CountStar {
+                        if !args.is_empty() {
+                            return Err(Error::Parse("count(*) takes no arguments".into()));
+                        }
+                        None
+                    } else {
+                        if args.len() != 1 {
+                            return Err(Error::Unsupported(format!(
+                                "{name} takes exactly one argument"
+                            )));
+                        }
+                        if expr_has_agg(&args[0]) {
+                            return Err(Error::Unsupported("nested aggregates".into()));
+                        }
+                        Some(self.bind(&args[0], input_schema)?)
+                    };
+                    // Deduplicate identical aggregate calls.
+                    let idx = match ctx.agg_asts.iter().position(|a| a == expr) {
+                        Some(i) => i,
+                        None => {
+                            ctx.agg_asts.push(expr.clone());
+                            ctx.aggs.push(AggCall { kind, arg });
+                            ctx.aggs.len() - 1
+                        }
+                    };
+                    let base = if ctx.sgb { 0 } else { ctx.group_asts.len() };
+                    Ok(BoundExpr::Column(base + idx))
+                } else {
+                    Err(Error::Binding(format!("unknown function '{name}'")))
+                }
+            }
+            Expr::Literal(v) => Ok(BoundExpr::Literal(v.clone())),
+            Expr::Binary { op, left, right } => Ok(BoundExpr::Binary {
+                op: *op,
+                left: Box::new(self.rewrite_agg(left, ctx, input_schema)?),
+                right: Box::new(self.rewrite_agg(right, ctx, input_schema)?),
+            }),
+            Expr::Neg(e) => Ok(BoundExpr::Neg(Box::new(self.rewrite_agg(e, ctx, input_schema)?))),
+            Expr::Not(e) => Ok(BoundExpr::Not(Box::new(self.rewrite_agg(e, ctx, input_schema)?))),
+            Expr::Column { qualifier, name } => {
+                let what = if ctx.sgb {
+                    "similarity-grouped queries can only select aggregates"
+                } else {
+                    "column must appear in GROUP BY or inside an aggregate"
+                };
+                let full = match qualifier {
+                    Some(q) => format!("{q}.{name}"),
+                    None => name.clone(),
+                };
+                Err(Error::Binding(format!("{what}: '{full}'")))
+            }
+            Expr::InSubquery { .. } | Expr::InList { .. } => Err(Error::Unsupported(
+                "IN predicates are not supported in grouped select lists".into(),
+            )),
+        }
+    }
+
+    // -- projection (non-aggregated) -----------------------------------------
+
+    fn build_projection(&self, input: Plan, stmt: &Select) -> Result<Plan> {
+        let input_schema = input.schema().clone();
+        let mut exprs = Vec::new();
+        let mut columns = Vec::new();
+        for (i, item) in stmt.items.iter().enumerate() {
+            match item {
+                SelectItem::Wildcard => {
+                    for (ci, col) in input_schema.columns.iter().enumerate() {
+                        exprs.push(BoundExpr::Column(ci));
+                        columns.push(col.clone());
+                    }
+                }
+                SelectItem::Expr { expr, alias } => {
+                    exprs.push(self.bind(expr, &input_schema)?);
+                    columns.push(Column::new(output_name(expr, alias.as_deref(), i)));
+                }
+            }
+        }
+        Ok(Plan::Project {
+            input: Box::new(input),
+            exprs,
+            schema: Schema { columns },
+        })
+    }
+
+    // -- binding --------------------------------------------------------------
+
+    /// Binds a scalar (aggregate-free) expression against `schema`.
+    fn bind(&self, expr: &Expr, schema: &Schema) -> Result<BoundExpr> {
+        match expr {
+            Expr::Literal(v) => Ok(BoundExpr::Literal(v.clone())),
+            Expr::Column { qualifier, name } => Ok(BoundExpr::Column(
+                schema.resolve(qualifier.as_deref(), name)?,
+            )),
+            Expr::Binary { op, left, right } => Ok(BoundExpr::Binary {
+                op: *op,
+                left: Box::new(self.bind(left, schema)?),
+                right: Box::new(self.bind(right, schema)?),
+            }),
+            Expr::Neg(e) => Ok(BoundExpr::Neg(Box::new(self.bind(e, schema)?))),
+            Expr::Not(e) => Ok(BoundExpr::Not(Box::new(self.bind(e, schema)?))),
+            Expr::Func { name, .. } => Err(Error::Binding(format!(
+                "aggregate or unknown function '{name}' not allowed here"
+            ))),
+            Expr::InSubquery {
+                expr,
+                query,
+                negated,
+            } => {
+                // Uncorrelated subquery: plan and run it once at bind time.
+                let plan = self.select(query)?;
+                let table = execute(&plan, self.db)?;
+                if table.schema.len() != 1 {
+                    return Err(Error::Unsupported(format!(
+                        "IN subquery must return one column, got {}",
+                        table.schema.len()
+                    )));
+                }
+                let set: HashSet<Value> = table
+                    .rows
+                    .into_iter()
+                    .map(|mut r| r.pop().unwrap())
+                    .filter(|v| !v.is_null())
+                    .collect();
+                Ok(BoundExpr::InSet {
+                    expr: Box::new(self.bind(expr, schema)?),
+                    set: Arc::new(set),
+                    negated: *negated,
+                })
+            }
+            Expr::InList {
+                expr,
+                list,
+                negated,
+            } => {
+                let mut set = HashSet::with_capacity(list.len());
+                for item in list {
+                    let bound = self.bind(item, schema)?;
+                    // List items must be constants: evaluate on an empty row.
+                    let v = bound.eval(&[]).map_err(|_| {
+                        Error::Unsupported("IN list items must be constants".into())
+                    })?;
+                    if !v.is_null() {
+                        set.insert(v);
+                    }
+                }
+                Ok(BoundExpr::InSet {
+                    expr: Box::new(self.bind(expr, schema)?),
+                    set: Arc::new(set),
+                    negated: *negated,
+                })
+            }
+        }
+    }
+
+    /// `true` when every column `expr` references resolves in `schema`.
+    fn resolvable(&self, schema: &Schema, expr: &Expr) -> bool {
+        let mut cols = Vec::new();
+        collect_columns(expr, &mut cols);
+        cols.iter()
+            .all(|(q, n)| schema.resolve(q.as_deref(), n).is_ok())
+    }
+
+    /// When `c` is `l = r` with `l` over `left` and `r` over `right`
+    /// (either orientation), returns the pair oriented as (left, right).
+    fn equi_key<'e>(
+        &self,
+        left: &Schema,
+        right: &Schema,
+        c: &'e Expr,
+    ) -> Option<(&'e Expr, &'e Expr)> {
+        let Expr::Binary {
+            op: BinOp::Eq,
+            left: l,
+            right: r,
+        } = c
+        else {
+            return None;
+        };
+        if !has_column_refs(l) || !has_column_refs(r) {
+            return None;
+        }
+        if self.resolvable(left, l) && self.resolvable(right, r) {
+            Some((l, r))
+        } else if self.resolvable(left, r) && self.resolvable(right, l) {
+            Some((r, l))
+        } else {
+            None
+        }
+    }
+}
+
+struct AggContext {
+    group_asts: Vec<Expr>,
+    aggs: Vec<AggCall>,
+    agg_asts: Vec<Expr>,
+    sgb: bool,
+}
+
+/// Splits nested `AND`s into a conjunct list.
+fn split_conjuncts(expr: &Expr, out: &mut Vec<Expr>) {
+    if let Expr::Binary {
+        op: BinOp::And,
+        left,
+        right,
+    } = expr
+    {
+        split_conjuncts(left, out);
+        split_conjuncts(right, out);
+    } else {
+        out.push(expr.clone());
+    }
+}
+
+/// Collects column references (not descending into subqueries, which are
+/// uncorrelated and self-contained).
+fn collect_columns(expr: &Expr, out: &mut Vec<(Option<String>, String)>) {
+    match expr {
+        Expr::Column { qualifier, name } => out.push((qualifier.clone(), name.clone())),
+        Expr::Binary { left, right, .. } => {
+            collect_columns(left, out);
+            collect_columns(right, out);
+        }
+        Expr::Neg(e) | Expr::Not(e) => collect_columns(e, out),
+        Expr::Func { args, .. } => {
+            for a in args {
+                collect_columns(a, out);
+            }
+        }
+        Expr::InSubquery { expr, .. } => collect_columns(expr, out),
+        Expr::InList { expr, list, .. } => {
+            collect_columns(expr, out);
+            for i in list {
+                collect_columns(i, out);
+            }
+        }
+        Expr::Literal(_) => {}
+    }
+}
+
+fn has_column_refs(expr: &Expr) -> bool {
+    let mut cols = Vec::new();
+    collect_columns(expr, &mut cols);
+    !cols.is_empty()
+}
+
+/// `true` when the expression contains an aggregate function call.
+fn expr_has_agg(expr: &Expr) -> bool {
+    match expr {
+        Expr::Func { name, .. } => AggKind::from_name(name).is_some(),
+        Expr::Binary { left, right, .. } => expr_has_agg(left) || expr_has_agg(right),
+        Expr::Neg(e) | Expr::Not(e) => expr_has_agg(e),
+        Expr::InSubquery { expr, .. } => expr_has_agg(expr),
+        Expr::InList { expr, list, .. } => expr_has_agg(expr) || list.iter().any(expr_has_agg),
+        Expr::Column { .. } | Expr::Literal(_) => false,
+    }
+}
+
+/// Output column name for a select item.
+fn output_name(expr: &Expr, alias: Option<&str>, idx: usize) -> String {
+    if let Some(a) = alias {
+        return a.to_owned();
+    }
+    match expr {
+        Expr::Column { name, .. } => name.clone(),
+        Expr::Func { name, .. } => name.clone(),
+        _ => format!("col{idx}"),
+    }
+}

@@ -1,0 +1,154 @@
+//! Column schemas and name resolution.
+
+use crate::error::{Error, Result};
+
+/// A named output column. Columns may carry a qualifier (table name or
+/// alias) for disambiguation after joins.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Column {
+    /// Optional qualifier (`r1` in `r1.c_custkey`).
+    pub qualifier: Option<String>,
+    /// Column name.
+    pub name: String,
+}
+
+impl Column {
+    /// An unqualified column.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            qualifier: None,
+            name: name.into(),
+        }
+    }
+
+    /// A qualified column.
+    pub fn qualified(qualifier: impl Into<String>, name: impl Into<String>) -> Self {
+        Self {
+            qualifier: Some(qualifier.into()),
+            name: name.into(),
+        }
+    }
+
+    /// `true` when this column answers to `qualifier.name` / `name`.
+    fn matches(&self, qualifier: Option<&str>, name: &str) -> bool {
+        if !self.name.eq_ignore_ascii_case(name) {
+            return false;
+        }
+        match qualifier {
+            None => true,
+            Some(q) => self
+                .qualifier
+                .as_deref()
+                .is_some_and(|mine| mine.eq_ignore_ascii_case(q)),
+        }
+    }
+
+    /// Rendered as `qualifier.name` or `name`.
+    pub fn display_name(&self) -> String {
+        match &self.qualifier {
+            Some(q) => format!("{q}.{}", self.name),
+            None => self.name.clone(),
+        }
+    }
+}
+
+/// An ordered list of columns.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Schema {
+    /// The columns, in position order.
+    pub columns: Vec<Column>,
+}
+
+impl Schema {
+    /// A schema of unqualified column names.
+    pub fn new<S: Into<String>>(names: impl IntoIterator<Item = S>) -> Self {
+        Self {
+            columns: names.into_iter().map(|n| Column::new(n.into())).collect(),
+        }
+    }
+
+    /// Number of columns.
+    pub fn len(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// `true` when the schema has no columns.
+    pub fn is_empty(&self) -> bool {
+        self.columns.is_empty()
+    }
+
+    /// Re-qualifies every column (applied when a table/subquery gets an
+    /// alias: `FROM (…) AS r1`).
+    pub fn with_qualifier(mut self, qualifier: &str) -> Self {
+        for c in &mut self.columns {
+            c.qualifier = Some(qualifier.to_owned());
+        }
+        self
+    }
+
+    /// Concatenates two schemas (join output).
+    pub fn join(&self, other: &Schema) -> Schema {
+        let mut columns = self.columns.clone();
+        columns.extend(other.columns.iter().cloned());
+        Schema { columns }
+    }
+
+    /// Resolves `qualifier.name` (or bare `name`) to a column index.
+    /// Errors on unknown or ambiguous references.
+    pub fn resolve(&self, qualifier: Option<&str>, name: &str) -> Result<usize> {
+        let mut hit = None;
+        for (i, c) in self.columns.iter().enumerate() {
+            if c.matches(qualifier, name) {
+                if hit.is_some() {
+                    return Err(Error::Binding(format!("ambiguous column reference '{name}'")));
+                }
+                hit = Some(i);
+            }
+        }
+        hit.ok_or_else(|| {
+            let full = match qualifier {
+                Some(q) => format!("{q}.{name}"),
+                None => name.to_owned(),
+            };
+            Error::Binding(format!("unknown column '{full}'"))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolve_by_name_case_insensitive() {
+        let s = Schema::new(["a", "b", "C"]);
+        assert_eq!(s.resolve(None, "b").unwrap(), 1);
+        assert_eq!(s.resolve(None, "c").unwrap(), 2);
+        assert!(s.resolve(None, "z").is_err());
+    }
+
+    #[test]
+    fn resolve_with_qualifier() {
+        let left = Schema::new(["k", "x"]).with_qualifier("l");
+        let right = Schema::new(["k", "y"]).with_qualifier("r");
+        let joined = left.join(&right);
+        assert_eq!(joined.resolve(Some("l"), "k").unwrap(), 0);
+        assert_eq!(joined.resolve(Some("r"), "k").unwrap(), 2);
+        assert!(joined.resolve(None, "k").is_err(), "bare k is ambiguous");
+        assert_eq!(joined.resolve(None, "x").unwrap(), 1);
+        assert_eq!(joined.resolve(None, "y").unwrap(), 3);
+    }
+
+    #[test]
+    fn unknown_qualifier_fails() {
+        let s = Schema::new(["a"]).with_qualifier("t");
+        assert!(s.resolve(Some("u"), "a").is_err());
+        assert_eq!(s.resolve(Some("T"), "a").unwrap(), 0);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Column::new("a").display_name(), "a");
+        assert_eq!(Column::qualified("t", "a").display_name(), "t.a");
+    }
+}

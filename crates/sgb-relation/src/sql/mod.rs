@@ -1,0 +1,9 @@
+//! SQL front-end: tokenizer, AST, and parser with the similarity group-by
+//! grammar extension.
+
+pub mod ast;
+pub mod lexer;
+pub mod parser;
+
+pub use ast::{Expr, GroupBy, OrderKey, Select, SelectItem, Statement, TableRef};
+pub use parser::{parse_select, parse_statement};

@@ -1,0 +1,862 @@
+//! Recursive-descent SQL parser, including the paper's similarity
+//! group-by grammar extension (Section 4):
+//!
+//! ```sql
+//! SELECT count(*) FROM gps_points
+//! GROUP BY lat, lon DISTANCE-TO-ALL LINF WITHIN 3
+//! ON-OVERLAP FORM-NEW-GROUP
+//! ```
+//!
+//! Both the formal syntax of Section 4 (`DISTANCE-TO-ALL L2 WITHIN ε
+//! ON-OVERLAP …`) and the Table 2 spelling (`DISTANCE-ALL WITHIN ε USING
+//! ltwo on overlap join-any`) are accepted.
+
+use sgb_core::OverlapAction;
+use sgb_geom::Metric;
+
+use crate::error::{Error, Result};
+use crate::expr::BinOp;
+use crate::sql::ast::*;
+use crate::sql::lexer::{tokenize, Token};
+use crate::value::{parse_date, Value};
+
+/// Keywords that terminate expressions / cannot serve as implicit aliases.
+const RESERVED: &[&str] = &[
+    "select", "from", "where", "group", "by", "having", "order", "limit", "as", "on", "and",
+    "or", "not", "in", "asc", "desc", "distance", "within", "using", "values", "union",
+];
+
+/// Parses one statement (query or DDL/DML).
+pub fn parse_statement(sql: &str) -> Result<Statement> {
+    let mut p = Parser::new(sql)?;
+    let stmt = p.statement()?;
+    p.eat(&Token::Semicolon);
+    p.expect_end()?;
+    Ok(stmt)
+}
+
+/// Parses a SELECT query.
+pub fn parse_select(sql: &str) -> Result<Select> {
+    match parse_statement(sql)? {
+        Statement::Select(s) => Ok(*s),
+        other => Err(Error::Parse(format!("expected a SELECT, got {other:?}"))),
+    }
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn new(sql: &str) -> Result<Self> {
+        Ok(Self {
+            tokens: tokenize(sql)?,
+            pos: 0,
+        })
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn peek2(&self) -> Option<&Token> {
+        self.tokens.get(self.pos + 1)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, t: &Token) -> bool {
+        if self.peek() == Some(t) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.peek().is_some_and(|t| t.is_kw(kw)) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, t: &Token) -> Result<()> {
+        if self.eat(t) {
+            Ok(())
+        } else {
+            Err(Error::Parse(format!("expected {t:?}, found {:?}", self.peek())))
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<()> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(Error::Parse(format!(
+                "expected keyword {kw}, found {:?}",
+                self.peek()
+            )))
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String> {
+        match self.next() {
+            Some(Token::Ident(s)) => Ok(s),
+            other => Err(Error::Parse(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    fn expect_end(&self) -> Result<()> {
+        if self.pos == self.tokens.len() {
+            Ok(())
+        } else {
+            Err(Error::Parse(format!(
+                "trailing tokens starting at {:?}",
+                self.peek()
+            )))
+        }
+    }
+
+    /// Reads a hyphen-joined identifier chain (`FORM-NEW-GROUP` →
+    /// `"FORM-NEW-GROUP"`), upper-cased.
+    fn hyphen_ident(&mut self) -> Result<String> {
+        let mut s = self.expect_ident()?.to_ascii_uppercase();
+        while self.peek() == Some(&Token::Minus)
+            && matches!(self.peek2(), Some(Token::Ident(_)))
+        {
+            self.pos += 1; // '-'
+            s.push('-');
+            s.push_str(&self.expect_ident()?.to_ascii_uppercase());
+        }
+        Ok(s)
+    }
+
+    // -- statements ---------------------------------------------------------
+
+    fn statement(&mut self) -> Result<Statement> {
+        match self.peek() {
+            Some(t) if t.is_kw("select") => Ok(Statement::Select(Box::new(self.select()?))),
+            Some(t) if t.is_kw("create") => self.create_table(),
+            Some(t) if t.is_kw("insert") => self.insert(),
+            Some(t) if t.is_kw("drop") => self.drop_table(),
+            other => Err(Error::Parse(format!("expected a statement, found {other:?}"))),
+        }
+    }
+
+    fn create_table(&mut self) -> Result<Statement> {
+        self.expect_kw("create")?;
+        self.expect_kw("table")?;
+        let name = self.expect_ident()?;
+        self.expect(&Token::LParen)?;
+        let mut columns = Vec::new();
+        loop {
+            let col = self.expect_ident()?;
+            // Optional type words (`DOUBLE PRECISION`, `VARCHAR(10)`,
+            // `INT NOT NULL`, …), discarded: the engine is dynamically
+            // typed. Everything up to the next ',' or ')' belongs to the
+            // type/constraint clause.
+            while matches!(self.peek(), Some(Token::Ident(_))) {
+                self.next();
+                if self.eat(&Token::LParen) {
+                    while !self.eat(&Token::RParen) {
+                        self.next()
+                            .ok_or_else(|| Error::Parse("unterminated type args".into()))?;
+                    }
+                }
+            }
+            columns.push(col);
+            if !self.eat(&Token::Comma) {
+                break;
+            }
+        }
+        self.expect(&Token::RParen)?;
+        Ok(Statement::CreateTable { name, columns })
+    }
+
+    fn insert(&mut self) -> Result<Statement> {
+        self.expect_kw("insert")?;
+        self.expect_kw("into")?;
+        let table = self.expect_ident()?;
+        self.expect_kw("values")?;
+        let mut rows = Vec::new();
+        loop {
+            self.expect(&Token::LParen)?;
+            let mut row = Vec::new();
+            loop {
+                row.push(self.expr()?);
+                if !self.eat(&Token::Comma) {
+                    break;
+                }
+            }
+            self.expect(&Token::RParen)?;
+            rows.push(row);
+            if !self.eat(&Token::Comma) {
+                break;
+            }
+        }
+        Ok(Statement::Insert { table, rows })
+    }
+
+    fn drop_table(&mut self) -> Result<Statement> {
+        self.expect_kw("drop")?;
+        self.expect_kw("table")?;
+        let name = self.expect_ident()?;
+        Ok(Statement::DropTable { name })
+    }
+
+    // -- SELECT -------------------------------------------------------------
+
+    fn select(&mut self) -> Result<Select> {
+        self.expect_kw("select")?;
+        let mut items = Vec::new();
+        loop {
+            if self.eat(&Token::Star) {
+                items.push(SelectItem::Wildcard);
+            } else {
+                let expr = self.expr()?;
+                let alias = self.optional_alias()?;
+                items.push(SelectItem::Expr { expr, alias });
+            }
+            if !self.eat(&Token::Comma) {
+                break;
+            }
+        }
+
+        self.expect_kw("from")?;
+        let mut from = Vec::new();
+        loop {
+            from.push(self.table_ref()?);
+            if !self.eat(&Token::Comma) {
+                break;
+            }
+        }
+
+        let where_clause = if self.eat_kw("where") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+
+        let group_by = if self.eat_kw("group") {
+            self.expect_kw("by")?;
+            Some(self.group_by()?)
+        } else {
+            None
+        };
+
+        let having = if self.eat_kw("having") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+
+        let mut order_by = Vec::new();
+        if self.eat_kw("order") {
+            self.expect_kw("by")?;
+            loop {
+                let expr = self.expr()?;
+                let desc = if self.eat_kw("desc") {
+                    true
+                } else {
+                    self.eat_kw("asc");
+                    false
+                };
+                order_by.push(OrderKey { expr, desc });
+                if !self.eat(&Token::Comma) {
+                    break;
+                }
+            }
+        }
+
+        let limit = if self.eat_kw("limit") {
+            match self.next() {
+                Some(Token::Int(n)) if n >= 0 => Some(n as usize),
+                other => return Err(Error::Parse(format!("expected LIMIT count, found {other:?}"))),
+            }
+        } else {
+            None
+        };
+
+        Ok(Select {
+            items,
+            from,
+            where_clause,
+            group_by,
+            having,
+            order_by,
+            limit,
+        })
+    }
+
+    fn optional_alias(&mut self) -> Result<Option<String>> {
+        if self.eat_kw("as") {
+            return Ok(Some(self.expect_ident()?));
+        }
+        // Implicit alias: a bare identifier that is not a reserved keyword.
+        if let Some(Token::Ident(s)) = self.peek() {
+            if !RESERVED.iter().any(|kw| s.eq_ignore_ascii_case(kw)) {
+                let s = s.clone();
+                self.pos += 1;
+                return Ok(Some(s));
+            }
+        }
+        Ok(None)
+    }
+
+    fn table_ref(&mut self) -> Result<TableRef> {
+        if self.eat(&Token::LParen) {
+            let query = Box::new(self.select()?);
+            self.expect(&Token::RParen)?;
+            self.eat_kw("as");
+            let alias = self.expect_ident()?;
+            Ok(TableRef::Subquery { query, alias })
+        } else {
+            let name = self.expect_ident()?;
+            let alias = self.optional_alias()?;
+            Ok(TableRef::Named { name, alias })
+        }
+    }
+
+    // -- GROUP BY (standard + similarity) ------------------------------------
+
+    fn group_by(&mut self) -> Result<GroupBy> {
+        let mut exprs = vec![self.expr()?];
+        while self.eat(&Token::Comma) {
+            exprs.push(self.expr()?);
+        }
+        if !self.peek().is_some_and(|t| t.is_kw("distance")) {
+            return Ok(GroupBy::Standard(exprs));
+        }
+
+        // Similarity clause. Accepted spellings of the head keyword:
+        // DISTANCE-TO-ALL / DISTANCE-ALL / DISTANCE-TO-ANY / DISTANCE-ANY.
+        let head = self.hyphen_ident()?;
+        let is_all = match head.as_str() {
+            "DISTANCE-TO-ALL" | "DISTANCE-ALL" => true,
+            "DISTANCE-TO-ANY" | "DISTANCE-ANY" => false,
+            other => {
+                return Err(Error::Parse(format!(
+                    "expected DISTANCE-TO-ALL or DISTANCE-TO-ANY, found {other}"
+                )))
+            }
+        };
+        if !(2..=3).contains(&exprs.len()) {
+            return Err(Error::Unsupported(format!(
+                "similarity group-by takes 2 or 3 grouping attributes \
+                 (the paper's \"two and three dimensional data space\"), got {}",
+                exprs.len()
+            )));
+        }
+
+        // Optional metric before WITHIN (Section 4 syntax).
+        let mut metric = None;
+        if let Some(Token::Ident(s)) = self.peek() {
+            if let Some(m) = Metric::from_sql_keyword(s) {
+                metric = Some(m);
+                self.pos += 1;
+            }
+        }
+
+        self.expect_kw("within")?;
+        let eps = match self.next() {
+            Some(Token::Int(n)) => n as f64,
+            Some(Token::Float(f)) => f,
+            other => {
+                return Err(Error::Parse(format!(
+                    "expected a numeric threshold after WITHIN, found {other:?}"
+                )))
+            }
+        };
+        if eps.is_nan() || eps < 0.0 {
+            return Err(Error::Parse(format!("WITHIN threshold must be >= 0, got {eps}")));
+        }
+
+        // Optional `USING lone|ltwo|l2|linf` (Table 2 syntax).
+        if self.eat_kw("using") {
+            let word = self.expect_ident()?;
+            let m = Metric::from_sql_keyword(&word).ok_or_else(|| {
+                Error::Parse(format!("unknown distance function '{word}' after USING"))
+            })?;
+            metric = Some(m);
+        }
+        let metric = metric.unwrap_or(Metric::L2);
+
+        if !is_all {
+            return Ok(GroupBy::SimilarityAny { exprs, metric, eps });
+        }
+
+        // ON-OVERLAP clause: `ON-OVERLAP x`, `ON OVERLAP x`; defaults to
+        // JOIN-ANY when omitted.
+        let mut overlap = OverlapAction::JoinAny;
+        if self.peek().is_some_and(|t| t.is_kw("on")) {
+            let on = self.hyphen_ident()?; // ON or ON-OVERLAP
+            if on == "ON" {
+                self.expect_kw("overlap")?;
+            } else if on != "ON-OVERLAP" {
+                return Err(Error::Parse(format!("expected ON-OVERLAP, found {on}")));
+            }
+            let action = self.hyphen_ident()?;
+            overlap = OverlapAction::from_sql_keyword(&action).ok_or_else(|| {
+                Error::Parse(format!("unknown ON-OVERLAP action '{action}'"))
+            })?;
+        }
+        Ok(GroupBy::SimilarityAll {
+            exprs,
+            metric,
+            eps,
+            overlap,
+        })
+    }
+
+    // -- expressions ---------------------------------------------------------
+
+    fn expr(&mut self) -> Result<Expr> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr> {
+        let mut left = self.and_expr()?;
+        while self.eat_kw("or") {
+            let right = self.and_expr()?;
+            left = Expr::Binary {
+                op: BinOp::Or,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr> {
+        let mut left = self.not_expr()?;
+        while self.eat_kw("and") {
+            let right = self.not_expr()?;
+            left = Expr::Binary {
+                op: BinOp::And,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn not_expr(&mut self) -> Result<Expr> {
+        if self.eat_kw("not") {
+            Ok(Expr::Not(Box::new(self.not_expr()?)))
+        } else {
+            self.cmp_expr()
+        }
+    }
+
+    fn cmp_expr(&mut self) -> Result<Expr> {
+        let left = self.add_expr()?;
+        let op = match self.peek() {
+            Some(Token::Eq) => Some(BinOp::Eq),
+            Some(Token::Ne) => Some(BinOp::Ne),
+            Some(Token::Lt) => Some(BinOp::Lt),
+            Some(Token::Le) => Some(BinOp::Le),
+            Some(Token::Gt) => Some(BinOp::Gt),
+            Some(Token::Ge) => Some(BinOp::Ge),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.pos += 1;
+            let right = self.add_expr()?;
+            return Ok(Expr::Binary {
+                op,
+                left: Box::new(left),
+                right: Box::new(right),
+            });
+        }
+        // [NOT] IN (subquery | list)
+        let negated = if self.peek().is_some_and(|t| t.is_kw("not"))
+            && self.peek2().is_some_and(|t| t.is_kw("in"))
+        {
+            self.pos += 2;
+            true
+        } else if self.eat_kw("in") {
+            false
+        } else {
+            return Ok(left);
+        };
+        self.expect(&Token::LParen)?;
+        if self.peek().is_some_and(|t| t.is_kw("select")) {
+            let query = Box::new(self.select()?);
+            self.expect(&Token::RParen)?;
+            Ok(Expr::InSubquery {
+                expr: Box::new(left),
+                query,
+                negated,
+            })
+        } else {
+            let mut list = vec![self.expr()?];
+            while self.eat(&Token::Comma) {
+                list.push(self.expr()?);
+            }
+            self.expect(&Token::RParen)?;
+            Ok(Expr::InList {
+                expr: Box::new(left),
+                list,
+                negated,
+            })
+        }
+    }
+
+    fn add_expr(&mut self) -> Result<Expr> {
+        let mut left = self.mul_expr()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Plus) => BinOp::Add,
+                Some(Token::Minus) => BinOp::Sub,
+                _ => break,
+            };
+            self.pos += 1;
+            let right = self.mul_expr()?;
+            left = Expr::Binary {
+                op,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn mul_expr(&mut self) -> Result<Expr> {
+        let mut left = self.unary()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Star) => BinOp::Mul,
+                Some(Token::Slash) => BinOp::Div,
+                _ => break,
+            };
+            self.pos += 1;
+            let right = self.unary()?;
+            left = Expr::Binary {
+                op,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn unary(&mut self) -> Result<Expr> {
+        if self.eat(&Token::Minus) {
+            return Ok(Expr::Neg(Box::new(self.unary()?)));
+        }
+        if self.eat(&Token::Plus) {
+            return self.unary();
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> Result<Expr> {
+        match self.next() {
+            Some(Token::Int(n)) => Ok(Expr::Literal(Value::Int(n))),
+            Some(Token::Float(f)) => Ok(Expr::Literal(Value::Float(f))),
+            Some(Token::Str(s)) => Ok(Expr::Literal(Value::Str(s))),
+            Some(Token::LParen) => {
+                let e = self.expr()?;
+                self.expect(&Token::RParen)?;
+                Ok(e)
+            }
+            Some(Token::Ident(name)) => self.ident_expr(name),
+            other => Err(Error::Parse(format!("expected an expression, found {other:?}"))),
+        }
+    }
+
+    fn ident_expr(&mut self, name: String) -> Result<Expr> {
+        let lower = name.to_ascii_lowercase();
+        match lower.as_str() {
+            "true" => return Ok(Expr::Literal(Value::Bool(true))),
+            "false" => return Ok(Expr::Literal(Value::Bool(false))),
+            "null" => return Ok(Expr::Literal(Value::Null)),
+            // date 'YYYY-MM-DD'
+            "date" => {
+                if let Some(Token::Str(s)) = self.peek() {
+                    let days = parse_date(s)?;
+                    self.pos += 1;
+                    return Ok(Expr::Literal(Value::Date(days)));
+                }
+            }
+            // interval 'N' (year|month|day|week)
+            "interval" => {
+                if let Some(Token::Str(s)) = self.peek().cloned() {
+                    self.pos += 1;
+                    let n: i32 = s.trim().parse().map_err(|_| {
+                        Error::Parse(format!("bad interval quantity '{s}'"))
+                    })?;
+                    let unit = self.expect_ident()?.to_ascii_lowercase();
+                    let (months, days) = match unit.trim_end_matches('s') {
+                        "year" => (12 * n, 0),
+                        "month" => (n, 0),
+                        "week" => (0, 7 * n),
+                        "day" => (0, n),
+                        other => {
+                            return Err(Error::Parse(format!("unknown interval unit '{other}'")))
+                        }
+                    };
+                    return Ok(Expr::Literal(Value::Interval { months, days }));
+                }
+            }
+            _ => {}
+        }
+        // Function call?
+        if self.peek() == Some(&Token::LParen) && !RESERVED.contains(&lower.as_str()) {
+            self.pos += 1;
+            if self.eat(&Token::Star) {
+                self.expect(&Token::RParen)?;
+                return Ok(Expr::Func {
+                    name: lower,
+                    args: Vec::new(),
+                    star: true,
+                });
+            }
+            let mut args = Vec::new();
+            if self.peek() != Some(&Token::RParen) {
+                loop {
+                    args.push(self.expr()?);
+                    if !self.eat(&Token::Comma) {
+                        break;
+                    }
+                }
+            }
+            self.expect(&Token::RParen)?;
+            return Ok(Expr::Func {
+                name: lower,
+                args,
+                star: false,
+            });
+        }
+        // Qualified column?
+        if self.eat(&Token::Dot) {
+            let col = self.expect_ident()?;
+            return Ok(Expr::Column {
+                qualifier: Some(name),
+                name: col,
+            });
+        }
+        Ok(Expr::Column {
+            qualifier: None,
+            name,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_select() {
+        let s = parse_select("SELECT a, b AS bee FROM t WHERE a > 1 ORDER BY b DESC LIMIT 5").unwrap();
+        assert_eq!(s.items.len(), 2);
+        assert!(matches!(
+            &s.items[1],
+            SelectItem::Expr { alias: Some(a), .. } if a == "bee"
+        ));
+        assert_eq!(s.from.len(), 1);
+        assert!(s.where_clause.is_some());
+        assert_eq!(s.order_by.len(), 1);
+        assert!(s.order_by[0].desc);
+        assert_eq!(s.limit, Some(5));
+    }
+
+    #[test]
+    fn precedence_and_parens() {
+        let s = parse_select("SELECT 1 + 2 * 3 FROM t").unwrap();
+        let SelectItem::Expr { expr, .. } = &s.items[0] else { panic!() };
+        // 1 + (2 * 3): the top op must be Add.
+        let Expr::Binary { op: BinOp::Add, right, .. } = expr else {
+            panic!("expected Add at top, got {expr:?}")
+        };
+        assert!(matches!(**right, Expr::Binary { op: BinOp::Mul, .. }));
+        let s2 = parse_select("SELECT (1 + 2) * 3 FROM t").unwrap();
+        let SelectItem::Expr { expr, .. } = &s2.items[0] else { panic!() };
+        assert!(matches!(expr, Expr::Binary { op: BinOp::Mul, .. }));
+    }
+
+    #[test]
+    fn sgb_all_formal_syntax() {
+        let s = parse_select(
+            "SELECT count(*) FROM gps \
+             GROUP BY lat, lon DISTANCE-TO-ALL LINF WITHIN 3 \
+             ON-OVERLAP FORM-NEW-GROUP",
+        )
+        .unwrap();
+        let Some(GroupBy::SimilarityAll { exprs, metric, eps, overlap }) = s.group_by else {
+            panic!("expected SimilarityAll, got {:?}", s.group_by)
+        };
+        assert_eq!(exprs.len(), 2);
+        assert_eq!(metric, Metric::LInf);
+        assert_eq!(eps, 3.0);
+        assert_eq!(overlap, OverlapAction::FormNewGroup);
+    }
+
+    #[test]
+    fn sgb_all_table2_syntax() {
+        // Table 2 spelling: DISTANCE-ALL WITHIN ε USING ltwo on overlap join-any.
+        let s = parse_select(
+            "SELECT max(ab) FROM r \
+             GROUP BY ab, tp DISTANCE-ALL WITHIN 0.2 USING ltwo on overlap join-any",
+        )
+        .unwrap();
+        let Some(GroupBy::SimilarityAll { metric, eps, overlap, .. }) = s.group_by else {
+            panic!()
+        };
+        assert_eq!(metric, Metric::L2);
+        assert_eq!(eps, 0.2);
+        assert_eq!(overlap, OverlapAction::JoinAny);
+    }
+
+    #[test]
+    fn sgb_any_syntax() {
+        let s = parse_select(
+            "SELECT count(*) FROM gps GROUP BY lat, lon DISTANCE-TO-ANY L2 WITHIN 3",
+        )
+        .unwrap();
+        let Some(GroupBy::SimilarityAny { metric, eps, .. }) = s.group_by else {
+            panic!()
+        };
+        assert_eq!(metric, Metric::L2);
+        assert_eq!(eps, 3.0);
+    }
+
+    #[test]
+    fn sgb_takes_two_or_three_grouping_attributes() {
+        assert!(parse_select("SELECT 1 FROM t GROUP BY a DISTANCE-TO-ALL WITHIN 1").is_err());
+        assert!(
+            parse_select("SELECT 1 FROM t GROUP BY a, b, c, d DISTANCE-TO-ANY WITHIN 1").is_err()
+        );
+        // Three-dimensional grouping attributes parse (Section 1: "two and
+        // three dimensional data space").
+        let s =
+            parse_select("SELECT count(*) FROM t GROUP BY a, b, c DISTANCE-TO-ANY WITHIN 1")
+                .unwrap();
+        assert!(matches!(
+            s.group_by,
+            Some(GroupBy::SimilarityAny { ref exprs, .. }) if exprs.len() == 3
+        ));
+    }
+
+    #[test]
+    fn on_overlap_default_is_join_any() {
+        let s = parse_select("SELECT 1 FROM t GROUP BY a, b DISTANCE-TO-ALL WITHIN 1").unwrap();
+        let Some(GroupBy::SimilarityAll { overlap, metric, .. }) = s.group_by else {
+            panic!()
+        };
+        assert_eq!(overlap, OverlapAction::JoinAny);
+        assert_eq!(metric, Metric::L2, "default metric is L2");
+    }
+
+    #[test]
+    fn standard_group_by_with_having() {
+        let s = parse_select(
+            "SELECT l_orderkey, sum(l_quantity) FROM lineitem \
+             GROUP BY l_orderkey HAVING sum(l_quantity) > 3000",
+        )
+        .unwrap();
+        assert!(matches!(s.group_by, Some(GroupBy::Standard(ref v)) if v.len() == 1));
+        assert!(s.having.is_some());
+    }
+
+    #[test]
+    fn in_subquery_and_derived_table() {
+        let s = parse_select(
+            "SELECT o_custkey FROM orders, (SELECT c_custkey FROM customer WHERE c_acctbal > 100) AS r1 \
+             WHERE o_orderkey IN (SELECT l_orderkey FROM lineitem) AND r1.c_custkey = o_custkey",
+        )
+        .unwrap();
+        assert_eq!(s.from.len(), 2);
+        assert!(matches!(&s.from[1], TableRef::Subquery { alias, .. } if alias == "r1"));
+        let w = s.where_clause.unwrap();
+        let Expr::Binary { op: BinOp::And, left, .. } = w else { panic!() };
+        assert!(matches!(*left, Expr::InSubquery { .. }));
+    }
+
+    #[test]
+    fn date_and_interval_literals() {
+        let s = parse_select(
+            "SELECT 1 FROM l WHERE d > date '1995-01-01' AND d < date '1995-01-01' + interval '10' month",
+        )
+        .unwrap();
+        let w = s.where_clause.unwrap();
+        let Expr::Binary { op: BinOp::And, right, .. } = w else { panic!() };
+        let Expr::Binary { right: sum, .. } = *right else { panic!() };
+        let Expr::Binary { op: BinOp::Add, right: iv, .. } = *sum else { panic!() };
+        assert_eq!(
+            *iv,
+            Expr::Literal(Value::Interval { months: 10, days: 0 })
+        );
+    }
+
+    #[test]
+    fn count_star_and_array_agg() {
+        let s = parse_select("SELECT count(*), array_agg(r1.c_custkey) FROM r1").unwrap();
+        assert!(matches!(
+            &s.items[0],
+            SelectItem::Expr { expr: Expr::Func { name, star: true, .. }, .. } if name == "count"
+        ));
+        assert!(matches!(
+            &s.items[1],
+            SelectItem::Expr { expr: Expr::Func { name, args, .. }, .. }
+                if name == "array_agg" && args.len() == 1
+        ));
+    }
+
+    #[test]
+    fn create_insert_drop_round_trip() {
+        let c = parse_statement("CREATE TABLE t (a INT, b DOUBLE PRECISION, c VARCHAR(10))").unwrap();
+        assert_eq!(
+            c,
+            Statement::CreateTable {
+                name: "t".into(),
+                columns: vec!["a".into(), "b".into(), "c".into()]
+            }
+        );
+        let i = parse_statement("INSERT INTO t VALUES (1, 2.5, 'x'), (2, -1.0, 'y')").unwrap();
+        let Statement::Insert { table, rows } = i else { panic!() };
+        assert_eq!(table, "t");
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[1][1], Expr::Neg(Box::new(Expr::Literal(Value::Float(1.0)))));
+        assert!(matches!(
+            parse_statement("DROP TABLE t").unwrap(),
+            Statement::DropTable { .. }
+        ));
+    }
+
+    #[test]
+    fn not_in_list() {
+        let s = parse_select("SELECT 1 FROM t WHERE a NOT IN (1, 2, 3)").unwrap();
+        let Some(Expr::InList { negated: true, list, .. }) = s.where_clause else {
+            panic!()
+        };
+        assert_eq!(list.len(), 3);
+    }
+
+    #[test]
+    fn implicit_table_alias_stops_at_keywords() {
+        let s = parse_select("SELECT x FROM t u WHERE x = 1").unwrap();
+        assert!(matches!(
+            &s.from[0],
+            TableRef::Named { name, alias: Some(a) } if name == "t" && a == "u"
+        ));
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        assert!(parse_select("SELECT 1 FROM t WHERE").is_err());
+        assert!(parse_select("SELECT 1 FROM t 42").is_err());
+        assert!(parse_statement("SELECT 1 FROM t; SELECT 2 FROM t").is_err());
+    }
+}

@@ -1,0 +1,206 @@
+//! In-memory row-oriented tables.
+
+use std::fmt;
+
+use crate::error::{Error, Result};
+use crate::schema::Schema;
+use crate::value::Value;
+
+/// A row of cell values.
+pub type Row = Vec<Value>;
+
+/// A materialised relation: a schema plus rows.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Table {
+    /// Output schema.
+    pub schema: Schema,
+    /// Row data.
+    pub rows: Vec<Row>,
+}
+
+impl Table {
+    /// An empty table with the given schema.
+    pub fn empty(schema: Schema) -> Self {
+        Self {
+            schema,
+            rows: Vec::new(),
+        }
+    }
+
+    /// A table from a schema and rows; validates row widths.
+    pub fn new(schema: Schema, rows: Vec<Row>) -> Result<Self> {
+        let width = schema.len();
+        if let Some(bad) = rows.iter().find(|r| r.len() != width) {
+            return Err(Error::Eval(format!(
+                "row width {} does not match schema width {width}",
+                bad.len()
+            )));
+        }
+        Ok(Self { schema, rows })
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` when the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Appends one row, validating its width.
+    pub fn push(&mut self, row: Row) -> Result<()> {
+        if row.len() != self.schema.len() {
+            return Err(Error::Eval(format!(
+                "row width {} does not match schema width {}",
+                row.len(),
+                self.schema.len()
+            )));
+        }
+        self.rows.push(row);
+        Ok(())
+    }
+
+    /// The single value of a 1×1 result (convenient in tests).
+    pub fn scalar(&self) -> Result<&Value> {
+        if self.rows.len() == 1 && self.schema.len() == 1 {
+            Ok(&self.rows[0][0])
+        } else {
+            Err(Error::Eval(format!(
+                "expected a 1x1 result, got {}x{}",
+                self.rows.len(),
+                self.schema.len()
+            )))
+        }
+    }
+
+    /// All values of one column (by index).
+    pub fn column(&self, idx: usize) -> Vec<Value> {
+        self.rows.iter().map(|r| r[idx].clone()).collect()
+    }
+
+    /// Sorts rows lexicographically (stable canonical order for
+    /// result comparison in tests).
+    pub fn sorted(mut self) -> Self {
+        self.rows.sort_by(|a, b| {
+            for (x, y) in a.iter().zip(b.iter()) {
+                let ord = match (x.is_null(), y.is_null()) {
+                    (true, true) => std::cmp::Ordering::Equal,
+                    (true, false) => std::cmp::Ordering::Less,
+                    (false, true) => std::cmp::Ordering::Greater,
+                    (false, false) => x.cmp_non_null(y),
+                };
+                if ord != std::cmp::Ordering::Equal {
+                    return ord;
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+        self
+    }
+}
+
+impl fmt::Display for Table {
+    /// Pretty-prints an aligned ASCII table (header + rows).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let headers: Vec<String> = self
+            .schema
+            .columns
+            .iter()
+            .map(|c| c.display_name())
+            .collect();
+        let mut widths: Vec<usize> = headers.iter().map(String::len).collect();
+        let rendered: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| r.iter().map(Value::to_string).collect())
+            .collect();
+        for row in &rendered {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let line = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            write!(f, "|")?;
+            for (i, cell) in cells.iter().enumerate() {
+                write!(f, " {cell:<w$} |", w = widths[i])?;
+            }
+            writeln!(f)
+        };
+        line(f, &headers)?;
+        write!(f, "|")?;
+        for w in &widths {
+            write!(f, "{:-<w$}|", "", w = w + 2)?;
+        }
+        writeln!(f)?;
+        for row in &rendered {
+            line(f, row)?;
+        }
+        write!(f, "({} rows)", self.rows.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t() -> Table {
+        Table::new(
+            Schema::new(["id", "name"]),
+            vec![
+                vec![Value::Int(2), Value::from("bob")],
+                vec![Value::Int(1), Value::from("ann")],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn width_validation() {
+        assert!(Table::new(Schema::new(["a"]), vec![vec![Value::Int(1), Value::Int(2)]]).is_err());
+        let mut table = Table::empty(Schema::new(["a"]));
+        assert!(table.push(vec![Value::Int(1)]).is_ok());
+        assert!(table.push(vec![]).is_err());
+        assert_eq!(table.len(), 1);
+    }
+
+    #[test]
+    fn scalar_extraction() {
+        let one = Table::new(Schema::new(["n"]), vec![vec![Value::Int(7)]]).unwrap();
+        assert_eq!(one.scalar().unwrap(), &Value::Int(7));
+        assert!(t().scalar().is_err());
+    }
+
+    #[test]
+    fn sorted_orders_rows() {
+        let sorted = t().sorted();
+        assert_eq!(sorted.rows[0][0], Value::Int(1));
+        assert_eq!(sorted.rows[1][0], Value::Int(2));
+    }
+
+    #[test]
+    fn column_projection() {
+        assert_eq!(t().column(1), vec![Value::from("bob"), Value::from("ann")]);
+    }
+
+    #[test]
+    fn display_renders_header_and_rows() {
+        let s = t().to_string();
+        assert!(s.contains("| id | name |"), "got:\n{s}");
+        assert!(s.contains("| 2  | bob  |"), "got:\n{s}");
+        assert!(s.ends_with("(2 rows)"), "got:\n{s}");
+    }
+
+    #[test]
+    fn sorted_puts_nulls_first() {
+        let table = Table::new(
+            Schema::new(["x"]),
+            vec![vec![Value::Int(1)], vec![Value::Null], vec![Value::Int(0)]],
+        )
+        .unwrap()
+        .sorted();
+        assert!(table.rows[0][0].is_null());
+        assert_eq!(table.rows[1][0], Value::Int(0));
+    }
+}

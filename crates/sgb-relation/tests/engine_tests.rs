@@ -1,0 +1,633 @@
+//! End-to-end SQL tests: parse → plan → execute against in-memory tables.
+
+use sgb_core::AllAlgorithm;
+use sgb_relation::{Database, Schema, Table, Value};
+
+fn db_with_people() -> Database {
+    let mut db = Database::new();
+    db.execute("CREATE TABLE people (id INT, name TEXT, age INT, city TEXT)")
+        .unwrap();
+    db.execute(
+        "INSERT INTO people VALUES \
+         (1, 'ann', 34, 'rome'), (2, 'bob', 28, 'oslo'), (3, 'cat', 34, 'rome'), \
+         (4, 'dan', 51, 'oslo'), (5, 'eve', 28, 'rome')",
+    )
+    .unwrap();
+    db
+}
+
+fn ints(t: &Table, col: usize) -> Vec<i64> {
+    t.rows.iter().map(|r| r[col].as_i64().unwrap()).collect()
+}
+
+#[test]
+fn select_filter_project() {
+    let db = db_with_people();
+    let out = db
+        .query("SELECT name, age * 2 AS dbl FROM people WHERE age > 30 ORDER BY id")
+        .unwrap();
+    assert_eq!(out.len(), 3);
+    assert_eq!(out.schema.columns[1].name, "dbl");
+    assert_eq!(ints(&out, 1), vec![68, 68, 102]);
+}
+
+#[test]
+fn wildcard_and_limit() {
+    let db = db_with_people();
+    let out = db.query("SELECT * FROM people ORDER BY id DESC LIMIT 2").unwrap();
+    assert_eq!(out.schema.len(), 4);
+    assert_eq!(ints(&out, 0), vec![5, 4]);
+}
+
+#[test]
+fn standard_group_by_having() {
+    let db = db_with_people();
+    let out = db
+        .query(
+            "SELECT city, count(*) AS n, avg(age) FROM people \
+             GROUP BY city HAVING count(*) >= 2 ORDER BY n DESC",
+        )
+        .unwrap();
+    assert_eq!(out.len(), 2);
+    assert_eq!(out.rows[0][0], Value::from("rome"));
+    assert_eq!(out.rows[0][1], Value::Int(3));
+    assert_eq!(out.rows[1][1], Value::Int(2));
+}
+
+#[test]
+fn global_aggregate_without_group_by() {
+    let db = db_with_people();
+    let out = db.query("SELECT count(*), min(age), max(age), sum(age) FROM people").unwrap();
+    assert_eq!(out.rows[0], vec![Value::Int(5), Value::Int(28), Value::Int(51), Value::Int(175)]);
+    // Global aggregate over an empty relation still yields one row.
+    let empty = db.query("SELECT count(*), sum(age) FROM people WHERE age > 100").unwrap();
+    assert_eq!(empty.rows[0][0], Value::Int(0));
+    assert!(empty.rows[0][1].is_null(), "sum over empty is NULL");
+}
+
+#[test]
+fn hash_join_via_where_equality() {
+    let mut db = db_with_people();
+    db.execute("CREATE TABLE orders (oid INT, person_id INT, total DOUBLE)")
+        .unwrap();
+    db.execute(
+        "INSERT INTO orders VALUES (10, 1, 99.5), (11, 1, 0.5), (12, 3, 10.0), (13, 9, 1.0)",
+    )
+    .unwrap();
+    let out = db
+        .query(
+            "SELECT p.name, sum(o.total) AS spent FROM people p, orders o \
+             WHERE p.id = o.person_id GROUP BY p.name ORDER BY spent DESC",
+        )
+        .unwrap();
+    assert_eq!(out.len(), 2);
+    assert_eq!(out.rows[0][0], Value::from("ann"));
+    assert_eq!(out.rows[0][1], Value::Float(100.0));
+    assert_eq!(out.rows[1][0], Value::from("cat"));
+    // The plan must use a hash join, not a filtered cross product.
+    let plan = db
+        .explain(
+            "SELECT p.name FROM people p, orders o WHERE p.id = o.person_id",
+        )
+        .unwrap();
+    assert!(plan.contains("HashJoin"), "plan:\n{plan}");
+    assert!(!plan.contains("CrossJoin"), "plan:\n{plan}");
+}
+
+#[test]
+fn predicate_pushdown_below_join() {
+    let mut db = db_with_people();
+    db.execute("CREATE TABLE orders (oid INT, person_id INT, total DOUBLE)")
+        .unwrap();
+    db.execute("INSERT INTO orders VALUES (10, 1, 99.5)").unwrap();
+    let plan = db
+        .explain(
+            "SELECT p.name FROM people p, orders o \
+             WHERE p.id = o.person_id AND p.age > 30 AND o.total > 50",
+        )
+        .unwrap();
+    // Both single-table filters sit below the join.
+    let join_pos = plan.find("HashJoin").unwrap();
+    let filters: Vec<usize> = plan.match_indices("Filter").map(|(i, _)| i).collect();
+    assert_eq!(filters.len(), 2, "plan:\n{plan}");
+    assert!(filters.iter().all(|&f| f > join_pos), "plan:\n{plan}");
+}
+
+#[test]
+fn in_subquery_semijoin() {
+    let mut db = db_with_people();
+    db.execute("CREATE TABLE vip (pid INT)").unwrap();
+    db.execute("INSERT INTO vip VALUES (1), (4)").unwrap();
+    let out = db
+        .query("SELECT name FROM people WHERE id IN (SELECT pid FROM vip) ORDER BY name")
+        .unwrap();
+    assert_eq!(
+        out.column(0),
+        vec![Value::from("ann"), Value::from("dan")]
+    );
+    let not_in = db
+        .query("SELECT count(*) FROM people WHERE id NOT IN (SELECT pid FROM vip)")
+        .unwrap();
+    assert_eq!(not_in.scalar().unwrap(), &Value::Int(3));
+}
+
+#[test]
+fn derived_table_with_aggregate() {
+    let db = db_with_people();
+    let out = db
+        .query(
+            "SELECT max(n) FROM (SELECT city, count(*) AS n FROM people GROUP BY city) AS c",
+        )
+        .unwrap();
+    assert_eq!(out.scalar().unwrap(), &Value::Int(3));
+}
+
+#[test]
+fn sgb_any_counts_connected_components() {
+    let mut db = Database::new();
+    db.execute("CREATE TABLE gps (lat DOUBLE, lon DOUBLE)").unwrap();
+    // Figure 2: two pairs bridged by a5 → all five merge under SGB-Any.
+    db.execute(
+        "INSERT INTO gps VALUES (1.0, 7.0), (2.0, 6.0), (6.0, 2.0), (7.0, 1.0), (4.0, 4.0)",
+    )
+    .unwrap();
+    let out = db
+        .query("SELECT count(*) FROM gps GROUP BY lat, lon DISTANCE-TO-ANY LINF WITHIN 3")
+        .unwrap();
+    assert_eq!(out.scalar().unwrap(), &Value::Int(5), "Example 2 output is {{5}}");
+}
+
+#[test]
+fn sgb_all_three_overlap_semantics() {
+    let mut db = Database::new();
+    db.execute("CREATE TABLE gps (lat DOUBLE, lon DOUBLE)").unwrap();
+    db.execute(
+        "INSERT INTO gps VALUES (1.0, 7.0), (2.0, 6.0), (6.0, 2.0), (7.0, 1.0), (4.0, 4.0)",
+    )
+    .unwrap();
+    let counts = |sql: &str, db: &Database| -> Vec<i64> {
+        let mut v = ints(&db.query(sql).unwrap(), 0);
+        v.sort_unstable_by(|a, b| b.cmp(a));
+        v
+    };
+    assert_eq!(
+        counts(
+            "SELECT count(*) FROM gps GROUP BY lat, lon \
+             DISTANCE-TO-ALL LINF WITHIN 3 ON-OVERLAP JOIN-ANY",
+            &db
+        ),
+        vec![3, 2],
+        "Example 1 JOIN-ANY output is {{3, 2}}"
+    );
+    assert_eq!(
+        counts(
+            "SELECT count(*) FROM gps GROUP BY lat, lon \
+             DISTANCE-TO-ALL LINF WITHIN 3 ON-OVERLAP ELIMINATE",
+            &db
+        ),
+        vec![2, 2],
+        "Example 1 ELIMINATE output is {{2, 2}}"
+    );
+    assert_eq!(
+        counts(
+            "SELECT count(*) FROM gps GROUP BY lat, lon \
+             DISTANCE-TO-ALL LINF WITHIN 3 ON-OVERLAP FORM-NEW-GROUP",
+            &db
+        ),
+        vec![2, 2, 1],
+        "Example 1 FORM-NEW-GROUP output is {{2, 2, 1}}"
+    );
+}
+
+#[test]
+fn sgb_runs_after_join_in_one_pipeline() {
+    // The headline integration: SGB consumes join output directly.
+    let mut db = Database::new();
+    db.execute("CREATE TABLE users (uid INT, region INT)").unwrap();
+    db.execute("CREATE TABLE checkins (uid INT, lat DOUBLE, lon DOUBLE)").unwrap();
+    db.execute("INSERT INTO users VALUES (1, 10), (2, 10), (3, 20)").unwrap();
+    db.execute(
+        "INSERT INTO checkins VALUES (1, 0.0, 0.0), (1, 0.1, 0.1), (2, 0.2, 0.0), \
+         (3, 5.0, 5.0), (3, 5.1, 5.1)",
+    )
+    .unwrap();
+    let out = db
+        .query(
+            "SELECT count(*), array_agg(u.uid) FROM users u, checkins c \
+             WHERE u.uid = c.uid \
+             GROUP BY c.lat, c.lon DISTANCE-TO-ANY L2 WITHIN 0.5",
+        )
+        .unwrap();
+    let mut sizes = ints(&out, 0);
+    sizes.sort_unstable();
+    assert_eq!(sizes, vec![2, 3]);
+    let plan = db
+        .explain(
+            "SELECT count(*) FROM users u, checkins c WHERE u.uid = c.uid \
+             GROUP BY c.lat, c.lon DISTANCE-TO-ANY L2 WITHIN 0.5",
+        )
+        .unwrap();
+    assert!(plan.contains("SimilarityGroupBy [SGB-Any L2 WITHIN 0.5]"), "plan:\n{plan}");
+    assert!(plan.contains("HashJoin"), "plan:\n{plan}");
+}
+
+#[test]
+fn sgb_aggregates_and_having() {
+    let mut db = Database::new();
+    db.execute("CREATE TABLE pts (x DOUBLE, y DOUBLE, w INT)").unwrap();
+    db.execute(
+        "INSERT INTO pts VALUES (0.0, 0.0, 10), (0.5, 0.0, 20), (9.0, 9.0, 5)",
+    )
+    .unwrap();
+    let out = db
+        .query(
+            "SELECT count(*) AS n, sum(w), avg(w), min(w), max(w) FROM pts \
+             GROUP BY x, y DISTANCE-TO-ALL L2 WITHIN 1 HAVING count(*) > 1",
+        )
+        .unwrap();
+    assert_eq!(out.len(), 1);
+    assert_eq!(
+        out.rows[0],
+        vec![
+            Value::Int(2),
+            Value::Int(30),
+            Value::Float(15.0),
+            Value::Int(10),
+            Value::Int(20)
+        ]
+    );
+}
+
+#[test]
+fn sgb_algorithm_choice_is_transparent() {
+    // The engine setting flips the algorithm without changing results.
+    let mut results = Vec::new();
+    for algo in [
+        AllAlgorithm::AllPairs,
+        AllAlgorithm::BoundsChecking,
+        AllAlgorithm::Indexed,
+    ] {
+        let mut db = Database::new();
+        db.set_sgb_all_algorithm(algo);
+        db.execute("CREATE TABLE g (x DOUBLE, y DOUBLE)").unwrap();
+        db.execute(
+            "INSERT INTO g VALUES (1.0, 7.0), (2.0, 6.0), (6.0, 2.0), (7.0, 1.0), (4.0, 4.0)",
+        )
+        .unwrap();
+        let out = db
+            .query(
+                "SELECT count(*) FROM g GROUP BY x, y \
+                 DISTANCE-TO-ALL LINF WITHIN 3 ON-OVERLAP ELIMINATE",
+            )
+            .unwrap();
+        results.push(out.sorted());
+    }
+    assert_eq!(results[0], results[1]);
+    assert_eq!(results[1], results[2]);
+}
+
+#[test]
+fn sgb_rejects_non_numeric_grouping() {
+    let mut db = db_with_people();
+    let err = db
+        .execute("SELECT count(*) FROM people GROUP BY name, age DISTANCE-TO-ALL WITHIN 1")
+        .unwrap_err();
+    assert!(err.to_string().contains("numeric"), "got: {err}");
+}
+
+#[test]
+fn sgb_grouped_select_list_rejects_bare_columns() {
+    let db = db_with_people();
+    let err = db
+        .query("SELECT age FROM people GROUP BY age, id DISTANCE-TO-ALL WITHIN 1")
+        .unwrap_err();
+    assert!(
+        err.to_string().contains("aggregates"),
+        "got: {err}"
+    );
+}
+
+#[test]
+fn errors_are_informative() {
+    let db = db_with_people();
+    assert!(db.query("SELECT nope FROM people").is_err());
+    assert!(db.query("SELECT name FROM nonexistent").is_err());
+    assert!(db.query("SELECT name people").is_err());
+    let mut db2 = Database::new();
+    assert!(db2.execute("INSERT INTO missing VALUES (1)").is_err());
+    db2.execute("CREATE TABLE t (a INT)").unwrap();
+    assert!(db2.execute("CREATE TABLE t (b INT)").is_err());
+}
+
+#[test]
+fn register_programmatic_table() {
+    let mut db = Database::new();
+    let table = Table::new(
+        Schema::new(["a", "b"]),
+        vec![
+            vec![Value::Int(1), Value::Float(2.0)],
+            vec![Value::Int(3), Value::Float(4.0)],
+        ],
+    )
+    .unwrap();
+    db.register("t", table);
+    let out = db.query("SELECT sum(a + b) FROM t").unwrap();
+    assert_eq!(out.scalar().unwrap(), &Value::Float(10.0));
+    assert_eq!(db.table_names(), vec!["t"]);
+    assert!(db.drop_table("t"));
+    assert!(!db.drop_table("t"));
+}
+
+#[test]
+fn date_filtering_end_to_end() {
+    let mut db = Database::new();
+    db.execute("CREATE TABLE l (d DATE, v INT)").unwrap();
+    db.execute(
+        "INSERT INTO l VALUES (date '1995-03-15', 1), (date '1995-12-01', 2), (date '1996-06-01', 4)",
+    )
+    .unwrap();
+    let out = db
+        .query(
+            "SELECT sum(v) FROM l WHERE d > date '1995-01-01' \
+             AND d < date '1995-01-01' + interval '10' month",
+        )
+        .unwrap();
+    assert_eq!(out.scalar().unwrap(), &Value::Int(1));
+}
+
+#[test]
+fn cross_join_fallback_when_no_equi_key() {
+    let mut db = Database::new();
+    db.execute("CREATE TABLE a (x INT)").unwrap();
+    db.execute("CREATE TABLE b (y INT)").unwrap();
+    db.execute("INSERT INTO a VALUES (1), (2)").unwrap();
+    db.execute("INSERT INTO b VALUES (10), (20), (30)").unwrap();
+    let out = db.query("SELECT count(*) FROM a, b").unwrap();
+    assert_eq!(out.scalar().unwrap(), &Value::Int(6));
+    let plan = db.explain("SELECT x FROM a, b WHERE x < y").unwrap();
+    assert!(plan.contains("CrossJoin"), "plan:\n{plan}");
+    // Range predicates still apply after the cross join.
+    let out = db.query("SELECT count(*) FROM a, b WHERE x * 10 = y").unwrap();
+    assert_eq!(out.scalar().unwrap(), &Value::Int(2));
+}
+
+#[test]
+fn ambiguous_column_is_an_error() {
+    let mut db = Database::new();
+    db.execute("CREATE TABLE a (k INT, v INT)").unwrap();
+    db.execute("CREATE TABLE b (k INT, w INT)").unwrap();
+    db.execute("INSERT INTO a VALUES (1, 2)").unwrap();
+    db.execute("INSERT INTO b VALUES (1, 3)").unwrap();
+    let err = db.query("SELECT k FROM a, b WHERE a.k = b.k").unwrap_err();
+    assert!(err.to_string().contains("ambiguous"), "{err}");
+    // Qualified references resolve fine.
+    let ok = db.query("SELECT a.k, b.w FROM a, b WHERE a.k = b.k").unwrap();
+    assert_eq!(ok.rows[0], vec![Value::Int(1), Value::Int(3)]);
+}
+
+#[test]
+fn in_list_and_not_in_list() {
+    let db = db_with_people();
+    let out = db
+        .query("SELECT count(*) FROM people WHERE city IN ('rome', 'paris')")
+        .unwrap();
+    assert_eq!(out.scalar().unwrap(), &Value::Int(3));
+    let out = db
+        .query("SELECT count(*) FROM people WHERE age NOT IN (28, 34)")
+        .unwrap();
+    assert_eq!(out.scalar().unwrap(), &Value::Int(1));
+}
+
+#[test]
+fn multi_key_order_by_with_directions() {
+    let db = db_with_people();
+    let out = db
+        .query("SELECT city, age, name FROM people ORDER BY city ASC, age DESC, name")
+        .unwrap();
+    let names: Vec<String> = out.rows.iter().map(|r| r[2].to_string()).collect();
+    assert_eq!(names, vec!["dan", "bob", "ann", "cat", "eve"]);
+}
+
+#[test]
+fn limit_zero_and_overlimit() {
+    let db = db_with_people();
+    assert_eq!(db.query("SELECT * FROM people LIMIT 0").unwrap().len(), 0);
+    assert_eq!(db.query("SELECT * FROM people LIMIT 99").unwrap().len(), 5);
+}
+
+#[test]
+fn array_agg_renders_braced_list() {
+    let db = db_with_people();
+    let out = db
+        .query("SELECT array_agg(name) FROM people WHERE city = 'oslo'")
+        .unwrap();
+    assert_eq!(out.scalar().unwrap(), &Value::from("{bob,dan}"));
+}
+
+#[test]
+fn arithmetic_and_boolean_expressions() {
+    let db = db_with_people();
+    let out = db
+        .query(
+            "SELECT name FROM people \
+             WHERE (age > 30 AND city = 'rome') OR NOT (age >= 28) ORDER BY name",
+        )
+        .unwrap();
+    assert_eq!(out.column(0), vec![Value::from("ann"), Value::from("cat")]);
+    let out = db
+        .query("SELECT -age, age / 2, age - 4 FROM people WHERE id = 1")
+        .unwrap();
+    assert_eq!(
+        out.rows[0],
+        vec![Value::Int(-34), Value::Int(17), Value::Int(30)]
+    );
+}
+
+#[test]
+fn group_by_expression_key() {
+    let db = db_with_people();
+    // Group by a computed key (age bucket).
+    let out = db
+        .query("SELECT age / 10, count(*) FROM people GROUP BY age / 10 ORDER BY age / 10")
+        .unwrap();
+    assert_eq!(
+        out.rows,
+        vec![
+            vec![Value::Int(2), Value::Int(2)],
+            vec![Value::Int(3), Value::Int(2)],
+            vec![Value::Int(5), Value::Int(1)],
+        ]
+    );
+}
+
+#[test]
+fn count_distinct_is_rejected_with_clear_error() {
+    let db = db_with_people();
+    // DISTINCT inside aggregates is unsupported; the parser sees "distinct"
+    // as a column reference and binding fails cleanly rather than silently
+    // mis-aggregating.
+    assert!(db.query("SELECT count(distinct) FROM people").is_err());
+}
+
+#[test]
+fn sgb_on_empty_relation_yields_no_groups() {
+    let mut db = Database::new();
+    db.execute("CREATE TABLE e (x DOUBLE, y DOUBLE)").unwrap();
+    let out = db
+        .query("SELECT count(*) FROM e GROUP BY x, y DISTANCE-TO-ALL L2 WITHIN 1")
+        .unwrap();
+    assert_eq!(out.len(), 0);
+    let out = db
+        .query("SELECT count(*) FROM e GROUP BY x, y DISTANCE-TO-ANY L2 WITHIN 1")
+        .unwrap();
+    assert_eq!(out.len(), 0);
+}
+
+#[test]
+fn having_filters_sgb_groups() {
+    let mut db = Database::new();
+    db.execute("CREATE TABLE p (x DOUBLE, y DOUBLE)").unwrap();
+    db.execute(
+        "INSERT INTO p VALUES (0.0, 0.0), (0.1, 0.0), (0.2, 0.0), (5.0, 5.0)",
+    )
+    .unwrap();
+    let out = db
+        .query(
+            "SELECT count(*) FROM p GROUP BY x, y DISTANCE-TO-ANY L2 WITHIN 0.5 \
+             HAVING count(*) >= 2",
+        )
+        .unwrap();
+    assert_eq!(out.len(), 1);
+    assert_eq!(out.rows[0][0], Value::Int(3));
+}
+
+#[test]
+fn nested_derived_tables_two_levels() {
+    let db = db_with_people();
+    let out = db
+        .query(
+            "SELECT max(total) FROM \
+             (SELECT city, sum(n) AS total FROM \
+              (SELECT city, age, count(*) AS n FROM people GROUP BY city, age) AS inner1 \
+              GROUP BY city) AS outer1",
+        )
+        .unwrap();
+    assert_eq!(out.scalar().unwrap(), &Value::Int(3));
+}
+
+#[test]
+fn min_max_over_strings_and_dates() {
+    let mut db = Database::new();
+    db.execute("CREATE TABLE t (s TEXT, d DATE)").unwrap();
+    db.execute(
+        "INSERT INTO t VALUES ('pear', date '1999-05-01'), ('apple', date '2001-02-03')",
+    )
+    .unwrap();
+    let out = db.query("SELECT min(s), max(s), min(d), max(d) FROM t").unwrap();
+    assert_eq!(out.rows[0][0], Value::from("apple"));
+    assert_eq!(out.rows[0][1], Value::from("pear"));
+    assert_eq!(out.rows[0][2].to_string(), "1999-05-01");
+    assert_eq!(out.rows[0][3].to_string(), "2001-02-03");
+}
+
+#[test]
+fn aggregates_skip_nulls() {
+    let mut db = Database::new();
+    db.execute("CREATE TABLE n (v INT)").unwrap();
+    db.execute("INSERT INTO n VALUES (1), (NULL), (3), (NULL)").unwrap();
+    let out = db
+        .query("SELECT count(*), count(v), sum(v), avg(v), min(v), max(v) FROM n")
+        .unwrap();
+    assert_eq!(
+        out.rows[0],
+        vec![
+            Value::Int(4), // count(*) counts rows
+            Value::Int(2), // count(v) counts non-null
+            Value::Int(4),
+            Value::Float(2.0),
+            Value::Int(1),
+            Value::Int(3),
+        ]
+    );
+}
+
+#[test]
+fn null_comparisons_filter_out() {
+    let mut db = Database::new();
+    db.execute("CREATE TABLE n (v INT)").unwrap();
+    db.execute("INSERT INTO n VALUES (1), (NULL), (3)").unwrap();
+    // NULL = NULL is NULL, not TRUE: no row survives v = NULL.
+    let out = db.query("SELECT count(*) FROM n WHERE v = NULL").unwrap();
+    assert_eq!(out.scalar().unwrap(), &Value::Int(0));
+    // NULL keys do not join.
+    db.execute("CREATE TABLE m (v INT)").unwrap();
+    db.execute("INSERT INTO m VALUES (NULL), (3)").unwrap();
+    let out = db
+        .query("SELECT count(*) FROM n, m WHERE n.v = m.v")
+        .unwrap();
+    assert_eq!(out.scalar().unwrap(), &Value::Int(1));
+}
+
+#[test]
+fn group_by_groups_nulls_together() {
+    let mut db = Database::new();
+    db.execute("CREATE TABLE n (k INT, v INT)").unwrap();
+    db.execute("INSERT INTO n VALUES (NULL, 1), (NULL, 2), (7, 3)").unwrap();
+    let out = db.query("SELECT k, count(*) FROM n GROUP BY k").unwrap();
+    assert_eq!(out.len(), 2);
+    let null_row = out.rows.iter().find(|r| r[0].is_null()).unwrap();
+    assert_eq!(null_row[1], Value::Int(2));
+}
+
+#[test]
+fn sum_promotes_to_float_when_mixed() {
+    let mut db = Database::new();
+    db.execute("CREATE TABLE n (v DOUBLE)").unwrap();
+    db.execute("INSERT INTO n VALUES (1), (2.5)").unwrap();
+    let out = db.query("SELECT sum(v) FROM n").unwrap();
+    assert_eq!(out.scalar().unwrap(), &Value::Float(3.5));
+}
+
+#[test]
+fn boolean_literals_and_string_compare() {
+    let mut db = Database::new();
+    db.execute("CREATE TABLE f (s TEXT, ok BOOL)").unwrap();
+    db.execute("INSERT INTO f VALUES ('abc', true), ('abd', false)").unwrap();
+    let out = db
+        .query("SELECT count(*) FROM f WHERE s < 'abd' AND ok = true")
+        .unwrap();
+    assert_eq!(out.scalar().unwrap(), &Value::Int(1));
+}
+
+#[test]
+fn three_dimensional_similarity_grouping_in_sql() {
+    let mut db = Database::new();
+    db.execute("CREATE TABLE p3 (x DOUBLE, y DOUBLE, z DOUBLE)").unwrap();
+    db.execute(
+        "INSERT INTO p3 VALUES \
+         (0.0, 0.0, 0.0), (0.3, 0.3, 0.3), \
+         (0.0, 0.0, 5.0), (0.3, 0.3, 5.3)",
+    )
+    .unwrap();
+    let out = db
+        .query("SELECT count(*) FROM p3 GROUP BY x, y, z DISTANCE-TO-ANY L2 WITHIN 1")
+        .unwrap();
+    assert_eq!(out.len(), 2);
+    assert!(out.rows.iter().all(|r| r[0] == Value::Int(2)));
+    // Collapsing z shows the third dimension mattered: 2-D grouping merges
+    // everything.
+    let out2d = db
+        .query("SELECT count(*) FROM p3 GROUP BY x, y DISTANCE-TO-ANY L2 WITHIN 1")
+        .unwrap();
+    assert_eq!(out2d.len(), 1);
+    // SGB-All in 3-D with all three overlap clauses runs too.
+    for overlap in ["JOIN-ANY", "ELIMINATE", "FORM-NEW-GROUP"] {
+        let out = db
+            .query(&format!(
+                "SELECT count(*) FROM p3 GROUP BY x, y, z \
+                 DISTANCE-TO-ALL LINF WITHIN 1 ON-OVERLAP {overlap}"
+            ))
+            .unwrap();
+        assert_eq!(out.len(), 2, "{overlap}");
+    }
+}

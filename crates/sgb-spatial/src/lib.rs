@@ -1,0 +1,19 @@
+#![warn(missing_docs)]
+
+//! An in-memory R-tree [Guttman 1984], the spatial access method behind the
+//! paper's *on-the-fly Index* optimizations.
+//!
+//! SGB-All (Procedure 5) indexes the bounding rectangles of the groups
+//! discovered so far (`Groups_IX`) and answers, for each incoming point, a
+//! window query with the point's ε-rectangle. SGB-Any (Procedure 8) indexes
+//! the previously processed *points* (`Points_IX`) the same way. Groups
+//! mutate as points join/leave, so the index supports deletion and
+//! re-insertion, not just insertion.
+//!
+//! The implementation is a classic dynamic R-tree with quadratic split and
+//! the `CondenseTree` deletion algorithm, arena-allocated, const-generic
+//! over the dimension and generic over the stored payload.
+
+pub mod rtree;
+
+pub use rtree::RTree;

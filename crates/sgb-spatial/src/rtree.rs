@@ -1,0 +1,864 @@
+//! Dynamic R-tree with quadratic split (Guttman's original algorithm).
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use sgb_geom::{Metric, Point, Rect};
+
+/// Default maximum node fan-out; 8–16 is a good in-memory trade-off.
+pub const DEFAULT_MAX_ENTRIES: usize = 12;
+
+type NodeId = usize;
+
+#[derive(Debug, Clone)]
+enum NodeKind<const D: usize, T> {
+    Leaf(Vec<(Rect<D>, T)>),
+    Internal(Vec<NodeId>),
+}
+
+#[derive(Debug, Clone)]
+struct Node<const D: usize, T> {
+    rect: Rect<D>,
+    parent: Option<NodeId>,
+    kind: NodeKind<D, T>,
+}
+
+impl<const D: usize, T> Node<D, T> {
+    fn fanout(&self) -> usize {
+        match &self.kind {
+            NodeKind::Leaf(entries) => entries.len(),
+            NodeKind::Internal(children) => children.len(),
+        }
+    }
+}
+
+/// A dynamic R-tree storing `(Rect<D>, T)` entries.
+///
+/// `T` is the payload (group id, point id, …). Deletion matches entries by
+/// exact rectangle equality and payload equality, which is the natural key
+/// for the SGB use case where the caller remembers the rectangle it
+/// inserted.
+#[derive(Debug, Clone)]
+pub struct RTree<const D: usize, T> {
+    nodes: Vec<Node<D, T>>,
+    free: Vec<NodeId>,
+    root: NodeId,
+    len: usize,
+    max_entries: usize,
+    min_entries: usize,
+}
+
+impl<const D: usize, T: Clone + PartialEq> Default for RTree<D, T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<const D: usize, T: Clone + PartialEq> RTree<D, T> {
+    /// An empty tree with the default fan-out.
+    pub fn new() -> Self {
+        Self::with_max_entries(DEFAULT_MAX_ENTRIES)
+    }
+
+    /// An empty tree with node capacity `max_entries` (`M`); the minimum
+    /// fill is `M / 3` as Guttman recommends for the quadratic split.
+    pub fn with_max_entries(max_entries: usize) -> Self {
+        assert!(max_entries >= 4, "R-tree fan-out must be at least 4");
+        let mut tree = Self {
+            nodes: Vec::new(),
+            free: Vec::new(),
+            root: 0,
+            len: 0,
+            max_entries,
+            min_entries: (max_entries / 3).max(1),
+        };
+        tree.root = tree.alloc(Node {
+            rect: Rect::empty(),
+            parent: None,
+            kind: NodeKind::Leaf(Vec::new()),
+        });
+        tree
+    }
+
+    /// Number of stored entries.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when the tree stores nothing.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// MBR of everything stored (empty rect when the tree is empty).
+    pub fn bounds(&self) -> Rect<D> {
+        self.nodes[self.root].rect
+    }
+
+    /// Height of the tree (1 for a single leaf root).
+    pub fn height(&self) -> usize {
+        let mut h = 1;
+        let mut n = self.root;
+        while let NodeKind::Internal(children) = &self.nodes[n].kind {
+            n = children[0];
+            h += 1;
+        }
+        h
+    }
+
+    fn alloc(&mut self, node: Node<D, T>) -> NodeId {
+        if let Some(id) = self.free.pop() {
+            self.nodes[id] = node;
+            id
+        } else {
+            self.nodes.push(node);
+            self.nodes.len() - 1
+        }
+    }
+
+    fn release(&mut self, id: NodeId) {
+        self.nodes[id] = Node {
+            rect: Rect::empty(),
+            parent: None,
+            kind: NodeKind::Leaf(Vec::new()),
+        };
+        self.free.push(id);
+    }
+
+    /// Recomputes a node's MBR from its contents.
+    fn tighten(&mut self, id: NodeId) {
+        let rect = match &self.nodes[id].kind {
+            NodeKind::Leaf(entries) => entries
+                .iter()
+                .fold(Rect::empty(), |acc, (r, _)| acc.union(r)),
+            NodeKind::Internal(children) => children
+                .iter()
+                .fold(Rect::empty(), |acc, &c| acc.union(&self.nodes[c].rect)),
+        };
+        self.nodes[id].rect = rect;
+    }
+
+    /// Guttman's `ChooseLeaf`: descend picking the child needing the least
+    /// enlargement (ties: smaller volume, then smaller fan-out).
+    fn choose_leaf(&self, rect: &Rect<D>) -> NodeId {
+        let mut node = self.root;
+        loop {
+            match &self.nodes[node].kind {
+                NodeKind::Leaf(_) => return node,
+                NodeKind::Internal(children) => {
+                    let mut best = children[0];
+                    let mut best_key = (f64::INFINITY, f64::INFINITY, usize::MAX);
+                    for &c in children {
+                        let r = &self.nodes[c].rect;
+                        let key = (r.enlargement(rect), r.volume(), self.nodes[c].fanout());
+                        if key < best_key {
+                            best_key = key;
+                            best = c;
+                        }
+                    }
+                    node = best;
+                }
+            }
+        }
+    }
+
+    /// Inserts an entry.
+    pub fn insert(&mut self, rect: Rect<D>, item: T) {
+        debug_assert!(!rect.is_empty(), "cannot index an empty rectangle");
+        let leaf = self.choose_leaf(&rect);
+        if let NodeKind::Leaf(entries) = &mut self.nodes[leaf].kind {
+            entries.push((rect, item));
+        } else {
+            unreachable!("choose_leaf returned an internal node");
+        }
+        self.len += 1;
+        self.adjust_upward(leaf);
+    }
+
+    /// Convenience: index a point as its degenerate rectangle.
+    pub fn insert_point(&mut self, p: Point<D>, item: T) {
+        self.insert(Rect::point(p), item);
+    }
+
+    /// Walks from `start` to the root, tightening MBRs and splitting
+    /// overflowing nodes (`AdjustTree`).
+    fn adjust_upward(&mut self, start: NodeId) {
+        let mut node = start;
+        loop {
+            let split_off = if self.nodes[node].fanout() > self.max_entries {
+                Some(self.split(node))
+            } else {
+                None
+            };
+            self.tighten(node);
+            let parent = self.nodes[node].parent;
+            match (split_off, parent) {
+                (Some(new), None) => {
+                    // Root split: grow the tree by one level.
+                    let old_root = node;
+                    let new_root = self.alloc(Node {
+                        rect: self.nodes[old_root].rect.union(&self.nodes[new].rect),
+                        parent: None,
+                        kind: NodeKind::Internal(vec![old_root, new]),
+                    });
+                    self.nodes[old_root].parent = Some(new_root);
+                    self.nodes[new].parent = Some(new_root);
+                    self.root = new_root;
+                    return;
+                }
+                (Some(new), Some(p)) => {
+                    self.nodes[new].parent = Some(p);
+                    if let NodeKind::Internal(children) = &mut self.nodes[p].kind {
+                        children.push(new);
+                    } else {
+                        unreachable!("parent of a node must be internal");
+                    }
+                    node = p;
+                }
+                (None, Some(p)) => node = p,
+                (None, None) => return,
+            }
+        }
+    }
+
+    /// Splits an overflowing node with the quadratic algorithm, returning
+    /// the id of the freshly allocated sibling.
+    fn split(&mut self, node: NodeId) -> NodeId {
+        match std::mem::replace(&mut self.nodes[node].kind, NodeKind::Leaf(Vec::new())) {
+            NodeKind::Leaf(entries) => {
+                let (a, b) = quadratic_split(entries, self.min_entries);
+                self.nodes[node].kind = NodeKind::Leaf(a);
+                self.tighten(node);
+                let new = self.alloc(Node {
+                    rect: Rect::empty(),
+                    parent: self.nodes[node].parent,
+                    kind: NodeKind::Leaf(b),
+                });
+                self.tighten(new);
+                new
+            }
+            NodeKind::Internal(children) => {
+                let tagged: Vec<(Rect<D>, NodeId)> = children
+                    .into_iter()
+                    .map(|c| (self.nodes[c].rect, c))
+                    .collect();
+                let (a, b) = quadratic_split(tagged, self.min_entries);
+                let a_ids: Vec<NodeId> = a.into_iter().map(|(_, id)| id).collect();
+                let b_ids: Vec<NodeId> = b.into_iter().map(|(_, id)| id).collect();
+                self.nodes[node].kind = NodeKind::Internal(a_ids);
+                self.tighten(node);
+                let new = self.alloc(Node {
+                    rect: Rect::empty(),
+                    parent: self.nodes[node].parent,
+                    kind: NodeKind::Internal(Vec::new()),
+                });
+                for &c in &b_ids {
+                    self.nodes[c].parent = Some(new);
+                }
+                self.nodes[new].kind = NodeKind::Internal(b_ids);
+                self.tighten(new);
+                new
+            }
+        }
+    }
+
+    /// Window query: invokes `visit` for every stored entry whose rectangle
+    /// intersects `window` (the `WindowQuery` of Procedures 5 and 8).
+    pub fn query<F: FnMut(&Rect<D>, &T)>(&self, window: &Rect<D>, mut visit: F) {
+        if self.len == 0 {
+            return;
+        }
+        let mut stack = vec![self.root];
+        while let Some(id) = stack.pop() {
+            let node = &self.nodes[id];
+            if !node.rect.intersects(window) {
+                continue;
+            }
+            match &node.kind {
+                NodeKind::Leaf(entries) => {
+                    for (r, item) in entries {
+                        if r.intersects(window) {
+                            visit(r, item);
+                        }
+                    }
+                }
+                NodeKind::Internal(children) => stack.extend_from_slice(children),
+            }
+        }
+    }
+
+    /// Window query collecting the payloads into a `Vec`.
+    pub fn query_collect(&self, window: &Rect<D>) -> Vec<T> {
+        let mut out = Vec::new();
+        self.query(window, |_, item| out.push(item.clone()));
+        out
+    }
+
+    /// The `k` entries nearest to `q` under `metric`, as
+    /// `(distance, payload)` sorted by ascending distance. Best-first search
+    /// over node MBR lower bounds.
+    pub fn nearest(&self, q: &Point<D>, k: usize, metric: Metric) -> Vec<(f64, T)> {
+        #[derive(PartialEq)]
+        enum Cand<T> {
+            Node(NodeId),
+            Entry(T),
+        }
+        struct HeapItem<T>(f64, Cand<T>);
+        impl<T> PartialEq for HeapItem<T> {
+            fn eq(&self, other: &Self) -> bool {
+                self.0 == other.0
+            }
+        }
+        impl<T> Eq for HeapItem<T> {}
+        impl<T> PartialOrd for HeapItem<T> {
+            fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+                Some(self.cmp(other))
+            }
+        }
+        impl<T> Ord for HeapItem<T> {
+            fn cmp(&self, other: &Self) -> Ordering {
+                // Reverse for a min-heap on distance.
+                other.0.partial_cmp(&self.0).unwrap_or(Ordering::Equal)
+            }
+        }
+
+        let mut out = Vec::with_capacity(k);
+        if self.len == 0 || k == 0 {
+            return out;
+        }
+        let mut heap: BinaryHeap<HeapItem<T>> = BinaryHeap::new();
+        heap.push(HeapItem(
+            self.nodes[self.root].rect.min_distance(q, metric),
+            Cand::Node(self.root),
+        ));
+        while let Some(HeapItem(dist, cand)) = heap.pop() {
+            match cand {
+                Cand::Entry(item) => {
+                    out.push((dist, item));
+                    if out.len() == k {
+                        break;
+                    }
+                }
+                Cand::Node(id) => match &self.nodes[id].kind {
+                    NodeKind::Leaf(entries) => {
+                        for (r, item) in entries {
+                            heap.push(HeapItem(r.min_distance(q, metric), Cand::Entry(item.clone())));
+                        }
+                    }
+                    NodeKind::Internal(children) => {
+                        for &c in children {
+                            heap.push(HeapItem(
+                                self.nodes[c].rect.min_distance(q, metric),
+                                Cand::Node(c),
+                            ));
+                        }
+                    }
+                },
+            }
+        }
+        out
+    }
+
+    /// Removes the entry matching `(rect, item)` exactly. Returns `true`
+    /// when an entry was removed. Implements Guttman's `Delete` +
+    /// `CondenseTree` with re-insertion of orphaned entries.
+    pub fn remove(&mut self, rect: &Rect<D>, item: &T) -> bool {
+        let Some(leaf) = self.find_leaf(self.root, rect, item) else {
+            return false;
+        };
+        if let NodeKind::Leaf(entries) = &mut self.nodes[leaf].kind {
+            let idx = entries
+                .iter()
+                .position(|(r, t)| r == rect && t == item)
+                .expect("find_leaf guarantees presence");
+            entries.swap_remove(idx);
+        }
+        self.len -= 1;
+        self.condense(leaf);
+        true
+    }
+
+    /// Moves an entry to a new rectangle (delete + reinsert) — used when a
+    /// group's bounding rectangle changes as members join or leave.
+    pub fn update(&mut self, old_rect: &Rect<D>, new_rect: Rect<D>, item: T) -> bool {
+        if self.remove(old_rect, &item) {
+            self.insert(new_rect, item);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn find_leaf(&self, node: NodeId, rect: &Rect<D>, item: &T) -> Option<NodeId> {
+        let n = &self.nodes[node];
+        // A stored entry is always fully covered by its node's MBR.
+        if !n.rect.contains_rect(rect) {
+            return None;
+        }
+        match &n.kind {
+            NodeKind::Leaf(entries) => entries
+                .iter()
+                .any(|(r, t)| r == rect && t == item)
+                .then_some(node),
+            NodeKind::Internal(children) => children
+                .iter()
+                .filter(|&&c| self.nodes[c].rect.contains_rect(rect))
+                .find_map(|&c| self.find_leaf(c, rect, item)),
+        }
+    }
+
+    /// `CondenseTree`: walk from `start` to the root eliminating underfull
+    /// nodes, then reinsert their orphaned leaf entries.
+    fn condense(&mut self, start: NodeId) {
+        let mut orphans: Vec<(Rect<D>, T)> = Vec::new();
+        let mut node = start;
+        while let Some(parent) = self.nodes[node].parent {
+            if self.nodes[node].fanout() < self.min_entries {
+                if let NodeKind::Internal(children) = &mut self.nodes[parent].kind {
+                    children.retain(|&c| c != node);
+                }
+                self.collect_entries(node, &mut orphans);
+            } else {
+                self.tighten(node);
+            }
+            node = parent;
+        }
+        self.tighten(self.root);
+        // Shrink the root while it is an internal node with one child.
+        while let NodeKind::Internal(children) = &self.nodes[self.root].kind {
+            match children.len() {
+                0 => {
+                    // Everything was condensed away: revert to an empty leaf.
+                    self.nodes[self.root].kind = NodeKind::Leaf(Vec::new());
+                    self.nodes[self.root].rect = Rect::empty();
+                    break;
+                }
+                1 => {
+                    let child = children[0];
+                    let old_root = self.root;
+                    self.nodes[child].parent = None;
+                    self.root = child;
+                    self.release(old_root);
+                }
+                _ => break,
+            }
+        }
+        // Reinsert orphans; `len` was not decremented for them, so bypass
+        // the public counter.
+        for (rect, item) in orphans {
+            let leaf = self.choose_leaf(&rect);
+            if let NodeKind::Leaf(entries) = &mut self.nodes[leaf].kind {
+                entries.push((rect, item));
+            }
+            self.adjust_upward(leaf);
+        }
+    }
+
+    /// Recursively drains all leaf entries under `node`, releasing nodes.
+    fn collect_entries(&mut self, node: NodeId, out: &mut Vec<(Rect<D>, T)>) {
+        match std::mem::replace(&mut self.nodes[node].kind, NodeKind::Leaf(Vec::new())) {
+            NodeKind::Leaf(entries) => out.extend(entries),
+            NodeKind::Internal(children) => {
+                for c in children {
+                    self.collect_entries(c, out);
+                }
+            }
+        }
+        self.release(node);
+    }
+
+    /// Iterates over all `(rect, payload)` entries (arbitrary order).
+    pub fn iter(&self) -> impl Iterator<Item = (&Rect<D>, &T)> + '_ {
+        let mut stack = vec![self.root];
+        let mut current: &[(Rect<D>, T)] = &[];
+        let mut idx = 0usize;
+        std::iter::from_fn(move || loop {
+            if idx < current.len() {
+                let (r, t) = &current[idx];
+                idx += 1;
+                return Some((r, t));
+            }
+            let id = stack.pop()?;
+            match &self.nodes[id].kind {
+                NodeKind::Leaf(entries) => {
+                    current = entries;
+                    idx = 0;
+                }
+                NodeKind::Internal(children) => stack.extend_from_slice(children),
+            }
+        })
+    }
+
+    /// Validates structural invariants (for tests): MBR containment, fan-out
+    /// bounds, parent pointers, uniform leaf depth. Panics on violation.
+    pub fn check_invariants(&self) {
+        let mut leaf_depths = Vec::new();
+        self.check_node(self.root, None, 0, &mut leaf_depths);
+        assert!(
+            leaf_depths.windows(2).all(|w| w[0] == w[1]),
+            "leaves must share a depth: {leaf_depths:?}"
+        );
+        let counted: usize = self.iter().count();
+        assert_eq!(counted, self.len, "len must match stored entries");
+    }
+
+    fn check_node(
+        &self,
+        id: NodeId,
+        parent: Option<NodeId>,
+        depth: usize,
+        leaf_depths: &mut Vec<usize>,
+    ) {
+        let node = &self.nodes[id];
+        assert_eq!(node.parent, parent, "parent pointer mismatch at node {id}");
+        if id != self.root && self.len > 0 {
+            assert!(
+                node.fanout() >= self.min_entries,
+                "node {id} underfull: {} < {}",
+                node.fanout(),
+                self.min_entries
+            );
+        }
+        assert!(
+            node.fanout() <= self.max_entries,
+            "node {id} overfull: {}",
+            node.fanout()
+        );
+        match &node.kind {
+            NodeKind::Leaf(entries) => {
+                for (r, _) in entries {
+                    assert!(node.rect.contains_rect(r), "leaf MBR must cover entries");
+                }
+                leaf_depths.push(depth);
+            }
+            NodeKind::Internal(children) => {
+                assert!(!children.is_empty(), "internal node {id} has no children");
+                for &c in children {
+                    assert!(
+                        node.rect.contains_rect(&self.nodes[c].rect),
+                        "internal MBR must cover children"
+                    );
+                    self.check_node(c, Some(id), depth + 1, leaf_depths);
+                }
+            }
+        }
+    }
+}
+
+/// Guttman's quadratic split: pick the two entries that would waste the most
+/// area together as seeds, then greedily assign the rest by strongest
+/// preference, honouring the minimum fill.
+/// An entry list paired with its split-off sibling list.
+type SplitEntries<const D: usize, E> = (Vec<(Rect<D>, E)>, Vec<(Rect<D>, E)>);
+
+fn quadratic_split<const D: usize, E>(
+    mut entries: Vec<(Rect<D>, E)>,
+    min_entries: usize,
+) -> SplitEntries<D, E> {
+    debug_assert!(entries.len() >= 2);
+    // PickSeeds: maximise dead volume d = volume(union) − v1 − v2.
+    let (mut seed_a, mut seed_b, mut worst) = (0, 1, f64::NEG_INFINITY);
+    for i in 0..entries.len() {
+        for j in (i + 1)..entries.len() {
+            let d = entries[i].0.union(&entries[j].0).volume()
+                - entries[i].0.volume()
+                - entries[j].0.volume();
+            if d > worst {
+                worst = d;
+                seed_a = i;
+                seed_b = j;
+            }
+        }
+    }
+    // Move seeds out (remove the larger index first to keep the other valid).
+    let (hi, lo) = (seed_a.max(seed_b), seed_a.min(seed_b));
+    let eb = entries.swap_remove(hi);
+    let ea = entries.swap_remove(lo);
+    let mut group_a = vec![ea];
+    let mut group_b = vec![eb];
+    let mut rect_a = group_a[0].0;
+    let mut rect_b = group_b[0].0;
+
+    while let Some(next) = pick_next(&entries, &rect_a, &rect_b) {
+        // `remaining` includes the entry about to be assigned. Forced
+        // assignment: if handing every remaining entry to one side only just
+        // reaches its minimum fill, they all must go there.
+        let remaining = entries.len();
+        let must_a = group_a.len() + remaining == min_entries;
+        let must_b = group_b.len() + remaining == min_entries;
+        let entry = entries.swap_remove(next);
+        let grow_a = rect_a.enlargement(&entry.0);
+        let grow_b = rect_b.enlargement(&entry.0);
+        let to_a = if must_a {
+            true
+        } else if must_b {
+            false
+        } else if grow_a != grow_b {
+            grow_a < grow_b
+        } else if rect_a.volume() != rect_b.volume() {
+            rect_a.volume() < rect_b.volume()
+        } else {
+            group_a.len() <= group_b.len()
+        };
+        if to_a {
+            rect_a = rect_a.union(&entry.0);
+            group_a.push(entry);
+        } else {
+            rect_b = rect_b.union(&entry.0);
+            group_b.push(entry);
+        }
+    }
+    (group_a, group_b)
+}
+
+/// `PickNext`: the entry with the greatest preference |d1 − d2| between the
+/// two groups.
+fn pick_next<const D: usize, E>(
+    entries: &[(Rect<D>, E)],
+    rect_a: &Rect<D>,
+    rect_b: &Rect<D>,
+) -> Option<usize> {
+    entries
+        .iter()
+        .enumerate()
+        .max_by(|(_, x), (_, y)| {
+            let px = (rect_a.enlargement(&x.0) - rect_b.enlargement(&x.0)).abs();
+            let py = (rect_a.enlargement(&y.0) - rect_b.enlargement(&y.0)).abs();
+            px.partial_cmp(&py).unwrap_or(Ordering::Equal)
+        })
+        .map(|(i, _)| i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pt(x: f64, y: f64) -> Point<2> {
+        Point::new([x, y])
+    }
+
+    fn grid_tree(n: usize) -> RTree<2, usize> {
+        let mut tree = RTree::new();
+        for i in 0..n {
+            let x = (i % 31) as f64;
+            let y = (i / 31) as f64;
+            tree.insert_point(pt(x, y), i);
+        }
+        tree
+    }
+
+    #[test]
+    fn empty_tree_queries() {
+        let tree: RTree<2, usize> = RTree::new();
+        assert!(tree.is_empty());
+        assert_eq!(tree.query_collect(&Rect::centered(pt(0.0, 0.0), 10.0)), Vec::<usize>::new());
+        assert!(tree.nearest(&pt(0.0, 0.0), 3, Metric::L2).is_empty());
+        assert!(tree.bounds().is_empty());
+    }
+
+    #[test]
+    fn insert_and_query_small() {
+        let mut tree = RTree::new();
+        tree.insert_point(pt(1.0, 1.0), 'a');
+        tree.insert_point(pt(5.0, 5.0), 'b');
+        tree.insert_point(pt(9.0, 1.0), 'c');
+        assert_eq!(tree.len(), 3);
+        let mut hits = tree.query_collect(&Rect::new(pt(0.0, 0.0), pt(6.0, 6.0)));
+        hits.sort();
+        assert_eq!(hits, vec!['a', 'b']);
+        tree.check_invariants();
+    }
+
+    #[test]
+    fn window_query_matches_linear_scan() {
+        let tree = grid_tree(500);
+        let windows = [
+            Rect::new(pt(2.5, 1.5), pt(7.5, 9.5)),
+            Rect::new(pt(0.0, 0.0), pt(0.0, 0.0)),
+            Rect::new(pt(-5.0, -5.0), pt(50.0, 50.0)),
+            Rect::new(pt(30.5, 0.0), pt(31.5, 3.0)),
+        ];
+        for w in &windows {
+            let mut hits = tree.query_collect(w);
+            hits.sort();
+            let mut expected: Vec<usize> = (0..500)
+                .filter(|i| w.contains_point(&pt((i % 31) as f64, (i / 31) as f64)))
+                .collect();
+            expected.sort();
+            assert_eq!(hits, expected, "window {w:?}");
+        }
+        tree.check_invariants();
+    }
+
+    #[test]
+    fn splits_keep_invariants() {
+        let tree = grid_tree(2000);
+        assert_eq!(tree.len(), 2000);
+        assert!(tree.height() > 1, "2000 points must split the root");
+        tree.check_invariants();
+    }
+
+    #[test]
+    fn nearest_neighbours_match_brute_force() {
+        let tree = grid_tree(400);
+        let q = pt(7.3, 4.9);
+        for metric in [Metric::L2, Metric::LInf] {
+            let got = tree.nearest(&q, 5, metric);
+            assert_eq!(got.len(), 5);
+            let mut brute: Vec<(f64, usize)> = (0..400)
+                .map(|i| (metric.distance(&pt((i % 31) as f64, (i / 31) as f64), &q), i))
+                .collect();
+            brute.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+            for (k, (d, _)) in got.iter().enumerate() {
+                assert!(
+                    (d - brute[k].0).abs() < 1e-12,
+                    "kNN distance #{k} mismatch under {metric:?}"
+                );
+            }
+            // Distances are non-decreasing.
+            assert!(got.windows(2).all(|w| w[0].0 <= w[1].0));
+        }
+    }
+
+    #[test]
+    fn remove_existing_and_missing() {
+        let mut tree = grid_tree(100);
+        let r = Rect::point(pt(5.0, 1.0)); // i = 36
+        assert!(tree.remove(&r, &36));
+        assert_eq!(tree.len(), 99);
+        assert!(!tree.remove(&r, &36), "double remove must fail");
+        assert!(!tree.remove(&Rect::point(pt(500.0, 500.0)), &0));
+        assert!(!tree.query_collect(&r).contains(&36));
+        tree.check_invariants();
+    }
+
+    #[test]
+    fn remove_everything_then_reuse() {
+        let mut tree = grid_tree(300);
+        for i in 0..300 {
+            let p = pt((i % 31) as f64, (i / 31) as f64);
+            assert!(tree.remove(&Rect::point(p), &i), "missing {i}");
+            tree.check_invariants();
+        }
+        assert!(tree.is_empty());
+        assert_eq!(tree.height(), 1);
+        // The tree stays usable after total deletion.
+        tree.insert_point(pt(1.0, 2.0), 7);
+        assert_eq!(tree.query_collect(&Rect::centered(pt(1.0, 2.0), 0.5)), vec![7]);
+    }
+
+    #[test]
+    fn condense_reinserts_orphans() {
+        // Delete points from one spatial cluster so its nodes underflow;
+        // everything else must remain queryable.
+        let mut tree = RTree::with_max_entries(4);
+        for i in 0..40 {
+            tree.insert_point(pt(i as f64, 0.0), i);
+        }
+        for i in 10..30 {
+            assert!(tree.remove(&Rect::point(pt(i as f64, 0.0)), &i));
+        }
+        assert_eq!(tree.len(), 20);
+        let mut left: Vec<usize> = tree.query_collect(&Rect::new(pt(-1.0, -1.0), pt(50.0, 1.0)));
+        left.sort();
+        let expected: Vec<usize> = (0..10).chain(30..40).collect();
+        assert_eq!(left, expected);
+        tree.check_invariants();
+    }
+
+    #[test]
+    fn update_moves_entry() {
+        let mut tree = grid_tree(50);
+        let old = Rect::point(pt(3.0, 0.0));
+        assert!(tree.update(&old, Rect::point(pt(100.0, 100.0)), 3));
+        assert!(!tree.query_collect(&old).contains(&3));
+        assert_eq!(
+            tree.query_collect(&Rect::centered(pt(100.0, 100.0), 0.1)),
+            vec![3]
+        );
+        assert_eq!(tree.len(), 50);
+        tree.check_invariants();
+    }
+
+    #[test]
+    fn duplicate_rects_different_payloads() {
+        let mut tree = RTree::new();
+        let p = pt(1.0, 1.0);
+        tree.insert_point(p, 'x');
+        tree.insert_point(p, 'y');
+        let mut hits = tree.query_collect(&Rect::point(p));
+        hits.sort();
+        assert_eq!(hits, vec!['x', 'y']);
+        assert!(tree.remove(&Rect::point(p), &'x'));
+        assert_eq!(tree.query_collect(&Rect::point(p)), vec!['y']);
+    }
+
+    #[test]
+    fn three_dimensional_tree() {
+        let mut tree: RTree<3, usize> = RTree::new();
+        for i in 0..200 {
+            let f = i as f64;
+            tree.insert_point(Point::new([f % 5.0, (f / 5.0) % 5.0, f / 25.0]), i);
+        }
+        let hits = tree.query_collect(&Rect::new(
+            Point::new([0.0, 0.0, 0.0]),
+            Point::new([5.0, 5.0, 1.0]),
+        ));
+        let expected: Vec<usize> = (0..200)
+            .filter(|&i| (i as f64) / 25.0 <= 1.0)
+            .collect();
+        let mut hits = hits;
+        let mut expected = expected;
+        hits.sort();
+        expected.sort();
+        assert_eq!(hits, expected);
+        tree.check_invariants();
+    }
+
+    #[test]
+    fn iter_visits_every_entry_once() {
+        let tree = grid_tree(123);
+        let mut seen: Vec<usize> = tree.iter().map(|(_, &i)| i).collect();
+        seen.sort();
+        assert_eq!(seen, (0..123).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn interleaved_insert_remove_stress() {
+        let mut tree = RTree::with_max_entries(6);
+        let mut live: Vec<usize> = Vec::new();
+        let mut state: u64 = 42;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as usize
+        };
+        let pos = |i: usize| pt((i % 17) as f64 * 1.5, (i / 17) as f64 * 0.5);
+        for round in 0..600 {
+            if live.is_empty() || next() % 3 != 0 {
+                let id = round;
+                tree.insert_point(pos(id), id);
+                live.push(id);
+            } else {
+                let victim = live.swap_remove(next() % live.len());
+                assert!(tree.remove(&Rect::point(pos(victim)), &victim));
+            }
+            if round % 97 == 0 {
+                tree.check_invariants();
+            }
+        }
+        tree.check_invariants();
+        assert_eq!(tree.len(), live.len());
+        let w = Rect::new(pt(0.0, 0.0), pt(10.0, 5.0));
+        let mut hits = tree.query_collect(&w);
+        hits.sort();
+        let mut expected: Vec<usize> = live
+            .iter()
+            .copied()
+            .filter(|&i| w.contains_point(&pos(i)))
+            .collect();
+        expected.sort();
+        assert_eq!(hits, expected);
+    }
+}

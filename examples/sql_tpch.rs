@@ -1,0 +1,120 @@
+//! The paper's evaluation queries (Table 2) end to end: generate
+//! TPC-H-like data, register it in the engine, EXPLAIN a similarity plan,
+//! and run the GB/SGB query pairs.
+//!
+//! ```text
+//! cargo run --release --example sql_tpch
+//! ```
+
+use sgb::datagen::TpchConfig;
+use sgb::relation::Database;
+use std::time::Instant;
+
+fn main() {
+    let data = TpchConfig::new(1.0).density(0.005).generate();
+    println!(
+        "TPC-H-like data @ SF 1 (density 0.005): customer={}, orders={}, lineitem={}, \
+         supplier={}, partsupp={}\n",
+        data.customer.len(),
+        data.orders.len(),
+        data.lineitem.len(),
+        data.supplier.len(),
+        data.partsupp.len()
+    );
+    let mut db = Database::new();
+    data.register_all(&mut db);
+
+    // The plan of an SGB query: the similarity group-by is a first-class
+    // operator sitting on top of the join, exactly as in Section 8.2.
+    let sgb1 = "SELECT count(*), max(ab), min(tp) \
+                FROM (SELECT c_custkey, c_acctbal AS ab FROM customer \
+                      WHERE c_acctbal > 100) AS r1, \
+                     (SELECT o_custkey, sum(o_totalprice) AS tp FROM orders \
+                      GROUP BY o_custkey) AS r2 \
+                WHERE r1.c_custkey = r2.o_custkey \
+                GROUP BY ab / 11000.0, tp / 3000000.0 \
+                DISTANCE-TO-ALL L2 WITHIN 0.2 ON-OVERLAP JOIN-ANY";
+    println!("EXPLAIN SGB1:\n{}", db.explain(sgb1).unwrap());
+
+    let run = |db: &Database, name: &str, sql: &str| {
+        let start = Instant::now();
+        let out = db.query(sql).unwrap();
+        println!(
+            "{name:<6} {:>6} rows  {:>8.1} ms",
+            out.len(),
+            start.elapsed().as_secs_f64() * 1e3
+        );
+        out
+    };
+
+    println!("--- SGB1: customers with similar buying power & balance ---");
+    let out = run(&db, "SGB1", sgb1);
+    println!("{}\n", out.sorted());
+
+    println!("--- GB2 vs SGB3/SGB4: profit & shipment-time grouping ---");
+    let inner = "SELECT ps_partkey AS partkey, \
+                 sum(l_extendedprice * (1 - l_discount) - ps_supplycost * l_quantity) AS tprof, \
+                 sum(l_receiptdate - l_shipdate) AS stime \
+                 FROM lineitem, partsupp, supplier \
+                 WHERE ps_partkey = l_partkey AND s_suppkey = ps_suppkey \
+                 GROUP BY ps_partkey";
+    run(
+        &db,
+        "GB2",
+        &format!("SELECT count(*), sum(tprof) FROM ({inner}) AS profit GROUP BY tprof, stime"),
+    );
+    run(
+        &db,
+        "SGB3",
+        &format!(
+            "SELECT count(*), sum(tprof), sum(stime) FROM ({inner}) AS profit \
+             GROUP BY tprof / 10000000.0, stime / 3000.0 \
+             DISTANCE-TO-ALL L2 WITHIN 0.2 ON-OVERLAP FORM-NEW-GROUP"
+        ),
+    );
+    run(
+        &db,
+        "SGB4",
+        &format!(
+            "SELECT count(*), sum(tprof), sum(stime) FROM ({inner}) AS profit \
+             GROUP BY tprof / 10000000.0, stime / 3000.0 DISTANCE-TO-ANY L2 WITHIN 0.2"
+        ),
+    );
+
+    println!("\n--- GB3 vs SGB5/SGB6: supplier revenue grouping ---");
+    run(
+        &db,
+        "GB3",
+        "SELECT l_suppkey, sum(l_extendedprice * (1 - l_discount)) AS trevenue \
+         FROM lineitem \
+         WHERE l_shipdate > date '1995-01-01' \
+           AND l_shipdate < date '1995-01-01' + interval '10' month \
+         GROUP BY l_suppkey",
+    );
+    let revenue_inner = "SELECT l_suppkey AS suppkey, \
+                         sum(l_extendedprice * (1 - l_discount)) AS trevenue, \
+                         max(s_acctbal) AS acctbal \
+                         FROM lineitem, supplier \
+                         WHERE s_suppkey = l_suppkey \
+                           AND l_shipdate > date '1995-01-01' \
+                           AND l_shipdate < date '1995-01-01' + interval '10' month \
+                         GROUP BY l_suppkey";
+    let sgb5 = run(
+        &db,
+        "SGB5",
+        &format!(
+            "SELECT count(*), array_agg(suppkey), sum(trevenue) FROM ({revenue_inner}) AS r \
+             GROUP BY trevenue / 100000000.0, acctbal / 10000.0 \
+             DISTANCE-TO-ALL L2 WITHIN 0.2 ON-OVERLAP ELIMINATE"
+        ),
+    );
+    println!("{}", sgb5.sorted());
+    run(
+        &db,
+        "SGB6",
+        &format!(
+            "SELECT count(*), sum(trevenue) FROM ({revenue_inner}) AS r \
+             GROUP BY trevenue / 100000000.0, acctbal / 10000.0 DISTANCE-TO-ANY L2 WITHIN 0.2"
+        ),
+    );
+}

@@ -1,0 +1,68 @@
+#![warn(missing_docs)]
+
+//! # `sgb` — Similarity Group-By operators for multi-dimensional relational data
+//!
+//! Umbrella crate for the reproduction of *"Similarity Group-by Operators
+//! for Multi-dimensional Relational Data"* (Tang et al.). It re-exports the
+//! workspace crates:
+//!
+//! | crate | contents |
+//! |---|---|
+//! | [`sgb_core`] | the SGB-All / SGB-Any operators (the paper's contribution) |
+//! | [`sgb_geom`] | points, rectangles, metrics, convex hulls |
+//! | [`sgb_spatial`] | the on-the-fly R-tree index |
+//! | [`sgb_dsu`] | Union-Find for group merging |
+//! | [`sgb_cluster`] | K-means / DBSCAN / BIRCH baselines |
+//! | [`sgb_relation`] | the mini SQL engine with the `DISTANCE-TO-ALL` / `DISTANCE-TO-ANY` grammar |
+//! | [`sgb_datagen`] | TPC-H-like, check-in, and synthetic workload generators |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use sgb::core::{sgb_all, sgb_any, SgbAllConfig, SgbAnyConfig};
+//! use sgb::geom::Point;
+//!
+//! let pts: Vec<Point<2>> = vec![
+//!     Point::new([1.0, 1.0]),
+//!     Point::new([1.5, 1.2]),
+//!     Point::new([5.0, 5.0]),
+//! ];
+//! assert_eq!(sgb_all(&pts, &SgbAllConfig::new(1.0)).num_groups(), 2);
+//! assert_eq!(sgb_any(&pts, &SgbAnyConfig::new(1.0)).num_groups(), 2);
+//! ```
+//!
+//! Or through SQL:
+//!
+//! ```
+//! use sgb::relation::Database;
+//!
+//! let mut db = Database::new();
+//! db.execute("CREATE TABLE p (x DOUBLE, y DOUBLE)").unwrap();
+//! db.execute("INSERT INTO p VALUES (1.0, 1.0), (1.5, 1.2), (5.0, 5.0)").unwrap();
+//! let out = db
+//!     .execute("SELECT count(*) FROM p GROUP BY x, y DISTANCE-TO-ANY L2 WITHIN 1")
+//!     .unwrap();
+//! assert_eq!(out.len(), 2);
+//! ```
+
+/// Clustering baselines (K-means, DBSCAN, BIRCH).
+pub use sgb_cluster as cluster;
+/// The similarity group-by operators.
+pub use sgb_core as core;
+/// Workload generators.
+pub use sgb_datagen as datagen;
+/// Disjoint-set union.
+pub use sgb_dsu as dsu;
+/// Geometry primitives.
+pub use sgb_geom as geom;
+/// The mini relational engine.
+pub use sgb_relation as relation;
+/// The R-tree spatial index.
+pub use sgb_spatial as spatial;
+
+pub use sgb_core::{
+    sgb_all, sgb_any, AllAlgorithm, AnyAlgorithm, Grouping, OverlapAction, SgbAll, SgbAllConfig,
+    SgbAny, SgbAnyConfig,
+};
+pub use sgb_geom::{Metric, Point, Point2, Point3, Rect};
+pub use sgb_relation::Database;

@@ -1,0 +1,245 @@
+//! Cross-crate integration tests: the three SGB-All strategies and the two
+//! SGB-Any strategies are interchangeable, and the paper's worked examples
+//! hold end to end.
+
+use sgb::core::{
+    sgb_all, sgb_any, AllAlgorithm, AnyAlgorithm, Grouping, OverlapAction, SgbAll, SgbAllConfig,
+    SgbAny, SgbAnyConfig,
+};
+use sgb::datagen::{clustered_points, uniform_points, CheckinConfig, TpchConfig};
+use sgb::geom::{Metric, Point};
+
+const ALL_ALGOS: [AllAlgorithm; 3] = [
+    AllAlgorithm::AllPairs,
+    AllAlgorithm::BoundsChecking,
+    AllAlgorithm::Indexed,
+];
+
+fn run_all(points: &[Point<2>], eps: f64, metric: Metric, overlap: OverlapAction) -> Vec<Grouping> {
+    ALL_ALGOS
+        .iter()
+        .map(|&algorithm| {
+            let cfg = SgbAllConfig::new(eps)
+                .metric(metric)
+                .overlap(overlap)
+                .algorithm(algorithm)
+                .seed(2024);
+            sgb_all(points, &cfg)
+        })
+        .collect()
+}
+
+#[test]
+fn all_algorithms_agree_on_clustered_workload() {
+    let points = clustered_points::<2>(1_500, 40, 0.01, 99);
+    for metric in [Metric::L2, Metric::LInf] {
+        for overlap in [
+            OverlapAction::JoinAny,
+            OverlapAction::Eliminate,
+            OverlapAction::FormNewGroup,
+        ] {
+            for eps in [0.01, 0.05, 0.2] {
+                let runs = run_all(&points, eps, metric, overlap);
+                assert_eq!(runs[0], runs[1], "{metric:?} {overlap:?} eps={eps}");
+                assert_eq!(runs[0], runs[2], "{metric:?} {overlap:?} eps={eps}");
+                runs[0].check_partition(points.len());
+            }
+        }
+    }
+}
+
+#[test]
+fn all_algorithms_agree_on_checkin_workload() {
+    let points = CheckinConfig::gowalla_like(1_200).generate().points();
+    for overlap in [OverlapAction::Eliminate, OverlapAction::FormNewGroup] {
+        let runs = run_all(&points, 0.25, Metric::L2, overlap);
+        assert_eq!(runs[0], runs[1], "{overlap:?}");
+        assert_eq!(runs[0], runs[2], "{overlap:?}");
+    }
+}
+
+#[test]
+fn any_algorithms_agree_on_tpch_workload() {
+    let points = TpchConfig::new(1.0).density(0.003).generate().sgb1_points();
+    for metric in [Metric::L2, Metric::LInf] {
+        for eps in [0.001, 0.01, 0.1] {
+            let naive = sgb_any(
+                &points,
+                &SgbAnyConfig::new(eps).metric(metric).algorithm(AnyAlgorithm::AllPairs),
+            );
+            let indexed = sgb_any(
+                &points,
+                &SgbAnyConfig::new(eps).metric(metric).algorithm(AnyAlgorithm::Indexed),
+            );
+            assert_eq!(naive, indexed, "{metric:?} eps={eps}");
+        }
+    }
+}
+
+#[test]
+fn streaming_and_one_shot_are_identical() {
+    let points = uniform_points::<2>(400, 5);
+    let cfg = SgbAllConfig::new(0.07).overlap(OverlapAction::FormNewGroup);
+    let one_shot = sgb_all(&points, &cfg);
+    let mut op = SgbAll::new(cfg);
+    for p in &points {
+        op.push(*p);
+    }
+    assert_eq!(op.len(), 400);
+    assert_eq!(op.finish(), one_shot);
+
+    let cfg = SgbAnyConfig::new(0.07);
+    let one_shot = sgb_any(&points, &cfg);
+    let mut op = SgbAny::new(cfg);
+    for p in &points {
+        op.push(*p);
+    }
+    assert_eq!(op.finish(), one_shot);
+}
+
+#[test]
+fn eliminate_groups_never_larger_than_join_any_total() {
+    // ELIMINATE only removes records relative to JOIN-ANY's placement.
+    let points = clustered_points::<2>(800, 20, 0.02, 3);
+    let join = sgb_all(&points, &SgbAllConfig::new(0.1));
+    let elim = sgb_all(
+        &points,
+        &SgbAllConfig::new(0.1).overlap(OverlapAction::Eliminate),
+    );
+    assert_eq!(join.grouped_records(), points.len());
+    assert_eq!(
+        elim.grouped_records() + elim.eliminated.len(),
+        points.len()
+    );
+}
+
+#[test]
+fn form_new_group_places_every_record() {
+    let points = clustered_points::<2>(800, 20, 0.02, 4);
+    let out = sgb_all(
+        &points,
+        &SgbAllConfig::new(0.1).overlap(OverlapAction::FormNewGroup),
+    );
+    assert_eq!(out.grouped_records(), points.len());
+    assert!(out.eliminated.is_empty());
+}
+
+#[test]
+fn epsilon_monotonicity_for_sgb_any() {
+    // Growing ε can only merge SGB-Any components, never split them.
+    let points = uniform_points::<2>(500, 77);
+    let mut last = usize::MAX;
+    for eps in [0.01, 0.02, 0.05, 0.1, 0.2, 0.5] {
+        let n = sgb_any(&points, &SgbAnyConfig::new(eps)).num_groups();
+        assert!(n <= last, "components grew from {last} to {n} at eps={eps}");
+        last = n;
+    }
+    assert_eq!(
+        sgb_any(&points, &SgbAnyConfig::new(f64::MAX / 4.0)).num_groups(),
+        1
+    );
+}
+
+#[test]
+fn linf_groups_at_least_as_coarse_as_l2() {
+    // L∞ balls contain L2 balls, so L∞ SGB-Any components are coarser
+    // (never more numerous).
+    let points = clustered_points::<2>(600, 30, 0.01, 8);
+    for eps in [0.02, 0.05, 0.1] {
+        let l2 = sgb_any(&points, &SgbAnyConfig::new(eps).metric(Metric::L2));
+        let linf = sgb_any(&points, &SgbAnyConfig::new(eps).metric(Metric::LInf));
+        assert!(
+            linf.num_groups() <= l2.num_groups(),
+            "eps={eps}: {} > {}",
+            linf.num_groups(),
+            l2.num_groups()
+        );
+    }
+}
+
+#[test]
+fn three_dimensional_agreement() {
+    let points = clustered_points::<3>(500, 20, 0.02, 12);
+    let mut previous: Option<Grouping> = None;
+    for algorithm in ALL_ALGOS {
+        let cfg = SgbAllConfig::new(0.15)
+            .metric(Metric::L2)
+            .overlap(OverlapAction::Eliminate)
+            .algorithm(algorithm)
+            .seed(5);
+        let out = sgb_all(&points, &cfg);
+        out.check_partition(points.len());
+        if let Some(prev) = &previous {
+            assert_eq!(prev, &out, "{algorithm:?}");
+        }
+        previous = Some(out);
+    }
+}
+
+#[test]
+fn hull_threshold_is_a_pure_optimisation() {
+    // The hull refinement and the member scan are interchangeable exact
+    // checks: any threshold yields the same grouping.
+    let points = clustered_points::<2>(900, 15, 0.015, 31);
+    for overlap in [OverlapAction::JoinAny, OverlapAction::Eliminate] {
+        let runs: Vec<Grouping> = [1usize, 4, 16, usize::MAX]
+            .iter()
+            .map(|&t| {
+                let cfg = SgbAllConfig::new(0.15)
+                    .metric(Metric::L2)
+                    .overlap(overlap)
+                    .algorithm(AllAlgorithm::BoundsChecking)
+                    .hull_threshold(t)
+                    .seed(8);
+                sgb_all(&points, &cfg)
+            })
+            .collect();
+        for r in &runs[1..] {
+            assert_eq!(&runs[0], r, "{overlap:?}");
+        }
+    }
+}
+
+#[test]
+fn rtree_fanout_is_a_pure_optimisation() {
+    let points = clustered_points::<2>(900, 15, 0.015, 32);
+    let runs: Vec<Grouping> = [4usize, 8, 24]
+        .iter()
+        .map(|&f| {
+            let cfg = SgbAllConfig::new(0.1)
+                .overlap(OverlapAction::FormNewGroup)
+                .algorithm(AllAlgorithm::Indexed)
+                .rtree_fanout(f)
+                .seed(8);
+            sgb_all(&points, &cfg)
+        })
+        .collect();
+    for r in &runs[1..] {
+        assert_eq!(&runs[0], r);
+    }
+    let any_runs: Vec<Grouping> = [4usize, 8, 24]
+        .iter()
+        .map(|&f| sgb_any(&points, &SgbAnyConfig::new(0.1).rtree_fanout(f)))
+        .collect();
+    for r in &any_runs[1..] {
+        assert_eq!(&any_runs[0], r);
+    }
+}
+
+#[test]
+fn join_any_seed_controls_arbitration_only() {
+    // Different seeds may change which group an overlapping point joins,
+    // but never the set of grouped records.
+    let points = clustered_points::<2>(400, 10, 0.03, 21);
+    let sizes: Vec<usize> = (0..5)
+        .map(|seed| {
+            let out = sgb_all(&points, &SgbAllConfig::new(0.1).seed(seed));
+            out.check_partition(points.len());
+            assert_eq!(out.grouped_records(), points.len());
+            out.num_groups()
+        })
+        .collect();
+    // Group counts may differ slightly across seeds, but all runs place
+    // every record.
+    assert!(sizes.iter().all(|&n| n > 0));
+}

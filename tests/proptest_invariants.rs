@@ -1,0 +1,265 @@
+//! Property-based tests of the core invariants, with `proptest`.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use sgb::core::{
+    sgb_all, sgb_any, AllAlgorithm, AnyAlgorithm, OverlapAction, SgbAllConfig, SgbAnyConfig,
+};
+use sgb::dsu::DisjointSet;
+use sgb::geom::{ConvexHull, Metric, Point, Rect};
+use sgb::spatial::RTree;
+
+fn arb_point() -> impl Strategy<Value = Point<2>> {
+    (0.0f64..8.0, 0.0f64..8.0).prop_map(|(x, y)| Point::new([x, y]))
+}
+
+fn arb_metric() -> impl Strategy<Value = Metric> {
+    prop_oneof![Just(Metric::L2), Just(Metric::LInf)]
+}
+
+fn arb_overlap() -> impl Strategy<Value = OverlapAction> {
+    prop_oneof![
+        Just(OverlapAction::JoinAny),
+        Just(OverlapAction::Eliminate),
+        Just(OverlapAction::FormNewGroup),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every SGB-All output group is an ε-clique under the configured
+    /// metric (Section 4.1's defining property), for all algorithms and
+    /// overlap semantics, and the output partitions the input.
+    #[test]
+    fn sgb_all_groups_are_cliques(
+        points in vec(arb_point(), 1..120),
+        eps in 0.05f64..2.0,
+        metric in arb_metric(),
+        overlap in arb_overlap(),
+    ) {
+        for algorithm in [AllAlgorithm::AllPairs, AllAlgorithm::BoundsChecking, AllAlgorithm::Indexed] {
+            let cfg = SgbAllConfig::new(eps)
+                .metric(metric)
+                .overlap(overlap)
+                .algorithm(algorithm)
+                .seed(7);
+            let out = sgb_all(&points, &cfg);
+            out.check_partition(points.len());
+            for g in &out.groups {
+                for i in 0..g.len() {
+                    for j in (i + 1)..g.len() {
+                        prop_assert!(
+                            metric.within(&points[g[i]], &points[g[j]], eps),
+                            "{algorithm:?}: {:?} and {:?} exceed eps {eps}",
+                            points[g[i]], points[g[j]]
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// The three SGB-All algorithms are observationally identical.
+    #[test]
+    fn sgb_all_algorithms_equivalent(
+        points in vec(arb_point(), 1..100),
+        eps in 0.05f64..2.0,
+        metric in arb_metric(),
+        overlap in arb_overlap(),
+    ) {
+        let runs: Vec<_> = [AllAlgorithm::AllPairs, AllAlgorithm::BoundsChecking, AllAlgorithm::Indexed]
+            .iter()
+            .map(|&algorithm| {
+                sgb_all(
+                    &points,
+                    &SgbAllConfig::new(eps).metric(metric).overlap(overlap).algorithm(algorithm).seed(3),
+                )
+            })
+            .collect();
+        prop_assert_eq!(&runs[0], &runs[1]);
+        prop_assert_eq!(&runs[0], &runs[2]);
+    }
+
+    /// SGB-Any equals the connected components of the ε-threshold graph
+    /// (Section 4.2's defining property), via a brute-force reference.
+    #[test]
+    fn sgb_any_is_connected_components(
+        points in vec(arb_point(), 0..120),
+        eps in 0.05f64..2.0,
+        metric in arb_metric(),
+    ) {
+        let mut reference = DisjointSet::with_len(points.len());
+        for i in 0..points.len() {
+            for j in (i + 1)..points.len() {
+                if metric.within(&points[i], &points[j], eps) {
+                    reference.union(i, j);
+                }
+            }
+        }
+        let expected = reference.into_groups();
+        for algorithm in [AnyAlgorithm::AllPairs, AnyAlgorithm::Indexed] {
+            let out = sgb_any(
+                &points,
+                &SgbAnyConfig::new(eps).metric(metric).algorithm(algorithm),
+            );
+            prop_assert_eq!(&out.groups, &expected, "{:?}", algorithm);
+        }
+    }
+
+    /// SGB-All groups refine SGB-Any components: every clique lies inside
+    /// one component.
+    #[test]
+    fn cliques_refine_components(
+        points in vec(arb_point(), 1..100),
+        eps in 0.05f64..2.0,
+        metric in arb_metric(),
+    ) {
+        let any = sgb_any(&points, &SgbAnyConfig::new(eps).metric(metric));
+        let comp = any.assignment(points.len());
+        let all = sgb_all(&points, &SgbAllConfig::new(eps).metric(metric));
+        for g in &all.groups {
+            let c = comp[g[0]];
+            prop_assert!(g.iter().all(|&r| comp[r] == c));
+        }
+    }
+
+    /// ELIMINATE drops exactly the records that JOIN-ANY would have had to
+    /// arbitrate... at minimum, every dropped record plus every group
+    /// member accounts for the whole input.
+    #[test]
+    fn eliminate_partitions_input(
+        points in vec(arb_point(), 0..120),
+        eps in 0.05f64..2.0,
+    ) {
+        let out = sgb_all(
+            &points,
+            &SgbAllConfig::new(eps).overlap(OverlapAction::Eliminate),
+        );
+        out.check_partition(points.len());
+        prop_assert_eq!(out.grouped_records() + out.eliminated.len(), points.len());
+    }
+
+    /// R-tree window queries agree with a linear scan, after interleaved
+    /// inserts and deletes.
+    #[test]
+    fn rtree_window_equals_linear_scan(
+        points in vec(arb_point(), 1..150),
+        deletions in vec(any::<prop::sample::Index>(), 0..40),
+        window in (0.0f64..8.0, 0.0f64..8.0, 0.1f64..4.0),
+    ) {
+        let mut tree: RTree<2, usize> = RTree::with_max_entries(6);
+        for (i, p) in points.iter().enumerate() {
+            tree.insert_point(*p, i);
+        }
+        let mut live: Vec<bool> = vec![true; points.len()];
+        for d in &deletions {
+            let victim = d.index(points.len());
+            if live[victim] {
+                prop_assert!(tree.remove(&Rect::point(points[victim]), &victim));
+                live[victim] = false;
+            }
+        }
+        tree.check_invariants();
+        let w = Rect::centered(Point::new([window.0, window.1]), window.2);
+        let mut hits = tree.query_collect(&w);
+        hits.sort_unstable();
+        let mut expected: Vec<usize> = points
+            .iter()
+            .enumerate()
+            .filter(|(i, p)| live[*i] && w.contains_point(p))
+            .map(|(i, _)| i)
+            .collect();
+        expected.sort_unstable();
+        prop_assert_eq!(hits, expected);
+    }
+
+    /// R-tree kNN distances agree with brute force.
+    #[test]
+    fn rtree_knn_equals_brute_force(
+        points in vec(arb_point(), 1..120),
+        query in arb_point(),
+        k in 1usize..12,
+        metric in arb_metric(),
+    ) {
+        let mut tree: RTree<2, usize> = RTree::new();
+        for (i, p) in points.iter().enumerate() {
+            tree.insert_point(*p, i);
+        }
+        let got = tree.nearest(&query, k, metric);
+        let mut brute: Vec<f64> = points.iter().map(|p| metric.distance(p, &query)).collect();
+        brute.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        prop_assert_eq!(got.len(), k.min(points.len()));
+        for (i, (d, _)) in got.iter().enumerate() {
+            prop_assert!((d - brute[i]).abs() < 1e-9);
+        }
+    }
+
+    /// Convex hull: contains all input points; hull of hull is idempotent;
+    /// the admit test equals the all-members check.
+    #[test]
+    fn hull_properties(points in vec(arb_point(), 1..80), probe in arb_point(), eps in 0.1f64..3.0) {
+        let hull = ConvexHull::build(&points);
+        for p in &points {
+            prop_assert!(hull.contains(p), "hull must contain input {p:?}");
+        }
+        let again = ConvexHull::build(hull.vertices());
+        prop_assert_eq!(hull.vertices().len(), again.vertices().len());
+        // Exactness of the refinement used by SGB-All under L2 — valid
+        // whenever the member set is a legal clique (diameter ≤ ε).
+        let diameter = hull.diameter(Metric::L2);
+        if diameter <= eps {
+            let truth = points.iter().all(|m| Metric::L2.within(m, &probe, eps));
+            prop_assert_eq!(hull.admits(&probe, eps, Metric::L2), truth);
+        }
+    }
+
+    /// The ε-All region invariants of Definition 5 (exact for L∞,
+    /// conservative for L2).
+    #[test]
+    fn eps_region_invariants(
+        members in vec(arb_point(), 1..40),
+        probe in arb_point(),
+        eps in 0.1f64..3.0,
+    ) {
+        let mut region = sgb::geom::EpsAllRegion::new(eps);
+        for m in &members {
+            region.insert(m);
+        }
+        let inside = region.point_in_region(&probe);
+        let linf_all = members.iter().all(|m| Metric::LInf.within(m, &probe, eps));
+        prop_assert_eq!(inside, linf_all, "L-inf region must be exact");
+        let l2_all = members.iter().all(|m| Metric::L2.within(m, &probe, eps));
+        if l2_all {
+            prop_assert!(inside, "L2 region must be conservative");
+        }
+        // Reach region: outside it, no member is within ε.
+        if !region.may_overlap(&probe) {
+            prop_assert!(members.iter().all(|m| !Metric::LInf.within(m, &probe, eps)));
+        }
+    }
+
+    /// DSU connectivity equals naive label propagation.
+    #[test]
+    fn dsu_equals_labels(unions in vec((0usize..50, 0usize..50), 0..120)) {
+        let mut dsu = DisjointSet::with_len(50);
+        let mut labels: Vec<usize> = (0..50).collect();
+        for &(a, b) in &unions {
+            dsu.union(a, b);
+            let (la, lb) = (labels[a], labels[b]);
+            if la != lb {
+                for l in labels.iter_mut() {
+                    if *l == lb {
+                        *l = la;
+                    }
+                }
+            }
+        }
+        for a in 0..50 {
+            for b in 0..50 {
+                prop_assert_eq!(dsu.connected(a, b), labels[a] == labels[b]);
+            }
+        }
+    }
+}

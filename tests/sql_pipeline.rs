@@ -1,0 +1,227 @@
+//! End-to-end SQL pipeline tests over generated TPC-H-like data: the
+//! engine's similarity group-by must agree with running the core operator
+//! directly over the extracted points, and standard SQL answers must agree
+//! with hand-rolled computation.
+
+use std::collections::HashMap;
+
+use sgb::core::{sgb_any, SgbAnyConfig};
+use sgb::datagen::TpchConfig;
+use sgb::geom::{Metric, Point};
+use sgb::relation::{Database, Value};
+
+fn small_db() -> Database {
+    let mut db = Database::new();
+    TpchConfig::new(1.0)
+        .density(0.002)
+        .generate()
+        .register_all(&mut db);
+    db
+}
+
+#[test]
+fn standard_group_by_matches_manual_aggregation() {
+    let db = small_db();
+    let out = db
+        .query("SELECT o_custkey, count(*), sum(o_totalprice) FROM orders GROUP BY o_custkey")
+        .unwrap();
+    // Manual aggregation over the raw table.
+    let orders = db.table("orders").unwrap();
+    let mut manual: HashMap<i64, (i64, f64)> = HashMap::new();
+    for row in &orders.rows {
+        let cust = row[1].as_i64().unwrap();
+        let price = row[2].as_f64().unwrap();
+        let e = manual.entry(cust).or_insert((0, 0.0));
+        e.0 += 1;
+        e.1 += price;
+    }
+    assert_eq!(out.len(), manual.len());
+    for row in &out.rows {
+        let cust = row[0].as_i64().unwrap();
+        let (n, total) = manual[&cust];
+        assert_eq!(row[1].as_i64().unwrap(), n);
+        assert!((row[2].as_f64().unwrap() - total).abs() < 1e-6);
+    }
+}
+
+#[test]
+fn join_count_matches_manual_join() {
+    let db = small_db();
+    let out = db
+        .query(
+            "SELECT count(*) FROM customer, orders \
+             WHERE c_custkey = o_custkey AND c_acctbal > 0",
+        )
+        .unwrap();
+    let customers = db.table("customer").unwrap();
+    let positive: std::collections::HashSet<i64> = customers
+        .rows
+        .iter()
+        .filter(|r| r[2].as_f64().unwrap() > 0.0)
+        .map(|r| r[0].as_i64().unwrap())
+        .collect();
+    let manual = db
+        .table("orders")
+        .unwrap()
+        .rows
+        .iter()
+        .filter(|r| positive.contains(&r[1].as_i64().unwrap()))
+        .count();
+    assert_eq!(out.scalar().unwrap().as_i64().unwrap() as usize, manual);
+}
+
+#[test]
+fn sql_sgb_any_matches_core_operator() {
+    let db = small_db();
+    // Through SQL.
+    let out = db
+        .query(
+            "SELECT count(*) FROM customer \
+             GROUP BY c_acctbal / 11000.0, c_nationkey / 25.0 \
+             DISTANCE-TO-ANY L2 WITHIN 0.05",
+        )
+        .unwrap();
+    // Directly through the operator on extracted points.
+    let customers = db.table("customer").unwrap();
+    let points: Vec<Point<2>> = customers
+        .rows
+        .iter()
+        .map(|r| {
+            Point::new([
+                r[2].as_f64().unwrap() / 11000.0,
+                r[3].as_f64().unwrap() / 25.0,
+            ])
+        })
+        .collect();
+    let grouping = sgb_any(&points, &SgbAnyConfig::new(0.05).metric(Metric::L2));
+    assert_eq!(out.len(), grouping.num_groups());
+    let mut sql_counts: Vec<i64> = out.rows.iter().map(|r| r[0].as_i64().unwrap()).collect();
+    sql_counts.sort_unstable();
+    let mut core_counts: Vec<i64> = grouping.sizes().iter().map(|&s| s as i64).collect();
+    core_counts.sort_unstable();
+    assert_eq!(sql_counts, core_counts);
+}
+
+#[test]
+fn sgb_all_sum_is_preserved_under_join_any() {
+    // JOIN-ANY only redistributes records among groups: the total of any
+    // summed measure is invariant.
+    let db = small_db();
+    let total = db
+        .query("SELECT sum(c_acctbal) FROM customer")
+        .unwrap()
+        .scalar()
+        .unwrap()
+        .as_f64()
+        .unwrap();
+    let grouped = db
+        .query(
+            "SELECT sum(s) FROM (SELECT sum(c_acctbal) AS s FROM customer \
+             GROUP BY c_acctbal / 11000.0, c_nationkey / 25.0 \
+             DISTANCE-TO-ALL L2 WITHIN 0.1 ON-OVERLAP JOIN-ANY) AS g",
+        )
+        .unwrap()
+        .scalar()
+        .unwrap()
+        .as_f64()
+        .unwrap();
+    assert!((total - grouped).abs() < 1e-6, "{total} vs {grouped}");
+}
+
+#[test]
+fn in_subquery_with_having_selects_large_orders() {
+    let db = small_db();
+    let out = db
+        .query(
+            "SELECT count(*) FROM orders WHERE o_orderkey IN \
+             (SELECT l_orderkey FROM lineitem GROUP BY l_orderkey \
+              HAVING sum(l_quantity) > 150)",
+        )
+        .unwrap();
+    // Manual.
+    let lineitem = db.table("lineitem").unwrap();
+    let mut qty: HashMap<i64, i64> = HashMap::new();
+    for row in &lineitem.rows {
+        *qty.entry(row[0].as_i64().unwrap()).or_insert(0) += row[3].as_i64().unwrap();
+    }
+    let manual = qty.values().filter(|&&q| q > 150).count();
+    assert_eq!(out.scalar().unwrap().as_i64().unwrap() as usize, manual);
+    assert!(manual > 0, "the workload should contain large orders");
+}
+
+#[test]
+fn date_range_filter_matches_manual_count() {
+    let db = small_db();
+    let out = db
+        .query(
+            "SELECT count(*) FROM lineitem \
+             WHERE l_shipdate > date '1995-01-01' \
+               AND l_shipdate < date '1995-01-01' + interval '10' month",
+        )
+        .unwrap();
+    let lo = sgb::relation::value::parse_date("1995-01-01").unwrap();
+    let hi = sgb::relation::value::add_months_days(lo, 10, 0);
+    let manual = db
+        .table("lineitem")
+        .unwrap()
+        .rows
+        .iter()
+        .filter(|r| {
+            let Value::Date(d) = r[6] else { panic!("expected date") };
+            d > lo && d < hi
+        })
+        .count();
+    assert_eq!(out.scalar().unwrap().as_i64().unwrap() as usize, manual);
+}
+
+#[test]
+fn engine_algorithm_setting_changes_plan_not_result() {
+    use sgb::core::{AllAlgorithm, AnyAlgorithm};
+    // ε is chosen off the data's value grid (acctbal cents / 11000,
+    // nationkey / 25): distances that tie with ε only up to floating-point
+    // rounding may legitimately be arbitrated differently by the rectangle
+    // filter and the member scan (see DESIGN.md), so an on-grid ε such as
+    // 0.08 would make this equality over-constrained.
+    let sql = "SELECT count(*) FROM customer \
+               GROUP BY c_acctbal / 11000.0, c_nationkey / 25.0 \
+               DISTANCE-TO-ALL LINF WITHIN 0.0777 ON-OVERLAP ELIMINATE";
+    let mut results = Vec::new();
+    for algo in [
+        AllAlgorithm::AllPairs,
+        AllAlgorithm::BoundsChecking,
+        AllAlgorithm::Indexed,
+    ] {
+        let mut db = small_db();
+        db.set_sgb_all_algorithm(algo);
+        results.push(db.query(sql).unwrap().sorted());
+    }
+    assert_eq!(results[0], results[1]);
+    assert_eq!(results[1], results[2]);
+
+    let any_sql = "SELECT count(*) FROM customer \
+                   GROUP BY c_acctbal / 11000.0, c_nationkey / 25.0 \
+                   DISTANCE-TO-ANY LINF WITHIN 0.04";
+    let mut results = Vec::new();
+    for algo in [AnyAlgorithm::AllPairs, AnyAlgorithm::Indexed] {
+        let mut db = small_db();
+        db.set_sgb_any_algorithm(algo);
+        results.push(db.query(any_sql).unwrap().sorted());
+    }
+    assert_eq!(results[0], results[1]);
+}
+
+#[test]
+fn explain_shows_similarity_operator_above_join() {
+    let db = small_db();
+    let plan = db
+        .explain(
+            "SELECT count(*) FROM customer, orders WHERE c_custkey = o_custkey \
+             GROUP BY c_acctbal, o_totalprice DISTANCE-TO-ALL L2 WITHIN 0.5 \
+             ON-OVERLAP FORM-NEW-GROUP",
+        )
+        .unwrap();
+    let sgb_pos = plan.find("SimilarityGroupBy").expect("SGB node");
+    let join_pos = plan.find("HashJoin").expect("join node");
+    assert!(sgb_pos < join_pos, "SGB consumes the join output:\n{plan}");
+    assert!(plan.contains("ON-OVERLAP FORM-NEW-GROUP"));
+}
