@@ -34,13 +34,19 @@ fn bench(c: &mut Criterion) {
             .metric(Metric::L2)
             .algorithm(AllAlgorithm::Indexed)
             .rtree_fanout(fanout);
-        group.bench_with_input(BenchmarkId::new("all_rtree_fanout", fanout), &cfg, |b, cfg| {
-            b.iter(|| sgb_all(&points, cfg))
-        });
-        let cfg = SgbAnyConfig::new(0.3).metric(Metric::L2).rtree_fanout(fanout);
-        group.bench_with_input(BenchmarkId::new("any_rtree_fanout", fanout), &cfg, |b, cfg| {
-            b.iter(|| sgb_any(&points, cfg))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("all_rtree_fanout", fanout),
+            &cfg,
+            |b, cfg| b.iter(|| sgb_all(&points, cfg)),
+        );
+        let cfg = SgbAnyConfig::new(0.3)
+            .metric(Metric::L2)
+            .rtree_fanout(fanout);
+        group.bench_with_input(
+            BenchmarkId::new("any_rtree_fanout", fanout),
+            &cfg,
+            |b, cfg| b.iter(|| sgb_any(&points, cfg)),
+        );
     }
     group.finish();
 }

@@ -23,7 +23,9 @@ fn bench(c: &mut Criterion) {
     let sgb3 = queries::with_sgb_all(queries::SGB3_TEMPLATE, eps, "L2", "JOIN-ANY");
     group.bench_function("sgb3_all_join_any", |b| b.iter(|| db.query(&sgb3).unwrap()));
     let sgb3e = queries::with_sgb_all(queries::SGB3_TEMPLATE, eps, "L2", "ELIMINATE");
-    group.bench_function("sgb3_all_eliminate", |b| b.iter(|| db.query(&sgb3e).unwrap()));
+    group.bench_function("sgb3_all_eliminate", |b| {
+        b.iter(|| db.query(&sgb3e).unwrap())
+    });
     let sgb4 = queries::with_sgb_any(queries::SGB3_TEMPLATE, eps, "L2");
     group.bench_function("sgb4_any", |b| b.iter(|| db.query(&sgb4).unwrap()));
     let sgb5 = queries::with_sgb_all(queries::SGB5_TEMPLATE, eps, "L2", "FORM-NEW-GROUP");

@@ -339,7 +339,11 @@ pub fn fig11(sub: char, scale: f64) -> Experiment {
         eprintln!("#   fig11{sub} n={n} done");
     }
 
-    let which = if sub == 'a' { "Brightkite-like" } else { "Gowalla-like" };
+    let which = if sub == 'a' {
+        "Brightkite-like"
+    } else {
+        "Gowalla-like"
+    };
     Experiment {
         id: format!("fig11{sub}"),
         title: format!("SGB vs clustering algorithms on {which} check-ins (eps = 0.2)"),
@@ -391,7 +395,10 @@ pub fn fig12(sub: char, scale: f64) -> Experiment {
         for (si, (name, sql)) in variants.iter().enumerate() {
             let (out, secs) = time(|| db.query(sql).unwrap());
             series[si].rows.push((sf, secs));
-            eprintln!("#   fig12{sub} {name} SF={sf}: {secs:.3}s ({} rows)", out.len());
+            eprintln!(
+                "#   fig12{sub} {name} SF={sf}: {secs:.3}s ({} rows)",
+                out.len()
+            );
         }
     }
     Experiment {

@@ -129,7 +129,9 @@ mod tests {
             with_sgb_any(SGB5_TEMPLATE, 0.2, "L2"),
         ];
         for q in &queries {
-            let out = db.query(q).unwrap_or_else(|e| panic!("query failed: {e}\n{q}"));
+            let out = db
+                .query(q)
+                .unwrap_or_else(|e| panic!("query failed: {e}\n{q}"));
             // Results exist and are well-formed (group counts > 0 whenever
             // the generator produced qualifying rows).
             assert!(!out.schema.is_empty(), "query: {q}");

@@ -103,7 +103,10 @@ pub struct BirchConfig {
 impl BirchConfig {
     /// A configuration with conventional defaults (`B = 8`, `L = 8`).
     pub fn new(threshold: f64) -> Self {
-        assert!(threshold >= 0.0 && threshold.is_finite(), "threshold must be finite and non-negative");
+        assert!(
+            threshold >= 0.0 && threshold.is_finite(),
+            "threshold must be finite and non-negative"
+        );
         Self {
             branching: 8,
             leaf_capacity: 8,
@@ -214,13 +217,11 @@ impl<const D: usize> CfTree<D> {
             unreachable!()
         };
         // Closest entry by centroid; absorb when the radius stays under T.
-        let closest = entries
-            .iter_mut()
-            .min_by(|a, b| {
-                let da = a.centroid().dist_sq(p);
-                let db = b.centroid().dist_sq(p);
-                da.partial_cmp(&db).unwrap()
-            });
+        let closest = entries.iter_mut().min_by(|a, b| {
+            let da = a.centroid().dist_sq(p);
+            let db = b.centroid().dist_sq(p);
+            da.partial_cmp(&db).unwrap()
+        });
         match closest {
             Some(entry) if entry.radius_with(p) <= threshold => entry.add_point(p),
             _ => entries.push(Cf::from_point(p)),
@@ -231,10 +232,9 @@ impl<const D: usize> CfTree<D> {
     }
 
     fn split_leaf(&mut self, node: usize) -> usize {
-        let NodeKind::Leaf(entries) = std::mem::replace(
-            &mut self.nodes[node].kind,
-            NodeKind::Leaf(Vec::new()),
-        ) else {
+        let NodeKind::Leaf(entries) =
+            std::mem::replace(&mut self.nodes[node].kind, NodeKind::Leaf(Vec::new()))
+        else {
             unreachable!()
         };
         let (a, b) = split_by_farthest_pair(entries, |cf| cf.centroid());
@@ -256,10 +256,9 @@ impl<const D: usize> CfTree<D> {
     }
 
     fn split_internal(&mut self, node: usize) -> usize {
-        let NodeKind::Internal(children) = std::mem::replace(
-            &mut self.nodes[node].kind,
-            NodeKind::Leaf(Vec::new()),
-        ) else {
+        let NodeKind::Internal(children) =
+            std::mem::replace(&mut self.nodes[node].kind, NodeKind::Leaf(Vec::new()))
+        else {
             unreachable!()
         };
         let centroids: Vec<(usize, Point<D>)> = children
@@ -425,9 +424,17 @@ mod tests {
         let a = res.assignment[0];
         let b = res.assignment[100];
         assert!(res.assignment[..100].iter().all(|&x| {
-            res.clusters[x].centroid().dist_l2(&res.clusters[a].centroid()) < 5.0
+            res.clusters[x]
+                .centroid()
+                .dist_l2(&res.clusters[a].centroid())
+                < 5.0
         }));
-        assert!(res.clusters[a].centroid().dist_l2(&res.clusters[b].centroid()) > 5.0);
+        assert!(
+            res.clusters[a]
+                .centroid()
+                .dist_l2(&res.clusters[b].centroid())
+                > 5.0
+        );
     }
 
     #[test]
@@ -481,7 +488,10 @@ mod tests {
                 ));
             }
         }
-        let res = birch(&points, &BirchConfig::new(0.5).branching(4).leaf_capacity(4));
+        let res = birch(
+            &points,
+            &BirchConfig::new(0.5).branching(4).leaf_capacity(4),
+        );
         // CF-tree routing is greedy, so a blob may occasionally be covered
         // by two entries — but the count must stay near 100 and no entry
         // may span two blobs (blob spacing 20 ≫ threshold 0.5).

@@ -19,7 +19,10 @@ pub struct DbscanConfig {
 impl DbscanConfig {
     /// A configuration with the classic `min_pts = 4` default and `L2`.
     pub fn new(eps: f64) -> Self {
-        assert!(eps >= 0.0 && eps.is_finite(), "epsilon must be finite and non-negative");
+        assert!(
+            eps >= 0.0 && eps.is_finite(),
+            "epsilon must be finite and non-negative"
+        );
         Self {
             eps,
             min_pts: 4,
@@ -124,7 +127,13 @@ pub fn dbscan<const D: usize>(points: &[Point<D>], cfg: &DbscanConfig) -> Dbscan
     DbscanResult {
         labels: labels
             .into_iter()
-            .map(|l| if l >= NOISE { Label::Noise } else { Label::Cluster(l) })
+            .map(|l| {
+                if l >= NOISE {
+                    Label::Noise
+                } else {
+                    Label::Cluster(l)
+                }
+            })
             .collect(),
         clusters,
     }
@@ -209,9 +218,15 @@ mod tests {
             Point::new([1.0, 1.0]),
             Point::new([2.0, 2.0]),
         ];
-        let linf = dbscan(&points, &DbscanConfig::new(1.0).min_pts(2).metric(Metric::LInf));
+        let linf = dbscan(
+            &points,
+            &DbscanConfig::new(1.0).min_pts(2).metric(Metric::LInf),
+        );
         assert_eq!(linf.clusters, 1);
-        let l2 = dbscan(&points, &DbscanConfig::new(1.0).min_pts(2).metric(Metric::L2));
+        let l2 = dbscan(
+            &points,
+            &DbscanConfig::new(1.0).min_pts(2).metric(Metric::L2),
+        );
         assert_eq!(l2.clusters, 0);
     }
 

@@ -291,7 +291,6 @@ impl<const D: usize> Engine<D> {
         }
     }
 
-
     /// `ProcessGroupingALL` (Procedure 3).
     fn process_grouping(&mut self, ext: RecordId, p: Point<D>, candidates: &[GroupId]) {
         match candidates {
@@ -325,7 +324,10 @@ impl<const D: usize> Engine<D> {
                     true
                 }
             });
-            debug_assert!(!removed.is_empty(), "overlap group without overlapped members");
+            debug_assert!(
+                !removed.is_empty(),
+                "overlap group without overlapped members"
+            );
             match self.cfg.overlap {
                 OverlapAction::Eliminate => {
                     self.eliminated.extend(removed.iter().map(|(id, _)| *id));
@@ -395,8 +397,16 @@ impl<const D: usize> Engine<D> {
         } else {
             g.hull = None;
         }
-        self.allowed_cache[gid] = if g.is_dead() { Rect::empty() } else { g.region.allowed() };
-        self.reach_cache[gid] = if g.is_dead() { Rect::empty() } else { g.region.reach() };
+        self.allowed_cache[gid] = if g.is_dead() {
+            Rect::empty()
+        } else {
+            g.region.allowed()
+        };
+        self.reach_cache[gid] = if g.is_dead() {
+            Rect::empty()
+        } else {
+            g.region.reach()
+        };
         self.sync_index(gid);
     }
 
@@ -654,11 +664,15 @@ mod tests {
             let out = sgb_all(&fig4_points(), &cfg);
             // x and a3 are deferred, then form a group of their own
             // (they are within 4 of each other).
-            assert!(out.groups.iter().any(|g| {
-                let mut g = g.clone();
-                g.sort_unstable();
-                g == vec![2, 10]
-            }), "{algo:?}: {:?}", out.groups);
+            assert!(
+                out.groups.iter().any(|g| {
+                    let mut g = g.clone();
+                    g.sort_unstable();
+                    g == vec![2, 10]
+                }),
+                "{algo:?}: {:?}",
+                out.groups
+            );
             assert_eq!(out.sorted_sizes(), vec![3, 2, 2, 2, 2], "{algo:?}");
             out.check_partition(11);
         }
@@ -699,7 +713,9 @@ mod tests {
         // Core clique invariant, random cloud, every algorithm and metric.
         let mut state: u64 = 7;
         let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as f64) / (u32::MAX as f64)
         };
         let points: Vec<Point<2>> = (0..300)
@@ -739,7 +755,9 @@ mod tests {
         // groupings (same seed ⇒ same JOIN-ANY arbitration).
         let mut state: u64 = 99;
         let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as f64) / (u32::MAX as f64)
         };
         let points: Vec<Point<2>> = (0..400)
@@ -762,8 +780,14 @@ mod tests {
                         sgb_all(&points, &cfg)
                     })
                     .collect();
-                assert_eq!(runs[0], runs[1], "AllPairs vs Bounds {metric:?} {overlap:?}");
-                assert_eq!(runs[0], runs[2], "AllPairs vs Indexed {metric:?} {overlap:?}");
+                assert_eq!(
+                    runs[0], runs[1],
+                    "AllPairs vs Bounds {metric:?} {overlap:?}"
+                );
+                assert_eq!(
+                    runs[0], runs[2],
+                    "AllPairs vs Indexed {metric:?} {overlap:?}"
+                );
             }
         }
     }
@@ -845,12 +869,12 @@ mod tests {
         // The deferred set itself contains overlapping structure, forcing
         // at least two recursion rounds.
         let points = pts(&[
-            [0.0, 0.0],   // g1
-            [10.0, 0.0],  // g2
-            [5.0, 0.0],   // x1: candidate for neither (ε=6 L∞ → within of both!)
-            [20.0, 0.0],  // g3
-            [30.0, 0.0],  // g4
-            [25.0, 0.0],  // x2: within of g3, g4
+            [0.0, 0.0],  // g1
+            [10.0, 0.0], // g2
+            [5.0, 0.0],  // x1: candidate for neither (ε=6 L∞ → within of both!)
+            [20.0, 0.0], // g3
+            [30.0, 0.0], // g4
+            [25.0, 0.0], // x2: within of g3, g4
         ]);
         for algo in ALGOS {
             let cfg = SgbAllConfig::new(6.0)
@@ -886,7 +910,9 @@ mod tests {
         // Every SGB-All clique lives inside one SGB-Any connected component.
         let mut state: u64 = 5;
         let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as f64) / (u32::MAX as f64)
         };
         let points: Vec<Point<2>> = (0..200)

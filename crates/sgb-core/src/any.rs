@@ -252,9 +252,15 @@ mod tests {
         let points = pts(&[[0.0, 0.0], [0.9, 0.9]]);
         let eps = 1.0;
         for algo in [AnyAlgorithm::AllPairs, AnyAlgorithm::Indexed] {
-            let linf = sgb_any(&points, &SgbAnyConfig::new(eps).metric(Metric::LInf).algorithm(algo));
+            let linf = sgb_any(
+                &points,
+                &SgbAnyConfig::new(eps).metric(Metric::LInf).algorithm(algo),
+            );
             assert_eq!(linf.num_groups(), 1, "{algo:?}");
-            let l2 = sgb_any(&points, &SgbAnyConfig::new(eps).metric(Metric::L2).algorithm(algo));
+            let l2 = sgb_any(
+                &points,
+                &SgbAnyConfig::new(eps).metric(Metric::L2).algorithm(algo),
+            );
             assert_eq!(l2.num_groups(), 2, "{algo:?}");
         }
     }
@@ -265,7 +271,9 @@ mod tests {
         // reference must agree exactly.
         let mut state: u64 = 0xDEADBEEF;
         let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as f64) / (u32::MAX as f64)
         };
         let points: Vec<Point<2>> = (0..400)

@@ -95,7 +95,10 @@ impl SgbAllConfig {
     /// A configuration with the default metric (`L2`), overlap action
     /// (`JOIN-ANY`), algorithm (`Indexed`) and seed.
     pub fn new(eps: f64) -> Self {
-        assert!(eps >= 0.0 && eps.is_finite(), "epsilon must be finite and non-negative");
+        assert!(
+            eps >= 0.0 && eps.is_finite(),
+            "epsilon must be finite and non-negative"
+        );
         Self {
             eps,
             metric: Metric::default(),
@@ -165,7 +168,10 @@ impl SgbAnyConfig {
     /// A configuration with the default metric (`L2`) and algorithm
     /// (`Indexed`).
     pub fn new(eps: f64) -> Self {
-        assert!(eps >= 0.0 && eps.is_finite(), "epsilon must be finite and non-negative");
+        assert!(
+            eps >= 0.0 && eps.is_finite(),
+            "epsilon must be finite and non-negative"
+        );
         Self {
             eps,
             metric: Metric::default(),
@@ -210,8 +216,14 @@ mod tests {
                 Some(action)
             );
         }
-        assert_eq!(OverlapAction::from_sql_keyword("form_new_group"), Some(OverlapAction::FormNewGroup));
-        assert_eq!(OverlapAction::from_sql_keyword("join-any"), Some(OverlapAction::JoinAny));
+        assert_eq!(
+            OverlapAction::from_sql_keyword("form_new_group"),
+            Some(OverlapAction::FormNewGroup)
+        );
+        assert_eq!(
+            OverlapAction::from_sql_keyword("join-any"),
+            Some(OverlapAction::JoinAny)
+        );
         assert_eq!(OverlapAction::from_sql_keyword("drop"), None);
     }
 
@@ -228,7 +240,9 @@ mod tests {
         assert_eq!(cfg.algorithm, AllAlgorithm::BoundsChecking);
         assert_eq!(cfg.seed, 7);
 
-        let cfg = SgbAnyConfig::new(1.0).metric(Metric::LInf).algorithm(AnyAlgorithm::AllPairs);
+        let cfg = SgbAnyConfig::new(1.0)
+            .metric(Metric::LInf)
+            .algorithm(AnyAlgorithm::AllPairs);
         assert_eq!(cfg.metric, Metric::LInf);
         assert_eq!(cfg.algorithm, AnyAlgorithm::AllPairs);
     }

@@ -121,6 +121,8 @@ mod tests {
     fn three_dimensional_generation() {
         let pts = clustered_points::<3>(100, 4, 0.01, 5);
         assert_eq!(pts.len(), 100);
-        assert!(pts.iter().all(|p| p.coords().iter().all(|c| (0.0..=1.0).contains(c))));
+        assert!(pts
+            .iter()
+            .all(|p| p.coords().iter().all(|c| (0.0..=1.0).contains(c))));
     }
 }

@@ -145,11 +145,7 @@ impl TpchConfig {
         }
 
         // partsupp(ps_partkey, ps_suppkey, ps_supplycost): 4 suppliers/part.
-        let mut partsupp = Table::empty(Schema::new([
-            "ps_partkey",
-            "ps_suppkey",
-            "ps_supplycost",
-        ]));
+        let mut partsupp = Table::empty(Schema::new(["ps_partkey", "ps_suppkey", "ps_supplycost"]));
         for part in 1..=n_part {
             for s in 0..4usize {
                 // TPC-H's supplier spreading formula keeps pairs distinct.
@@ -388,7 +384,10 @@ mod tests {
             let ok = row[0].as_i64().unwrap();
             let total = row[2].as_f64().unwrap();
             let expect = per_order.get(&ok).copied().unwrap_or(0.0);
-            assert!((total - expect).abs() < 0.5, "order {ok}: {total} vs {expect}");
+            assert!(
+                (total - expect).abs() < 0.5,
+                "order {ok}: {total} vs {expect}"
+            );
         }
     }
 
@@ -397,7 +396,9 @@ mod tests {
         let mut db = Database::new();
         small().register_all(&mut db);
         assert_eq!(db.table_names().len(), 5);
-        let out = db.query("SELECT count(*) FROM customer WHERE c_acctbal > 0").unwrap();
+        let out = db
+            .query("SELECT count(*) FROM customer WHERE c_acctbal > 0")
+            .unwrap();
         let n = out.scalar().unwrap().as_i64().unwrap();
         assert!(n > 0 && n <= 300);
     }

@@ -33,7 +33,10 @@ impl DisjointSet {
 
     /// A forest of `len` singleton components.
     pub fn with_len(len: usize) -> Self {
-        assert!(len <= u32::MAX as usize, "DisjointSet supports at most u32::MAX elements");
+        assert!(
+            len <= u32::MAX as usize,
+            "DisjointSet supports at most u32::MAX elements"
+        );
         Self {
             parent: (0..len as u32).collect(),
             size: vec![1; len],
@@ -62,7 +65,10 @@ impl DisjointSet {
     /// Adds a new singleton element, returning its id.
     pub fn push(&mut self) -> usize {
         let id = self.parent.len();
-        assert!(id < u32::MAX as usize, "DisjointSet supports at most u32::MAX elements");
+        assert!(
+            id < u32::MAX as usize,
+            "DisjointSet supports at most u32::MAX elements"
+        );
         self.parent.push(id as u32);
         self.size.push(1);
         self.components += 1;
@@ -269,7 +275,9 @@ mod tests {
         // Deterministic pseudo-random unions (LCG to avoid a rand dep here).
         let mut state: u64 = 0x9E3779B97F4A7C15;
         let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 33) as usize
         };
         for _ in 0..80 {

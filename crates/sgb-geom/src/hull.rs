@@ -66,7 +66,11 @@ impl ConvexHull {
             // two extremes so the segment geometry survives.
             let first = *pts.first().unwrap();
             let last = *pts.last().unwrap();
-            let vertices = if first == last { vec![first] } else { vec![first, last] };
+            let vertices = if first == last {
+                vec![first]
+            } else {
+                vec![first, last]
+            };
             return Self { vertices };
         }
         Self { vertices: hull }
@@ -213,9 +217,9 @@ mod tests {
             p(2.0, 0.0),
             p(2.0, 2.0),
             p(0.0, 2.0),
-            p(1.0, 1.0),  // interior
-            p(1.0, 0.0),  // edge-collinear
-            p(0.5, 1.9),  // interior
+            p(1.0, 1.0), // interior
+            p(1.0, 0.0), // edge-collinear
+            p(0.5, 1.9), // interior
         ];
         let h = ConvexHull::build(&pts);
         assert_eq!(h.len(), 4);
@@ -229,7 +233,13 @@ mod tests {
 
     #[test]
     fn hull_vertices_are_ccw() {
-        let pts = [p(0.0, 0.0), p(3.0, 1.0), p(2.0, 4.0), p(-1.0, 2.0), p(1.0, 1.5)];
+        let pts = [
+            p(0.0, 0.0),
+            p(3.0, 1.0),
+            p(2.0, 4.0),
+            p(-1.0, 2.0),
+            p(1.0, 1.5),
+        ];
         let h = ConvexHull::build(&pts);
         let v = h.vertices();
         for i in 0..v.len() {
@@ -257,10 +267,28 @@ mod tests {
 
     #[test]
     fn containment_matches_halfplane_definition() {
-        let pts = [p(0.0, 0.0), p(4.0, 0.0), p(4.0, 3.0), p(0.0, 3.0), p(2.0, 5.0)];
+        let pts = [
+            p(0.0, 0.0),
+            p(4.0, 0.0),
+            p(4.0, 3.0),
+            p(0.0, 3.0),
+            p(2.0, 5.0),
+        ];
         let h = ConvexHull::build(&pts);
-        let inside = [p(2.0, 1.0), p(0.0, 0.0), p(2.0, 4.9), p(4.0, 3.0), p(2.0, 0.0)];
-        let outside = [p(-0.1, 0.0), p(4.1, 1.0), p(0.5, 4.5), p(2.0, 5.1), p(5.0, 5.0)];
+        let inside = [
+            p(2.0, 1.0),
+            p(0.0, 0.0),
+            p(2.0, 4.9),
+            p(4.0, 3.0),
+            p(2.0, 0.0),
+        ];
+        let outside = [
+            p(-0.1, 0.0),
+            p(4.1, 1.0),
+            p(0.5, 4.5),
+            p(2.0, 5.1),
+            p(5.0, 5.0),
+        ];
         for q in inside {
             assert!(h.contains(&q), "{q:?} should be inside");
         }
@@ -272,15 +300,18 @@ mod tests {
     #[test]
     fn farthest_vertex_is_true_farthest_member() {
         // The farthest point of a set from any query is always on the hull.
-        let pts = [p(0.0, 0.0), p(2.0, 0.5), p(1.0, 1.0), p(0.5, 2.0), p(2.0, 2.0)];
+        let pts = [
+            p(0.0, 0.0),
+            p(2.0, 0.5),
+            p(1.0, 1.0),
+            p(0.5, 2.0),
+            p(2.0, 2.0),
+        ];
         let h = ConvexHull::build(&pts);
         let q = p(-1.0, -1.0);
         let (far, d) = h.farthest_from(&q, Metric::L2).unwrap();
         assert_eq!(far, p(2.0, 2.0));
-        let brute = pts
-            .iter()
-            .map(|m| m.dist_l2(&q))
-            .fold(0.0f64, f64::max);
+        let brute = pts.iter().map(|m| m.dist_l2(&q)).fold(0.0f64, f64::max);
         assert!((d - brute).abs() < 1e-12);
     }
 
@@ -288,7 +319,13 @@ mod tests {
     fn fig7c_convex_hull_test() {
         // Figure 7c: group hull a1..a5, ε = 6. Interior point y passes; the
         // outside point x passes iff its farthest hull vertex is within ε.
-        let hull_pts = [p(4.0, 3.0), p(7.0, 2.0), p(9.0, 4.0), p(8.0, 6.0), p(5.0, 6.0)];
+        let hull_pts = [
+            p(4.0, 3.0),
+            p(7.0, 2.0),
+            p(9.0, 4.0),
+            p(8.0, 6.0),
+            p(5.0, 6.0),
+        ];
         let h = ConvexHull::build(&hull_pts);
         assert_eq!(h.len(), 5);
         let y = p(6.5, 4.0); // interior
@@ -335,7 +372,13 @@ mod tests {
     fn admits_equals_all_pairs_check() {
         // admits(p) must equal "p within ε of every member" for points that
         // passed the rectangle filter — here checked for arbitrary probes.
-        let members = [p(0.0, 0.0), p(1.0, 0.2), p(0.4, 0.9), p(0.8, 0.8), p(0.2, 0.4)];
+        let members = [
+            p(0.0, 0.0),
+            p(1.0, 0.2),
+            p(0.4, 0.9),
+            p(0.8, 0.8),
+            p(0.2, 0.4),
+        ];
         let h = ConvexHull::build(&members);
         let eps = 1.3;
         for xi in -8..=16 {

@@ -94,6 +94,20 @@ impl<const D: usize> Point<D> {
         self.dist_sq(other).sqrt()
     }
 
+    /// Manhattan (`L1`) distance to `other`.
+    ///
+    /// Not yet selectable through [`crate::Metric`] (the paper evaluates
+    /// `L2` and `L∞`), but exposed so callers and tests can check the
+    /// Minkowski-norm ordering `δ∞ ≤ δ2 ≤ δ1`.
+    #[inline]
+    pub fn dist_l1(&self, other: &Self) -> f64 {
+        let mut acc = 0.0;
+        for d in 0..D {
+            acc += (self.coords[d] - other.coords[d]).abs();
+        }
+        acc
+    }
+
     /// Maximum (`L∞` / Chebyshev) distance to `other`.
     #[inline]
     pub fn dist_linf(&self, other: &Self) -> f64 {

@@ -256,7 +256,10 @@ pub struct EpsAllRegion<const D: usize> {
 impl<const D: usize> EpsAllRegion<D> {
     /// An empty region for a group with no members yet.
     pub fn new(eps: f64) -> Self {
-        assert!(eps >= 0.0 && eps.is_finite(), "epsilon must be finite and non-negative");
+        assert!(
+            eps >= 0.0 && eps.is_finite(),
+            "epsilon must be finite and non-negative"
+        );
         Self {
             eps,
             mbr: Rect::empty(),

@@ -1,0 +1,243 @@
+//! Edge-case tests for the geometry layer: zero-epsilon behaviour,
+//! degenerate and empty rectangles, and L1/L2/L∞ metric consistency.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use sgb_geom::{ConvexHull, EpsAllRegion, Metric, Point, Rect};
+
+fn random_points(n: usize, seed: u64) -> Vec<Point<3>> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            Point::new([
+                rng.gen_range(-10.0..10.0),
+                rng.gen_range(-10.0..10.0),
+                rng.gen_range(-10.0..10.0),
+            ])
+        })
+        .collect()
+}
+
+// --- zero-epsilon ---------------------------------------------------------
+
+#[test]
+fn zero_epsilon_similarity_is_exact_equality() {
+    let a = Point::new([1.0, 2.0]);
+    let same = Point::new([1.0, 2.0]);
+    let near = Point::new([1.0 + f64::EPSILON * 4.0, 2.0]);
+    for metric in [Metric::L2, Metric::LInf] {
+        assert!(metric.within(&a, &same, 0.0), "{metric:?}: p ~ p at eps 0");
+        assert!(!metric.within(&a, &near, 0.0), "{metric:?}: nothing else");
+    }
+}
+
+#[test]
+fn zero_epsilon_region_degenerates_to_the_point() {
+    let p = Point::new([3.0, -1.0]);
+    let region = EpsAllRegion::with_first(0.0, p);
+    // Allowed region and reach both collapse to the single point.
+    assert_eq!(region.allowed(), Rect::point(p));
+    assert_eq!(region.reach(), Rect::point(p));
+    assert!(region.point_in_region(&p));
+    assert!(region.may_overlap(&p));
+    let off = Point::new([3.0, -1.0 + 1e-12]);
+    assert!(!region.point_in_region(&off));
+    assert!(!region.may_overlap(&off));
+}
+
+#[test]
+fn zero_epsilon_region_with_distinct_members_becomes_empty() {
+    let mut region = EpsAllRegion::new(0.0);
+    region.insert(&Point::new([0.0, 0.0]));
+    region.insert(&Point::new([1.0, 0.0]));
+    // No point is at distance 0 from two distinct members.
+    assert!(region.allowed().is_empty());
+    for probe in [
+        Point::new([0.0, 0.0]),
+        Point::new([0.5, 0.0]),
+        Point::new([1.0, 0.0]),
+    ] {
+        assert!(!region.point_in_region(&probe));
+    }
+}
+
+// --- degenerate rectangles ------------------------------------------------
+
+#[test]
+fn point_rect_contains_exactly_itself() {
+    let p = Point::new([2.0, 5.0]);
+    let r = Rect::point(p);
+    assert!(!r.is_empty());
+    assert_eq!(r.volume(), 0.0);
+    assert_eq!(r.margin(), 0.0);
+    assert_eq!(r.center(), p);
+    assert!(r.contains_point(&p));
+    assert!(!r.contains_point(&Point::new([2.0, 5.0 + 1e-12])));
+    // A degenerate rectangle still intersects things it touches.
+    assert!(r.intersects(&Rect::centered(p, 1.0)));
+    assert!(r.intersects(&r));
+}
+
+#[test]
+fn empty_rect_is_an_annihilator_and_union_identity() {
+    let e = Rect::<2>::empty();
+    let r = Rect::new(Point::new([0.0, 0.0]), Point::new([2.0, 2.0]));
+    assert!(e.is_empty());
+    assert_eq!(e.volume(), 0.0);
+    assert!(!e.intersects(&r));
+    assert!(!r.intersects(&e));
+    assert!(!e.contains_point(&Point::origin()));
+    // Union treats empty as identity; intersection with empty stays empty.
+    assert_eq!(e.union(&r), r);
+    assert_eq!(r.union(&e), r);
+    assert!(e.intersection(&r).is_empty());
+    // Every rectangle trivially contains the empty one.
+    assert!(r.contains_rect(&e));
+}
+
+#[test]
+fn inverted_bounds_count_as_empty() {
+    let r = Rect::new(Point::new([1.0, 0.0]), Point::new([0.0, 1.0]));
+    assert!(r.is_empty());
+    assert_eq!(r.volume(), 0.0);
+    assert_eq!(r.side(0), 0.0);
+    assert_eq!(r.side(1), 1.0);
+    assert!(!r.contains_point(&Point::new([0.5, 0.5])));
+}
+
+#[test]
+fn zero_epsilon_window_is_the_degenerate_point_rect() {
+    let p = Point::new([4.0, 4.0]);
+    assert_eq!(Rect::centered(p, 0.0), Rect::point(p));
+}
+
+#[test]
+fn expanding_an_empty_rect_yields_the_point_rect() {
+    let mut r = Rect::<3>::empty();
+    let p = Point::new([1.0, 2.0, 3.0]);
+    r.expand(&p);
+    assert_eq!(r, Rect::point(p));
+    let q = Point::new([0.0, 5.0, 3.0]);
+    r.expand(&q);
+    assert!(r.contains_point(&p) && r.contains_point(&q));
+    assert_eq!(r.volume(), 0.0, "flat along z");
+}
+
+#[test]
+fn min_distance_is_zero_inside_for_all_metrics() {
+    let r = Rect::new(Point::new([0.0, 0.0]), Point::new([2.0, 2.0]));
+    let inside = Point::new([1.0, 1.5]);
+    let outside = Point::new([5.0, 6.0]);
+    for metric in [Metric::L2, Metric::LInf] {
+        assert_eq!(r.min_distance(&inside, metric), 0.0);
+        assert!(r.min_distance(&outside, metric) > 0.0);
+    }
+    // Hand check: gaps are (3, 4) -> L2 = 5, LInf = 4.
+    assert_eq!(r.min_distance(&outside, Metric::L2), 5.0);
+    assert_eq!(r.min_distance(&outside, Metric::LInf), 4.0);
+}
+
+#[test]
+fn degenerate_hulls_behave() {
+    // Single point.
+    let p = Point::new([1.0, 1.0]);
+    let hull = ConvexHull::build(&[p]);
+    assert_eq!(hull.len(), 1);
+    assert!(hull.contains(&p));
+    assert_eq!(hull.diameter(Metric::L2), 0.0);
+    assert!(hull.admits(&p, 0.0, Metric::L2));
+    // Collinear points: hull still contains every input and the segment's
+    // diameter is the extreme pairwise distance.
+    let line: Vec<Point<2>> = (0..5).map(|i| Point::new([i as f64, 2.0])).collect();
+    let hull = ConvexHull::build(&line);
+    for p in &line {
+        assert!(hull.contains(p));
+    }
+    assert_eq!(hull.diameter(Metric::L2), 4.0);
+    // Duplicated points collapse.
+    let dup = ConvexHull::build(&[p, p, p]);
+    assert_eq!(dup.diameter(Metric::LInf), 0.0);
+    assert!(dup.contains(&p));
+}
+
+// --- L1 / L2 / L∞ consistency --------------------------------------------
+
+#[test]
+fn minkowski_norm_ordering_holds() {
+    // For any pair: δ∞ ≤ δ2 ≤ δ1 ≤ √D·δ2 ≤ D·δ∞ (D = 3 here).
+    let pts = random_points(64, 0x5EED);
+    for a in &pts {
+        for b in &pts {
+            let (l1, l2, linf) = (a.dist_l1(b), a.dist_l2(b), a.dist_linf(b));
+            let tol = 1e-12 * (1.0 + l1);
+            assert!(linf <= l2 + tol, "linf {linf} > l2 {l2}");
+            assert!(l2 <= l1 + tol, "l2 {l2} > l1 {l1}");
+            assert!(l1 <= 3.0f64.sqrt() * l2 + tol, "l1 {l1} > sqrt(3)*l2");
+            assert!(l2 <= 3.0f64.sqrt() * linf + tol, "l2 {l2} > sqrt(3)*linf");
+        }
+    }
+}
+
+#[test]
+fn all_three_distances_are_metrics() {
+    let pts = random_points(24, 42);
+    let dists: [fn(&Point<3>, &Point<3>) -> f64; 3] =
+        [Point::dist_l1, Point::dist_l2, Point::dist_linf];
+    for dist in dists {
+        for a in &pts {
+            assert_eq!(dist(a, a), 0.0, "identity");
+            for b in &pts {
+                assert_eq!(dist(a, b), dist(b, a), "symmetry");
+                assert!(dist(a, b) >= 0.0, "non-negativity");
+                for c in &pts {
+                    let lhs = dist(a, c);
+                    let rhs = dist(a, b) + dist(b, c);
+                    assert!(lhs <= rhs + 1e-9, "triangle: {lhs} > {rhs}");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn within_agrees_with_distance_at_random_thresholds() {
+    let pts = random_points(32, 7);
+    let mut rng = SmallRng::seed_from_u64(11);
+    for metric in [Metric::L2, Metric::LInf] {
+        for a in &pts {
+            for b in &pts {
+                let d = metric.distance(a, b);
+                let eps = rng.gen_range(0.0..30.0);
+                // The similarity predicate must be the inclusive threshold
+                // test on the same distance, for every metric.
+                assert_eq!(
+                    metric.within(a, b, eps),
+                    d <= eps,
+                    "{metric:?} disagrees at d {d}, eps {eps}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn unit_balls_nest_across_metrics() {
+    // The L2 unit ball sits inside the L∞ unit ball; scaled squares bound
+    // the disc from inside (side √2, via the L1 ball) and outside (side 2).
+    let c = Point::new([0.0, 0.0, 0.0]);
+    let pts = random_points(256, 0xBA11);
+    for p in &pts {
+        if Metric::L2.within(&c, p, 1.0) {
+            assert!(
+                Metric::LInf.within(&c, p, 1.0),
+                "L2 ball must be inside L-inf ball: {p:?}"
+            );
+        }
+        if p.dist_l1(&c) <= 1.0 {
+            assert!(
+                Metric::L2.within(&c, p, 1.0),
+                "L1 ball must be inside L2 ball: {p:?}"
+            );
+        }
+    }
+}

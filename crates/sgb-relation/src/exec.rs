@@ -304,7 +304,9 @@ fn run_sgb_d<const D: usize>(
             metric,
             algorithm,
         } => {
-            let cfg = SgbAnyConfig::new(*eps).metric(*metric).algorithm(*algorithm);
+            let cfg = SgbAnyConfig::new(*eps)
+                .metric(*metric)
+                .algorithm(*algorithm);
             sgb_any(&points, &cfg)
         }
     })

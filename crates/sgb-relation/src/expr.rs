@@ -249,7 +249,10 @@ mod tests {
             bin(BinOp::Gt, col(0), lit(3i64)).eval(&row).unwrap(),
             Value::Bool(true)
         );
-        assert_eq!(bin(BinOp::Eq, col(0), col(1)).eval(&row).unwrap(), Value::Null);
+        assert_eq!(
+            bin(BinOp::Eq, col(0), col(1)).eval(&row).unwrap(),
+            Value::Null
+        );
         assert!(!bin(BinOp::Eq, col(0), col(1)).eval_predicate(&row).unwrap());
     }
 
@@ -257,17 +260,23 @@ mod tests {
     fn three_valued_and_or() {
         let row = vec![Value::Null];
         let null_cmp = bin(BinOp::Eq, col(0), lit(1i64)); // NULL
-        // NULL AND FALSE = FALSE; NULL OR TRUE = TRUE; NULL AND TRUE = NULL.
+                                                          // NULL AND FALSE = FALSE; NULL OR TRUE = TRUE; NULL AND TRUE = NULL.
         assert_eq!(
-            bin(BinOp::And, null_cmp.clone(), lit(false)).eval(&row).unwrap(),
+            bin(BinOp::And, null_cmp.clone(), lit(false))
+                .eval(&row)
+                .unwrap(),
             Value::Bool(false)
         );
         assert_eq!(
-            bin(BinOp::Or, null_cmp.clone(), lit(true)).eval(&row).unwrap(),
+            bin(BinOp::Or, null_cmp.clone(), lit(true))
+                .eval(&row)
+                .unwrap(),
             Value::Bool(true)
         );
         assert_eq!(
-            bin(BinOp::And, null_cmp.clone(), lit(true)).eval(&row).unwrap(),
+            bin(BinOp::And, null_cmp.clone(), lit(true))
+                .eval(&row)
+                .unwrap(),
             Value::Null
         );
         assert_eq!(
@@ -279,11 +288,7 @@ mod tests {
     #[test]
     fn short_circuit_skips_errors() {
         // FALSE AND (1/0 = 1) must not error.
-        let explode = bin(
-            BinOp::Eq,
-            bin(BinOp::Div, lit(1i64), lit(0i64)),
-            lit(1i64),
-        );
+        let explode = bin(BinOp::Eq, bin(BinOp::Div, lit(1i64), lit(0i64)), lit(1i64));
         let e = bin(BinOp::And, lit(false), explode);
         assert_eq!(e.eval(&[]).unwrap(), Value::Bool(false));
     }

@@ -249,7 +249,9 @@ impl Plan {
                 ));
                 input.explain_into(depth + 1, out);
             }
-            Plan::SimilarityGroupBy { input, mode, aggs, .. } => {
+            Plan::SimilarityGroupBy {
+                input, mode, aggs, ..
+            } => {
                 let desc = match mode {
                     SgbMode::All {
                         eps,
@@ -265,7 +267,10 @@ impl Plan {
                         format!("SGB-Any {} WITHIN {eps}", metric.sql_keyword())
                     }
                 };
-                out.push_str(&format!("{pad}SimilarityGroupBy [{desc}] (aggs: {})\n", aggs.len()));
+                out.push_str(&format!(
+                    "{pad}SimilarityGroupBy [{desc}] (aggs: {})\n",
+                    aggs.len()
+                ));
                 input.explain_into(depth + 1, out);
             }
             Plan::Sort { input, keys } => {

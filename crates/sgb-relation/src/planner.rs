@@ -157,7 +157,15 @@ impl<'a> Planner<'a> {
             (Some(GroupBy::Standard(keys)), _) => {
                 self.build_hash_aggregate(acc, keys.clone(), stmt)?
             }
-            (Some(GroupBy::SimilarityAll { exprs, metric, eps, overlap }), _) => {
+            (
+                Some(GroupBy::SimilarityAll {
+                    exprs,
+                    metric,
+                    eps,
+                    overlap,
+                }),
+                _,
+            ) => {
                 let mode = SgbMode::All {
                     eps: *eps,
                     metric: *metric,
@@ -196,9 +204,9 @@ impl<'a> Planner<'a> {
             // (`ORDER BY count(*)`): match syntactically and sort by that
             // output column.
             let item_position = |e: &Expr| {
-                stmt.items.iter().position(
-                    |it| matches!(it, SelectItem::Expr { expr, .. } if expr == e),
-                )
+                stmt.items
+                    .iter()
+                    .position(|it| matches!(it, SelectItem::Expr { expr, .. } if expr == e))
             };
             let out_keys: Result<Vec<(BoundExpr, bool)>> = stmt
                 .order_by
@@ -229,7 +237,9 @@ impl<'a> Planner<'a> {
                     let in_schema = input.schema().clone();
                     let mut keys = Vec::new();
                     for k in &stmt.order_by {
-                        let bound = self.bind(&k.expr, &in_schema).map_err(|_| out_err.clone())?;
+                        let bound = self
+                            .bind(&k.expr, &in_schema)
+                            .map_err(|_| out_err.clone())?;
                         keys.push((bound, k.desc));
                     }
                     acc = Plan::Project {
@@ -426,8 +436,16 @@ impl<'a> Planner<'a> {
                 left: Box::new(self.rewrite_agg(left, ctx, input_schema)?),
                 right: Box::new(self.rewrite_agg(right, ctx, input_schema)?),
             }),
-            Expr::Neg(e) => Ok(BoundExpr::Neg(Box::new(self.rewrite_agg(e, ctx, input_schema)?))),
-            Expr::Not(e) => Ok(BoundExpr::Not(Box::new(self.rewrite_agg(e, ctx, input_schema)?))),
+            Expr::Neg(e) => Ok(BoundExpr::Neg(Box::new(self.rewrite_agg(
+                e,
+                ctx,
+                input_schema,
+            )?))),
+            Expr::Not(e) => Ok(BoundExpr::Not(Box::new(self.rewrite_agg(
+                e,
+                ctx,
+                input_schema,
+            )?))),
             Expr::Column { qualifier, name } => {
                 let what = if ctx.sgb {
                     "similarity-grouped queries can only select aggregates"

@@ -100,7 +100,9 @@ impl Schema {
         for (i, c) in self.columns.iter().enumerate() {
             if c.matches(qualifier, name) {
                 if hit.is_some() {
-                    return Err(Error::Binding(format!("ambiguous column reference '{name}'")));
+                    return Err(Error::Binding(format!(
+                        "ambiguous column reference '{name}'"
+                    )));
                 }
                 hit = Some(i);
             }

@@ -330,10 +330,7 @@ mod tests {
         assert!(tokenize("SELECT café FROM t").is_err());
         assert!(tokenize("é").is_err());
         assert!(tokenize("\u{00A0}").is_err()); // non-breaking space
-        // Inside string literals any UTF-8 is fine.
-        assert_eq!(
-            tokenize("'café'").unwrap(),
-            vec![Token::Str("café".into())]
-        );
+                                                // Inside string literals any UTF-8 is fine.
+        assert_eq!(tokenize("'café'").unwrap(), vec![Token::Str("café".into())]);
     }
 }

@@ -22,8 +22,8 @@ use crate::value::{parse_date, Value};
 
 /// Keywords that terminate expressions / cannot serve as implicit aliases.
 const RESERVED: &[&str] = &[
-    "select", "from", "where", "group", "by", "having", "order", "limit", "as", "on", "and",
-    "or", "not", "in", "asc", "desc", "distance", "within", "using", "values", "union",
+    "select", "from", "where", "group", "by", "having", "order", "limit", "as", "on", "and", "or",
+    "not", "in", "asc", "desc", "distance", "within", "using", "values", "union",
 ];
 
 /// Parses one statement (query or DDL/DML).
@@ -94,7 +94,10 @@ impl Parser {
         if self.eat(t) {
             Ok(())
         } else {
-            Err(Error::Parse(format!("expected {t:?}, found {:?}", self.peek())))
+            Err(Error::Parse(format!(
+                "expected {t:?}, found {:?}",
+                self.peek()
+            )))
         }
     }
 
@@ -112,7 +115,9 @@ impl Parser {
     fn expect_ident(&mut self) -> Result<String> {
         match self.next() {
             Some(Token::Ident(s)) => Ok(s),
-            other => Err(Error::Parse(format!("expected identifier, found {other:?}"))),
+            other => Err(Error::Parse(format!(
+                "expected identifier, found {other:?}"
+            ))),
         }
     }
 
@@ -131,9 +136,7 @@ impl Parser {
     /// `"FORM-NEW-GROUP"`), upper-cased.
     fn hyphen_ident(&mut self) -> Result<String> {
         let mut s = self.expect_ident()?.to_ascii_uppercase();
-        while self.peek() == Some(&Token::Minus)
-            && matches!(self.peek2(), Some(Token::Ident(_)))
-        {
+        while self.peek() == Some(&Token::Minus) && matches!(self.peek2(), Some(Token::Ident(_))) {
             self.pos += 1; // '-'
             s.push('-');
             s.push_str(&self.expect_ident()?.to_ascii_uppercase());
@@ -149,7 +152,9 @@ impl Parser {
             Some(t) if t.is_kw("create") => self.create_table(),
             Some(t) if t.is_kw("insert") => self.insert(),
             Some(t) if t.is_kw("drop") => self.drop_table(),
-            other => Err(Error::Parse(format!("expected a statement, found {other:?}"))),
+            other => Err(Error::Parse(format!(
+                "expected a statement, found {other:?}"
+            ))),
         }
     }
 
@@ -281,7 +286,11 @@ impl Parser {
         let limit = if self.eat_kw("limit") {
             match self.next() {
                 Some(Token::Int(n)) if n >= 0 => Some(n as usize),
-                other => return Err(Error::Parse(format!("expected LIMIT count, found {other:?}"))),
+                other => {
+                    return Err(Error::Parse(format!(
+                        "expected LIMIT count, found {other:?}"
+                    )))
+                }
             }
         } else {
             None
@@ -378,7 +387,9 @@ impl Parser {
             }
         };
         if eps.is_nan() || eps < 0.0 {
-            return Err(Error::Parse(format!("WITHIN threshold must be >= 0, got {eps}")));
+            return Err(Error::Parse(format!(
+                "WITHIN threshold must be >= 0, got {eps}"
+            )));
         }
 
         // Optional `USING lone|ltwo|l2|linf` (Table 2 syntax).
@@ -406,9 +417,8 @@ impl Parser {
                 return Err(Error::Parse(format!("expected ON-OVERLAP, found {on}")));
             }
             let action = self.hyphen_ident()?;
-            overlap = OverlapAction::from_sql_keyword(&action).ok_or_else(|| {
-                Error::Parse(format!("unknown ON-OVERLAP action '{action}'"))
-            })?;
+            overlap = OverlapAction::from_sql_keyword(&action)
+                .ok_or_else(|| Error::Parse(format!("unknown ON-OVERLAP action '{action}'")))?;
         }
         Ok(GroupBy::SimilarityAll {
             exprs,
@@ -571,7 +581,9 @@ impl Parser {
                 Ok(e)
             }
             Some(Token::Ident(name)) => self.ident_expr(name),
-            other => Err(Error::Parse(format!("expected an expression, found {other:?}"))),
+            other => Err(Error::Parse(format!(
+                "expected an expression, found {other:?}"
+            ))),
         }
     }
 
@@ -593,9 +605,10 @@ impl Parser {
             "interval" => {
                 if let Some(Token::Str(s)) = self.peek().cloned() {
                     self.pos += 1;
-                    let n: i32 = s.trim().parse().map_err(|_| {
-                        Error::Parse(format!("bad interval quantity '{s}'"))
-                    })?;
+                    let n: i32 = s
+                        .trim()
+                        .parse()
+                        .map_err(|_| Error::Parse(format!("bad interval quantity '{s}'")))?;
                     let unit = self.expect_ident()?.to_ascii_lowercase();
                     let (months, days) = match unit.trim_end_matches('s') {
                         "year" => (12 * n, 0),
@@ -659,7 +672,8 @@ mod tests {
 
     #[test]
     fn simple_select() {
-        let s = parse_select("SELECT a, b AS bee FROM t WHERE a > 1 ORDER BY b DESC LIMIT 5").unwrap();
+        let s =
+            parse_select("SELECT a, b AS bee FROM t WHERE a > 1 ORDER BY b DESC LIMIT 5").unwrap();
         assert_eq!(s.items.len(), 2);
         assert!(matches!(
             &s.items[1],
@@ -675,14 +689,23 @@ mod tests {
     #[test]
     fn precedence_and_parens() {
         let s = parse_select("SELECT 1 + 2 * 3 FROM t").unwrap();
-        let SelectItem::Expr { expr, .. } = &s.items[0] else { panic!() };
+        let SelectItem::Expr { expr, .. } = &s.items[0] else {
+            panic!()
+        };
         // 1 + (2 * 3): the top op must be Add.
-        let Expr::Binary { op: BinOp::Add, right, .. } = expr else {
+        let Expr::Binary {
+            op: BinOp::Add,
+            right,
+            ..
+        } = expr
+        else {
             panic!("expected Add at top, got {expr:?}")
         };
         assert!(matches!(**right, Expr::Binary { op: BinOp::Mul, .. }));
         let s2 = parse_select("SELECT (1 + 2) * 3 FROM t").unwrap();
-        let SelectItem::Expr { expr, .. } = &s2.items[0] else { panic!() };
+        let SelectItem::Expr { expr, .. } = &s2.items[0] else {
+            panic!()
+        };
         assert!(matches!(expr, Expr::Binary { op: BinOp::Mul, .. }));
     }
 
@@ -694,7 +717,13 @@ mod tests {
              ON-OVERLAP FORM-NEW-GROUP",
         )
         .unwrap();
-        let Some(GroupBy::SimilarityAll { exprs, metric, eps, overlap }) = s.group_by else {
+        let Some(GroupBy::SimilarityAll {
+            exprs,
+            metric,
+            eps,
+            overlap,
+        }) = s.group_by
+        else {
             panic!("expected SimilarityAll, got {:?}", s.group_by)
         };
         assert_eq!(exprs.len(), 2);
@@ -711,7 +740,13 @@ mod tests {
              GROUP BY ab, tp DISTANCE-ALL WITHIN 0.2 USING ltwo on overlap join-any",
         )
         .unwrap();
-        let Some(GroupBy::SimilarityAll { metric, eps, overlap, .. }) = s.group_by else {
+        let Some(GroupBy::SimilarityAll {
+            metric,
+            eps,
+            overlap,
+            ..
+        }) = s.group_by
+        else {
             panic!()
         };
         assert_eq!(metric, Metric::L2);
@@ -721,10 +756,9 @@ mod tests {
 
     #[test]
     fn sgb_any_syntax() {
-        let s = parse_select(
-            "SELECT count(*) FROM gps GROUP BY lat, lon DISTANCE-TO-ANY L2 WITHIN 3",
-        )
-        .unwrap();
+        let s =
+            parse_select("SELECT count(*) FROM gps GROUP BY lat, lon DISTANCE-TO-ANY L2 WITHIN 3")
+                .unwrap();
         let Some(GroupBy::SimilarityAny { metric, eps, .. }) = s.group_by else {
             panic!()
         };
@@ -740,9 +774,8 @@ mod tests {
         );
         // Three-dimensional grouping attributes parse (Section 1: "two and
         // three dimensional data space").
-        let s =
-            parse_select("SELECT count(*) FROM t GROUP BY a, b, c DISTANCE-TO-ANY WITHIN 1")
-                .unwrap();
+        let s = parse_select("SELECT count(*) FROM t GROUP BY a, b, c DISTANCE-TO-ANY WITHIN 1")
+            .unwrap();
         assert!(matches!(
             s.group_by,
             Some(GroupBy::SimilarityAny { ref exprs, .. }) if exprs.len() == 3
@@ -752,7 +785,10 @@ mod tests {
     #[test]
     fn on_overlap_default_is_join_any() {
         let s = parse_select("SELECT 1 FROM t GROUP BY a, b DISTANCE-TO-ALL WITHIN 1").unwrap();
-        let Some(GroupBy::SimilarityAll { overlap, metric, .. }) = s.group_by else {
+        let Some(GroupBy::SimilarityAll {
+            overlap, metric, ..
+        }) = s.group_by
+        else {
             panic!()
         };
         assert_eq!(overlap, OverlapAction::JoinAny);
@@ -780,7 +816,14 @@ mod tests {
         assert_eq!(s.from.len(), 2);
         assert!(matches!(&s.from[1], TableRef::Subquery { alias, .. } if alias == "r1"));
         let w = s.where_clause.unwrap();
-        let Expr::Binary { op: BinOp::And, left, .. } = w else { panic!() };
+        let Expr::Binary {
+            op: BinOp::And,
+            left,
+            ..
+        } = w
+        else {
+            panic!()
+        };
         assert!(matches!(*left, Expr::InSubquery { .. }));
     }
 
@@ -791,12 +834,31 @@ mod tests {
         )
         .unwrap();
         let w = s.where_clause.unwrap();
-        let Expr::Binary { op: BinOp::And, right, .. } = w else { panic!() };
-        let Expr::Binary { right: sum, .. } = *right else { panic!() };
-        let Expr::Binary { op: BinOp::Add, right: iv, .. } = *sum else { panic!() };
+        let Expr::Binary {
+            op: BinOp::And,
+            right,
+            ..
+        } = w
+        else {
+            panic!()
+        };
+        let Expr::Binary { right: sum, .. } = *right else {
+            panic!()
+        };
+        let Expr::Binary {
+            op: BinOp::Add,
+            right: iv,
+            ..
+        } = *sum
+        else {
+            panic!()
+        };
         assert_eq!(
             *iv,
-            Expr::Literal(Value::Interval { months: 10, days: 0 })
+            Expr::Literal(Value::Interval {
+                months: 10,
+                days: 0
+            })
         );
     }
 
@@ -816,7 +878,8 @@ mod tests {
 
     #[test]
     fn create_insert_drop_round_trip() {
-        let c = parse_statement("CREATE TABLE t (a INT, b DOUBLE PRECISION, c VARCHAR(10))").unwrap();
+        let c =
+            parse_statement("CREATE TABLE t (a INT, b DOUBLE PRECISION, c VARCHAR(10))").unwrap();
         assert_eq!(
             c,
             Statement::CreateTable {
@@ -825,10 +888,15 @@ mod tests {
             }
         );
         let i = parse_statement("INSERT INTO t VALUES (1, 2.5, 'x'), (2, -1.0, 'y')").unwrap();
-        let Statement::Insert { table, rows } = i else { panic!() };
+        let Statement::Insert { table, rows } = i else {
+            panic!()
+        };
         assert_eq!(table, "t");
         assert_eq!(rows.len(), 2);
-        assert_eq!(rows[1][1], Expr::Neg(Box::new(Expr::Literal(Value::Float(1.0)))));
+        assert_eq!(
+            rows[1][1],
+            Expr::Neg(Box::new(Expr::Literal(Value::Float(1.0))))
+        );
         assert!(matches!(
             parse_statement("DROP TABLE t").unwrap(),
             Statement::DropTable { .. }
@@ -838,7 +906,12 @@ mod tests {
     #[test]
     fn not_in_list() {
         let s = parse_select("SELECT 1 FROM t WHERE a NOT IN (1, 2, 3)").unwrap();
-        let Some(Expr::InList { negated: true, list, .. }) = s.where_clause else {
+        let Some(Expr::InList {
+            negated: true,
+            list,
+            ..
+        }) = s.where_clause
+        else {
             panic!()
         };
         assert_eq!(list.len(), 3);

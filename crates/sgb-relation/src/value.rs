@@ -96,8 +96,14 @@ impl Value {
             (Str(a), Str(b)) => a.cmp(b),
             (Date(a), Date(b)) => a.cmp(b),
             (
-                Interval { months: m1, days: d1 },
-                Interval { months: m2, days: d2 },
+                Interval {
+                    months: m1,
+                    days: d1,
+                },
+                Interval {
+                    months: m2,
+                    days: d2,
+                },
             ) => (m1, d1).cmp(&(m2, d2)),
             _ => self.type_rank().cmp(&other.type_rank()),
         }
@@ -332,7 +338,10 @@ pub fn days_in_month(y: i32, m: u32) -> u32 {
 pub fn add_months_days(date: i32, months: i32, days: i32) -> i32 {
     let (y, m, d) = civil_from_days(date);
     let total = y as i64 * 12 + (m as i64 - 1) + months as i64;
-    let (ny, nm) = (total.div_euclid(12) as i32, (total.rem_euclid(12) + 1) as u32);
+    let (ny, nm) = (
+        total.div_euclid(12) as i32,
+        (total.rem_euclid(12) + 1) as u32,
+    );
     let nd = d.min(days_in_month(ny, nm));
     days_from_civil(ny, nm, nd) + days
 }
@@ -373,7 +382,13 @@ mod tests {
         // date '1995-01-01' + interval '10' month = 1995-11-01 (TPC-H Q15).
         let base = parse_date("1995-01-01").unwrap();
         let plus10 = Value::Date(base)
-            .arith('+', &Value::Interval { months: 10, days: 0 })
+            .arith(
+                '+',
+                &Value::Interval {
+                    months: 10,
+                    days: 0,
+                },
+            )
             .unwrap();
         assert_eq!(plus10.to_string(), "1995-11-01");
         // Day clamping: Jan 31 + 1 month = Feb 28 (non-leap).
@@ -388,12 +403,18 @@ mod tests {
     fn date_minus_date_is_days() {
         let a = parse_date("1995-03-10").unwrap();
         let b = parse_date("1995-03-01").unwrap();
-        assert_eq!(Value::Date(a).arith('-', &Value::Date(b)).unwrap(), Value::Int(9));
+        assert_eq!(
+            Value::Date(a).arith('-', &Value::Date(b)).unwrap(),
+            Value::Int(9)
+        );
     }
 
     #[test]
     fn numeric_promotion() {
-        assert_eq!(Value::Int(3).arith('+', &Value::Int(4)).unwrap(), Value::Int(7));
+        assert_eq!(
+            Value::Int(3).arith('+', &Value::Int(4)).unwrap(),
+            Value::Int(7)
+        );
         assert_eq!(
             Value::Int(3).arith('*', &Value::Float(0.5)).unwrap(),
             Value::Float(1.5)
@@ -403,7 +424,10 @@ mod tests {
             Value::Float(0.25)
         );
         assert!(Value::Int(1).arith('/', &Value::Int(0)).is_err());
-        assert_eq!(Value::Int(7).arith('/', &Value::Int(2)).unwrap(), Value::Int(3));
+        assert_eq!(
+            Value::Int(7).arith('/', &Value::Int(2)).unwrap(),
+            Value::Int(3)
+        );
     }
 
     #[test]
@@ -415,7 +439,10 @@ mod tests {
     #[test]
     fn sql_equality_and_nulls() {
         assert_eq!(Value::Int(2).sql_eq(&Value::Float(2.0)), Some(true));
-        assert_eq!(Value::Str("a".into()).sql_eq(&Value::Str("b".into())), Some(false));
+        assert_eq!(
+            Value::Str("a".into()).sql_eq(&Value::Str("b".into())),
+            Some(false)
+        );
         assert_eq!(Value::Null.sql_eq(&Value::Int(1)), None);
         assert_eq!(Value::Null.sql_eq(&Value::Null), None);
     }
@@ -431,7 +458,10 @@ mod tests {
 
     #[test]
     fn ordering_within_types() {
-        assert_eq!(Value::Int(1).cmp_non_null(&Value::Float(1.5)), Ordering::Less);
+        assert_eq!(
+            Value::Int(1).cmp_non_null(&Value::Float(1.5)),
+            Ordering::Less
+        );
         assert_eq!(
             Value::Str("abc".into()).cmp_non_null(&Value::Str("abd".into())),
             Ordering::Less
@@ -448,7 +478,11 @@ mod tests {
         assert_eq!(Value::Float(2.25).to_string(), "2.25");
         assert_eq!(Value::Bool(true).to_string(), "true");
         assert_eq!(
-            Value::Interval { months: 10, days: 0 }.to_string(),
+            Value::Interval {
+                months: 10,
+                days: 0
+            }
+            .to_string(),
             "10 mons 0 days"
         );
     }

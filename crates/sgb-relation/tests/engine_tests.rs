@@ -34,7 +34,9 @@ fn select_filter_project() {
 #[test]
 fn wildcard_and_limit() {
     let db = db_with_people();
-    let out = db.query("SELECT * FROM people ORDER BY id DESC LIMIT 2").unwrap();
+    let out = db
+        .query("SELECT * FROM people ORDER BY id DESC LIMIT 2")
+        .unwrap();
     assert_eq!(out.schema.len(), 4);
     assert_eq!(ints(&out, 0), vec![5, 4]);
 }
@@ -57,10 +59,22 @@ fn standard_group_by_having() {
 #[test]
 fn global_aggregate_without_group_by() {
     let db = db_with_people();
-    let out = db.query("SELECT count(*), min(age), max(age), sum(age) FROM people").unwrap();
-    assert_eq!(out.rows[0], vec![Value::Int(5), Value::Int(28), Value::Int(51), Value::Int(175)]);
+    let out = db
+        .query("SELECT count(*), min(age), max(age), sum(age) FROM people")
+        .unwrap();
+    assert_eq!(
+        out.rows[0],
+        vec![
+            Value::Int(5),
+            Value::Int(28),
+            Value::Int(51),
+            Value::Int(175)
+        ]
+    );
     // Global aggregate over an empty relation still yields one row.
-    let empty = db.query("SELECT count(*), sum(age) FROM people WHERE age > 100").unwrap();
+    let empty = db
+        .query("SELECT count(*), sum(age) FROM people WHERE age > 100")
+        .unwrap();
     assert_eq!(empty.rows[0][0], Value::Int(0));
     assert!(empty.rows[0][1].is_null(), "sum over empty is NULL");
 }
@@ -86,9 +100,7 @@ fn hash_join_via_where_equality() {
     assert_eq!(out.rows[1][0], Value::from("cat"));
     // The plan must use a hash join, not a filtered cross product.
     let plan = db
-        .explain(
-            "SELECT p.name FROM people p, orders o WHERE p.id = o.person_id",
-        )
+        .explain("SELECT p.name FROM people p, orders o WHERE p.id = o.person_id")
         .unwrap();
     assert!(plan.contains("HashJoin"), "plan:\n{plan}");
     assert!(!plan.contains("CrossJoin"), "plan:\n{plan}");
@@ -99,7 +111,8 @@ fn predicate_pushdown_below_join() {
     let mut db = db_with_people();
     db.execute("CREATE TABLE orders (oid INT, person_id INT, total DOUBLE)")
         .unwrap();
-    db.execute("INSERT INTO orders VALUES (10, 1, 99.5)").unwrap();
+    db.execute("INSERT INTO orders VALUES (10, 1, 99.5)")
+        .unwrap();
     let plan = db
         .explain(
             "SELECT p.name FROM people p, orders o \
@@ -121,10 +134,7 @@ fn in_subquery_semijoin() {
     let out = db
         .query("SELECT name FROM people WHERE id IN (SELECT pid FROM vip) ORDER BY name")
         .unwrap();
-    assert_eq!(
-        out.column(0),
-        vec![Value::from("ann"), Value::from("dan")]
-    );
+    assert_eq!(out.column(0), vec![Value::from("ann"), Value::from("dan")]);
     let not_in = db
         .query("SELECT count(*) FROM people WHERE id NOT IN (SELECT pid FROM vip)")
         .unwrap();
@@ -135,9 +145,7 @@ fn in_subquery_semijoin() {
 fn derived_table_with_aggregate() {
     let db = db_with_people();
     let out = db
-        .query(
-            "SELECT max(n) FROM (SELECT city, count(*) AS n FROM people GROUP BY city) AS c",
-        )
+        .query("SELECT max(n) FROM (SELECT city, count(*) AS n FROM people GROUP BY city) AS c")
         .unwrap();
     assert_eq!(out.scalar().unwrap(), &Value::Int(3));
 }
@@ -145,26 +153,28 @@ fn derived_table_with_aggregate() {
 #[test]
 fn sgb_any_counts_connected_components() {
     let mut db = Database::new();
-    db.execute("CREATE TABLE gps (lat DOUBLE, lon DOUBLE)").unwrap();
+    db.execute("CREATE TABLE gps (lat DOUBLE, lon DOUBLE)")
+        .unwrap();
     // Figure 2: two pairs bridged by a5 → all five merge under SGB-Any.
-    db.execute(
-        "INSERT INTO gps VALUES (1.0, 7.0), (2.0, 6.0), (6.0, 2.0), (7.0, 1.0), (4.0, 4.0)",
-    )
-    .unwrap();
+    db.execute("INSERT INTO gps VALUES (1.0, 7.0), (2.0, 6.0), (6.0, 2.0), (7.0, 1.0), (4.0, 4.0)")
+        .unwrap();
     let out = db
         .query("SELECT count(*) FROM gps GROUP BY lat, lon DISTANCE-TO-ANY LINF WITHIN 3")
         .unwrap();
-    assert_eq!(out.scalar().unwrap(), &Value::Int(5), "Example 2 output is {{5}}");
+    assert_eq!(
+        out.scalar().unwrap(),
+        &Value::Int(5),
+        "Example 2 output is {{5}}"
+    );
 }
 
 #[test]
 fn sgb_all_three_overlap_semantics() {
     let mut db = Database::new();
-    db.execute("CREATE TABLE gps (lat DOUBLE, lon DOUBLE)").unwrap();
-    db.execute(
-        "INSERT INTO gps VALUES (1.0, 7.0), (2.0, 6.0), (6.0, 2.0), (7.0, 1.0), (4.0, 4.0)",
-    )
-    .unwrap();
+    db.execute("CREATE TABLE gps (lat DOUBLE, lon DOUBLE)")
+        .unwrap();
+    db.execute("INSERT INTO gps VALUES (1.0, 7.0), (2.0, 6.0), (6.0, 2.0), (7.0, 1.0), (4.0, 4.0)")
+        .unwrap();
     let counts = |sql: &str, db: &Database| -> Vec<i64> {
         let mut v = ints(&db.query(sql).unwrap(), 0);
         v.sort_unstable_by(|a, b| b.cmp(a));
@@ -203,9 +213,12 @@ fn sgb_all_three_overlap_semantics() {
 fn sgb_runs_after_join_in_one_pipeline() {
     // The headline integration: SGB consumes join output directly.
     let mut db = Database::new();
-    db.execute("CREATE TABLE users (uid INT, region INT)").unwrap();
-    db.execute("CREATE TABLE checkins (uid INT, lat DOUBLE, lon DOUBLE)").unwrap();
-    db.execute("INSERT INTO users VALUES (1, 10), (2, 10), (3, 20)").unwrap();
+    db.execute("CREATE TABLE users (uid INT, region INT)")
+        .unwrap();
+    db.execute("CREATE TABLE checkins (uid INT, lat DOUBLE, lon DOUBLE)")
+        .unwrap();
+    db.execute("INSERT INTO users VALUES (1, 10), (2, 10), (3, 20)")
+        .unwrap();
     db.execute(
         "INSERT INTO checkins VALUES (1, 0.0, 0.0), (1, 0.1, 0.1), (2, 0.2, 0.0), \
          (3, 5.0, 5.0), (3, 5.1, 5.1)",
@@ -227,18 +240,20 @@ fn sgb_runs_after_join_in_one_pipeline() {
              GROUP BY c.lat, c.lon DISTANCE-TO-ANY L2 WITHIN 0.5",
         )
         .unwrap();
-    assert!(plan.contains("SimilarityGroupBy [SGB-Any L2 WITHIN 0.5]"), "plan:\n{plan}");
+    assert!(
+        plan.contains("SimilarityGroupBy [SGB-Any L2 WITHIN 0.5]"),
+        "plan:\n{plan}"
+    );
     assert!(plan.contains("HashJoin"), "plan:\n{plan}");
 }
 
 #[test]
 fn sgb_aggregates_and_having() {
     let mut db = Database::new();
-    db.execute("CREATE TABLE pts (x DOUBLE, y DOUBLE, w INT)").unwrap();
-    db.execute(
-        "INSERT INTO pts VALUES (0.0, 0.0, 10), (0.5, 0.0, 20), (9.0, 9.0, 5)",
-    )
-    .unwrap();
+    db.execute("CREATE TABLE pts (x DOUBLE, y DOUBLE, w INT)")
+        .unwrap();
+    db.execute("INSERT INTO pts VALUES (0.0, 0.0, 10), (0.5, 0.0, 20), (9.0, 9.0, 5)")
+        .unwrap();
     let out = db
         .query(
             "SELECT count(*) AS n, sum(w), avg(w), min(w), max(w) FROM pts \
@@ -301,10 +316,7 @@ fn sgb_grouped_select_list_rejects_bare_columns() {
     let err = db
         .query("SELECT age FROM people GROUP BY age, id DISTANCE-TO-ALL WITHIN 1")
         .unwrap_err();
-    assert!(
-        err.to_string().contains("aggregates"),
-        "got: {err}"
-    );
+    assert!(err.to_string().contains("aggregates"), "got: {err}");
 }
 
 #[test]
@@ -367,7 +379,9 @@ fn cross_join_fallback_when_no_equi_key() {
     let plan = db.explain("SELECT x FROM a, b WHERE x < y").unwrap();
     assert!(plan.contains("CrossJoin"), "plan:\n{plan}");
     // Range predicates still apply after the cross join.
-    let out = db.query("SELECT count(*) FROM a, b WHERE x * 10 = y").unwrap();
+    let out = db
+        .query("SELECT count(*) FROM a, b WHERE x * 10 = y")
+        .unwrap();
     assert_eq!(out.scalar().unwrap(), &Value::Int(2));
 }
 
@@ -381,7 +395,9 @@ fn ambiguous_column_is_an_error() {
     let err = db.query("SELECT k FROM a, b WHERE a.k = b.k").unwrap_err();
     assert!(err.to_string().contains("ambiguous"), "{err}");
     // Qualified references resolve fine.
-    let ok = db.query("SELECT a.k, b.w FROM a, b WHERE a.k = b.k").unwrap();
+    let ok = db
+        .query("SELECT a.k, b.w FROM a, b WHERE a.k = b.k")
+        .unwrap();
     assert_eq!(ok.rows[0], vec![Value::Int(1), Value::Int(3)]);
 }
 
@@ -487,10 +503,8 @@ fn sgb_on_empty_relation_yields_no_groups() {
 fn having_filters_sgb_groups() {
     let mut db = Database::new();
     db.execute("CREATE TABLE p (x DOUBLE, y DOUBLE)").unwrap();
-    db.execute(
-        "INSERT INTO p VALUES (0.0, 0.0), (0.1, 0.0), (0.2, 0.0), (5.0, 5.0)",
-    )
-    .unwrap();
+    db.execute("INSERT INTO p VALUES (0.0, 0.0), (0.1, 0.0), (0.2, 0.0), (5.0, 5.0)")
+        .unwrap();
     let out = db
         .query(
             "SELECT count(*) FROM p GROUP BY x, y DISTANCE-TO-ANY L2 WITHIN 0.5 \
@@ -519,11 +533,11 @@ fn nested_derived_tables_two_levels() {
 fn min_max_over_strings_and_dates() {
     let mut db = Database::new();
     db.execute("CREATE TABLE t (s TEXT, d DATE)").unwrap();
-    db.execute(
-        "INSERT INTO t VALUES ('pear', date '1999-05-01'), ('apple', date '2001-02-03')",
-    )
-    .unwrap();
-    let out = db.query("SELECT min(s), max(s), min(d), max(d) FROM t").unwrap();
+    db.execute("INSERT INTO t VALUES ('pear', date '1999-05-01'), ('apple', date '2001-02-03')")
+        .unwrap();
+    let out = db
+        .query("SELECT min(s), max(s), min(d), max(d) FROM t")
+        .unwrap();
     assert_eq!(out.rows[0][0], Value::from("apple"));
     assert_eq!(out.rows[0][1], Value::from("pear"));
     assert_eq!(out.rows[0][2].to_string(), "1999-05-01");
@@ -534,7 +548,8 @@ fn min_max_over_strings_and_dates() {
 fn aggregates_skip_nulls() {
     let mut db = Database::new();
     db.execute("CREATE TABLE n (v INT)").unwrap();
-    db.execute("INSERT INTO n VALUES (1), (NULL), (3), (NULL)").unwrap();
+    db.execute("INSERT INTO n VALUES (1), (NULL), (3), (NULL)")
+        .unwrap();
     let out = db
         .query("SELECT count(*), count(v), sum(v), avg(v), min(v), max(v) FROM n")
         .unwrap();
@@ -572,7 +587,8 @@ fn null_comparisons_filter_out() {
 fn group_by_groups_nulls_together() {
     let mut db = Database::new();
     db.execute("CREATE TABLE n (k INT, v INT)").unwrap();
-    db.execute("INSERT INTO n VALUES (NULL, 1), (NULL, 2), (7, 3)").unwrap();
+    db.execute("INSERT INTO n VALUES (NULL, 1), (NULL, 2), (7, 3)")
+        .unwrap();
     let out = db.query("SELECT k, count(*) FROM n GROUP BY k").unwrap();
     assert_eq!(out.len(), 2);
     let null_row = out.rows.iter().find(|r| r[0].is_null()).unwrap();
@@ -592,7 +608,8 @@ fn sum_promotes_to_float_when_mixed() {
 fn boolean_literals_and_string_compare() {
     let mut db = Database::new();
     db.execute("CREATE TABLE f (s TEXT, ok BOOL)").unwrap();
-    db.execute("INSERT INTO f VALUES ('abc', true), ('abd', false)").unwrap();
+    db.execute("INSERT INTO f VALUES ('abc', true), ('abd', false)")
+        .unwrap();
     let out = db
         .query("SELECT count(*) FROM f WHERE s < 'abd' AND ok = true")
         .unwrap();
@@ -602,7 +619,8 @@ fn boolean_literals_and_string_compare() {
 #[test]
 fn three_dimensional_similarity_grouping_in_sql() {
     let mut db = Database::new();
-    db.execute("CREATE TABLE p3 (x DOUBLE, y DOUBLE, z DOUBLE)").unwrap();
+    db.execute("CREATE TABLE p3 (x DOUBLE, y DOUBLE, z DOUBLE)")
+        .unwrap();
     db.execute(
         "INSERT INTO p3 VALUES \
          (0.0, 0.0, 0.0), (0.3, 0.3, 0.3), \

@@ -344,7 +344,10 @@ impl<const D: usize, T: Clone + PartialEq> RTree<D, T> {
                 Cand::Node(id) => match &self.nodes[id].kind {
                     NodeKind::Leaf(entries) => {
                         for (r, item) in entries {
-                            heap.push(HeapItem(r.min_distance(q, metric), Cand::Entry(item.clone())));
+                            heap.push(HeapItem(
+                                r.min_distance(q, metric),
+                                Cand::Entry(item.clone()),
+                            ));
                         }
                     }
                     NodeKind::Internal(children) => {
@@ -653,7 +656,10 @@ mod tests {
     fn empty_tree_queries() {
         let tree: RTree<2, usize> = RTree::new();
         assert!(tree.is_empty());
-        assert_eq!(tree.query_collect(&Rect::centered(pt(0.0, 0.0), 10.0)), Vec::<usize>::new());
+        assert_eq!(
+            tree.query_collect(&Rect::centered(pt(0.0, 0.0), 10.0)),
+            Vec::<usize>::new()
+        );
         assert!(tree.nearest(&pt(0.0, 0.0), 3, Metric::L2).is_empty());
         assert!(tree.bounds().is_empty());
     }
@@ -708,7 +714,12 @@ mod tests {
             let got = tree.nearest(&q, 5, metric);
             assert_eq!(got.len(), 5);
             let mut brute: Vec<(f64, usize)> = (0..400)
-                .map(|i| (metric.distance(&pt((i % 31) as f64, (i / 31) as f64), &q), i))
+                .map(|i| {
+                    (
+                        metric.distance(&pt((i % 31) as f64, (i / 31) as f64), &q),
+                        i,
+                    )
+                })
                 .collect();
             brute.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
             for (k, (d, _)) in got.iter().enumerate() {
@@ -746,7 +757,10 @@ mod tests {
         assert_eq!(tree.height(), 1);
         // The tree stays usable after total deletion.
         tree.insert_point(pt(1.0, 2.0), 7);
-        assert_eq!(tree.query_collect(&Rect::centered(pt(1.0, 2.0), 0.5)), vec![7]);
+        assert_eq!(
+            tree.query_collect(&Rect::centered(pt(1.0, 2.0), 0.5)),
+            vec![7]
+        );
     }
 
     #[test]
@@ -806,9 +820,7 @@ mod tests {
             Point::new([0.0, 0.0, 0.0]),
             Point::new([5.0, 5.0, 1.0]),
         ));
-        let expected: Vec<usize> = (0..200)
-            .filter(|&i| (i as f64) / 25.0 <= 1.0)
-            .collect();
+        let expected: Vec<usize> = (0..200).filter(|&i| (i as f64) / 25.0 <= 1.0).collect();
         let mut hits = hits;
         let mut expected = expected;
         hits.sort();
@@ -831,7 +843,9 @@ mod tests {
         let mut live: Vec<usize> = Vec::new();
         let mut state: u64 = 42;
         let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 33) as usize
         };
         let pos = |i: usize| pt((i % 17) as f64 * 1.5, (i / 17) as f64 * 0.5);

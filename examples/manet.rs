@@ -23,7 +23,10 @@ fn deploy_devices(n: usize, seed: u64) -> Vec<Point<2>> {
     for i in 0..n {
         if i % 5 == 4 {
             // Wanderer somewhere on the field.
-            devices.push(Point::new([rng.gen_range(5.0..35.0), rng.gen_range(5.0..35.0)]));
+            devices.push(Point::new([
+                rng.gen_range(5.0..35.0),
+                rng.gen_range(5.0..35.0),
+            ]));
         } else {
             let (cx, cy) = camps[i % camps.len()];
             devices.push(Point::new([

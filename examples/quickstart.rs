@@ -71,11 +71,10 @@ fn main() {
 
     // The same statements through SQL.
     let mut db = sgb::Database::new();
-    db.execute("CREATE TABLE gps (lat DOUBLE, lon DOUBLE)").unwrap();
-    db.execute(
-        "INSERT INTO gps VALUES (1.0, 7.0), (2.0, 6.0), (6.0, 2.0), (7.0, 1.0), (4.0, 4.0)",
-    )
-    .unwrap();
+    db.execute("CREATE TABLE gps (lat DOUBLE, lon DOUBLE)")
+        .unwrap();
+    db.execute("INSERT INTO gps VALUES (1.0, 7.0), (2.0, 6.0), (6.0, 2.0), (7.0, 1.0), (4.0, 4.0)")
+        .unwrap();
     let table = db
         .execute(
             "SELECT count(*) FROM gps \

@@ -65,11 +65,15 @@ fn any_algorithms_agree_on_tpch_workload() {
         for eps in [0.001, 0.01, 0.1] {
             let naive = sgb_any(
                 &points,
-                &SgbAnyConfig::new(eps).metric(metric).algorithm(AnyAlgorithm::AllPairs),
+                &SgbAnyConfig::new(eps)
+                    .metric(metric)
+                    .algorithm(AnyAlgorithm::AllPairs),
             );
             let indexed = sgb_any(
                 &points,
-                &SgbAnyConfig::new(eps).metric(metric).algorithm(AnyAlgorithm::Indexed),
+                &SgbAnyConfig::new(eps)
+                    .metric(metric)
+                    .algorithm(AnyAlgorithm::Indexed),
             );
             assert_eq!(naive, indexed, "{metric:?} eps={eps}");
         }
@@ -107,10 +111,7 @@ fn eliminate_groups_never_larger_than_join_any_total() {
         &SgbAllConfig::new(0.1).overlap(OverlapAction::Eliminate),
     );
     assert_eq!(join.grouped_records(), points.len());
-    assert_eq!(
-        elim.grouped_records() + elim.eliminated.len(),
-        points.len()
-    );
+    assert_eq!(elim.grouped_records() + elim.eliminated.len(), points.len());
 }
 
 #[test]

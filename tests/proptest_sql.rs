@@ -20,9 +20,7 @@ fn arb_cell() -> impl Strategy<Value = Value> {
 fn db_with(rows: &[(i64, f64)]) -> Database {
     let mut table = Table::empty(Schema::new(["k", "v"]));
     for (k, v) in rows {
-        table
-            .push(vec![Value::Int(*k), Value::Float(*v)])
-            .unwrap();
+        table.push(vec![Value::Int(*k), Value::Float(*v)]).unwrap();
     }
     let mut db = Database::new();
     db.register("t", table);

@@ -167,7 +167,9 @@ fn date_range_filter_matches_manual_count() {
         .rows
         .iter()
         .filter(|r| {
-            let Value::Date(d) = r[6] else { panic!("expected date") };
+            let Value::Date(d) = r[6] else {
+                panic!("expected date")
+            };
             d > lo && d < hi
         })
         .count();

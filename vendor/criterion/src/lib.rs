@@ -1,0 +1,384 @@
+//! Offline, dependency-free stand-in for the subset of the `criterion`
+//! benchmarking API used by this workspace. The build environment cannot
+//! reach a crates registry, so the workspace vendors a miniature harness
+//! with the same surface: [`Criterion`], [`criterion_group!`] /
+//! [`criterion_main!`], benchmark groups, [`BenchmarkId`], [`Throughput`],
+//! and [`black_box`].
+//!
+//! Timing is a simple mean over wall-clock batches — good enough for the
+//! relative comparisons the `sgb-bench` experiments make, with none of
+//! upstream criterion's statistical machinery.
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting benchmarked
+/// work; forwards to [`std::hint::black_box`].
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Measurement settings shared by [`Criterion`] and benchmark groups.
+#[derive(Clone, Debug)]
+struct Settings {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Settings {
+    fn default() -> Self {
+        Settings {
+            sample_size: 20,
+            measurement_time: Duration::from_millis(900),
+            warm_up_time: Duration::from_millis(150),
+        }
+    }
+}
+
+/// The benchmark driver, mirroring `criterion::Criterion`.
+#[derive(Debug)]
+pub struct Criterion {
+    settings: Settings,
+    filter: Option<String>,
+    listing_only: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench` invokes the harness with libtest-ish arguments; honor
+        // the useful subset (a name filter and --list) and ignore the rest.
+        let mut filter = None;
+        let mut listing_only = false;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--bench" | "--test" | "--nocapture" | "-q" | "--quiet" | "--verbose" => {}
+                "--list" => listing_only = true,
+                a if a.starts_with('-') => {}
+                a => filter = Some(a.to_owned()),
+            }
+        }
+        Criterion {
+            settings: Settings::default(),
+            filter,
+            listing_only,
+        }
+    }
+}
+
+impl Criterion {
+    /// Overrides the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.settings.sample_size = n;
+        self
+    }
+
+    /// Overrides the total time spent measuring each benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.settings.measurement_time = d;
+        self
+    }
+
+    /// Overrides the warm-up time before measuring.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.settings.warm_up_time = d;
+        self
+    }
+
+    /// Runs a single benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let settings = self.settings.clone();
+        self.run_one(&id.into_benchmark_id().0, settings, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.into(),
+            settings: None,
+        }
+    }
+
+    fn run_one<F>(&mut self, name: &str, settings: Settings, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return;
+            }
+        }
+        if self.listing_only {
+            println!("{name}: benchmark");
+            return;
+        }
+        let mut bencher = Bencher {
+            settings,
+            samples: Vec::new(),
+        };
+        f(&mut bencher);
+        bencher.report(name);
+    }
+}
+
+/// A group of related benchmarks sharing settings, mirroring
+/// `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+    settings: Option<Settings>,
+}
+
+impl BenchmarkGroup<'_> {
+    fn settings_mut(&mut self) -> &mut Settings {
+        let parent = &self.parent.settings;
+        self.settings.get_or_insert_with(|| parent.clone())
+    }
+
+    /// Overrides the number of timed samples for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.settings_mut().sample_size = n;
+        self
+    }
+
+    /// Overrides the measurement time for this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.settings_mut().measurement_time = d;
+        self
+    }
+
+    /// Overrides the warm-up time for this group.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.settings_mut().warm_up_time = d;
+        self
+    }
+
+    /// Records the quantity each iteration processes. Accepted for API
+    /// compatibility; the stand-in reports raw times only.
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Runs a benchmark within this group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = format!("{}/{}", self.name, id.into_benchmark_id().0);
+        let settings = self
+            .settings
+            .clone()
+            .unwrap_or_else(|| self.parent.settings.clone());
+        self.parent.run_one(&name, settings, f);
+        self
+    }
+
+    /// Runs a benchmark that borrows an input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (accepted for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier: a function name plus an optional parameter,
+/// mirroring `criterion::BenchmarkId`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// An id labelled `function_name/parameter`.
+    pub fn new(function_name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(format!("{function_name}/{parameter}"))
+    }
+
+    /// An id from a bare parameter.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(format!("{parameter}"))
+    }
+}
+
+/// Conversion into [`BenchmarkId`], so `bench_function` accepts both string
+/// names and structured ids.
+pub trait IntoBenchmarkId {
+    /// Performs the conversion.
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId(self.to_owned())
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId(self)
+    }
+}
+
+/// Units-of-work declaration, mirroring `criterion::Throughput`.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Times closures, mirroring `criterion::Bencher`.
+pub struct Bencher {
+    settings: Settings,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine`, running it repeatedly until the configured
+    /// measurement budget is spent.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up, and calibrate how many iterations fit in one sample.
+        let warm_deadline = Instant::now() + self.settings.warm_up_time;
+        let mut warm_iters: u64 = 0;
+        let warm_start = Instant::now();
+        loop {
+            black_box(routine());
+            warm_iters += 1;
+            if Instant::now() >= warm_deadline {
+                break;
+            }
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+        let budget = self.settings.measurement_time.as_secs_f64();
+        let samples = self.settings.sample_size.max(1);
+        let iters_per_sample =
+            ((budget / samples as f64 / per_iter.max(1e-9)).floor() as u64).clamp(1, 1 << 24);
+
+        self.samples.clear();
+        for _ in 0..samples {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            self.samples.push(Duration::from_secs_f64(
+                elapsed.as_secs_f64() / iters_per_sample as f64,
+            ));
+        }
+    }
+
+    fn report(&self, name: &str) {
+        if self.samples.is_empty() {
+            println!("{name}: no samples recorded");
+            return;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_unstable();
+        let total: f64 = sorted.iter().map(Duration::as_secs_f64).sum();
+        let mean = total / sorted.len() as f64;
+        let median = sorted[sorted.len() / 2].as_secs_f64();
+        println!(
+            "{name:<60} mean {:>12} median {:>12} ({} samples)",
+            format_time(mean),
+            format_time(median),
+            sorted.len()
+        );
+    }
+}
+
+fn format_time(seconds: f64) -> String {
+    if seconds < 1e-6 {
+        format!("{:.2} ns", seconds * 1e9)
+    } else if seconds < 1e-3 {
+        format!("{:.2} µs", seconds * 1e6)
+    } else if seconds < 1.0 {
+        format!("{:.2} ms", seconds * 1e3)
+    } else {
+        format!("{seconds:.3} s")
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark entry point, mirroring `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A driver that bypasses `Criterion::default()`'s CLI parsing: under
+    /// `cargo test <filter>`, libtest's positional filter would otherwise be
+    /// misread as a benchmark-name filter and skip the benchmarks below.
+    fn quiet_criterion() -> Criterion {
+        Criterion {
+            settings: Settings::default(),
+            filter: None,
+            listing_only: false,
+        }
+    }
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = quiet_criterion()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(5))
+            .warm_up_time(Duration::from_millis(1));
+        let mut ran = false;
+        c.bench_function("smoke", |b| {
+            ran = true;
+            b.iter(|| black_box(2u64 + 2));
+        });
+        assert!(ran);
+    }
+
+    #[test]
+    fn groups_compose_ids() {
+        let mut c = quiet_criterion()
+            .sample_size(2)
+            .measurement_time(Duration::from_millis(4))
+            .warm_up_time(Duration::from_millis(1));
+        let mut group = c.benchmark_group("g");
+        group.sample_size(2);
+        group.throughput(Throughput::Elements(8));
+        group.bench_with_input(BenchmarkId::new("f", 8), &8u64, |b, &n| {
+            b.iter(|| black_box(n * 2));
+        });
+        group.finish();
+    }
+}

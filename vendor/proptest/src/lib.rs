@@ -1,0 +1,756 @@
+//! Offline, dependency-free stand-in for the subset of the `proptest` API
+//! used by this workspace's property tests. The build environment cannot
+//! reach a crates registry, so the workspace vendors a miniature
+//! property-testing harness with the same surface syntax:
+//!
+//! - the [`proptest!`] macro with `#![proptest_config(..)]`, `#[test]`
+//!   functions, and `pattern in strategy` arguments;
+//! - [`Strategy`] with `prop_map`, plus [`Just`], ranges, tuples,
+//!   regex-lite string literals, [`collection::vec`], [`sample::select`],
+//!   [`sample::Index`], [`arbitrary::any`], and the [`prop_oneof!`] macro;
+//! - [`prop_assert!`] / [`prop_assert_eq!`].
+//!
+//! Differences from upstream: failing cases are reported via panic without
+//! shrinking, and generation is deterministic per test function (seeded from
+//! the test name), so test runs are reproducible.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+pub mod strategy {
+    //! Core [`Strategy`] trait and combinators.
+
+    use super::TestRng;
+
+    /// A recipe for generating values of type `Value`.
+    ///
+    /// Unlike upstream proptest there is no shrinking: a strategy is just a
+    /// deterministic function of the test RNG.
+    pub trait Strategy {
+        /// The type of values this strategy produces.
+        type Value;
+
+        /// Generates one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Discards generated values that fail `pred`, retrying (bounded).
+        fn prop_filter<F: Fn(&Self::Value) -> bool>(
+            self,
+            whence: &'static str,
+            pred: F,
+        ) -> Filter<Self, F>
+        where
+            Self: Sized,
+        {
+            Filter {
+                inner: self,
+                whence,
+                pred,
+            }
+        }
+
+        /// Erases the concrete strategy type.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            Box::new(self)
+        }
+    }
+
+    /// A type-erased strategy.
+    pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (**self).generate(rng)
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_filter`].
+    pub struct Filter<S, F> {
+        pub(crate) inner: S,
+        pub(crate) whence: &'static str,
+        pub(crate) pred: F,
+    }
+
+    impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> S::Value {
+            for _ in 0..1_000 {
+                let v = self.inner.generate(rng);
+                if (self.pred)(&v) {
+                    return v;
+                }
+            }
+            panic!("prop_filter retry budget exhausted: {}", self.whence)
+        }
+    }
+
+    /// A strategy that always yields a clone of the given value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Uniform choice between boxed alternative strategies; the expansion of
+    /// [`crate::prop_oneof!`].
+    pub struct Union<T> {
+        options: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        /// Builds a union over `options`; panics if empty.
+        pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+            Union { options }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let i = rng.random_index(self.options.len());
+            self.options[i].generate(rng)
+        }
+    }
+
+    macro_rules! range_strategy {
+        ($($t:ty),+ $(,)?) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.random_range(self.clone())
+                }
+            }
+        )+};
+    }
+
+    range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+    macro_rules! tuple_strategy {
+        ($(($($s:ident / $idx:tt),+))+) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )+};
+    }
+
+    tuple_strategy! {
+        (A/0)
+        (A/0, B/1)
+        (A/0, B/1, C/2)
+        (A/0, B/1, C/2, D/3)
+        (A/0, B/1, C/2, D/3, E/4)
+        (A/0, B/1, C/2, D/3, E/4, F/5)
+    }
+
+    /// `&str` literals are regex-lite string strategies (see
+    /// [`crate::string::pattern`] for the supported grammar).
+    impl Strategy for &'static str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            crate::string::generate_from_pattern(self, rng)
+        }
+    }
+}
+
+pub mod string {
+    //! Regex-lite string generation for `&str` strategies.
+    //!
+    //! Supported grammar: literal characters, `.` (any printable char),
+    //! character classes `[a-z0-9_]` (ranges and singletons), and the
+    //! quantifiers `{m,n}`, `{n}`, `*`, `+`, `?` applied to the preceding
+    //! atom. This covers the patterns used in the workspace test-suite and
+    //! errors loudly on anything else.
+
+    use super::TestRng;
+
+    #[derive(Clone, Debug)]
+    enum Atom {
+        /// Any printable character (stand-in for regex `.`).
+        Any,
+        Literal(char),
+        /// Inclusive character ranges, e.g. `[a-z0-9]`.
+        Class(Vec<(char, char)>),
+    }
+
+    #[derive(Clone, Debug)]
+    struct Piece {
+        atom: Atom,
+        min: usize,
+        max: usize,
+    }
+
+    fn parse(pattern: &str) -> Vec<Piece> {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut i = 0;
+        let mut pieces = Vec::new();
+        while i < chars.len() {
+            let atom = match chars[i] {
+                '.' => {
+                    i += 1;
+                    Atom::Any
+                }
+                '[' => {
+                    let close = chars[i..]
+                        .iter()
+                        .position(|&c| c == ']')
+                        .unwrap_or_else(|| panic!("unterminated class in pattern {pattern:?}"))
+                        + i;
+                    let mut ranges = Vec::new();
+                    let mut j = i + 1;
+                    while j < close {
+                        if j + 2 < close && chars[j + 1] == '-' {
+                            ranges.push((chars[j], chars[j + 2]));
+                            j += 3;
+                        } else {
+                            ranges.push((chars[j], chars[j]));
+                            j += 1;
+                        }
+                    }
+                    assert!(!ranges.is_empty(), "empty class in pattern {pattern:?}");
+                    i = close + 1;
+                    Atom::Class(ranges)
+                }
+                '\\' => {
+                    assert!(i + 1 < chars.len(), "dangling escape in {pattern:?}");
+                    i += 2;
+                    Atom::Literal(chars[i - 1])
+                }
+                c => {
+                    i += 1;
+                    Atom::Literal(c)
+                }
+            };
+            let (min, max) = if i < chars.len() {
+                match chars[i] {
+                    '{' => {
+                        let close = chars[i..]
+                            .iter()
+                            .position(|&c| c == '}')
+                            .unwrap_or_else(|| panic!("unterminated {{}} in {pattern:?}"))
+                            + i;
+                        let body: String = chars[i + 1..close].iter().collect();
+                        i = close + 1;
+                        match body.split_once(',') {
+                            Some((lo, hi)) => (
+                                lo.trim().parse().expect("bad {m,n} lower bound"),
+                                hi.trim().parse().expect("bad {m,n} upper bound"),
+                            ),
+                            None => {
+                                let n = body.trim().parse().expect("bad {n} count");
+                                (n, n)
+                            }
+                        }
+                    }
+                    '*' => {
+                        i += 1;
+                        (0, 8)
+                    }
+                    '+' => {
+                        i += 1;
+                        (1, 8)
+                    }
+                    '?' => {
+                        i += 1;
+                        (0, 1)
+                    }
+                    _ => (1, 1),
+                }
+            } else {
+                (1, 1)
+            };
+            pieces.push(Piece { atom, min, max });
+        }
+        pieces
+    }
+
+    const PRINTABLE_EXTRA: &[char] = &['é', 'λ', '→', '\t', '"', '\'', '\\', '\u{0}'];
+
+    fn sample_atom(atom: &Atom, rng: &mut TestRng) -> char {
+        match atom {
+            Atom::Literal(c) => *c,
+            Atom::Any => {
+                // Mostly ASCII printable, with occasional awkward characters.
+                if rng.random_index(8) == 0 {
+                    PRINTABLE_EXTRA[rng.random_index(PRINTABLE_EXTRA.len())]
+                } else {
+                    char::from(rng.random_range_u32(0x20..0x7F) as u8)
+                }
+            }
+            Atom::Class(ranges) => {
+                let (lo, hi) = ranges[rng.random_index(ranges.len())];
+                char::from_u32(rng.random_range_u32(lo as u32..hi as u32 + 1))
+                    .expect("class range produced invalid char")
+            }
+        }
+    }
+
+    /// Generates one string matching `pattern`.
+    pub fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for piece in parse(pattern) {
+            let n = if piece.min == piece.max {
+                piece.min
+            } else {
+                piece.min + rng.random_index(piece.max - piece.min + 1)
+            };
+            for _ in 0..n {
+                out.push(sample_atom(&piece.atom, rng));
+            }
+        }
+        out
+    }
+}
+
+pub mod arbitrary {
+    //! The [`any`] entry point and the [`Arbitrary`] trait.
+
+    use super::strategy::Strategy;
+    use super::TestRng;
+
+    /// Types with a canonical strategy over their whole domain.
+    pub trait Arbitrary {
+        /// The canonical strategy type.
+        type Strategy: Strategy<Value = Self>;
+        /// Returns the canonical strategy.
+        fn arbitrary() -> Self::Strategy;
+    }
+
+    /// Returns the canonical strategy for `T`, mirroring `proptest::arbitrary::any`.
+    pub fn any<T: Arbitrary>() -> T::Strategy {
+        T::arbitrary()
+    }
+
+    /// Strategy for the full domain of a primitive.
+    #[derive(Clone, Debug, Default)]
+    pub struct FullDomain<T>(core::marker::PhantomData<T>);
+
+    macro_rules! arbitrary_prim {
+        ($($t:ty => $gen:expr),+ $(,)?) => {$(
+            impl Strategy for FullDomain<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let f: fn(&mut TestRng) -> $t = $gen;
+                    f(rng)
+                }
+            }
+            impl Arbitrary for $t {
+                type Strategy = FullDomain<$t>;
+                fn arbitrary() -> Self::Strategy {
+                    FullDomain(core::marker::PhantomData)
+                }
+            }
+        )+};
+    }
+
+    arbitrary_prim!(
+        bool => |rng| rng.random_bool(),
+        u8 => |rng| rng.random_u64() as u8,
+        u16 => |rng| rng.random_u64() as u16,
+        u32 => |rng| rng.random_u64() as u32,
+        u64 => |rng| rng.random_u64(),
+        usize => |rng| rng.random_u64() as usize,
+        i8 => |rng| rng.random_u64() as i8,
+        i16 => |rng| rng.random_u64() as i16,
+        i32 => |rng| rng.random_u64() as i32,
+        i64 => |rng| rng.random_u64() as i64,
+        isize => |rng| rng.random_u64() as isize,
+        // Finite floats spanning several magnitudes; NaN/inf excluded, as
+        // the workspace tests compare generated values.
+        f64 => |rng| {
+            let magnitude = [1.0, 1e3, 1e6, 1e-3][rng.random_index(4)];
+            (rng.random_range(-1.0f64..1.0)) * magnitude
+        },
+        f32 => |rng| {
+            let magnitude = [1.0f32, 1e3, 1e6, 1e-3][rng.random_index(4)];
+            (rng.random_range(-1.0f32..1.0)) * magnitude
+        },
+    );
+
+    impl Arbitrary for crate::sample::Index {
+        type Strategy = crate::sample::IndexStrategy;
+        fn arbitrary() -> Self::Strategy {
+            crate::sample::IndexStrategy
+        }
+    }
+}
+
+pub mod sample {
+    //! Sampling helpers: [`Index`] and [`select`].
+
+    use super::strategy::Strategy;
+    use super::TestRng;
+
+    /// A position into a not-yet-known-length collection, mirroring
+    /// `proptest::sample::Index`.
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub struct Index(u64);
+
+    impl Index {
+        /// Projects this abstract index onto a collection of length `len`.
+        /// Panics if `len == 0`, like upstream.
+        pub fn index(&self, len: usize) -> usize {
+            assert!(len > 0, "Index::index on empty collection");
+            (self.0 % len as u64) as usize
+        }
+    }
+
+    /// Strategy yielding [`Index`] values (via `any::<Index>()`).
+    #[derive(Clone, Debug)]
+    pub struct IndexStrategy;
+
+    impl Strategy for IndexStrategy {
+        type Value = Index;
+        fn generate(&self, rng: &mut TestRng) -> Index {
+            Index(rng.random_u64())
+        }
+    }
+
+    /// Strategy choosing uniformly from a fixed set of values.
+    #[derive(Clone, Debug)]
+    pub struct Select<T: Clone>(Vec<T>);
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.0[rng.random_index(self.0.len())].clone()
+        }
+    }
+
+    /// Returns a strategy that picks one of `options`, mirroring
+    /// `proptest::sample::select`. Panics if `options` is empty.
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select: empty options");
+        Select(options)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies: [`vec`].
+
+    use super::strategy::Strategy;
+    use super::TestRng;
+
+    /// Size bounds for generated collections.
+    #[derive(Clone, Debug)]
+    pub struct SizeRange {
+        min: usize,
+        /// Exclusive upper bound.
+        max: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max: n + 1 }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                min: r.start,
+                max: r.end,
+            }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                min: *r.start(),
+                max: *r.end() + 1,
+            }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with length drawn from a [`SizeRange`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = self.size.max - self.size.min;
+            let n = self.size.min + if span == 0 { 0 } else { rng.random_index(span) };
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Returns a strategy producing vectors of `element` values with length
+    /// in `size`, mirroring `proptest::collection::vec`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+pub mod test_runner {
+    //! Test configuration ([`Config`]) mirroring `proptest::test_runner`.
+
+    /// Subset of `proptest::test_runner::Config` used by the workspace.
+    #[derive(Clone, Debug)]
+    pub struct Config {
+        /// Number of generated cases per property.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A config running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 256 }
+        }
+    }
+}
+
+/// The RNG handed to strategies; wraps the vendored [`SmallRng`] and is
+/// seeded deterministically per test from the test's name.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    inner: SmallRng,
+}
+
+impl TestRng {
+    /// Creates a generator seeded from an FNV-1a hash of `name`, so each
+    /// property gets an independent but reproducible stream.
+    pub fn for_test(name: &str) -> Self {
+        let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng {
+            inner: SmallRng::seed_from_u64(h),
+        }
+    }
+
+    /// Next raw 64-bit word.
+    pub fn random_u64(&mut self) -> u64 {
+        rand::RngCore::next_u64(&mut self.inner)
+    }
+
+    /// Uniform in `[0, len)`.
+    pub fn random_index(&mut self, len: usize) -> usize {
+        assert!(len > 0, "random_index on empty domain");
+        self.inner.gen_range(0..len)
+    }
+
+    /// Uniform draw from a range (see [`rand::SampleRange`]).
+    pub fn random_range<T, R: rand::SampleRange<T>>(&mut self, range: R) -> T {
+        self.inner.gen_range(range)
+    }
+
+    /// Uniform `u32` in `range` (helper for `char` construction).
+    pub fn random_range_u32(&mut self, range: core::ops::Range<u32>) -> u32 {
+        self.inner.gen_range(range)
+    }
+
+    /// Fair coin.
+    pub fn random_bool(&mut self) -> bool {
+        self.inner.gen::<bool>()
+    }
+}
+
+/// Everything the workspace test-suite imports via
+/// `use proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// Namespaced access to strategy modules (`prop::sample::Index` etc.).
+    pub mod prop {
+        pub use crate::arbitrary;
+        pub use crate::collection;
+        pub use crate::sample;
+        pub use crate::strategy;
+        pub use crate::string;
+    }
+}
+
+/// Declares property tests. Mirrors `proptest::proptest!`:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn my_prop(x in 0..10i64, v in vec(0.0f64..1.0, 1..50)) { ... }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($cfg) $($rest)*);
+    };
+    (@with_config ($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            use $crate::strategy::Strategy as _;
+            let config: $crate::test_runner::Config = $cfg;
+            let mut rng = $crate::TestRng::for_test(concat!(module_path!(), "::", stringify!($name)));
+            for case in 0..config.cases {
+                $(let $arg = ($strategy).generate(&mut rng);)+
+                let result = (|| -> ::core::result::Result<(), ::std::string::String> {
+                    $body
+                    Ok(())
+                })();
+                if let Err(message) = result {
+                    panic!(
+                        "property {} failed at case {}/{}:\n{}",
+                        stringify!($name), case + 1, config.cases, message
+                    );
+                }
+            }
+        }
+    )*};
+    ($($rest:tt)*) => {
+        $crate::proptest!(@with_config ($crate::test_runner::Config::default()) $($rest)*);
+    };
+}
+
+/// Asserts a condition inside [`proptest!`], failing the current case with a
+/// formatted message instead of unwinding immediately.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err(::std::format!($($fmt)*));
+        }
+    };
+}
+
+/// Asserts equality inside [`proptest!`]; see [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l == r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l == r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}\n{}",
+            stringify!($left), stringify!($right), l, r, ::std::format!($($fmt)*)
+        );
+    }};
+}
+
+/// Asserts inequality inside [`proptest!`]; see [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l != r,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+    }};
+}
+
+/// Uniform choice between strategies with the same value type. Mirrors
+/// `proptest::prop_oneof!` (weights are not supported).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::collection::vec;
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn ranges_and_vecs(xs in vec(0i64..10, 1..20), f in 0.5f64..1.5) {
+            prop_assert!(!xs.is_empty() && xs.len() < 20);
+            prop_assert!(xs.iter().all(|&x| (0..10).contains(&x)));
+            prop_assert!((0.5..1.5).contains(&f));
+        }
+
+        #[test]
+        fn oneof_and_map(v in prop_oneof![Just(1i64), (10i64..20).prop_map(|x| x * 2)]) {
+            prop_assert!(v == 1 || (20..40).contains(&v));
+        }
+
+        #[test]
+        fn string_patterns(s in "[a-z]{0,6}", t in ".{0,16}") {
+            prop_assert!(s.len() <= 6);
+            prop_assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+            prop_assert!(t.chars().count() <= 16);
+        }
+
+        #[test]
+        fn index_projects(ix in any::<prop::sample::Index>()) {
+            prop_assert!(ix.index(7) < 7);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_name() {
+        let mut a = crate::TestRng::for_test("x");
+        let mut b = crate::TestRng::for_test("x");
+        assert_eq!(a.random_u64(), b.random_u64());
+    }
+}

@@ -1,0 +1,306 @@
+//! Offline, dependency-free stand-in for the subset of the `rand` 0.8 API
+//! used by this workspace. The build environment has no network access to a
+//! crates registry, so the workspace vendors the handful of APIs it needs:
+//! [`rngs::SmallRng`], [`Rng`], and [`SeedableRng`].
+//!
+//! The generator is xoshiro256++ (the same family `rand`'s `SmallRng` uses on
+//! 64-bit targets), seeded through SplitMix64 exactly as `rand_core` does, so
+//! streams are high quality and deterministic per seed, though not
+//! bit-identical to upstream `rand`.
+
+/// A source of random 64-bit words. Object-safe core of [`Rng`].
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// A random number generator seedable from a `u64`, mirroring
+/// `rand::SeedableRng::seed_from_u64`.
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed via SplitMix64 expansion.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types that can be sampled uniformly from the full value domain by
+/// [`Rng::gen`] (the stand-in for `rand`'s `Standard` distribution).
+pub trait Standard: Sized {
+    /// Draws one value from `rng`.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 random mantissa bits -> uniform in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for u64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+/// Ranges that [`Rng::gen_range`] can sample from uniformly.
+pub trait SampleRange<T> {
+    /// Draws one value from the range using `rng`.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! int_sample_range {
+    ($($t:ty => $u:ty),+ $(,)?) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as $u).wrapping_sub(self.start as $u);
+                // Rejection sampling to remove modulo bias.
+                let zone = <$u>::MAX - (<$u>::MAX - span + 1) % span;
+                loop {
+                    let v = rng.next_u64() as $u;
+                    if v <= zone {
+                        return (self.start as $u).wrapping_add(v % span) as $t;
+                    }
+                }
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                // Work with span − 1: the span itself (hi − lo + 1) would
+                // overflow for the full 64-bit domain, and `lo..hi + 1`
+                // would wrap for any range ending at the type's MAX.
+                let span_m1 = (hi as $u).wrapping_sub(lo as $u);
+                if span_m1 == <$u>::MAX {
+                    return rng.next_u64() as $t;
+                }
+                let span = span_m1 + 1;
+                let zone = <$u>::MAX - (<$u>::MAX - span + 1) % span;
+                loop {
+                    let v = rng.next_u64() as $u;
+                    if v <= zone {
+                        return (lo as $u).wrapping_add(v % span) as $t;
+                    }
+                }
+            }
+        }
+    )+};
+}
+
+int_sample_range!(
+    u8 => u64, u16 => u64, u32 => u64, u64 => u64, usize => u64,
+    i8 => u64, i16 => u64, i32 => u64, i64 => u64, isize => u64,
+);
+
+macro_rules! float_sample_range {
+    ($($t:ty),+) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                /// Largest representable value strictly below finite `x`.
+                fn prev_below(x: $t) -> $t {
+                    if x > 0.0 {
+                        <$t>::from_bits(x.to_bits() - 1)
+                    } else if x < 0.0 {
+                        <$t>::from_bits(x.to_bits() + 1)
+                    } else {
+                        // Below ±0.0 sits the smallest negative subnormal.
+                        -<$t>::from_bits(1)
+                    }
+                }
+                assert!(self.start < self.end, "cannot sample empty range");
+                let unit = <$t as Standard>::sample(rng);
+                let v = self.start + (self.end - self.start) * unit;
+                if v < self.end {
+                    v
+                } else {
+                    // `start + span·unit` can round up onto the excluded
+                    // bound; step one ulp back inside the range.
+                    prev_below(self.end)
+                }
+            }
+        }
+    )+};
+}
+
+float_sample_range!(f32, f64);
+
+/// The user-facing sampling trait, mirroring the subset of `rand::Rng` the
+/// workspace uses: `gen`, `gen_range`, and `gen_bool`.
+pub trait Rng: RngCore {
+    /// Samples a value of type `T` from its standard distribution
+    /// (`[0, 1)` for floats, the full domain for integers and `bool`).
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// Samples uniformly from `range`. Panics if the range is empty.
+    fn gen_range<T, Rge: SampleRange<T>>(&mut self, range: Rge) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`. Panics unless `0 <= p <= 1`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p must be in [0, 1]");
+        self.gen::<f64>() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Named generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// A small, fast, high-quality PRNG: xoshiro256++ seeded via SplitMix64.
+    ///
+    /// Deterministic per seed; not cryptographically secure — exactly the
+    /// contract of `rand::rngs::SmallRng`.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let s = [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ];
+            SmallRng { s }
+        }
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SmallRng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(-3i64..17);
+            assert!((-3..17).contains(&v));
+            let f = rng.gen_range(-2.5f64..2.5);
+            assert!((-2.5..2.5).contains(&f));
+            let u = rng.gen_range(0usize..1);
+            assert_eq!(u, 0);
+        }
+    }
+
+    #[test]
+    fn inclusive_ranges_reaching_type_max_are_valid() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        for _ in 0..1_000 {
+            assert!(rng.gen_range(1u8..=u8::MAX) >= 1);
+            assert!(rng.gen_range(1u64..=u64::MAX) >= 1);
+            assert!(rng.gen_range(0i64..=i64::MAX) >= 0);
+            assert!((-3..=3).contains(&rng.gen_range(-3i64..=3)));
+        }
+        // Full domains fall back to raw words; just ensure no panic.
+        let _ = rng.gen_range(u64::MIN..=u64::MAX);
+        let _ = rng.gen_range(i8::MIN..=i8::MAX);
+    }
+
+    #[test]
+    fn float_ranges_never_yield_the_excluded_bound() {
+        // One-ulp-wide ranges admit exactly one value: rounding in
+        // `start + span·unit` must not surface the excluded bound.
+        let mut rng = SmallRng::seed_from_u64(9);
+        let lo = 1.0f32;
+        let hi = f32::from_bits(lo.to_bits() + 1);
+        for _ in 0..200 {
+            assert_eq!(rng.gen_range(lo..hi), lo);
+        }
+        let lo64 = -1.0f64;
+        let hi64 = f64::from_bits(lo64.to_bits() - 1); // next_up(-1.0)
+        for _ in 0..200 {
+            assert_eq!(rng.gen_range(lo64..hi64), lo64);
+        }
+    }
+
+    #[test]
+    fn unit_floats_in_range_and_varied() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut sum = 0.0;
+        for _ in 0..10_000 {
+            let f: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&f));
+            sum += f;
+        }
+        let mean = sum / 10_000.0;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean} far from 0.5");
+    }
+}
