@@ -75,12 +75,9 @@ fn main() -> ExitCode {
     while i < args.len() {
         match args[i].as_str() {
             "--scale" => {
-                let Some(v) = args.get(i + 1).and_then(|s| s.parse::<f64>().ok()) else {
+                let Some(v) = args.get(i + 1).and_then(|s| sgb_bench::cli::parse_scale(s)) else {
                     return usage();
                 };
-                if v.is_nan() || v <= 0.0 {
-                    return usage();
-                }
                 scale = v;
                 i += 2;
             }

@@ -1,0 +1,27 @@
+//! Shared command-line helpers for the `paper` and `metrics` binaries.
+
+/// Parses a `--scale` value: must be a finite, strictly positive float
+/// (rejects `inf`, which would make the scaled cardinalities overflow).
+pub fn parse_scale(s: &str) -> Option<f64> {
+    let v: f64 = s.parse().ok()?;
+    (v.is_finite() && v > 0.0).then_some(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_positive_finite() {
+        assert_eq!(parse_scale("1"), Some(1.0));
+        assert_eq!(parse_scale("0.25"), Some(0.25));
+        assert_eq!(parse_scale("2e1"), Some(20.0));
+    }
+
+    #[test]
+    fn rejects_garbage_and_non_finite() {
+        for bad in ["0", "-1", "nan", "inf", "-inf", "abc", ""] {
+            assert_eq!(parse_scale(bad), None, "{bad}");
+        }
+    }
+}

@@ -461,6 +461,77 @@ pub fn table1(scale: f64) -> Experiment {
     }
 }
 
+/// One row of the metric-comparison experiment: an operator/algorithm
+/// combination timed under one metric.
+#[derive(Clone, Debug)]
+pub struct MetricBenchRow {
+    /// `"sgb-all"` or `"sgb-any"`.
+    pub op: &'static str,
+    /// Algorithm label (`"AllPairs"`, `"BoundsChecking"`, `"Indexed"`).
+    pub algorithm: &'static str,
+    /// SQL keyword of the metric (`L1`/`L2`/`LINF`).
+    pub metric: &'static str,
+    /// Wall-clock seconds for one run.
+    pub seconds: f64,
+    /// Number of answer groups (sanity anchor: fixed per metric across
+    /// algorithms).
+    pub groups: usize,
+}
+
+/// The metric-comparison experiment behind the `metrics` binary: every
+/// SGB-All / SGB-Any algorithm under every supported metric on the ε-sweep
+/// workload, one timed run each. Returns `(n, eps, rows)`.
+pub fn metric_comparison(scale: f64) -> (usize, f64, Vec<MetricBenchRow>) {
+    let n = scaled(10_000, scale);
+    let eps = 0.3;
+    let points = fig9_workload(n, 0x3E7A1C);
+    let mut rows = Vec::new();
+    for metric in Metric::ALL {
+        let mut groups_per_algo = Vec::new();
+        for (name, algo) in [
+            ("AllPairs", AllAlgorithm::AllPairs),
+            ("BoundsChecking", AllAlgorithm::BoundsChecking),
+            ("Indexed", AllAlgorithm::Indexed),
+        ] {
+            let cfg = SgbAllConfig::new(eps).metric(metric).algorithm(algo);
+            let (out, secs) = time(|| sgb_all(&points, &cfg));
+            groups_per_algo.push(out.num_groups());
+            rows.push(MetricBenchRow {
+                op: "sgb-all",
+                algorithm: name,
+                metric: metric.sql_keyword(),
+                seconds: secs,
+                groups: out.num_groups(),
+            });
+        }
+        assert!(
+            groups_per_algo.windows(2).all(|w| w[0] == w[1]),
+            "SGB-All algorithms disagree under {metric}: {groups_per_algo:?}"
+        );
+        let mut any_groups_per_algo = Vec::new();
+        for (name, algo) in [
+            ("AllPairs", AnyAlgorithm::AllPairs),
+            ("Indexed", AnyAlgorithm::Indexed),
+        ] {
+            let cfg = SgbAnyConfig::new(eps).metric(metric).algorithm(algo);
+            let (out, secs) = time(|| sgb_any(&points, &cfg));
+            any_groups_per_algo.push(out.num_groups());
+            rows.push(MetricBenchRow {
+                op: "sgb-any",
+                algorithm: name,
+                metric: metric.sql_keyword(),
+                seconds: secs,
+                groups: out.num_groups(),
+            });
+        }
+        assert!(
+            any_groups_per_algo.windows(2).all(|w| w[0] == w[1]),
+            "SGB-Any algorithms disagree under {metric}: {any_groups_per_algo:?}"
+        );
+    }
+    (n, eps, rows)
+}
+
 /// Fits the slope of `log(seconds)` against `log(x)` — the empirical
 /// scaling exponent.
 pub fn fit_loglog_slope(rows: &[(f64, f64)]) -> f64 {
@@ -591,6 +662,29 @@ mod tests {
         assert_eq!(e.series.len(), 5);
         let e = fig12('b', 0.05);
         assert_eq!(e.series.len(), 5);
+    }
+
+    #[test]
+    fn metric_comparison_smoke() {
+        let (n, eps, rows) = metric_comparison(0.01);
+        assert!(n >= 16);
+        assert!(eps > 0.0);
+        // 3 metrics × (3 All algorithms + 2 Any algorithms).
+        assert_eq!(rows.len(), 15);
+        for metric in ["L1", "L2", "LINF"] {
+            assert!(rows.iter().any(|r| r.metric == metric));
+        }
+        // Group counts per (op, metric) agree across algorithms.
+        for op in ["sgb-all", "sgb-any"] {
+            for metric in ["L1", "L2", "LINF"] {
+                let counts: Vec<usize> = rows
+                    .iter()
+                    .filter(|r| r.op == op && r.metric == metric)
+                    .map(|r| r.groups)
+                    .collect();
+                assert!(counts.windows(2).all(|w| w[0] == w[1]), "{op} {metric}");
+            }
+        }
     }
 
     #[test]

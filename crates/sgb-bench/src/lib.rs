@@ -14,6 +14,7 @@
 //! cardinalities are scaled down from the paper's (recorded per experiment
 //! in EXPERIMENTS.md); `--scale` multiplies them.
 
+pub mod cli;
 pub mod experiments;
 pub mod queries;
 pub mod timing;

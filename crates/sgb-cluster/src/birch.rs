@@ -5,8 +5,13 @@
 //! `CF = (N, LS, SS)` — count, linear sum and squared sum of the points of a
 //! subcluster — then treats the leaf entries as clusters. The CF algebra
 //! makes insertions and merges constant-time per entry.
+//!
+//! Tree routing and the final nearest-centroid assignment run under a
+//! configurable [`Metric`], matching the norms of the SGB operators the
+//! paper compares against. The absorption threshold stays the RMS radius —
+//! it is derived from the `SS` sum and is inherently Euclidean.
 
-use sgb_geom::Point;
+use sgb_geom::{Metric, Point};
 
 /// A clustering feature: the additive summary of a subcluster.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -98,10 +103,14 @@ pub struct BirchConfig {
     /// Radius threshold `T`: a leaf entry absorbs a point only while its
     /// RMS radius stays at or below `T`.
     pub threshold: f64,
+    /// Distance function for tree routing (closest child / leaf entry) and
+    /// the final nearest-centroid assignment. The RMS radius threshold is
+    /// Euclidean regardless.
+    pub metric: Metric,
 }
 
 impl BirchConfig {
-    /// A configuration with conventional defaults (`B = 8`, `L = 8`).
+    /// A configuration with conventional defaults (`B = 8`, `L = 8`, `L2`).
     pub fn new(threshold: f64) -> Self {
         assert!(
             threshold >= 0.0 && threshold.is_finite(),
@@ -111,7 +120,14 @@ impl BirchConfig {
             branching: 8,
             leaf_capacity: 8,
             threshold,
+            metric: Metric::L2,
         }
+    }
+
+    /// Sets the routing/assignment metric.
+    pub fn metric(mut self, metric: Metric) -> Self {
+        self.metric = metric;
+        self
     }
 
     /// Sets the branching factor.
@@ -188,12 +204,14 @@ impl<const D: usize> CfTree<D> {
         match &self.nodes[node].kind {
             NodeKind::Leaf(_) => self.insert_leaf(node, p),
             NodeKind::Internal(children) => {
-                // Descend into the child whose centroid is closest.
+                // Descend into the child whose centroid is closest under
+                // the configured metric.
+                let metric = self.cfg.metric;
                 let child = *children
                     .iter()
                     .min_by(|&&a, &&b| {
-                        let da = self.nodes[a].cf.centroid().dist_sq(p);
-                        let db = self.nodes[b].cf.centroid().dist_sq(p);
+                        let da = metric.rank_distance(&self.nodes[a].cf.centroid(), p);
+                        let db = metric.rank_distance(&self.nodes[b].cf.centroid(), p);
                         da.partial_cmp(&db).unwrap()
                     })
                     .expect("internal nodes are never empty");
@@ -213,13 +231,15 @@ impl<const D: usize> CfTree<D> {
 
     fn insert_leaf(&mut self, node: usize, p: &Point<D>) -> Option<usize> {
         let threshold = self.cfg.threshold;
+        let metric = self.cfg.metric;
         let NodeKind::Leaf(entries) = &mut self.nodes[node].kind else {
             unreachable!()
         };
-        // Closest entry by centroid; absorb when the radius stays under T.
+        // Closest entry by centroid under the configured metric; absorb
+        // when the RMS radius stays under T.
         let closest = entries.iter_mut().min_by(|a, b| {
-            let da = a.centroid().dist_sq(p);
-            let db = b.centroid().dist_sq(p);
+            let da = metric.rank_distance(&a.centroid(), p);
+            let db = metric.rank_distance(&b.centroid(), p);
             da.partial_cmp(&db).unwrap()
         });
         match closest {
@@ -237,7 +257,7 @@ impl<const D: usize> CfTree<D> {
         else {
             unreachable!()
         };
-        let (a, b) = split_by_farthest_pair(entries, |cf| cf.centroid());
+        let (a, b) = split_by_farthest_pair(entries, |cf| cf.centroid(), self.cfg.metric);
         let cf_of = |list: &[Cf<D>]| {
             let mut cf = Cf::zero();
             for e in list {
@@ -265,7 +285,7 @@ impl<const D: usize> CfTree<D> {
             .iter()
             .map(|&c| (c, self.nodes[c].cf.centroid()))
             .collect();
-        let (a, b) = split_by_farthest_pair(centroids, |(_, c)| *c);
+        let (a, b) = split_by_farthest_pair(centroids, |(_, c)| *c, self.cfg.metric);
         let ids = |list: &[(usize, Point<D>)]| list.iter().map(|(id, _)| *id).collect::<Vec<_>>();
         let cf_of = |tree: &CfTree<D>, list: &[usize]| {
             let mut cf = Cf::zero();
@@ -299,17 +319,18 @@ impl<const D: usize> CfTree<D> {
     }
 }
 
-/// Splits entries by seeding with the farthest pair of centroids and
-/// assigning the rest to the closer seed.
+/// Splits entries by seeding with the farthest pair of centroids (under
+/// `metric`) and assigning the rest to the closer seed.
 fn split_by_farthest_pair<T, const D: usize>(
     entries: Vec<T>,
     centroid: impl Fn(&T) -> Point<D>,
+    metric: Metric,
 ) -> (Vec<T>, Vec<T>) {
     debug_assert!(entries.len() >= 2);
     let (mut si, mut sj, mut worst) = (0, 1, f64::NEG_INFINITY);
     for i in 0..entries.len() {
         for j in (i + 1)..entries.len() {
-            let d = centroid(&entries[i]).dist_sq(&centroid(&entries[j]));
+            let d = metric.rank_distance(&centroid(&entries[i]), &centroid(&entries[j]));
             if d > worst {
                 worst = d;
                 si = i;
@@ -326,7 +347,9 @@ fn split_by_farthest_pair<T, const D: usize>(
             a.push(e);
         } else if idx == sj {
             b.push(e);
-        } else if centroid(&e).dist_sq(&ca) <= centroid(&e).dist_sq(&cb) {
+        } else if metric.rank_distance(&centroid(&e), &ca)
+            <= metric.rank_distance(&centroid(&e), &cb)
+        {
             a.push(e);
         } else {
             b.push(e);
@@ -336,7 +359,8 @@ fn split_by_farthest_pair<T, const D: usize>(
 }
 
 /// Runs BIRCH phase 1 (CF-tree construction) over `points`, then assigns
-/// each point to the nearest leaf-entry centroid.
+/// each point to the nearest leaf-entry centroid under the configured
+/// metric.
 pub fn birch<const D: usize>(points: &[Point<D>], cfg: &BirchConfig) -> BirchResult<D> {
     if points.is_empty() {
         return BirchResult {
@@ -344,6 +368,7 @@ pub fn birch<const D: usize>(points: &[Point<D>], cfg: &BirchConfig) -> BirchRes
             assignment: Vec::new(),
         };
     }
+    let metric = cfg.metric;
     let mut tree = CfTree::new(cfg.clone());
     for p in points {
         tree.insert(p);
@@ -355,9 +380,9 @@ pub fn birch<const D: usize>(points: &[Point<D>], cfg: &BirchConfig) -> BirchRes
         .map(|p| {
             let mut best = (0usize, f64::INFINITY);
             for (i, c) in centroids.iter().enumerate() {
-                let d2 = p.dist_sq(c);
-                if d2 < best.1 {
-                    best = (i, d2);
+                let d = metric.rank_distance(p, c);
+                if d < best.1 {
+                    best = (i, d);
                 }
             }
             best.0
@@ -472,6 +497,31 @@ mod tests {
         let res = birch::<2>(&[], &BirchConfig::new(1.0));
         assert!(res.clusters.is_empty());
         assert!(res.assignment.is_empty());
+    }
+
+    #[test]
+    fn routing_metric_preserves_blob_structure() {
+        // The CF-tree must keep two distant blobs in separate subclusters
+        // under every routing metric; counts are always preserved.
+        let mut points = blob([0.0, 0.0], 80, 0.2, 31);
+        points.extend(blob([10.0, 10.0], 80, 0.2, 32));
+        for metric in Metric::ALL {
+            let res = birch(&points, &BirchConfig::new(0.5).metric(metric));
+            let total: u64 = res.clusters.iter().map(|c| c.n).sum();
+            assert_eq!(total, 160, "{metric}");
+            let a = res.assignment[0];
+            let b = res.assignment[80];
+            assert!(
+                res.clusters[a]
+                    .centroid()
+                    .dist_l2(&res.clusters[b].centroid())
+                    > 5.0,
+                "{metric}"
+            );
+            for c in &res.clusters {
+                assert!(c.radius() <= 0.5 + 1e-9, "{metric}");
+            }
+        }
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! DBSCAN density-based clustering with R-tree region queries.
 
-use sgb_geom::{Metric, Point, Rect};
+use sgb_geom::{Metric, Point};
 use sgb_spatial::RTree;
 
 /// Configuration for [`dbscan`].
@@ -79,8 +79,11 @@ pub fn dbscan<const D: usize>(points: &[Point<D>], cfg: &DbscanConfig) -> Dbscan
 
     let region_query = |i: usize, buf: &mut Vec<usize>| {
         buf.clear();
-        let window = Rect::centered(points[i], cfg.eps);
-        index.query(&window, |_, &j| {
+        // Metric-aware range query: the R-tree prunes with the
+        // neighbourhood's own norm (diamond for L1, square for L∞) rather
+        // than the enclosing window; hits are verified with the canonical
+        // predicate.
+        index.query_within(&points[i], cfg.eps, cfg.metric, |_, &j| {
             if cfg.metric.within(&points[i], &points[j], cfg.eps) {
                 buf.push(j);
             }
@@ -228,6 +231,20 @@ mod tests {
             &DbscanConfig::new(1.0).min_pts(2).metric(Metric::L2),
         );
         assert_eq!(l2.clusters, 0);
+    }
+
+    #[test]
+    fn l1_metric_neighbourhoods() {
+        // Diagonal steps of (0.6, 0.6): L∞ gap 0.6, L2 gap ≈ 0.85, L1 gap
+        // 1.2 — with ε = 1 the chain is connected under L∞/L2 but falls
+        // apart under L1.
+        let points: Vec<Point<2>> = (0..6)
+            .map(|i| Point::new([i as f64 * 0.6, i as f64 * 0.6]))
+            .collect();
+        for (metric, clusters) in [(Metric::LInf, 1), (Metric::L2, 1), (Metric::L1, 0)] {
+            let res = dbscan(&points, &DbscanConfig::new(1.0).min_pts(2).metric(metric));
+            assert_eq!(res.clusters, clusters, "{metric}");
+        }
     }
 
     #[test]

@@ -11,9 +11,10 @@
 //!    [`AllAlgorithm::AllPairs`] (Procedure 2, scans every point),
 //!    [`AllAlgorithm::BoundsChecking`] (Procedure 4, constant-time ε-All
 //!    rectangle tests per group) and [`AllAlgorithm::Indexed`] (Procedure 5,
-//!    window query on an on-the-fly R-tree of group rectangles). Under `L2`
-//!    the rectangle filter admits false positives, refined by the convex
-//!    hull test (Procedure 6).
+//!    metric-aware range query on an on-the-fly R-tree of group
+//!    rectangles). Under the conservative metrics (`L1`/`L2`, see
+//!    [`sgb_geom::metric::RectFilter`]) the rectangle filter admits false
+//!    positives, refined by the convex hull test (Procedure 6).
 //! 2. `ProcessGroupingALL` (Procedure 3) places the point: into a new group
 //!    (no candidates), the unique candidate, or per the `ON-OVERLAP` clause.
 //! 3. `ProcessOverlap` realises `ELIMINATE` / `FORM-NEW-GROUP` on the
@@ -23,7 +24,7 @@
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
-use sgb_geom::{ConvexHull, EpsAllRegion, Metric, Point, Rect};
+use sgb_geom::{ConvexHull, EpsAllRegion, Point, Rect, RectFilter};
 use sgb_spatial::RTree;
 
 use crate::{AllAlgorithm, Grouping, OverlapAction, RecordId, SgbAllConfig};
@@ -46,10 +47,11 @@ struct GroupState<const D: usize> {
     members: Vec<(RecordId, Point<D>)>,
     /// ε-All region + member MBR (Definition 5), maintained incrementally.
     region: EpsAllRegion<D>,
-    /// Cached convex hull of the members — the `L2` refinement of
-    /// Section 6.4. Maintained only for `L2` in 2-D and only once the
-    /// group reaches the configured hull threshold; otherwise (`None`) the exact
-    /// check falls back to a member scan.
+    /// Cached convex hull of the members — the false-positive refinement of
+    /// Section 6.4. Maintained only for conservative-filter metrics
+    /// (`L1`/`L2`) in 2-D and only once the group reaches the configured
+    /// hull threshold; otherwise (`None`) the exact check falls back to a
+    /// member scan.
     hull: Option<ConvexHull>,
     /// Rectangle currently registered for this group in `Groups_IX`.
     indexed_rect: Option<Rect<D>>,
@@ -72,8 +74,11 @@ enum GroupTest {
     Overlap,
 }
 
-/// Refinement after the allowed-rectangle filter passed: exact under
-/// `L∞`; under `L2` the convex-hull test (Procedure 6) or a member scan
+/// Refinement after the allowed-rectangle filter passed, driven by the
+/// metric's [`RectFilter`] policy rather than per-metric special cases:
+/// with an exact rectangle filter (`L∞`) the hit *is* the answer; with a
+/// conservative one (`L1`/`L2` — any metric whose ε-ball is a proper subset
+/// of the ε-square) the convex-hull test (Procedure 6) or a member scan
 /// settles candidacy, and a false positive may still be an overlap group.
 #[inline(always)]
 fn refine_candidate<const D: usize>(
@@ -85,18 +90,19 @@ fn refine_candidate<const D: usize>(
     if g.is_dead() {
         return GroupTest::Far;
     }
-    match cfg.metric {
-        Metric::LInf => GroupTest::Candidate,
-        Metric::L2 => {
+    match cfg.metric.rect_filter() {
+        RectFilter::Exact => GroupTest::Candidate,
+        RectFilter::Conservative => {
             let exact = match &g.hull {
                 // Procedure 6: inside the hull, or within ε of the
-                // farthest hull vertex.
-                Some(h) => h.admits(&to2(p), cfg.eps, Metric::L2),
+                // farthest hull vertex — valid for every metric with
+                // convex balls (see `ConvexHull::admits`).
+                Some(h) => h.admits(&to2(p), cfg.eps, cfg.metric),
                 // No hull cache (small group or 3-D): verify against
                 // every member.
                 None => {
-                    let eps = cfg.eps;
-                    g.members.iter().all(|(_, q)| Metric::L2.within(p, q, eps))
+                    let (eps, metric) = (cfg.eps, cfg.metric);
+                    g.members.iter().all(|(_, q)| metric.within(p, q, eps))
                 }
             };
             if exact {
@@ -174,10 +180,11 @@ impl<const D: usize> Engine<D> {
         }
     }
 
-    /// Whether the per-group convex hull cache applies (L2 metric, 2-D).
+    /// Whether the per-group convex hull cache applies: 2-D data under a
+    /// metric whose rectangle filter is conservative (`L1`/`L2`).
     #[inline]
     fn hull_maintained(&self) -> bool {
-        self.cfg.metric == Metric::L2 && D == 2
+        self.cfg.metric.needs_refinement() && D == 2
     }
 
     /// Procedure 1 body for one point.
@@ -258,17 +265,18 @@ impl<const D: usize> Engine<D> {
                 }
             }
             AllAlgorithm::Indexed => {
-                // Procedure 5: window query on Groups_IX retrieves every
-                // group whose MBR intersects the ε-rectangle of `p` — a
-                // superset of all candidates and overlap groups.
+                // Procedure 5: metric-aware range query on Groups_IX
+                // retrieves every group whose MBR comes within ε of `p`
+                // under the configured norm — a superset of all candidates
+                // and overlap groups (any member within ε of `p` bounds the
+                // MBR's mindist by ε), pruned with the metric's own ball
+                // instead of its enclosing rectangle. The query's relaxed
+                // threshold guarantees no predicate-accepted member is
+                // missed to floating-point rounding.
                 let mut gset = std::mem::take(&mut self.scratch_window);
                 gset.clear();
-                // Dilated so no group containing a predicate-accepted
-                // member can be missed to floating-point rounding of the
-                // window bounds.
-                let window = Rect::centered_dilated(*p, self.cfg.eps);
                 if let Some(ix) = &self.index {
-                    ix.query(&window, |_, &gid| gset.push(gid));
+                    ix.query_within(p, self.cfg.eps, self.cfg.metric, |_, &gid| gset.push(gid));
                 }
                 gset.sort_unstable();
                 for &gid in &gset {
@@ -557,6 +565,7 @@ pub fn sgb_all<const D: usize>(points: &[Point<D>], cfg: &SgbAllConfig) -> Group
 mod tests {
     use super::*;
     use crate::SgbAnyConfig;
+    use sgb_geom::Metric;
 
     const ALGOS: [AllAlgorithm; 3] = [
         AllAlgorithm::AllPairs,
@@ -721,7 +730,7 @@ mod tests {
         let points: Vec<Point<2>> = (0..300)
             .map(|_| Point::new([next() * 8.0, next() * 8.0]))
             .collect();
-        for metric in [Metric::L2, Metric::LInf] {
+        for metric in Metric::ALL {
             for overlap in [
                 OverlapAction::JoinAny,
                 OverlapAction::Eliminate,
@@ -763,7 +772,7 @@ mod tests {
         let points: Vec<Point<2>> = (0..400)
             .map(|_| Point::new([next() * 6.0, next() * 6.0]))
             .collect();
-        for metric in [Metric::L2, Metric::LInf] {
+        for metric in Metric::ALL {
             for overlap in [
                 OverlapAction::JoinAny,
                 OverlapAction::Eliminate,
@@ -793,20 +802,78 @@ mod tests {
     }
 
     #[test]
-    fn l2_false_positive_is_rejected() {
+    fn conservative_metric_false_positive_is_rejected() {
         // Figure 7b: the corner of the ε-All rectangle passes the rectangle
-        // filter but is not within L2 ε of the existing member.
+        // filter but is not within ε of the existing member under the
+        // conservative metrics (L1 ball is the diamond, L2 ball the disc).
         let eps = 1.0;
         let a = Point::new([0.0, 0.0]);
-        let corner = Point::new([0.95, 0.95]); // L∞ 0.95 ≤ 1, L2 ≈ 1.34 > 1
+        let corner = Point::new([0.95, 0.95]); // L∞ 0.95 ≤ 1, L2 ≈ 1.34, L1 = 1.9
         for algo in ALGOS {
-            let l2 = sgb_all(&[a, corner], &SgbAllConfig::new(eps).algorithm(algo));
-            assert_eq!(l2.num_groups(), 2, "{algo:?} must split under L2");
+            for metric in [Metric::L1, Metric::L2] {
+                let out = sgb_all(
+                    &[a, corner],
+                    &SgbAllConfig::new(eps).metric(metric).algorithm(algo),
+                );
+                assert_eq!(out.num_groups(), 2, "{algo:?} must split under {metric}");
+            }
             let linf = sgb_all(
                 &[a, corner],
                 &SgbAllConfig::new(eps).metric(Metric::LInf).algorithm(algo),
             );
             assert_eq!(linf.num_groups(), 1, "{algo:?} must merge under L∞");
+        }
+    }
+
+    #[test]
+    fn l1_separates_what_l2_accepts() {
+        // Between the diamond and the disc: Δ = (0.7, 0.6) has δ2 ≈ 0.92 ≤ 1
+        // but δ1 = 1.3 > 1, so L1 must split a pair L2 groups.
+        let a = Point::new([0.0, 0.0]);
+        let b = Point::new([0.7, 0.6]);
+        for algo in ALGOS {
+            let l2 = sgb_all(
+                &[a, b],
+                &SgbAllConfig::new(1.0).metric(Metric::L2).algorithm(algo),
+            );
+            assert_eq!(l2.num_groups(), 1, "{algo:?}");
+            let l1 = sgb_all(
+                &[a, b],
+                &SgbAllConfig::new(1.0).metric(Metric::L1).algorithm(algo),
+            );
+            assert_eq!(l1.num_groups(), 2, "{algo:?}");
+        }
+    }
+
+    #[test]
+    fn l1_hull_refinement_agrees_with_member_scan() {
+        // Force the hull path (threshold 1) and the scan path (threshold
+        // MAX) under L1: identical output on a dense cloud.
+        let mut state: u64 = 21;
+        let mut next = || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) as f64) / (u32::MAX as f64)
+        };
+        let points: Vec<Point<2>> = (0..250)
+            .map(|_| Point::new([next() * 4.0, next() * 4.0]))
+            .collect();
+        for overlap in [
+            OverlapAction::JoinAny,
+            OverlapAction::Eliminate,
+            OverlapAction::FormNewGroup,
+        ] {
+            let cfg = |hull_threshold: usize| {
+                SgbAllConfig::new(0.9)
+                    .metric(Metric::L1)
+                    .overlap(overlap)
+                    .hull_threshold(hull_threshold)
+                    .seed(11)
+            };
+            let hull = sgb_all(&points, &cfg(1));
+            let scan = sgb_all(&points, &cfg(usize::MAX));
+            assert_eq!(hull, scan, "{overlap:?}");
         }
     }
 
@@ -897,7 +964,7 @@ mod tests {
             Point::new([0.3, 0.3, 2.3]),
         ];
         for algo in ALGOS {
-            for metric in [Metric::L2, Metric::LInf] {
+            for metric in Metric::ALL {
                 let cfg = SgbAllConfig::new(1.0).metric(metric).algorithm(algo);
                 let out = sgb_all(&points, &cfg);
                 assert_eq!(out.sorted_sizes(), vec![2, 2], "{algo:?} {metric:?}");

@@ -7,15 +7,15 @@
 //!
 //! 1. `FindCandidateGroups` (Procedure 8) finds the groups containing a
 //!    point within ε of the new point — either by scanning all previous
-//!    points (`AllPairs`) or with a window query on an on-the-fly R-tree
-//!    over the points (`Indexed`), followed by an exact distance check for
-//!    `L2` (`VerifyPoints`);
+//!    points (`AllPairs`) or with a metric-aware range query on an
+//!    on-the-fly R-tree over the points (`Indexed`), followed by an exact
+//!    distance check with the canonical predicate (`VerifyPoints`);
 //! 2. `ProcessGroupingANY` (Procedure 9) creates a group, joins the single
 //!    candidate, or merges all candidates via Union-Find
 //!    (`MergeGroupsInsert`).
 
 use sgb_dsu::DisjointSet;
-use sgb_geom::{Point, Rect};
+use sgb_geom::Point;
 use sgb_spatial::RTree;
 
 use crate::{AnyAlgorithm, Grouping, RecordId, SgbAnyConfig};
@@ -102,16 +102,17 @@ impl<const D: usize> SgbAny<D> {
                 }
             }
             Some(ix) => {
-                // Window query with the (ulp-dilated) ε-rectangle of `p`,
-                // then verify every hit with the canonical predicate —
-                // `VerifyPoints` of Procedure 8. The dilation makes the
-                // window a guaranteed superset of the floating-point
-                // predicate, so this path agrees with All-Pairs exactly,
-                // including on distances that tie with ε.
-                let window = Rect::centered_dilated(p, eps);
+                // Metric-aware range query pruned with the metric's own
+                // ball (diamond/disc/square) instead of its enclosing
+                // rectangle, then verify every hit with the canonical
+                // predicate — `VerifyPoints` of Procedure 8. The query's
+                // relaxed threshold makes the visited set a guaranteed
+                // superset of the floating-point predicate, so this path
+                // agrees with All-Pairs exactly, including on distances
+                // that tie with ε.
                 let points = &self.points;
                 let neighbours = &mut self.neighbours;
-                ix.query(&window, |_, &j| {
+                ix.query_within(&p, eps, metric, |_, &j| {
                     if metric.within(&p, &points[j], eps) {
                         neighbours.push(j);
                     }
@@ -211,7 +212,7 @@ mod tests {
             [7.5, 4.0], // a4
             [4.5, 5.5], // a5
         ]);
-        for metric in [Metric::L2, Metric::LInf] {
+        for metric in Metric::ALL {
             let out = sgb_any(&points, &SgbAnyConfig::new(3.0).metric(metric));
             assert_eq!(out.sizes(), vec![5], "metric {metric:?}");
         }
@@ -246,9 +247,10 @@ mod tests {
     }
 
     #[test]
-    fn l2_verification_rejects_window_corners() {
+    fn verification_rejects_window_corners_for_conservative_metrics() {
         // Two points at the corner of each other's ε-window: L∞ groups
-        // them, L2 must not (VerifyPoints, Procedure 8 line 4).
+        // them; L2 (δ ≈ 1.27) and L1 (δ = 1.8) must not (VerifyPoints,
+        // Procedure 8 line 4).
         let points = pts(&[[0.0, 0.0], [0.9, 0.9]]);
         let eps = 1.0;
         for algo in [AnyAlgorithm::AllPairs, AnyAlgorithm::Indexed] {
@@ -257,11 +259,13 @@ mod tests {
                 &SgbAnyConfig::new(eps).metric(Metric::LInf).algorithm(algo),
             );
             assert_eq!(linf.num_groups(), 1, "{algo:?}");
-            let l2 = sgb_any(
-                &points,
-                &SgbAnyConfig::new(eps).metric(Metric::L2).algorithm(algo),
-            );
-            assert_eq!(l2.num_groups(), 2, "{algo:?}");
+            for metric in [Metric::L1, Metric::L2] {
+                let out = sgb_any(
+                    &points,
+                    &SgbAnyConfig::new(eps).metric(metric).algorithm(algo),
+                );
+                assert_eq!(out.num_groups(), 2, "{algo:?} {metric}");
+            }
         }
     }
 
@@ -279,7 +283,7 @@ mod tests {
         let points: Vec<Point<2>> = (0..400)
             .map(|_| Point::new([next() * 10.0, next() * 10.0]))
             .collect();
-        for metric in [Metric::L2, Metric::LInf] {
+        for metric in Metric::ALL {
             for eps in [0.05, 0.2, 0.6] {
                 let expected = reference(&points, eps, metric).normalized();
                 for algo in [AnyAlgorithm::AllPairs, AnyAlgorithm::Indexed] {

@@ -69,7 +69,7 @@ pub enum AnyAlgorithm {
 }
 
 /// Configuration of the SGB-All operator
-/// (`GROUP BY … DISTANCE-TO-ALL [L2|LINF] WITHIN ε ON-OVERLAP …`).
+/// (`GROUP BY … DISTANCE-TO-ALL [L1|L2|LINF] WITHIN ε ON-OVERLAP …`).
 #[derive(Clone, Debug, PartialEq)]
 pub struct SgbAllConfig {
     /// Similarity threshold ε of the predicate `δ(a, b) ≤ ε`.
@@ -83,8 +83,9 @@ pub struct SgbAllConfig {
     /// Seed for the `JOIN-ANY` pseudo-random choice.
     pub seed: u64,
     /// Member count from which a group's convex hull is cached for the
-    /// `L2` refinement (Section 6.4); below it the exact check scans the
-    /// members. `usize::MAX` disables the hull entirely (ablation).
+    /// `L1`/`L2` false-positive refinement (Section 6.4); below it the
+    /// exact check scans the members. `usize::MAX` disables the hull
+    /// entirely (ablation).
     pub hull_threshold: usize,
     /// Fan-out of the on-the-fly R-tree (`Groups_IX`) used by
     /// [`AllAlgorithm::Indexed`].
@@ -150,7 +151,7 @@ impl SgbAllConfig {
 }
 
 /// Configuration of the SGB-Any operator
-/// (`GROUP BY … DISTANCE-TO-ANY [L2|LINF] WITHIN ε`).
+/// (`GROUP BY … DISTANCE-TO-ANY [L1|L2|LINF] WITHIN ε`).
 #[derive(Clone, Debug, PartialEq)]
 pub struct SgbAnyConfig {
     /// Similarity threshold ε.

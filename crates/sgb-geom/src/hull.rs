@@ -1,15 +1,21 @@
-//! 2-D convex hulls for the `L2` false-positive refinement (Section 6.4).
+//! 2-D convex hulls for the `L1`/`L2` false-positive refinement
+//! (Section 6.4).
 //!
-//! Under the `L2` metric the ε-All bounding rectangle of a group admits
-//! false positives (the grey zone of Figure 7b). The paper refines them with
-//! the *Convex Hull Test* (Procedure 6): a candidate point `p`
+//! Under a metric whose ε-ball is a proper subset of the ε-square
+//! ([`Metric::needs_refinement`] — the `L2` disc and the `L1` diamond) the
+//! ε-All bounding rectangle of a group admits false positives (the grey
+//! zone of Figure 7b). The paper refines them with the *Convex Hull Test*
+//! (Procedure 6): a candidate point `p`
 //!
 //! * inside the group's convex hull is guaranteed similar to all members
-//!   (the hull diameter of a valid group is at most ε, so every interior
-//!   point is within ε of every member);
+//!   (the hull diameter of a valid group is at most ε, and a Minkowski
+//!   distance is convex in each argument, so its maximum over the hull is
+//!   attained at a vertex — every interior point is therefore within ε of
+//!   every member);
 //! * outside the hull is similar to all members iff its distance to the
-//!   *farthest hull vertex* is at most ε (the farthest group member from any
-//!   query point is always a hull vertex).
+//!   *farthest hull vertex* is at most ε (by the same convexity argument,
+//!   the farthest group member from any query point is always a hull
+//!   vertex — true for every Minkowski norm, not just `L2`).
 
 use crate::{Metric, Point};
 
@@ -147,7 +153,9 @@ impl ConvexHull {
 
     /// Hull diameter (largest pairwise vertex distance) under `metric`, via
     /// rotating calipers for `L2` on proper hulls, falling back to the
-    /// quadratic scan for tiny/degenerate hulls and `L∞`.
+    /// quadratic scan for tiny/degenerate hulls and the polyhedral norms
+    /// (`L1`/`L∞`, whose antipodal-pair structure the calipers do not
+    /// model).
     ///
     /// The SGB-All invariant (Section 6.4) is `diameter ≤ ε`; the test
     /// suites use this to validate every output group.
@@ -157,7 +165,7 @@ impl ConvexHull {
         if n < 2 {
             return 0.0;
         }
-        if metric == Metric::LInf || n <= 3 {
+        if metric != Metric::L2 || n <= 3 {
             let mut best: f64 = 0.0;
             for i in 0..n {
                 for j in (i + 1)..n {
@@ -183,7 +191,10 @@ impl ConvexHull {
 
     /// The Convex Hull Test of Procedure 6: `true` when `p` genuinely
     /// satisfies the similarity predicate against *all* group members
-    /// (i.e. `p` is not a false positive of the rectangle filter).
+    /// (i.e. `p` is not a false positive of the rectangle filter). Valid
+    /// under every [`Metric`] whenever the member set is a legal ε-clique
+    /// (see the module docs for the convexity argument); SGB-All uses it
+    /// for the metrics whose rectangle filter is conservative (`L1`/`L2`).
     ///
     /// The farthest-vertex branch evaluates [`Metric::within`] — the same
     /// floating-point expression the member-scan path uses — so the two
@@ -358,14 +369,42 @@ mod tests {
             }
         }
         assert!((h.diameter(Metric::L2) - brute).abs() < 1e-12);
-        // L∞ diameter too.
-        let mut brute_inf: f64 = 0.0;
-        for i in 0..pts.len() {
-            for j in (i + 1)..pts.len() {
-                brute_inf = brute_inf.max(pts[i].dist_linf(&pts[j]));
+        // The polyhedral norms go through the quadratic scan.
+        for metric in [Metric::L1, Metric::LInf] {
+            let mut brute: f64 = 0.0;
+            for i in 0..pts.len() {
+                for j in (i + 1)..pts.len() {
+                    brute = brute.max(metric.distance(&pts[i], &pts[j]));
+                }
+            }
+            assert!((h.diameter(metric) - brute).abs() < 1e-12, "{metric}");
+        }
+    }
+
+    #[test]
+    fn admits_equals_all_pairs_check_under_every_metric() {
+        // The convex-hull refinement must stay exact for the conservative
+        // metrics (L1/L2) — and for L∞, where SGB-All never calls it.
+        let members = [
+            p(0.0, 0.0),
+            p(0.6, 0.1),
+            p(0.3, 0.55),
+            p(0.5, 0.5),
+            p(0.1, 0.3),
+        ];
+        let h = ConvexHull::build(&members);
+        for metric in Metric::ALL {
+            let eps = 1.1;
+            // Valid clique under every metric: L1 diameter is the largest.
+            assert!(h.diameter(metric) <= eps);
+            for xi in -8..=16 {
+                for yi in -8..=16 {
+                    let q = p(xi as f64 * 0.125, yi as f64 * 0.125);
+                    let truth = members.iter().all(|m| metric.within(m, &q, eps));
+                    assert_eq!(h.admits(&q, eps, metric), truth, "{metric} probe {q:?}");
+                }
             }
         }
-        assert!((h.diameter(Metric::LInf) - brute_inf).abs() < 1e-12);
     }
 
     #[test]

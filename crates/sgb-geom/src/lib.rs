@@ -4,21 +4,25 @@
 //!
 //! The paper ("Similarity Group-by Operators for Multi-dimensional Relational
 //! Data", Tang et al.) works over a metric space `〈D, δ〉` (Definition 1)
-//! where `δ` is a Minkowski distance — either Euclidean (`L2`) or maximum
-//! (`L∞`) — and views each tuple's grouping attributes as a point in a low
-//! dimensional space (two or three dimensions).
+//! where `δ` is a Minkowski distance — Manhattan (`L1`, the grammar's
+//! `LONE`), Euclidean (`L2`) or maximum (`L∞`) — and views each tuple's
+//! grouping attributes as a point in a low dimensional space (two or three
+//! dimensions).
 //!
 //! This crate provides those building blocks:
 //!
 //! * [`Point`] — a `D`-dimensional point (const-generic over the dimension),
-//! * [`Metric`] — the `L2` / `L∞` distance functions and the similarity
-//!   predicate `ξ(δ, ε)` of Definition 2,
+//! * [`Metric`] — the `L1` / `L2` / `L∞` distance functions, the similarity
+//!   predicate `ξ(δ, ε)` of Definition 2, and the per-metric policy
+//!   ([`metric::RectFilter`]) describing how the rectangle filter relates
+//!   to each metric's ε-ball,
 //! * [`Rect`] — axis-aligned rectangles used both as group MBRs and as the
-//!   ε-All *allowed regions* of Definition 5,
+//!   ε-All *allowed regions* of Definition 5, with metric-aware
+//!   [`Rect::min_distance`] / [`Rect::max_distance`] bounds,
 //! * [`EpsAllRegion`] — the incrementally maintained ε-All bounding
 //!   rectangle of a group (Section 6.3),
 //! * [`hull`] — 2-D convex hulls used by the false-positive refinement step
-//!   for `L2` (Section 6.4).
+//!   for the conservative metrics `L1`/`L2` (Section 6.4).
 
 pub mod hull;
 pub mod metric;
@@ -26,7 +30,7 @@ pub mod point;
 pub mod rect;
 
 pub use hull::ConvexHull;
-pub use metric::Metric;
+pub use metric::{Metric, RectFilter};
 pub use point::Point;
 pub use rect::{EpsAllRegion, Rect};
 

@@ -1,29 +1,70 @@
 //! Minkowski distance functions and the similarity predicate.
+//!
+//! Besides the distance itself, [`Metric`] centralises every piece of
+//! per-metric behaviour the SGB operators need — how the ε-All rectangle
+//! filter relates to the metric's ball ([`Metric::rect_filter`]), the SQL
+//! keywords of the paper's grammar (Table 2), and a comparison-only
+//! distance surrogate for nearest-element searches
+//! ([`Metric::rank_distance`]). Adding a metric means extending the enum
+//! and the `match` arms in this file (plus [`crate::Rect::min_distance`] /
+//! [`crate::Rect::max_distance`]); the operator, index, SQL, and
+//! clustering layers are metric-generic.
+
+use std::fmt;
 
 use crate::Point;
 
 /// The distance function `δ` of the metric space (Definition 1).
 ///
-/// The paper considers two Minkowski distances (Section 3):
+/// Three Minkowski distances are supported (the paper's Section 3 evaluates
+/// `L2`/`L∞`; its grammar in Table 2 also names `LONE`, the Manhattan
+/// distance):
 ///
+/// * [`Metric::L1`] — the Manhattan distance
+///   `δ1(pi, pj) = Σ_y |piy − pjy|`, selected in SQL with `L1`/`LONE`;
 /// * [`Metric::L2`] — the Euclidean distance
-///   `δ2(pi, pj) = sqrt(Σ_y (piy − pjy)²)`, selected in SQL with `L2`;
+///   `δ2(pi, pj) = sqrt(Σ_y (piy − pjy)²)`, selected with `L2`/`LTWO`;
 /// * [`Metric::LInf`] — the maximum distance
-///   `δ∞(pi, pj) = max_y |piy − pjy|`, selected in SQL with `LINF`.
+///   `δ∞(pi, pj) = max_y |piy − pjy|`, selected with `LINF`.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
 pub enum Metric {
+    /// Manhattan (`L1` / taxicab) distance. Its ε-ball is a diamond
+    /// (cross-polytope), strictly inside the ε-square.
+    L1,
     /// Euclidean distance.
     #[default]
     L2,
-    /// Maximum (Chebyshev / `L∞`) distance.
+    /// Maximum (Chebyshev / `L∞`) distance. Its ε-ball is the ε-square
+    /// itself.
     LInf,
 }
 
+/// How the axis-aligned ε-All rectangle filter of Definition 5 relates to a
+/// metric's ε-ball — the per-metric policy driving the SGB-All refinement
+/// step (Sections 6.3–6.4).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum RectFilter {
+    /// The rectangle **is** the intersection of the members' ε-balls:
+    /// membership of the allowed region is an exact similarity test
+    /// (`L∞`, Section 6.3).
+    Exact,
+    /// The rectangle strictly contains the intersection of the members'
+    /// ε-balls: a point inside it may still be a false positive and needs
+    /// refinement by the convex-hull test or a member scan (`L1`/`L2`,
+    /// Section 6.4 — the `L1` diamond and the `L2` disc are both proper
+    /// subsets of their bounding square).
+    Conservative,
+}
+
 impl Metric {
+    /// Every supported metric, for sweeps in tests and benchmarks.
+    pub const ALL: [Metric; 3] = [Metric::L1, Metric::L2, Metric::LInf];
+
     /// The distance `δ(a, b)` under this metric.
     #[inline]
     pub fn distance<const D: usize>(&self, a: &Point<D>, b: &Point<D>) -> f64 {
         match self {
+            Metric::L1 => a.dist_l1(b),
             Metric::L2 => a.dist_l2(b),
             Metric::LInf => a.dist_linf(b),
         }
@@ -37,28 +78,79 @@ impl Metric {
     #[inline]
     pub fn within<const D: usize>(&self, a: &Point<D>, b: &Point<D>, eps: f64) -> bool {
         match self {
+            Metric::L1 => a.dist_l1(b) <= eps,
             Metric::L2 => a.dist_sq(b) <= eps * eps,
             Metric::LInf => a.dist_linf(b) <= eps,
         }
     }
 
-    /// The SQL keyword for this metric in the paper's grammar
-    /// (`DISTANCE-TO-ALL [L2 | LINF]`).
+    /// A monotone surrogate of [`distance`](Self::distance) for
+    /// nearest-element comparisons: cheaper to compute but ordered
+    /// identically (`rank_distance(a,b) < rank_distance(a,c)` ⇔
+    /// `distance(a,b) < distance(a,c)`). For `L2` this is the squared
+    /// distance (no square root); for `L1`/`L∞` the distance itself.
+    ///
+    /// Not a distance — never compare it against ε directly.
+    #[inline]
+    pub fn rank_distance<const D: usize>(&self, a: &Point<D>, b: &Point<D>) -> f64 {
+        match self {
+            Metric::L1 => a.dist_l1(b),
+            Metric::L2 => a.dist_sq(b),
+            Metric::LInf => a.dist_linf(b),
+        }
+    }
+
+    /// How the ε-All allowed-rectangle filter relates to this metric's
+    /// ball: [`RectFilter::Exact`] for `L∞`, [`RectFilter::Conservative`]
+    /// for `L1`/`L2`.
+    #[inline]
+    pub fn rect_filter(&self) -> RectFilter {
+        match self {
+            Metric::LInf => RectFilter::Exact,
+            Metric::L1 | Metric::L2 => RectFilter::Conservative,
+        }
+    }
+
+    /// `true` when a hit of the rectangle filter still needs the exact
+    /// refinement (convex-hull test or member scan) — shorthand for
+    /// `rect_filter() == RectFilter::Conservative`.
+    #[inline]
+    pub fn needs_refinement(&self) -> bool {
+        self.rect_filter() == RectFilter::Conservative
+    }
+
+    /// The canonical SQL keyword for this metric in the paper's grammar
+    /// (`DISTANCE-TO-ALL [L1 | L2 | LINF]`).
     pub fn sql_keyword(&self) -> &'static str {
         match self {
+            Metric::L1 => "L1",
             Metric::L2 => "L2",
             Metric::LInf => "LINF",
         }
     }
 
+    /// All keyword spellings accepted by
+    /// [`from_sql_keyword`](Self::from_sql_keyword), for building parser
+    /// error messages.
+    pub const SQL_KEYWORDS: &'static [&'static str] =
+        &["L1", "LONE", "L2", "LTWO", "LINF", "L_INF", "LINFINITY"];
+
     /// Parses the SQL keyword (case-insensitive). Accepts the paper's
-    /// prose variants `lone`/`ltwo` (Table 2) as well.
+    /// prose variants `lone`/`ltwo` (Table 2) as well; `lone` is the
+    /// Manhattan metric (it does **not** alias `L∞`).
     pub fn from_sql_keyword(word: &str) -> Option<Self> {
         match word.to_ascii_uppercase().as_str() {
+            "L1" | "LONE" => Some(Metric::L1),
             "L2" | "LTWO" => Some(Metric::L2),
-            "LINF" | "LONE" | "L_INF" | "LINFINITY" => Some(Metric::LInf),
+            "LINF" | "L_INF" | "LINFINITY" => Some(Metric::LInf),
             _ => None,
         }
+    }
+}
+
+impl fmt::Display for Metric {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.sql_keyword())
     }
 }
 
@@ -70,6 +162,7 @@ mod tests {
     fn distance_dispatch() {
         let a = Point::new([0.0, 0.0]);
         let b = Point::new([3.0, 4.0]);
+        assert_eq!(Metric::L1.distance(&a, &b), 7.0);
         assert_eq!(Metric::L2.distance(&a, &b), 5.0);
         assert_eq!(Metric::LInf.distance(&a, &b), 4.0);
     }
@@ -79,10 +172,10 @@ mod tests {
         // Definition 2 uses δ(pi, pj) ≤ ε, i.e. the boundary is similar.
         let a = Point::new([0.0, 0.0]);
         let b = Point::new([3.0, 0.0]);
-        assert!(Metric::L2.within(&a, &b, 3.0));
-        assert!(Metric::LInf.within(&a, &b, 3.0));
-        assert!(!Metric::L2.within(&a, &b, 2.999));
-        assert!(!Metric::LInf.within(&a, &b, 2.999));
+        for metric in Metric::ALL {
+            assert!(metric.within(&a, &b, 3.0), "{metric}");
+            assert!(!metric.within(&a, &b, 2.999), "{metric}");
+        }
     }
 
     #[test]
@@ -104,24 +197,87 @@ mod tests {
 
     #[test]
     fn sql_keyword_round_trip() {
+        assert_eq!(Metric::from_sql_keyword("l1"), Some(Metric::L1));
+        assert_eq!(Metric::from_sql_keyword("lone"), Some(Metric::L1));
         assert_eq!(Metric::from_sql_keyword("l2"), Some(Metric::L2));
-        assert_eq!(Metric::from_sql_keyword("LINF"), Some(Metric::LInf));
-        assert_eq!(Metric::from_sql_keyword("lone"), Some(Metric::LInf));
         assert_eq!(Metric::from_sql_keyword("ltwo"), Some(Metric::L2));
+        assert_eq!(Metric::from_sql_keyword("LINF"), Some(Metric::LInf));
+        assert_eq!(Metric::from_sql_keyword("LInfinity"), Some(Metric::LInf));
         assert_eq!(Metric::from_sql_keyword("cosine"), None);
-        assert_eq!(Metric::L2.sql_keyword(), "L2");
-        assert_eq!(Metric::LInf.sql_keyword(), "LINF");
+        for metric in Metric::ALL {
+            assert_eq!(Metric::from_sql_keyword(metric.sql_keyword()), Some(metric));
+            assert!(Metric::SQL_KEYWORDS.contains(&metric.sql_keyword()));
+        }
+        for kw in Metric::SQL_KEYWORDS {
+            assert!(Metric::from_sql_keyword(kw).is_some(), "{kw}");
+        }
     }
 
     #[test]
-    fn within_matches_distance_for_both_metrics() {
+    fn lone_is_manhattan_not_linf() {
+        // Regression: LONE used to silently alias L∞; Table 2 names the
+        // Manhattan metric.
+        let a = Point::new([0.0, 0.0]);
+        let b = Point::new([0.6, 0.6]);
+        let lone = Metric::from_sql_keyword("LONE").unwrap();
+        assert!(!lone.within(&a, &b, 1.0)); // δ1 = 1.2 > 1
+        assert!(Metric::LInf.within(&a, &b, 1.0)); // δ∞ = 0.6 ≤ 1
+    }
+
+    #[test]
+    fn within_matches_distance_for_all_metrics() {
         let a = Point::new([1.0, -2.0, 0.5]);
         let b = Point::new([4.0, 2.0, -1.0]);
-        for metric in [Metric::L2, Metric::LInf] {
+        for metric in Metric::ALL {
             let d = metric.distance(&a, &b);
             assert!(metric.within(&a, &b, d));
             assert!(metric.within(&a, &b, d + 1e-9));
             assert!(!metric.within(&a, &b, d - 1e-9));
         }
+    }
+
+    #[test]
+    fn rect_filter_policy() {
+        assert_eq!(Metric::LInf.rect_filter(), RectFilter::Exact);
+        assert_eq!(Metric::L1.rect_filter(), RectFilter::Conservative);
+        assert_eq!(Metric::L2.rect_filter(), RectFilter::Conservative);
+        assert!(!Metric::LInf.needs_refinement());
+        assert!(Metric::L1.needs_refinement());
+        assert!(Metric::L2.needs_refinement());
+    }
+
+    #[test]
+    fn rank_distance_orders_like_distance() {
+        let q = Point::new([0.3, -0.7]);
+        let others = [
+            Point::new([1.0, 1.0]),
+            Point::new([-2.0, 0.1]),
+            Point::new([0.5, -0.5]),
+            Point::new([3.0, 3.0]),
+        ];
+        for metric in Metric::ALL {
+            let mut by_rank: Vec<usize> = (0..others.len()).collect();
+            by_rank.sort_by(|&i, &j| {
+                metric
+                    .rank_distance(&q, &others[i])
+                    .partial_cmp(&metric.rank_distance(&q, &others[j]))
+                    .unwrap()
+            });
+            let mut by_dist: Vec<usize> = (0..others.len()).collect();
+            by_dist.sort_by(|&i, &j| {
+                metric
+                    .distance(&q, &others[i])
+                    .partial_cmp(&metric.distance(&q, &others[j]))
+                    .unwrap()
+            });
+            assert_eq!(by_rank, by_dist, "{metric}");
+        }
+    }
+
+    #[test]
+    fn display_prints_sql_keyword() {
+        assert_eq!(Metric::L1.to_string(), "L1");
+        assert_eq!(Metric::L2.to_string(), "L2");
+        assert_eq!(Metric::LInf.to_string(), "LINF");
     }
 }

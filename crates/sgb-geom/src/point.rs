@@ -94,11 +94,9 @@ impl<const D: usize> Point<D> {
         self.dist_sq(other).sqrt()
     }
 
-    /// Manhattan (`L1`) distance to `other`.
-    ///
-    /// Not yet selectable through [`crate::Metric`] (the paper evaluates
-    /// `L2` and `L∞`), but exposed so callers and tests can check the
-    /// Minkowski-norm ordering `δ∞ ≤ δ2 ≤ δ1`.
+    /// Manhattan (`L1`) distance to `other` — the norm behind
+    /// [`crate::Metric::L1`]. The Minkowski-norm ordering is
+    /// `δ∞ ≤ δ2 ≤ δ1 ≤ D·δ∞`.
     #[inline]
     pub fn dist_l1(&self, other: &Self) -> f64 {
         let mut acc = 0.0;

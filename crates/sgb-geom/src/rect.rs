@@ -36,9 +36,9 @@ impl<const D: usize> Rect<D> {
     /// The side-`2ε` rectangle centred at `p` — the ε-rectangle used for
     /// window queries (`CreateBoundingRectangle(pi, ε)` in Procedures 5/8).
     ///
-    /// Under `L∞` it is exactly the ε-ball around `p`; under `L2` it is the
-    /// tightest axis-aligned superset of the ε-ball, making it a conservative
-    /// filter (Section 6.4).
+    /// Under `L∞` it is exactly the ε-ball around `p`; under `L1`/`L2` it
+    /// is the tightest axis-aligned superset of the ε-ball (diamond/disc),
+    /// making it a conservative filter (Section 6.4).
     #[inline]
     pub fn centered(p: Point<D>, eps: f64) -> Self {
         let mut lo = p;
@@ -46,28 +46,6 @@ impl<const D: usize> Rect<D> {
         for d in 0..D {
             lo[d] -= eps;
             hi[d] += eps;
-        }
-        Self { lo, hi }
-    }
-
-    /// Like [`centered`](Self::centered) but dilated by a few units in the
-    /// last place per dimension, guaranteeing the window covers **every**
-    /// point the floating-point similarity predicate `fl(|p−q|) ≤ ε`
-    /// accepts, regardless of rounding in `p ± ε`. Index-based algorithms
-    /// use this so a window query is a true superset of the predicate and
-    /// hits can be verified with the canonical [`Metric::within`] —
-    /// otherwise boundary-tied distances (exactly ε up to rounding) could
-    /// be classified differently by indexed and scan-based algorithms.
-    #[inline]
-    pub fn centered_dilated(p: Point<D>, eps: f64) -> Self {
-        let mut lo = p;
-        let mut hi = p;
-        for d in 0..D {
-            // Error bound: forming p ± ε and the predicate's |p − q| each
-            // round once; 4 ulps of the operand magnitude dominates both.
-            let pad = eps + 4.0 * f64::EPSILON * (p[d].abs() + eps);
-            lo[d] -= pad;
-            hi[d] += pad;
         }
         Self { lo, hi }
     }
@@ -202,8 +180,44 @@ impl<const D: usize> Rect<D> {
     }
 
     /// Minimum distance from `p` to any point of the rectangle under
-    /// `metric` (zero when `p` is inside). Used by kNN search.
+    /// `metric` (zero when `p` is inside). Used by kNN search and the
+    /// metric-aware R-tree range query.
+    ///
+    /// Per-dimension gaps are single roundings of the exact clamp
+    /// distances, so for any `q` inside the rectangle the computed value
+    /// never exceeds the floating-point distance `δ(p, q)` — the property
+    /// the R-tree pruning relies on to stay a superset of the similarity
+    /// predicate.
     pub fn min_distance(&self, p: &Point<D>, metric: Metric) -> f64 {
+        Self::combine_gaps(&self.min_gaps(p), metric)
+    }
+
+    /// Like [`min_distance`](Self::min_distance) but in the comparison-only
+    /// rank space of [`Metric::rank_distance`] (squared for `L2`, so range
+    /// pruning pays no square root per node). Compare it only against other
+    /// rank values under the same metric.
+    pub fn min_rank_distance(&self, p: &Point<D>, metric: Metric) -> f64 {
+        Self::combine_gaps_rank(&self.min_gaps(p), metric)
+    }
+
+    /// Maximum distance from `p` to any point of the rectangle under
+    /// `metric` — attained at the corner farthest from `p` per dimension.
+    /// When `max_distance(p) ≤ ε`, *every* point of the rectangle is within
+    /// ε of `p` (the all-inside fast path of the R-tree range query).
+    /// Meaningless for empty rectangles.
+    pub fn max_distance(&self, p: &Point<D>, metric: Metric) -> f64 {
+        Self::combine_gaps(&self.max_gaps(p), metric)
+    }
+
+    /// Like [`max_distance`](Self::max_distance) but in the rank space of
+    /// [`Metric::rank_distance`].
+    pub fn max_rank_distance(&self, p: &Point<D>, metric: Metric) -> f64 {
+        Self::combine_gaps_rank(&self.max_gaps(p), metric)
+    }
+
+    /// Per-dimension clamp distances from `p` to the rectangle.
+    #[inline]
+    fn min_gaps(&self, p: &Point<D>) -> [f64; D] {
         let mut gaps = [0.0; D];
         for d in 0..D {
             gaps[d] = if p[d] < self.lo[d] {
@@ -214,8 +228,36 @@ impl<const D: usize> Rect<D> {
                 0.0
             };
         }
+        gaps
+    }
+
+    /// Per-dimension distances from `p` to the farther rectangle face.
+    #[inline]
+    fn max_gaps(&self, p: &Point<D>) -> [f64; D] {
+        let mut gaps = [0.0; D];
+        for d in 0..D {
+            gaps[d] = (p[d] - self.lo[d]).abs().max((self.hi[d] - p[d]).abs());
+        }
+        gaps
+    }
+
+    /// Folds per-dimension coordinate gaps into a distance under `metric`.
+    #[inline]
+    fn combine_gaps(gaps: &[f64; D], metric: Metric) -> f64 {
         match metric {
+            Metric::L1 => gaps.iter().sum(),
             Metric::L2 => gaps.iter().map(|g| g * g).sum::<f64>().sqrt(),
+            Metric::LInf => gaps.iter().cloned().fold(0.0, f64::max),
+        }
+    }
+
+    /// Folds gaps into the rank space of [`Metric::rank_distance`]: same
+    /// ordering as [`combine_gaps`](Self::combine_gaps), no square root.
+    #[inline]
+    fn combine_gaps_rank(gaps: &[f64; D], metric: Metric) -> f64 {
+        match metric {
+            Metric::L1 => gaps.iter().sum(),
+            Metric::L2 => gaps.iter().map(|g| g * g).sum::<f64>(),
             Metric::LInf => gaps.iter().cloned().fold(0.0, f64::max),
         }
     }
@@ -231,9 +273,12 @@ impl<const D: usize> Rect<D> {
 ///
 /// * Under `L∞`, membership of the region is an **exact** test: a point
 ///   inside `A` is within ε of all members (Section 6.3).
-/// * Under `L2`, `A` is a **conservative filter**: a point outside `A`
-///   cannot be within ε of all members, a point inside might be a false
-///   positive, refined by the convex-hull test (Section 6.4).
+/// * Under `L1`/`L2`, `A` is a **conservative filter** (the ε-ball — a
+///   diamond for `L1`, a disc for `L2` — is a proper subset of the
+///   ε-square): a point outside `A` cannot be within ε of all members, a
+///   point inside might be a false positive, refined by the convex-hull
+///   test or a member scan (Section 6.4). [`Metric::rect_filter`] names
+///   this per-metric policy.
 ///
 /// The structure also tracks the member MBR, used for
 /// `OverlapRectangleTest` and for indexing groups in the on-the-fly R-tree.
@@ -344,8 +389,8 @@ impl<const D: usize> EpsAllRegion<D> {
     }
 
     /// `PointInRectangleTest` (Procedure 4, line 4): `true` when `p` lies in
-    /// the allowed region. Exact under `L∞`; under `L2` a `true` still needs
-    /// the convex-hull refinement.
+    /// the allowed region. Exact under `L∞`; under `L1`/`L2` a `true` still
+    /// needs the convex-hull (or member-scan) refinement.
     #[inline]
     pub fn point_in_region(&self, p: &Point<D>) -> bool {
         self.members > 0 && self.allowed.contains_point(p)
@@ -452,6 +497,46 @@ mod tests {
             (9.0f64 + 16.0).sqrt()
         );
         assert_eq!(a.min_distance(&Point::new([5.0, 6.0]), Metric::LInf), 4.0);
+        assert_eq!(a.min_distance(&Point::new([5.0, 6.0]), Metric::L1), 7.0);
+        assert_eq!(a.min_distance(&Point::new([1.0, 1.0]), Metric::L1), 0.0);
+    }
+
+    #[test]
+    fn min_and_max_distance_bracket_every_rect_point() {
+        let a = r([-1.0, 0.5], [2.0, 3.0]);
+        let probes = [
+            Point::new([0.0, 1.0]), // inside
+            Point::new([4.0, 4.0]), // outside both dims
+            Point::new([0.5, -2.0]),
+            Point::new([-3.0, 1.5]),
+        ];
+        for metric in Metric::ALL {
+            for q in &probes {
+                let lo = a.min_distance(q, metric);
+                let hi = a.max_distance(q, metric);
+                assert!(lo <= hi, "{metric}");
+                // Sample rectangle points and check the bracket.
+                for ti in 0..=4 {
+                    for tj in 0..=4 {
+                        let p =
+                            Point::new([-1.0 + 3.0 * ti as f64 / 4.0, 0.5 + 2.5 * tj as f64 / 4.0]);
+                        let d = metric.distance(&p, q);
+                        assert!(d >= lo - 1e-12, "{metric} {q:?} {p:?}");
+                        assert!(d <= hi + 1e-12, "{metric} {q:?} {p:?}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn max_distance_is_attained_at_a_corner() {
+        let a = r([0.0, 0.0], [2.0, 2.0]);
+        let q = Point::new([-1.0, 0.5]);
+        // Farthest corner from q is (2, 2).
+        assert_eq!(a.max_distance(&q, Metric::L1), 3.0 + 1.5);
+        assert_eq!(a.max_distance(&q, Metric::LInf), 3.0);
+        assert_eq!(a.max_distance(&q, Metric::L2), (9.0f64 + 2.25).sqrt());
     }
 
     #[test]
@@ -556,28 +641,6 @@ mod tests {
         assert!(reg.may_overlap(&Point::new([3.0, 0.0]))); // within ε of MBR
         assert!(!reg.may_overlap(&Point::new([3.1, 0.0])));
         assert!(reg.may_overlap(&Point::new([1.0, 0.9])));
-    }
-
-    #[test]
-    fn centered_dilated_covers_predicate_boundary() {
-        // Points at floating-point distance exactly ε must fall inside the
-        // dilated window regardless of the rounding of p ± ε.
-        let eps = 0.08;
-        for k in 0..50 {
-            let base = 880.0 + k as f64 * 11.17;
-            let p = Point::new([base / 11000.0, 0.0]);
-            let q = Point::new([(base - 880.0) / 11000.0, 0.0]);
-            if Metric::LInf.within(&p, &q, eps) {
-                let w = Rect::centered_dilated(p, eps);
-                assert!(w.contains_point(&q), "k={k}");
-            }
-        }
-        // And it stays a tight superset of the plain window.
-        let p = Point::new([3.0, -2.0]);
-        let plain = Rect::centered(p, 0.5);
-        let dilated = Rect::centered_dilated(p, 0.5);
-        assert!(dilated.contains_rect(&plain));
-        assert!(dilated.volume() < plain.volume() * 1.0001);
     }
 
     #[test]

@@ -1,0 +1,132 @@
+//! Property tests of the metric layer: axioms, the Minkowski-norm
+//! sandwich, rectangle distance bounds, and the convex-hull refinement
+//! under every metric.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use sgb_geom::{ConvexHull, Metric, Point, Rect, RectFilter};
+
+fn arb_point3() -> impl Strategy<Value = Point<3>> {
+    (-50.0f64..50.0, -50.0f64..50.0, -50.0f64..50.0).prop_map(|(x, y, z)| Point::new([x, y, z]))
+}
+
+fn arb_point2() -> impl Strategy<Value = Point<2>> {
+    (0.0f64..4.0, 0.0f64..4.0).prop_map(|(x, y)| Point::new([x, y]))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Non-negativity, identity of indiscernibles (for distinct inputs a
+    /// positive distance), symmetry, triangle inequality — in 3-D.
+    #[test]
+    fn metric_axioms_3d(a in arb_point3(), b in arb_point3(), c in arb_point3()) {
+        for metric in Metric::ALL {
+            let dab = metric.distance(&a, &b);
+            prop_assert!(dab >= 0.0);
+            prop_assert_eq!(metric.distance(&a, &a), 0.0);
+            if a != b {
+                prop_assert!(dab > 0.0, "{}: distinct points at distance 0", metric);
+            }
+            prop_assert_eq!(dab, metric.distance(&b, &a));
+            prop_assert!(
+                dab <= metric.distance(&a, &c) + metric.distance(&c, &b) + 1e-8,
+                "{}: triangle inequality violated", metric
+            );
+        }
+    }
+
+    /// `δ∞ ≤ δ2 ≤ δ1 ≤ D·δ∞` with `D = 3`.
+    #[test]
+    fn norm_sandwich_3d(a in arb_point3(), b in arb_point3()) {
+        let l1 = a.dist_l1(&b);
+        let l2 = a.dist_l2(&b);
+        let linf = a.dist_linf(&b);
+        prop_assert!(linf <= l2 + 1e-9);
+        prop_assert!(l2 <= l1 + 1e-9);
+        prop_assert!(l1 <= 3.0 * linf + 1e-6);
+    }
+
+    /// `within` agrees with `distance` at and around the threshold, and
+    /// `rank_distance` induces the same order as `distance`.
+    #[test]
+    fn predicate_and_rank_consistency(
+        a in arb_point3(),
+        b in arb_point3(),
+        c in arb_point3(),
+        eps in 0.0f64..200.0,
+    ) {
+        for metric in Metric::ALL {
+            // Away from the few-ulp boundary band (where the L2 predicate's
+            // squared comparison may legitimately round differently) the
+            // predicate must agree with the distance.
+            let d = metric.distance(&a, &b);
+            if d <= eps * (1.0 - 1e-12) {
+                prop_assert!(metric.within(&a, &b, eps), "{}", metric);
+            }
+            if d > eps * (1.0 + 1e-12) {
+                prop_assert!(!metric.within(&a, &b, eps), "{}", metric);
+            }
+            let d_order = metric.distance(&a, &b) < metric.distance(&a, &c);
+            let r_order = metric.rank_distance(&a, &b) < metric.rank_distance(&a, &c);
+            prop_assert_eq!(d_order, r_order, "{}", metric);
+        }
+    }
+
+    /// The conservative-filter policy is truthful: the ε-ball of a metric
+    /// is contained in the ε-square, with equality exactly for L∞.
+    #[test]
+    fn rect_filter_policy_is_truthful(p in arb_point3(), q in arb_point3(), eps in 0.1f64..50.0) {
+        let square = Rect::centered(p, eps);
+        for metric in Metric::ALL {
+            if metric.within(&p, &q, eps) {
+                prop_assert!(square.contains_point(&q), "{}: ball must fit the square", metric);
+            }
+            if metric.rect_filter() == RectFilter::Exact && square.contains_point(&q) {
+                prop_assert!(metric.within(&p, &q, eps), "L∞ square is the ball");
+            }
+        }
+    }
+
+    /// `min_distance`/`max_distance` bracket the distance to every point of
+    /// the rectangle, under every metric.
+    #[test]
+    fn rect_distance_bounds(
+        q in arb_point3(),
+        lo in arb_point3(),
+        side in (0.0f64..20.0, 0.0f64..20.0, 0.0f64..20.0),
+        t in (0.0f64..1.0, 0.0f64..1.0, 0.0f64..1.0),
+    ) {
+        let hi = Point::new([lo[0] + side.0, lo[1] + side.1, lo[2] + side.2]);
+        let rect = Rect::new(lo, hi);
+        // A point inside the rectangle, parameterised by t.
+        let inner = Point::new([
+            lo[0] + side.0 * t.0,
+            lo[1] + side.1 * t.1,
+            lo[2] + side.2 * t.2,
+        ]);
+        for metric in Metric::ALL {
+            let d = metric.distance(&q, &inner);
+            prop_assert!(rect.min_distance(&q, metric) <= d + 1e-9, "{}", metric);
+            prop_assert!(rect.max_distance(&q, metric) >= d - 1e-9, "{}", metric);
+        }
+    }
+
+    /// The convex-hull refinement (Procedure 6) is exact under every
+    /// metric whenever the member set is a legal ε-clique.
+    #[test]
+    fn hull_admits_exact_under_every_metric(
+        members in vec(arb_point2(), 1..40),
+        probe in arb_point2(),
+        eps in 0.1f64..6.0,
+    ) {
+        let hull = ConvexHull::build(&members);
+        for metric in Metric::ALL {
+            if hull.diameter(metric) <= eps {
+                let truth = members.iter().all(|m| metric.within(m, &probe, eps));
+                prop_assert_eq!(hull.admits(&probe, eps, metric), truth, "{}", metric);
+            }
+        }
+    }
+}

@@ -110,7 +110,7 @@ impl TableRef {
 pub enum GroupBy {
     /// Plain `GROUP BY e1, e2, …` — equality grouping.
     Standard(Vec<Expr>),
-    /// `GROUP BY x, y DISTANCE-TO-ALL [L2|LINF] WITHIN ε
+    /// `GROUP BY x, y DISTANCE-TO-ALL [L1|L2|LINF] WITHIN ε
     ///  ON-OVERLAP [JOIN-ANY|ELIMINATE|FORM-NEW-GROUP]`.
     SimilarityAll {
         /// The two grouping attribute expressions (the multi-dimensional
@@ -123,7 +123,7 @@ pub enum GroupBy {
         /// Overlap arbitration.
         overlap: OverlapAction,
     },
-    /// `GROUP BY x, y DISTANCE-TO-ANY [L2|LINF] WITHIN ε`.
+    /// `GROUP BY x, y DISTANCE-TO-ANY [L1|L2|LINF] WITHIN ε`.
     SimilarityAny {
         /// The grouping attribute expressions.
         exprs: Vec<Expr>,

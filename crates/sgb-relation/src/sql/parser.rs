@@ -26,6 +26,15 @@ const RESERVED: &[&str] = &[
     "not", "in", "asc", "desc", "distance", "within", "using", "values", "union",
 ];
 
+/// The error for a metric keyword the grammar does not know, naming every
+/// accepted spelling (Table 2's `lone`/`ltwo` included).
+fn unknown_metric_error(word: &str) -> Error {
+    Error::Parse(format!(
+        "unknown distance metric '{word}'; valid metrics: {}",
+        Metric::SQL_KEYWORDS.join(", ")
+    ))
+}
+
 /// Parses one statement (query or DDL/DML).
 pub fn parse_statement(sql: &str) -> Result<Statement> {
     let mut p = Parser::new(sql)?;
@@ -367,10 +376,17 @@ impl Parser {
             )));
         }
 
-        // Optional metric before WITHIN (Section 4 syntax).
+        // Optional metric before WITHIN (Section 4 syntax). Any identifier
+        // other than WITHIN in this position must be a valid metric
+        // keyword: unknown names are a hard error listing the accepted
+        // spellings (silently falling through used to turn typos — and the
+        // once mis-aliased LONE — into the wrong metric).
         let mut metric = None;
         if let Some(Token::Ident(s)) = self.peek() {
-            if let Some(m) = Metric::from_sql_keyword(s) {
+            if !s.eq_ignore_ascii_case("within") {
+                let word = s.clone();
+                let m =
+                    Metric::from_sql_keyword(&word).ok_or_else(|| unknown_metric_error(&word))?;
                 metric = Some(m);
                 self.pos += 1;
             }
@@ -392,12 +408,10 @@ impl Parser {
             )));
         }
 
-        // Optional `USING lone|ltwo|l2|linf` (Table 2 syntax).
+        // Optional `USING lone|ltwo|l1|l2|linf` (Table 2 syntax).
         if self.eat_kw("using") {
             let word = self.expect_ident()?;
-            let m = Metric::from_sql_keyword(&word).ok_or_else(|| {
-                Error::Parse(format!("unknown distance function '{word}' after USING"))
-            })?;
+            let m = Metric::from_sql_keyword(&word).ok_or_else(|| unknown_metric_error(&word))?;
             metric = Some(m);
         }
         let metric = metric.unwrap_or(Metric::L2);
@@ -752,6 +766,59 @@ mod tests {
         assert_eq!(metric, Metric::L2);
         assert_eq!(eps, 0.2);
         assert_eq!(overlap, OverlapAction::JoinAny);
+    }
+
+    #[test]
+    fn lone_parses_as_manhattan_metric() {
+        // Regression: LONE used to silently alias L∞. Both metric
+        // positions (before WITHIN, after USING) must plan Metric::L1.
+        let s = parse_select(
+            "SELECT count(*) FROM gps GROUP BY lat, lon DISTANCE-TO-ALL LONE WITHIN 3",
+        )
+        .unwrap();
+        assert!(matches!(
+            s.group_by,
+            Some(GroupBy::SimilarityAll {
+                metric: Metric::L1,
+                ..
+            })
+        ));
+        let s = parse_select(
+            "SELECT count(*) FROM gps GROUP BY lat, lon DISTANCE-TO-ANY WITHIN 3 USING lone",
+        )
+        .unwrap();
+        assert!(matches!(
+            s.group_by,
+            Some(GroupBy::SimilarityAny {
+                metric: Metric::L1,
+                ..
+            })
+        ));
+        let s =
+            parse_select("SELECT count(*) FROM gps GROUP BY lat, lon DISTANCE-TO-ANY L1 WITHIN 3")
+                .unwrap();
+        assert!(matches!(
+            s.group_by,
+            Some(GroupBy::SimilarityAny {
+                metric: Metric::L1,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn unknown_metric_is_a_hard_error_naming_valid_keywords() {
+        for sql in [
+            "SELECT 1 FROM t GROUP BY a, b DISTANCE-TO-ALL COSINE WITHIN 1",
+            "SELECT 1 FROM t GROUP BY a, b DISTANCE-TO-ANY WITHIN 1 USING cosine",
+        ] {
+            let err = parse_select(sql).unwrap_err();
+            let msg = err.to_string();
+            assert!(msg.contains("unknown distance metric 'COSINE'") || msg.contains("'cosine'"));
+            for kw in ["L1", "LONE", "L2", "LTWO", "LINF"] {
+                assert!(msg.contains(kw), "error must name {kw}: {msg}");
+            }
+        }
     }
 
     #[test]

@@ -296,6 +296,71 @@ impl<const D: usize, T: Clone + PartialEq> RTree<D, T> {
         out
     }
 
+    /// Metric-aware range query: invokes `visit` for every stored entry
+    /// whose rectangle comes within `eps` of `center` under `metric`.
+    ///
+    /// Subtrees are pruned by [`Rect::min_distance`] under the query's own
+    /// norm, so an `L1` or `L∞` search descends only into nodes its
+    /// diamond/square ball can actually reach — strictly tighter than the
+    /// enclosing-rectangle window of [`query`](Self::query) (for `L∞` the
+    /// two coincide; for `L1` the ball covers `1/D!` of the window's
+    /// volume — half in 2-D, a sixth in 3-D).
+    ///
+    /// The threshold is relaxed by a few units in the last place so that
+    /// floating-point rounding of the mindist can never exclude an entry
+    /// the canonical predicate [`Metric::within`] accepts
+    /// (`min_rank_distance` never exceeds the predicate's own rounded
+    /// distance — see [`Rect::min_distance`] — so the pad only needs to
+    /// absorb the `L2` square/square-root asymmetry). Callers verify hits
+    /// with `Metric::within`, exactly like `VerifyPoints` of Procedure 8.
+    ///
+    /// Distances are compared in the rank space of
+    /// [`Metric::rank_distance`] (squared for `L2`), so the per-node hot
+    /// path pays no square root, and leaves whose whole MBR sits inside
+    /// the ball ([`Rect::max_rank_distance`] ≤ threshold) are visited
+    /// without per-entry checks.
+    pub fn query_within<F: FnMut(&Rect<D>, &T)>(
+        &self,
+        center: &Point<D>,
+        eps: f64,
+        metric: Metric,
+        mut visit: F,
+    ) {
+        if self.len == 0 {
+            return;
+        }
+        let relaxed = eps * (1.0 + 4.0 * f64::EPSILON);
+        let bound = match metric {
+            Metric::L2 => relaxed * relaxed,
+            _ => relaxed,
+        };
+        let mut stack = vec![self.root];
+        while let Some(id) = stack.pop() {
+            let node = &self.nodes[id];
+            if node.rect.min_rank_distance(center, metric) > bound {
+                continue;
+            }
+            match &node.kind {
+                NodeKind::Leaf(entries) => {
+                    if node.rect.max_rank_distance(center, metric) <= bound {
+                        // Whole leaf MBR inside the ball: every entry is a
+                        // hit, skip the per-entry filter.
+                        for (r, item) in entries {
+                            visit(r, item);
+                        }
+                    } else {
+                        for (r, item) in entries {
+                            if r.min_rank_distance(center, metric) <= bound {
+                                visit(r, item);
+                            }
+                        }
+                    }
+                }
+                NodeKind::Internal(children) => stack.extend_from_slice(children),
+            }
+        }
+    }
+
     /// The `k` entries nearest to `q` under `metric`, as
     /// `(distance, payload)` sorted by ascending distance. Best-first search
     /// over node MBR lower bounds.
@@ -696,6 +761,77 @@ mod tests {
             assert_eq!(hits, expected, "window {w:?}");
         }
         tree.check_invariants();
+    }
+
+    #[test]
+    fn query_within_matches_linear_scan_per_metric() {
+        let tree = grid_tree(500);
+        let queries = [
+            (pt(5.2, 4.7), 2.5),
+            (pt(0.0, 0.0), 0.0),
+            (pt(15.5, 8.0), 5.0),
+            (pt(-3.0, -3.0), 1.0), // empty result
+        ];
+        for metric in Metric::ALL {
+            for (q, eps) in queries {
+                let mut hits = Vec::new();
+                tree.query_within(&q, eps, metric, |_, &i| {
+                    // Caller-side verification, as the SGB operators do.
+                    if metric.within(&pt((i % 31) as f64, (i / 31) as f64), &q, eps) {
+                        hits.push(i);
+                    }
+                });
+                hits.sort();
+                let expected: Vec<usize> = (0..500)
+                    .filter(|i| metric.within(&pt((i % 31) as f64, (i / 31) as f64), &q, eps))
+                    .collect();
+                assert_eq!(hits, expected, "{metric} query {q:?} eps {eps}");
+            }
+        }
+    }
+
+    #[test]
+    fn query_within_is_a_superset_of_the_predicate_on_boundary_ties() {
+        // Points whose distance ties with ε up to floating-point rounding
+        // must still be visited (the caller's verify decides).
+        let mut tree: RTree<2, usize> = RTree::new();
+        let base = 880.0;
+        let points: Vec<Point<2>> = (0..60)
+            .map(|k| pt((base + k as f64 * 11.17) / 11000.0, 0.0))
+            .collect();
+        for (i, p) in points.iter().enumerate() {
+            tree.insert_point(*p, i);
+        }
+        let eps = 0.08;
+        for metric in Metric::ALL {
+            for q in &points {
+                let mut visited = vec![false; points.len()];
+                tree.query_within(q, eps, metric, |_, &i| visited[i] = true);
+                for (i, p) in points.iter().enumerate() {
+                    if metric.within(p, q, eps) {
+                        assert!(visited[i], "{metric}: predicate hit {i} not visited");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn query_within_prunes_more_than_window_for_l1() {
+        // The L1 diamond must touch fewer entries than the enclosing
+        // square window (corner entries fall outside the diamond).
+        let tree = grid_tree(500);
+        let q = pt(8.0, 8.0);
+        let eps = 4.0;
+        let mut ball = 0usize;
+        tree.query_within(&q, eps, Metric::L1, |_, _| ball += 1);
+        let window = tree.query_collect(&Rect::centered(q, eps)).len();
+        assert!(ball < window, "diamond {ball} vs square {window}");
+        // And every L1-accepted entry is among the visited ones.
+        let expected = (0..500)
+            .filter(|&i| Metric::L1.within(&pt((i % 31) as f64, (i / 31) as f64), &q, eps))
+            .count();
+        assert!(ball >= expected);
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! | crate | contents |
 //! |---|---|
 //! | [`sgb_core`] | the SGB-All / SGB-Any operators (the paper's contribution) |
-//! | [`sgb_geom`] | points, rectangles, metrics, convex hulls |
+//! | [`sgb_geom`] | points, rectangles, the `L1`/`L2`/`L∞` metrics, convex hulls |
 //! | [`sgb_spatial`] | the on-the-fly R-tree index |
 //! | [`sgb_dsu`] | Union-Find for group merging |
 //! | [`sgb_cluster`] | K-means / DBSCAN / BIRCH baselines |

@@ -15,7 +15,7 @@ fn arb_point() -> impl Strategy<Value = Point<2>> {
 }
 
 fn arb_metric() -> impl Strategy<Value = Metric> {
-    prop_oneof![Just(Metric::L2), Just(Metric::LInf)]
+    prop_oneof![Just(Metric::L1), Just(Metric::L2), Just(Metric::LInf)]
 }
 
 fn arb_overlap() -> impl Strategy<Value = OverlapAction> {
@@ -230,13 +230,89 @@ proptest! {
         let inside = region.point_in_region(&probe);
         let linf_all = members.iter().all(|m| Metric::LInf.within(m, &probe, eps));
         prop_assert_eq!(inside, linf_all, "L-inf region must be exact");
-        let l2_all = members.iter().all(|m| Metric::L2.within(m, &probe, eps));
-        if l2_all {
-            prop_assert!(inside, "L2 region must be conservative");
+        for metric in [Metric::L1, Metric::L2] {
+            let all_close = members.iter().all(|m| metric.within(m, &probe, eps));
+            if all_close {
+                prop_assert!(inside, "{} region must be conservative", metric);
+            }
         }
         // Reach region: outside it, no member is within ε.
         if !region.may_overlap(&probe) {
             prop_assert!(members.iter().all(|m| !Metric::LInf.within(m, &probe, eps)));
+        }
+    }
+
+    /// Metric axioms hold for every supported metric: non-negativity,
+    /// identity, symmetry (bit-exact), and the triangle inequality.
+    #[test]
+    fn metric_axioms(a in arb_point(), b in arb_point(), c in arb_point()) {
+        for metric in Metric::ALL {
+            let dab = metric.distance(&a, &b);
+            prop_assert!(dab >= 0.0, "{}", metric);
+            prop_assert_eq!(metric.distance(&a, &a), 0.0, "{}", metric);
+            prop_assert_eq!(dab, metric.distance(&b, &a), "{}", metric);
+            let through_c = metric.distance(&a, &c) + metric.distance(&c, &b);
+            prop_assert!(dab <= through_c + 1e-9, "{}: {dab} > {through_c}", metric);
+        }
+    }
+
+    /// The Minkowski-norm sandwich `δ∞ ≤ δ2 ≤ δ1 ≤ D·δ∞` on random points
+    /// (D = 2 here) — the inclusion chain square ⊇ disc ⊇ diamond that
+    /// makes the rectangle filter conservative for L1/L2.
+    #[test]
+    fn norm_ordering(a in arb_point(), b in arb_point()) {
+        let l1 = Metric::L1.distance(&a, &b);
+        let l2 = Metric::L2.distance(&a, &b);
+        let linf = Metric::LInf.distance(&a, &b);
+        prop_assert!(linf <= l2 + 1e-12);
+        prop_assert!(l2 <= l1 + 1e-12);
+        prop_assert!(l1 <= 2.0 * linf + 1e-9);
+    }
+
+    /// Under `Metric::L1`, every SGB-All algorithm variant matches the
+    /// all-pairs brute force and every SGB-Any variant matches the
+    /// connected components of the L1 ε-graph (acceptance criterion of the
+    /// L1 promotion: no neighbouring-norm approximation anywhere).
+    #[test]
+    fn l1_variants_match_brute_force(
+        points in vec(arb_point(), 1..100),
+        eps in 0.05f64..2.0,
+        overlap in arb_overlap(),
+    ) {
+        let reference = sgb_all(
+            &points,
+            &SgbAllConfig::new(eps)
+                .metric(Metric::L1)
+                .overlap(overlap)
+                .algorithm(AllAlgorithm::AllPairs)
+                .seed(13),
+        );
+        for algorithm in [AllAlgorithm::BoundsChecking, AllAlgorithm::Indexed] {
+            let got = sgb_all(
+                &points,
+                &SgbAllConfig::new(eps)
+                    .metric(Metric::L1)
+                    .overlap(overlap)
+                    .algorithm(algorithm)
+                    .seed(13),
+            );
+            prop_assert_eq!(&got, &reference, "{:?}", algorithm);
+        }
+        let mut dsu = DisjointSet::with_len(points.len());
+        for i in 0..points.len() {
+            for j in (i + 1)..points.len() {
+                if Metric::L1.within(&points[i], &points[j], eps) {
+                    dsu.union(i, j);
+                }
+            }
+        }
+        let components = dsu.into_groups();
+        for algorithm in [AnyAlgorithm::AllPairs, AnyAlgorithm::Indexed] {
+            let got = sgb_any(
+                &points,
+                &SgbAnyConfig::new(eps).metric(Metric::L1).algorithm(algorithm),
+            );
+            prop_assert_eq!(&got.groups, &components, "{:?}", algorithm);
         }
     }
 

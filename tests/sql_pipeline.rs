@@ -212,6 +212,100 @@ fn engine_algorithm_setting_changes_plan_not_result() {
     assert_eq!(results[0], results[1]);
 }
 
+/// A fixture on which the three Minkowski norms produce three different
+/// groupings at ε = 1: the pair distances are chosen between the diamond,
+/// the disc, and the square.
+///
+/// * `a—b`: Δ = (0.7, 0.6) → δ∞ = 0.7, δ2 ≈ 0.92, δ1 = 1.3 (edge under
+///   L∞/L2 only);
+/// * `b—c`: Δ = (0.95, 0.95) → δ∞ = 0.95, δ2 ≈ 1.34, δ1 = 1.9 (edge under
+///   L∞ only).
+fn metric_fixture_db() -> Database {
+    let mut db = Database::new();
+    db.execute("CREATE TABLE pts (x DOUBLE, y DOUBLE)").unwrap();
+    db.execute("INSERT INTO pts VALUES (0.0, 0.0), (0.7, 0.6), (1.65, -0.35)")
+        .unwrap();
+    db
+}
+
+/// Sorted per-group counts of a similarity query under `metric_kw`.
+fn group_counts(db: &Database, head: &str, metric_kw: &str, tail: &str) -> Vec<i64> {
+    let sql = format!("SELECT count(*) FROM pts GROUP BY x, y {head} {metric_kw} WITHIN 1 {tail}");
+    let out = db.query(&sql).unwrap();
+    let mut counts: Vec<i64> = out.rows.iter().map(|r| r[0].as_i64().unwrap()).collect();
+    counts.sort_unstable();
+    counts
+}
+
+#[test]
+fn three_metrics_three_groupings_distance_to_any() {
+    // Guards against silent keyword aliasing: if any two of LONE/LTWO/LINF
+    // planned the same metric, two of these groupings would coincide.
+    let db = metric_fixture_db();
+    assert_eq!(group_counts(&db, "DISTANCE-TO-ANY", "LINF", ""), vec![3]);
+    assert_eq!(group_counts(&db, "DISTANCE-TO-ANY", "LTWO", ""), vec![1, 2]);
+    assert_eq!(
+        group_counts(&db, "DISTANCE-TO-ANY", "LONE", ""),
+        vec![1, 1, 1]
+    );
+    // Canonical spellings plan identically to the Table 2 prose variants.
+    assert_eq!(
+        group_counts(&db, "DISTANCE-TO-ANY", "L1", ""),
+        group_counts(&db, "DISTANCE-TO-ANY", "LONE", "")
+    );
+    assert_eq!(
+        group_counts(&db, "DISTANCE-TO-ANY", "L2", ""),
+        group_counts(&db, "DISTANCE-TO-ANY", "LTWO", "")
+    );
+}
+
+#[test]
+fn three_metrics_three_groupings_distance_to_all() {
+    // Under ELIMINATE: L∞ forms {a,b}, then c (close to b, far from a)
+    // makes it an overlap group and b is eliminated → [1, 1]. L2 forms
+    // {a,b} and c stays an untouched singleton → [2, 1]. L1 has no edge at
+    // all → [1, 1, 1]. Three metrics, three distinct groupings.
+    let db = metric_fixture_db();
+    let tail = "ON-OVERLAP ELIMINATE";
+    assert_eq!(
+        group_counts(&db, "DISTANCE-TO-ALL", "LINF", tail),
+        vec![1, 1]
+    );
+    assert_eq!(
+        group_counts(&db, "DISTANCE-TO-ALL", "LTWO", tail),
+        vec![1, 2]
+    );
+    assert_eq!(
+        group_counts(&db, "DISTANCE-TO-ALL", "LONE", tail),
+        vec![1, 1, 1]
+    );
+}
+
+#[test]
+fn explain_prints_the_true_metric_for_lone() {
+    let db = metric_fixture_db();
+    let plan = db
+        .explain("SELECT count(*) FROM pts GROUP BY x, y DISTANCE-TO-ALL LONE WITHIN 1")
+        .unwrap();
+    assert!(plan.contains("SGB-All L1 WITHIN 1"), "plan:\n{plan}");
+    let plan = db
+        .explain("SELECT count(*) FROM pts GROUP BY x, y DISTANCE-TO-ANY WITHIN 1 USING lone")
+        .unwrap();
+    assert!(plan.contains("SGB-Any L1 WITHIN 1"), "plan:\n{plan}");
+}
+
+#[test]
+fn unknown_metric_keyword_fails_loudly_through_the_engine() {
+    let db = metric_fixture_db();
+    let err = db
+        .query("SELECT count(*) FROM pts GROUP BY x, y DISTANCE-TO-ANY MINKOWSKI3 WITHIN 1")
+        .unwrap_err();
+    let msg = err.to_string();
+    for kw in ["L1", "LONE", "L2", "LTWO", "LINF"] {
+        assert!(msg.contains(kw), "error must name {kw}: {msg}");
+    }
+}
+
 #[test]
 fn explain_shows_similarity_operator_above_join() {
     let db = small_db();
