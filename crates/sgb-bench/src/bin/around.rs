@@ -1,0 +1,92 @@
+//! SGB-Around benchmark: brute-force center scan vs the bulk-loaded center
+//! R-tree, swept over input cardinality and center count, written as JSON
+//! so the repository accumulates a perf trajectory for the operator.
+//!
+//! ```text
+//! around [--scale f] [--out path]
+//! ```
+//!
+//! By default the report is written to `BENCH_around.json` at the
+//! repository root (resolved relative to this crate's manifest) and a
+//! human-readable table goes to stderr.
+
+use std::fmt::Write as _;
+use std::process::ExitCode;
+
+use sgb_bench::experiments::around_comparison;
+
+/// Default output path: `<repo root>/BENCH_around.json`.
+fn default_out() -> String {
+    concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_around.json").to_owned()
+}
+
+fn usage() -> ExitCode {
+    eprintln!("usage: around [--scale f] [--out path]");
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = 1.0f64;
+    let mut out_path = default_out();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                let Some(v) = args.get(i + 1).and_then(|s| sgb_bench::cli::parse_scale(s)) else {
+                    return usage();
+                };
+                scale = v;
+                i += 2;
+            }
+            "--out" => {
+                let Some(p) = args.get(i + 1) else {
+                    return usage();
+                };
+                out_path = p.clone();
+                i += 2;
+            }
+            _ => return usage(),
+        }
+    }
+
+    let (radius, rows) = around_comparison(scale);
+
+    eprintln!("# SGB-Around brute vs indexed: radius = {radius}");
+    eprintln!(
+        "{:<8} {:>8} {:>8} {:<12} {:>10} {:>9} {:>9}",
+        "sweep", "x", "fixed", "algorithm", "seconds", "occupied", "outliers"
+    );
+    for r in &rows {
+        eprintln!(
+            "{:<8} {:>8} {:>8} {:<12} {:>10.4} {:>9} {:>9}",
+            r.sweep, r.x, r.fixed, r.algorithm, r.seconds, r.occupied, r.outliers
+        );
+    }
+
+    // Hand-rolled JSON: every field is a number or a fixed identifier, so
+    // no escaping is needed (no serde in the offline dependency set).
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"experiment\": \"around_comparison\",");
+    let _ = writeln!(json, "  \"radius\": {radius},");
+    let _ = writeln!(json, "  \"scale\": {scale},");
+    json.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 == rows.len() { "" } else { "," };
+        let _ = writeln!(
+            json,
+            "    {{\"sweep\": \"{}\", \"x\": {}, \"fixed\": {}, \"algorithm\": \"{}\", \
+             \"seconds\": {:.6}, \"occupied\": {}, \"outliers\": {}}}{comma}",
+            r.sweep, r.x, r.fixed, r.algorithm, r.seconds, r.occupied, r.outliers
+        );
+    }
+    json.push_str("  ]\n}\n");
+
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("failed to write {out_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("# wrote {out_path}");
+    ExitCode::SUCCESS
+}

@@ -7,9 +7,10 @@
 
 use sgb_cluster::{birch, dbscan, kmeans, BirchConfig, DbscanConfig, KMeansConfig};
 use sgb_core::{
-    sgb_all, sgb_any, AllAlgorithm, AnyAlgorithm, OverlapAction, SgbAllConfig, SgbAnyConfig,
+    sgb_all, sgb_any, sgb_around, AllAlgorithm, AnyAlgorithm, AroundAlgorithm, OverlapAction,
+    SgbAllConfig, SgbAnyConfig, SgbAroundConfig,
 };
-use sgb_datagen::{clustered_points, CheckinConfig, TpchConfig};
+use sgb_datagen::{clustered_points, clustered_points_with_centers, CheckinConfig, TpchConfig};
 use sgb_geom::{Metric, Point};
 use sgb_relation::Database;
 
@@ -532,6 +533,90 @@ pub fn metric_comparison(scale: f64) -> (usize, f64, Vec<MetricBenchRow>) {
     (n, eps, rows)
 }
 
+/// One row of the SGB-Around comparison: a sweep point timed under one
+/// algorithm.
+#[derive(Clone, Debug)]
+pub struct AroundBenchRow {
+    /// Which variable the sweep varies: `"n"` or `"centers"`.
+    pub sweep: &'static str,
+    /// The varied value (input cardinality or center count).
+    pub x: usize,
+    /// The fixed other variable (center count or input cardinality).
+    pub fixed: usize,
+    /// Algorithm label (`"BruteForce"` / `"Indexed"`).
+    pub algorithm: &'static str,
+    /// Wall-clock seconds for one run.
+    pub seconds: f64,
+    /// Centers that attracted at least one point (sanity anchor: fixed per
+    /// sweep point across algorithms).
+    pub occupied: usize,
+    /// Points beyond the radius bound (likewise fixed across algorithms).
+    pub outliers: usize,
+}
+
+/// The SGB-Around brute-vs-indexed comparison behind the `around` binary:
+/// one sweep over input cardinality at a fixed center count, one over
+/// center count at a fixed cardinality. Points come from a Gaussian
+/// mixture and the operator is seeded with the ground-truth mixture
+/// centers (the "derive centers, then regroup relationally" scenario); a
+/// radius bound keeps the outlier path hot. Returns `(radius, rows)`.
+pub fn around_comparison(scale: f64) -> (f64, Vec<AroundBenchRow>) {
+    const ALGOS: [(&str, AroundAlgorithm); 2] = [
+        ("BruteForce", AroundAlgorithm::BruteForce),
+        ("Indexed", AroundAlgorithm::Indexed),
+    ];
+    // 3σ of the mixture spread: ~1% of the mass of a 2-D Gaussian falls
+    // outside, so the outlier path stays hot without dominating.
+    let radius = 0.03;
+    let mut rows = Vec::new();
+
+    let mut run_point =
+        |sweep: &'static str, x: usize, fixed: usize, n: usize, centers_n: usize| {
+            let (points, centers) = clustered_points_with_centers::<2>(n, centers_n, 0.01, 0xA401);
+            let mut sanity = Vec::new();
+            for (name, algorithm) in ALGOS {
+                let cfg = SgbAroundConfig::new(centers.clone())
+                    .max_radius(radius)
+                    .algorithm(algorithm);
+                let (out, secs) = time(|| sgb_around(&points, &cfg));
+                sanity.push((out.occupied_centers(), out.outliers.len()));
+                eprintln!(
+                    "#   around {sweep}={x} {name}: {secs:.4}s \
+                     ({} occupied, {} outliers)",
+                    out.occupied_centers(),
+                    out.outliers.len()
+                );
+                rows.push(AroundBenchRow {
+                    sweep,
+                    x,
+                    fixed,
+                    algorithm: name,
+                    seconds: secs,
+                    occupied: out.occupied_centers(),
+                    outliers: out.outliers.len(),
+                });
+            }
+            assert!(
+                sanity.windows(2).all(|w| w[0] == w[1]),
+                "SGB-Around algorithms disagree at {sweep}={x}: {sanity:?}"
+            );
+        };
+
+    // Sweep 1: input cardinality at a fixed center count.
+    let centers_fixed = 64;
+    for base in [5_000usize, 10_000, 20_000, 40_000] {
+        let n = scaled(base, scale);
+        run_point("n", n, centers_fixed, n, centers_fixed);
+    }
+    // Sweep 2: center count at a fixed cardinality (the regime where the
+    // center R-tree pays off over the per-tuple center scan).
+    let n_fixed = scaled(20_000, scale);
+    for centers_n in [4usize, 16, 64, 256, 1024] {
+        run_point("centers", centers_n, n_fixed, n_fixed, centers_n);
+    }
+    (radius, rows)
+}
+
 /// Fits the slope of `log(seconds)` against `log(x)` — the empirical
 /// scaling exponent.
 pub fn fit_loglog_slope(rows: &[(f64, f64)]) -> f64 {
@@ -684,6 +769,25 @@ mod tests {
                     .collect();
                 assert!(counts.windows(2).all(|w| w[0] == w[1]), "{op} {metric}");
             }
+        }
+    }
+
+    #[test]
+    fn around_comparison_smoke() {
+        let (radius, rows) = around_comparison(0.01);
+        assert!(radius > 0.0);
+        // (4 cardinalities + 5 center counts) × 2 algorithms.
+        assert_eq!(rows.len(), 18);
+        for sweep in ["n", "centers"] {
+            assert!(rows.iter().any(|r| r.sweep == sweep));
+        }
+        // Occupied/outlier counts agree across algorithms per sweep point.
+        for r in &rows {
+            let twin = rows
+                .iter()
+                .find(|o| o.sweep == r.sweep && o.x == r.x && o.algorithm != r.algorithm)
+                .unwrap();
+            assert_eq!((r.occupied, r.outliers), (twin.occupied, twin.outliers));
         }
     }
 

@@ -1,0 +1,157 @@
+//! Bridge from the clustering baselines to the SGB-Around operator.
+//!
+//! The paper's experimental section contrasts standalone clustering with
+//! in-engine similarity grouping; this module implements the hybrid
+//! "derive centers, then regroup relationally" scenario: run k-means over a
+//! sample (or the full relation), then feed the learned centroids into
+//! SGB-Around as center seeds — optionally with a radius bound, which
+//! k-means itself cannot express — so the final grouping runs as a single
+//! order-independent pass inside the engine.
+
+use sgb_core::{sgb_around, AroundGrouping, SgbAroundConfig};
+use sgb_geom::Point;
+
+use crate::kmeans::{kmeans, KMeansConfig, KMeansResult};
+
+/// Output of [`kmeans_around`]: the k-means model plus the SGB-Around
+/// regrouping seeded with its centroids.
+#[derive(Clone, Debug)]
+pub struct KMeansAround<const D: usize> {
+    /// The k-means run that derived the centers.
+    pub kmeans: KMeansResult<D>,
+    /// The SGB-Around grouping around those centroids (group `c`
+    /// corresponds to centroid `c`).
+    pub around: AroundGrouping,
+}
+
+/// Builds an [`SgbAroundConfig`] seeded with a k-means result's centroids,
+/// carrying the clustering metric over to the relational operator.
+///
+/// Panics (like [`SgbAroundConfig::new`]) when the result has no centroids
+/// — i.e. k-means ran on empty input; use [`kmeans_around`] for a total
+/// wrapper.
+pub fn around_seeds<const D: usize>(
+    result: &KMeansResult<D>,
+    metric_cfg: &KMeansConfig,
+    max_radius: Option<f64>,
+) -> SgbAroundConfig<D> {
+    let mut cfg = SgbAroundConfig::new(result.centroids.clone()).metric(metric_cfg.metric);
+    if let Some(r) = max_radius {
+        cfg = cfg.max_radius(r);
+    }
+    cfg
+}
+
+/// Runs k-means over `points`, then regroups the same points with
+/// SGB-Around seeded by the learned centroids.
+///
+/// Without a radius bound the regrouping reproduces the k-means assignment
+/// exactly (both assign to the nearest centroid with lowest-index
+/// tie-breaking); with one, points farther than `max_radius` from every
+/// centroid move to the outlier group — the robust variant k-means cannot
+/// express.
+///
+/// ```
+/// use sgb_cluster::{kmeans_around, KMeansConfig};
+/// use sgb_geom::Point;
+///
+/// let points = vec![
+///     Point::new([0.0, 0.1]),
+///     Point::new([0.1, 0.0]),
+///     Point::new([10.0, 10.1]),
+///     Point::new([10.1, 10.0]),
+///     Point::new([5.0, 5.0]), // straggler between the clusters
+/// ];
+/// let out = kmeans_around(&points, &KMeansConfig::new(2).seed(1), Some(3.0));
+/// // k-means absorbs the straggler (dragging one centroid to ≈(1.7, 1.7));
+/// // the radius-bounded regroup expels it from that group again.
+/// assert_eq!(out.around.outliers, vec![4]);
+/// assert_eq!(out.around.assigned_records(), 4);
+/// ```
+pub fn kmeans_around<const D: usize>(
+    points: &[Point<D>],
+    cfg: &KMeansConfig,
+    max_radius: Option<f64>,
+) -> KMeansAround<D> {
+    let km = kmeans(points, cfg);
+    let around = if km.centroids.is_empty() {
+        AroundGrouping::default()
+    } else {
+        sgb_around(points, &around_seeds(&km, cfg, max_radius))
+    };
+    KMeansAround { kmeans: km, around }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sgb_geom::Metric;
+
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn blob<const D: usize>(center: [f64; D], n: usize, spread: f64, seed: u64) -> Vec<Point<D>> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                let mut c = center;
+                for v in c.iter_mut() {
+                    *v += rng.gen_range(-spread..spread);
+                }
+                Point::new(c)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn unbounded_regroup_reproduces_kmeans_assignment() {
+        let mut points = blob([0.0, 0.0], 60, 0.8, 1);
+        points.extend(blob([7.0, 7.0], 60, 0.8, 2));
+        points.extend(blob([0.0, 7.0], 60, 0.8, 3));
+        for metric in Metric::ALL {
+            let cfg = KMeansConfig::new(3).metric(metric).seed(9);
+            let out = kmeans_around(&points, &cfg, None);
+            let assignment = out.around.assignment(points.len());
+            for (i, a) in assignment.iter().enumerate() {
+                assert_eq!(
+                    *a,
+                    Some(out.kmeans.assignment[i]),
+                    "{metric}: record {i} regrouped differently"
+                );
+            }
+            assert!(out.around.outliers.is_empty());
+        }
+    }
+
+    #[test]
+    fn radius_bound_expels_stragglers() {
+        let mut points = blob([0.0, 0.0], 40, 0.3, 4);
+        points.extend(blob([6.0, 6.0], 40, 0.3, 5));
+        points.push(Point::new([3.0, 3.0])); // between the blobs
+        let cfg = KMeansConfig::new(2).seed(11);
+        let out = kmeans_around(&points, &cfg, Some(1.5));
+        assert_eq!(out.around.outliers, vec![80]);
+        out.around.check_partition(points.len());
+        // Without the bound the straggler joins a centroid group.
+        let free = kmeans_around(&points, &cfg, None);
+        assert!(free.around.outliers.is_empty());
+    }
+
+    #[test]
+    fn seeds_carry_the_metric_and_radius() {
+        let points = blob([1.0, 1.0], 30, 0.5, 6);
+        let cfg = KMeansConfig::new(2).metric(Metric::L1).seed(3);
+        let km = kmeans(&points, &cfg);
+        let seeds = around_seeds(&km, &cfg, Some(0.75));
+        assert_eq!(seeds.metric, Metric::L1);
+        assert_eq!(seeds.max_radius, Some(0.75));
+        assert_eq!(seeds.centers, km.centroids);
+    }
+
+    #[test]
+    fn empty_input_is_total() {
+        let out = kmeans_around::<2>(&[], &KMeansConfig::new(3), Some(1.0));
+        assert!(out.kmeans.centroids.is_empty());
+        assert_eq!(out.around, AroundGrouping::default());
+    }
+}

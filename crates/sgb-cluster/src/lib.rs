@@ -18,11 +18,17 @@
 //! multiple passes / maintain trees; DBSCAN performs one region query per
 //! point), which is exactly the behaviour the paper's Figure 11 contrasts
 //! with the single-pass SGB operators.
+//!
+//! The [`bridge`] module connects the two worlds: [`kmeans_around`] derives
+//! centroids with k-means and regroups relationally with the SGB-Around
+//! operator (optionally radius-bounded).
 
 pub mod birch;
+pub mod bridge;
 pub mod dbscan;
 pub mod kmeans;
 
 pub use birch::{birch, BirchConfig, BirchResult};
+pub use bridge::{around_seeds, kmeans_around, KMeansAround};
 pub use dbscan::{dbscan, DbscanConfig, DbscanResult, Label};
 pub use kmeans::{kmeans, KMeansConfig, KMeansResult};

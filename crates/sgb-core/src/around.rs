@@ -1,0 +1,508 @@
+//! The SGB-Around operator: nearest-of-a-set-of-centers grouping.
+//!
+//! The third member of the similarity group-by family (per the companion
+//! paper *On Order-independent Semantics of the Similarity Group-By
+//! Relational Database Operator*): the query supplies a set of **center
+//! points**, and every tuple joins the group of its nearest center under
+//! the query metric — optionally bounded by a maximum radius `r`, beyond
+//! which tuples fall into an explicit **outlier group**.
+//!
+//! Because the group seeds are fixed up front, the assignment of each tuple
+//! depends only on the tuple itself, never on previously processed tuples:
+//! the grouping is trivially **order-independent** (unlike SGB-All, whose
+//! `ON-OVERLAP` arbitration is arrival-order sensitive). That makes it the
+//! natural high-throughput member of the family — assignments are
+//! embarrassingly parallel and need no inter-group reconciliation.
+//!
+//! Two interchangeable search strategies:
+//!
+//! * [`AroundAlgorithm::BruteForce`] scans every center per tuple;
+//! * [`AroundAlgorithm::Indexed`] bulk-loads the centers into an
+//!   [`RTree`] once and answers each tuple with a metric-aware
+//!   nearest-neighbour query.
+//!
+//! Both paths break exact distance ties towards the **lowest center
+//! index** and produce bit-identical groupings: the brute path compares
+//! canonical [`sgb_geom::Metric::distance`] values, and the R-tree's best-first
+//! search reports the same values for point entries (see
+//! [`RTree::nearest`]), returning ties in ascending payload order.
+
+use sgb_geom::Point;
+use sgb_spatial::RTree;
+
+use crate::{AroundAlgorithm, Grouping, RecordId, SgbAroundConfig};
+
+/// Index of a center in the configured center list.
+pub type CenterId = usize;
+
+/// The answer set of SGB-Around: one group per center (index-aligned with
+/// the configured center list, possibly empty) plus the outlier set.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct AroundGrouping {
+    /// Per-center member lists in arrival order. `groups[c]` holds the
+    /// records whose nearest center is `c`; centers that attracted no
+    /// record keep an empty list, so the vector stays index-aligned.
+    pub groups: Vec<Vec<RecordId>>,
+    /// Records farther than the configured radius from every center, in
+    /// arrival order. Empty when no radius bound was set.
+    pub outliers: Vec<RecordId>,
+}
+
+impl AroundGrouping {
+    /// Number of centers (occupied or not).
+    #[inline]
+    pub fn num_centers(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Number of centers that attracted at least one record.
+    pub fn occupied_centers(&self) -> usize {
+        self.groups.iter().filter(|g| !g.is_empty()).count()
+    }
+
+    /// Total number of records assigned to a center.
+    pub fn assigned_records(&self) -> usize {
+        self.groups.iter().map(Vec::len).sum()
+    }
+
+    /// Maps each record id in `0..n` to its center index (`None` for
+    /// outliers).
+    pub fn assignment(&self, n: usize) -> Vec<Option<CenterId>> {
+        let mut out = vec![None; n];
+        for (c, g) in self.groups.iter().enumerate() {
+            for &r in g {
+                debug_assert!(r < n, "record id out of range");
+                debug_assert!(out[r].is_none(), "record {r} assigned twice");
+                out[r] = Some(c);
+            }
+        }
+        for &r in &self.outliers {
+            debug_assert!(r < n, "outlier id out of range");
+        }
+        out
+    }
+
+    /// Converts to the family-wide [`Grouping`] representation: non-empty
+    /// center groups in center order, then — when present — the outlier
+    /// group as the final group. Nothing is ever eliminated.
+    pub fn grouping(&self) -> Grouping {
+        let mut groups: Vec<Vec<RecordId>> = self
+            .groups
+            .iter()
+            .filter(|g| !g.is_empty())
+            .cloned()
+            .collect();
+        if !self.outliers.is_empty() {
+            groups.push(self.outliers.clone());
+        }
+        Grouping {
+            groups,
+            eliminated: Vec::new(),
+        }
+    }
+
+    /// Asserts internal consistency for `n` input records (for tests):
+    /// every record is assigned to exactly one center or the outlier set.
+    pub fn check_partition(&self, n: usize) {
+        let mut seen = vec![false; n];
+        for g in &self.groups {
+            for &r in g {
+                assert!(r < n, "record {r} out of range {n}");
+                assert!(!seen[r], "record {r} assigned twice");
+                seen[r] = true;
+            }
+        }
+        for &r in &self.outliers {
+            assert!(r < n, "outlier {r} out of range {n}");
+            assert!(!seen[r], "record {r} both assigned and outlier");
+            seen[r] = true;
+        }
+        assert!(
+            seen.iter().all(|&s| s),
+            "every record must be assigned or an outlier"
+        );
+    }
+}
+
+/// Streaming SGB-Around operator.
+///
+/// Push points in any order, then call [`finish`](Self::finish). The
+/// grouping is order-independent: only member order within a group follows
+/// arrival order.
+///
+/// ```
+/// use sgb_core::{SgbAround, SgbAroundConfig};
+/// use sgb_geom::Point;
+///
+/// let centers = vec![Point::new([0.0, 0.0]), Point::new([10.0, 10.0])];
+/// let mut op = SgbAround::new(SgbAroundConfig::new(centers).max_radius(3.0));
+/// for p in [[1.0, 1.0], [9.0, 9.5], [0.5, -0.5], [5.0, 5.0]] {
+///     op.push(Point::new(p));
+/// }
+/// let out = op.finish();
+/// assert_eq!(out.groups, vec![vec![0, 2], vec![1]]);
+/// assert_eq!(out.outliers, vec![3]); // (5, 5) is > 3 away from both
+/// ```
+#[derive(Clone, Debug)]
+pub struct SgbAround<const D: usize> {
+    cfg: SgbAroundConfig<D>,
+    /// Center index for [`AroundAlgorithm::Indexed`], bulk-loaded once at
+    /// construction (centers never change during a run).
+    index: Option<RTree<D, CenterId>>,
+    groups: Vec<Vec<RecordId>>,
+    outliers: Vec<RecordId>,
+    pushed: usize,
+    /// Traversal scratch for the indexed nearest-center query, reused
+    /// across pushes so the hot loop allocates nothing per tuple.
+    scratch: Vec<usize>,
+}
+
+impl<const D: usize> SgbAround<D> {
+    /// Creates the operator, bulk-loading the center index when the
+    /// indexed algorithm is selected.
+    pub fn new(cfg: SgbAroundConfig<D>) -> Self {
+        let index = match cfg.algorithm {
+            AroundAlgorithm::BruteForce => None,
+            AroundAlgorithm::Indexed => {
+                let mut tree = RTree::with_max_entries(cfg.rtree_fanout);
+                for (c, p) in cfg.centers.iter().enumerate() {
+                    tree.insert_point(*p, c);
+                }
+                Some(tree)
+            }
+        };
+        let groups = vec![Vec::new(); cfg.centers.len()];
+        Self {
+            cfg,
+            index,
+            groups,
+            outliers: Vec::new(),
+            pushed: 0,
+            scratch: Vec::new(),
+        }
+    }
+
+    /// The configuration this operator runs with.
+    pub fn config(&self) -> &SgbAroundConfig<D> {
+        &self.cfg
+    }
+
+    /// Number of points processed so far.
+    pub fn len(&self) -> usize {
+        self.pushed
+    }
+
+    /// `true` before the first point arrives.
+    pub fn is_empty(&self) -> bool {
+        self.pushed == 0
+    }
+
+    /// The nearest center of `p`, ties towards the lowest center index.
+    ///
+    /// The brute path compares canonical [`sgb_geom::Metric::distance`]
+    /// values so its tie set is identical to the indexed path's
+    /// ([`RTree::nearest_one_with`] reports the same floating-point
+    /// distances for point entries and breaks ties by ascending payload).
+    fn nearest_center(&mut self, p: &Point<D>) -> CenterId {
+        match &self.index {
+            None => {
+                let metric = self.cfg.metric;
+                let mut best = (f64::INFINITY, 0);
+                for (c, q) in self.cfg.centers.iter().enumerate() {
+                    let d = metric.distance(p, q);
+                    if d < best.0 {
+                        best = (d, c);
+                    }
+                }
+                best.1
+            }
+            Some(ix) => {
+                let hit = ix.nearest_one_with(p, self.cfg.metric, &mut self.scratch);
+                hit.expect("center list is never empty").1
+            }
+        }
+    }
+
+    /// Assigns one point to its nearest center (or the outlier group),
+    /// returning its record id.
+    pub fn push(&mut self, p: Point<D>) -> RecordId {
+        assert!(p.is_finite(), "points must have finite coordinates");
+        let id = self.pushed;
+        self.pushed += 1;
+        let c = self.nearest_center(&p);
+        // Radius bound with the canonical predicate, evaluated identically
+        // on both paths (never against the index's reported distance).
+        let outlier = match self.cfg.max_radius {
+            Some(r) => !self.cfg.metric.within(&p, &self.cfg.centers[c], r),
+            None => false,
+        };
+        if outlier {
+            self.outliers.push(id);
+        } else {
+            self.groups[c].push(id);
+        }
+        id
+    }
+
+    /// Materialises the answer groups.
+    pub fn finish(self) -> AroundGrouping {
+        AroundGrouping {
+            groups: self.groups,
+            outliers: self.outliers,
+        }
+    }
+}
+
+/// One-shot convenience: runs SGB-Around over a slice of points.
+pub fn sgb_around<const D: usize>(points: &[Point<D>], cfg: &SgbAroundConfig<D>) -> AroundGrouping {
+    let mut op = SgbAround::new(cfg.clone());
+    for p in points {
+        op.push(*p);
+    }
+    op.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Metric;
+
+    const ALGOS: [AroundAlgorithm; 2] = [AroundAlgorithm::BruteForce, AroundAlgorithm::Indexed];
+
+    fn pts(raw: &[[f64; 2]]) -> Vec<Point<2>> {
+        raw.iter().map(|&c| Point::new(c)).collect()
+    }
+
+    /// Deterministic pseudo-random cloud shared by the equivalence tests.
+    fn cloud(n: usize, seed: u64, scale: f64) -> Vec<Point<2>> {
+        let mut state = seed;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) as f64) / (u32::MAX as f64)
+        };
+        (0..n)
+            .map(|_| Point::new([next() * scale, next() * scale]))
+            .collect()
+    }
+
+    #[test]
+    fn assigns_to_nearest_center() {
+        let centers = pts(&[[0.0, 0.0], [10.0, 0.0]]);
+        let points = pts(&[[1.0, 0.0], [9.0, 0.0], [4.0, 0.0], [6.0, 0.0]]);
+        for algo in ALGOS {
+            let cfg = SgbAroundConfig::new(centers.clone()).algorithm(algo);
+            let out = sgb_around(&points, &cfg);
+            assert_eq!(out.groups, vec![vec![0, 2], vec![1, 3]], "{algo:?}");
+            assert!(out.outliers.is_empty());
+            out.check_partition(4);
+        }
+    }
+
+    #[test]
+    fn exact_ties_break_to_lowest_center_index() {
+        // The midpoint (5, 0) ties exactly between both centers under every
+        // metric; so does a point equidistant from three centers.
+        let centers = pts(&[[0.0, 0.0], [10.0, 0.0]]);
+        let points = pts(&[[5.0, 0.0]]);
+        for metric in Metric::ALL {
+            for algo in ALGOS {
+                let cfg = SgbAroundConfig::new(centers.clone())
+                    .metric(metric)
+                    .algorithm(algo);
+                let out = sgb_around(&points, &cfg);
+                assert_eq!(out.groups[0], vec![0], "{algo:?} {metric}");
+                assert!(out.groups[1].is_empty(), "{algo:?} {metric}");
+            }
+        }
+        // Swapping the center order flips the winner: the tie-break is by
+        // index, not by coordinates.
+        let swapped = pts(&[[10.0, 0.0], [0.0, 0.0]]);
+        for algo in ALGOS {
+            let cfg = SgbAroundConfig::new(swapped.clone()).algorithm(algo);
+            let out = sgb_around(&points, &cfg);
+            assert_eq!(out.groups[0], vec![0], "{algo:?}");
+        }
+    }
+
+    #[test]
+    fn duplicate_centers_resolve_to_first() {
+        // Core-level behavior (the SQL parser rejects duplicates earlier):
+        // the lowest index of a duplicated center wins.
+        let centers = pts(&[[1.0, 1.0], [1.0, 1.0]]);
+        for algo in ALGOS {
+            let cfg = SgbAroundConfig::new(centers.clone()).algorithm(algo);
+            let out = sgb_around(&pts(&[[1.2, 1.0]]), &cfg);
+            assert_eq!(out.groups[0], vec![0], "{algo:?}");
+            assert!(out.groups[1].is_empty(), "{algo:?}");
+        }
+    }
+
+    #[test]
+    fn radius_bound_produces_outliers() {
+        let centers = pts(&[[0.0, 0.0]]);
+        // Boundary is inclusive (canonical predicate δ ≤ r).
+        let points = pts(&[[3.0, 0.0], [3.1, 0.0], [0.0, -3.0], [8.0, 8.0]]);
+        for algo in ALGOS {
+            let cfg = SgbAroundConfig::new(centers.clone())
+                .max_radius(3.0)
+                .algorithm(algo);
+            let out = sgb_around(&points, &cfg);
+            assert_eq!(out.groups[0], vec![0, 2], "{algo:?}");
+            assert_eq!(out.outliers, vec![1, 3], "{algo:?}");
+            out.check_partition(4);
+        }
+    }
+
+    #[test]
+    fn radius_semantics_differ_per_metric() {
+        // (0.8, 0.8) vs a center at the origin: δ∞ = 0.8 ≤ 1 keeps it,
+        // δ2 ≈ 1.13 and δ1 = 1.6 expel it.
+        let centers = pts(&[[0.0, 0.0]]);
+        let points = pts(&[[0.8, 0.8]]);
+        for algo in ALGOS {
+            let cfg = |m: Metric| {
+                SgbAroundConfig::new(centers.clone())
+                    .metric(m)
+                    .max_radius(1.0)
+                    .algorithm(algo)
+            };
+            assert!(sgb_around(&points, &cfg(Metric::LInf)).outliers.is_empty());
+            assert_eq!(sgb_around(&points, &cfg(Metric::L2)).outliers, vec![0]);
+            assert_eq!(sgb_around(&points, &cfg(Metric::L1)).outliers, vec![0]);
+        }
+    }
+
+    #[test]
+    fn metrics_pick_different_nearest_centers() {
+        // q = (2.2, 2.2): center A at (3, 3) has δ1 = 1.6, δ∞ = 0.8;
+        // center B at (2.2, 0.9) has δ1 = 1.3, δ∞ = 1.3. L1 prefers B,
+        // L∞ prefers A.
+        let centers = pts(&[[3.0, 3.0], [2.2, 0.9]]);
+        let q = pts(&[[2.2, 2.2]]);
+        for algo in ALGOS {
+            let cfg = |m: Metric| {
+                SgbAroundConfig::new(centers.clone())
+                    .metric(m)
+                    .algorithm(algo)
+            };
+            let l1 = sgb_around(&q, &cfg(Metric::L1));
+            assert_eq!(l1.groups[1], vec![0], "{algo:?}");
+            let linf = sgb_around(&q, &cfg(Metric::LInf));
+            assert_eq!(linf.groups[0], vec![0], "{algo:?}");
+        }
+    }
+
+    #[test]
+    fn brute_and_indexed_agree_exactly_on_random_clouds() {
+        let points = cloud(600, 0xA40C, 10.0);
+        let centers: Vec<Point<2>> = cloud(37, 0xC357, 10.0);
+        for metric in Metric::ALL {
+            for radius in [None, Some(0.9), Some(2.5)] {
+                let run = |algo| {
+                    let mut cfg = SgbAroundConfig::new(centers.clone())
+                        .metric(metric)
+                        .algorithm(algo);
+                    if let Some(r) = radius {
+                        cfg = cfg.max_radius(r);
+                    }
+                    sgb_around(&points, &cfg)
+                };
+                let brute = run(AroundAlgorithm::BruteForce);
+                let indexed = run(AroundAlgorithm::Indexed);
+                assert_eq!(brute, indexed, "{metric} radius {radius:?}");
+                brute.check_partition(points.len());
+            }
+        }
+    }
+
+    #[test]
+    fn order_independence_of_assignment() {
+        let points = cloud(300, 0x0D3F1A, 8.0);
+        let centers: Vec<Point<2>> = cloud(9, 7, 8.0);
+        let cfg = SgbAroundConfig::new(centers).max_radius(1.5);
+        let forward = sgb_around(&points, &cfg);
+        let assignment = forward.assignment(points.len());
+        // Process in reverse: each record's center must be unchanged.
+        let mut rev = points.clone();
+        rev.reverse();
+        let backward = sgb_around(&rev, &cfg);
+        let back_assignment = backward.assignment(points.len());
+        let n = points.len();
+        for i in 0..n {
+            assert_eq!(assignment[i], back_assignment[n - 1 - i], "record {i}");
+        }
+    }
+
+    #[test]
+    fn grouping_conversion_drops_empty_centers_and_appends_outliers() {
+        let centers = pts(&[[0.0, 0.0], [50.0, 50.0], [10.0, 0.0]]);
+        let points = pts(&[[0.5, 0.0], [9.5, 0.0], [25.0, 25.0]]);
+        let cfg = SgbAroundConfig::new(centers).max_radius(2.0);
+        let out = sgb_around(&points, &cfg);
+        assert_eq!(out.num_centers(), 3);
+        assert_eq!(out.occupied_centers(), 2);
+        assert_eq!(out.assigned_records(), 2);
+        let g = out.grouping();
+        // Center 1 attracted nothing; outliers come last.
+        assert_eq!(g.groups, vec![vec![0], vec![1], vec![2]]);
+        g.check_partition(3);
+        assert_eq!(out.assignment(3), vec![Some(0), Some(2), None]);
+    }
+
+    #[test]
+    fn empty_input_yields_empty_groups() {
+        let cfg = SgbAroundConfig::new(pts(&[[0.0, 0.0], [1.0, 1.0]]));
+        for algo in ALGOS {
+            let out = sgb_around::<2>(&[], &cfg.clone().algorithm(algo));
+            assert_eq!(out.num_centers(), 2);
+            assert_eq!(out.occupied_centers(), 0);
+            assert!(out.grouping().groups.is_empty());
+        }
+    }
+
+    #[test]
+    fn zero_radius_keeps_only_exact_matches() {
+        let centers = pts(&[[1.0, 1.0]]);
+        let points = pts(&[[1.0, 1.0], [1.0, 1.0000001]]);
+        let cfg = SgbAroundConfig::new(centers).max_radius(0.0);
+        let out = sgb_around(&points, &cfg);
+        assert_eq!(out.groups[0], vec![0]);
+        assert_eq!(out.outliers, vec![1]);
+    }
+
+    #[test]
+    fn three_dimensional_grouping() {
+        let centers = vec![Point::new([0.0, 0.0, 0.0]), Point::new([5.0, 5.0, 5.0])];
+        let points = vec![
+            Point::new([0.2, 0.1, 0.0]),
+            Point::new([4.9, 5.0, 5.2]),
+            Point::new([2.5, 2.5, 2.5]), // exact midpoint: lowest index wins
+        ];
+        for metric in Metric::ALL {
+            for algo in ALGOS {
+                let cfg = SgbAroundConfig::new(centers.clone())
+                    .metric(metric)
+                    .algorithm(algo);
+                let out = sgb_around(&points, &cfg);
+                assert_eq!(out.groups, vec![vec![0, 2], vec![1]], "{algo:?} {metric}");
+            }
+        }
+    }
+
+    #[test]
+    fn streaming_interface_matches_one_shot() {
+        let points = cloud(100, 3, 5.0);
+        let centers: Vec<Point<2>> = cloud(5, 4, 5.0);
+        let cfg = SgbAroundConfig::new(centers).max_radius(1.0);
+        let mut op = SgbAround::new(cfg.clone());
+        assert!(op.is_empty());
+        for p in &points {
+            op.push(*p);
+        }
+        assert_eq!(op.len(), 100);
+        assert_eq!(op.config().max_radius, Some(1.0));
+        assert_eq!(op.finish(), sgb_around(&points, &cfg));
+    }
+}

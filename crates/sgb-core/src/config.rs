@@ -1,7 +1,7 @@
 //! Operator configuration: thresholds, metrics, overlap semantics, and
 //! algorithm selection.
 
-use sgb_geom::Metric;
+use sgb_geom::{Metric, Point};
 
 /// The `ON-OVERLAP` arbitration clause of SGB-All (Section 4.1).
 ///
@@ -201,6 +201,89 @@ impl SgbAnyConfig {
     }
 }
 
+/// Algorithm used to realise SGB-Around.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub enum AroundAlgorithm {
+    /// Evaluate the distance to every center for every tuple. `O(n · |C|)`.
+    BruteForce,
+    /// Bulk-load the centers into an R-tree once, then answer each tuple's
+    /// nearest-center query against it. `O(n · log |C|)`.
+    #[default]
+    Indexed,
+}
+
+/// Configuration of the SGB-Around operator
+/// (`GROUP BY … AROUND ((cx, cy), …) [L1|L2|LINF] [WITHIN r]`).
+///
+/// Unlike SGB-All / SGB-Any, the group seeds — the center points — are part
+/// of the query, so the configuration is generic over the data dimension.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SgbAroundConfig<const D: usize> {
+    /// The center points. Every tuple is assigned to its nearest center
+    /// (ties broken towards the lowest center index).
+    pub centers: Vec<Point<D>>,
+    /// Distance function δ.
+    pub metric: Metric,
+    /// Optional maximum radius `r`: a tuple farther than `r` from its
+    /// nearest center (canonical predicate `δ(p, c) ≤ r`) joins the
+    /// outlier group instead. `None` disables the bound.
+    pub max_radius: Option<f64>,
+    /// Search strategy.
+    pub algorithm: AroundAlgorithm,
+    /// Fan-out of the center R-tree used by [`AroundAlgorithm::Indexed`].
+    pub rtree_fanout: usize,
+}
+
+impl<const D: usize> SgbAroundConfig<D> {
+    /// A configuration with the default metric (`L2`), no radius bound and
+    /// the indexed algorithm. Panics on an empty center list or non-finite
+    /// center coordinates (the SQL parser rejects both earlier with proper
+    /// errors).
+    pub fn new(centers: Vec<Point<D>>) -> Self {
+        assert!(!centers.is_empty(), "AROUND requires at least one center");
+        assert!(
+            centers.iter().all(Point::is_finite),
+            "centers must have finite coordinates"
+        );
+        Self {
+            centers,
+            metric: Metric::default(),
+            max_radius: None,
+            algorithm: AroundAlgorithm::default(),
+            rtree_fanout: 12,
+        }
+    }
+
+    /// Sets the distance function.
+    pub fn metric(mut self, metric: Metric) -> Self {
+        self.metric = metric;
+        self
+    }
+
+    /// Sets the maximum radius (the `WITHIN r` clause).
+    pub fn max_radius(mut self, r: f64) -> Self {
+        assert!(
+            r >= 0.0 && r.is_finite(),
+            "radius must be finite and non-negative"
+        );
+        self.max_radius = Some(r);
+        self
+    }
+
+    /// Sets the search algorithm.
+    pub fn algorithm(mut self, algorithm: AroundAlgorithm) -> Self {
+        self.algorithm = algorithm;
+        self
+    }
+
+    /// Sets the R-tree fan-out of the center index.
+    pub fn rtree_fanout(mut self, fanout: usize) -> Self {
+        assert!(fanout >= 4, "R-tree fan-out must be at least 4");
+        self.rtree_fanout = fanout;
+        self
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -258,5 +341,41 @@ mod tests {
     #[should_panic(expected = "epsilon")]
     fn any_config_rejects_negative_eps() {
         let _ = SgbAnyConfig::new(-0.1);
+    }
+
+    #[test]
+    fn around_builder_sets_fields() {
+        let cfg = SgbAroundConfig::new(vec![Point::new([0.0, 0.0]), Point::new([1.0, 1.0])])
+            .metric(Metric::L1)
+            .max_radius(0.5)
+            .algorithm(AroundAlgorithm::BruteForce)
+            .rtree_fanout(8);
+        assert_eq!(cfg.centers.len(), 2);
+        assert_eq!(cfg.metric, Metric::L1);
+        assert_eq!(cfg.max_radius, Some(0.5));
+        assert_eq!(cfg.algorithm, AroundAlgorithm::BruteForce);
+        assert_eq!(cfg.rtree_fanout, 8);
+        let default = SgbAroundConfig::new(vec![Point::new([0.0, 0.0])]);
+        assert_eq!(default.metric, Metric::L2);
+        assert_eq!(default.max_radius, None);
+        assert_eq!(default.algorithm, AroundAlgorithm::Indexed);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one center")]
+    fn around_config_rejects_empty_centers() {
+        let _ = SgbAroundConfig::<2>::new(Vec::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn around_config_rejects_non_finite_centers() {
+        let _ = SgbAroundConfig::new(vec![Point::new([f64::NAN, 0.0])]);
+    }
+
+    #[test]
+    #[should_panic(expected = "radius")]
+    fn around_config_rejects_negative_radius() {
+        let _ = SgbAroundConfig::new(vec![Point::new([0.0, 0.0])]).max_radius(-1.0);
     }
 }

@@ -2,12 +2,11 @@
 
 //! # Similarity Group-By operators for multi-dimensional data
 //!
-//! This crate implements the two similarity-aware SQL group-by operators of
-//! *"Similarity Group-by Operators for Multi-dimensional Relational Data"*
-//! (Tang et al.): **SGB-All** and **SGB-Any**. Both group tuples whose
-//! grouping attributes form points in a low-dimensional metric space, using
-//! a similarity predicate `δ(a, b) ≤ ε` with δ either the Euclidean (`L2`)
-//! or maximum (`L∞`) distance.
+//! This crate implements the similarity-aware SQL group-by operator family
+//! of *"Similarity Group-by Operators for Multi-dimensional Relational
+//! Data"* (Tang et al.) and its companion on order-independent semantics.
+//! All of them group tuples whose grouping attributes form points in a
+//! low-dimensional metric space under an `L1` / `L2` / `L∞` distance δ.
 //!
 //! * [`SgbAll`] (*distance-to-all*) forms **maximal cliques**: every pair of
 //!   points in a group is within ε. A point matching several groups is
@@ -16,8 +15,12 @@
 //! * [`SgbAny`] (*distance-to-any*) forms **connected components**: a point
 //!   joins a group when it is within ε of at least one member; overlapping
 //!   groups merge.
+//! * [`SgbAround`] (*nearest-center*) assigns every point to the nearest of
+//!   a query-supplied set of **center points**, optionally bounded by a
+//!   maximum radius with an explicit outlier group. Its grouping is
+//!   trivially order-independent.
 //!
-//! Both operators are *streaming*: points are processed in arrival order
+//! The operators are *streaming*: points are processed in arrival order
 //! with filter-refine machinery (ε-All bounding rectangles, an on-the-fly
 //! R-tree, convex-hull refinement for `L2`, Union-Find for merges), and
 //! several algorithm variants are provided to reproduce the paper's
@@ -40,17 +43,38 @@
 //! let any = sgb_any(&points, &SgbAnyConfig::new(1.5));
 //! assert_eq!(any.sorted_sizes(), vec![3, 1]);
 //! ```
+//!
+//! Nearest-center grouping around query-supplied seeds:
+//!
+//! ```
+//! use sgb_core::{sgb_around, SgbAroundConfig};
+//! use sgb_geom::Point;
+//!
+//! let centers = vec![Point::new([1.0, 1.0]), Point::new([9.0, 9.0])];
+//! let points: Vec<Point<2>> = vec![
+//!     Point::new([1.5, 1.2]),
+//!     Point::new([8.5, 9.0]),
+//!     Point::new([2.0, 0.5]),
+//! ];
+//! let around = sgb_around(&points, &SgbAroundConfig::new(centers));
+//! assert_eq!(around.groups, vec![vec![0, 2], vec![1]]);
+//! ```
 
 pub mod aggregate;
 pub mod all;
 pub mod any;
+pub mod around;
 pub mod config;
 pub mod grouping;
 
 pub use aggregate::{aggregate_groups, collect_groups, AggregateFn, GroupAggregates};
 pub use all::{sgb_all, SgbAll};
 pub use any::{sgb_any, SgbAny};
-pub use config::{AllAlgorithm, AnyAlgorithm, OverlapAction, SgbAllConfig, SgbAnyConfig};
+pub use around::{sgb_around, AroundGrouping, CenterId, SgbAround};
+pub use config::{
+    AllAlgorithm, AnyAlgorithm, AroundAlgorithm, OverlapAction, SgbAllConfig, SgbAnyConfig,
+    SgbAroundConfig,
+};
 pub use grouping::{Grouping, RecordId};
 
 // Re-export the geometry vocabulary so downstream users need one import.

@@ -21,5 +21,5 @@ pub mod synthetic;
 pub mod tpch;
 
 pub use checkin::{CheckinConfig, CheckinDataset};
-pub use synthetic::{clustered_points, uniform_points};
+pub use synthetic::{clustered_points, clustered_points_with_centers, uniform_points};
 pub use tpch::{TpchConfig, TpchData};

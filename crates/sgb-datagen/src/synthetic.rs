@@ -28,6 +28,19 @@ pub fn clustered_points<const D: usize>(
     spread: f64,
     seed: u64,
 ) -> Vec<Point<D>> {
+    clustered_points_with_centers(n, clusters, spread, seed).0
+}
+
+/// Like [`clustered_points`] — same distribution, same random stream per
+/// seed — but also returns the ground-truth mixture centres, so SGB-Around
+/// benchmarks and tests can seed the operator with the true centres the
+/// points were drawn from. Returns `(points, centers)`.
+pub fn clustered_points_with_centers<const D: usize>(
+    n: usize,
+    clusters: usize,
+    spread: f64,
+    seed: u64,
+) -> (Vec<Point<D>>, Vec<Point<D>>) {
     assert!(clusters > 0, "need at least one cluster");
     let mut rng = SmallRng::seed_from_u64(seed);
     let centers: Vec<[f64; D]> = (0..clusters)
@@ -39,7 +52,7 @@ pub fn clustered_points<const D: usize>(
             c
         })
         .collect();
-    (0..n)
+    let points = (0..n)
         .map(|_| {
             let center = centers[rng.gen_range(0..clusters)];
             let mut c = [0.0; D];
@@ -48,7 +61,8 @@ pub fn clustered_points<const D: usize>(
             }
             Point::new(c)
         })
-        .collect()
+        .collect();
+    (points, centers.into_iter().map(Point::new).collect())
 }
 
 /// A standard-normal sample via the Box–Muller transform (keeps `rand` the
@@ -115,6 +129,25 @@ mod tests {
         let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
         assert!(mean.abs() < 0.05, "mean {mean}");
         assert!((var - 1.0).abs() < 0.1, "variance {var}");
+    }
+
+    #[test]
+    fn with_centers_is_a_superset_of_clustered_points() {
+        // The wrapper must reproduce the exact same point stream, and the
+        // returned centers must be the mixture the points huddle around.
+        let (points, centers) = clustered_points_with_centers::<2>(400, 6, 0.004, 17);
+        assert_eq!(points, clustered_points::<2>(400, 6, 0.004, 17));
+        assert_eq!(centers.len(), 6);
+        assert!(centers
+            .iter()
+            .all(|c| c.coords().iter().all(|v| (0.0..=1.0).contains(v))));
+        // Ground truth: almost every point lies within a few σ of some
+        // center (clamping can push boundary points around, so allow slack).
+        let near = points
+            .iter()
+            .filter(|p| centers.iter().any(|c| p.dist_l2(c) < 0.03))
+            .count();
+        assert!(near >= 399, "only {near}/400 points near a true center");
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use std::collections::HashMap;
 
-use sgb_core::{AllAlgorithm, AnyAlgorithm};
+use sgb_core::{AllAlgorithm, AnyAlgorithm, AroundAlgorithm};
 
 use crate::error::{Error, Result};
 use crate::exec::execute;
@@ -31,6 +31,7 @@ pub struct Database {
     tables: HashMap<String, Table>,
     sgb_all_algorithm: AllAlgorithm,
     sgb_any_algorithm: AnyAlgorithm,
+    sgb_around_algorithm: AroundAlgorithm,
     sgb_seed: u64,
 }
 
@@ -74,6 +75,11 @@ impl Database {
         self.sgb_any_algorithm
     }
 
+    /// Algorithm used by `AROUND` queries.
+    pub fn sgb_around_algorithm(&self) -> AroundAlgorithm {
+        self.sgb_around_algorithm
+    }
+
     /// Seed for `ON-OVERLAP JOIN-ANY` arbitration.
     pub fn sgb_seed(&self) -> u64 {
         self.sgb_seed
@@ -88,6 +94,12 @@ impl Database {
     /// Selects the SGB-Any algorithm.
     pub fn set_sgb_any_algorithm(&mut self, algorithm: AnyAlgorithm) {
         self.sgb_any_algorithm = algorithm;
+    }
+
+    /// Selects the SGB-Around algorithm (brute-force center scan vs the
+    /// bulk-loaded center R-tree).
+    pub fn set_sgb_around_algorithm(&mut self, algorithm: AroundAlgorithm) {
+        self.sgb_around_algorithm = algorithm;
     }
 
     /// Sets the JOIN-ANY arbitration seed (reproducible runs).

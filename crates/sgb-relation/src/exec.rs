@@ -2,8 +2,11 @@
 
 use std::collections::HashMap;
 
-use sgb_core::{sgb_all, sgb_any, Grouping, SgbAllConfig, SgbAnyConfig};
-use sgb_geom::Point;
+use sgb_core::{
+    sgb_all, sgb_any, sgb_around, AroundAlgorithm, Grouping, SgbAllConfig, SgbAnyConfig,
+    SgbAroundConfig,
+};
+use sgb_geom::{Metric, Point};
 
 use crate::engine::Database;
 use crate::error::{Error, Result};
@@ -185,30 +188,23 @@ pub fn execute(plan: &Plan, db: &Database) -> Result<Table> {
         } => {
             let t = execute(input, db)?;
             let grouping = run_sgb(&t.rows, coords, mode)?;
-            let mut rows = Vec::with_capacity(grouping.num_groups());
-            for members in &grouping.groups {
-                let mut st: Vec<AggState> = aggs.iter().map(AggState::new).collect();
-                for &r in members {
-                    for (s, call) in st.iter_mut().zip(aggs) {
-                        s.update(call, &t.rows[r])?;
-                    }
-                }
-                let internal: Row = st.into_iter().map(AggState::finish).collect();
-                if let Some(h) = having {
-                    if !h.eval_predicate(&internal)? {
-                        continue;
-                    }
-                }
-                let mut out = Vec::with_capacity(outputs.len());
-                for e in outputs {
-                    out.push(e.eval(&internal)?);
-                }
-                rows.push(out);
-            }
-            Ok(Table {
-                schema: schema.clone(),
-                rows,
-            })
+            aggregate_grouping(&t, &grouping, aggs, having, outputs, schema)
+        }
+        Plan::SimilarityAround {
+            input,
+            coords,
+            centers,
+            metric,
+            radius,
+            algorithm,
+            aggs,
+            having,
+            outputs,
+            schema,
+        } => {
+            let t = execute(input, db)?;
+            let grouping = run_around(&t.rows, coords, centers, *metric, *radius, *algorithm)?;
+            aggregate_grouping(&t, &grouping, aggs, having, outputs, schema)
         }
         Plan::Sort { input, keys } => {
             let mut t = execute(input, db)?;
@@ -247,23 +243,46 @@ pub fn execute(plan: &Plan, db: &Database) -> Result<Table> {
     }
 }
 
-/// Extracts the 2-D or 3-D grouping points and runs the configured SGB
-/// operator (the paper's "two and three dimensional data space").
-fn run_sgb(rows: &[Row], coords: &[BoundExpr], mode: &SgbMode) -> Result<Grouping> {
-    match coords.len() {
-        2 => run_sgb_d::<2>(rows, coords, mode),
-        3 => run_sgb_d::<3>(rows, coords, mode),
-        n => Err(Error::Unsupported(format!(
-            "similarity grouping over {n} attributes (2 or 3 supported)"
-        ))),
+/// Aggregates the rows of each answer group into one output row, applying
+/// HAVING and the output expressions over the internal `[aggregates…]`
+/// layout — shared by the similarity group-by plan nodes.
+fn aggregate_grouping(
+    t: &Table,
+    grouping: &Grouping,
+    aggs: &[AggCall],
+    having: &Option<BoundExpr>,
+    outputs: &[BoundExpr],
+    schema: &crate::schema::Schema,
+) -> Result<Table> {
+    let mut rows = Vec::with_capacity(grouping.num_groups());
+    for members in &grouping.groups {
+        let mut st: Vec<AggState> = aggs.iter().map(AggState::new).collect();
+        for &r in members {
+            for (s, call) in st.iter_mut().zip(aggs) {
+                s.update(call, &t.rows[r])?;
+            }
+        }
+        let internal: Row = st.into_iter().map(AggState::finish).collect();
+        if let Some(h) = having {
+            if !h.eval_predicate(&internal)? {
+                continue;
+            }
+        }
+        let mut out = Vec::with_capacity(outputs.len());
+        for e in outputs {
+            out.push(e.eval(&internal)?);
+        }
+        rows.push(out);
     }
+    Ok(Table {
+        schema: schema.clone(),
+        rows,
+    })
 }
 
-fn run_sgb_d<const D: usize>(
-    rows: &[Row],
-    coords: &[BoundExpr],
-    mode: &SgbMode,
-) -> Result<Grouping> {
+/// Extracts the 2-D or 3-D grouping points of every row (the paper's "two
+/// and three dimensional data space").
+fn extract_points<const D: usize>(rows: &[Row], coords: &[BoundExpr]) -> Result<Vec<Point<D>>> {
     debug_assert_eq!(coords.len(), D);
     let mut points: Vec<Point<D>> = Vec::with_capacity(rows.len());
     for row in rows {
@@ -284,6 +303,26 @@ fn run_sgb_d<const D: usize>(
         }
         points.push(Point::new(c));
     }
+    Ok(points)
+}
+
+/// Runs the configured SGB-All / SGB-Any operator over the grouping points.
+fn run_sgb(rows: &[Row], coords: &[BoundExpr], mode: &SgbMode) -> Result<Grouping> {
+    match coords.len() {
+        2 => run_sgb_d::<2>(rows, coords, mode),
+        3 => run_sgb_d::<3>(rows, coords, mode),
+        n => Err(Error::Unsupported(format!(
+            "similarity grouping over {n} attributes (2 or 3 supported)"
+        ))),
+    }
+}
+
+fn run_sgb_d<const D: usize>(
+    rows: &[Row],
+    coords: &[BoundExpr],
+    mode: &SgbMode,
+) -> Result<Grouping> {
+    let points = extract_points::<D>(rows, coords)?;
     Ok(match mode {
         SgbMode::All {
             eps,
@@ -310,6 +349,70 @@ fn run_sgb_d<const D: usize>(
             sgb_any(&points, &cfg)
         }
     })
+}
+
+/// Runs SGB-Around over the grouping points: every row joins the group of
+/// its nearest center; rows beyond `radius` (when set) form the trailing
+/// outlier group.
+fn run_around(
+    rows: &[Row],
+    coords: &[BoundExpr],
+    centers: &[Vec<f64>],
+    metric: Metric,
+    radius: Option<f64>,
+    algorithm: AroundAlgorithm,
+) -> Result<Grouping> {
+    match coords.len() {
+        2 => run_around_d::<2>(rows, coords, centers, metric, radius, algorithm),
+        3 => run_around_d::<3>(rows, coords, centers, metric, radius, algorithm),
+        n => Err(Error::Unsupported(format!(
+            "similarity grouping over {n} attributes (2 or 3 supported)"
+        ))),
+    }
+}
+
+fn run_around_d<const D: usize>(
+    rows: &[Row],
+    coords: &[BoundExpr],
+    centers: &[Vec<f64>],
+    metric: Metric,
+    radius: Option<f64>,
+    algorithm: AroundAlgorithm,
+) -> Result<Grouping> {
+    let points = extract_points::<D>(rows, coords)?;
+    // The parser guarantees a non-empty list of finite, correctly-sized
+    // centers and a valid radius; keep defensive errors for plans built
+    // programmatically (the core config asserts on these and would abort).
+    if centers.is_empty() {
+        return Err(Error::Eval("AROUND requires at least one center".into()));
+    }
+    let mut center_points: Vec<Point<D>> = Vec::with_capacity(centers.len());
+    for c in centers {
+        let arr: [f64; D] = c.as_slice().try_into().map_err(|_| {
+            Error::Eval(format!(
+                "AROUND center has {} coordinate(s), expected {D}",
+                c.len()
+            ))
+        })?;
+        if !arr.iter().all(|v| v.is_finite()) {
+            return Err(Error::Eval(
+                "AROUND center coordinates must be finite".into(),
+            ));
+        }
+        center_points.push(Point::new(arr));
+    }
+    let mut cfg = SgbAroundConfig::new(center_points)
+        .metric(metric)
+        .algorithm(algorithm);
+    if let Some(r) = radius {
+        if !r.is_finite() || r < 0.0 {
+            return Err(Error::Eval(format!(
+                "AROUND radius must be finite and >= 0, got {r}"
+            )));
+        }
+        cfg = cfg.max_radius(r);
+    }
+    Ok(sgb_around(&points, &cfg).grouping())
 }
 
 /// Running accumulator for one aggregate call.

@@ -3,7 +3,8 @@
 //! # A mini relational engine with similarity group-by operators
 //!
 //! The paper prototypes SGB-All / SGB-Any *inside PostgreSQL* (Section 8.2):
-//! the parser grammar gains `DISTANCE-TO-ALL` / `DISTANCE-TO-ANY` clauses,
+//! the parser grammar gains `DISTANCE-TO-ALL` / `DISTANCE-TO-ANY` (and, for
+//! the order-independent family member, `AROUND`) clauses,
 //! the planner produces a similarity-aware plan, and the executor's
 //! aggregation routine maintains groups with bounding rectangles, an
 //! in-memory R-tree, and a Union-Find structure.

@@ -6,7 +6,7 @@
 //! composing with scans, filters, joins and projections exactly as the
 //! paper's PostgreSQL integration does (Section 8.2).
 
-use sgb_core::{AllAlgorithm, AnyAlgorithm, OverlapAction};
+use sgb_core::{AllAlgorithm, AnyAlgorithm, AroundAlgorithm, OverlapAction};
 use sgb_geom::Metric;
 
 use crate::expr::BoundExpr;
@@ -170,6 +170,34 @@ pub enum Plan {
         /// Output schema.
         schema: Schema,
     },
+    /// SGB-Around: nearest-center grouping around query-supplied seeds.
+    ///
+    /// Internal row layout: `[aggregate results…]`, as for
+    /// [`Plan::SimilarityGroupBy`]. Tuples beyond `radius` (when set) form
+    /// a single outlier group, emitted after the center groups.
+    SimilarityAround {
+        /// Input plan.
+        input: Box<Plan>,
+        /// Coordinates of the grouping point (two or three expressions),
+        /// over the input schema.
+        coords: Vec<BoundExpr>,
+        /// Center coordinates; inner length equals `coords.len()`.
+        centers: Vec<Vec<f64>>,
+        /// Distance function.
+        metric: Metric,
+        /// Optional maximum radius (`WITHIN r`).
+        radius: Option<f64>,
+        /// Search strategy (brute-force scan vs center R-tree).
+        algorithm: AroundAlgorithm,
+        /// Aggregate calls over the input schema.
+        aggs: Vec<AggCall>,
+        /// Post-grouping filter over the internal layout.
+        having: Option<BoundExpr>,
+        /// Output expressions over the internal layout.
+        outputs: Vec<BoundExpr>,
+        /// Output schema.
+        schema: Schema,
+    },
     /// Sort by output expressions.
     Sort {
         /// Input plan.
@@ -195,7 +223,8 @@ impl Plan {
             | Plan::HashJoin { schema, .. }
             | Plan::CrossJoin { schema, .. }
             | Plan::HashAggregate { schema, .. }
-            | Plan::SimilarityGroupBy { schema, .. } => schema,
+            | Plan::SimilarityGroupBy { schema, .. }
+            | Plan::SimilarityAround { schema, .. } => schema,
             Plan::Filter { input, .. } | Plan::Sort { input, .. } | Plan::Limit { input, .. } => {
                 input.schema()
             }
@@ -269,6 +298,27 @@ impl Plan {
                 };
                 out.push_str(&format!(
                     "{pad}SimilarityGroupBy [{desc}] (aggs: {})\n",
+                    aggs.len()
+                ));
+                input.explain_into(depth + 1, out);
+            }
+            Plan::SimilarityAround {
+                input,
+                centers,
+                metric,
+                radius,
+                algorithm,
+                aggs,
+                ..
+            } => {
+                let bound = match radius {
+                    Some(r) => format!(" WITHIN {r}"),
+                    None => String::new(),
+                };
+                out.push_str(&format!(
+                    "{pad}SimilarityAround [{} centers, {}{bound}, path: {algorithm:?}] (aggs: {})\n",
+                    centers.len(),
+                    metric.sql_keyword(),
                     aggs.len()
                 ));
                 input.explain_into(depth + 1, out);

@@ -183,6 +183,15 @@ impl<'a> Planner<'a> {
                 };
                 self.build_similarity(acc, exprs, mode, stmt)?
             }
+            (
+                Some(GroupBy::SimilarityAround {
+                    exprs,
+                    centers,
+                    metric,
+                    radius,
+                }),
+                _,
+            ) => self.build_around(acc, exprs, centers, *metric, *radius, stmt)?,
             (None, true) => self.build_hash_aggregate(acc, Vec::new(), stmt)?,
             (None, false) => {
                 if stmt.having.is_some() {
@@ -341,6 +350,54 @@ impl<'a> Planner<'a> {
             input: Box::new(input),
             coords,
             mode,
+            aggs: ctx.aggs,
+            having,
+            outputs,
+            schema,
+        })
+    }
+
+    /// Lowers the SGB-Around clause: binds the grouping coordinates and the
+    /// grouped select list exactly like [`build_similarity`](Self::build_similarity),
+    /// but emits the dedicated [`Plan::SimilarityAround`] node (the centers
+    /// are plan constants, validated by the parser).
+    fn build_around(
+        &self,
+        input: Plan,
+        grouping: &[Expr],
+        centers: &[Vec<f64>],
+        metric: sgb_geom::Metric,
+        radius: Option<f64>,
+        stmt: &Select,
+    ) -> Result<Plan> {
+        debug_assert!((2..=3).contains(&grouping.len()), "checked by the parser");
+        debug_assert!(
+            centers.iter().all(|c| c.len() == grouping.len()),
+            "checked by the parser"
+        );
+        let input_schema = input.schema().clone();
+        let coords: Vec<BoundExpr> = grouping
+            .iter()
+            .map(|g| self.bind(g, &input_schema))
+            .collect::<Result<_>>()?;
+        let mut ctx = AggContext {
+            group_asts: Vec::new(),
+            aggs: Vec::new(),
+            agg_asts: Vec::new(),
+            sgb: true,
+        };
+        let (outputs, schema) = self.rewrite_outputs(stmt, &mut ctx, &input_schema)?;
+        let having = match &stmt.having {
+            Some(h) => Some(self.rewrite_agg(h, &mut ctx, &input_schema)?),
+            None => None,
+        };
+        Ok(Plan::SimilarityAround {
+            input: Box::new(input),
+            coords,
+            centers: centers.to_vec(),
+            metric,
+            radius,
+            algorithm: self.db.sgb_around_algorithm(),
             aggs: ctx.aggs,
             having,
             outputs,

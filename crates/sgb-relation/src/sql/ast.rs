@@ -132,6 +132,20 @@ pub enum GroupBy {
         /// Similarity threshold ε.
         eps: f64,
     },
+    /// `GROUP BY x, y AROUND ((cx, cy), …) [L1|L2|LINF] [WITHIN r]` —
+    /// nearest-center grouping around query-supplied seeds.
+    SimilarityAround {
+        /// The grouping attribute expressions.
+        exprs: Vec<Expr>,
+        /// Center coordinates; each inner vector has exactly
+        /// `exprs.len()` components (enforced by the parser).
+        centers: Vec<Vec<f64>>,
+        /// Distance function.
+        metric: Metric,
+        /// Optional maximum radius; tuples farther than this from every
+        /// center form the outlier group.
+        radius: Option<f64>,
+    },
 }
 
 /// One ORDER BY key.

@@ -23,7 +23,7 @@ use crate::value::{parse_date, Value};
 /// Keywords that terminate expressions / cannot serve as implicit aliases.
 const RESERVED: &[&str] = &[
     "select", "from", "where", "group", "by", "having", "order", "limit", "as", "on", "and", "or",
-    "not", "in", "asc", "desc", "distance", "within", "using", "values", "union",
+    "not", "in", "asc", "desc", "distance", "around", "within", "using", "values", "union",
 ];
 
 /// The error for a metric keyword the grammar does not know, naming every
@@ -352,6 +352,9 @@ impl Parser {
         while self.eat(&Token::Comma) {
             exprs.push(self.expr()?);
         }
+        if self.peek().is_some_and(|t| t.is_kw("around")) {
+            return self.group_by_around(exprs);
+        }
         if !self.peek().is_some_and(|t| t.is_kw("distance")) {
             return Ok(GroupBy::Standard(exprs));
         }
@@ -440,6 +443,135 @@ impl Parser {
             eps,
             overlap,
         })
+    }
+
+    /// The SGB-Around clause, entered after the grouping expressions:
+    /// `AROUND ((cx, cy), …) [L1|L2|LINF] [WITHIN r] [USING metric]`.
+    ///
+    /// Malformed center lists are hard errors: an empty list, a center
+    /// whose dimensionality differs from the grouping attributes, and
+    /// duplicate centers are each rejected with a specific message.
+    fn group_by_around(&mut self, exprs: Vec<Expr>) -> Result<GroupBy> {
+        self.expect_kw("around")?;
+        if !(2..=3).contains(&exprs.len()) {
+            return Err(Error::Unsupported(format!(
+                "similarity group-by takes 2 or 3 grouping attributes \
+                 (the paper's \"two and three dimensional data space\"), got {}",
+                exprs.len()
+            )));
+        }
+        let dims = exprs.len();
+
+        self.expect(&Token::LParen)?;
+        if self.peek() == Some(&Token::RParen) {
+            return Err(Error::Parse(
+                "AROUND requires at least one center point, got an empty list".into(),
+            ));
+        }
+        let mut centers: Vec<Vec<f64>> = Vec::new();
+        loop {
+            self.expect(&Token::LParen)?;
+            let mut center = vec![self.signed_number()?];
+            while self.eat(&Token::Comma) {
+                center.push(self.signed_number()?);
+            }
+            self.expect(&Token::RParen)?;
+            if center.len() != dims {
+                return Err(Error::Parse(format!(
+                    "AROUND center {} has {} coordinate(s) but the query groups \
+                     by {dims} attributes",
+                    centers.len() + 1,
+                    center.len()
+                )));
+            }
+            if let Some(prev) = centers.iter().position(|c| *c == center) {
+                return Err(Error::Parse(format!(
+                    "duplicate AROUND center {center:?} (centers {} and {})",
+                    prev + 1,
+                    centers.len() + 1
+                )));
+            }
+            centers.push(center);
+            if !self.eat(&Token::Comma) {
+                break;
+            }
+        }
+        self.expect(&Token::RParen)?;
+
+        // Optional metric keyword before WITHIN. Because every tail clause
+        // of AROUND is optional, a reserved keyword (HAVING, ORDER, …)
+        // legitimately ends the clause here; any other identifier in this
+        // position must be a valid metric — unknown names are a hard error
+        // listing the accepted spellings, as for DISTANCE-TO-*.
+        let mut metric = None;
+        if let Some(Token::Ident(s)) = self.peek() {
+            if !RESERVED.iter().any(|kw| s.eq_ignore_ascii_case(kw)) {
+                let word = s.clone();
+                let m =
+                    Metric::from_sql_keyword(&word).ok_or_else(|| unknown_metric_error(&word))?;
+                metric = Some(m);
+                self.pos += 1;
+            }
+        }
+
+        // Optional `WITHIN r`: the maximum radius (AROUND is total without
+        // it, so — unlike DISTANCE-TO-* — the clause may be omitted).
+        let mut radius = None;
+        if self.eat_kw("within") {
+            let r = match self.next() {
+                Some(Token::Int(n)) => n as f64,
+                Some(Token::Float(f)) => f,
+                other => {
+                    return Err(Error::Parse(format!(
+                        "expected a numeric radius after WITHIN, found {other:?}"
+                    )))
+                }
+            };
+            if !r.is_finite() || r < 0.0 {
+                return Err(Error::Parse(format!(
+                    "WITHIN radius must be finite and >= 0, got {r}"
+                )));
+            }
+            radius = Some(r);
+        }
+
+        // Optional `USING metric` (Table 2 style), as for DISTANCE-TO-*.
+        if self.eat_kw("using") {
+            let word = self.expect_ident()?;
+            let m = Metric::from_sql_keyword(&word).ok_or_else(|| unknown_metric_error(&word))?;
+            metric = Some(m);
+        }
+
+        Ok(GroupBy::SimilarityAround {
+            exprs,
+            centers,
+            metric: metric.unwrap_or(Metric::L2),
+            radius,
+        })
+    }
+
+    /// A numeric literal with an optional sign, as `f64`.
+    fn signed_number(&mut self) -> Result<f64> {
+        let neg = if self.eat(&Token::Minus) {
+            true
+        } else {
+            self.eat(&Token::Plus);
+            false
+        };
+        let v = match self.next() {
+            Some(Token::Int(n)) => n as f64,
+            Some(Token::Float(f)) => f,
+            other => {
+                return Err(Error::Parse(format!(
+                    "expected a numeric coordinate, found {other:?}"
+                )))
+            }
+        };
+        if !v.is_finite() {
+            // Overflowing literals like 1e999 parse to ±inf.
+            return Err(Error::Parse("coordinate literal overflows f64".into()));
+        }
+        Ok(if neg { -v } else { v })
     }
 
     // -- expressions ---------------------------------------------------------
@@ -819,6 +951,95 @@ mod tests {
                 assert!(msg.contains(kw), "error must name {kw}: {msg}");
             }
         }
+    }
+
+    #[test]
+    fn sgb_around_full_syntax() {
+        let s = parse_select(
+            "SELECT count(*) FROM gps \
+             GROUP BY lat, lon AROUND ((1.0, 2.0), (-3, 4.5)) LINF WITHIN 0.5",
+        )
+        .unwrap();
+        let Some(GroupBy::SimilarityAround {
+            exprs,
+            centers,
+            metric,
+            radius,
+        }) = s.group_by
+        else {
+            panic!("expected SimilarityAround, got {:?}", s.group_by)
+        };
+        assert_eq!(exprs.len(), 2);
+        assert_eq!(centers, vec![vec![1.0, 2.0], vec![-3.0, 4.5]]);
+        assert_eq!(metric, Metric::LInf);
+        assert_eq!(radius, Some(0.5));
+    }
+
+    #[test]
+    fn sgb_around_defaults_and_using_spelling() {
+        // Metric defaults to L2, radius is optional, USING works after
+        // WITHIN, and three-dimensional centers parse.
+        let s = parse_select("SELECT count(*) FROM t GROUP BY a, b AROUND ((0, 0))").unwrap();
+        assert!(matches!(
+            s.group_by,
+            Some(GroupBy::SimilarityAround {
+                metric: Metric::L2,
+                radius: None,
+                ..
+            })
+        ));
+        let s = parse_select(
+            "SELECT count(*) FROM t GROUP BY a, b AROUND ((0, 0), (1, 1)) WITHIN 2 USING lone",
+        )
+        .unwrap();
+        assert!(matches!(
+            s.group_by,
+            Some(GroupBy::SimilarityAround {
+                metric: Metric::L1,
+                radius: Some(r),
+                ..
+            }) if r == 2.0
+        ));
+        let s = parse_select(
+            "SELECT count(*) FROM t GROUP BY a, b, c AROUND ((0, 0, 0), (1, 1, 1)) L1",
+        )
+        .unwrap();
+        assert!(matches!(
+            s.group_by,
+            Some(GroupBy::SimilarityAround { ref centers, .. }) if centers[0].len() == 3
+        ));
+    }
+
+    #[test]
+    fn sgb_around_rejects_malformed_center_lists() {
+        // Empty list.
+        let err = parse_select("SELECT count(*) FROM t GROUP BY a, b AROUND ()").unwrap_err();
+        assert!(err.to_string().contains("at least one center"), "{err}");
+        // Dimension mismatch (2-D query, 3-D center and vice versa).
+        let err =
+            parse_select("SELECT count(*) FROM t GROUP BY a, b AROUND ((1, 2, 3))").unwrap_err();
+        assert!(err.to_string().contains("3 coordinate(s)"), "{err}");
+        let err =
+            parse_select("SELECT count(*) FROM t GROUP BY a, b, c AROUND ((1, 2))").unwrap_err();
+        assert!(err.to_string().contains("2 coordinate(s)"), "{err}");
+        // Duplicate centers (also across int/float spellings of the same
+        // value).
+        let err =
+            parse_select("SELECT count(*) FROM t GROUP BY a, b AROUND ((1, 2), (3, 4), (1.0, 2))")
+                .unwrap_err();
+        assert!(err.to_string().contains("duplicate AROUND center"), "{err}");
+        // Unknown metric keyword is a hard error naming valid spellings.
+        let err = parse_select("SELECT count(*) FROM t GROUP BY a, b AROUND ((1, 2)) COSINE")
+            .unwrap_err();
+        assert!(err.to_string().contains("unknown distance metric"), "{err}");
+        // Negative radius.
+        let err = parse_select("SELECT count(*) FROM t GROUP BY a, b AROUND ((1, 2)) WITHIN -1")
+            .unwrap_err();
+        assert!(err.to_string().contains("radius"), "{err}");
+        // Non-numeric coordinate.
+        assert!(parse_select("SELECT count(*) FROM t GROUP BY a, b AROUND ((x, 2))").is_err());
+        // Wrong arity of grouping attributes.
+        assert!(parse_select("SELECT count(*) FROM t GROUP BY a AROUND ((1))").is_err());
     }
 
     #[test]

@@ -8,12 +8,12 @@
 //!
 //! | crate | contents |
 //! |---|---|
-//! | [`sgb_core`] | the SGB-All / SGB-Any operators (the paper's contribution) |
+//! | [`sgb_core`] | the SGB-All / SGB-Any / SGB-Around operators (the paper lineage's contribution) |
 //! | [`sgb_geom`] | points, rectangles, the `L1`/`L2`/`L∞` metrics, convex hulls |
 //! | [`sgb_spatial`] | the on-the-fly R-tree index |
 //! | [`sgb_dsu`] | Union-Find for group merging |
 //! | [`sgb_cluster`] | K-means / DBSCAN / BIRCH baselines |
-//! | [`sgb_relation`] | the mini SQL engine with the `DISTANCE-TO-ALL` / `DISTANCE-TO-ANY` grammar |
+//! | [`sgb_relation`] | the mini SQL engine with the `DISTANCE-TO-ALL` / `DISTANCE-TO-ANY` / `AROUND` grammar |
 //! | [`sgb_datagen`] | TPC-H-like, check-in, and synthetic workload generators |
 //!
 //! ## Quickstart
@@ -31,6 +31,25 @@
 //! assert_eq!(sgb_any(&pts, &SgbAnyConfig::new(1.0)).num_groups(), 2);
 //! ```
 //!
+//! Or grouped *around* query-supplied centers (SGB-Around, the
+//! order-independent family member), with a radius bound that sends
+//! far-away records to an explicit outlier group:
+//!
+//! ```
+//! use sgb::core::{sgb_around, SgbAroundConfig};
+//! use sgb::geom::Point;
+//!
+//! let pts: Vec<Point<2>> = vec![
+//!     Point::new([1.0, 1.0]),
+//!     Point::new([1.5, 1.2]),
+//!     Point::new([5.0, 5.0]),
+//! ];
+//! let centers = vec![Point::new([1.0, 1.0]), Point::new([9.0, 9.0])];
+//! let out = sgb_around(&pts, &SgbAroundConfig::new(centers).max_radius(2.0));
+//! assert_eq!(out.groups, vec![vec![0, 1], vec![]]);
+//! assert_eq!(out.outliers, vec![2]); // (5, 5) is > 2 from both centers
+//! ```
+//!
 //! Or through SQL:
 //!
 //! ```
@@ -43,6 +62,11 @@
 //!     .execute("SELECT count(*) FROM p GROUP BY x, y DISTANCE-TO-ANY L2 WITHIN 1")
 //!     .unwrap();
 //! assert_eq!(out.len(), 2);
+//! // The AROUND grammar runs through the same pipeline:
+//! let around = db
+//!     .execute("SELECT count(*) FROM p GROUP BY x, y AROUND ((1, 1), (5, 5)) WITHIN 2")
+//!     .unwrap();
+//! assert_eq!(around.len(), 2);
 //! ```
 
 /// Clustering baselines (K-means, DBSCAN, BIRCH).
@@ -61,8 +85,9 @@ pub use sgb_relation as relation;
 pub use sgb_spatial as spatial;
 
 pub use sgb_core::{
-    sgb_all, sgb_any, AllAlgorithm, AnyAlgorithm, Grouping, OverlapAction, SgbAll, SgbAllConfig,
-    SgbAny, SgbAnyConfig,
+    sgb_all, sgb_any, sgb_around, AllAlgorithm, AnyAlgorithm, AroundAlgorithm, AroundGrouping,
+    Grouping, OverlapAction, SgbAll, SgbAllConfig, SgbAny, SgbAnyConfig, SgbAround,
+    SgbAroundConfig,
 };
 pub use sgb_geom::{Metric, Point, Point2, Point3, Rect};
 pub use sgb_relation::Database;

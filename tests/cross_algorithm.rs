@@ -244,3 +244,85 @@ fn join_any_seed_controls_arbitration_only() {
     // every record.
     assert!(sizes.iter().all(|&n| n > 0));
 }
+
+#[test]
+fn around_recovers_ground_truth_mixture_centers() {
+    // Seed AROUND with the true mixture centers the generator drew points
+    // from: both execution paths agree, and with a tight spread almost
+    // every point lands on its own generator's center.
+    use sgb::core::{sgb_around, AroundAlgorithm, SgbAroundConfig};
+    use sgb::datagen::clustered_points_with_centers;
+
+    let (points, centers) = clustered_points_with_centers::<2>(2_000, 16, 0.002, 0xA10);
+    for metric in [Metric::L1, Metric::L2, Metric::LInf] {
+        let run = |algorithm| {
+            let cfg = SgbAroundConfig::new(centers.clone())
+                .metric(metric)
+                .algorithm(algorithm);
+            sgb_around(&points, &cfg)
+        };
+        let brute = run(AroundAlgorithm::BruteForce);
+        let indexed = run(AroundAlgorithm::Indexed);
+        assert_eq!(brute, indexed, "{metric}");
+        brute.check_partition(points.len());
+        assert_eq!(brute.assigned_records(), points.len());
+        // Every center of a 16-component mixture over 2000 points should
+        // attract a crowd.
+        assert_eq!(brute.occupied_centers(), 16, "{metric}");
+    }
+    // A radius of a few σ keeps the clusters and expels nothing (spread is
+    // 0.002, so 10σ covers essentially all mass around each center).
+    let bounded = sgb_around(
+        &points,
+        &SgbAroundConfig::new(centers.clone()).max_radius(0.02),
+    );
+    assert!(
+        bounded.outliers.len() < points.len() / 100,
+        "{} outliers at 10 sigma",
+        bounded.outliers.len()
+    );
+}
+
+#[test]
+fn around_through_sql_equals_core_on_checkin_data() {
+    // End-to-end: check-in points through the SQL engine's AROUND clause
+    // equal the core operator on the extracted points.
+    use sgb::core::{sgb_around, SgbAroundConfig};
+    use sgb::relation::{Database, Schema, Table, Value};
+
+    let dataset = CheckinConfig::brightkite_like(800).generate();
+    let points = dataset.points();
+    let mut table = Table::empty(Schema::new(["lat", "lon"]));
+    for p in &points {
+        table
+            .push(vec![Value::Float(p.x()), Value::Float(p.y())])
+            .unwrap();
+    }
+    let mut db = Database::new();
+    db.register("checkins", table);
+
+    let centers = vec![
+        Point::new([0.25, 0.25]),
+        Point::new([0.75, 0.25]),
+        Point::new([0.5, 0.75]),
+    ];
+    let out = db
+        .query(
+            "SELECT count(*) FROM checkins \
+             GROUP BY lat, lon AROUND ((0.25, 0.25), (0.75, 0.25), (0.5, 0.75)) L2 WITHIN 0.4",
+        )
+        .unwrap();
+    let expected = sgb_around(&points, &SgbAroundConfig::new(centers).max_radius(0.4)).grouping();
+    let mut sql_sizes: Vec<usize> = out
+        .rows
+        .iter()
+        .map(|r| match &r[0] {
+            Value::Int(n) => *n as usize,
+            other => panic!("count(*) must be an int, got {other}"),
+        })
+        .collect();
+    sql_sizes.sort_unstable();
+    let mut core_sizes = expected.sizes();
+    core_sizes.sort_unstable();
+    assert_eq!(sql_sizes, core_sizes);
+}
