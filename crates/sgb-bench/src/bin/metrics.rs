@@ -10,47 +10,27 @@
 //! repository root (resolved relative to this crate's manifest) and a
 //! human-readable table goes to stderr.
 
-use std::fmt::Write as _;
 use std::process::ExitCode;
 
 use sgb_bench::experiments::metric_comparison;
+use sgb_bench::report::{parse_bench_cli, Report};
 
 /// Default output path: `<repo root>/BENCH_metrics.json`.
 fn default_out() -> String {
     concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_metrics.json").to_owned()
 }
 
-fn usage() -> ExitCode {
-    eprintln!("usage: metrics [--scale f] [--out path]");
-    ExitCode::FAILURE
-}
-
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut scale = 1.0f64;
-    let mut out_path = default_out();
-    let mut i = 0;
-    while i < args.len() {
-        match args[i].as_str() {
-            "--scale" => {
-                let Some(v) = args.get(i + 1).and_then(|s| sgb_bench::cli::parse_scale(s)) else {
-                    return usage();
-                };
-                scale = v;
-                i += 2;
-            }
-            "--out" => {
-                let Some(p) = args.get(i + 1) else {
-                    return usage();
-                };
-                out_path = p.clone();
-                i += 2;
-            }
-            _ => return usage(),
+    let cli = match parse_bench_cli(std::env::args().skip(1)) {
+        Ok(cli) if cli.positional.is_none() => cli,
+        _ => {
+            eprintln!("usage: metrics [--scale f] [--out path]");
+            return ExitCode::FAILURE;
         }
-    }
+    };
+    let out_path = cli.out.unwrap_or_else(default_out);
 
-    let (n, eps, rows) = metric_comparison(scale);
+    let (n, eps, rows) = metric_comparison(cli.scale);
 
     eprintln!("# metric comparison: n = {n}, eps = {eps}");
     eprintln!(
@@ -64,30 +44,20 @@ fn main() -> ExitCode {
         );
     }
 
-    // Hand-rolled JSON: every field is a number or a fixed identifier, so
-    // no escaping is needed (no serde in the offline dependency set).
-    let mut json = String::new();
-    json.push_str("{\n");
-    let _ = writeln!(json, "  \"experiment\": \"metric_comparison\",");
-    let _ = writeln!(json, "  \"n\": {n},");
-    let _ = writeln!(json, "  \"eps\": {eps},");
-    let _ = writeln!(json, "  \"scale\": {scale},");
-    json.push_str("  \"rows\": [\n");
-    for (i, r) in rows.iter().enumerate() {
-        let comma = if i + 1 == rows.len() { "" } else { "," };
-        let _ = writeln!(
-            json,
-            "    {{\"op\": \"{}\", \"algorithm\": \"{}\", \"metric\": \"{}\", \
-             \"seconds\": {:.6}, \"groups\": {}}}{comma}",
+    let mut report = Report::new("metric_comparison")
+        .field_num("n", n as f64)
+        .field_num("eps", eps)
+        .field_num("scale", cli.scale);
+    for r in &rows {
+        report.push_row(format!(
+            "{{\"op\": \"{}\", \"algorithm\": \"{}\", \"metric\": \"{}\", \
+             \"seconds\": {:.6}, \"groups\": {}}}",
             r.op, r.algorithm, r.metric, r.seconds, r.groups
-        );
+        ));
     }
-    json.push_str("  ]\n}\n");
-
-    if let Err(e) = std::fs::write(&out_path, &json) {
-        eprintln!("failed to write {out_path}: {e}");
+    if let Err(e) = report.write(&out_path) {
+        eprintln!("{e}");
         return ExitCode::FAILURE;
     }
-    eprintln!("# wrote {out_path}");
     ExitCode::SUCCESS
 }

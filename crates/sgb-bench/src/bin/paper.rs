@@ -68,29 +68,16 @@ fn run(which: &str, scale: f64) -> Option<Vec<Experiment>> {
 }
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut which: Option<String> = None;
-    let mut scale = 1.0f64;
-    let mut i = 0;
-    while i < args.len() {
-        match args[i].as_str() {
-            "--scale" => {
-                let Some(v) = args.get(i + 1).and_then(|s| sgb_bench::cli::parse_scale(s)) else {
-                    return usage();
-                };
-                scale = v;
-                i += 2;
-            }
-            "--help" | "-h" => return usage(),
-            other if which.is_none() => {
-                which = Some(other.to_owned());
-                i += 1;
-            }
-            _ => return usage(),
-        }
-    }
-    let Some(which) = which else { return usage() };
-    let Some(experiments) = run(&which, scale) else {
+    // Shared benchmark CLI loop; this binary prints CSV to stdout, so a
+    // `--out` override is rejected as unknown usage.
+    let cli = match sgb_bench::report::parse_bench_cli(std::env::args().skip(1)) {
+        Ok(cli) if cli.out.is_none() => cli,
+        _ => return usage(),
+    };
+    let Some(which) = cli.positional else {
+        return usage();
+    };
+    let Some(experiments) = run(&which, cli.scale) else {
         return usage();
     };
     for e in experiments {

@@ -617,6 +617,157 @@ pub fn around_comparison(scale: f64) -> (f64, Vec<AroundBenchRow>) {
     (radius, rows)
 }
 
+/// One row of the grid-engine comparison: an operator/algorithm
+/// combination timed at one sweep point.
+#[derive(Clone, Debug)]
+pub struct GridBenchRow {
+    /// `"sgb-all"`, `"sgb-any"`, or `"sgb-around"`.
+    pub op: &'static str,
+    /// Which variable the sweep varies: `"n"`, `"eps"`, or `"centers"`.
+    pub sweep: &'static str,
+    /// The varied value.
+    pub x: f64,
+    /// Input cardinality at this sweep point.
+    pub n: usize,
+    /// Algorithm label (concrete algorithms plus `"Auto"`).
+    pub algorithm: &'static str,
+    /// Wall-clock seconds for one run.
+    pub seconds: f64,
+    /// Number of answer groups — the sanity anchor: fixed per sweep point
+    /// across algorithms (asserted by the runner).
+    pub groups: usize,
+}
+
+/// The grid-engine comparison behind the `grid` binary: Grid vs the
+/// R-tree-indexed paths vs the scan baselines for all three operators,
+/// over input-cardinality and ε / center-count sweeps, with an `Auto` row
+/// per sweep point showing the cost model tracking the per-configuration
+/// winner. Every sweep point asserts that all algorithms agree on the
+/// answer-group count. Returns the row set.
+pub fn grid_comparison(scale: f64) -> Vec<GridBenchRow> {
+    let mut rows = Vec::new();
+
+    const ALL_ALGOS: [(&str, AllAlgorithm); 5] = [
+        ("AllPairs", AllAlgorithm::AllPairs),
+        ("BoundsChecking", AllAlgorithm::BoundsChecking),
+        ("Indexed", AllAlgorithm::Indexed),
+        ("Grid", AllAlgorithm::Grid),
+        ("Auto", AllAlgorithm::Auto),
+    ];
+    const ANY_ALGOS: [(&str, AnyAlgorithm); 4] = [
+        ("AllPairs", AnyAlgorithm::AllPairs),
+        ("Indexed", AnyAlgorithm::Indexed),
+        ("Grid", AnyAlgorithm::Grid),
+        ("Auto", AnyAlgorithm::Auto),
+    ];
+    const AROUND_ALGOS: [(&str, AroundAlgorithm); 4] = [
+        ("BruteForce", AroundAlgorithm::BruteForce),
+        ("Indexed", AroundAlgorithm::Indexed),
+        ("Grid", AroundAlgorithm::Grid),
+        ("Auto", AroundAlgorithm::Auto),
+    ];
+
+    let mut run_all_any = |sweep: &'static str, x: f64, n: usize, eps: f64| {
+        let points = fig9_workload(n, 0x0F19);
+        let mut sanity = Vec::new();
+        for (name, algo) in ALL_ALGOS {
+            let cfg = SgbAllConfig::new(eps).metric(Metric::L2).algorithm(algo);
+            let (out, secs) = time(|| sgb_all(&points, &cfg));
+            eprintln!(
+                "#   grid sgb-all {sweep}={x} {name}: {secs:.4}s ({} groups)",
+                out.num_groups()
+            );
+            sanity.push(out.num_groups());
+            rows.push(GridBenchRow {
+                op: "sgb-all",
+                sweep,
+                x,
+                n,
+                algorithm: name,
+                seconds: secs,
+                groups: out.num_groups(),
+            });
+        }
+        assert!(
+            sanity.windows(2).all(|w| w[0] == w[1]),
+            "SGB-All algorithms disagree at {sweep}={x}: {sanity:?}"
+        );
+        let mut sanity = Vec::new();
+        for (name, algo) in ANY_ALGOS {
+            let cfg = SgbAnyConfig::new(eps).metric(Metric::L2).algorithm(algo);
+            let (out, secs) = time(|| sgb_any(&points, &cfg));
+            eprintln!(
+                "#   grid sgb-any {sweep}={x} {name}: {secs:.4}s ({} groups)",
+                out.num_groups()
+            );
+            sanity.push(out.num_groups());
+            rows.push(GridBenchRow {
+                op: "sgb-any",
+                sweep,
+                x,
+                n,
+                algorithm: name,
+                seconds: secs,
+                groups: out.num_groups(),
+            });
+        }
+        assert!(
+            sanity.windows(2).all(|w| w[0] == w[1]),
+            "SGB-Any algorithms disagree at {sweep}={x}: {sanity:?}"
+        );
+    };
+
+    // Sweep 1: input cardinality at the metric-comparison ε (the workload
+    // behind BENCH_metrics.json, so the rows are directly comparable).
+    for base in [2_000usize, 5_000, 10_000, 20_000] {
+        let n = scaled(base, scale);
+        run_all_any("n", n as f64, n, 0.3);
+    }
+    // Sweep 2: ε at a fixed cardinality — group structure shifts from
+    // many small groups to few large ones.
+    let n_fixed = scaled(10_000, scale);
+    for eps in [0.1, 0.3, 0.9] {
+        run_all_any("eps", eps, n_fixed, eps);
+    }
+
+    // Sweep 3: SGB-Around over center count (the BENCH_around.json regime
+    // where the old Indexed default loses below ~1k centers).
+    let n_around = scaled(20_000, scale);
+    for centers_n in [16usize, 64, 256, 1024, 4096] {
+        let centers_n_scaled = scaled(centers_n, scale).min(n_around);
+        let (points, centers) =
+            clustered_points_with_centers::<2>(n_around, centers_n_scaled, 0.01, 0xA401);
+        let mut sanity = Vec::new();
+        for (name, algo) in AROUND_ALGOS {
+            let cfg = SgbAroundConfig::new(centers.clone())
+                .max_radius(0.03)
+                .algorithm(algo);
+            let (out, secs) = time(|| sgb_around(&points, &cfg));
+            eprintln!(
+                "#   grid sgb-around centers={centers_n_scaled} {name}: {secs:.4}s \
+                 ({} occupied, {} outliers)",
+                out.occupied_centers(),
+                out.outliers.len()
+            );
+            sanity.push((out.occupied_centers(), out.outliers.len()));
+            rows.push(GridBenchRow {
+                op: "sgb-around",
+                sweep: "centers",
+                x: centers_n_scaled as f64,
+                n: n_around,
+                algorithm: name,
+                seconds: secs,
+                groups: out.occupied_centers(),
+            });
+        }
+        assert!(
+            sanity.windows(2).all(|w| w[0] == w[1]),
+            "SGB-Around algorithms disagree at centers={centers_n_scaled}: {sanity:?}"
+        );
+    }
+    rows
+}
+
 /// Fits the slope of `log(seconds)` against `log(x)` — the empirical
 /// scaling exponent.
 pub fn fit_loglog_slope(rows: &[(f64, f64)]) -> f64 {
@@ -788,6 +939,30 @@ mod tests {
                 .find(|o| o.sweep == r.sweep && o.x == r.x && o.algorithm != r.algorithm)
                 .unwrap();
             assert_eq!((r.occupied, r.outliers), (twin.occupied, twin.outliers));
+        }
+    }
+
+    #[test]
+    fn grid_comparison_smoke() {
+        let rows = grid_comparison(0.01);
+        // (4 n-points + 3 eps-points) × (5 All + 4 Any algorithms)
+        // + 5 center-points × 4 Around algorithms.
+        assert_eq!(rows.len(), 7 * 9 + 5 * 4);
+        for op in ["sgb-all", "sgb-any", "sgb-around"] {
+            assert!(rows.iter().any(|r| r.op == op), "{op}");
+            assert!(
+                rows.iter().any(|r| r.op == op && r.algorithm == "Auto"),
+                "{op} needs an Auto row"
+            );
+        }
+        // Group counts agree across algorithms per (op, sweep, x) — the
+        // runner asserts this too; double-check on the returned rows.
+        for r in &rows {
+            for other in &rows {
+                if r.op == other.op && r.sweep == other.sweep && r.x == other.x {
+                    assert_eq!(r.groups, other.groups, "{r:?} vs {other:?}");
+                }
+            }
         }
     }
 

@@ -17,6 +17,7 @@
 pub mod cli;
 pub mod experiments;
 pub mod queries;
+pub mod report;
 pub mod timing;
 
 pub use timing::time;

@@ -1,0 +1,339 @@
+//! Shared benchmark-report plumbing: the `--scale` / `--out` CLI loop and
+//! the hand-rolled JSON report writer previously duplicated across the
+//! `paper`, `metrics`, and `around` binaries, plus a dependency-free JSON
+//! validity checker used by CI to assert the committed `BENCH_*.json`
+//! files stay parseable.
+//!
+//! The offline dependency set has no serde, so reports are rendered by
+//! hand; [`Report`] centralises the envelope (`experiment` name, scalar
+//! header fields, a `rows` array) while each binary renders its own row
+//! objects (every field is a number or a fixed identifier, so no escaping
+//! is needed).
+
+use std::fmt::Write as _;
+
+/// Parsed common benchmark CLI: `[positional] [--scale f] [--out path]`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BenchCli {
+    /// Workload multiplier (`--scale`), validated by
+    /// [`crate::cli::parse_scale`]. Defaults to `1.0`.
+    pub scale: f64,
+    /// Output path override (`--out`), when the binary writes a report.
+    pub out: Option<String>,
+    /// First free-standing argument (the `paper` binary's experiment
+    /// name); at most one is accepted.
+    pub positional: Option<String>,
+}
+
+/// Parses the common benchmark argument loop. Returns `Err` with the
+/// offending token on malformed input (callers print their usage string).
+pub fn parse_bench_cli(args: impl IntoIterator<Item = String>) -> Result<BenchCli, String> {
+    let args: Vec<String> = args.into_iter().collect();
+    let mut cli = BenchCli {
+        scale: 1.0,
+        out: None,
+        positional: None,
+    };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                let Some(v) = args.get(i + 1).and_then(|s| crate::cli::parse_scale(s)) else {
+                    return Err("--scale requires a positive finite number".into());
+                };
+                cli.scale = v;
+                i += 2;
+            }
+            "--out" => {
+                let Some(p) = args.get(i + 1) else {
+                    return Err("--out requires a path".into());
+                };
+                cli.out = Some(p.clone());
+                i += 2;
+            }
+            "--help" | "-h" => return Err("help requested".into()),
+            other if cli.positional.is_none() && !other.starts_with('-') => {
+                cli.positional = Some(other.to_owned());
+                i += 1;
+            }
+            other => return Err(format!("unexpected argument '{other}'")),
+        }
+    }
+    Ok(cli)
+}
+
+/// A benchmark report: scalar header fields plus a `rows` array of
+/// pre-rendered JSON objects, rendered in insertion order.
+#[derive(Clone, Debug, Default)]
+pub struct Report {
+    header: Vec<(String, String)>,
+    rows: Vec<String>,
+}
+
+impl Report {
+    /// A report for the named experiment.
+    pub fn new(experiment: &str) -> Self {
+        let mut r = Self::default();
+        r.header
+            .push(("experiment".into(), format!("\"{experiment}\"")));
+        r
+    }
+
+    /// Adds a numeric header field.
+    pub fn field_num(mut self, key: &str, value: f64) -> Self {
+        self.header.push((key.into(), format!("{value}")));
+        self
+    }
+
+    /// Appends one row (a rendered JSON object, `{…}` without trailing
+    /// comma).
+    pub fn push_row(&mut self, rendered: String) {
+        debug_assert!(rendered.starts_with('{') && rendered.ends_with('}'));
+        self.rows.push(rendered);
+    }
+
+    /// Renders the full report. Every emitted report round-trips through
+    /// [`validate`].
+    pub fn render(&self) -> String {
+        let mut json = String::from("{\n");
+        for (key, value) in &self.header {
+            let _ = writeln!(json, "  \"{key}\": {value},");
+        }
+        json.push_str("  \"rows\": [\n");
+        for (i, row) in self.rows.iter().enumerate() {
+            let comma = if i + 1 == self.rows.len() { "" } else { "," };
+            let _ = writeln!(json, "    {row}{comma}");
+        }
+        json.push_str("  ]\n}\n");
+        debug_assert!(validate(&json).is_ok(), "report must render valid JSON");
+        json
+    }
+
+    /// Renders and writes the report, logging the destination to stderr
+    /// (the established behaviour of the report binaries).
+    pub fn write(&self, path: &str) -> Result<(), String> {
+        std::fs::write(path, self.render()).map_err(|e| format!("failed to write {path}: {e}"))?;
+        eprintln!("# wrote {path}");
+        Ok(())
+    }
+}
+
+/// Minimal recursive-descent JSON validator (no serde in the offline
+/// dependency set): accepts exactly one JSON value surrounded by
+/// whitespace. Used by CI to assert the committed `BENCH_*.json` reports
+/// stay parseable, and by `Report` itself as a render-time debug check.
+pub fn validate(s: &str) -> Result<(), String> {
+    let b = s.as_bytes();
+    let mut i = 0usize;
+    skip_ws(b, &mut i);
+    value(b, &mut i)?;
+    skip_ws(b, &mut i);
+    if i != b.len() {
+        return Err(format!("trailing content at byte {i}"));
+    }
+    Ok(())
+}
+
+fn skip_ws(b: &[u8], i: &mut usize) {
+    while *i < b.len() && matches!(b[*i], b' ' | b'\t' | b'\n' | b'\r') {
+        *i += 1;
+    }
+}
+
+fn value(b: &[u8], i: &mut usize) -> Result<(), String> {
+    match b.get(*i) {
+        Some(b'{') => object(b, i),
+        Some(b'[') => array(b, i),
+        Some(b'"') => string(b, i),
+        Some(b't') => literal(b, i, b"true"),
+        Some(b'f') => literal(b, i, b"false"),
+        Some(b'n') => literal(b, i, b"null"),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => number(b, i),
+        other => Err(format!("unexpected {other:?} at byte {i}")),
+    }
+}
+
+fn literal(b: &[u8], i: &mut usize, lit: &[u8]) -> Result<(), String> {
+    if b[*i..].starts_with(lit) {
+        *i += lit.len();
+        Ok(())
+    } else {
+        Err(format!("bad literal at byte {i}"))
+    }
+}
+
+fn number(b: &[u8], i: &mut usize) -> Result<(), String> {
+    let start = *i;
+    while *i < b.len() && matches!(b[*i], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E') {
+        *i += 1;
+    }
+    std::str::from_utf8(&b[start..*i])
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .filter(|v| v.is_finite())
+        .map(|_| ())
+        .ok_or_else(|| format!("bad number at byte {start}"))
+}
+
+fn string(b: &[u8], i: &mut usize) -> Result<(), String> {
+    debug_assert_eq!(b[*i], b'"');
+    *i += 1;
+    while *i < b.len() {
+        match b[*i] {
+            b'"' => {
+                *i += 1;
+                return Ok(());
+            }
+            b'\\' => *i += 2,
+            _ => *i += 1,
+        }
+    }
+    Err("unterminated string".into())
+}
+
+fn array(b: &[u8], i: &mut usize) -> Result<(), String> {
+    *i += 1; // [
+    skip_ws(b, i);
+    if b.get(*i) == Some(&b']') {
+        *i += 1;
+        return Ok(());
+    }
+    loop {
+        value(b, i)?;
+        skip_ws(b, i);
+        match b.get(*i) {
+            Some(b',') => {
+                *i += 1;
+                skip_ws(b, i);
+            }
+            Some(b']') => {
+                *i += 1;
+                return Ok(());
+            }
+            other => return Err(format!("expected ',' or ']' at byte {i}, got {other:?}")),
+        }
+    }
+}
+
+fn object(b: &[u8], i: &mut usize) -> Result<(), String> {
+    *i += 1; // {
+    skip_ws(b, i);
+    if b.get(*i) == Some(&b'}') {
+        *i += 1;
+        return Ok(());
+    }
+    loop {
+        skip_ws(b, i);
+        if b.get(*i) != Some(&b'"') {
+            return Err(format!("expected object key at byte {i}"));
+        }
+        string(b, i)?;
+        skip_ws(b, i);
+        if b.get(*i) != Some(&b':') {
+            return Err(format!("expected ':' at byte {i}"));
+        }
+        *i += 1;
+        skip_ws(b, i);
+        value(b, i)?;
+        skip_ws(b, i);
+        match b.get(*i) {
+            Some(b',') => *i += 1,
+            Some(b'}') => {
+                *i += 1;
+                return Ok(());
+            }
+            other => return Err(format!("expected ',' or '}}' at byte {i}, got {other:?}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cli_parses_flags_and_positional() {
+        let cli =
+            parse_bench_cli(["fig9a", "--scale", "0.5", "--out", "/tmp/x.json"].map(String::from))
+                .unwrap();
+        assert_eq!(cli.positional.as_deref(), Some("fig9a"));
+        assert_eq!(cli.scale, 0.5);
+        assert_eq!(cli.out.as_deref(), Some("/tmp/x.json"));
+        assert_eq!(
+            parse_bench_cli([] as [String; 0]).unwrap(),
+            BenchCli {
+                scale: 1.0,
+                out: None,
+                positional: None
+            }
+        );
+        for bad in [
+            vec!["--scale"],
+            vec!["--scale", "inf"],
+            vec!["--scale", "0"],
+            vec!["--out"],
+            vec!["--bogus"],
+            vec!["a", "b"],
+        ] {
+            assert!(
+                parse_bench_cli(bad.iter().map(|s| s.to_string())).is_err(),
+                "{bad:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn report_renders_valid_json() {
+        let mut r = Report::new("demo")
+            .field_num("n", 10_000.0)
+            .field_num("eps", 0.3);
+        r.push_row("{\"algorithm\": \"Grid\", \"seconds\": 0.001}".into());
+        r.push_row("{\"algorithm\": \"Indexed\", \"seconds\": 0.002}".into());
+        let json = r.render();
+        validate(&json).unwrap();
+        assert!(json.contains("\"experiment\": \"demo\""));
+        assert!(json.contains("\"rows\": ["));
+    }
+
+    #[test]
+    fn empty_rows_render_valid_json() {
+        let json = Report::new("empty").render();
+        validate(&json).unwrap();
+    }
+
+    #[test]
+    fn validator_accepts_and_rejects() {
+        for good in [
+            "{}",
+            "[]",
+            "null",
+            "  {\"a\": [1, 2.5, -3e-2], \"b\": {\"c\": \"x\\\"y\"}, \"d\": true} ",
+        ] {
+            assert!(validate(good).is_ok(), "{good}");
+        }
+        for bad in [
+            "",
+            "{",
+            "{\"a\": }",
+            "[1, ]",
+            "{\"a\": 1} extra",
+            "{'a': 1}",
+            "{\"a\": nan}",
+        ] {
+            assert!(validate(bad).is_err(), "{bad}");
+        }
+    }
+
+    /// CI gate: the committed benchmark reports at the repository root
+    /// must stay parseable.
+    #[test]
+    fn committed_bench_reports_parse() {
+        for name in ["BENCH_metrics.json", "BENCH_around.json", "BENCH_grid.json"] {
+            let path = format!("{}/../../{name}", env!("CARGO_MANIFEST_DIR"));
+            let text = std::fs::read_to_string(&path)
+                .unwrap_or_else(|e| panic!("committed report {name} must exist: {e}"));
+            validate(&text).unwrap_or_else(|e| panic!("{name} must parse: {e}"));
+            assert!(text.contains("\"rows\""), "{name} must carry a rows array");
+        }
+    }
+}

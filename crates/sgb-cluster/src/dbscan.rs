@@ -72,10 +72,12 @@ pub fn dbscan<const D: usize>(points: &[Point<D>], cfg: &DbscanConfig) -> Dbscan
     const UNVISITED: usize = usize::MAX;
     const NOISE: usize = usize::MAX - 1;
 
-    let mut index: RTree<D, usize> = RTree::new();
-    for (i, p) in points.iter().enumerate() {
-        index.insert_point(*p, i);
-    }
+    // The point set is complete up front, so the index is STR bulk-loaded
+    // instead of paying insert-at-a-time construction.
+    let index: RTree<D, usize> = RTree::from_points(
+        sgb_spatial::rtree::DEFAULT_MAX_ENTRIES,
+        points.iter().enumerate().map(|(i, p)| (*p, i)),
+    );
 
     let region_query = |i: usize, buf: &mut Vec<usize>| {
         buf.clear();

@@ -21,13 +21,15 @@
 //!    overlap groups' affected members; `FORM-NEW-GROUP` re-groups the
 //!    deferred set `S'` recursively at the end.
 
+use std::collections::HashMap;
+
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 use sgb_geom::{ConvexHull, EpsAllRegion, Point, Rect, RectFilter};
-use sgb_spatial::RTree;
+use sgb_spatial::{Grid, RTree};
 
-use crate::{AllAlgorithm, Grouping, OverlapAction, RecordId, SgbAllConfig};
+use crate::{cost, AllAlgorithm, Grouping, OverlapAction, RecordId, SgbAllConfig};
 
 type GroupId = usize;
 
@@ -135,6 +137,11 @@ fn scan_overlap<const D: usize>(g: &GroupState<D>, p: &Point<D>, cfg: &SgbAllCon
 #[derive(Debug)]
 struct Engine<const D: usize> {
     cfg: SgbAllConfig,
+    /// The concrete search strategy ([`AllAlgorithm::Auto`] resolved at
+    /// construction — streams have unknown cardinality, so `Auto` assumes
+    /// the scalable regime; the one-shot [`sgb_all`] resolves from the
+    /// true `n` before building the engine).
+    algorithm: AllAlgorithm,
     groups: Vec<GroupState<D>>,
     /// Structure-of-arrays mirror of each group's allowed region, so the
     /// Bounds-Checking scan streams through a dense rectangle directory
@@ -147,6 +154,16 @@ struct Engine<const D: usize> {
     live_groups: usize,
     /// `Groups_IX` of Procedure 5 (only for [`AllAlgorithm::Indexed`]).
     index: Option<RTree<D, GroupId>>,
+    /// ε-grid over the live members (only for [`AllAlgorithm::Grid`]):
+    /// cell side = ε, payload = record id. Members removed by overlap
+    /// processing stay in the grid as tombstones — [`Engine::membership`]
+    /// is the source of truth, so stale entries simply resolve to no
+    /// group (removed members are either eliminated or deferred to a
+    /// fresh engine, never re-inserted here).
+    grid: Option<Grid<D, RecordId>>,
+    /// Live-member record → current group, maintained only alongside
+    /// `grid`.
+    membership: HashMap<RecordId, GroupId>,
     rng: SmallRng,
     /// `S'`: points deferred by FORM-NEW-GROUP.
     deferred: Vec<(RecordId, Point<D>)>,
@@ -156,27 +173,39 @@ struct Engine<const D: usize> {
     scratch_candidates: Vec<GroupId>,
     scratch_overlaps: Vec<GroupId>,
     scratch_window: Vec<GroupId>,
+    /// Traversal scratch for the R-tree range probe, so the indexed hot
+    /// loop allocates nothing per point.
+    scratch_stack: Vec<usize>,
 }
 
 impl<const D: usize> Engine<D> {
     fn new(cfg: SgbAllConfig, rng: SmallRng) -> Self {
-        let index = match cfg.algorithm {
+        let algorithm = cost::resolve_all_streaming(cfg.algorithm, D);
+        let index = match algorithm {
             AllAlgorithm::Indexed => Some(RTree::with_max_entries(cfg.rtree_fanout)),
+            _ => None,
+        };
+        let grid = match algorithm {
+            AllAlgorithm::Grid => Some(Grid::new(Grid::<D, RecordId>::side_for_eps(cfg.eps))),
             _ => None,
         };
         Self {
             cfg,
+            algorithm,
             groups: Vec::new(),
             allowed_cache: Vec::new(),
             reach_cache: Vec::new(),
             live_groups: 0,
             index,
+            grid,
+            membership: HashMap::new(),
             rng,
             deferred: Vec::new(),
             eliminated: Vec::new(),
             scratch_candidates: Vec::new(),
             scratch_overlaps: Vec::new(),
             scratch_window: Vec::new(),
+            scratch_stack: Vec::new(),
         }
     }
 
@@ -214,7 +243,7 @@ impl<const D: usize> Engine<D> {
         overlaps: &mut Vec<GroupId>,
     ) {
         let track_overlaps = self.cfg.overlap != OverlapAction::JoinAny;
-        match self.cfg.algorithm {
+        match self.algorithm {
             AllAlgorithm::AllPairs => {
                 // Procedure 2: inspect every member of every group.
                 let (eps, metric) = (self.cfg.eps, self.cfg.metric);
@@ -276,7 +305,13 @@ impl<const D: usize> Engine<D> {
                 let mut gset = std::mem::take(&mut self.scratch_window);
                 gset.clear();
                 if let Some(ix) = &self.index {
-                    ix.query_within(p, self.cfg.eps, self.cfg.metric, |_, &gid| gset.push(gid));
+                    ix.for_each_within(
+                        p,
+                        self.cfg.eps,
+                        self.cfg.metric,
+                        &mut self.scratch_stack,
+                        |_, &gid| gset.push(gid),
+                    );
                 }
                 gset.sort_unstable();
                 for &gid in &gset {
@@ -296,6 +331,51 @@ impl<const D: usize> Engine<D> {
                 }
                 self.scratch_window = gset;
             }
+            AllAlgorithm::Grid => {
+                // ε-grid probe over the live members: the canonical-verified
+                // hits are exactly the points within ε of `p`, and the set
+                // of their groups is exactly CandidateGroups ∪
+                // OverlapGroups (a candidate's members are all within ε, an
+                // overlap group has some member within ε — both therefore
+                // surface at least one hit). Classification then mirrors
+                // the indexed arm: a group whose allowed region contains
+                // `p` goes through the exact refinement; any other surfaced
+                // group already proved a within-ε member, so it is an
+                // overlap group outright.
+                let mut gset = std::mem::take(&mut self.scratch_window);
+                gset.clear();
+                if let Some(grid) = &self.grid {
+                    let (eps, metric) = (self.cfg.eps, self.cfg.metric);
+                    let membership = &self.membership;
+                    grid.for_each_within(p, eps, metric, |q, ext| {
+                        if metric.within(p, q, eps) {
+                            if let Some(&gid) = membership.get(ext) {
+                                gset.push(gid);
+                            }
+                        }
+                    });
+                }
+                gset.sort_unstable();
+                gset.dedup();
+                for &gid in &gset {
+                    let g = &self.groups[gid];
+                    debug_assert!(!g.is_dead(), "membership maps only live members");
+                    let test = if g.region.point_in_region(p) {
+                        refine_candidate(g, p, &self.cfg, track_overlaps)
+                    } else if track_overlaps {
+                        GroupTest::Overlap
+                    } else {
+                        GroupTest::Far
+                    };
+                    match test {
+                        GroupTest::Candidate => candidates.push(gid),
+                        GroupTest::Overlap => overlaps.push(gid),
+                        GroupTest::Far => {}
+                    }
+                }
+                self.scratch_window = gset;
+            }
+            AllAlgorithm::Auto => unreachable!("Engine::new resolves Auto"),
         }
     }
 
@@ -336,6 +416,14 @@ impl<const D: usize> Engine<D> {
                 !removed.is_empty(),
                 "overlap group without overlapped members"
             );
+            // Removed members leave the live-membership map (their grid
+            // entries become inert tombstones); they are either dropped
+            // for good or re-grouped by a fresh engine with its own grid.
+            if self.grid.is_some() {
+                for (id, _) in &removed {
+                    self.membership.remove(id);
+                }
+            }
             match self.cfg.overlap {
                 OverlapAction::Eliminate => {
                     self.eliminated.extend(removed.iter().map(|(id, _)| *id));
@@ -360,6 +448,10 @@ impl<const D: usize> Engine<D> {
             ix.insert(rect, gid);
             state.indexed_rect = Some(rect);
         }
+        if let Some(grid) = &mut self.grid {
+            grid.insert(p, ext);
+            self.membership.insert(ext, gid);
+        }
         self.allowed_cache.push(state.region.allowed());
         self.reach_cache.push(state.region.reach());
         self.groups.push(state);
@@ -367,6 +459,10 @@ impl<const D: usize> Engine<D> {
     }
 
     fn insert_member(&mut self, gid: GroupId, ext: RecordId, p: Point<D>) {
+        if let Some(grid) = &mut self.grid {
+            grid.insert(p, ext);
+            self.membership.insert(ext, gid);
+        }
         let maintain_hull = self.hull_maintained();
         let g = &mut self.groups[gid];
         debug_assert!(!g.is_dead(), "cannot join a dead group");
@@ -493,6 +589,12 @@ impl<const D: usize> SgbAll<D> {
         &self.engine.cfg
     }
 
+    /// The concrete search strategy this operator runs with
+    /// ([`AllAlgorithm::Auto`] resolved at construction).
+    pub fn resolved_algorithm(&self) -> AllAlgorithm {
+        self.engine.algorithm
+    }
+
     /// Number of points processed so far.
     pub fn len(&self) -> usize {
         self.pushed
@@ -553,8 +655,12 @@ impl<const D: usize> SgbAll<D> {
 }
 
 /// One-shot convenience: runs SGB-All over a slice of points.
+/// [`AllAlgorithm::Auto`] resolves from the true cardinality here
+/// ([`cost::resolve_all`]); results never depend on the resolution — every
+/// concrete strategy is bit-identical.
 pub fn sgb_all<const D: usize>(points: &[Point<D>], cfg: &SgbAllConfig) -> Grouping {
-    let mut op = SgbAll::new(cfg.clone());
+    let (algorithm, _) = cost::resolve_all(cfg.algorithm, points.len(), D);
+    let mut op = SgbAll::new(cfg.clone().algorithm(algorithm));
     for p in points {
         op.push(*p);
     }
@@ -567,10 +673,11 @@ mod tests {
     use crate::SgbAnyConfig;
     use sgb_geom::Metric;
 
-    const ALGOS: [AllAlgorithm; 3] = [
+    const ALGOS: [AllAlgorithm; 4] = [
         AllAlgorithm::AllPairs,
         AllAlgorithm::BoundsChecking,
         AllAlgorithm::Indexed,
+        AllAlgorithm::Grid,
     ];
 
     fn pts(raw: &[[f64; 2]]) -> Vec<Point<2>> {
@@ -789,14 +896,13 @@ mod tests {
                         sgb_all(&points, &cfg)
                     })
                     .collect();
-                assert_eq!(
-                    runs[0], runs[1],
-                    "AllPairs vs Bounds {metric:?} {overlap:?}"
-                );
-                assert_eq!(
-                    runs[0], runs[2],
-                    "AllPairs vs Indexed {metric:?} {overlap:?}"
-                );
+                for (i, run) in runs.iter().enumerate().skip(1) {
+                    assert_eq!(
+                        &runs[0], run,
+                        "AllPairs vs {:?} {metric:?} {overlap:?}",
+                        ALGOS[i]
+                    );
+                }
             }
         }
     }
@@ -968,6 +1074,40 @@ mod tests {
                 let cfg = SgbAllConfig::new(1.0).metric(metric).algorithm(algo);
                 let out = sgb_all(&points, &cfg);
                 assert_eq!(out.sorted_sizes(), vec![2, 2], "{algo:?} {metric:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn auto_resolves_and_matches_every_concrete_algorithm() {
+        let mut state: u64 = 0xA07;
+        let mut next = || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) as f64) / (u32::MAX as f64)
+        };
+        let points: Vec<Point<2>> = (0..350)
+            .map(|_| Point::new([next() * 6.0, next() * 6.0]))
+            .collect();
+        // Streaming Auto assumes the scalable regime (group R-tree).
+        let op = SgbAll::<2>::new(SgbAllConfig::new(0.5));
+        assert_eq!(op.resolved_algorithm(), AllAlgorithm::Indexed);
+        for overlap in [
+            OverlapAction::JoinAny,
+            OverlapAction::Eliminate,
+            OverlapAction::FormNewGroup,
+        ] {
+            let auto = sgb_all(&points, &SgbAllConfig::new(0.5).overlap(overlap).seed(1234));
+            for algo in ALGOS {
+                let concrete = sgb_all(
+                    &points,
+                    &SgbAllConfig::new(0.5)
+                        .overlap(overlap)
+                        .algorithm(algo)
+                        .seed(1234),
+                );
+                assert_eq!(auto, concrete, "{algo:?} {overlap:?}");
             }
         }
     }

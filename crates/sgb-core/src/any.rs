@@ -6,19 +6,40 @@
 //! framework (Procedure 7) processes points one at a time:
 //!
 //! 1. `FindCandidateGroups` (Procedure 8) finds the groups containing a
-//!    point within ε of the new point — either by scanning all previous
-//!    points (`AllPairs`) or with a metric-aware range query on an
-//!    on-the-fly R-tree over the points (`Indexed`), followed by an exact
-//!    distance check with the canonical predicate (`VerifyPoints`);
+//!    point within ε of the new point — by scanning all previous points
+//!    (`AllPairs`), with a metric-aware range query on an on-the-fly
+//!    R-tree over the points (`Indexed`), or with an ε-grid probe over the
+//!    neighbour cells (`Grid` — no tree descent at all). Every index hit
+//!    is verified with the canonical predicate (`VerifyPoints`), so all
+//!    paths are bit-identical;
 //! 2. `ProcessGroupingANY` (Procedure 9) creates a group, joins the single
 //!    candidate, or merges all candidates via Union-Find
 //!    (`MergeGroupsInsert`).
+//!
+//! The one-shot [`sgb_any`] additionally exploits knowing the complete
+//! point set: it resolves [`AnyAlgorithm::Auto`] from the true
+//! cardinality, bulk-loads the index (sort-tile-recursive packing for the
+//! R-tree, one pass for the grid) instead of paying insert-at-a-time
+//! construction, and probes each point against the full index — the
+//! ε-graph is symmetric, so restricting unions to earlier neighbours
+//! yields exactly the streaming components.
 
 use sgb_dsu::DisjointSet;
 use sgb_geom::Point;
-use sgb_spatial::RTree;
+use sgb_spatial::{Grid, RTree};
 
-use crate::{AnyAlgorithm, Grouping, RecordId, SgbAnyConfig};
+use crate::{cost, AnyAlgorithm, Grouping, RecordId, SgbAnyConfig};
+
+/// The index state behind `FindCandidateGroups`, per algorithm.
+#[derive(Clone, Debug)]
+enum AnyIndex<const D: usize> {
+    /// All-Pairs: no index, scan the point log.
+    Scan,
+    /// `Points_IX` of Procedure 8: on-the-fly R-tree.
+    Tree(RTree<D, RecordId>),
+    /// ε-grid with cell side = ε (`1` when ε = 0).
+    Cells(Grid<D, RecordId>),
+}
 
 /// Streaming SGB-Any operator.
 ///
@@ -41,18 +62,28 @@ pub struct SgbAny<const D: usize> {
     cfg: SgbAnyConfig,
     points: Vec<Point<D>>,
     dsu: DisjointSet,
-    /// `Points_IX` of Procedure 8 (only for [`AnyAlgorithm::Indexed`]).
-    index: Option<RTree<D, RecordId>>,
+    /// Index behind `FindCandidateGroups`. [`AnyAlgorithm::Auto`] resolves
+    /// at construction via [`cost::resolve_any_streaming`] (a stream's
+    /// final cardinality is unknown, so `Auto` assumes the scalable
+    /// regime; the one-shot [`sgb_any`] resolves from the true `n`).
+    index: AnyIndex<D>,
     /// Scratch buffer for neighbour ids, reused across pushes.
     neighbours: Vec<RecordId>,
+    /// Traversal scratch for the R-tree range probe, reused across pushes
+    /// so the indexed hot loop allocates nothing per tuple.
+    stack: Vec<usize>,
 }
 
 impl<const D: usize> SgbAny<D> {
     /// Creates the operator.
     pub fn new(cfg: SgbAnyConfig) -> Self {
-        let index = match cfg.algorithm {
-            AnyAlgorithm::AllPairs => None,
-            AnyAlgorithm::Indexed => Some(RTree::with_max_entries(cfg.rtree_fanout)),
+        let index = match cost::resolve_any_streaming(cfg.algorithm, D) {
+            AnyAlgorithm::AllPairs => AnyIndex::Scan,
+            AnyAlgorithm::Indexed => AnyIndex::Tree(RTree::with_max_entries(cfg.rtree_fanout)),
+            AnyAlgorithm::Grid => {
+                AnyIndex::Cells(Grid::new(Grid::<D, RecordId>::side_for_eps(cfg.eps)))
+            }
+            AnyAlgorithm::Auto => unreachable!("streaming resolution never returns Auto"),
         };
         Self {
             cfg,
@@ -60,6 +91,16 @@ impl<const D: usize> SgbAny<D> {
             dsu: DisjointSet::new(),
             index,
             neighbours: Vec::new(),
+            stack: Vec::new(),
+        }
+    }
+
+    /// The concrete algorithm this operator runs with (`Auto` resolved).
+    pub fn resolved_algorithm(&self) -> AnyAlgorithm {
+        match &self.index {
+            AnyIndex::Scan => AnyAlgorithm::AllPairs,
+            AnyIndex::Tree(_) => AnyAlgorithm::Indexed,
+            AnyIndex::Cells(_) => AnyAlgorithm::Grid,
         }
     }
 
@@ -90,10 +131,14 @@ impl<const D: usize> SgbAny<D> {
         let eps = self.cfg.eps;
         let metric = self.cfg.metric;
 
-        // FindCandidateGroups: collect neighbours within ε.
+        // FindCandidateGroups: collect neighbours within ε. Every index
+        // path visits a guaranteed superset of the canonical predicate and
+        // verifies each hit with `Metric::within` (`VerifyPoints` of
+        // Procedure 8), so all paths agree with All-Pairs exactly,
+        // including on distances that tie with ε.
         self.neighbours.clear();
         match &self.index {
-            None => {
+            AnyIndex::Scan => {
                 // All-Pairs: scan every previously processed point.
                 for (j, q) in self.points.iter().enumerate() {
                     if metric.within(&p, q, eps) {
@@ -101,19 +146,24 @@ impl<const D: usize> SgbAny<D> {
                     }
                 }
             }
-            Some(ix) => {
+            AnyIndex::Tree(ix) => {
                 // Metric-aware range query pruned with the metric's own
                 // ball (diamond/disc/square) instead of its enclosing
-                // rectangle, then verify every hit with the canonical
-                // predicate — `VerifyPoints` of Procedure 8. The query's
-                // relaxed threshold makes the visited set a guaranteed
-                // superset of the floating-point predicate, so this path
-                // agrees with All-Pairs exactly, including on distances
-                // that tie with ε.
+                // rectangle; the traversal stack is reused scratch.
                 let points = &self.points;
                 let neighbours = &mut self.neighbours;
-                ix.query_within(&p, eps, metric, |_, &j| {
+                ix.for_each_within(&p, eps, metric, &mut self.stack, |_, &j| {
                     if metric.within(&p, &points[j], eps) {
+                        neighbours.push(j);
+                    }
+                });
+            }
+            AnyIndex::Cells(grid) => {
+                // ε-grid probe: the point's own cell plus its neighbours,
+                // no tree descent.
+                let neighbours = &mut self.neighbours;
+                grid.for_each_within(&p, eps, metric, |q, &j| {
+                    if metric.within(&p, q, eps) {
                         neighbours.push(j);
                     }
                 });
@@ -131,8 +181,10 @@ impl<const D: usize> SgbAny<D> {
             let j = self.neighbours[k];
             self.dsu.union(me, j);
         }
-        if let Some(ix) = &mut self.index {
-            ix.insert_point(p, id);
+        match &mut self.index {
+            AnyIndex::Scan => {}
+            AnyIndex::Tree(ix) => ix.insert_point(p, id),
+            AnyIndex::Cells(grid) => grid.insert(p, id),
         }
         id
     }
@@ -149,12 +201,68 @@ impl<const D: usize> SgbAny<D> {
 }
 
 /// One-shot convenience: runs SGB-Any over a slice of points.
+///
+/// Knowing the complete point set up front enables two things the
+/// streaming interface cannot do:
+///
+/// * [`AnyAlgorithm::Auto`] resolves from the true cardinality
+///   ([`cost::resolve_any`]);
+/// * the indexed paths **bulk-load** their index — sort-tile-recursive
+///   packing for the R-tree ([`RTree::from_points`]), a single pass for
+///   the ε-grid — instead of paying one-at-a-time construction, then probe
+///   every point against the full index. Only neighbours with a smaller
+///   record id are unioned (the ε-graph is symmetric, so each edge is seen
+///   from its later endpoint), which reproduces the streaming components
+///   bit for bit.
 pub fn sgb_any<const D: usize>(points: &[Point<D>], cfg: &SgbAnyConfig) -> Grouping {
-    let mut op = SgbAny::new(cfg.clone());
+    let (algorithm, _) = cost::resolve_any(cfg.algorithm, points.len(), D);
+    let (eps, metric) = (cfg.eps, cfg.metric);
     for p in points {
-        op.push(*p);
+        assert!(p.is_finite(), "points must have finite coordinates");
     }
-    op.finish()
+    let mut dsu = DisjointSet::with_len(points.len());
+    match algorithm {
+        AnyAlgorithm::AllPairs => {
+            let mut op = SgbAny::new(cfg.clone().algorithm(AnyAlgorithm::AllPairs));
+            for p in points {
+                op.push(*p);
+            }
+            return op.finish();
+        }
+        AnyAlgorithm::Indexed => {
+            let index: RTree<D, RecordId> = RTree::from_points(
+                cfg.rtree_fanout,
+                points.iter().enumerate().map(|(i, p)| (*p, i)),
+            );
+            let mut stack = Vec::new();
+            for (i, p) in points.iter().enumerate() {
+                index.for_each_within(p, eps, metric, &mut stack, |_, &j| {
+                    if j < i && metric.within(p, &points[j], eps) {
+                        dsu.union(i, j);
+                    }
+                });
+            }
+        }
+        AnyAlgorithm::Grid => {
+            // The batch ε-join: each candidate pair surfaces exactly once
+            // from the neighbour-cell scan (a constant number of hash
+            // lookups per occupied cell), verified canonically, unioned.
+            let index: Grid<D, RecordId> = Grid::from_points(
+                Grid::<D, RecordId>::side_for_eps(eps),
+                points.iter().enumerate().map(|(i, p)| (*p, i)),
+            );
+            index.for_each_close_pair(eps, metric, |p, &i, q, &j| {
+                if metric.within(p, q, eps) {
+                    dsu.union(i, j);
+                }
+            });
+        }
+        AnyAlgorithm::Auto => unreachable!("resolve_any never returns Auto"),
+    }
+    Grouping {
+        groups: dsu.into_groups(),
+        eliminated: Vec::new(),
+    }
 }
 
 #[cfg(test)]
@@ -253,7 +361,11 @@ mod tests {
         // Procedure 8 line 4).
         let points = pts(&[[0.0, 0.0], [0.9, 0.9]]);
         let eps = 1.0;
-        for algo in [AnyAlgorithm::AllPairs, AnyAlgorithm::Indexed] {
+        for algo in [
+            AnyAlgorithm::AllPairs,
+            AnyAlgorithm::Indexed,
+            AnyAlgorithm::Grid,
+        ] {
             let linf = sgb_any(
                 &points,
                 &SgbAnyConfig::new(eps).metric(Metric::LInf).algorithm(algo),
@@ -286,13 +398,68 @@ mod tests {
         for metric in Metric::ALL {
             for eps in [0.05, 0.2, 0.6] {
                 let expected = reference(&points, eps, metric).normalized();
-                for algo in [AnyAlgorithm::AllPairs, AnyAlgorithm::Indexed] {
+                for algo in [
+                    AnyAlgorithm::AllPairs,
+                    AnyAlgorithm::Indexed,
+                    AnyAlgorithm::Grid,
+                    AnyAlgorithm::Auto,
+                ] {
                     let cfg = SgbAnyConfig::new(eps).metric(metric).algorithm(algo);
                     let got = sgb_any(&points, &cfg);
                     got.check_partition(points.len());
                     assert_eq!(got.normalized(), expected, "{algo:?} {metric:?} ε={eps}");
                 }
             }
+        }
+    }
+
+    #[test]
+    fn streaming_and_bulk_paths_agree_exactly() {
+        // The one-shot helper bulk-loads its index and probes the full
+        // point set; the streaming interface builds incrementally. Both
+        // must materialise identical groupings (not just normalized ones —
+        // components are keyed by smallest member either way).
+        let mut state: u64 = 0xB01D;
+        let mut next = || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) as f64) / (u32::MAX as f64)
+        };
+        let points: Vec<Point<2>> = (0..700)
+            .map(|_| Point::new([next() * 10.0, next() * 10.0]))
+            .collect();
+        for metric in Metric::ALL {
+            for algo in [
+                AnyAlgorithm::AllPairs,
+                AnyAlgorithm::Indexed,
+                AnyAlgorithm::Grid,
+            ] {
+                let cfg = SgbAnyConfig::new(0.25).metric(metric).algorithm(algo);
+                let mut op = SgbAny::new(cfg.clone());
+                for p in &points {
+                    op.push(*p);
+                }
+                assert_eq!(op.resolved_algorithm(), algo);
+                assert_eq!(op.finish(), sgb_any(&points, &cfg), "{algo:?} {metric}");
+            }
+        }
+    }
+
+    #[test]
+    fn auto_resolves_by_cardinality_and_matches_every_concrete() {
+        let small = pts(&[[0.0, 0.0], [0.4, 0.0], [5.0, 5.0]]);
+        let op = SgbAny::<2>::new(SgbAnyConfig::new(0.5));
+        // Streaming Auto assumes the scalable regime.
+        assert_eq!(op.resolved_algorithm(), AnyAlgorithm::Grid);
+        let auto = sgb_any(&small, &SgbAnyConfig::new(0.5));
+        for algo in [
+            AnyAlgorithm::AllPairs,
+            AnyAlgorithm::Indexed,
+            AnyAlgorithm::Grid,
+        ] {
+            let concrete = sgb_any(&small, &SgbAnyConfig::new(0.5).algorithm(algo));
+            assert_eq!(auto, concrete, "{algo:?}");
         }
     }
 

@@ -14,26 +14,46 @@
 //! natural high-throughput member of the family — assignments are
 //! embarrassingly parallel and need no inter-group reconciliation.
 //!
-//! Two interchangeable search strategies:
+//! Three interchangeable search strategies:
 //!
 //! * [`AroundAlgorithm::BruteForce`] scans every center per tuple;
 //! * [`AroundAlgorithm::Indexed`] bulk-loads the centers into an
-//!   [`RTree`] once and answers each tuple with a metric-aware
-//!   nearest-neighbour query.
+//!   [`RTree`] once (sort-tile-recursive packing, no per-center inserts)
+//!   and answers each tuple with a metric-aware nearest-neighbour query;
+//! * [`AroundAlgorithm::Grid`] bulk-loads the centers into a uniform
+//!   [`Grid`] sized for roughly one center per cell and answers each
+//!   tuple with an expanding-ring search.
 //!
-//! Both paths break exact distance ties towards the **lowest center
+//! [`AroundAlgorithm::Auto`] cost-selects among them from the center
+//! count ([`crate::cost::resolve_around`] — centers are part of the query,
+//! so streaming and one-shot execution resolve identically).
+//!
+//! All paths break exact distance ties towards the **lowest center
 //! index** and produce bit-identical groupings: the brute path compares
-//! canonical [`sgb_geom::Metric::distance`] values, and the R-tree's best-first
+//! canonical [`sgb_geom::Metric::distance`] values, the R-tree's best-first
 //! search reports the same values for point entries (see
-//! [`RTree::nearest`]), returning ties in ascending payload order.
+//! [`RTree::nearest`]) with ties in ascending payload order, and the
+//! grid's ring search computes the same canonical distances with the same
+//! `(distance, payload)`-lexicographic argmin.
 
 use sgb_geom::Point;
-use sgb_spatial::RTree;
+use sgb_spatial::{Grid, RTree};
 
-use crate::{AroundAlgorithm, Grouping, RecordId, SgbAroundConfig};
+use crate::{cost, AroundAlgorithm, Grouping, RecordId, SgbAroundConfig};
 
 /// Index of a center in the configured center list.
 pub type CenterId = usize;
+
+/// The per-tuple nearest-center search structure, per concrete algorithm.
+#[derive(Clone, Debug)]
+enum CenterIndex<const D: usize> {
+    /// Brute force: scan the configured center list.
+    Scan,
+    /// Center R-tree, STR bulk-loaded once at construction.
+    Tree(RTree<D, CenterId>),
+    /// Center grid, bulk-loaded once at construction.
+    Cells(Grid<D, CenterId>),
+}
 
 /// The answer set of SGB-Around: one group per center (index-aligned with
 /// the configured center list, possibly empty) plus the outlier set.
@@ -146,9 +166,10 @@ impl AroundGrouping {
 #[derive(Clone, Debug)]
 pub struct SgbAround<const D: usize> {
     cfg: SgbAroundConfig<D>,
-    /// Center index for [`AroundAlgorithm::Indexed`], bulk-loaded once at
-    /// construction (centers never change during a run).
-    index: Option<RTree<D, CenterId>>,
+    /// Nearest-center search structure, bulk-loaded once at construction
+    /// (centers never change during a run). [`AroundAlgorithm::Auto`]
+    /// resolves from the center count before this is built.
+    index: CenterIndex<D>,
     groups: Vec<Vec<RecordId>>,
     outliers: Vec<RecordId>,
     pushed: usize,
@@ -158,18 +179,22 @@ pub struct SgbAround<const D: usize> {
 }
 
 impl<const D: usize> SgbAround<D> {
-    /// Creates the operator, bulk-loading the center index when the
-    /// indexed algorithm is selected.
+    /// Creates the operator, resolving [`AroundAlgorithm::Auto`] from the
+    /// center count and bulk-loading the center index when an indexed
+    /// algorithm is selected.
     pub fn new(cfg: SgbAroundConfig<D>) -> Self {
-        let index = match cfg.algorithm {
-            AroundAlgorithm::BruteForce => None,
-            AroundAlgorithm::Indexed => {
-                let mut tree = RTree::with_max_entries(cfg.rtree_fanout);
-                for (c, p) in cfg.centers.iter().enumerate() {
-                    tree.insert_point(*p, c);
-                }
-                Some(tree)
-            }
+        let (algorithm, _) = cost::resolve_around(cfg.algorithm, cfg.centers.len(), D);
+        let index = match algorithm {
+            AroundAlgorithm::BruteForce => CenterIndex::Scan,
+            AroundAlgorithm::Indexed => CenterIndex::Tree(RTree::from_points(
+                cfg.rtree_fanout,
+                cfg.centers.iter().enumerate().map(|(c, p)| (*p, c)),
+            )),
+            AroundAlgorithm::Grid => CenterIndex::Cells(Grid::from_points(
+                Grid::<D, CenterId>::side_for_points(&cfg.centers),
+                cfg.centers.iter().enumerate().map(|(c, p)| (*p, c)),
+            )),
+            AroundAlgorithm::Auto => unreachable!("resolve_around never returns Auto"),
         };
         let groups = vec![Vec::new(); cfg.centers.len()];
         Self {
@@ -185,6 +210,16 @@ impl<const D: usize> SgbAround<D> {
     /// The configuration this operator runs with.
     pub fn config(&self) -> &SgbAroundConfig<D> {
         &self.cfg
+    }
+
+    /// The concrete search strategy this operator runs with
+    /// ([`AroundAlgorithm::Auto`] resolved at construction).
+    pub fn resolved_algorithm(&self) -> AroundAlgorithm {
+        match &self.index {
+            CenterIndex::Scan => AroundAlgorithm::BruteForce,
+            CenterIndex::Tree(_) => AroundAlgorithm::Indexed,
+            CenterIndex::Cells(_) => AroundAlgorithm::Grid,
+        }
     }
 
     /// Number of points processed so far.
@@ -205,7 +240,7 @@ impl<const D: usize> SgbAround<D> {
     /// distances for point entries and breaks ties by ascending payload).
     fn nearest_center(&mut self, p: &Point<D>) -> CenterId {
         match &self.index {
-            None => {
+            CenterIndex::Scan => {
                 let metric = self.cfg.metric;
                 let mut best = (f64::INFINITY, 0);
                 for (c, q) in self.cfg.centers.iter().enumerate() {
@@ -216,8 +251,12 @@ impl<const D: usize> SgbAround<D> {
                 }
                 best.1
             }
-            Some(ix) => {
+            CenterIndex::Tree(ix) => {
                 let hit = ix.nearest_one_with(p, self.cfg.metric, &mut self.scratch);
+                hit.expect("center list is never empty").1
+            }
+            CenterIndex::Cells(grid) => {
+                let hit = grid.nearest_one(p, self.cfg.metric);
                 hit.expect("center list is never empty").1
             }
         }
@@ -267,7 +306,11 @@ mod tests {
     use super::*;
     use crate::Metric;
 
-    const ALGOS: [AroundAlgorithm; 2] = [AroundAlgorithm::BruteForce, AroundAlgorithm::Indexed];
+    const ALGOS: [AroundAlgorithm; 3] = [
+        AroundAlgorithm::BruteForce,
+        AroundAlgorithm::Indexed,
+        AroundAlgorithm::Grid,
+    ];
 
     fn pts(raw: &[[f64; 2]]) -> Vec<Point<2>> {
         raw.iter().map(|&c| Point::new(c)).collect()
@@ -395,7 +438,7 @@ mod tests {
     }
 
     #[test]
-    fn brute_and_indexed_agree_exactly_on_random_clouds() {
+    fn all_paths_agree_exactly_on_random_clouds() {
         let points = cloud(600, 0xA40C, 10.0);
         let centers: Vec<Point<2>> = cloud(37, 0xC357, 10.0);
         for metric in Metric::ALL {
@@ -410,11 +453,28 @@ mod tests {
                     sgb_around(&points, &cfg)
                 };
                 let brute = run(AroundAlgorithm::BruteForce);
-                let indexed = run(AroundAlgorithm::Indexed);
-                assert_eq!(brute, indexed, "{metric} radius {radius:?}");
+                for algo in [
+                    AroundAlgorithm::Indexed,
+                    AroundAlgorithm::Grid,
+                    AroundAlgorithm::Auto,
+                ] {
+                    assert_eq!(brute, run(algo), "{algo:?} {metric} radius {radius:?}");
+                }
                 brute.check_partition(points.len());
             }
         }
+    }
+
+    #[test]
+    fn auto_resolves_from_center_count() {
+        let few = SgbAround::new(SgbAroundConfig::new(cloud(8, 1, 5.0)));
+        assert_eq!(few.resolved_algorithm(), AroundAlgorithm::BruteForce);
+        let many = SgbAround::new(SgbAroundConfig::new(cloud(700, 2, 5.0)));
+        assert_eq!(many.resolved_algorithm(), AroundAlgorithm::Grid);
+        let explicit = SgbAround::new(
+            SgbAroundConfig::new(cloud(8, 3, 5.0)).algorithm(AroundAlgorithm::Indexed),
+        );
+        assert_eq!(explicit.resolved_algorithm(), AroundAlgorithm::Indexed);
     }
 
     #[test]

@@ -53,8 +53,18 @@ pub enum AllAlgorithm {
     BoundsChecking,
     /// Index Bounds-Checking (Procedure 5): on-the-fly R-tree over group
     /// rectangles, window query per point. `O(n · log |G|)`.
-    #[default]
     Indexed,
+    /// ε-grid over the live group members: a probe inspects only the
+    /// point's own grid cell and its neighbours, mapping the hits back to
+    /// their groups — no tree descent, no per-group scan. Expected `O(n)`
+    /// for ε-sized groups.
+    Grid,
+    /// Cost-based selection among the concrete algorithms from the input
+    /// cardinality and dimensionality (see [`crate::cost::resolve_all`]).
+    /// All concrete paths produce bit-identical groupings, so `Auto` only
+    /// affects speed, never results.
+    #[default]
+    Auto,
 }
 
 /// Algorithm used to realise SGB-Any (Section 7).
@@ -64,8 +74,17 @@ pub enum AnyAlgorithm {
     AllPairs,
     /// On-the-fly R-tree over points + Union-Find over groups
     /// (Procedure 8). `O(n log n)`.
-    #[default]
     Indexed,
+    /// ε-grid over the points + Union-Find over the neighbour-cell hits:
+    /// the ε-join at the heart of the operator becomes a constant number
+    /// of hash probes per point. Expected `O(n)` for bounded ε-density.
+    Grid,
+    /// Cost-based selection among the concrete algorithms from the input
+    /// cardinality and dimensionality (see [`crate::cost::resolve_any`]).
+    /// All concrete paths produce bit-identical groupings, so `Auto` only
+    /// affects speed, never results.
+    #[default]
+    Auto,
 }
 
 /// Configuration of the SGB-All operator
@@ -94,7 +113,7 @@ pub struct SgbAllConfig {
 
 impl SgbAllConfig {
     /// A configuration with the default metric (`L2`), overlap action
-    /// (`JOIN-ANY`), algorithm (`Indexed`) and seed.
+    /// (`JOIN-ANY`), algorithm (`Auto`) and seed.
     pub fn new(eps: f64) -> Self {
         assert!(
             eps >= 0.0 && eps.is_finite(),
@@ -167,7 +186,7 @@ pub struct SgbAnyConfig {
 
 impl SgbAnyConfig {
     /// A configuration with the default metric (`L2`) and algorithm
-    /// (`Indexed`).
+    /// (`Auto`).
     pub fn new(eps: f64) -> Self {
         assert!(
             eps >= 0.0 && eps.is_finite(),
@@ -206,10 +225,21 @@ impl SgbAnyConfig {
 pub enum AroundAlgorithm {
     /// Evaluate the distance to every center for every tuple. `O(n · |C|)`.
     BruteForce,
-    /// Bulk-load the centers into an R-tree once, then answer each tuple's
-    /// nearest-center query against it. `O(n · log |C|)`.
-    #[default]
+    /// Bulk-load the centers into an R-tree once (sort-tile-recursive
+    /// packing), then answer each tuple's nearest-center query against it.
+    /// `O(n · log |C|)`.
     Indexed,
+    /// Bulk-load the centers into a uniform grid sized for ~1 center per
+    /// cell, then answer each tuple with an expanding-ring search.
+    /// Expected `O(n)` for well-spread centers.
+    Grid,
+    /// Cost-based selection among the concrete algorithms from the center
+    /// count and dimensionality (see [`crate::cost::resolve_around`] —
+    /// calibrated so the operator no longer defaults to a path that loses
+    /// below ~1k centers). All concrete paths produce bit-identical
+    /// groupings, so `Auto` only affects speed, never results.
+    #[default]
+    Auto,
 }
 
 /// Configuration of the SGB-Around operator
@@ -236,7 +266,7 @@ pub struct SgbAroundConfig<const D: usize> {
 
 impl<const D: usize> SgbAroundConfig<D> {
     /// A configuration with the default metric (`L2`), no radius bound and
-    /// the indexed algorithm. Panics on an empty center list or non-finite
+    /// the `Auto` algorithm. Panics on an empty center list or non-finite
     /// center coordinates (the SQL parser rejects both earlier with proper
     /// errors).
     pub fn new(centers: Vec<Point<D>>) -> Self {
@@ -358,7 +388,7 @@ mod tests {
         let default = SgbAroundConfig::new(vec![Point::new([0.0, 0.0])]);
         assert_eq!(default.metric, Metric::L2);
         assert_eq!(default.max_radius, None);
-        assert_eq!(default.algorithm, AroundAlgorithm::Indexed);
+        assert_eq!(default.algorithm, AroundAlgorithm::Auto);
     }
 
     #[test]

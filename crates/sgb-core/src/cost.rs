@@ -1,0 +1,301 @@
+//! Cost-based algorithm selection for the `Auto` variants.
+//!
+//! Every operator family offers several physically different but
+//! semantically identical execution paths; which one wins depends on the
+//! workload shape. The `Auto` variant of
+//! [`AllAlgorithm`]/[`AnyAlgorithm`]/[`AroundAlgorithm`] delegates the
+//! choice to this module, which applies a small cost model over the
+//! quantities that actually move the needle — input cardinality, center
+//! count, and dimensionality — with thresholds calibrated against the
+//! committed benchmark reports at the repository root:
+//!
+//! * `BENCH_around.json` — the center-R-tree path *loses* to the brute
+//!   center scan below roughly 1k centers because index construction
+//!   dominates; the brute path stays within ~2× even at 1024 centers.
+//!   Hence [`AROUND_BRUTE_MAX_CENTERS`].
+//! * `BENCH_metrics.json` / `BENCH_grid.json` — at n = 10k the ε-grid
+//!   SGB-Any path beats the on-the-fly R-tree by well over 2×, while below
+//!   a few hundred points no index of any kind amortises its construction.
+//!   Hence [`ANY_ALL_PAIRS_MAX_N`] / [`ALL_ALL_PAIRS_MAX_N`].
+//! * The grid probe examines `5^D` cells per point (the 3^D neighbourhood
+//!   plus a one-cell rounding pad), so past [`GRID_MAX_DIMS`] dimensions
+//!   the R-tree's adaptive partitioning wins. The shipped operators are
+//!   instantiated at 2-D/3-D, where the grid always qualifies.
+//!
+//! Every resolver returns the chosen *concrete* algorithm together with a
+//! human-readable reason; the SQL layer surfaces both through `EXPLAIN`.
+//! Resolution never affects results: all concrete paths are proven
+//! bit-identical (see the `proptest_grid` suite), so `Auto` only ever
+//! changes *when* the answer arrives.
+
+use crate::{AllAlgorithm, AnyAlgorithm, AroundAlgorithm};
+
+/// Below this input cardinality SGB-All's `Auto` stays with the all-pairs
+/// scan: group structures are tiny and building any accelerator costs more
+/// than it saves (BENCH_grid.json, small-n rows).
+pub const ALL_ALL_PAIRS_MAX_N: usize = 256;
+
+/// Up to this input cardinality SGB-All's `Auto` uses Bounds-Checking:
+/// the dense rectangle-directory scan wins every BENCH_grid.json
+/// configuration up to n = 10k, and its `O(n · |G|)` growth crosses the
+/// R-tree's `O(n log |G|)` right around n = 20k (0.0249s vs 0.0246s).
+/// SGB-All's member-grid stays an explicit option but is never
+/// auto-chosen: its probes pay per-*member* verification where the
+/// rectangle paths pay per-*group* tests, which loses whenever groups
+/// grow past a handful of members (BENCH_grid.json, eps >= 0.3 rows).
+pub const ALL_BOUNDS_MAX_N: usize = 16_384;
+
+/// Below this input cardinality SGB-Any's `Auto` stays with the all-pairs
+/// scan (BENCH_grid.json, small-n rows).
+pub const ANY_ALL_PAIRS_MAX_N: usize = 512;
+
+/// Up to this many centers SGB-Around's `Auto` uses the brute center scan:
+/// BENCH_around.json shows the R-tree path losing below ~1k centers
+/// because index construction dominates the per-tuple savings, and the
+/// BENCH_grid.json center sweep brackets the grid's crossover between 64
+/// (brute 0.0007s vs grid 0.0038s) and 256 centers (0.0108s vs 0.0080s).
+pub const AROUND_BRUTE_MAX_CENTERS: usize = 128;
+
+/// Highest dimensionality at which the ε-grid is selected; beyond it the
+/// per-probe cell neighbourhood (`5^D`) outgrows an R-tree descent.
+pub const GRID_MAX_DIMS: usize = 3;
+
+/// Marker reason for explicitly configured (non-`Auto`) algorithms.
+fn configured() -> String {
+    "configured explicitly".to_owned()
+}
+
+/// Resolves the SGB-All algorithm for a known input cardinality `n` in
+/// `dims` dimensions. Non-`Auto` inputs pass through unchanged.
+pub fn resolve_all(
+    configured_algo: AllAlgorithm,
+    n: usize,
+    _dims: usize,
+) -> (AllAlgorithm, String) {
+    match configured_algo {
+        AllAlgorithm::Auto => {
+            if n <= ALL_ALL_PAIRS_MAX_N {
+                (
+                    AllAlgorithm::AllPairs,
+                    format!(
+                        "auto: n = {n} <= {ALL_ALL_PAIRS_MAX_N}, plain scan beats index construction"
+                    ),
+                )
+            } else if n <= ALL_BOUNDS_MAX_N {
+                (
+                    AllAlgorithm::BoundsChecking,
+                    format!(
+                        "auto: n = {n} <= {ALL_BOUNDS_MAX_N}, dense rectangle directory wins \
+                         (BENCH_grid.json)"
+                    ),
+                )
+            } else {
+                (
+                    AllAlgorithm::Indexed,
+                    format!(
+                        "auto: n = {n} > {ALL_BOUNDS_MAX_N}, group R-tree overtakes the linear \
+                         rectangle scan (BENCH_grid.json crossover ~20k)"
+                    ),
+                )
+            }
+        }
+        other => (other, configured()),
+    }
+}
+
+/// Resolves the SGB-All algorithm for a streaming operator, where the
+/// final cardinality is unknown at construction time: `Auto` assumes the
+/// scalable regime (streams are open-ended) and picks the group R-tree.
+/// One-shot entry points — including the SQL executor — know `n` and use
+/// [`resolve_all`] instead.
+pub fn resolve_all_streaming(configured_algo: AllAlgorithm, _dims: usize) -> AllAlgorithm {
+    match configured_algo {
+        AllAlgorithm::Auto => AllAlgorithm::Indexed,
+        other => other,
+    }
+}
+
+/// Resolves the SGB-Any algorithm for a known input cardinality `n` in
+/// `dims` dimensions. Non-`Auto` inputs pass through unchanged.
+pub fn resolve_any(configured_algo: AnyAlgorithm, n: usize, dims: usize) -> (AnyAlgorithm, String) {
+    match configured_algo {
+        AnyAlgorithm::Auto => {
+            if n <= ANY_ALL_PAIRS_MAX_N {
+                (
+                    AnyAlgorithm::AllPairs,
+                    format!(
+                        "auto: n = {n} <= {ANY_ALL_PAIRS_MAX_N}, plain scan beats index construction"
+                    ),
+                )
+            } else if dims > GRID_MAX_DIMS {
+                (
+                    AnyAlgorithm::Indexed,
+                    format!("auto: {dims}-D exceeds the grid sweet spot (<= {GRID_MAX_DIMS}-D)"),
+                )
+            } else {
+                (
+                    AnyAlgorithm::Grid,
+                    format!("auto: n = {n} > {ANY_ALL_PAIRS_MAX_N}, eps-grid neighbor scan wins (BENCH_grid.json)"),
+                )
+            }
+        }
+        other => (other, configured()),
+    }
+}
+
+/// Streaming counterpart of [`resolve_any`] — see
+/// [`resolve_all_streaming`] for the rationale.
+pub fn resolve_any_streaming(configured_algo: AnyAlgorithm, dims: usize) -> AnyAlgorithm {
+    match configured_algo {
+        AnyAlgorithm::Auto if dims > GRID_MAX_DIMS => AnyAlgorithm::Indexed,
+        AnyAlgorithm::Auto => AnyAlgorithm::Grid,
+        other => other,
+    }
+}
+
+/// Resolves the SGB-Around algorithm from the center count (the quantity
+/// the per-tuple cost actually depends on — centers are known up front, so
+/// streaming and one-shot paths resolve identically) in `dims` dimensions.
+pub fn resolve_around(
+    configured_algo: AroundAlgorithm,
+    centers: usize,
+    dims: usize,
+) -> (AroundAlgorithm, String) {
+    match configured_algo {
+        AroundAlgorithm::Auto => {
+            if centers <= AROUND_BRUTE_MAX_CENTERS {
+                (
+                    AroundAlgorithm::BruteForce,
+                    format!(
+                        "auto: {centers} centers <= {AROUND_BRUTE_MAX_CENTERS}, center scan beats \
+                         index construction (BENCH_around.json crossover ~1k)"
+                    ),
+                )
+            } else if dims > GRID_MAX_DIMS {
+                (
+                    AroundAlgorithm::Indexed,
+                    format!("auto: {dims}-D exceeds the grid sweet spot (<= {GRID_MAX_DIMS}-D)"),
+                )
+            } else {
+                (
+                    AroundAlgorithm::Grid,
+                    format!(
+                        "auto: {centers} centers > {AROUND_BRUTE_MAX_CENTERS}, center grid \
+                         expected-O(1) probe wins (BENCH_grid.json)"
+                    ),
+                )
+            }
+        }
+        other => (other, configured()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn non_auto_passes_through() {
+        for algo in [
+            AllAlgorithm::AllPairs,
+            AllAlgorithm::BoundsChecking,
+            AllAlgorithm::Indexed,
+            AllAlgorithm::Grid,
+        ] {
+            let (resolved, reason) = resolve_all(algo, 1_000_000, 2);
+            assert_eq!(resolved, algo);
+            assert!(reason.contains("configured"), "{reason}");
+        }
+        assert_eq!(
+            resolve_any(AnyAlgorithm::AllPairs, 1_000_000, 2).0,
+            AnyAlgorithm::AllPairs
+        );
+        assert_eq!(
+            resolve_around(AroundAlgorithm::Indexed, 5000, 2).0,
+            AroundAlgorithm::Indexed
+        );
+    }
+
+    #[test]
+    fn auto_picks_scan_for_small_inputs() {
+        assert_eq!(
+            resolve_all(AllAlgorithm::Auto, ALL_ALL_PAIRS_MAX_N, 2).0,
+            AllAlgorithm::AllPairs
+        );
+        assert_eq!(
+            resolve_any(AnyAlgorithm::Auto, ANY_ALL_PAIRS_MAX_N, 2).0,
+            AnyAlgorithm::AllPairs
+        );
+        assert_eq!(
+            resolve_around(AroundAlgorithm::Auto, AROUND_BRUTE_MAX_CENTERS, 2).0,
+            AroundAlgorithm::BruteForce
+        );
+    }
+
+    #[test]
+    fn auto_tracks_the_benchmarked_winner_per_regime() {
+        for dims in [2, 3] {
+            // SGB-All: bounds-checking in the mid range, R-tree past the
+            // measured ~20k crossover; the member grid is never
+            // auto-chosen (it pays per-member verification).
+            assert_eq!(
+                resolve_all(AllAlgorithm::Auto, 10_000, dims).0,
+                AllAlgorithm::BoundsChecking
+            );
+            assert_eq!(
+                resolve_all(AllAlgorithm::Auto, 20_000, dims).0,
+                AllAlgorithm::Indexed
+            );
+            assert_eq!(
+                resolve_any(AnyAlgorithm::Auto, 10_000, dims).0,
+                AnyAlgorithm::Grid
+            );
+            assert_eq!(
+                resolve_around(AroundAlgorithm::Auto, 4096, dims).0,
+                AroundAlgorithm::Grid
+            );
+        }
+    }
+
+    #[test]
+    fn auto_prefers_rtree_in_high_dims() {
+        assert_eq!(
+            resolve_any(AnyAlgorithm::Auto, 10_000, 5).0,
+            AnyAlgorithm::Indexed
+        );
+        assert_eq!(
+            resolve_around(AroundAlgorithm::Auto, 4096, 4).0,
+            AroundAlgorithm::Indexed
+        );
+        assert_eq!(
+            resolve_any_streaming(AnyAlgorithm::Auto, 4),
+            AnyAlgorithm::Indexed
+        );
+    }
+
+    #[test]
+    fn streaming_resolution_never_returns_auto() {
+        assert_eq!(
+            resolve_all_streaming(AllAlgorithm::Auto, 2),
+            AllAlgorithm::Indexed
+        );
+        assert_eq!(
+            resolve_any_streaming(AnyAlgorithm::Auto, 2),
+            AnyAlgorithm::Grid
+        );
+        assert_eq!(
+            resolve_all_streaming(AllAlgorithm::BoundsChecking, 2),
+            AllAlgorithm::BoundsChecking
+        );
+    }
+
+    #[test]
+    fn reasons_name_the_deciding_quantity() {
+        let (_, r) = resolve_any(AnyAlgorithm::Auto, 10, 2);
+        assert!(r.contains("n = 10"), "{r}");
+        let (_, r) = resolve_around(AroundAlgorithm::Auto, 3, 2);
+        assert!(r.contains("3 centers"), "{r}");
+        let (_, r) = resolve_all(AllAlgorithm::Auto, 9999, 2);
+        assert!(r.contains("rectangle directory"), "{r}");
+    }
+}

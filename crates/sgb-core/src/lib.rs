@@ -65,6 +65,7 @@ pub mod all;
 pub mod any;
 pub mod around;
 pub mod config;
+pub mod cost;
 pub mod grouping;
 
 pub use aggregate::{aggregate_groups, collect_groups, AggregateFn, GroupAggregates};

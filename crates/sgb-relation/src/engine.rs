@@ -36,7 +36,10 @@ pub struct Database {
 }
 
 impl Database {
-    /// An empty database with default operator settings (indexed SGB).
+    /// An empty database with default operator settings: every similarity
+    /// operator runs with its `Auto` algorithm, cost-selected per query
+    /// from the estimated input cardinality, center count, and
+    /// dimensionality (`EXPLAIN` prints the resolved path and the reason).
     pub fn new() -> Self {
         Self::default()
     }
@@ -86,18 +89,21 @@ impl Database {
     }
 
     /// Selects the SGB-All algorithm (the paper's All-Pairs /
-    /// Bounds-Checking / on-the-fly Index variants).
+    /// Bounds-Checking / on-the-fly Index variants, the ε-grid engine, or
+    /// cost-based `Auto` — the default).
     pub fn set_sgb_all_algorithm(&mut self, algorithm: AllAlgorithm) {
         self.sgb_all_algorithm = algorithm;
     }
 
-    /// Selects the SGB-Any algorithm.
+    /// Selects the SGB-Any algorithm (all-pairs, on-the-fly R-tree, the
+    /// ε-grid engine, or cost-based `Auto` — the default).
     pub fn set_sgb_any_algorithm(&mut self, algorithm: AnyAlgorithm) {
         self.sgb_any_algorithm = algorithm;
     }
 
-    /// Selects the SGB-Around algorithm (brute-force center scan vs the
-    /// bulk-loaded center R-tree).
+    /// Selects the SGB-Around algorithm (brute-force center scan, the
+    /// bulk-loaded center R-tree, the center grid, or cost-based `Auto` —
+    /// the default).
     pub fn set_sgb_around_algorithm(&mut self, algorithm: AroundAlgorithm) {
         self.sgb_around_algorithm = algorithm;
     }

@@ -201,6 +201,7 @@ pub fn execute(plan: &Plan, db: &Database) -> Result<Table> {
             having,
             outputs,
             schema,
+            ..
         } => {
             let t = execute(input, db)?;
             let grouping = run_around(&t.rows, coords, centers, *metric, *radius, *algorithm)?;
@@ -330,6 +331,7 @@ fn run_sgb_d<const D: usize>(
             overlap,
             algorithm,
             seed,
+            ..
         } => {
             let cfg = SgbAllConfig::new(*eps)
                 .metric(*metric)
@@ -342,6 +344,7 @@ fn run_sgb_d<const D: usize>(
             eps,
             metric,
             algorithm,
+            ..
         } => {
             let cfg = SgbAnyConfig::new(*eps)
                 .metric(*metric)

@@ -57,6 +57,12 @@ pub struct AggCall {
 }
 
 /// Parameters of a similarity group-by node.
+///
+/// The `algorithm` fields carry the **resolved** concrete strategy: when
+/// the engine setting is `Auto`, the planner runs the cost model
+/// (`sgb_core::cost`) against the estimated input cardinality at plan
+/// time, and `selection` records why that path was chosen — both surface
+/// in `EXPLAIN`.
 #[derive(Clone, Debug)]
 pub enum SgbMode {
     /// `DISTANCE-TO-ALL` (clique groups, Section 4.1).
@@ -67,10 +73,13 @@ pub enum SgbMode {
         metric: Metric,
         /// Overlap arbitration.
         overlap: OverlapAction,
-        /// Search algorithm.
+        /// Search algorithm (resolved — never `Auto`).
         algorithm: AllAlgorithm,
         /// Seed for `JOIN-ANY`.
         seed: u64,
+        /// Why `algorithm` was chosen ("configured explicitly" or the
+        /// cost model's reason).
+        selection: String,
     },
     /// `DISTANCE-TO-ANY` (connected components, Section 4.2).
     Any {
@@ -78,8 +87,11 @@ pub enum SgbMode {
         eps: f64,
         /// Distance function.
         metric: Metric,
-        /// Search algorithm.
+        /// Search algorithm (resolved — never `Auto`).
         algorithm: AnyAlgorithm,
+        /// Why `algorithm` was chosen ("configured explicitly" or the
+        /// cost model's reason).
+        selection: String,
     },
 }
 
@@ -187,8 +199,12 @@ pub enum Plan {
         metric: Metric,
         /// Optional maximum radius (`WITHIN r`).
         radius: Option<f64>,
-        /// Search strategy (brute-force scan vs center R-tree).
+        /// Search strategy (resolved — never `Auto`; brute-force scan,
+        /// center R-tree, or center grid).
         algorithm: AroundAlgorithm,
+        /// Why `algorithm` was chosen ("configured explicitly" or the
+        /// cost model's reason).
+        selection: String,
         /// Aggregate calls over the input schema.
         aggs: Vec<AggCall>,
         /// Post-grouping filter over the internal layout.
@@ -281,23 +297,34 @@ impl Plan {
             Plan::SimilarityGroupBy {
                 input, mode, aggs, ..
             } => {
-                let desc = match mode {
+                let (desc, path) = match mode {
                     SgbMode::All {
                         eps,
                         metric,
                         overlap,
+                        algorithm,
+                        selection,
                         ..
-                    } => format!(
-                        "SGB-All {} WITHIN {eps} ON-OVERLAP {}",
-                        metric.sql_keyword(),
-                        overlap.sql_keyword()
+                    } => (
+                        format!(
+                            "SGB-All {} WITHIN {eps} ON-OVERLAP {}",
+                            metric.sql_keyword(),
+                            overlap.sql_keyword()
+                        ),
+                        format!("path: {algorithm:?}; {selection}"),
                     ),
-                    SgbMode::Any { eps, metric, .. } => {
-                        format!("SGB-Any {} WITHIN {eps}", metric.sql_keyword())
-                    }
+                    SgbMode::Any {
+                        eps,
+                        metric,
+                        algorithm,
+                        selection,
+                    } => (
+                        format!("SGB-Any {} WITHIN {eps}", metric.sql_keyword()),
+                        format!("path: {algorithm:?}; {selection}"),
+                    ),
                 };
                 out.push_str(&format!(
-                    "{pad}SimilarityGroupBy [{desc}] (aggs: {})\n",
+                    "{pad}SimilarityGroupBy [{desc}] [{path}] (aggs: {})\n",
                     aggs.len()
                 ));
                 input.explain_into(depth + 1, out);
@@ -308,6 +335,7 @@ impl Plan {
                 metric,
                 radius,
                 algorithm,
+                selection,
                 aggs,
                 ..
             } => {
@@ -316,7 +344,8 @@ impl Plan {
                     None => String::new(),
                 };
                 out.push_str(&format!(
-                    "{pad}SimilarityAround [{} centers, {}{bound}, path: {algorithm:?}] (aggs: {})\n",
+                    "{pad}SimilarityAround [{} centers, {}{bound}, path: {algorithm:?}] \
+                     [{selection}] (aggs: {})\n",
                     centers.len(),
                     metric.sql_keyword(),
                     aggs.len()

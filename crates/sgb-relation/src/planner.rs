@@ -166,20 +166,30 @@ impl<'a> Planner<'a> {
                 }),
                 _,
             ) => {
+                // Resolve `Auto` at plan time from the estimated input
+                // cardinality so EXPLAIN shows the path execution takes.
+                let n = estimate_rows(&acc, self.db);
+                let (algorithm, selection) =
+                    sgb_core::cost::resolve_all(self.db.sgb_all_algorithm(), n, exprs.len());
                 let mode = SgbMode::All {
                     eps: *eps,
                     metric: *metric,
                     overlap: *overlap,
-                    algorithm: self.db.sgb_all_algorithm(),
+                    algorithm,
                     seed: self.db.sgb_seed(),
+                    selection,
                 };
                 self.build_similarity(acc, exprs, mode, stmt)?
             }
             (Some(GroupBy::SimilarityAny { exprs, metric, eps }), _) => {
+                let n = estimate_rows(&acc, self.db);
+                let (algorithm, selection) =
+                    sgb_core::cost::resolve_any(self.db.sgb_any_algorithm(), n, exprs.len());
                 let mode = SgbMode::Any {
                     eps: *eps,
                     metric: *metric,
-                    algorithm: self.db.sgb_any_algorithm(),
+                    algorithm,
+                    selection,
                 };
                 self.build_similarity(acc, exprs, mode, stmt)?
             }
@@ -391,13 +401,21 @@ impl<'a> Planner<'a> {
             Some(h) => Some(self.rewrite_agg(h, &mut ctx, &input_schema)?),
             None => None,
         };
+        // `Auto` resolves from the center count (the quantity the
+        // per-tuple cost depends on); the reason lands in EXPLAIN.
+        let (algorithm, selection) = sgb_core::cost::resolve_around(
+            self.db.sgb_around_algorithm(),
+            centers.len(),
+            grouping.len(),
+        );
         Ok(Plan::SimilarityAround {
             input: Box::new(input),
             coords,
             centers: centers.to_vec(),
             metric,
             radius,
-            algorithm: self.db.sgb_around_algorithm(),
+            algorithm,
+            selection,
             aggs: ctx.aggs,
             having,
             outputs,
@@ -660,6 +678,31 @@ struct AggContext {
     aggs: Vec<AggCall>,
     agg_asts: Vec<Expr>,
     sgb: bool,
+}
+
+/// Crude input-cardinality estimate for the cost-based algorithm
+/// selection: exact for scans (the catalog knows its row counts), an
+/// upper bound through filters/limits/joins. Getting this wrong only
+/// costs speed, never correctness — every candidate algorithm produces
+/// bit-identical groupings.
+fn estimate_rows(plan: &Plan, db: &Database) -> usize {
+    match plan {
+        Plan::Scan { table, .. } => db.table(table).map(|t| t.rows.len()).unwrap_or(0),
+        Plan::Filter { input, .. }
+        | Plan::Project { input, .. }
+        | Plan::Sort { input, .. }
+        | Plan::HashAggregate { input, .. }
+        | Plan::SimilarityGroupBy { input, .. }
+        | Plan::SimilarityAround { input, .. } => estimate_rows(input, db),
+        Plan::Limit { input, n } => estimate_rows(input, db).min(*n),
+        // Joins bound from above: a many-to-many equi-join can emit up to
+        // |L| · |R| rows, and under-estimating here is the dangerous
+        // direction (it could steer `Auto` onto a quadratic scan path),
+        // while over-estimating merely builds an index a bit early.
+        Plan::HashJoin { left, right, .. } | Plan::CrossJoin { left, right, .. } => {
+            estimate_rows(left, db).saturating_mul(estimate_rows(right, db))
+        }
+    }
 }
 
 /// Splits nested `AND`s into a conjunct list.

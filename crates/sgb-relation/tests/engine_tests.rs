@@ -707,14 +707,57 @@ fn sgb_around_explain_names_centers_metric_radius_and_path() {
     assert!(plan.contains("3 centers"), "{plan}");
     assert!(plan.contains("LINF"), "{plan}");
     assert!(plan.contains("WITHIN 2.5"), "{plan}");
+    // Default engine setting is Auto: 3 centers resolve to the brute
+    // center scan, and EXPLAIN prints the resolved path plus the reason.
+    assert!(plan.contains("path: BruteForce"), "{plan}");
+    assert!(plan.contains("auto: 3 centers"), "{plan}");
+    // An explicit setting shows up as such (resolved path + reason).
+    db.set_sgb_around_algorithm(sgb_core::AroundAlgorithm::Indexed);
+    let plan = db
+        .explain("SELECT count(*) FROM gps GROUP BY lat, lon AROUND ((1, 1))")
+        .unwrap();
     assert!(plan.contains("path: Indexed"), "{plan}");
-    // The brute-force setting shows up in EXPLAIN too.
+    assert!(plan.contains("configured explicitly"), "{plan}");
+    assert!(!plan.contains("WITHIN"), "no radius → no WITHIN: {plan}");
     db.set_sgb_around_algorithm(sgb_core::AroundAlgorithm::BruteForce);
     let plan = db
         .explain("SELECT count(*) FROM gps GROUP BY lat, lon AROUND ((1, 1))")
         .unwrap();
     assert!(plan.contains("path: BruteForce"), "{plan}");
-    assert!(!plan.contains("WITHIN"), "no radius → no WITHIN: {plan}");
+}
+
+#[test]
+fn explain_prints_cost_based_resolution_for_all_and_any() {
+    let mut db = Database::new();
+    db.execute("CREATE TABLE pts (x DOUBLE, y DOUBLE)").unwrap();
+    // Empty table: Auto resolves to the small-n scan, with the reason.
+    let plan = db
+        .explain("SELECT count(*) FROM pts GROUP BY x, y DISTANCE-TO-ANY L2 WITHIN 0.5")
+        .unwrap();
+    assert!(plan.contains("path: AllPairs"), "{plan}");
+    assert!(plan.contains("auto: n = 0"), "{plan}");
+    // Grow the table past the threshold: the resolved path flips to the
+    // grid — same SQL, cost-based plan.
+    let rows: Vec<String> = (0..600).map(|i| format!("({}, {})", i, i % 7)).collect();
+    db.execute(&format!("INSERT INTO pts VALUES {}", rows.join(", ")))
+        .unwrap();
+    let plan = db
+        .explain("SELECT count(*) FROM pts GROUP BY x, y DISTANCE-TO-ANY L2 WITHIN 0.5")
+        .unwrap();
+    assert!(plan.contains("path: Grid"), "{plan}");
+    assert!(plan.contains("auto: n = 600"), "{plan}");
+    let plan = db
+        .explain("SELECT count(*) FROM pts GROUP BY x, y DISTANCE-TO-ALL L2 WITHIN 0.5")
+        .unwrap();
+    assert!(plan.contains("path: BoundsChecking"), "{plan}");
+    assert!(plan.contains("auto: n = 600"), "{plan}");
+    // Explicit settings print as configured.
+    db.set_sgb_all_algorithm(sgb_core::AllAlgorithm::BoundsChecking);
+    let plan = db
+        .explain("SELECT count(*) FROM pts GROUP BY x, y DISTANCE-TO-ALL L2 WITHIN 0.5")
+        .unwrap();
+    assert!(plan.contains("path: BoundsChecking"), "{plan}");
+    assert!(plan.contains("configured explicitly"), "{plan}");
 }
 
 #[test]
@@ -806,6 +849,7 @@ fn programmatic_around_plan_with_bad_centers_errors_cleanly() {
         metric: sgb_core::Metric::L2,
         radius,
         algorithm: sgb_core::AroundAlgorithm::Indexed,
+        selection: "hand-built".into(),
         aggs: vec![],
         having: None,
         outputs: vec![],

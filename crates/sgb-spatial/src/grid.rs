@@ -1,0 +1,817 @@
+//! Uniform epsilon-grid spatial partitioning (hashed cells).
+//!
+//! The similarity operators are all ε-bounded: every probe asks "which
+//! stored elements can be within ε of this point?". A uniform grid with
+//! cell side = ε answers that with a constant number of hash lookups — the
+//! point's own cell plus its immediate neighbours (the classic
+//! neighbours-of-27-cells scan used to run groupwise ε-joins inside a
+//! DBMS) — with no tree descent, no node splits, and no rebalancing.
+//!
+//! Cells are keyed by `floor(coord / cell)` per dimension and stored in a
+//! hash map, so only occupied cells cost memory and the domain never needs
+//! bounds. Two query shapes are provided:
+//!
+//! * [`Grid::for_each_within`] — the ε-probe. It visits a guaranteed
+//!   **superset** of the entries satisfying the canonical predicate
+//!   [`Metric::within`]; callers verify each hit exactly like
+//!   `VerifyPoints` of the paper's Procedure 8. The cell window is padded
+//!   by one whole cell per side, which makes the superset guarantee robust
+//!   against floating-point rounding of the `coord / cell` quantisation
+//!   (no epsilon-juggling proofs required — the pad absorbs a full cell of
+//!   error where the actual error is a few ulps).
+//! * [`Grid::nearest_one`] — expanding-ring nearest-neighbour search for
+//!   SGB-Around. Distances are the canonical [`Metric::distance`] values
+//!   and exact ties resolve by ascending payload, bit-compatible with
+//!   [`crate::RTree::nearest_one_with`].
+
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+use sgb_geom::{Metric, Point};
+
+/// Cell coordinates: `floor(coord / cell)` per dimension.
+pub type CellKey<const D: usize> = [i64; D];
+
+/// A fast multiplicative hasher for cell keys. Cell keys are small arrays
+/// of small integers probed several times per input point, so the default
+/// SipHash is measurable overhead; this folds 8-byte chunks with the
+/// standard Fibonacci multiplier + xor-rotate mix (keys are derived from
+/// data coordinates, not attacker-controlled, so DoS hardening is not a
+/// concern here).
+#[derive(Default)]
+pub struct CellHasher {
+    state: u64,
+}
+
+impl Hasher for CellHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            let v = u64::from_le_bytes(buf);
+            self.state = (self.state ^ v)
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .rotate_left(23);
+        }
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        // One final avalanche so low bits (the map's bucket index) depend
+        // on every input chunk.
+        let mut h = self.state;
+        h ^= h >> 29;
+        h = h.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        h ^= h >> 32;
+        h
+    }
+}
+
+type CellMap<const D: usize, T> =
+    HashMap<CellKey<D>, Vec<(Point<D>, T)>, BuildHasherDefault<CellHasher>>;
+
+/// A uniform hashed grid over `D`-dimensional points with payloads `T`.
+///
+/// ```
+/// use sgb_spatial::Grid;
+/// use sgb_geom::{Metric, Point};
+///
+/// let mut grid: Grid<2, usize> = Grid::new(1.0);
+/// grid.insert(Point::new([0.2, 0.2]), 0);
+/// grid.insert(Point::new([0.9, 0.2]), 1);
+/// grid.insert(Point::new([5.0, 5.0]), 2);
+/// let mut hits = Vec::new();
+/// grid.for_each_within(&Point::new([0.0, 0.0]), 1.0, Metric::L2, |p, &id| {
+///     if Metric::L2.within(p, &Point::new([0.0, 0.0]), 1.0) {
+///         hits.push(id); // caller-side verification, as the SGB operators do
+///     }
+/// });
+/// hits.sort();
+/// assert_eq!(hits, vec![0, 1]);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Grid<const D: usize, T> {
+    cell: f64,
+    cells: CellMap<D, T>,
+    /// Occupied-cell bounding box (valid only when `len > 0`); bounds the
+    /// expanding-ring search of [`nearest_one`](Self::nearest_one).
+    lo: CellKey<D>,
+    hi: CellKey<D>,
+    len: usize,
+}
+
+impl<const D: usize, T> Grid<D, T> {
+    /// An empty grid with the given cell side length.
+    pub fn new(cell: f64) -> Self {
+        assert!(
+            cell.is_finite() && cell > 0.0,
+            "grid cell side must be finite and positive"
+        );
+        Self {
+            cell,
+            cells: CellMap::default(),
+            lo: [0; D],
+            hi: [0; D],
+            len: 0,
+        }
+    }
+
+    /// The cell side to use for an ε-probe grid: ε itself, or `1.0` when
+    /// ε = 0 (any positive side works there — points at distance zero are
+    /// coordinate-identical and always share a cell).
+    #[inline]
+    pub fn side_for_eps(eps: f64) -> f64 {
+        if eps > 0.0 {
+            eps
+        } else {
+            1.0
+        }
+    }
+
+    /// A cell side sized for nearest-neighbour probes over `points`
+    /// (SGB-Around centers): the population bounding box divided so the
+    /// grid holds roughly one point per cell — `extent / ceil(n^(1/D))` —
+    /// falling back to `1.0` for degenerate (single-point / zero-extent)
+    /// populations.
+    pub fn side_for_points(points: &[Point<D>]) -> f64 {
+        let mut extent = 0.0f64;
+        if let Some(first) = points.first() {
+            let mut lo = *first;
+            let mut hi = *first;
+            for p in points {
+                lo = lo.min(p);
+                hi = hi.max(p);
+            }
+            for d in 0..D {
+                extent = extent.max(hi.coord(d) - lo.coord(d));
+            }
+        }
+        let cells_per_dim = (points.len().max(1) as f64).powf(1.0 / D as f64).ceil();
+        let side = extent / cells_per_dim.max(1.0);
+        if side.is_finite() && side > 0.0 {
+            side
+        } else {
+            1.0
+        }
+    }
+
+    /// Builds a grid from a complete point set.
+    pub fn from_points(cell: f64, points: impl IntoIterator<Item = (Point<D>, T)>) -> Self {
+        let mut grid = Self::new(cell);
+        for (p, item) in points {
+            grid.insert(p, item);
+        }
+        grid
+    }
+
+    /// Number of stored entries.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when the grid stores nothing.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The configured cell side length.
+    #[inline]
+    pub fn cell_side(&self) -> f64 {
+        self.cell
+    }
+
+    /// Number of occupied cells.
+    #[inline]
+    pub fn occupied_cells(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// The cell containing `p`. The `f64 → i64` cast saturates at the
+    /// integer extremes, so even absurd coordinate/cell ratios stay safe —
+    /// far-apart points may then share a (saturated) cell, which only
+    /// costs filter precision, never correctness (callers verify hits).
+    #[inline]
+    pub fn cell_of(&self, p: &Point<D>) -> CellKey<D> {
+        let mut key = [0i64; D];
+        for (d, k) in key.iter_mut().enumerate() {
+            *k = (p.coord(d) / self.cell).floor() as i64;
+        }
+        key
+    }
+
+    /// Inserts an entry.
+    pub fn insert(&mut self, p: Point<D>, item: T) {
+        debug_assert!(p.is_finite(), "grid points must be finite");
+        let key = self.cell_of(&p);
+        if self.len == 0 {
+            self.lo = key;
+            self.hi = key;
+        } else {
+            for (d, &k) in key.iter().enumerate() {
+                self.lo[d] = self.lo[d].min(k);
+                self.hi[d] = self.hi[d].max(k);
+            }
+        }
+        self.cells.entry(key).or_default().push((p, item));
+        self.len += 1;
+    }
+
+    /// The ε-probe: invokes `visit` for every entry stored in a cell that
+    /// could hold a point within `eps` of `center` — a guaranteed superset
+    /// of the canonical predicate [`Metric::within`] under every metric
+    /// (the visited window covers `[center − eps, center + eps]` per
+    /// dimension, padded by one full cell against quantisation rounding).
+    /// Callers verify each hit with `Metric::within`, exactly like
+    /// `VerifyPoints` of Procedure 8; the probe itself allocates nothing.
+    pub fn for_each_within<F: FnMut(&Point<D>, &T)>(
+        &self,
+        center: &Point<D>,
+        eps: f64,
+        _metric: Metric,
+        mut visit: F,
+    ) {
+        if self.len == 0 {
+            return;
+        }
+        let mut lo = [0i64; D];
+        let mut hi = [0i64; D];
+        let mut volume = 1usize;
+        for d in 0..D {
+            let c = center.coord(d);
+            // One-cell pad on each side: the float window arithmetic and
+            // the floor quantisation err by ulps, the pad absorbs a whole
+            // cell.
+            let l = (((c - eps) / self.cell).floor() as i64)
+                .saturating_sub(1)
+                .max(self.lo[d]);
+            let h = (((c + eps) / self.cell).floor() as i64)
+                .saturating_add(1)
+                .min(self.hi[d]);
+            if l > h {
+                return;
+            }
+            lo[d] = l;
+            hi[d] = h;
+            // Width in i128: with saturated keys the span can exceed i64.
+            let width = (h as i128 - l as i128 + 1).min(usize::MAX as i128) as usize;
+            volume = volume.saturating_mul(width);
+        }
+        if volume <= self.cells.len() {
+            for_each_key_in_box(&lo, &hi, |key| {
+                if let Some(entries) = self.cells.get(key) {
+                    for (p, item) in entries {
+                        visit(p, item);
+                    }
+                }
+            });
+        } else {
+            // The window covers more cells than are occupied: walking the
+            // occupied set is cheaper than probing every window cell.
+            for (key, entries) in &self.cells {
+                if (0..D).all(|d| lo[d] <= key[d] && key[d] <= hi[d]) {
+                    for (p, item) in entries {
+                        visit(p, item);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Bulk ε-join: invokes `visit` once for every unordered pair of
+    /// entries whose cells lie within the padded ε-window of each other —
+    /// a guaranteed superset of the pairs satisfying the canonical
+    /// predicate; callers verify each pair with [`Metric::within`].
+    ///
+    /// This is the batch counterpart of per-point
+    /// [`for_each_within`](Self::for_each_within) probes: instead of
+    /// `len × window` hash lookups it pays a constant number of lookups
+    /// per **occupied cell** (each unordered cell pair is joined exactly
+    /// once via lexicographically-positive offsets), which is what makes
+    /// the one-shot SGB-Any ε-join fast. Offsets whose minimum inter-cell
+    /// distance under `metric` exceeds the (slack-padded) threshold are
+    /// pruned up front — e.g. the corner cells of the window under `L2`.
+    pub fn for_each_close_pair<F: FnMut(&Point<D>, &T, &Point<D>, &T)>(
+        &self,
+        eps: f64,
+        metric: Metric,
+        mut visit: F,
+    ) {
+        if self.len == 0 {
+            return;
+        }
+        let relaxed = eps * (1.0 + 4.0 * f64::EPSILON);
+        // One pad cell against quantisation rounding, as in the per-point
+        // probe; the prune below gets an absolute slack of `cell · 1e-5`,
+        // far above the coordinate rounding of any `|coord|/cell` ratio
+        // this engine targets (< 2³²) and far below the one-cell
+        // granularity the prune operates at.
+        let reach = (((eps / self.cell).ceil() as i64).max(0)).saturating_add(1);
+        let slack = self.cell * 1e-5;
+        let mut offsets: Vec<CellKey<D>> = Vec::new();
+        for_each_key_in_box(&[-reach; D], &[reach; D], |off| {
+            // Keep each unordered cell pair once: strictly positive in the
+            // first non-zero component.
+            let lex_positive = off
+                .iter()
+                .find(|&&c| c != 0)
+                .is_some_and(|&first| first > 0);
+            if !lex_positive {
+                return;
+            }
+            // Minimum possible distance between points of two cells
+            // separated by `off`: per-dimension gaps of (|off| − 1) cells.
+            let mut gaps = [0.0; D];
+            for d in 0..D {
+                gaps[d] = (off[d].abs() - 1).max(0) as f64 * self.cell;
+            }
+            let min_dist = match metric {
+                Metric::L1 => gaps.iter().sum(),
+                Metric::L2 => gaps.iter().map(|g| g * g).sum::<f64>().sqrt(),
+                Metric::LInf => gaps.iter().fold(0.0f64, |a, &g| a.max(g)),
+            };
+            if min_dist <= relaxed + slack {
+                offsets.push(*off);
+            }
+        });
+        for (key, entries) in &self.cells {
+            for i in 0..entries.len() {
+                let (pa, ta) = &entries[i];
+                for (pb, tb) in &entries[i + 1..] {
+                    visit(pa, ta, pb, tb);
+                }
+            }
+            'offsets: for off in &offsets {
+                let mut neighbour = *key;
+                for d in 0..D {
+                    let Some(nk) = key[d].checked_add(off[d]) else {
+                        continue 'offsets;
+                    };
+                    if nk < self.lo[d] || nk > self.hi[d] {
+                        continue 'offsets;
+                    }
+                    neighbour[d] = nk;
+                }
+                if let Some(other) = self.cells.get(&neighbour) {
+                    for (pa, ta) in entries {
+                        for (pb, tb) in other {
+                            visit(pa, ta, pb, tb);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// The entry nearest to `q` under `metric`, as `(distance, payload)` —
+    /// expanding-ring search over cells. Reported distances are the
+    /// canonical [`Metric::distance`] values and exact ties resolve to the
+    /// smallest payload, so the result is bit-identical to a brute-force
+    /// `(distance, payload)`-lexicographic argmin (and to
+    /// [`crate::RTree::nearest_one_with`] over point entries).
+    pub fn nearest_one(&self, q: &Point<D>, metric: Metric) -> Option<(f64, T)>
+    where
+        T: Ord + Clone,
+    {
+        if self.len == 0 {
+            return None;
+        }
+        let qc = self.cell_of(q);
+        // Rings beyond the occupied bounding box hold nothing.
+        let mut max_ring = 0i64;
+        for (d, &qcd) in qc.iter().enumerate() {
+            let lo_gap = (qcd as i128 - self.lo[d] as i128).unsigned_abs();
+            let hi_gap = (qcd as i128 - self.hi[d] as i128).unsigned_abs();
+            let gap = lo_gap.max(hi_gap).min(i64::MAX as u128) as i64;
+            max_ring = max_ring.max(gap);
+        }
+        let mut best: Option<(f64, &T)> = None;
+        for k in 0..=max_ring {
+            if let Some((bd, _)) = best {
+                // Any point in ring k is at least (k − 1) cells away under
+                // L∞ (and δ₁ ≥ δ₂ ≥ δ∞); one extra cell of slack makes the
+                // cut-off immune to the quantisation rounding of `cell_of`.
+                if (k as f64 - 2.0) * self.cell > bd {
+                    break;
+                }
+            }
+            self.for_each_ring_cell(&qc, k, |entries| {
+                for (p, item) in entries {
+                    let d = metric.distance(q, p);
+                    let better = match best {
+                        None => true,
+                        Some((bd, bt)) => d < bd || (d == bd && item < bt),
+                    };
+                    if better {
+                        best = Some((d, item));
+                    }
+                }
+            });
+        }
+        best.map(|(d, item)| (d, item.clone()))
+    }
+
+    /// Invokes `f` with the entry list of every occupied cell at Chebyshev
+    /// cell-distance exactly `k` from `qc`, clamped to the occupied
+    /// bounding box.
+    ///
+    /// Walks only the ring **shell**, never the cube interior: for each
+    /// dimension `d` the two faces `c_d = qc_d ± k` are enumerated, with
+    /// dimensions before `d` restricted to the open interval
+    /// `(qc − k, qc + k)` so face intersections (edges/corners) are
+    /// visited exactly once. The per-ring cost is therefore proportional
+    /// to the clamped ring surface, not to the clamped bounding box — a
+    /// query far from the population pays O(surface) per ring instead of
+    /// re-enumerating the whole occupied box every ring.
+    fn for_each_ring_cell<'a, F: FnMut(&'a [(Point<D>, T)])>(
+        &'a self,
+        qc: &CellKey<D>,
+        k: i64,
+        mut f: F,
+    ) {
+        if k == 0 {
+            if (0..D).all(|d| self.lo[d] <= qc[d] && qc[d] <= self.hi[d]) {
+                if let Some(entries) = self.cells.get(qc) {
+                    f(entries);
+                }
+            }
+            return;
+        }
+        let mut lo = [0i64; D];
+        let mut hi = [0i64; D];
+        for face_dim in 0..D {
+            for face in [
+                qc[face_dim].saturating_sub(k),
+                qc[face_dim].saturating_add(k),
+            ] {
+                if face < self.lo[face_dim] || face > self.hi[face_dim] {
+                    continue;
+                }
+                let mut empty = false;
+                for d in 0..D {
+                    if d == face_dim {
+                        lo[d] = face;
+                        hi[d] = face;
+                        continue;
+                    }
+                    // Earlier dimensions already contributed their own
+                    // ±k faces; keep them strictly inside the ring there.
+                    let slack = if d < face_dim { k - 1 } else { k };
+                    let l = qc[d].saturating_sub(slack).max(self.lo[d]);
+                    let h = qc[d].saturating_add(slack).min(self.hi[d]);
+                    if l > h {
+                        empty = true;
+                        break;
+                    }
+                    lo[d] = l;
+                    hi[d] = h;
+                }
+                if empty {
+                    continue;
+                }
+                for_each_key_in_box(&lo, &hi, |key| {
+                    if let Some(entries) = self.cells.get(key) {
+                        f(entries);
+                    }
+                });
+            }
+        }
+    }
+}
+
+/// Odometer iteration over the integer box `lo..=hi` (all dimensions).
+fn for_each_key_in_box<const D: usize, F: FnMut(&CellKey<D>)>(
+    lo: &CellKey<D>,
+    hi: &CellKey<D>,
+    mut f: F,
+) {
+    debug_assert!((0..D).all(|d| lo[d] <= hi[d]));
+    let mut cur = *lo;
+    loop {
+        f(&cur);
+        let mut d = 0;
+        loop {
+            if d == D {
+                return;
+            }
+            if cur[d] < hi[d] {
+                cur[d] += 1;
+                break;
+            }
+            cur[d] = lo[d];
+            d += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pt(x: f64, y: f64) -> Point<2> {
+        Point::new([x, y])
+    }
+
+    /// The 31-wide integer lattice the R-tree tests use, for side-by-side
+    /// comparisons.
+    fn lattice(n: usize) -> Vec<(Point<2>, usize)> {
+        (0..n)
+            .map(|i| (pt((i % 31) as f64, (i / 31) as f64), i))
+            .collect()
+    }
+
+    #[test]
+    fn empty_grid_queries() {
+        let grid: Grid<2, usize> = Grid::new(1.0);
+        assert!(grid.is_empty());
+        let mut visited = 0;
+        grid.for_each_within(&pt(0.0, 0.0), 10.0, Metric::L2, |_, _| visited += 1);
+        assert_eq!(visited, 0);
+        assert_eq!(grid.nearest_one(&pt(0.0, 0.0), Metric::L2), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "cell side")]
+    fn rejects_zero_cell() {
+        let _: Grid<2, usize> = Grid::new(0.0);
+    }
+
+    #[test]
+    fn side_helpers() {
+        assert_eq!(Grid::<2, usize>::side_for_eps(0.25), 0.25);
+        assert_eq!(Grid::<2, usize>::side_for_eps(0.0), 1.0);
+        // One point / empty population: positive fallback.
+        assert_eq!(Grid::<2, usize>::side_for_points(&[]), 1.0);
+        assert_eq!(Grid::<2, usize>::side_for_points(&[pt(3.0, 3.0)]), 1.0);
+        // 100 points over a 10-wide box: ~1 point per cell.
+        let pts: Vec<Point<2>> = (0..100)
+            .map(|i| pt((i % 10) as f64, (i / 10) as f64))
+            .collect();
+        let side = Grid::<2, usize>::side_for_points(&pts);
+        assert!(side > 0.0 && side <= 10.0, "{side}");
+    }
+
+    #[test]
+    fn probe_superset_matches_linear_scan_per_metric() {
+        let grid: Grid<2, usize> = Grid::from_points(2.5, lattice(500));
+        let queries = [
+            (pt(5.2, 4.7), 2.5),
+            (pt(0.0, 0.0), 0.0),
+            (pt(15.5, 8.0), 5.0),
+            (pt(-3.0, -3.0), 1.0),
+        ];
+        for metric in Metric::ALL {
+            for (q, eps) in queries {
+                let mut hits = Vec::new();
+                grid.for_each_within(&q, eps, metric, |p, &i| {
+                    if metric.within(p, &q, eps) {
+                        hits.push(i);
+                    }
+                });
+                hits.sort_unstable();
+                let expected: Vec<usize> = (0..500)
+                    .filter(|i| metric.within(&pt((i % 31) as f64, (i / 31) as f64), &q, eps))
+                    .collect();
+                assert_eq!(hits, expected, "{metric} query {q:?} eps {eps}");
+            }
+        }
+    }
+
+    #[test]
+    fn probe_visits_every_boundary_tie() {
+        // Awkward non-representable coordinates whose distances tie with ε
+        // up to rounding must still be visited (the caller's verify
+        // decides) — same fixture as the R-tree superset test.
+        let base = 880.0;
+        let points: Vec<Point<2>> = (0..60)
+            .map(|k| pt((base + k as f64 * 11.17) / 11000.0, 0.0))
+            .collect();
+        let eps = 0.08;
+        let grid: Grid<2, usize> = Grid::from_points(
+            Grid::<2, usize>::side_for_eps(eps),
+            points.iter().copied().zip(0..),
+        );
+        for metric in Metric::ALL {
+            for q in &points {
+                let mut visited = vec![false; points.len()];
+                grid.for_each_within(q, eps, metric, |_, &i| visited[i] = true);
+                for (i, p) in points.iter().enumerate() {
+                    if metric.within(p, q, eps) {
+                        assert!(visited[i], "{metric}: predicate hit {i} not visited");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zero_eps_probe_finds_exact_duplicates() {
+        let mut grid: Grid<2, char> = Grid::new(Grid::<2, char>::side_for_eps(0.0));
+        grid.insert(pt(1.0, 1.0), 'a');
+        grid.insert(pt(1.0, 1.0), 'b');
+        grid.insert(pt(1.0, 1.0000001), 'c');
+        let mut hits = Vec::new();
+        grid.for_each_within(&pt(1.0, 1.0), 0.0, Metric::L2, |p, &id| {
+            if Metric::L2.within(p, &pt(1.0, 1.0), 0.0) {
+                hits.push(id);
+            }
+        });
+        hits.sort_unstable();
+        assert_eq!(hits, vec!['a', 'b']);
+    }
+
+    #[test]
+    fn close_pair_join_covers_every_predicate_pair_exactly_once() {
+        let points = lattice(400);
+        for metric in Metric::ALL {
+            for (cell, eps) in [(1.0, 1.0), (2.5, 2.5), (1.0, 3.0), (0.7, 0.0)] {
+                let grid: Grid<2, usize> = Grid::from_points(cell, points.clone());
+                // visits[(i, j)] with i < j → number of times the pair
+                // surfaced (must be exactly once for candidates).
+                let mut seen = std::collections::HashMap::new();
+                grid.for_each_close_pair(eps, metric, |_, &a, _, &b| {
+                    let key = (a.min(b), a.max(b));
+                    *seen.entry(key).or_insert(0usize) += 1;
+                });
+                for (&(a, b), &count) in &seen {
+                    assert_eq!(count, 1, "{metric} cell={cell} eps={eps} pair ({a},{b})");
+                }
+                for i in 0..points.len() {
+                    for j in (i + 1)..points.len() {
+                        if metric.within(&points[i].0, &points[j].0, eps) {
+                            assert!(
+                                seen.contains_key(&(i, j)),
+                                "{metric} cell={cell} eps={eps}: missed pair ({i},{j})"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn nearest_one_matches_brute_force_argmin() {
+        let grid: Grid<2, usize> = Grid::from_points(1.7, lattice(400));
+        let probes = [
+            pt(7.3, 4.9),
+            pt(-2.0, 40.0),
+            pt(10.0, 10.0),
+            pt(15.0, 8.0),
+            pt(200.0, -50.0), // far outside the population
+        ];
+        for metric in Metric::ALL {
+            for q in &probes {
+                let got = grid.nearest_one(q, metric).unwrap();
+                let mut best = (f64::INFINITY, 0usize);
+                for &(p, i) in &lattice(400) {
+                    let d = metric.distance(q, &p);
+                    if d < best.0 {
+                        best = (d, i);
+                    }
+                }
+                assert_eq!(got, best, "{metric} {q:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn nearest_one_breaks_exact_ties_by_ascending_payload() {
+        // Duplicate positions with scrambled payloads at exactly equal
+        // distance: the smallest payload must win, regardless of insertion
+        // order or cell layout.
+        let ring = [pt(11.0, 10.0), pt(9.0, 10.0), pt(10.0, 11.0), pt(10.0, 9.0)];
+        for metric in Metric::ALL {
+            let mut grid: Grid<2, usize> = Grid::new(0.8);
+            for (j, payload) in [5usize, 1, 7, 3, 0, 6, 2, 4].iter().enumerate() {
+                grid.insert(ring[j % ring.len()], *payload);
+            }
+            let got = grid.nearest_one(&pt(10.0, 10.0), metric).unwrap();
+            assert_eq!(got.1, 0, "{metric}");
+            assert!((got.0 - 1.0).abs() < 1e-12, "{metric}");
+        }
+    }
+
+    #[test]
+    fn incremental_and_bulk_loads_agree() {
+        let mut inc: Grid<2, usize> = Grid::new(2.0);
+        for (p, i) in lattice(300) {
+            inc.insert(p, i);
+        }
+        let bulk: Grid<2, usize> = Grid::from_points(2.0, lattice(300));
+        assert_eq!(inc.len(), bulk.len());
+        assert_eq!(inc.occupied_cells(), bulk.occupied_cells());
+        let q = pt(6.5, 3.5);
+        for metric in Metric::ALL {
+            let collect = |g: &Grid<2, usize>| {
+                let mut out = Vec::new();
+                g.for_each_within(&q, 2.0, metric, |_, &i| out.push(i));
+                out.sort_unstable();
+                out
+            };
+            assert_eq!(collect(&inc), collect(&bulk), "{metric}");
+            assert_eq!(inc.nearest_one(&q, metric), bulk.nearest_one(&q, metric));
+        }
+    }
+
+    #[test]
+    fn three_dimensional_probe() {
+        let points: Vec<(Point<3>, usize)> = (0..200)
+            .map(|i| {
+                let f = i as f64;
+                (Point::new([f % 5.0, (f / 5.0) % 5.0, f / 25.0]), i)
+            })
+            .collect();
+        let grid: Grid<3, usize> = Grid::from_points(1.0, points.clone());
+        let q = Point::new([2.2, 2.8, 3.1]);
+        for metric in Metric::ALL {
+            let mut hits = Vec::new();
+            grid.for_each_within(&q, 1.0, metric, |p, &i| {
+                if metric.within(p, &q, 1.0) {
+                    hits.push(i);
+                }
+            });
+            hits.sort_unstable();
+            let expected: Vec<usize> = points
+                .iter()
+                .filter(|(p, _)| metric.within(p, &q, 1.0))
+                .map(|&(_, i)| i)
+                .collect();
+            assert_eq!(hits, expected, "{metric}");
+            // Nearest agrees with brute force too.
+            let got = grid.nearest_one(&q, metric).unwrap();
+            let best = points
+                .iter()
+                .map(|(p, i)| (metric.distance(&q, p), *i))
+                .fold(
+                    (f64::INFINITY, 0),
+                    |acc, cur| {
+                        if cur.0 < acc.0 {
+                            cur
+                        } else {
+                            acc
+                        }
+                    },
+                );
+            assert_eq!(got, best, "{metric}");
+        }
+    }
+
+    #[test]
+    fn saturated_cell_keys_stay_safe() {
+        // Absurd coordinate/cell ratios saturate the cell keys at the i64
+        // extremes; probes over such a grid must neither overflow nor miss
+        // verified hits (the documented saturation-safety guarantee).
+        let mut grid: Grid<2, usize> = Grid::new(1e-3);
+        grid.insert(pt(1e300, 0.0), 0);
+        grid.insert(pt(-1e300, 0.0), 1);
+        grid.insert(pt(0.25, 0.0), 2);
+        let mut hits = Vec::new();
+        grid.for_each_within(&pt(0.0, 0.0), 1e19, Metric::L2, |p, &i| {
+            if Metric::L2.within(p, &pt(0.0, 0.0), 1e19) {
+                hits.push(i);
+            }
+        });
+        hits.sort_unstable();
+        assert_eq!(hits, vec![2], "only the unsaturated point is in range");
+        // Nearest search still terminates and finds the true argmin.
+        assert_eq!(grid.nearest_one(&pt(0.3, 0.0), Metric::L2).unwrap().1, 2);
+    }
+
+    #[test]
+    fn nearest_one_far_diagonal_query_is_cheap_and_correct() {
+        // A query far outside the population (diagonally) must still
+        // return the exact argmin; the ring walk only touches shell
+        // cells, so this terminates quickly even with many rings.
+        let grid: Grid<2, usize> = Grid::from_points(0.5, lattice(500));
+        for metric in Metric::ALL {
+            let q = pt(5000.0, -4000.0);
+            let got = grid.nearest_one(&q, metric).unwrap();
+            let mut best = (f64::INFINITY, 0usize);
+            for &(p, i) in &lattice(500) {
+                let d = metric.distance(&q, &p);
+                if d < best.0 {
+                    best = (d, i);
+                }
+            }
+            assert_eq!(got, best, "{metric}");
+        }
+    }
+
+    #[test]
+    fn negative_coordinates_quantise_correctly() {
+        // floor (not truncation) keys: −0.5 and +0.5 sit in different
+        // cells under cell = 1, but a probe spanning both finds both.
+        let mut grid: Grid<2, char> = Grid::new(1.0);
+        grid.insert(pt(-0.5, 0.0), 'n');
+        grid.insert(pt(0.5, 0.0), 'p');
+        assert_eq!(grid.cell_of(&pt(-0.5, 0.0))[0], -1);
+        assert_eq!(grid.cell_of(&pt(0.5, 0.0))[0], 0);
+        let mut hits = Vec::new();
+        grid.for_each_within(&pt(0.0, 0.0), 1.0, Metric::L1, |_, &c| hits.push(c));
+        hits.sort_unstable();
+        assert_eq!(hits, vec!['n', 'p']);
+    }
+}

@@ -12,8 +12,17 @@
 //!
 //! The implementation is a classic dynamic R-tree with quadratic split and
 //! the `CondenseTree` deletion algorithm, arena-allocated, const-generic
-//! over the dimension and generic over the stored payload.
+//! over the dimension and generic over the stored payload. Indexes built
+//! from a complete point set are bulk-loaded with sort-tile-recursive
+//! packing ([`RTree::from_points`]) instead of one-at-a-time inserts.
+//!
+//! Alongside the R-tree lives the [`Grid`] — a hashed uniform epsilon-grid
+//! purpose-built for the ε-bounded probes at the heart of the similarity
+//! operators (cell side = ε ⇒ a probe touches only a point's own cell and
+//! its immediate neighbours, with no tree descent at all).
 
+pub mod grid;
 pub mod rtree;
 
+pub use grid::Grid;
 pub use rtree::RTree;

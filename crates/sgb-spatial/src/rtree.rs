@@ -60,6 +60,84 @@ impl<const D: usize, T: Clone + PartialEq> RTree<D, T> {
         Self::with_max_entries(DEFAULT_MAX_ENTRIES)
     }
 
+    /// Bulk-loads a tree from a complete point set with sort-tile-recursive
+    /// packing — see [`from_entries`](Self::from_entries).
+    pub fn from_points(
+        max_entries: usize,
+        points: impl IntoIterator<Item = (Point<D>, T)>,
+    ) -> Self {
+        Self::from_entries(
+            max_entries,
+            points
+                .into_iter()
+                .map(|(p, item)| (Rect::point(p), item))
+                .collect(),
+        )
+    }
+
+    /// Bulk-loads a tree from a complete entry set with **sort-tile-
+    /// recursive (STR) packing** [Leutenegger et al. 1997]: entries are
+    /// sorted by centre coordinate and tiled into `⌈n/M⌉` full leaves
+    /// (slabbed per dimension), then the leaf rectangles are packed the
+    /// same way level by level up to the root.
+    ///
+    /// Compared to `n` one-at-a-time [`insert`](Self::insert)s this pays no
+    /// `ChooseLeaf` descents and no quadratic splits — an `O(n log n)` sort
+    /// instead — and produces near-full, spatially coherent nodes. Queries
+    /// on the result are exact as ever; only the tree *shape* differs, and
+    /// no SGB answer depends on tree shape (range queries are verified by
+    /// the caller, nearest-neighbour ties are payload-ordered).
+    ///
+    /// The packing honours the same fan-out bounds as dynamic insertion
+    /// (underfull tails are rebalanced with their left sibling), so
+    /// [`check_invariants`](Self::check_invariants) holds and the tree
+    /// remains freely mutable afterwards.
+    pub fn from_entries(max_entries: usize, entries: Vec<(Rect<D>, T)>) -> Self {
+        let mut tree = Self::with_max_entries(max_entries);
+        if entries.is_empty() {
+            return tree;
+        }
+        tree.len = entries.len();
+        if entries.len() <= max_entries {
+            tree.nodes[tree.root].kind = NodeKind::Leaf(entries);
+            tree.tighten(tree.root);
+            return tree;
+        }
+        // Pack the leaf level, then repack each internal level until a
+        // single node remains.
+        let mut level: Vec<(Rect<D>, NodeId)> = Vec::new();
+        for group in str_pack(entries, max_entries, tree.min_entries) {
+            let id = tree.alloc(Node {
+                rect: Rect::empty(),
+                parent: None,
+                kind: NodeKind::Leaf(group),
+            });
+            tree.tighten(id);
+            level.push((tree.nodes[id].rect, id));
+        }
+        while level.len() > 1 {
+            let mut next: Vec<(Rect<D>, NodeId)> = Vec::new();
+            for group in str_pack(level, max_entries, tree.min_entries) {
+                let children: Vec<NodeId> = group.iter().map(|&(_, id)| id).collect();
+                let id = tree.alloc(Node {
+                    rect: Rect::empty(),
+                    parent: None,
+                    kind: NodeKind::Internal(children.clone()),
+                });
+                for c in children {
+                    tree.nodes[c].parent = Some(id);
+                }
+                tree.tighten(id);
+                next.push((tree.nodes[id].rect, id));
+            }
+            level = next;
+        }
+        let old_root = tree.root;
+        tree.root = level[0].1;
+        tree.release(old_root);
+        tree
+    }
+
     /// An empty tree with node capacity `max_entries` (`M`); the minimum
     /// fill is `M / 3` as Guttman recommends for the quadratic split.
     pub fn with_max_entries(max_entries: usize) -> Self {
@@ -324,6 +402,24 @@ impl<const D: usize, T: Clone + PartialEq> RTree<D, T> {
         center: &Point<D>,
         eps: f64,
         metric: Metric,
+        visit: F,
+    ) {
+        let mut stack = Vec::new();
+        self.for_each_within(center, eps, metric, &mut stack, visit);
+    }
+
+    /// Allocation-free sibling of [`query_within`](Self::query_within)
+    /// (mirroring [`nearest_one_with`](Self::nearest_one_with)): the
+    /// traversal stack is caller-provided scratch, cleared on entry, so
+    /// per-tuple hot loops pay no heap allocation per query. Semantics are
+    /// identical — same pruning, same relaxed threshold, same
+    /// visited-superset guarantee.
+    pub fn for_each_within<F: FnMut(&Rect<D>, &T)>(
+        &self,
+        center: &Point<D>,
+        eps: f64,
+        metric: Metric,
+        stack: &mut Vec<usize>,
         mut visit: F,
     ) {
         if self.len == 0 {
@@ -334,7 +430,8 @@ impl<const D: usize, T: Clone + PartialEq> RTree<D, T> {
             Metric::L2 => relaxed * relaxed,
             _ => relaxed,
         };
-        let mut stack = vec![self.root];
+        stack.clear();
+        stack.push(self.root);
         while let Some(id) = stack.pop() {
             let node = &self.nodes[id];
             if node.rect.min_rank_distance(center, metric) > bound {
@@ -696,6 +793,88 @@ impl<const D: usize, T: Clone + PartialEq> RTree<D, T> {
             }
         }
     }
+}
+
+/// Sort-tile-recursive packing: partitions `items` into groups of at most
+/// `cap` entries (each at least `min` — callers guarantee
+/// `items.len() > cap`, so at least two groups exist and tail rebalancing
+/// always has a left sibling).
+///
+/// Dimension `d` sorts by centre coordinate and slices into
+/// `⌈L^(1/(D−d))⌉` slabs (`L` = leaves still needed), recursing into the
+/// next dimension; the innermost dimension chunks sequentially.
+fn str_pack<const D: usize, E>(
+    items: Vec<(Rect<D>, E)>,
+    cap: usize,
+    min: usize,
+) -> Vec<Vec<(Rect<D>, E)>> {
+    fn rec<const D: usize, E>(
+        mut items: Vec<(Rect<D>, E)>,
+        cap: usize,
+        min: usize,
+        dim: usize,
+        out: &mut Vec<Vec<(Rect<D>, E)>>,
+    ) {
+        let n = items.len();
+        if n <= cap {
+            // May be underfull only as the sole (root) group of the level.
+            out.push(items);
+            return;
+        }
+        items.sort_by(|(a, _), (b, _)| {
+            let ca = 0.5 * (a.lo()[dim] + a.hi()[dim]);
+            let cb = 0.5 * (b.lo()[dim] + b.hi()[dim]);
+            ca.total_cmp(&cb)
+        });
+        if dim + 1 == D {
+            // Innermost dimension: sequential chunks of `cap`. A short tail
+            // (< min) is rebalanced with its left sibling — the combined
+            // `cap + tail` entries split into two halves of ≥ `cap/2` ≥
+            // `min` each.
+            let mut chunks: Vec<Vec<(Rect<D>, E)>> = Vec::with_capacity(n.div_ceil(cap));
+            let mut iter = items.into_iter();
+            loop {
+                let chunk: Vec<(Rect<D>, E)> = iter.by_ref().take(cap).collect();
+                if chunk.is_empty() {
+                    break;
+                }
+                chunks.push(chunk);
+            }
+            if chunks.len() >= 2 && chunks[chunks.len() - 1].len() < min {
+                let tail = chunks.pop().unwrap();
+                let mut prev = chunks.pop().unwrap();
+                prev.extend(tail);
+                let second = prev.split_off(prev.len() / 2);
+                chunks.push(prev);
+                chunks.push(second);
+            }
+            out.extend(chunks);
+        } else {
+            let leaves = n.div_ceil(cap);
+            let slabs = (leaves as f64).powf(1.0 / (D - dim) as f64).ceil().max(1.0) as usize;
+            let per_slab = n.div_ceil(slabs);
+            let mut slabbed: Vec<Vec<(Rect<D>, E)>> = Vec::with_capacity(slabs);
+            let mut iter = items.into_iter();
+            loop {
+                let slab: Vec<(Rect<D>, E)> = iter.by_ref().take(per_slab).collect();
+                if slab.is_empty() {
+                    break;
+                }
+                slabbed.push(slab);
+            }
+            // A stunted final slab would bottom out as one underfull group.
+            if slabbed.len() >= 2 && slabbed[slabbed.len() - 1].len() < min {
+                let tail = slabbed.pop().unwrap();
+                slabbed.last_mut().unwrap().extend(tail);
+            }
+            for slab in slabbed {
+                rec(slab, cap, min, dim + 1, out);
+            }
+        }
+    }
+    let mut out = Vec::new();
+    rec(items, cap, min, 0, &mut out);
+    out
 }
 
 /// Guttman's quadratic split: pick the two entries that would waste the most
@@ -1154,6 +1333,94 @@ mod tests {
         let mut seen: Vec<usize> = tree.iter().map(|(_, &i)| i).collect();
         seen.sort();
         assert_eq!(seen, (0..123).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn str_bulk_load_keeps_invariants_and_answers_queries() {
+        for n in [0usize, 1, 4, 12, 13, 25, 100, 500, 2000] {
+            let tree: RTree<2, usize> = RTree::from_points(
+                12,
+                (0..n).map(|i| (pt((i % 31) as f64, (i / 31) as f64), i)),
+            );
+            assert_eq!(tree.len(), n, "n = {n}");
+            tree.check_invariants();
+            let w = Rect::new(pt(2.5, 1.5), pt(7.5, 9.5));
+            let mut hits = tree.query_collect(&w);
+            hits.sort_unstable();
+            let expected: Vec<usize> = (0..n)
+                .filter(|i| w.contains_point(&pt((i % 31) as f64, (i / 31) as f64)))
+                .collect();
+            assert_eq!(hits, expected, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn str_bulk_load_agrees_with_incremental_construction() {
+        let bulk: RTree<2, usize> = RTree::from_points(
+            8,
+            (0..500).map(|i| (pt((i % 31) as f64, (i / 31) as f64), i)),
+        );
+        let mut inc: RTree<2, usize> = RTree::with_max_entries(8);
+        for i in 0..500 {
+            inc.insert_point(pt((i % 31) as f64, (i / 31) as f64), i);
+        }
+        let q = pt(7.3, 4.9);
+        for metric in Metric::ALL {
+            // Range queries: identical verified hit sets.
+            let collect = |t: &RTree<2, usize>| {
+                let mut out = Vec::new();
+                t.query_within(&q, 3.0, metric, |_, &i| {
+                    if metric.within(&pt((i % 31) as f64, (i / 31) as f64), &q, 3.0) {
+                        out.push(i);
+                    }
+                });
+                out.sort_unstable();
+                out
+            };
+            assert_eq!(collect(&bulk), collect(&inc), "{metric}");
+            // Nearest-neighbour results are tree-shape independent.
+            assert_eq!(
+                bulk.nearest(&q, 7, metric),
+                inc.nearest(&q, 7, metric),
+                "{metric}"
+            );
+        }
+        // A bulk-loaded tree stays freely mutable.
+        let mut bulk = bulk;
+        assert!(bulk.remove(&Rect::point(pt(3.0, 0.0)), &3));
+        bulk.insert_point(pt(100.0, 100.0), 777);
+        bulk.check_invariants();
+    }
+
+    #[test]
+    fn str_bulk_load_is_shallower_and_fuller_than_incremental() {
+        let n = 3000;
+        let bulk: RTree<2, usize> = RTree::from_points(
+            12,
+            (0..n).map(|i| (pt((i % 61) as f64, (i / 61) as f64), i)),
+        );
+        let mut inc: RTree<2, usize> = RTree::with_max_entries(12);
+        for i in 0..n {
+            inc.insert_point(pt((i % 61) as f64, (i / 61) as f64), i);
+        }
+        assert!(bulk.height() <= inc.height(), "packing must not be taller");
+    }
+
+    #[test]
+    fn for_each_within_reuses_scratch_and_matches_query_within() {
+        let tree = grid_tree(500);
+        let mut stack = Vec::new();
+        for metric in Metric::ALL {
+            for (q, eps) in [(pt(5.2, 4.7), 2.5), (pt(-3.0, -3.0), 1.0)] {
+                let mut a = Vec::new();
+                tree.query_within(&q, eps, metric, |_, &i| a.push(i));
+                let mut b = Vec::new();
+                tree.for_each_within(&q, eps, metric, &mut stack, |_, &i| b.push(i));
+                a.sort_unstable();
+                b.sort_unstable();
+                assert_eq!(a, b, "{metric} {q:?}");
+            }
+        }
     }
 
     #[test]

@@ -8,9 +8,9 @@
 //!
 //! | crate | contents |
 //! |---|---|
-//! | [`sgb_core`] | the SGB-All / SGB-Any / SGB-Around operators (the paper lineage's contribution) |
+//! | [`sgb_core`] | the SGB-All / SGB-Any / SGB-Around operators and the cost-based `Auto` algorithm selection (the paper lineage's contribution) |
 //! | [`sgb_geom`] | points, rectangles, the `L1`/`L2`/`L∞` metrics, convex hulls |
-//! | [`sgb_spatial`] | the on-the-fly R-tree index |
+//! | [`sgb_spatial`] | the on-the-fly R-tree (STR bulk loading) and the uniform ε-grid |
 //! | [`sgb_dsu`] | Union-Find for group merging |
 //! | [`sgb_cluster`] | K-means / DBSCAN / BIRCH baselines |
 //! | [`sgb_relation`] | the mini SQL engine with the `DISTANCE-TO-ALL` / `DISTANCE-TO-ANY` / `AROUND` grammar |
