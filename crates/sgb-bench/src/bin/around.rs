@@ -1,6 +1,8 @@
-//! SGB-Around benchmark: brute-force center scan vs the bulk-loaded center
-//! R-tree, swept over input cardinality and center count, written as JSON
-//! so the repository accumulates a perf trajectory for the operator.
+//! SGB-Around benchmark: brute-force center scan (`Algorithm::AllPairs`
+//! on the unified `SgbQuery` surface; the JSON label stays "BruteForce"
+//! for report continuity) vs the bulk-loaded center R-tree, swept over
+//! input cardinality and center count, written as JSON so the repository
+//! accumulates a perf trajectory for the operator.
 //!
 //! ```text
 //! around [--scale f] [--out path]

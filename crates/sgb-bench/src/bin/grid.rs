@@ -1,8 +1,11 @@
 //! Grid-engine benchmark: the ε-grid execution paths vs the R-tree-indexed
 //! paths vs the scan baselines for all three similarity operators, with an
 //! `Auto` row per sweep point showing the cost-based selection tracking
-//! the per-configuration winner. Results are written as JSON so the
-//! repository accumulates a perf trajectory for the grid engine.
+//! the per-configuration winner. Every operator is driven through the
+//! unified `SgbQuery` surface with the family-wide `Algorithm` selector
+//! (the SGB-Around "BruteForce" label is `Algorithm::AllPairs`, kept for
+//! report continuity). Results are written as JSON so the repository
+//! accumulates a perf trajectory for the grid engine.
 //!
 //! ```text
 //! grid [--scale f] [--out path]

@@ -1,6 +1,7 @@
 //! Metric-comparison benchmark: times every SGB-All / SGB-Any algorithm
-//! under every supported metric (`L1` / `L2` / `LINF`) and writes the
-//! results as JSON so the repository accumulates a perf trajectory.
+//! (selected through the unified `SgbQuery`/`Algorithm` surface) under
+//! every supported metric (`L1` / `L2` / `LINF`) and writes the results
+//! as JSON so the repository accumulates a perf trajectory.
 //!
 //! ```text
 //! metrics [--scale f] [--out path]

@@ -7,8 +7,8 @@
 
 use sgb_cluster::{birch, dbscan, kmeans, BirchConfig, DbscanConfig, KMeansConfig};
 use sgb_core::{
-    sgb_all, sgb_any, sgb_around, AllAlgorithm, AnyAlgorithm, AroundAlgorithm, OverlapAction,
-    SgbAllConfig, SgbAnyConfig, SgbAroundConfig,
+    sgb_all, sgb_any, Algorithm, AllAlgorithm, AnyAlgorithm, OverlapAction, SgbAllConfig,
+    SgbAnyConfig, SgbQuery,
 };
 use sgb_datagen::{clustered_points, clustered_points_with_centers, CheckinConfig, TpchConfig};
 use sgb_geom::{Metric, Point};
@@ -490,12 +490,12 @@ pub fn metric_comparison(scale: f64) -> (usize, f64, Vec<MetricBenchRow>) {
     for metric in Metric::ALL {
         let mut groups_per_algo = Vec::new();
         for (name, algo) in [
-            ("AllPairs", AllAlgorithm::AllPairs),
-            ("BoundsChecking", AllAlgorithm::BoundsChecking),
-            ("Indexed", AllAlgorithm::Indexed),
+            ("AllPairs", Algorithm::AllPairs),
+            ("BoundsChecking", Algorithm::BoundsChecking),
+            ("Indexed", Algorithm::Indexed),
         ] {
-            let cfg = SgbAllConfig::new(eps).metric(metric).algorithm(algo);
-            let (out, secs) = time(|| sgb_all(&points, &cfg));
+            let query = SgbQuery::all(eps).metric(metric).algorithm(algo);
+            let (out, secs) = time(|| query.run(&points));
             groups_per_algo.push(out.num_groups());
             rows.push(MetricBenchRow {
                 op: "sgb-all",
@@ -511,11 +511,11 @@ pub fn metric_comparison(scale: f64) -> (usize, f64, Vec<MetricBenchRow>) {
         );
         let mut any_groups_per_algo = Vec::new();
         for (name, algo) in [
-            ("AllPairs", AnyAlgorithm::AllPairs),
-            ("Indexed", AnyAlgorithm::Indexed),
+            ("AllPairs", Algorithm::AllPairs),
+            ("Indexed", Algorithm::Indexed),
         ] {
-            let cfg = SgbAnyConfig::new(eps).metric(metric).algorithm(algo);
-            let (out, secs) = time(|| sgb_any(&points, &cfg));
+            let query = SgbQuery::any(eps).metric(metric).algorithm(algo);
+            let (out, secs) = time(|| query.run(&points));
             any_groups_per_algo.push(out.num_groups());
             rows.push(MetricBenchRow {
                 op: "sgb-any",
@@ -561,9 +561,12 @@ pub struct AroundBenchRow {
 /// centers (the "derive centers, then regroup relationally" scenario); a
 /// radius bound keeps the outlier path hot. Returns `(radius, rows)`.
 pub fn around_comparison(scale: f64) -> (f64, Vec<AroundBenchRow>) {
-    const ALGOS: [(&str, AroundAlgorithm); 2] = [
-        ("BruteForce", AroundAlgorithm::BruteForce),
-        ("Indexed", AroundAlgorithm::Indexed),
+    // The JSON labels predate the unified enum ("BruteForce" is
+    // `Algorithm::AllPairs` for SGB-Around) and stay stable so the
+    // committed BENCH_around.json trajectory remains comparable.
+    const ALGOS: [(&str, Algorithm); 2] = [
+        ("BruteForce", Algorithm::AllPairs),
+        ("Indexed", Algorithm::Indexed),
     ];
     // 3σ of the mixture spread: ~1% of the mass of a 2-D Gaussian falls
     // outside, so the outlier path stays hot without dominating.
@@ -575,16 +578,16 @@ pub fn around_comparison(scale: f64) -> (f64, Vec<AroundBenchRow>) {
             let (points, centers) = clustered_points_with_centers::<2>(n, centers_n, 0.01, 0xA401);
             let mut sanity = Vec::new();
             for (name, algorithm) in ALGOS {
-                let cfg = SgbAroundConfig::new(centers.clone())
+                let query = SgbQuery::around(centers.clone())
                     .max_radius(radius)
                     .algorithm(algorithm);
-                let (out, secs) = time(|| sgb_around(&points, &cfg));
-                sanity.push((out.occupied_centers(), out.outliers.len()));
+                let (out, secs) = time(|| query.run(&points));
+                sanity.push((out.num_groups(), out.outliers().len()));
                 eprintln!(
                     "#   around {sweep}={x} {name}: {secs:.4}s \
                      ({} occupied, {} outliers)",
-                    out.occupied_centers(),
-                    out.outliers.len()
+                    out.num_groups(),
+                    out.outliers().len()
                 );
                 rows.push(AroundBenchRow {
                     sweep,
@@ -592,8 +595,8 @@ pub fn around_comparison(scale: f64) -> (f64, Vec<AroundBenchRow>) {
                     fixed,
                     algorithm: name,
                     seconds: secs,
-                    occupied: out.occupied_centers(),
-                    outliers: out.outliers.len(),
+                    occupied: out.num_groups(),
+                    outliers: out.outliers().len(),
                 });
             }
             assert!(
@@ -647,32 +650,34 @@ pub struct GridBenchRow {
 pub fn grid_comparison(scale: f64) -> Vec<GridBenchRow> {
     let mut rows = Vec::new();
 
-    const ALL_ALGOS: [(&str, AllAlgorithm); 5] = [
-        ("AllPairs", AllAlgorithm::AllPairs),
-        ("BoundsChecking", AllAlgorithm::BoundsChecking),
-        ("Indexed", AllAlgorithm::Indexed),
-        ("Grid", AllAlgorithm::Grid),
-        ("Auto", AllAlgorithm::Auto),
+    const ALL_ALGOS: [(&str, Algorithm); 5] = [
+        ("AllPairs", Algorithm::AllPairs),
+        ("BoundsChecking", Algorithm::BoundsChecking),
+        ("Indexed", Algorithm::Indexed),
+        ("Grid", Algorithm::Grid),
+        ("Auto", Algorithm::Auto),
     ];
-    const ANY_ALGOS: [(&str, AnyAlgorithm); 4] = [
-        ("AllPairs", AnyAlgorithm::AllPairs),
-        ("Indexed", AnyAlgorithm::Indexed),
-        ("Grid", AnyAlgorithm::Grid),
-        ("Auto", AnyAlgorithm::Auto),
+    const ANY_ALGOS: [(&str, Algorithm); 4] = [
+        ("AllPairs", Algorithm::AllPairs),
+        ("Indexed", Algorithm::Indexed),
+        ("Grid", Algorithm::Grid),
+        ("Auto", Algorithm::Auto),
     ];
-    const AROUND_ALGOS: [(&str, AroundAlgorithm); 4] = [
-        ("BruteForce", AroundAlgorithm::BruteForce),
-        ("Indexed", AroundAlgorithm::Indexed),
-        ("Grid", AroundAlgorithm::Grid),
-        ("Auto", AroundAlgorithm::Auto),
+    // "BruteForce" is `Algorithm::AllPairs` for SGB-Around; the label is
+    // kept for BENCH_grid.json continuity.
+    const AROUND_ALGOS: [(&str, Algorithm); 4] = [
+        ("BruteForce", Algorithm::AllPairs),
+        ("Indexed", Algorithm::Indexed),
+        ("Grid", Algorithm::Grid),
+        ("Auto", Algorithm::Auto),
     ];
 
     let mut run_all_any = |sweep: &'static str, x: f64, n: usize, eps: f64| {
         let points = fig9_workload(n, 0x0F19);
         let mut sanity = Vec::new();
         for (name, algo) in ALL_ALGOS {
-            let cfg = SgbAllConfig::new(eps).metric(Metric::L2).algorithm(algo);
-            let (out, secs) = time(|| sgb_all(&points, &cfg));
+            let query = SgbQuery::all(eps).metric(Metric::L2).algorithm(algo);
+            let (out, secs) = time(|| query.run(&points));
             eprintln!(
                 "#   grid sgb-all {sweep}={x} {name}: {secs:.4}s ({} groups)",
                 out.num_groups()
@@ -694,8 +699,8 @@ pub fn grid_comparison(scale: f64) -> Vec<GridBenchRow> {
         );
         let mut sanity = Vec::new();
         for (name, algo) in ANY_ALGOS {
-            let cfg = SgbAnyConfig::new(eps).metric(Metric::L2).algorithm(algo);
-            let (out, secs) = time(|| sgb_any(&points, &cfg));
+            let query = SgbQuery::any(eps).metric(Metric::L2).algorithm(algo);
+            let (out, secs) = time(|| query.run(&points));
             eprintln!(
                 "#   grid sgb-any {sweep}={x} {name}: {secs:.4}s ({} groups)",
                 out.num_groups()
@@ -739,17 +744,17 @@ pub fn grid_comparison(scale: f64) -> Vec<GridBenchRow> {
             clustered_points_with_centers::<2>(n_around, centers_n_scaled, 0.01, 0xA401);
         let mut sanity = Vec::new();
         for (name, algo) in AROUND_ALGOS {
-            let cfg = SgbAroundConfig::new(centers.clone())
+            let query = SgbQuery::around(centers.clone())
                 .max_radius(0.03)
                 .algorithm(algo);
-            let (out, secs) = time(|| sgb_around(&points, &cfg));
+            let (out, secs) = time(|| query.run(&points));
             eprintln!(
                 "#   grid sgb-around centers={centers_n_scaled} {name}: {secs:.4}s \
                  ({} occupied, {} outliers)",
-                out.occupied_centers(),
-                out.outliers.len()
+                out.num_groups(),
+                out.outliers().len()
             );
-            sanity.push((out.occupied_centers(), out.outliers.len()));
+            sanity.push((out.num_groups(), out.outliers().len()));
             rows.push(GridBenchRow {
                 op: "sgb-around",
                 sweep: "centers",
@@ -757,7 +762,7 @@ pub fn grid_comparison(scale: f64) -> Vec<GridBenchRow> {
                 n: n_around,
                 algorithm: name,
                 seconds: secs,
-                groups: out.occupied_centers(),
+                groups: out.num_groups(),
             });
         }
         assert!(

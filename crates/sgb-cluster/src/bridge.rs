@@ -8,7 +8,8 @@
 //! k-means itself cannot express — so the final grouping runs as a single
 //! order-independent pass inside the engine.
 
-use sgb_core::{sgb_around, AroundGrouping, SgbAroundConfig};
+use sgb_core::query::Grouping;
+use sgb_core::SgbQuery;
 use sgb_geom::Point;
 
 use crate::kmeans::{kmeans, KMeansConfig, KMeansResult};
@@ -19,27 +20,51 @@ use crate::kmeans::{kmeans, KMeansConfig, KMeansResult};
 pub struct KMeansAround<const D: usize> {
     /// The k-means run that derived the centers.
     pub kmeans: KMeansResult<D>,
-    /// The SGB-Around grouping around those centroids (group `c`
-    /// corresponds to centroid `c`).
-    pub around: AroundGrouping,
+    /// The SGB-Around grouping around those centroids, in the unified
+    /// family-wide result shape (non-empty centroid groups in centroid
+    /// order, radius-expelled records in the explicit outlier set).
+    pub around: Grouping,
+    /// The centroid index behind each answer group: `around.groups()[g]`
+    /// collects the records whose nearest centroid is
+    /// `kmeans.centroids[centroid_of_group[g]]`. The unified [`Grouping`]
+    /// drops centroids that attracted nothing, so group indices and
+    /// centroid indices diverge whenever a centroid group is empty (a
+    /// radius bound, duplicate/degenerate centroids) — this vector keeps
+    /// the correspondence explicit.
+    pub centroid_of_group: Vec<usize>,
 }
 
-/// Builds an [`SgbAroundConfig`] seeded with a k-means result's centroids,
+impl<const D: usize> KMeansAround<D> {
+    /// Maps each record id in `0..n` to the index of its **centroid**
+    /// (`None` for outliers) — the k-means-comparable view of
+    /// [`Grouping::assignment`], immune to empty-centroid compaction.
+    #[must_use]
+    pub fn centroid_assignment(&self, n: usize) -> Vec<Option<usize>> {
+        self.around
+            .assignment(n)
+            .into_iter()
+            .map(|g| g.map(|g| self.centroid_of_group[g]))
+            .collect()
+    }
+}
+
+/// Builds an [`SgbQuery`] seeded with a k-means result's centroids,
 /// carrying the clustering metric over to the relational operator.
 ///
-/// Panics (like [`SgbAroundConfig::new`]) when the result has no centroids
+/// Panics (like [`SgbQuery::around`]) when the result has no centroids
 /// — i.e. k-means ran on empty input; use [`kmeans_around`] for a total
 /// wrapper.
+#[must_use]
 pub fn around_seeds<const D: usize>(
     result: &KMeansResult<D>,
     metric_cfg: &KMeansConfig,
     max_radius: Option<f64>,
-) -> SgbAroundConfig<D> {
-    let mut cfg = SgbAroundConfig::new(result.centroids.clone()).metric(metric_cfg.metric);
+) -> SgbQuery<D> {
+    let mut query = SgbQuery::around(result.centroids.clone()).metric(metric_cfg.metric);
     if let Some(r) = max_radius {
-        cfg = cfg.max_radius(r);
+        query = query.max_radius(r);
     }
-    cfg
+    query
 }
 
 /// Runs k-means over `points`, then regroups the same points with
@@ -65,8 +90,8 @@ pub fn around_seeds<const D: usize>(
 /// let out = kmeans_around(&points, &KMeansConfig::new(2).seed(1), Some(3.0));
 /// // k-means absorbs the straggler (dragging one centroid to ≈(1.7, 1.7));
 /// // the radius-bounded regroup expels it from that group again.
-/// assert_eq!(out.around.outliers, vec![4]);
-/// assert_eq!(out.around.assigned_records(), 4);
+/// assert_eq!(out.around.outliers(), &[4]);
+/// assert_eq!(out.around.grouped_records(), 4);
 /// ```
 pub fn kmeans_around<const D: usize>(
     points: &[Point<D>],
@@ -75,11 +100,34 @@ pub fn kmeans_around<const D: usize>(
 ) -> KMeansAround<D> {
     let km = kmeans(points, cfg);
     let around = if km.centroids.is_empty() {
-        AroundGrouping::default()
+        Grouping::empty()
     } else {
-        sgb_around(points, &around_seeds(&km, cfg, max_radius))
+        around_seeds(&km, cfg, max_radius).run(points)
     };
-    KMeansAround { kmeans: km, around }
+    // Recover which centroid each answer group belongs to: every member
+    // of a center group shares the same nearest centroid (the operator's
+    // assignment rule), so one member pins the group. Re-evaluating the
+    // rule on that member — canonical distances, lowest-index ties — is
+    // exactly what the operator computed.
+    let centroid_of_group = around
+        .iter()
+        .map(|g| {
+            let p = &points[g[0]];
+            let mut best = (f64::INFINITY, 0);
+            for (c, q) in km.centroids.iter().enumerate() {
+                let d = cfg.metric.distance(p, q);
+                if d < best.0 {
+                    best = (d, c);
+                }
+            }
+            best.1
+        })
+        .collect();
+    KMeansAround {
+        kmeans: km,
+        around,
+        centroid_of_group,
+    }
 }
 
 #[cfg(test)]
@@ -111,7 +159,12 @@ mod tests {
         for metric in Metric::ALL {
             let cfg = KMeansConfig::new(3).metric(metric).seed(9);
             let out = kmeans_around(&points, &cfg, None);
-            let assignment = out.around.assignment(points.len());
+            // The centroid-indexed view is immune to empty-group
+            // compaction, so the contract holds even if a centroid were
+            // starved (here all three attract members).
+            assert_eq!(out.around.num_groups(), 3, "{metric}");
+            assert_eq!(out.centroid_of_group, vec![0, 1, 2], "{metric}");
+            let assignment = out.centroid_assignment(points.len());
             for (i, a) in assignment.iter().enumerate() {
                 assert_eq!(
                     *a,
@@ -119,7 +172,7 @@ mod tests {
                     "{metric}: record {i} regrouped differently"
                 );
             }
-            assert!(out.around.outliers.is_empty());
+            assert!(out.around.outliers().is_empty());
         }
     }
 
@@ -130,11 +183,20 @@ mod tests {
         points.push(Point::new([3.0, 3.0])); // between the blobs
         let cfg = KMeansConfig::new(2).seed(11);
         let out = kmeans_around(&points, &cfg, Some(1.5));
-        assert_eq!(out.around.outliers, vec![80]);
+        assert_eq!(out.around.outliers(), &[80]);
         out.around.check_partition(points.len());
+        // The group -> centroid map stays in center order and agrees with
+        // the k-means view of every surviving record.
+        assert!(out.centroid_of_group.windows(2).all(|w| w[0] < w[1]));
+        let by_centroid = out.centroid_assignment(points.len());
+        for (i, c) in by_centroid.iter().enumerate() {
+            if let Some(c) = c {
+                assert_eq!(*c, out.kmeans.assignment[i], "record {i}");
+            }
+        }
         // Without the bound the straggler joins a centroid group.
         let free = kmeans_around(&points, &cfg, None);
-        assert!(free.around.outliers.is_empty());
+        assert!(free.around.outliers().is_empty());
     }
 
     #[test]
@@ -143,15 +205,17 @@ mod tests {
         let cfg = KMeansConfig::new(2).metric(Metric::L1).seed(3);
         let km = kmeans(&points, &cfg);
         let seeds = around_seeds(&km, &cfg, Some(0.75));
-        assert_eq!(seeds.metric, Metric::L1);
-        assert_eq!(seeds.max_radius, Some(0.75));
-        assert_eq!(seeds.centers, km.centroids);
+        assert_eq!(seeds.operator(), "SGB-Around");
+        assert_eq!(seeds.configured_metric(), Metric::L1);
+        assert_eq!(seeds.radius_bound(), Some(0.75));
+        assert_eq!(seeds.centers().unwrap(), km.centroids.as_slice());
     }
 
     #[test]
     fn empty_input_is_total() {
         let out = kmeans_around::<2>(&[], &KMeansConfig::new(3), Some(1.0));
         assert!(out.kmeans.centroids.is_empty());
-        assert_eq!(out.around, AroundGrouping::default());
+        assert_eq!(out.around, Grouping::empty());
+        assert!(out.centroid_of_group.is_empty());
     }
 }

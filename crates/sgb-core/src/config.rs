@@ -42,6 +42,133 @@ impl OverlapAction {
     }
 }
 
+/// The unified, operator-independent algorithm selector of the
+/// [`crate::SgbQuery`] surface.
+///
+/// Every member of the SGB family offers the same *kinds* of execution
+/// path — a plain scan, an R-tree, an ε-grid, and a cost-based default —
+/// plus one operator-specific extra (SGB-All's rectangle directory). This
+/// enum names each kind once; [`Algorithm::for_all`] /
+/// [`Algorithm::for_any`] / [`Algorithm::for_around`] translate to the
+/// per-operator execution enums (and reject combinations that do not
+/// exist, e.g. `BoundsChecking` for SGB-Any). The reverse [`From`]
+/// conversions let resolved per-operator choices report back through one
+/// vocabulary — `EXPLAIN`'s `path:` line and
+/// [`crate::query::Grouping::resolved_algorithm`] speak this type.
+///
+/// Selection never affects results: all concrete paths of an operator are
+/// proven bit-identical, so the choice only moves *when* the answer
+/// arrives.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub enum Algorithm {
+    /// Cost-based selection among the concrete paths (the default; see
+    /// [`crate::cost`]).
+    #[default]
+    Auto,
+    /// Plain scan: all-pairs point comparison (SGB-All/Any) or the brute
+    /// center scan (SGB-Around). Wins at small cardinalities where
+    /// nothing amortises index construction.
+    AllPairs,
+    /// SGB-All's dense rectangle directory (Procedure 4). Not applicable
+    /// to SGB-Any / SGB-Around.
+    BoundsChecking,
+    /// R-tree-indexed search: on-the-fly group/point trees for
+    /// SGB-All/Any, an STR bulk-loaded center tree for SGB-Around.
+    Indexed,
+    /// ε-grid search: neighbour-cell probes, no tree descent.
+    Grid,
+}
+
+impl Algorithm {
+    /// Every variant, for sweeps and tests.
+    pub const ALL: [Algorithm; 5] = [
+        Algorithm::Auto,
+        Algorithm::AllPairs,
+        Algorithm::BoundsChecking,
+        Algorithm::Indexed,
+        Algorithm::Grid,
+    ];
+
+    /// Translates to the SGB-All execution enum (every variant applies).
+    #[must_use]
+    pub fn for_all(self) -> AllAlgorithm {
+        match self {
+            Algorithm::Auto => AllAlgorithm::Auto,
+            Algorithm::AllPairs => AllAlgorithm::AllPairs,
+            Algorithm::BoundsChecking => AllAlgorithm::BoundsChecking,
+            Algorithm::Indexed => AllAlgorithm::Indexed,
+            Algorithm::Grid => AllAlgorithm::Grid,
+        }
+    }
+
+    /// Translates to the SGB-Any execution enum; `None` for
+    /// [`Algorithm::BoundsChecking`], which only SGB-All implements.
+    #[must_use]
+    pub fn for_any(self) -> Option<AnyAlgorithm> {
+        match self {
+            Algorithm::Auto => Some(AnyAlgorithm::Auto),
+            Algorithm::AllPairs => Some(AnyAlgorithm::AllPairs),
+            Algorithm::BoundsChecking => None,
+            Algorithm::Indexed => Some(AnyAlgorithm::Indexed),
+            Algorithm::Grid => Some(AnyAlgorithm::Grid),
+        }
+    }
+
+    /// Translates to the SGB-Around execution enum (`AllPairs` is the
+    /// brute center scan); `None` for [`Algorithm::BoundsChecking`].
+    #[must_use]
+    pub fn for_around(self) -> Option<AroundAlgorithm> {
+        match self {
+            Algorithm::Auto => Some(AroundAlgorithm::Auto),
+            Algorithm::AllPairs => Some(AroundAlgorithm::BruteForce),
+            Algorithm::BoundsChecking => None,
+            Algorithm::Indexed => Some(AroundAlgorithm::Indexed),
+            Algorithm::Grid => Some(AroundAlgorithm::Grid),
+        }
+    }
+}
+
+impl std::fmt::Display for Algorithm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // The Debug names are the public vocabulary (EXPLAIN pins them).
+        write!(f, "{self:?}")
+    }
+}
+
+impl From<AllAlgorithm> for Algorithm {
+    fn from(a: AllAlgorithm) -> Self {
+        match a {
+            AllAlgorithm::AllPairs => Algorithm::AllPairs,
+            AllAlgorithm::BoundsChecking => Algorithm::BoundsChecking,
+            AllAlgorithm::Indexed => Algorithm::Indexed,
+            AllAlgorithm::Grid => Algorithm::Grid,
+            AllAlgorithm::Auto => Algorithm::Auto,
+        }
+    }
+}
+
+impl From<AnyAlgorithm> for Algorithm {
+    fn from(a: AnyAlgorithm) -> Self {
+        match a {
+            AnyAlgorithm::AllPairs => Algorithm::AllPairs,
+            AnyAlgorithm::Indexed => Algorithm::Indexed,
+            AnyAlgorithm::Grid => Algorithm::Grid,
+            AnyAlgorithm::Auto => Algorithm::Auto,
+        }
+    }
+}
+
+impl From<AroundAlgorithm> for Algorithm {
+    fn from(a: AroundAlgorithm) -> Self {
+        match a {
+            AroundAlgorithm::BruteForce => Algorithm::AllPairs,
+            AroundAlgorithm::Indexed => Algorithm::Indexed,
+            AroundAlgorithm::Grid => Algorithm::Grid,
+            AroundAlgorithm::Auto => Algorithm::Auto,
+        }
+    }
+}
+
 /// Algorithm used to realise SGB-All (Section 6).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
 pub enum AllAlgorithm {
@@ -114,6 +241,7 @@ pub struct SgbAllConfig {
 impl SgbAllConfig {
     /// A configuration with the default metric (`L2`), overlap action
     /// (`JOIN-ANY`), algorithm (`Auto`) and seed.
+    #[must_use]
     pub fn new(eps: f64) -> Self {
         assert!(
             eps >= 0.0 && eps.is_finite(),
@@ -131,24 +259,28 @@ impl SgbAllConfig {
     }
 
     /// Sets the distance function.
+    #[must_use]
     pub fn metric(mut self, metric: Metric) -> Self {
         self.metric = metric;
         self
     }
 
     /// Sets the `ON-OVERLAP` action.
+    #[must_use]
     pub fn overlap(mut self, overlap: OverlapAction) -> Self {
         self.overlap = overlap;
         self
     }
 
     /// Sets the search algorithm.
+    #[must_use]
     pub fn algorithm(mut self, algorithm: AllAlgorithm) -> Self {
         self.algorithm = algorithm;
         self
     }
 
     /// Sets the `JOIN-ANY` randomisation seed.
+    #[must_use]
     pub fn seed(mut self, seed: u64) -> Self {
         self.seed = seed;
         self
@@ -156,12 +288,14 @@ impl SgbAllConfig {
 
     /// Sets the convex-hull caching threshold (`usize::MAX` disables the
     /// hull refinement, falling back to member scans).
+    #[must_use]
     pub fn hull_threshold(mut self, members: usize) -> Self {
         self.hull_threshold = members.max(1);
         self
     }
 
     /// Sets the R-tree fan-out of the on-the-fly group index.
+    #[must_use]
     pub fn rtree_fanout(mut self, fanout: usize) -> Self {
         assert!(fanout >= 4, "R-tree fan-out must be at least 4");
         self.rtree_fanout = fanout;
@@ -187,6 +321,7 @@ pub struct SgbAnyConfig {
 impl SgbAnyConfig {
     /// A configuration with the default metric (`L2`) and algorithm
     /// (`Auto`).
+    #[must_use]
     pub fn new(eps: f64) -> Self {
         assert!(
             eps >= 0.0 && eps.is_finite(),
@@ -201,18 +336,21 @@ impl SgbAnyConfig {
     }
 
     /// Sets the distance function.
+    #[must_use]
     pub fn metric(mut self, metric: Metric) -> Self {
         self.metric = metric;
         self
     }
 
     /// Sets the search algorithm.
+    #[must_use]
     pub fn algorithm(mut self, algorithm: AnyAlgorithm) -> Self {
         self.algorithm = algorithm;
         self
     }
 
     /// Sets the R-tree fan-out of the on-the-fly point index.
+    #[must_use]
     pub fn rtree_fanout(mut self, fanout: usize) -> Self {
         assert!(fanout >= 4, "R-tree fan-out must be at least 4");
         self.rtree_fanout = fanout;
@@ -269,6 +407,7 @@ impl<const D: usize> SgbAroundConfig<D> {
     /// the `Auto` algorithm. Panics on an empty center list or non-finite
     /// center coordinates (the SQL parser rejects both earlier with proper
     /// errors).
+    #[must_use]
     pub fn new(centers: Vec<Point<D>>) -> Self {
         assert!(!centers.is_empty(), "AROUND requires at least one center");
         assert!(
@@ -285,12 +424,14 @@ impl<const D: usize> SgbAroundConfig<D> {
     }
 
     /// Sets the distance function.
+    #[must_use]
     pub fn metric(mut self, metric: Metric) -> Self {
         self.metric = metric;
         self
     }
 
     /// Sets the maximum radius (the `WITHIN r` clause).
+    #[must_use]
     pub fn max_radius(mut self, r: f64) -> Self {
         assert!(
             r >= 0.0 && r.is_finite(),
@@ -301,12 +442,14 @@ impl<const D: usize> SgbAroundConfig<D> {
     }
 
     /// Sets the search algorithm.
+    #[must_use]
     pub fn algorithm(mut self, algorithm: AroundAlgorithm) -> Self {
         self.algorithm = algorithm;
         self
     }
 
     /// Sets the R-tree fan-out of the center index.
+    #[must_use]
     pub fn rtree_fanout(mut self, fanout: usize) -> Self {
         assert!(fanout >= 4, "R-tree fan-out must be at least 4");
         self.rtree_fanout = fanout;

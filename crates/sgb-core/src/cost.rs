@@ -108,10 +108,23 @@ pub fn resolve_all(
 /// scalable regime (streams are open-ended) and picks the group R-tree.
 /// One-shot entry points — including the SQL executor — know `n` and use
 /// [`resolve_all`] instead.
-pub fn resolve_all_streaming(configured_algo: AllAlgorithm, _dims: usize) -> AllAlgorithm {
+pub fn resolve_all_streaming(configured_algo: AllAlgorithm, dims: usize) -> AllAlgorithm {
+    resolve_all_streaming_with_reason(configured_algo, dims).0
+}
+
+/// [`resolve_all_streaming`] plus the human-readable reason, for surfaces
+/// that report the selection (the unified `SgbStream`).
+pub fn resolve_all_streaming_with_reason(
+    configured_algo: AllAlgorithm,
+    _dims: usize,
+) -> (AllAlgorithm, String) {
     match configured_algo {
-        AllAlgorithm::Auto => AllAlgorithm::Indexed,
-        other => other,
+        AllAlgorithm::Auto => (
+            AllAlgorithm::Indexed,
+            "auto: streaming input of unknown cardinality, scalable regime (group R-tree)"
+                .to_owned(),
+        ),
+        other => (other, configured()),
     }
 }
 
@@ -146,10 +159,25 @@ pub fn resolve_any(configured_algo: AnyAlgorithm, n: usize, dims: usize) -> (Any
 /// Streaming counterpart of [`resolve_any`] — see
 /// [`resolve_all_streaming`] for the rationale.
 pub fn resolve_any_streaming(configured_algo: AnyAlgorithm, dims: usize) -> AnyAlgorithm {
+    resolve_any_streaming_with_reason(configured_algo, dims).0
+}
+
+/// [`resolve_any_streaming`] plus the human-readable reason, for surfaces
+/// that report the selection (the unified `SgbStream`).
+pub fn resolve_any_streaming_with_reason(
+    configured_algo: AnyAlgorithm,
+    dims: usize,
+) -> (AnyAlgorithm, String) {
     match configured_algo {
-        AnyAlgorithm::Auto if dims > GRID_MAX_DIMS => AnyAlgorithm::Indexed,
-        AnyAlgorithm::Auto => AnyAlgorithm::Grid,
-        other => other,
+        AnyAlgorithm::Auto if dims > GRID_MAX_DIMS => (
+            AnyAlgorithm::Indexed,
+            format!("auto: streaming input, {dims}-D exceeds the grid sweet spot (<= {GRID_MAX_DIMS}-D)"),
+        ),
+        AnyAlgorithm::Auto => (
+            AnyAlgorithm::Grid,
+            "auto: streaming input of unknown cardinality, scalable regime (eps-grid)".to_owned(),
+        ),
+        other => (other, configured()),
     }
 }
 

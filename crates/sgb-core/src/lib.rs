@@ -8,26 +8,26 @@
 //! All of them group tuples whose grouping attributes form points in a
 //! low-dimensional metric space under an `L1` / `L2` / `L∞` distance δ.
 //!
-//! * [`SgbAll`] (*distance-to-all*) forms **maximal cliques**: every pair of
-//!   points in a group is within ε. A point matching several groups is
-//!   arbitrated by the [`OverlapAction`] (`JOIN-ANY`, `ELIMINATE`,
-//!   `FORM-NEW-GROUP`).
-//! * [`SgbAny`] (*distance-to-any*) forms **connected components**: a point
-//!   joins a group when it is within ε of at least one member; overlapping
-//!   groups merge.
-//! * [`SgbAround`] (*nearest-center*) assigns every point to the nearest of
-//!   a query-supplied set of **center points**, optionally bounded by a
-//!   maximum radius with an explicit outlier group. Its grouping is
-//!   trivially order-independent.
+//! The family is queried through **one declarative surface**
+//! ([`SgbQuery`]): one constructor per operator, the shared knobs declared
+//! once, one unified [`Algorithm`] selector, and one [`query::Grouping`]
+//! result that carries member lists, the eliminated set, the radius-bounded
+//! outlier set, and the resolved execution path.
 //!
-//! The operators are *streaming*: points are processed in arrival order
-//! with filter-refine machinery (ε-All bounding rectangles, an on-the-fly
-//! R-tree, convex-hull refinement for `L2`, Union-Find for merges), and
-//! several algorithm variants are provided to reproduce the paper's
-//! baseline/optimised comparisons.
+//! * [`SgbQuery::all`] (*distance-to-all*) forms **maximal cliques**: every
+//!   pair of points in a group is within ε. A point matching several groups
+//!   is arbitrated by the [`OverlapAction`] (`JOIN-ANY`, `ELIMINATE`,
+//!   `FORM-NEW-GROUP`).
+//! * [`SgbQuery::any`] (*distance-to-any*) forms **connected components**:
+//!   a point joins a group when it is within ε of at least one member;
+//!   overlapping groups merge.
+//! * [`SgbQuery::around`] (*nearest-center*) assigns every point to the
+//!   nearest of a query-supplied set of **center points**, optionally
+//!   bounded by a maximum radius with an explicit outlier set. Its
+//!   grouping is trivially order-independent.
 //!
 //! ```
-//! use sgb_core::{sgb_all, sgb_any, SgbAllConfig, SgbAnyConfig};
+//! use sgb_core::SgbQuery;
 //! use sgb_geom::Point;
 //!
 //! let points: Vec<Point<2>> = vec![
@@ -37,17 +37,17 @@
 //!     Point::new([9.0, 9.0]),
 //! ];
 //! // Cliques of pairwise-near points (ε = 1.5, L2 by default):
-//! let all = sgb_all(&points, &SgbAllConfig::new(1.5));
+//! let all = SgbQuery::all(1.5).run(&points);
 //! assert_eq!(all.sorted_sizes(), vec![2, 1, 1]);
 //! // Chain-connected components:
-//! let any = sgb_any(&points, &SgbAnyConfig::new(1.5));
+//! let any = SgbQuery::any(1.5).run(&points);
 //! assert_eq!(any.sorted_sizes(), vec![3, 1]);
 //! ```
 //!
 //! Nearest-center grouping around query-supplied seeds:
 //!
 //! ```
-//! use sgb_core::{sgb_around, SgbAroundConfig};
+//! use sgb_core::SgbQuery;
 //! use sgb_geom::Point;
 //!
 //! let centers = vec![Point::new([1.0, 1.0]), Point::new([9.0, 9.0])];
@@ -56,9 +56,21 @@
 //!     Point::new([8.5, 9.0]),
 //!     Point::new([2.0, 0.5]),
 //! ];
-//! let around = sgb_around(&points, &SgbAroundConfig::new(centers));
-//! assert_eq!(around.groups, vec![vec![0, 2], vec![1]]);
+//! let around = SgbQuery::around(centers).run(&points);
+//! assert_eq!(around.groups(), &[vec![0, 2], vec![1]]);
 //! ```
+//!
+//! The operators are *streaming* ([`SgbQuery::stream`]): points are
+//! processed in arrival order with filter-refine machinery (ε-All bounding
+//! rectangles, an on-the-fly R-tree, a uniform ε-grid, convex-hull
+//! refinement for `L2`, Union-Find for merges), and several algorithm
+//! variants reproduce the paper's baseline/optimised comparisons — all
+//! selectable through the one [`Algorithm`] enum, with `Auto` resolved by
+//! the cost model in [`cost`].
+//!
+//! The per-operator entry points (`sgb_all`/`sgb_any`/`sgb_around` with
+//! their `Sgb*Config` types) remain available as the execution layer the
+//! query surface lowers into; new code should prefer [`SgbQuery`].
 
 pub mod aggregate;
 pub mod all;
@@ -67,16 +79,18 @@ pub mod around;
 pub mod config;
 pub mod cost;
 pub mod grouping;
+pub mod query;
 
 pub use aggregate::{aggregate_groups, collect_groups, AggregateFn, GroupAggregates};
 pub use all::{sgb_all, SgbAll};
 pub use any::{sgb_any, SgbAny};
 pub use around::{sgb_around, AroundGrouping, CenterId, SgbAround};
 pub use config::{
-    AllAlgorithm, AnyAlgorithm, AroundAlgorithm, OverlapAction, SgbAllConfig, SgbAnyConfig,
-    SgbAroundConfig,
+    Algorithm, AllAlgorithm, AnyAlgorithm, AroundAlgorithm, OverlapAction, SgbAllConfig,
+    SgbAnyConfig, SgbAroundConfig,
 };
 pub use grouping::{Grouping, RecordId};
+pub use query::{SgbQuery, SgbStream};
 
 // Re-export the geometry vocabulary so downstream users need one import.
 pub use sgb_geom::{Metric, Point, Point2, Point3, Rect};

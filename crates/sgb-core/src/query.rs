@@ -1,0 +1,956 @@
+//! The unified operator surface: one builder, one result, one stream.
+//!
+//! The three similarity group-by operators share almost all of their
+//! vocabulary — a metric δ, an execution-path selector, thresholds — and
+//! differ only in their membership rule. This module exposes that family
+//! as **one declarative query type** instead of three parallel config
+//! stacks:
+//!
+//! * [`SgbQuery`] — a single builder with one constructor per operator
+//!   ([`SgbQuery::all`], [`SgbQuery::any`], [`SgbQuery::around`]) and the
+//!   shared knobs declared once ([`metric`](SgbQuery::metric),
+//!   [`algorithm`](SgbQuery::algorithm) over the unified [`Algorithm`]
+//!   enum, …). Operator-specific knobs
+//!   ([`overlap`](SgbQuery::overlap), [`max_radius`](SgbQuery::max_radius),
+//!   …) panic when applied to an operator that has no such concept, so a
+//!   nonsensical query fails at construction, not mid-execution.
+//! * [`Grouping`] — a single answer-set type covering the whole family:
+//!   member lists, the `ELIMINATE`d set, the radius-bounded outlier set,
+//!   and the resolved execution path with the cost model's reason (the
+//!   same story `EXPLAIN` tells at the SQL layer).
+//! * [`SgbStream`] — a single streaming operator wrapping the per-operator
+//!   engines behind one `push`/`finish` interface.
+//!
+//! Execution is delegated to the per-operator engines unchanged, so every
+//! grouping produced here is **bit-identical** to the legacy
+//! `sgb_all`/`sgb_any`/`sgb_around` entry points under the same knobs
+//! (asserted by `tests/api_equivalence.rs`).
+//!
+//! ```
+//! use sgb_core::{Algorithm, SgbQuery};
+//! use sgb_geom::{Metric, Point};
+//!
+//! let points: Vec<Point<2>> = vec![
+//!     Point::new([1.0, 1.0]),
+//!     Point::new([2.0, 2.0]),
+//!     Point::new([9.0, 9.0]),
+//! ];
+//! // Connected components within ε = 1.5 under L2:
+//! let out = SgbQuery::any(1.5).metric(Metric::L2).run(&points);
+//! assert_eq!(out.sorted_sizes(), vec![2, 1]);
+//! assert_eq!(out.resolved_algorithm(), Algorithm::AllPairs); // tiny n
+//!
+//! // The same family, grouped around query-supplied centers:
+//! let centers = vec![Point::new([1.0, 1.0]), Point::new([9.0, 9.0])];
+//! let out = SgbQuery::around(centers).max_radius(2.0).run(&points);
+//! assert_eq!(out.num_groups(), 2);
+//! assert!(out.outliers().is_empty());
+//! ```
+
+use sgb_geom::{Metric, Point};
+
+use crate::around::AroundGrouping;
+use crate::grouping::Grouping as FlatGrouping;
+use crate::{
+    cost, sgb_all, sgb_any, Algorithm, OverlapAction, RecordId, SgbAll, SgbAllConfig, SgbAny,
+    SgbAnyConfig, SgbAround, SgbAroundConfig,
+};
+
+/// The unified answer set of the SGB operator family (Definition 3, plus
+/// the order-independent extensions of arXiv:1412.4303).
+///
+/// One type covers all three operators:
+///
+/// * [`groups`](Self::groups) — the answer groups, each a member list of
+///   record ids in join order. SGB-All reports cliques in creation order,
+///   SGB-Any connected components keyed by smallest member, SGB-Around
+///   the non-empty center groups in center order.
+/// * [`eliminated`](Self::eliminated) — records dropped by SGB-All's
+///   `ON-OVERLAP ELIMINATE` (empty for everything else).
+/// * [`outliers`](Self::outliers) — records beyond the radius bound of
+///   SGB-Around's `WITHIN r` (empty for everything else). They are **not**
+///   part of [`groups`](Self::groups); [`output_groups`](Self::output_groups)
+///   appends them as one trailing group, which is how the SQL layer emits
+///   them.
+/// * [`resolved_algorithm`](Self::resolved_algorithm) /
+///   [`selection_reason`](Self::selection_reason) — the concrete execution
+///   path the run used and why, in the same vocabulary `EXPLAIN` prints.
+///
+/// Equality compares the **answer sets only** (groups, eliminated,
+/// outliers); the execution metadata is deliberately excluded so results
+/// produced by different algorithms compare equal exactly when the
+/// grouping semantics say they should.
+#[derive(Clone, Debug)]
+pub struct Grouping {
+    groups: Vec<Vec<RecordId>>,
+    eliminated: Vec<RecordId>,
+    outliers: Vec<RecordId>,
+    algorithm: Algorithm,
+    selection: String,
+}
+
+impl Grouping {
+    /// An empty grouping: no groups, nothing eliminated, no outliers —
+    /// what any query produces over empty input. Useful as the identity
+    /// value of total wrappers that sometimes have nothing to run.
+    #[must_use]
+    pub fn empty() -> Self {
+        Grouping {
+            groups: Vec::new(),
+            eliminated: Vec::new(),
+            outliers: Vec::new(),
+            algorithm: Algorithm::AllPairs,
+            selection: "empty input, nothing ran".to_owned(),
+        }
+    }
+
+    /// Wraps a flat SGB-All / SGB-Any answer set.
+    pub(crate) fn from_flat(flat: FlatGrouping, algorithm: Algorithm, selection: String) -> Self {
+        Grouping {
+            groups: flat.groups,
+            eliminated: flat.eliminated,
+            outliers: Vec::new(),
+            algorithm,
+            selection,
+        }
+    }
+
+    /// Wraps an SGB-Around answer set: non-empty center groups in center
+    /// order, outliers kept as the explicit outlier set.
+    pub(crate) fn from_around(
+        around: AroundGrouping,
+        algorithm: Algorithm,
+        selection: String,
+    ) -> Self {
+        Grouping {
+            groups: around
+                .groups
+                .into_iter()
+                .filter(|g| !g.is_empty())
+                .collect(),
+            eliminated: Vec::new(),
+            outliers: around.outliers,
+            algorithm,
+            selection,
+        }
+    }
+
+    /// The answer groups (member record ids in join order).
+    #[must_use]
+    pub fn groups(&self) -> &[Vec<RecordId>] {
+        &self.groups
+    }
+
+    /// Iterates over the answer groups.
+    pub fn iter(&self) -> impl Iterator<Item = &[RecordId]> {
+        self.groups.iter().map(Vec::as_slice)
+    }
+
+    /// The answer groups plus — when any exist — the outlier set as one
+    /// trailing group: the relational output shape (`GROUP BY … AROUND …
+    /// WITHIN r` emits the outlier group last).
+    pub fn output_groups(&self) -> impl Iterator<Item = &[RecordId]> {
+        self.groups
+            .iter()
+            .map(Vec::as_slice)
+            .chain((!self.outliers.is_empty()).then_some(self.outliers.as_slice()))
+    }
+
+    /// Records dropped by `ON-OVERLAP ELIMINATE`, in elimination order.
+    #[must_use]
+    pub fn eliminated(&self) -> &[RecordId] {
+        &self.eliminated
+    }
+
+    /// Records beyond the SGB-Around radius bound, in arrival order.
+    #[must_use]
+    pub fn outliers(&self) -> &[RecordId] {
+        &self.outliers
+    }
+
+    /// Number of answer groups (the outlier set is not counted; see
+    /// [`output_groups`](Self::output_groups)).
+    #[must_use]
+    pub fn num_groups(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Total number of records placed in answer groups.
+    #[must_use]
+    pub fn grouped_records(&self) -> usize {
+        self.groups.iter().map(Vec::len).sum()
+    }
+
+    /// Group sizes in group order.
+    #[must_use]
+    pub fn sizes(&self) -> Vec<usize> {
+        self.groups.iter().map(Vec::len).collect()
+    }
+
+    /// Group sizes in descending order (order-insensitive comparisons).
+    #[must_use]
+    pub fn sorted_sizes(&self) -> Vec<usize> {
+        let mut s = self.sizes();
+        s.sort_unstable_by(|a, b| b.cmp(a));
+        s
+    }
+
+    /// The concrete execution path this grouping was produced by
+    /// (never [`Algorithm::Auto`] — `Auto` is resolved before running).
+    #[must_use]
+    pub fn resolved_algorithm(&self) -> Algorithm {
+        self.algorithm
+    }
+
+    /// Why [`resolved_algorithm`](Self::resolved_algorithm) was chosen:
+    /// `"configured explicitly"` or the cost model's reason — the same
+    /// text the SQL layer's `EXPLAIN` prints after `path:`.
+    #[must_use]
+    pub fn selection_reason(&self) -> &str {
+        &self.selection
+    }
+
+    /// Maps each record id in `0..n` to the index of the answer group
+    /// containing it (`None` for eliminated, outlier, or never-seen
+    /// records).
+    #[must_use]
+    pub fn assignment(&self, n: usize) -> Vec<Option<usize>> {
+        let mut out = vec![None; n];
+        for (gi, g) in self.groups.iter().enumerate() {
+            for &r in g {
+                debug_assert!(r < n, "record id out of range");
+                debug_assert!(out[r].is_none(), "record {r} in two groups");
+                out[r] = Some(gi);
+            }
+        }
+        out
+    }
+
+    /// A canonical form: members sorted within each group, groups sorted
+    /// by first member, eliminated/outliers sorted. Two groupings are
+    /// semantically equal as sets of sets iff their normalized forms are
+    /// equal. Metadata is preserved.
+    #[must_use]
+    pub fn normalized(&self) -> Grouping {
+        let mut groups: Vec<Vec<RecordId>> = self
+            .groups
+            .iter()
+            .map(|g| {
+                let mut g = g.clone();
+                g.sort_unstable();
+                g
+            })
+            .collect();
+        groups.sort();
+        let mut eliminated = self.eliminated.clone();
+        eliminated.sort_unstable();
+        let mut outliers = self.outliers.clone();
+        outliers.sort_unstable();
+        Grouping {
+            groups,
+            eliminated,
+            outliers,
+            algorithm: self.algorithm,
+            selection: self.selection.clone(),
+        }
+    }
+
+    /// Asserts internal consistency for `n` input records: every record
+    /// appears in at most one group, never both grouped and
+    /// eliminated/outlier. Intended for tests.
+    pub fn check_partition(&self, n: usize) {
+        let mut seen = vec![false; n];
+        for g in &self.groups {
+            assert!(!g.is_empty(), "output groups must be non-empty");
+            for &r in g {
+                assert!(r < n, "record {r} out of range {n}");
+                assert!(!seen[r], "record {r} appears twice");
+                seen[r] = true;
+            }
+        }
+        for &r in self.eliminated.iter().chain(&self.outliers) {
+            assert!(r < n, "record {r} out of range {n}");
+            assert!(!seen[r], "record {r} appears twice");
+            seen[r] = true;
+        }
+    }
+}
+
+impl PartialEq for Grouping {
+    fn eq(&self, other: &Self) -> bool {
+        // Metadata (algorithm, selection reason) is excluded on purpose:
+        // equality is about the answer sets.
+        self.groups == other.groups
+            && self.eliminated == other.eliminated
+            && self.outliers == other.outliers
+    }
+}
+
+impl Eq for Grouping {}
+
+impl<'a> IntoIterator for &'a Grouping {
+    type Item = &'a [RecordId];
+    type IntoIter = std::iter::Map<
+        std::slice::Iter<'a, Vec<RecordId>>,
+        fn(&'a Vec<RecordId>) -> &'a [RecordId],
+    >;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.groups.iter().map(Vec::as_slice)
+    }
+}
+
+/// The operator-specific part of a query: which membership rule applies
+/// and its private knobs.
+#[derive(Clone, Debug, PartialEq)]
+enum OpSpec<const D: usize> {
+    /// SGB-All: ε-cliques with `ON-OVERLAP` arbitration.
+    All { eps: f64, overlap: OverlapAction },
+    /// SGB-Any: connected components of the ε-threshold graph.
+    Any { eps: f64 },
+    /// SGB-Around: nearest of a fixed center set, optional radius bound.
+    Around {
+        centers: Vec<Point<D>>,
+        max_radius: Option<f64>,
+    },
+}
+
+impl<const D: usize> OpSpec<D> {
+    fn name(&self) -> &'static str {
+        match self {
+            OpSpec::All { .. } => "SGB-All",
+            OpSpec::Any { .. } => "SGB-Any",
+            OpSpec::Around { .. } => "SGB-Around",
+        }
+    }
+}
+
+/// One declarative query over the SGB operator family.
+///
+/// Construct with [`SgbQuery::all`] / [`SgbQuery::any`] /
+/// [`SgbQuery::around`], refine with the builder knobs, then either
+/// [`run`](Self::run) over a complete point set or [`stream`](Self::stream)
+/// points in arrival order.
+///
+/// Knob defaults match the legacy per-operator configs exactly (`L2`,
+/// `Auto`, `JOIN-ANY`, seed `0x5EED`, hull threshold 16, R-tree fan-out
+/// 12), so migrating a call site never changes its grouping.
+///
+/// ```
+/// use sgb_core::{Algorithm, OverlapAction, SgbQuery};
+/// use sgb_geom::{Metric, Point};
+///
+/// let q = SgbQuery::all(3.0)
+///     .metric(Metric::LInf)
+///     .overlap(OverlapAction::Eliminate)
+///     .algorithm(Algorithm::Indexed);
+/// let out = q.run(&[
+///     Point::new([1.0, 7.0]),
+///     Point::new([2.0, 6.0]),
+///     Point::new([6.0, 2.0]),
+///     Point::new([7.0, 1.0]),
+///     Point::new([4.0, 4.0]),
+/// ]);
+/// assert_eq!(out.sorted_sizes(), vec![2, 2]); // the overlapping point drops
+/// assert_eq!(out.eliminated(), &[4]);
+/// assert_eq!(out.resolved_algorithm(), Algorithm::Indexed);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct SgbQuery<const D: usize> {
+    op: OpSpec<D>,
+    metric: Metric,
+    algorithm: Algorithm,
+    seed: u64,
+    hull_threshold: usize,
+    rtree_fanout: usize,
+}
+
+impl<const D: usize> SgbQuery<D> {
+    fn new(op: OpSpec<D>) -> Self {
+        Self {
+            op,
+            metric: Metric::default(),
+            algorithm: Algorithm::default(),
+            seed: 0x5EED,
+            hull_threshold: 16,
+            rtree_fanout: 12,
+        }
+    }
+
+    /// An SGB-All (distance-to-*all*, ε-clique) query with threshold
+    /// `eps`. Panics on a non-finite or negative ε.
+    #[must_use]
+    pub fn all(eps: f64) -> Self {
+        assert!(
+            eps >= 0.0 && eps.is_finite(),
+            "epsilon must be finite and non-negative"
+        );
+        Self::new(OpSpec::All {
+            eps,
+            overlap: OverlapAction::default(),
+        })
+    }
+
+    /// An SGB-Any (distance-to-*any*, connected-component) query with
+    /// threshold `eps`. Panics on a non-finite or negative ε.
+    #[must_use]
+    pub fn any(eps: f64) -> Self {
+        assert!(
+            eps >= 0.0 && eps.is_finite(),
+            "epsilon must be finite and non-negative"
+        );
+        Self::new(OpSpec::Any { eps })
+    }
+
+    /// An SGB-Around (nearest-center) query around `centers`. Panics on an
+    /// empty center list or non-finite center coordinates (the SQL parser
+    /// rejects both earlier with proper errors).
+    #[must_use]
+    pub fn around(centers: Vec<Point<D>>) -> Self {
+        assert!(!centers.is_empty(), "AROUND requires at least one center");
+        assert!(
+            centers.iter().all(Point::is_finite),
+            "centers must have finite coordinates"
+        );
+        Self::new(OpSpec::Around {
+            centers,
+            max_radius: None,
+        })
+    }
+
+    // -- shared knobs --------------------------------------------------------
+
+    /// Sets the distance function δ (default `L2`).
+    #[must_use]
+    pub fn metric(mut self, metric: Metric) -> Self {
+        self.metric = metric;
+        self
+    }
+
+    /// Selects the execution path (default [`Algorithm::Auto`], resolved
+    /// by the cost model at run time). Panics when the algorithm does not
+    /// exist for this query's operator (`BoundsChecking` is SGB-All-only).
+    #[must_use]
+    pub fn algorithm(mut self, algorithm: Algorithm) -> Self {
+        let applicable = match self.op {
+            OpSpec::All { .. } => true,
+            OpSpec::Any { .. } => algorithm.for_any().is_some(),
+            OpSpec::Around { .. } => algorithm.for_around().is_some(),
+        };
+        assert!(
+            applicable,
+            "{algorithm} is not an execution path of {} (valid: Auto, AllPairs, Indexed, Grid)",
+            self.op.name()
+        );
+        self.algorithm = algorithm;
+        self
+    }
+
+    /// Sets the R-tree fan-out of the indexed paths (default 12).
+    #[must_use]
+    pub fn rtree_fanout(mut self, fanout: usize) -> Self {
+        assert!(fanout >= 4, "R-tree fan-out must be at least 4");
+        self.rtree_fanout = fanout;
+        self
+    }
+
+    // -- operator-specific knobs ---------------------------------------------
+
+    /// Sets SGB-All's `ON-OVERLAP` action (default `JOIN-ANY`). Panics for
+    /// SGB-Any / SGB-Around, which have no overlap concept.
+    #[must_use]
+    pub fn overlap(mut self, action: OverlapAction) -> Self {
+        match &mut self.op {
+            OpSpec::All { overlap, .. } => *overlap = action,
+            other => panic!("ON-OVERLAP applies only to SGB-All, not {}", other.name()),
+        }
+        self
+    }
+
+    /// Sets SGB-All's `JOIN-ANY` arbitration seed (default `0x5EED`).
+    /// Panics for SGB-Any / SGB-Around, whose groupings are
+    /// deterministic without one.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        match &self.op {
+            OpSpec::All { .. } => self.seed = seed,
+            other => panic!(
+                "the JOIN-ANY seed applies only to SGB-All, not {}",
+                other.name()
+            ),
+        }
+        self
+    }
+
+    /// Sets SGB-All's convex-hull caching threshold (default 16;
+    /// `usize::MAX` disables the hull refinement). Panics for SGB-Any /
+    /// SGB-Around, which never refine through hulls.
+    #[must_use]
+    pub fn hull_threshold(mut self, members: usize) -> Self {
+        match &self.op {
+            OpSpec::All { .. } => self.hull_threshold = members.max(1),
+            other => panic!(
+                "the hull threshold applies only to SGB-All, not {}",
+                other.name()
+            ),
+        }
+        self
+    }
+
+    /// Sets SGB-Around's maximum radius (the `WITHIN r` clause): records
+    /// farther than `r` from every center join the explicit outlier set.
+    /// Panics for SGB-All / SGB-Any (their `WITHIN` is the ε threshold,
+    /// set at construction).
+    #[must_use]
+    pub fn max_radius(mut self, r: f64) -> Self {
+        assert!(
+            r >= 0.0 && r.is_finite(),
+            "radius must be finite and non-negative"
+        );
+        match &mut self.op {
+            OpSpec::Around { max_radius, .. } => *max_radius = Some(r),
+            other => panic!(
+                "the radius bound applies only to SGB-Around, not {}",
+                other.name()
+            ),
+        }
+        self
+    }
+
+    // -- introspection -------------------------------------------------------
+
+    /// The operator family member this query runs (`"SGB-All"`,
+    /// `"SGB-Any"`, or `"SGB-Around"`).
+    #[must_use]
+    pub fn operator(&self) -> &'static str {
+        self.op.name()
+    }
+
+    /// The configured distance function.
+    #[must_use]
+    pub fn configured_metric(&self) -> Metric {
+        self.metric
+    }
+
+    /// The configured execution path (possibly [`Algorithm::Auto`]).
+    #[must_use]
+    pub fn configured_algorithm(&self) -> Algorithm {
+        self.algorithm
+    }
+
+    /// The ε threshold (SGB-All / SGB-Any) — `None` for SGB-Around, whose
+    /// `WITHIN` is the radius bound.
+    #[must_use]
+    pub fn eps(&self) -> Option<f64> {
+        match &self.op {
+            OpSpec::All { eps, .. } | OpSpec::Any { eps } => Some(*eps),
+            OpSpec::Around { .. } => None,
+        }
+    }
+
+    /// The center list (SGB-Around only).
+    #[must_use]
+    pub fn centers(&self) -> Option<&[Point<D>]> {
+        match &self.op {
+            OpSpec::Around { centers, .. } => Some(centers),
+            _ => None,
+        }
+    }
+
+    /// The radius bound (SGB-Around only; `None` when unbounded or for
+    /// the other operators).
+    #[must_use]
+    pub fn radius_bound(&self) -> Option<f64> {
+        match &self.op {
+            OpSpec::Around { max_radius, .. } => *max_radius,
+            _ => None,
+        }
+    }
+
+    // -- lowering ------------------------------------------------------------
+
+    fn all_config(&self, eps: f64, overlap: OverlapAction) -> SgbAllConfig {
+        SgbAllConfig::new(eps)
+            .metric(self.metric)
+            .overlap(overlap)
+            .seed(self.seed)
+            .hull_threshold(self.hull_threshold)
+            .rtree_fanout(self.rtree_fanout)
+    }
+
+    fn any_config(&self, eps: f64) -> SgbAnyConfig {
+        SgbAnyConfig::new(eps)
+            .metric(self.metric)
+            .rtree_fanout(self.rtree_fanout)
+    }
+
+    fn around_config(&self, centers: Vec<Point<D>>, max_radius: Option<f64>) -> SgbAroundConfig<D> {
+        let mut cfg = SgbAroundConfig::new(centers)
+            .metric(self.metric)
+            .rtree_fanout(self.rtree_fanout);
+        if let Some(r) = max_radius {
+            cfg = cfg.max_radius(r);
+        }
+        cfg
+    }
+
+    // -- execution -----------------------------------------------------------
+
+    /// Runs the query over a complete point set.
+    ///
+    /// [`Algorithm::Auto`] resolves from the true cardinality (or center
+    /// count) via the cost model; the resolution and its reason are
+    /// recorded on the returned [`Grouping`]. Results never depend on the
+    /// resolution — every concrete path is bit-identical.
+    #[must_use]
+    pub fn run(&self, points: &[Point<D>]) -> Grouping {
+        match &self.op {
+            OpSpec::All { eps, overlap } => {
+                let (resolved, reason) =
+                    cost::resolve_all(self.algorithm.for_all(), points.len(), D);
+                let cfg = self.all_config(*eps, *overlap).algorithm(resolved);
+                Grouping::from_flat(sgb_all(points, &cfg), resolved.into(), reason)
+            }
+            OpSpec::Any { eps } => {
+                let base = self.algorithm.for_any().expect("validated by algorithm()");
+                let (resolved, reason) = cost::resolve_any(base, points.len(), D);
+                let cfg = self.any_config(*eps).algorithm(resolved);
+                Grouping::from_flat(sgb_any(points, &cfg), resolved.into(), reason)
+            }
+            OpSpec::Around {
+                centers,
+                max_radius,
+            } => {
+                let base = self
+                    .algorithm
+                    .for_around()
+                    .expect("validated by algorithm()");
+                let (resolved, reason) = cost::resolve_around(base, centers.len(), D);
+                let cfg = self
+                    .around_config(centers.clone(), *max_radius)
+                    .algorithm(resolved);
+                // Feed the engine directly instead of going through
+                // `sgb_around(&cfg)`, which would clone the center list a
+                // second time per run. Same code path, bit-identical.
+                let mut op = SgbAround::new(cfg);
+                for p in points {
+                    op.push(*p);
+                }
+                Grouping::from_around(op.finish(), resolved.into(), reason)
+            }
+        }
+    }
+
+    /// Turns the query into a streaming operator: push points in arrival
+    /// order, then [`finish`](SgbStream::finish).
+    ///
+    /// A stream's final cardinality is unknown at construction, so
+    /// [`Algorithm::Auto`] resolves to the scalable regime for SGB-All /
+    /// SGB-Any (see [`cost::resolve_all_streaming`]); SGB-Around knows its
+    /// center count up front and resolves exactly like [`run`](Self::run).
+    #[must_use]
+    pub fn stream(self) -> SgbStream<D> {
+        let (inner, algorithm, selection) = match &self.op {
+            OpSpec::All { eps, overlap } => {
+                let (resolved, reason) =
+                    cost::resolve_all_streaming_with_reason(self.algorithm.for_all(), D);
+                let cfg = self.all_config(*eps, *overlap).algorithm(resolved);
+                (
+                    StreamInner::All(Box::new(SgbAll::new(cfg))),
+                    resolved.into(),
+                    reason,
+                )
+            }
+            OpSpec::Any { eps } => {
+                let base = self.algorithm.for_any().expect("validated by algorithm()");
+                let (resolved, reason) = cost::resolve_any_streaming_with_reason(base, D);
+                let cfg = self.any_config(*eps).algorithm(resolved);
+                (
+                    StreamInner::Any(Box::new(SgbAny::new(cfg))),
+                    resolved.into(),
+                    reason,
+                )
+            }
+            OpSpec::Around {
+                centers,
+                max_radius,
+            } => {
+                let base = self
+                    .algorithm
+                    .for_around()
+                    .expect("validated by algorithm()");
+                let (resolved, reason) = cost::resolve_around(base, centers.len(), D);
+                let cfg = self
+                    .around_config(centers.clone(), *max_radius)
+                    .algorithm(resolved);
+                (
+                    StreamInner::Around(Box::new(SgbAround::new(cfg))),
+                    resolved.into(),
+                    reason,
+                )
+            }
+        };
+        SgbStream {
+            inner,
+            algorithm,
+            selection,
+        }
+    }
+}
+
+/// The per-operator engine behind a [`SgbStream`]. The engines are boxed:
+/// their sizes differ by hundreds of bytes (SGB-All carries the overlap
+/// machinery), and a stream is created once per query, so one allocation
+/// buys a small uniform stack footprint.
+#[derive(Debug)]
+enum StreamInner<const D: usize> {
+    All(Box<SgbAll<D>>),
+    Any(Box<SgbAny<D>>),
+    Around(Box<SgbAround<D>>),
+}
+
+/// The unified streaming operator: push points in arrival order, then
+/// [`finish`](Self::finish) to materialise the [`Grouping`].
+///
+/// ```
+/// use sgb_core::SgbQuery;
+/// use sgb_geom::Point;
+///
+/// let mut stream = SgbQuery::any(3.0).stream();
+/// for p in [[1.0, 1.0], [2.0, 2.0], [9.0, 9.0]] {
+///     stream.push(Point::new(p));
+/// }
+/// assert_eq!(stream.len(), 3);
+/// assert_eq!(stream.finish().sorted_sizes(), vec![2, 1]);
+/// ```
+#[derive(Debug)]
+pub struct SgbStream<const D: usize> {
+    inner: StreamInner<D>,
+    algorithm: Algorithm,
+    selection: String,
+}
+
+impl<const D: usize> SgbStream<D> {
+    /// Processes one point, returning its record id (its zero-based
+    /// arrival position).
+    pub fn push(&mut self, p: Point<D>) -> RecordId {
+        match &mut self.inner {
+            StreamInner::All(op) => op.push(p),
+            StreamInner::Any(op) => op.push(p),
+            StreamInner::Around(op) => op.push(p),
+        }
+    }
+
+    /// Number of points processed so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        match &self.inner {
+            StreamInner::All(op) => op.len(),
+            StreamInner::Any(op) => op.len(),
+            StreamInner::Around(op) => op.len(),
+        }
+    }
+
+    /// `true` before the first point arrives.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The concrete execution path this stream runs with
+    /// ([`Algorithm::Auto`] resolved at construction).
+    #[must_use]
+    pub fn resolved_algorithm(&self) -> Algorithm {
+        self.algorithm
+    }
+
+    /// Why [`resolved_algorithm`](Self::resolved_algorithm) was chosen.
+    #[must_use]
+    pub fn selection_reason(&self) -> &str {
+        &self.selection
+    }
+
+    /// Completes the operator and materialises the answer groups.
+    #[must_use]
+    pub fn finish(self) -> Grouping {
+        match self.inner {
+            StreamInner::All(op) => {
+                Grouping::from_flat(op.finish(), self.algorithm, self.selection)
+            }
+            StreamInner::Any(op) => {
+                Grouping::from_flat(op.finish(), self.algorithm, self.selection)
+            }
+            StreamInner::Around(op) => {
+                Grouping::from_around(op.finish(), self.algorithm, self.selection)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pts(raw: &[[f64; 2]]) -> Vec<Point<2>> {
+        raw.iter().map(|&c| Point::new(c)).collect()
+    }
+
+    /// Figure 2 of the paper.
+    fn fig2() -> Vec<Point<2>> {
+        pts(&[[1.0, 7.0], [2.0, 6.0], [6.0, 2.0], [7.0, 1.0], [4.0, 4.0]])
+    }
+
+    #[test]
+    fn run_matches_legacy_entry_points() {
+        let points = fig2();
+        for algorithm in [
+            Algorithm::Auto,
+            Algorithm::AllPairs,
+            Algorithm::BoundsChecking,
+            Algorithm::Indexed,
+            Algorithm::Grid,
+        ] {
+            let new = SgbQuery::all(3.0)
+                .metric(Metric::LInf)
+                .algorithm(algorithm)
+                .run(&points);
+            let old = sgb_all(
+                &points,
+                &SgbAllConfig::new(3.0)
+                    .metric(Metric::LInf)
+                    .algorithm(algorithm.for_all()),
+            );
+            assert_eq!(new.groups(), old.groups.as_slice(), "{algorithm}");
+            assert_eq!(new.eliminated(), old.eliminated.as_slice(), "{algorithm}");
+        }
+        let new = SgbQuery::any(3.0).metric(Metric::LInf).run(&points);
+        let old = sgb_any(&points, &SgbAnyConfig::new(3.0).metric(Metric::LInf));
+        assert_eq!(new.groups(), old.groups.as_slice());
+    }
+
+    #[test]
+    fn around_outliers_are_explicit_and_output_groups_append_them() {
+        let centers = pts(&[[0.0, 0.0], [10.0, 10.0]]);
+        let points = pts(&[[1.0, 1.0], [9.0, 9.5], [5.0, 5.0]]);
+        let out = SgbQuery::around(centers).max_radius(3.0).run(&points);
+        assert_eq!(out.groups(), &[vec![0], vec![1]]);
+        assert_eq!(out.outliers(), &[2]);
+        assert_eq!(out.num_groups(), 2);
+        let shaped: Vec<&[RecordId]> = out.output_groups().collect();
+        assert_eq!(shaped, vec![&[0][..], &[1][..], &[2][..]]);
+        out.check_partition(3);
+    }
+
+    #[test]
+    fn resolution_is_recorded() {
+        let out = SgbQuery::any(0.5).run(&pts(&[[0.0, 0.0], [1.0, 1.0]]));
+        assert_eq!(out.resolved_algorithm(), Algorithm::AllPairs);
+        assert!(out.selection_reason().contains("n = 2"));
+        let explicit = SgbQuery::any(0.5)
+            .algorithm(Algorithm::Grid)
+            .run(&pts(&[[0.0, 0.0]]));
+        assert_eq!(explicit.resolved_algorithm(), Algorithm::Grid);
+        assert_eq!(explicit.selection_reason(), "configured explicitly");
+    }
+
+    #[test]
+    fn equality_ignores_execution_metadata() {
+        let points = fig2();
+        let a = SgbQuery::all(3.0)
+            .metric(Metric::LInf)
+            .algorithm(Algorithm::AllPairs)
+            .run(&points);
+        let b = SgbQuery::all(3.0)
+            .metric(Metric::LInf)
+            .algorithm(Algorithm::Indexed)
+            .run(&points);
+        assert_ne!(a.resolved_algorithm(), b.resolved_algorithm());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn stream_matches_run_for_order_independent_ops() {
+        let points = fig2();
+        let mut stream = SgbQuery::any(3.0).metric(Metric::LInf).stream();
+        for p in &points {
+            stream.push(*p);
+        }
+        assert_eq!(
+            stream.finish(),
+            SgbQuery::any(3.0).metric(Metric::LInf).run(&points)
+        );
+
+        let centers = pts(&[[1.0, 7.0], [7.0, 1.0]]);
+        let q = SgbQuery::around(centers).max_radius(2.5);
+        let mut stream = q.clone().stream();
+        assert!(stream.is_empty());
+        for p in &points {
+            stream.push(*p);
+        }
+        assert_eq!(stream.len(), points.len());
+        assert_eq!(stream.finish(), q.run(&points));
+    }
+
+    #[test]
+    fn streaming_auto_resolves_to_the_scalable_regime() {
+        let s = SgbQuery::<2>::all(1.0).stream();
+        assert_eq!(s.resolved_algorithm(), Algorithm::Indexed);
+        assert!(s.selection_reason().contains("streaming"));
+        let s = SgbQuery::<2>::any(1.0).stream();
+        assert_eq!(s.resolved_algorithm(), Algorithm::Grid);
+    }
+
+    #[test]
+    #[should_panic(expected = "not an execution path of SGB-Any")]
+    fn bounds_checking_rejected_for_any() {
+        let _ = SgbQuery::<2>::any(1.0).algorithm(Algorithm::BoundsChecking);
+    }
+
+    #[test]
+    #[should_panic(expected = "not an execution path of SGB-Around")]
+    fn bounds_checking_rejected_for_around() {
+        let _ = SgbQuery::around(pts(&[[0.0, 0.0]])).algorithm(Algorithm::BoundsChecking);
+    }
+
+    #[test]
+    #[should_panic(expected = "ON-OVERLAP applies only to SGB-All")]
+    fn overlap_rejected_for_any() {
+        let _ = SgbQuery::<2>::any(1.0).overlap(OverlapAction::Eliminate);
+    }
+
+    #[test]
+    #[should_panic(expected = "radius bound applies only to SGB-Around")]
+    fn radius_rejected_for_all() {
+        let _ = SgbQuery::<2>::all(1.0).max_radius(1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "seed applies only to SGB-All")]
+    fn seed_rejected_for_around() {
+        let _ = SgbQuery::around(pts(&[[0.0, 0.0]])).seed(7);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one center")]
+    fn around_rejects_empty_centers() {
+        let _ = SgbQuery::<2>::around(Vec::new());
+    }
+
+    #[test]
+    fn introspection_reports_the_configuration() {
+        let q = SgbQuery::around(pts(&[[1.0, 2.0]]))
+            .metric(Metric::L1)
+            .max_radius(0.5);
+        assert_eq!(q.operator(), "SGB-Around");
+        assert_eq!(q.configured_metric(), Metric::L1);
+        assert_eq!(q.configured_algorithm(), Algorithm::Auto);
+        assert_eq!(q.eps(), None);
+        assert_eq!(q.radius_bound(), Some(0.5));
+        assert_eq!(q.centers().unwrap().len(), 1);
+
+        let q = SgbQuery::<2>::all(0.25);
+        assert_eq!(q.operator(), "SGB-All");
+        assert_eq!(q.eps(), Some(0.25));
+        assert_eq!(q.centers(), None);
+    }
+}

@@ -2,18 +2,17 @@
 
 use std::collections::HashMap;
 
-use sgb_core::{AllAlgorithm, AnyAlgorithm, AroundAlgorithm};
-
 use crate::error::{Error, Result};
 use crate::exec::execute;
 use crate::planner::plan_select;
 use crate::schema::Schema;
+use crate::session::SessionOptions;
 use crate::sql::ast::Statement;
 use crate::sql::parser::parse_statement;
 use crate::table::Table;
 
-/// An in-memory database: named tables plus engine settings for the
-/// similarity operators.
+/// An in-memory database: named tables plus the session's engine options
+/// for the similarity operators ([`SessionOptions`]).
 ///
 /// ```
 /// use sgb_relation::Database;
@@ -29,19 +28,56 @@ use crate::table::Table;
 #[derive(Clone, Debug, Default)]
 pub struct Database {
     tables: HashMap<String, Table>,
-    sgb_all_algorithm: AllAlgorithm,
-    sgb_any_algorithm: AnyAlgorithm,
-    sgb_around_algorithm: AroundAlgorithm,
-    sgb_seed: u64,
+    session: SessionOptions,
 }
 
 impl Database {
-    /// An empty database with default operator settings: every similarity
+    /// An empty database with default session options: every similarity
     /// operator runs with its `Auto` algorithm, cost-selected per query
     /// from the estimated input cardinality, center count, and
     /// dimensionality (`EXPLAIN` prints the resolved path and the reason).
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// An empty database with the given session options.
+    ///
+    /// ```
+    /// use sgb_core::Algorithm;
+    /// use sgb_relation::{Database, SessionOptions};
+    ///
+    /// let db = Database::with_options(
+    ///     SessionOptions::new().with_all_algorithm(Algorithm::BoundsChecking),
+    /// );
+    /// assert_eq!(db.session().all_algorithm, Algorithm::BoundsChecking);
+    /// ```
+    pub fn with_options(session: SessionOptions) -> Self {
+        Self {
+            tables: HashMap::new(),
+            session,
+        }
+    }
+
+    /// The session's engine options. The planner resolves every similarity
+    /// query under these; `EXPLAIN` prints the resolved path plus whether
+    /// it came from the cost model or a session override.
+    pub fn session(&self) -> &SessionOptions {
+        &self.session
+    }
+
+    /// Mutable access to the session's engine options — the one surface
+    /// for adjusting similarity-operator execution mid-session.
+    ///
+    /// ```
+    /// use sgb_core::Algorithm;
+    /// use sgb_relation::Database;
+    ///
+    /// let mut db = Database::new();
+    /// db.session_mut().any_algorithm = Algorithm::Grid;
+    /// db.session_mut().seed = 42;
+    /// ```
+    pub fn session_mut(&mut self) -> &mut SessionOptions {
+        &mut self.session
     }
 
     /// Registers (or replaces) a table under `name`.
@@ -66,51 +102,6 @@ impl Database {
         let mut names: Vec<String> = self.tables.keys().cloned().collect();
         names.sort();
         names
-    }
-
-    /// Algorithm used by `DISTANCE-TO-ALL` queries.
-    pub fn sgb_all_algorithm(&self) -> AllAlgorithm {
-        self.sgb_all_algorithm
-    }
-
-    /// Algorithm used by `DISTANCE-TO-ANY` queries.
-    pub fn sgb_any_algorithm(&self) -> AnyAlgorithm {
-        self.sgb_any_algorithm
-    }
-
-    /// Algorithm used by `AROUND` queries.
-    pub fn sgb_around_algorithm(&self) -> AroundAlgorithm {
-        self.sgb_around_algorithm
-    }
-
-    /// Seed for `ON-OVERLAP JOIN-ANY` arbitration.
-    pub fn sgb_seed(&self) -> u64 {
-        self.sgb_seed
-    }
-
-    /// Selects the SGB-All algorithm (the paper's All-Pairs /
-    /// Bounds-Checking / on-the-fly Index variants, the ε-grid engine, or
-    /// cost-based `Auto` — the default).
-    pub fn set_sgb_all_algorithm(&mut self, algorithm: AllAlgorithm) {
-        self.sgb_all_algorithm = algorithm;
-    }
-
-    /// Selects the SGB-Any algorithm (all-pairs, on-the-fly R-tree, the
-    /// ε-grid engine, or cost-based `Auto` — the default).
-    pub fn set_sgb_any_algorithm(&mut self, algorithm: AnyAlgorithm) {
-        self.sgb_any_algorithm = algorithm;
-    }
-
-    /// Selects the SGB-Around algorithm (brute-force center scan, the
-    /// bulk-loaded center R-tree, the center grid, or cost-based `Auto` —
-    /// the default).
-    pub fn set_sgb_around_algorithm(&mut self, algorithm: AroundAlgorithm) {
-        self.sgb_around_algorithm = algorithm;
-    }
-
-    /// Sets the JOIN-ANY arbitration seed (reproducible runs).
-    pub fn set_sgb_seed(&mut self, seed: u64) {
-        self.sgb_seed = seed;
     }
 
     /// Executes any statement (SELECT, CREATE TABLE, INSERT, DROP TABLE).

@@ -2,10 +2,8 @@
 
 use std::collections::HashMap;
 
-use sgb_core::{
-    sgb_all, sgb_any, sgb_around, AroundAlgorithm, Grouping, SgbAllConfig, SgbAnyConfig,
-    SgbAroundConfig,
-};
+use sgb_core::query::Grouping;
+use sgb_core::{Algorithm, SgbQuery};
 use sgb_geom::{Metric, Point};
 
 use crate::engine::Database;
@@ -246,7 +244,9 @@ pub fn execute(plan: &Plan, db: &Database) -> Result<Table> {
 
 /// Aggregates the rows of each answer group into one output row, applying
 /// HAVING and the output expressions over the internal `[aggregates…]`
-/// layout — shared by the similarity group-by plan nodes.
+/// layout — shared by the similarity group-by plan nodes. The iteration
+/// uses the relational output shape ([`Grouping::output_groups`]): answer
+/// groups first, then — for radius-bounded AROUND — the outlier group.
 fn aggregate_grouping(
     t: &Table,
     grouping: &Grouping,
@@ -255,8 +255,8 @@ fn aggregate_grouping(
     outputs: &[BoundExpr],
     schema: &crate::schema::Schema,
 ) -> Result<Table> {
-    let mut rows = Vec::with_capacity(grouping.num_groups());
-    for members in &grouping.groups {
+    let mut rows = Vec::with_capacity(grouping.num_groups() + 1);
+    for members in grouping.output_groups() {
         let mut st: Vec<AggState> = aggs.iter().map(AggState::new).collect();
         for &r in members {
             for (s, call) in st.iter_mut().zip(aggs) {
@@ -324,6 +324,8 @@ fn run_sgb_d<const D: usize>(
     mode: &SgbMode,
 ) -> Result<Grouping> {
     let points = extract_points::<D>(rows, coords)?;
+    // The plan's algorithm is already resolved (never `Auto`), so the
+    // query's own cost model passes it through unchanged.
     Ok(match mode {
         SgbMode::All {
             eps,
@@ -332,24 +334,29 @@ fn run_sgb_d<const D: usize>(
             algorithm,
             seed,
             ..
-        } => {
-            let cfg = SgbAllConfig::new(*eps)
-                .metric(*metric)
-                .overlap(*overlap)
-                .algorithm(*algorithm)
-                .seed(*seed);
-            sgb_all(&points, &cfg)
-        }
+        } => SgbQuery::all(*eps)
+            .metric(*metric)
+            .overlap(*overlap)
+            .algorithm(*algorithm)
+            .seed(*seed)
+            .run(&points),
         SgbMode::Any {
             eps,
             metric,
             algorithm,
             ..
         } => {
-            let cfg = SgbAnyConfig::new(*eps)
+            // The planner only emits algorithms the operator implements;
+            // a hand-built plan must get an Err, not the builder's panic.
+            if algorithm.for_any().is_none() {
+                return Err(Error::Eval(format!(
+                    "{algorithm} is not an execution path of DISTANCE-TO-ANY"
+                )));
+            }
+            SgbQuery::any(*eps)
                 .metric(*metric)
-                .algorithm(*algorithm);
-            sgb_any(&points, &cfg)
+                .algorithm(*algorithm)
+                .run(&points)
         }
     })
 }
@@ -363,7 +370,7 @@ fn run_around(
     centers: &[Vec<f64>],
     metric: Metric,
     radius: Option<f64>,
-    algorithm: AroundAlgorithm,
+    algorithm: Algorithm,
 ) -> Result<Grouping> {
     match coords.len() {
         2 => run_around_d::<2>(rows, coords, centers, metric, radius, algorithm),
@@ -380,7 +387,7 @@ fn run_around_d<const D: usize>(
     centers: &[Vec<f64>],
     metric: Metric,
     radius: Option<f64>,
-    algorithm: AroundAlgorithm,
+    algorithm: Algorithm,
 ) -> Result<Grouping> {
     let points = extract_points::<D>(rows, coords)?;
     // The parser guarantees a non-empty list of finite, correctly-sized
@@ -404,7 +411,12 @@ fn run_around_d<const D: usize>(
         }
         center_points.push(Point::new(arr));
     }
-    let mut cfg = SgbAroundConfig::new(center_points)
+    if algorithm.for_around().is_none() {
+        return Err(Error::Eval(format!(
+            "{algorithm} is not an execution path of AROUND"
+        )));
+    }
+    let mut query = SgbQuery::around(center_points)
         .metric(metric)
         .algorithm(algorithm);
     if let Some(r) = radius {
@@ -413,9 +425,9 @@ fn run_around_d<const D: usize>(
                 "AROUND radius must be finite and >= 0, got {r}"
             )));
         }
-        cfg = cfg.max_radius(r);
+        query = query.max_radius(r);
     }
-    Ok(sgb_around(&points, &cfg).grouping())
+    Ok(query.run(&points))
 }
 
 /// Running accumulator for one aggregate call.

@@ -44,6 +44,7 @@ pub mod expr;
 pub mod plan;
 pub mod planner;
 pub mod schema;
+pub mod session;
 pub mod sql;
 pub mod table;
 pub mod value;
@@ -53,5 +54,6 @@ pub use error::{Error, Result};
 pub use expr::{BinOp, BoundExpr};
 pub use plan::{AggCall, AggKind, Plan, SgbMode};
 pub use schema::{Column, Schema};
+pub use session::SessionOptions;
 pub use table::{Row, Table};
 pub use value::Value;

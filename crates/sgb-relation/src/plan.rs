@@ -6,7 +6,7 @@
 //! composing with scans, filters, joins and projections exactly as the
 //! paper's PostgreSQL integration does (Section 8.2).
 
-use sgb_core::{AllAlgorithm, AnyAlgorithm, AroundAlgorithm, OverlapAction};
+use sgb_core::{Algorithm, OverlapAction};
 use sgb_geom::Metric;
 
 use crate::expr::BoundExpr;
@@ -58,11 +58,13 @@ pub struct AggCall {
 
 /// Parameters of a similarity group-by node.
 ///
-/// The `algorithm` fields carry the **resolved** concrete strategy: when
-/// the engine setting is `Auto`, the planner runs the cost model
-/// (`sgb_core::cost`) against the estimated input cardinality at plan
-/// time, and `selection` records why that path was chosen — both surface
-/// in `EXPLAIN`.
+/// The `algorithm` fields carry the **resolved** concrete strategy in the
+/// family-wide [`Algorithm`] vocabulary: when the session option is
+/// `Auto`, the planner runs the cost model (`sgb_core::cost`) against the
+/// estimated input cardinality at plan time, and `selection` records why
+/// that path was chosen (or that it was pinned by the session options) —
+/// both surface in `EXPLAIN`, telling the same story the core API's
+/// `Grouping::resolved_algorithm` does.
 #[derive(Clone, Debug)]
 pub enum SgbMode {
     /// `DISTANCE-TO-ALL` (clique groups, Section 4.1).
@@ -74,7 +76,7 @@ pub enum SgbMode {
         /// Overlap arbitration.
         overlap: OverlapAction,
         /// Search algorithm (resolved — never `Auto`).
-        algorithm: AllAlgorithm,
+        algorithm: Algorithm,
         /// Seed for `JOIN-ANY`.
         seed: u64,
         /// Why `algorithm` was chosen ("configured explicitly" or the
@@ -88,7 +90,7 @@ pub enum SgbMode {
         /// Distance function.
         metric: Metric,
         /// Search algorithm (resolved — never `Auto`).
-        algorithm: AnyAlgorithm,
+        algorithm: Algorithm,
         /// Why `algorithm` was chosen ("configured explicitly" or the
         /// cost model's reason).
         selection: String,
@@ -199,9 +201,10 @@ pub enum Plan {
         metric: Metric,
         /// Optional maximum radius (`WITHIN r`).
         radius: Option<f64>,
-        /// Search strategy (resolved — never `Auto`; brute-force scan,
-        /// center R-tree, or center grid).
-        algorithm: AroundAlgorithm,
+        /// Search strategy (resolved — never `Auto`; `AllPairs` is the
+        /// brute center scan, `Indexed` the center R-tree, `Grid` the
+        /// center grid).
+        algorithm: Algorithm,
         /// Why `algorithm` was chosen ("configured explicitly" or the
         /// cost model's reason).
         selection: String,
@@ -311,7 +314,7 @@ impl Plan {
                             metric.sql_keyword(),
                             overlap.sql_keyword()
                         ),
-                        format!("path: {algorithm:?}; {selection}"),
+                        format!("path: {algorithm}; {selection}"),
                     ),
                     SgbMode::Any {
                         eps,
@@ -320,7 +323,7 @@ impl Plan {
                         selection,
                     } => (
                         format!("SGB-Any {} WITHIN {eps}", metric.sql_keyword()),
-                        format!("path: {algorithm:?}; {selection}"),
+                        format!("path: {algorithm}; {selection}"),
                     ),
                 };
                 out.push_str(&format!(
@@ -344,7 +347,7 @@ impl Plan {
                     None => String::new(),
                 };
                 out.push_str(&format!(
-                    "{pad}SimilarityAround [{} centers, {}{bound}, path: {algorithm:?}] \
+                    "{pad}SimilarityAround [{} centers, {}{bound}, path: {algorithm}] \
                      [{selection}] (aggs: {})\n",
                     centers.len(),
                     metric.sql_keyword(),

@@ -11,6 +11,8 @@
 use std::collections::HashSet;
 use std::sync::Arc;
 
+use sgb_core::Algorithm;
+
 use crate::engine::Database;
 use crate::error::{Error, Result};
 use crate::exec::execute;
@@ -167,29 +169,37 @@ impl<'a> Planner<'a> {
                 _,
             ) => {
                 // Resolve `Auto` at plan time from the estimated input
-                // cardinality so EXPLAIN shows the path execution takes.
+                // cardinality so EXPLAIN shows the path execution takes,
+                // under the session options the plan was built with.
                 let n = estimate_rows(&acc, self.db);
-                let (algorithm, selection) =
-                    sgb_core::cost::resolve_all(self.db.sgb_all_algorithm(), n, exprs.len());
+                let configured = self.db.session().all_algorithm;
+                let (resolved, selection) =
+                    sgb_core::cost::resolve_all(configured.for_all(), n, exprs.len());
                 let mode = SgbMode::All {
                     eps: *eps,
                     metric: *metric,
                     overlap: *overlap,
-                    algorithm,
-                    seed: self.db.sgb_seed(),
-                    selection,
+                    algorithm: resolved.into(),
+                    seed: self.db.session().seed,
+                    selection: session_selection(configured, selection),
                 };
                 self.build_similarity(acc, exprs, mode, stmt)?
             }
             (Some(GroupBy::SimilarityAny { exprs, metric, eps }), _) => {
                 let n = estimate_rows(&acc, self.db);
-                let (algorithm, selection) =
-                    sgb_core::cost::resolve_any(self.db.sgb_any_algorithm(), n, exprs.len());
+                let configured = self.db.session().any_algorithm;
+                let base = configured.for_any().ok_or_else(|| {
+                    Error::Unsupported(format!(
+                        "session algorithm {configured} is not an execution path of \
+                         DISTANCE-TO-ANY (valid: Auto, AllPairs, Indexed, Grid)"
+                    ))
+                })?;
+                let (resolved, selection) = sgb_core::cost::resolve_any(base, n, exprs.len());
                 let mode = SgbMode::Any {
                     eps: *eps,
                     metric: *metric,
-                    algorithm,
-                    selection,
+                    algorithm: resolved.into(),
+                    selection: session_selection(configured, selection),
                 };
                 self.build_similarity(acc, exprs, mode, stmt)?
             }
@@ -403,19 +413,23 @@ impl<'a> Planner<'a> {
         };
         // `Auto` resolves from the center count (the quantity the
         // per-tuple cost depends on); the reason lands in EXPLAIN.
-        let (algorithm, selection) = sgb_core::cost::resolve_around(
-            self.db.sgb_around_algorithm(),
-            centers.len(),
-            grouping.len(),
-        );
+        let configured = self.db.session().around_algorithm;
+        let base = configured.for_around().ok_or_else(|| {
+            Error::Unsupported(format!(
+                "session algorithm {configured} is not an execution path of \
+                 AROUND (valid: Auto, AllPairs, Indexed, Grid)"
+            ))
+        })?;
+        let (resolved, selection) =
+            sgb_core::cost::resolve_around(base, centers.len(), grouping.len());
         Ok(Plan::SimilarityAround {
             input: Box::new(input),
             coords,
             centers: centers.to_vec(),
             metric,
             radius,
-            algorithm,
-            selection,
+            algorithm: resolved.into(),
+            selection: session_selection(configured, selection),
             aggs: ctx.aggs,
             having,
             outputs,
@@ -670,6 +684,17 @@ impl<'a> Planner<'a> {
         } else {
             None
         }
+    }
+}
+
+/// The selection story a plan records: the cost model's reason when the
+/// session left the operator on `Auto`, or an explicit note that the
+/// session options pinned the path.
+fn session_selection(configured: Algorithm, cost_reason: String) -> String {
+    if configured == Algorithm::Auto {
+        cost_reason
+    } else {
+        "pinned by session options".to_owned()
     }
 }
 

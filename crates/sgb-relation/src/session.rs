@@ -1,0 +1,113 @@
+//! Per-session engine options: one typed surface instead of N setters.
+//!
+//! Everything the engine lets a session tune about similarity-query
+//! execution lives in [`SessionOptions`]: per-operator [`Algorithm`]
+//! overrides and the `JOIN-ANY` arbitration seed (future cost-model
+//! tunables slot in here too). A [`crate::Database`] is constructed with a
+//! set of options ([`crate::Database::with_options`]) and exposes them for
+//! later adjustment through one mutable surface
+//! ([`crate::Database::session_mut`]); the planner reads them when lowering
+//! a similarity clause, resolves `Auto` through the cost model, and records
+//! the resolved path *and* why it was chosen on the plan node — so
+//! `EXPLAIN` always reports the exact session options a plan was built
+//! under.
+
+use sgb_core::Algorithm;
+
+/// Typed session options for similarity-query execution.
+///
+/// The defaults leave every operator on [`Algorithm::Auto`] (cost-selected
+/// per query from the estimated input cardinality, center count, and
+/// dimensionality) with seed 0; overriding an operator pins every query of
+/// that operator to the chosen path.
+///
+/// ```
+/// use sgb_core::Algorithm;
+/// use sgb_relation::{Database, SessionOptions};
+///
+/// // Pin SGB-Any to the ε-grid at construction…
+/// let opts = SessionOptions::new().with_any_algorithm(Algorithm::Grid);
+/// let mut db = Database::with_options(opts);
+/// assert_eq!(db.session().any_algorithm, Algorithm::Grid);
+/// // …and adjust the session later through one mutable surface.
+/// db.session_mut().seed = 42;
+/// db.session_mut().any_algorithm = Algorithm::Auto;
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SessionOptions {
+    /// Execution path for `DISTANCE-TO-ALL` queries (every [`Algorithm`]
+    /// variant applies).
+    pub all_algorithm: Algorithm,
+    /// Execution path for `DISTANCE-TO-ANY` queries. `BoundsChecking` is
+    /// SGB-All-only; a query planned under it fails with a clear error.
+    pub any_algorithm: Algorithm,
+    /// Execution path for `AROUND` queries (`AllPairs` is the brute
+    /// center scan). `BoundsChecking` is SGB-All-only; a query planned
+    /// under it fails with a clear error.
+    pub around_algorithm: Algorithm,
+    /// Seed for `ON-OVERLAP JOIN-ANY` arbitration (reproducible runs).
+    pub seed: u64,
+}
+
+impl SessionOptions {
+    /// The default options: every operator on [`Algorithm::Auto`], seed 0.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the `DISTANCE-TO-ALL` execution path.
+    #[must_use]
+    pub fn with_all_algorithm(mut self, algorithm: Algorithm) -> Self {
+        self.all_algorithm = algorithm;
+        self
+    }
+
+    /// Sets the `DISTANCE-TO-ANY` execution path.
+    #[must_use]
+    pub fn with_any_algorithm(mut self, algorithm: Algorithm) -> Self {
+        self.any_algorithm = algorithm;
+        self
+    }
+
+    /// Sets the `AROUND` execution path.
+    #[must_use]
+    pub fn with_around_algorithm(mut self, algorithm: Algorithm) -> Self {
+        self.around_algorithm = algorithm;
+        self
+    }
+
+    /// Sets the `JOIN-ANY` arbitration seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_set_fields() {
+        let opts = SessionOptions::new()
+            .with_all_algorithm(Algorithm::BoundsChecking)
+            .with_any_algorithm(Algorithm::Grid)
+            .with_around_algorithm(Algorithm::Indexed)
+            .with_seed(7);
+        assert_eq!(opts.all_algorithm, Algorithm::BoundsChecking);
+        assert_eq!(opts.any_algorithm, Algorithm::Grid);
+        assert_eq!(opts.around_algorithm, Algorithm::Indexed);
+        assert_eq!(opts.seed, 7);
+    }
+
+    #[test]
+    fn defaults_are_auto() {
+        let opts = SessionOptions::default();
+        assert_eq!(opts.all_algorithm, Algorithm::Auto);
+        assert_eq!(opts.any_algorithm, Algorithm::Auto);
+        assert_eq!(opts.around_algorithm, Algorithm::Auto);
+        assert_eq!(opts.seed, 0);
+    }
+}

@@ -1,6 +1,6 @@
 //! End-to-end SQL tests: parse → plan → execute against in-memory tables.
 
-use sgb_core::AllAlgorithm;
+use sgb_core::Algorithm;
 use sgb_relation::{Database, Schema, Table, Value};
 
 fn db_with_people() -> Database {
@@ -278,12 +278,12 @@ fn sgb_algorithm_choice_is_transparent() {
     // The engine setting flips the algorithm without changing results.
     let mut results = Vec::new();
     for algo in [
-        AllAlgorithm::AllPairs,
-        AllAlgorithm::BoundsChecking,
-        AllAlgorithm::Indexed,
+        Algorithm::AllPairs,
+        Algorithm::BoundsChecking,
+        Algorithm::Indexed,
     ] {
         let mut db = Database::new();
-        db.set_sgb_all_algorithm(algo);
+        db.session_mut().all_algorithm = algo;
         db.execute("CREATE TABLE g (x DOUBLE, y DOUBLE)").unwrap();
         db.execute(
             "INSERT INTO g VALUES (1.0, 7.0), (2.0, 6.0), (6.0, 2.0), (7.0, 1.0), (4.0, 4.0)",
@@ -709,21 +709,21 @@ fn sgb_around_explain_names_centers_metric_radius_and_path() {
     assert!(plan.contains("WITHIN 2.5"), "{plan}");
     // Default engine setting is Auto: 3 centers resolve to the brute
     // center scan, and EXPLAIN prints the resolved path plus the reason.
-    assert!(plan.contains("path: BruteForce"), "{plan}");
+    assert!(plan.contains("path: AllPairs"), "{plan}");
     assert!(plan.contains("auto: 3 centers"), "{plan}");
     // An explicit setting shows up as such (resolved path + reason).
-    db.set_sgb_around_algorithm(sgb_core::AroundAlgorithm::Indexed);
+    db.session_mut().around_algorithm = sgb_core::Algorithm::Indexed;
     let plan = db
         .explain("SELECT count(*) FROM gps GROUP BY lat, lon AROUND ((1, 1))")
         .unwrap();
     assert!(plan.contains("path: Indexed"), "{plan}");
-    assert!(plan.contains("configured explicitly"), "{plan}");
+    assert!(plan.contains("pinned by session options"), "{plan}");
     assert!(!plan.contains("WITHIN"), "no radius → no WITHIN: {plan}");
-    db.set_sgb_around_algorithm(sgb_core::AroundAlgorithm::BruteForce);
+    db.session_mut().around_algorithm = sgb_core::Algorithm::AllPairs;
     let plan = db
         .explain("SELECT count(*) FROM gps GROUP BY lat, lon AROUND ((1, 1))")
         .unwrap();
-    assert!(plan.contains("path: BruteForce"), "{plan}");
+    assert!(plan.contains("path: AllPairs"), "{plan}");
 }
 
 #[test]
@@ -752,12 +752,12 @@ fn explain_prints_cost_based_resolution_for_all_and_any() {
     assert!(plan.contains("path: BoundsChecking"), "{plan}");
     assert!(plan.contains("auto: n = 600"), "{plan}");
     // Explicit settings print as configured.
-    db.set_sgb_all_algorithm(sgb_core::AllAlgorithm::BoundsChecking);
+    db.session_mut().all_algorithm = sgb_core::Algorithm::BoundsChecking;
     let plan = db
         .explain("SELECT count(*) FROM pts GROUP BY x, y DISTANCE-TO-ALL L2 WITHIN 0.5")
         .unwrap();
     assert!(plan.contains("path: BoundsChecking"), "{plan}");
-    assert!(plan.contains("configured explicitly"), "{plan}");
+    assert!(plan.contains("pinned by session options"), "{plan}");
 }
 
 #[test]
@@ -783,7 +783,7 @@ fn sgb_around_algorithm_choice_is_transparent() {
                GROUP BY x, y AROUND ((2, 2), (8, 2), (5, 8), (2.5, 2.5)) L1 WITHIN 3 \
                ORDER BY count(*) DESC";
     let indexed = db.query(sql).unwrap();
-    db.set_sgb_around_algorithm(sgb_core::AroundAlgorithm::BruteForce);
+    db.session_mut().around_algorithm = sgb_core::Algorithm::AllPairs;
     let brute = db.query(sql).unwrap();
     assert_eq!(indexed.rows, brute.rows);
 }
@@ -848,7 +848,7 @@ fn programmatic_around_plan_with_bad_centers_errors_cleanly() {
         centers,
         metric: sgb_core::Metric::L2,
         radius,
-        algorithm: sgb_core::AroundAlgorithm::Indexed,
+        algorithm: sgb_core::Algorithm::Indexed,
         selection: "hand-built".into(),
         aggs: vec![],
         having: None,
@@ -867,4 +867,32 @@ fn programmatic_around_plan_with_bad_centers_errors_cleanly() {
     ] {
         assert!(execute(&plan, &db).is_err(), "{what} must be an Err");
     }
+
+    // The unified Algorithm enum makes BoundsChecking representable on
+    // every node; hand-built plans carrying it for an operator that does
+    // not implement it must error cleanly too (the planner rejects the
+    // combination earlier on the SQL path).
+    let mut bad_around = around(vec![vec![0.0, 0.0]], None);
+    if let Plan::SimilarityAround { algorithm, .. } = &mut bad_around {
+        *algorithm = sgb_core::Algorithm::BoundsChecking;
+    }
+    let err = execute(&bad_around, &db).unwrap_err();
+    assert!(err.to_string().contains("BoundsChecking"), "got: {err}");
+
+    let bad_any = Plan::SimilarityGroupBy {
+        input: Box::new(scan.clone()),
+        coords: vec![BoundExpr::Column(0), BoundExpr::Column(1)],
+        mode: sgb_relation::SgbMode::Any {
+            eps: 1.0,
+            metric: sgb_core::Metric::L2,
+            algorithm: sgb_core::Algorithm::BoundsChecking,
+            selection: "hand-built".into(),
+        },
+        aggs: vec![],
+        having: None,
+        outputs: vec![],
+        schema: Schema::new(Vec::<String>::new()),
+    };
+    let err = execute(&bad_any, &db).unwrap_err();
+    assert!(err.to_string().contains("BoundsChecking"), "got: {err}");
 }

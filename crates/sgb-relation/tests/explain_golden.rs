@@ -1,0 +1,140 @@
+//! EXPLAIN golden tests: snapshot-style assertions pinning the **exact**
+//! plan rendering — one query per similarity operator — so refactors of
+//! the algorithm vocabulary (the unified `Algorithm` enum, the session
+//! options, the cost model's reason strings) can never silently change
+//! what `EXPLAIN` tells the user. Every assertion is full-string equality:
+//! if any of these fail, either fix the regression or consciously update
+//! the snapshot *and* the documentation that quotes it.
+
+use sgb_core::Algorithm;
+use sgb_relation::{Database, SessionOptions};
+
+/// A fixed five-point table (Figure 2 of the paper) so the planner's
+/// row estimate — and therefore the cost model's reason string — is
+/// deterministic.
+fn fig2_db() -> Database {
+    let mut db = Database::new();
+    db.execute("CREATE TABLE pts (x DOUBLE, y DOUBLE)").unwrap();
+    db.execute("INSERT INTO pts VALUES (1.0, 7.0), (2.0, 6.0), (6.0, 2.0), (7.0, 1.0), (4.0, 4.0)")
+        .unwrap();
+    db
+}
+
+#[test]
+fn sgb_all_explain_snapshot() {
+    let db = fig2_db();
+    let plan = db
+        .explain(
+            "SELECT count(*) FROM pts \
+             GROUP BY x, y DISTANCE-TO-ALL LINF WITHIN 3 ON-OVERLAP ELIMINATE",
+        )
+        .unwrap();
+    assert_eq!(
+        plan,
+        "SimilarityGroupBy [SGB-All LINF WITHIN 3 ON-OVERLAP ELIMINATE] \
+         [path: AllPairs; auto: n = 5 <= 256, plain scan beats index construction] (aggs: 1)\n\
+         \x20 Scan pts\n"
+    );
+}
+
+#[test]
+fn sgb_any_explain_snapshot() {
+    let db = fig2_db();
+    let plan = db
+        .explain("SELECT count(*) FROM pts GROUP BY x, y DISTANCE-TO-ANY L2 WITHIN 1.5")
+        .unwrap();
+    assert_eq!(
+        plan,
+        "SimilarityGroupBy [SGB-Any L2 WITHIN 1.5] \
+         [path: AllPairs; auto: n = 5 <= 512, plain scan beats index construction] (aggs: 1)\n\
+         \x20 Scan pts\n"
+    );
+}
+
+#[test]
+fn sgb_around_explain_snapshot() {
+    let db = fig2_db();
+    let plan = db
+        .explain(
+            "SELECT count(*) FROM pts \
+             GROUP BY x, y AROUND ((1, 1), (9, 9), (4, 4)) L1 WITHIN 2.5",
+        )
+        .unwrap();
+    // The brute center scan speaks the unified vocabulary: `AllPairs`.
+    assert_eq!(
+        plan,
+        "SimilarityAround [3 centers, L1 WITHIN 2.5, path: AllPairs] \
+         [auto: 3 centers <= 128, center scan beats index construction \
+         (BENCH_around.json crossover ~1k)] (aggs: 1)\n\
+         \x20 Scan pts\n"
+    );
+}
+
+#[test]
+fn session_pinned_algorithm_explain_snapshot() {
+    // A session override replaces the cost model's reason with an explicit
+    // note that the session options chose the path.
+    let mut db = fig2_db();
+    db.session_mut().any_algorithm = Algorithm::Indexed;
+    let plan = db
+        .explain("SELECT count(*) FROM pts GROUP BY x, y DISTANCE-TO-ANY L2 WITHIN 1.5")
+        .unwrap();
+    assert_eq!(
+        plan,
+        "SimilarityGroupBy [SGB-Any L2 WITHIN 1.5] \
+         [path: Indexed; pinned by session options] (aggs: 1)\n\
+         \x20 Scan pts\n"
+    );
+}
+
+#[test]
+fn session_options_at_construction_match_session_mut() {
+    // `Database::with_options` and `session_mut` are the same surface:
+    // identical options produce identical plans.
+    let mut a = fig2_db();
+    a.session_mut().all_algorithm = Algorithm::Grid;
+    a.session_mut().seed = 9;
+
+    let mut b = Database::with_options(
+        SessionOptions::new()
+            .with_all_algorithm(Algorithm::Grid)
+            .with_seed(9),
+    );
+    b.execute("CREATE TABLE pts (x DOUBLE, y DOUBLE)").unwrap();
+    b.execute("INSERT INTO pts VALUES (1.0, 7.0), (2.0, 6.0), (6.0, 2.0), (7.0, 1.0), (4.0, 4.0)")
+        .unwrap();
+
+    let sql = "SELECT count(*) FROM pts GROUP BY x, y DISTANCE-TO-ALL L2 WITHIN 3";
+    assert_eq!(a.explain(sql).unwrap(), b.explain(sql).unwrap());
+    assert!(a
+        .explain(sql)
+        .unwrap()
+        .contains("path: Grid; pinned by session options"));
+}
+
+#[test]
+fn inapplicable_session_algorithm_is_a_clear_error() {
+    // BoundsChecking exists only for SGB-All; planning a DISTANCE-TO-ANY
+    // or AROUND query under it must fail with a message naming the valid
+    // choices, not panic or silently fall back.
+    let mut db = fig2_db();
+    db.session_mut().any_algorithm = Algorithm::BoundsChecking;
+    let err = db
+        .query("SELECT count(*) FROM pts GROUP BY x, y DISTANCE-TO-ANY L2 WITHIN 1")
+        .unwrap_err();
+    assert!(
+        err.to_string().contains("BoundsChecking")
+            && err.to_string().contains("DISTANCE-TO-ANY")
+            && err
+                .to_string()
+                .contains("valid: Auto, AllPairs, Indexed, Grid"),
+        "got: {err}"
+    );
+
+    db.session_mut().any_algorithm = Algorithm::Auto;
+    db.session_mut().around_algorithm = Algorithm::BoundsChecking;
+    let err = db
+        .query("SELECT count(*) FROM pts GROUP BY x, y AROUND ((1, 1))")
+        .unwrap_err();
+    assert!(err.to_string().contains("AROUND"), "got: {err}");
+}

@@ -2,17 +2,22 @@
 //! runtime and grouping behaviour on the same check-in workload.
 //!
 //! ```text
-//! cargo run --release --example clustering_comparison
+//! cargo run --release --example clustering_comparison [n]
 //! ```
+//!
+//! The optional positional argument overrides the check-in count (default
+//! 30000) — CI runs the example at tiny scale.
 
 use sgb::cluster::{birch, dbscan, kmeans, BirchConfig, DbscanConfig, KMeansConfig, Label};
-use sgb::core::{sgb_all, sgb_any, SgbAllConfig, SgbAnyConfig};
 use sgb::datagen::CheckinConfig;
-use sgb::geom::Metric;
+use sgb::{Metric, SgbQuery};
 use std::time::Instant;
 
 fn main() {
-    let n = 30_000;
+    let n: usize = std::env::args()
+        .nth(1)
+        .map(|a| a.parse().expect("n must be an integer"))
+        .unwrap_or(30_000);
     let eps = 0.2;
     let points = CheckinConfig::brightkite_like(n).generate().points();
     println!("{n} Brightkite-like check-ins, ε = {eps}°\n");
@@ -26,7 +31,7 @@ fn main() {
     };
 
     let t = Instant::now();
-    let any = sgb_any(&points, &SgbAnyConfig::new(eps).metric(Metric::L2));
+    let any = SgbQuery::any(eps).metric(Metric::L2).run(&points);
     report(
         "SGB-Any",
         any.num_groups(),
@@ -35,7 +40,7 @@ fn main() {
     );
 
     let t = Instant::now();
-    let all = sgb_all(&points, &SgbAllConfig::new(eps).metric(Metric::L2));
+    let all = SgbQuery::all(eps).metric(Metric::L2).run(&points);
     report(
         "SGB-All JOIN-ANY",
         all.num_groups(),
@@ -77,8 +82,8 @@ fn main() {
     // arbitrarily; SGB-Any discovers the hotspot count from ε; SGB-All
     // bounds every group's diameter by ε (useful when "a group" means
     // "users within walking distance of each other").
-    let large_any = any.groups.iter().filter(|g| g.len() >= 50).count();
-    let large_all = all.groups.iter().filter(|g| g.len() >= 50).count();
+    let large_any = any.iter().filter(|g| g.len() >= 50).count();
+    let large_all = all.iter().filter(|g| g.len() >= 50).count();
     println!(
         "\nhotspots with ≥ 50 check-ins: SGB-Any {large_any}, SGB-All {large_all} \
          (cliques bound the group diameter by ε, components do not)"
@@ -88,8 +93,8 @@ fn main() {
     // is the strictest ball, the L∞ square the loosest, so group counts
     // fall (Any/All/DBSCAN/BIRCH) as the ball grows L1 → L2 → L∞. K-means
     // always produces exactly K clusters, so its row counts the clusters
-    // that grew to ≥ 2000 members (above the 1500-point average) — the
-    // part of its output the assignment metric actually moves.
+    // that grew past n/15 members (above the n/20 average) — the part of
+    // its output the assignment metric actually moves.
     println!("\nmetric sweep (same ε, group counts per norm):");
     println!("{:<22} {:>8} {:>8} {:>8}", "method", "L1", "L2", "LINF");
     let mut rows: Vec<(&str, Vec<usize>)> = vec![
@@ -97,15 +102,15 @@ fn main() {
         ("SGB-All JOIN-ANY", Vec::new()),
         ("DBSCAN (minPts=4)", Vec::new()),
         ("BIRCH", Vec::new()),
-        ("K-means ≥2000 members", Vec::new()),
+        ("K-means >=n/15 members", Vec::new()),
     ];
     for metric in [Metric::L1, Metric::L2, Metric::LInf] {
         rows[0]
             .1
-            .push(sgb_any(&points, &SgbAnyConfig::new(eps).metric(metric)).num_groups());
+            .push(SgbQuery::any(eps).metric(metric).run(&points).num_groups());
         rows[1]
             .1
-            .push(sgb_all(&points, &SgbAllConfig::new(eps).metric(metric)).num_groups());
+            .push(SgbQuery::all(eps).metric(metric).run(&points).num_groups());
         rows[2]
             .1
             .push(dbscan(&points, &DbscanConfig::new(eps).min_pts(4).metric(metric)).clusters);
@@ -119,7 +124,9 @@ fn main() {
         for &c in &km.assignment {
             sizes[c] += 1;
         }
-        rows[4].1.push(sizes.iter().filter(|&&s| s >= 2000).count());
+        rows[4]
+            .1
+            .push(sizes.iter().filter(|&&s| s >= n / 15).count());
     }
     for (name, counts) in rows {
         println!(

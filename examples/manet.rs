@@ -6,14 +6,16 @@
 //! candidates (Query 2: SGB-All FORM-NEW-GROUP isolates them).
 //!
 //! ```text
-//! cargo run --example manet
+//! cargo run --example manet [n]
 //! ```
+//!
+//! The optional positional argument overrides the device count (default
+//! 60) — CI runs the example at tiny scale.
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use sgb::core::{sgb_all, sgb_any, OverlapAction, SgbAllConfig, SgbAnyConfig};
-use sgb::geom::{Metric, Point};
-use sgb::relation::{Database, Schema, Table, Value};
+use sgb::relation::{Schema, Table, Value};
+use sgb::{Database, Metric, OverlapAction, Point, SgbQuery};
 
 /// Scatter `n` devices as a few camps plus wanderers between them.
 fn deploy_devices(n: usize, seed: u64) -> Vec<Point<2>> {
@@ -39,23 +41,24 @@ fn deploy_devices(n: usize, seed: u64) -> Vec<Point<2>> {
 }
 
 fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .map(|a| a.parse().expect("n must be an integer"))
+        .unwrap_or(60);
     let signal_range = 3.5;
-    let devices = deploy_devices(60, 7);
+    let devices = deploy_devices(n, 7);
     println!(
         "{} mobile devices, signal range {signal_range}\n",
         devices.len()
     );
 
     // --- Query 1: geographic areas that encompass a MANET (SGB-Any) ----
-    let networks = sgb_any(
-        &devices,
-        &SgbAnyConfig::new(signal_range).metric(Metric::L2),
-    );
+    let networks = SgbQuery::any(signal_range).metric(Metric::L2).run(&devices);
     println!(
         "Query 1 (DISTANCE-TO-ANY): {} connected networks",
         networks.num_groups()
     );
-    for (i, g) in networks.groups.iter().enumerate() {
+    for (i, g) in networks.iter().enumerate() {
         if g.len() < 2 {
             continue;
         }
@@ -76,23 +79,21 @@ fn main() {
     }
 
     // --- Query 2: candidate gateway devices (SGB-All FORM-NEW-GROUP) ---
-    let cfg = SgbAllConfig::new(signal_range)
+    let cliques = SgbQuery::all(signal_range)
         .metric(Metric::L2)
         .overlap(OverlapAction::FormNewGroup)
-        .seed(1);
-    let cliques = sgb_all(&devices, &cfg);
+        .seed(1)
+        .run(&devices);
     // Devices that were re-grouped (deferred out of overlapping cliques)
     // sit between radio groups: ideal gateway candidates. They are exactly
     // the members of groups formed after the first pass — approximate them
     // by comparing against ELIMINATE, whose eliminated set is the paper's
     // overlap set Oset.
-    let eliminate = sgb_all(
-        &devices,
-        &SgbAllConfig::new(signal_range)
-            .metric(Metric::L2)
-            .overlap(OverlapAction::Eliminate)
-            .seed(1),
-    );
+    let eliminate = SgbQuery::all(signal_range)
+        .metric(Metric::L2)
+        .overlap(OverlapAction::Eliminate)
+        .seed(1)
+        .run(&devices);
     println!(
         "\nQuery 2 (DISTANCE-TO-ALL ... ON-OVERLAP FORM-NEW-GROUP): \
          {} radio cliques",
@@ -100,8 +101,8 @@ fn main() {
     );
     println!(
         "  gateway candidates (overlap set Oset): {} devices {:?}",
-        eliminate.eliminated.len(),
-        eliminate.eliminated
+        eliminate.eliminated().len(),
+        eliminate.eliminated()
     );
 
     // --- The same through SQL ------------------------------------------

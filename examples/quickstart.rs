@@ -1,12 +1,12 @@
-//! Quickstart: the two similarity group-by operators on the paper's
-//! running example (Figure 2 / Examples 1 and 2).
+//! Quickstart: the similarity group-by operator family on the paper's
+//! running example (Figure 2 / Examples 1 and 2), driven through the
+//! unified `SgbQuery` builder.
 //!
 //! ```text
 //! cargo run --example quickstart
 //! ```
 
-use sgb::core::{sgb_all, sgb_any, OverlapAction, SgbAllConfig, SgbAnyConfig};
-use sgb::geom::{Metric, Point};
+use sgb::{Metric, OverlapAction, Point, SgbQuery};
 
 fn main() {
     // Figure 2 of the paper: after processing a1..a4 the groups are
@@ -22,7 +22,6 @@ fn main() {
     let names = ["a1", "a2", "a3", "a4", "a5"];
     let render = |grouping: &sgb::Grouping| {
         grouping
-            .groups
             .iter()
             .map(|g| {
                 let members: Vec<&str> = g.iter().map(|&r| names[r]).collect();
@@ -34,27 +33,27 @@ fn main() {
 
     println!("Input: a1(1,7) a2(2,6) a3(6,2) a4(7,1) a5(4,4), ε = 3, L∞\n");
 
-    // SGB-All with the three ON-OVERLAP semantics (Example 1).
+    // SGB-All with the three ON-OVERLAP semantics (Example 1): one
+    // builder, one knob per clause.
     for overlap in [
         OverlapAction::JoinAny,
         OverlapAction::Eliminate,
         OverlapAction::FormNewGroup,
     ] {
-        let cfg = SgbAllConfig::new(3.0)
+        let out = SgbQuery::all(3.0)
             .metric(Metric::LInf)
             .overlap(overlap)
-            .seed(42);
-        let out = sgb_all(&points, &cfg);
-        let counts: Vec<usize> = out.sizes();
+            .seed(42)
+            .run(&points);
         println!(
             "SGB-All ON-OVERLAP {:<15} groups: {}  count(*) = {:?}{}",
             overlap.sql_keyword(),
             render(&out),
-            counts,
-            if out.eliminated.is_empty() {
+            out.sizes(),
+            if out.eliminated().is_empty() {
                 String::new()
             } else {
-                let dropped: Vec<&str> = out.eliminated.iter().map(|&r| names[r]).collect();
+                let dropped: Vec<&str> = out.eliminated().iter().map(|&r| names[r]).collect();
                 format!("  eliminated: {dropped:?}")
             }
         );
@@ -62,11 +61,16 @@ fn main() {
 
     // SGB-Any (Example 2): a5 bridges both groups, so everything merges
     // and the query output is {5}.
-    let out = sgb_any(&points, &SgbAnyConfig::new(3.0).metric(Metric::LInf));
+    let out = SgbQuery::any(3.0).metric(Metric::LInf).run(&points);
     println!(
         "\nSGB-Any                         groups: {}  count(*) = {:?}",
         render(&out),
         out.sizes()
+    );
+    println!(
+        "  (executed via {}: {})",
+        out.resolved_algorithm(),
+        out.selection_reason()
     );
 
     // The same statements through SQL.

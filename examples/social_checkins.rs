@@ -7,16 +7,24 @@
 //! leak information between them).
 //!
 //! ```text
-//! cargo run --example social_checkins
+//! cargo run --example social_checkins [n]
 //! ```
+//!
+//! The optional positional argument overrides the check-in count (default
+//! 4000) — CI runs the example at tiny scale.
 
 use sgb::datagen::CheckinConfig;
-use sgb::relation::{Database, Schema, Table, Value};
+use sgb::relation::{Schema, Table, Value};
+use sgb::{Database, SessionOptions};
 
 fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .map(|a| a.parse().expect("n must be an integer"))
+        .unwrap_or(4_000);
     // A small Brightkite-like snapshot of user check-ins.
-    let data = CheckinConfig::brightkite_like(4_000).seed(11).generate();
-    println!("{} check-ins from {} users", data.len(), 4_000 / 12);
+    let data = CheckinConfig::brightkite_like(n).seed(11).generate();
+    println!("{} check-ins from {} users", data.len(), n / 12);
 
     // users_frequent_location(user_id, lat, lon): one row per user — the
     // centroid of their check-ins (their "frequent location").
@@ -38,7 +46,9 @@ fn main() {
             .unwrap();
     }
     println!("{} users with a frequent location\n", table.len());
-    let mut db = Database::new();
+    // A pinned JOIN-ANY seed makes the privacy comparison reproducible:
+    // session options are typed and set once, at construction.
+    let mut db = Database::with_options(SessionOptions::new().with_seed(11));
     db.register("users_frequent_location", table);
 
     // Query 3 with the three ON-OVERLAP semantics. list_id is the paper's

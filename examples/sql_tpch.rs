@@ -3,17 +3,24 @@
 //! and run the GB/SGB query pairs.
 //!
 //! ```text
-//! cargo run --release --example sql_tpch
+//! cargo run --release --example sql_tpch [density]
 //! ```
+//!
+//! The optional positional argument overrides the generator density
+//! (default 0.005) — CI runs the example at tiny scale.
 
 use sgb::datagen::TpchConfig;
-use sgb::relation::Database;
+use sgb::{Algorithm, Database, SessionOptions};
 use std::time::Instant;
 
 fn main() {
-    let data = TpchConfig::new(1.0).density(0.005).generate();
+    let density: f64 = std::env::args()
+        .nth(1)
+        .map(|a| a.parse().expect("density must be a number"))
+        .unwrap_or(0.005);
+    let data = TpchConfig::new(1.0).density(density).generate();
     println!(
-        "TPC-H-like data @ SF 1 (density 0.005): customer={}, orders={}, lineitem={}, \
+        "TPC-H-like data @ SF 1 (density {density}): customer={}, orders={}, lineitem={}, \
          supplier={}, partsupp={}\n",
         data.customer.len(),
         data.orders.len(),
@@ -21,7 +28,9 @@ fn main() {
         data.supplier.len(),
         data.partsupp.len()
     );
-    let mut db = Database::new();
+    // Session options are typed and set once at construction: a pinned
+    // JOIN-ANY seed for reproducible SGB1 output.
+    let mut db = Database::with_options(SessionOptions::new().with_seed(0x5EED));
     data.register_all(&mut db);
 
     // The plan of an SGB query: the similarity group-by is a first-class
@@ -35,6 +44,14 @@ fn main() {
                 GROUP BY ab / 11000.0, tp / 3000000.0 \
                 DISTANCE-TO-ALL L2 WITHIN 0.2 ON-OVERLAP JOIN-ANY";
     println!("EXPLAIN SGB1:\n{}", db.explain(sgb1).unwrap());
+    // One mutable session surface: pin the SGB-All path and EXPLAIN again —
+    // the plan records that the session, not the cost model, chose it.
+    db.session_mut().all_algorithm = Algorithm::BoundsChecking;
+    println!(
+        "EXPLAIN SGB1 (session pins BoundsChecking):\n{}",
+        db.explain(sgb1).unwrap()
+    );
+    db.session_mut().all_algorithm = Algorithm::Auto;
 
     let run = |db: &Database, name: &str, sql: &str| {
         let start = Instant::now();

@@ -8,36 +8,39 @@
 //!
 //! | crate | contents |
 //! |---|---|
-//! | [`sgb_core`] | the SGB-All / SGB-Any / SGB-Around operators and the cost-based `Auto` algorithm selection (the paper lineage's contribution) |
+//! | [`sgb_core`] | the SGB-All / SGB-Any / SGB-Around operators behind the unified [`SgbQuery`] surface, plus the cost-based `Auto` algorithm selection (the paper lineage's contribution) |
 //! | [`sgb_geom`] | points, rectangles, the `L1`/`L2`/`L∞` metrics, convex hulls |
 //! | [`sgb_spatial`] | the on-the-fly R-tree (STR bulk loading) and the uniform ε-grid |
 //! | [`sgb_dsu`] | Union-Find for group merging |
 //! | [`sgb_cluster`] | K-means / DBSCAN / BIRCH baselines |
-//! | [`sgb_relation`] | the mini SQL engine with the `DISTANCE-TO-ALL` / `DISTANCE-TO-ANY` / `AROUND` grammar |
+//! | [`sgb_relation`] | the mini SQL engine with the `DISTANCE-TO-ALL` / `DISTANCE-TO-ANY` / `AROUND` grammar and typed [`SessionOptions`] |
 //! | [`sgb_datagen`] | TPC-H-like, check-in, and synthetic workload generators |
+//!
+//! The whole operator family is driven through **three unified types**:
+//! one [`SgbQuery`] builder (`::all` / `::any` / `::around`), one
+//! [`Algorithm`] selector, and one [`Grouping`] result.
 //!
 //! ## Quickstart
 //!
 //! ```
-//! use sgb::core::{sgb_all, sgb_any, SgbAllConfig, SgbAnyConfig};
-//! use sgb::geom::Point;
+//! use sgb::{Point, SgbQuery};
 //!
 //! let pts: Vec<Point<2>> = vec![
 //!     Point::new([1.0, 1.0]),
 //!     Point::new([1.5, 1.2]),
 //!     Point::new([5.0, 5.0]),
 //! ];
-//! assert_eq!(sgb_all(&pts, &SgbAllConfig::new(1.0)).num_groups(), 2);
-//! assert_eq!(sgb_any(&pts, &SgbAnyConfig::new(1.0)).num_groups(), 2);
+//! // ε-cliques and connected components from the same builder:
+//! assert_eq!(SgbQuery::all(1.0).run(&pts).num_groups(), 2);
+//! assert_eq!(SgbQuery::any(1.0).run(&pts).num_groups(), 2);
 //! ```
 //!
 //! Or grouped *around* query-supplied centers (SGB-Around, the
 //! order-independent family member), with a radius bound that sends
-//! far-away records to an explicit outlier group:
+//! far-away records to an explicit outlier set:
 //!
 //! ```
-//! use sgb::core::{sgb_around, SgbAroundConfig};
-//! use sgb::geom::Point;
+//! use sgb::{Point, SgbQuery};
 //!
 //! let pts: Vec<Point<2>> = vec![
 //!     Point::new([1.0, 1.0]),
@@ -45,15 +48,28 @@
 //!     Point::new([5.0, 5.0]),
 //! ];
 //! let centers = vec![Point::new([1.0, 1.0]), Point::new([9.0, 9.0])];
-//! let out = sgb_around(&pts, &SgbAroundConfig::new(centers).max_radius(2.0));
-//! assert_eq!(out.groups, vec![vec![0, 1], vec![]]);
-//! assert_eq!(out.outliers, vec![2]); // (5, 5) is > 2 from both centers
+//! let out = SgbQuery::around(centers).max_radius(2.0).run(&pts);
+//! assert_eq!(out.groups(), &[vec![0, 1]]); // the far center stays empty
+//! assert_eq!(out.outliers(), &[2]); // (5, 5) is > 2 from both centers
 //! ```
 //!
-//! Or through SQL:
+//! Every run reports which execution path the cost model picked and why —
+//! the same story `EXPLAIN` tells at the SQL layer:
 //!
 //! ```
-//! use sgb::relation::Database;
+//! use sgb::{Algorithm, Point, SgbQuery};
+//!
+//! let pts = vec![Point::new([0.0, 0.0]), Point::new([1.0, 1.0])];
+//! let out = SgbQuery::any(0.5).run(&pts);
+//! assert_eq!(out.resolved_algorithm(), Algorithm::AllPairs); // tiny input
+//! assert!(out.selection_reason().contains("n = 2"));
+//! ```
+//!
+//! Or through SQL, with the session's engine options typed as
+//! [`SessionOptions`]:
+//!
+//! ```
+//! use sgb::{Algorithm, Database};
 //!
 //! let mut db = Database::new();
 //! db.execute("CREATE TABLE p (x DOUBLE, y DOUBLE)").unwrap();
@@ -67,6 +83,12 @@
 //!     .execute("SELECT count(*) FROM p GROUP BY x, y AROUND ((1, 1), (5, 5)) WITHIN 2")
 //!     .unwrap();
 //! assert_eq!(around.len(), 2);
+//! // One mutable surface for the engine options:
+//! db.session_mut().any_algorithm = Algorithm::Grid;
+//! let plan = db
+//!     .explain("SELECT count(*) FROM p GROUP BY x, y DISTANCE-TO-ANY L2 WITHIN 1")
+//!     .unwrap();
+//! assert!(plan.contains("path: Grid; pinned by session options"));
 //! ```
 
 /// Clustering baselines (K-means, DBSCAN, BIRCH).
@@ -84,10 +106,11 @@ pub use sgb_relation as relation;
 /// The R-tree spatial index.
 pub use sgb_spatial as spatial;
 
-pub use sgb_core::{
-    sgb_all, sgb_any, sgb_around, AllAlgorithm, AnyAlgorithm, AroundAlgorithm, AroundGrouping,
-    Grouping, OverlapAction, SgbAll, SgbAllConfig, SgbAny, SgbAnyConfig, SgbAround,
-    SgbAroundConfig,
-};
+// The unified operator surface: one builder, one algorithm selector, one
+// result type — the only way the root crate exposes algorithm selection
+// and answer sets. (The per-operator execution layer stays reachable
+// through the `core` module re-export for benchmarking and migration.)
+pub use sgb_core::query::{Grouping, SgbQuery, SgbStream};
+pub use sgb_core::{Algorithm, OverlapAction};
 pub use sgb_geom::{Metric, Point, Point2, Point3, Rect};
-pub use sgb_relation::Database;
+pub use sgb_relation::{Database, SessionOptions};

@@ -1,0 +1,195 @@
+//! Property-based proof that the unified `SgbQuery` surface is
+//! **bit-identical** to the legacy per-operator entry points
+//! (`sgb_all` / `sgb_any` / `sgb_around` with their `Sgb*Config` types)
+//! for random point sets and every knob combination: metric, algorithm,
+//! overlap semantics, seed, and radius bound. The query builder is a pure
+//! re-surfacing of the execution layer — it must never change a grouping,
+//! only how it is spelled.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use sgb::core::{
+    sgb_all, sgb_any, sgb_around, OverlapAction, SgbAllConfig, SgbAnyConfig, SgbAroundConfig,
+};
+use sgb::{Algorithm, Metric, Point, SgbQuery};
+
+fn arb_point() -> impl Strategy<Value = Point<2>> {
+    (0.0f64..8.0, 0.0f64..8.0).prop_map(|(x, y)| Point::new([x, y]))
+}
+
+fn arb_metric() -> impl Strategy<Value = Metric> {
+    prop_oneof![Just(Metric::L1), Just(Metric::L2), Just(Metric::LInf)]
+}
+
+fn arb_overlap() -> impl Strategy<Value = OverlapAction> {
+    prop_oneof![
+        Just(OverlapAction::JoinAny),
+        Just(OverlapAction::Eliminate),
+        Just(OverlapAction::FormNewGroup),
+    ]
+}
+
+/// Every unified algorithm applicable to SGB-All.
+fn arb_all_algorithm() -> impl Strategy<Value = Algorithm> {
+    prop_oneof![
+        Just(Algorithm::Auto),
+        Just(Algorithm::AllPairs),
+        Just(Algorithm::BoundsChecking),
+        Just(Algorithm::Indexed),
+        Just(Algorithm::Grid),
+    ]
+}
+
+/// Every unified algorithm applicable to SGB-Any / SGB-Around.
+fn arb_scan_algorithm() -> impl Strategy<Value = Algorithm> {
+    prop_oneof![
+        Just(Algorithm::Auto),
+        Just(Algorithm::AllPairs),
+        Just(Algorithm::Indexed),
+        Just(Algorithm::Grid),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// SGB-All: `SgbQuery::all(…).run()` reproduces `sgb_all` exactly —
+    /// same groups in the same order with the same members, same
+    /// eliminated set — for every metric × algorithm × overlap × seed.
+    #[test]
+    fn all_query_is_bit_identical_to_legacy(
+        points in vec(arb_point(), 0..150),
+        eps in 0.05f64..2.0,
+        metric in arb_metric(),
+        algorithm in arb_all_algorithm(),
+        overlap in arb_overlap(),
+        seed in any::<u64>(),
+    ) {
+        let new = SgbQuery::all(eps)
+            .metric(metric)
+            .algorithm(algorithm)
+            .overlap(overlap)
+            .seed(seed)
+            .run(&points);
+        let old = sgb_all(
+            &points,
+            &SgbAllConfig::new(eps)
+                .metric(metric)
+                .algorithm(algorithm.for_all())
+                .overlap(overlap)
+                .seed(seed),
+        );
+        prop_assert_eq!(new.groups(), old.groups.as_slice());
+        prop_assert_eq!(new.eliminated(), old.eliminated.as_slice());
+        prop_assert!(new.outliers().is_empty());
+        prop_assert_ne!(new.resolved_algorithm(), Algorithm::Auto);
+    }
+
+    /// SGB-Any: `SgbQuery::any(…).run()` reproduces `sgb_any` exactly,
+    /// and the unified stream reproduces the legacy streaming operator.
+    #[test]
+    fn any_query_and_stream_are_bit_identical_to_legacy(
+        points in vec(arb_point(), 0..200),
+        eps in 0.0f64..2.0,
+        metric in arb_metric(),
+        algorithm in arb_scan_algorithm(),
+    ) {
+        let cfg = SgbAnyConfig::new(eps)
+            .metric(metric)
+            .algorithm(algorithm.for_any().unwrap());
+        let old = sgb_any(&points, &cfg);
+        let new = SgbQuery::any(eps)
+            .metric(metric)
+            .algorithm(algorithm)
+            .run(&points);
+        prop_assert_eq!(new.groups(), old.groups.as_slice());
+        prop_assert!(new.eliminated().is_empty());
+
+        // Streaming path: same components, same resolved strategy as the
+        // legacy streaming operator under the same configuration.
+        let mut legacy = sgb::core::SgbAny::new(cfg);
+        let mut stream = SgbQuery::any(eps)
+            .metric(metric)
+            .algorithm(algorithm)
+            .stream();
+        prop_assert_eq!(
+            stream.resolved_algorithm(),
+            Algorithm::from(legacy.resolved_algorithm())
+        );
+        for p in &points {
+            legacy.push(*p);
+            stream.push(*p);
+        }
+        let streamed = stream.finish();
+        let legacy_out = legacy.finish();
+        prop_assert_eq!(streamed.groups(), legacy_out.groups.as_slice());
+    }
+
+    /// SGB-Around: the unified result carries the legacy grouping's
+    /// non-empty center groups (in center order) plus the same outlier
+    /// set, and the flattened output shape equals the legacy SQL shape.
+    #[test]
+    fn around_query_is_bit_identical_to_legacy(
+        points in vec(arb_point(), 0..120),
+        centers in vec(arb_point(), 1..24),
+        metric in arb_metric(),
+        algorithm in arb_scan_algorithm(),
+        radius in prop_oneof![Just(None), (0.0f64..4.0).prop_map(Some)],
+    ) {
+        let mut cfg = SgbAroundConfig::new(centers.clone())
+            .metric(metric)
+            .algorithm(algorithm.for_around().unwrap());
+        let mut query = SgbQuery::around(centers.clone())
+            .metric(metric)
+            .algorithm(algorithm);
+        if let Some(r) = radius {
+            cfg = cfg.max_radius(r);
+            query = query.max_radius(r);
+        }
+        let old = sgb_around(&points, &cfg);
+        let new = query.run(&points);
+
+        let old_nonempty: Vec<Vec<usize>> = old
+            .groups
+            .iter()
+            .filter(|g| !g.is_empty())
+            .cloned()
+            .collect();
+        prop_assert_eq!(new.groups(), old_nonempty.as_slice());
+        prop_assert_eq!(new.outliers(), old.outliers.as_slice());
+        prop_assert!(new.eliminated().is_empty());
+        new.check_partition(points.len());
+
+        // The relational output shape (outliers appended as the trailing
+        // group) equals the legacy conversion used by the SQL executor.
+        let flat: Vec<&[usize]> = new.output_groups().collect();
+        let legacy_flat = old.grouping();
+        let legacy_groups: Vec<&[usize]> =
+            legacy_flat.groups.iter().map(Vec::as_slice).collect();
+        prop_assert_eq!(flat, legacy_groups);
+    }
+
+    /// The builder's knob plumbing is faithful end to end: a query run
+    /// under an explicitly pinned algorithm reports that algorithm with
+    /// the "configured explicitly" reason, and `Auto` always resolves to
+    /// a concrete path whose grouping equals every other path's.
+    #[test]
+    fn resolution_metadata_is_consistent(
+        points in vec(arb_point(), 0..100),
+        eps in 0.05f64..1.5,
+        metric in arb_metric(),
+    ) {
+        let auto = SgbQuery::any(eps).metric(metric).run(&points);
+        prop_assert_ne!(auto.resolved_algorithm(), Algorithm::Auto);
+        for algorithm in [Algorithm::AllPairs, Algorithm::Indexed, Algorithm::Grid] {
+            let pinned = SgbQuery::any(eps)
+                .metric(metric)
+                .algorithm(algorithm)
+                .run(&points);
+            prop_assert_eq!(pinned.resolved_algorithm(), algorithm);
+            prop_assert_eq!(pinned.selection_reason(), "configured explicitly");
+            prop_assert_eq!(&auto, &pinned);
+        }
+    }
+}

@@ -178,7 +178,7 @@ fn date_range_filter_matches_manual_count() {
 
 #[test]
 fn engine_algorithm_setting_changes_plan_not_result() {
-    use sgb::core::{AllAlgorithm, AnyAlgorithm};
+    use sgb::Algorithm;
     // ε is chosen off the data's value grid (acctbal cents / 11000,
     // nationkey / 25): distances that tie with ε only up to floating-point
     // rounding may legitimately be arbitrated differently by the rectangle
@@ -189,12 +189,12 @@ fn engine_algorithm_setting_changes_plan_not_result() {
                DISTANCE-TO-ALL LINF WITHIN 0.0777 ON-OVERLAP ELIMINATE";
     let mut results = Vec::new();
     for algo in [
-        AllAlgorithm::AllPairs,
-        AllAlgorithm::BoundsChecking,
-        AllAlgorithm::Indexed,
+        Algorithm::AllPairs,
+        Algorithm::BoundsChecking,
+        Algorithm::Indexed,
     ] {
         let mut db = small_db();
-        db.set_sgb_all_algorithm(algo);
+        db.session_mut().all_algorithm = algo;
         results.push(db.query(sql).unwrap().sorted());
     }
     assert_eq!(results[0], results[1]);
@@ -204,9 +204,9 @@ fn engine_algorithm_setting_changes_plan_not_result() {
                    GROUP BY c_acctbal / 11000.0, c_nationkey / 25.0 \
                    DISTANCE-TO-ANY LINF WITHIN 0.04";
     let mut results = Vec::new();
-    for algo in [AnyAlgorithm::AllPairs, AnyAlgorithm::Indexed] {
+    for algo in [Algorithm::AllPairs, Algorithm::Indexed] {
         let mut db = small_db();
-        db.set_sgb_any_algorithm(algo);
+        db.session_mut().any_algorithm = algo;
         results.push(db.query(any_sql).unwrap().sorted());
     }
     assert_eq!(results[0], results[1]);
