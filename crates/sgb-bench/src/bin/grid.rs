@@ -8,14 +8,16 @@
 //! accumulates a perf trajectory for the grid engine.
 //!
 //! ```text
-//! grid [--scale f] [--out path]
+//! grid [--scale f] [--out path] [--threads n]
 //! ```
 //!
 //! By default the report is written to `BENCH_grid.json` at the repository
 //! root (resolved relative to this crate's manifest) and a human-readable
-//! table goes to stderr. Every sweep point asserts that all algorithms
-//! agree on the answer-group count, so a full run doubles as an
-//! equivalence check.
+//! table goes to stderr. `--threads` overrides the worker count for the
+//! main sweeps (0 = auto); a dedicated `threads` sweep always measures the
+//! parallel grid paths at 1/2/4 workers. Every sweep point asserts that
+//! all algorithms — and all thread counts — agree on the answer-group
+//! count, so a full run doubles as an equivalence check.
 
 use std::process::ExitCode;
 
@@ -31,23 +33,23 @@ fn main() -> ExitCode {
     let cli = match parse_bench_cli(std::env::args().skip(1)) {
         Ok(cli) if cli.positional.is_none() => cli,
         _ => {
-            eprintln!("usage: grid [--scale f] [--out path]");
+            eprintln!("usage: grid [--scale f] [--out path] [--threads n]");
             return ExitCode::FAILURE;
         }
     };
     let out_path = cli.out.unwrap_or_else(default_out);
 
-    let rows = grid_comparison(cli.scale);
+    let rows = grid_comparison(cli.scale, cli.threads);
 
     eprintln!("# grid engine vs indexed vs scan (Auto = cost-based selection)");
     eprintln!(
-        "{:<12} {:<8} {:>8} {:>8} {:<15} {:>10} {:>8}",
-        "op", "sweep", "x", "n", "algorithm", "seconds", "groups"
+        "{:<12} {:<8} {:>8} {:>8} {:<15} {:>8} {:>10} {:>8}",
+        "op", "sweep", "x", "n", "algorithm", "threads", "seconds", "groups"
     );
     for r in &rows {
         eprintln!(
-            "{:<12} {:<8} {:>8} {:>8} {:<15} {:>10.4} {:>8}",
-            r.op, r.sweep, r.x, r.n, r.algorithm, r.seconds, r.groups
+            "{:<12} {:<8} {:>8} {:>8} {:<15} {:>8} {:>10.4} {:>8}",
+            r.op, r.sweep, r.x, r.n, r.algorithm, r.threads, r.seconds, r.groups
         );
     }
 
@@ -55,8 +57,8 @@ fn main() -> ExitCode {
     for r in &rows {
         report.push_row(format!(
             "{{\"op\": \"{}\", \"sweep\": \"{}\", \"x\": {}, \"n\": {}, \
-             \"algorithm\": \"{}\", \"seconds\": {:.6}, \"groups\": {}}}",
-            r.op, r.sweep, r.x, r.n, r.algorithm, r.seconds, r.groups
+             \"algorithm\": \"{}\", \"threads\": {}, \"seconds\": {:.6}, \"groups\": {}}}",
+            r.op, r.sweep, r.x, r.n, r.algorithm, r.threads, r.seconds, r.groups
         ));
     }
     if let Err(e) = report.write(&out_path) {

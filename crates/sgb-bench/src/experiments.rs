@@ -634,10 +634,13 @@ pub struct GridBenchRow {
     pub n: usize,
     /// Algorithm label (concrete algorithms plus `"Auto"`).
     pub algorithm: &'static str,
+    /// Worker threads the run actually executed on (resolved by the cost
+    /// model when the override is 0 = auto).
+    pub threads: usize,
     /// Wall-clock seconds for one run.
     pub seconds: f64,
     /// Number of answer groups — the sanity anchor: fixed per sweep point
-    /// across algorithms (asserted by the runner).
+    /// across algorithms *and thread counts* (asserted by the runner).
     pub groups: usize,
 }
 
@@ -645,9 +648,13 @@ pub struct GridBenchRow {
 /// R-tree-indexed paths vs the scan baselines for all three operators,
 /// over input-cardinality and ε / center-count sweeps, with an `Auto` row
 /// per sweep point showing the cost model tracking the per-configuration
-/// winner. Every sweep point asserts that all algorithms agree on the
-/// answer-group count. Returns the row set.
-pub fn grid_comparison(scale: f64) -> Vec<GridBenchRow> {
+/// winner, plus a worker-thread sweep over the two parallelisable grid
+/// paths (SGB-Any's sharded ε-join and SGB-Around's chunked assignment).
+/// `threads` overrides the worker count for the main sweeps (0 = auto).
+/// Every sweep point asserts that all algorithms — and, in the thread
+/// sweep, all thread counts — agree on the answer-group count. Returns
+/// the row set.
+pub fn grid_comparison(scale: f64, threads: usize) -> Vec<GridBenchRow> {
     let mut rows = Vec::new();
 
     const ALL_ALGOS: [(&str, Algorithm); 5] = [
@@ -676,7 +683,10 @@ pub fn grid_comparison(scale: f64) -> Vec<GridBenchRow> {
         let points = fig9_workload(n, 0x0F19);
         let mut sanity = Vec::new();
         for (name, algo) in ALL_ALGOS {
-            let query = SgbQuery::all(eps).metric(Metric::L2).algorithm(algo);
+            let query = SgbQuery::all(eps)
+                .metric(Metric::L2)
+                .algorithm(algo)
+                .threads(threads);
             let (out, secs) = time(|| query.run(&points));
             eprintln!(
                 "#   grid sgb-all {sweep}={x} {name}: {secs:.4}s ({} groups)",
@@ -689,6 +699,7 @@ pub fn grid_comparison(scale: f64) -> Vec<GridBenchRow> {
                 x,
                 n,
                 algorithm: name,
+                threads: out.threads(),
                 seconds: secs,
                 groups: out.num_groups(),
             });
@@ -699,7 +710,10 @@ pub fn grid_comparison(scale: f64) -> Vec<GridBenchRow> {
         );
         let mut sanity = Vec::new();
         for (name, algo) in ANY_ALGOS {
-            let query = SgbQuery::any(eps).metric(Metric::L2).algorithm(algo);
+            let query = SgbQuery::any(eps)
+                .metric(Metric::L2)
+                .algorithm(algo)
+                .threads(threads);
             let (out, secs) = time(|| query.run(&points));
             eprintln!(
                 "#   grid sgb-any {sweep}={x} {name}: {secs:.4}s ({} groups)",
@@ -712,6 +726,7 @@ pub fn grid_comparison(scale: f64) -> Vec<GridBenchRow> {
                 x,
                 n,
                 algorithm: name,
+                threads: out.threads(),
                 seconds: secs,
                 groups: out.num_groups(),
             });
@@ -746,7 +761,8 @@ pub fn grid_comparison(scale: f64) -> Vec<GridBenchRow> {
         for (name, algo) in AROUND_ALGOS {
             let query = SgbQuery::around(centers.clone())
                 .max_radius(0.03)
-                .algorithm(algo);
+                .algorithm(algo)
+                .threads(threads);
             let (out, secs) = time(|| query.run(&points));
             eprintln!(
                 "#   grid sgb-around centers={centers_n_scaled} {name}: {secs:.4}s \
@@ -761,6 +777,7 @@ pub fn grid_comparison(scale: f64) -> Vec<GridBenchRow> {
                 x: centers_n_scaled as f64,
                 n: n_around,
                 algorithm: name,
+                threads: out.threads(),
                 seconds: secs,
                 groups: out.num_groups(),
             });
@@ -770,6 +787,71 @@ pub fn grid_comparison(scale: f64) -> Vec<GridBenchRow> {
             "SGB-Around algorithms disagree at centers={centers_n_scaled}: {sanity:?}"
         );
     }
+
+    // Sweep 4: worker threads over the two parallelisable grid paths at
+    // the largest cardinality — the scaling axis of the parallel engine.
+    // Explicit thread counts always win over auto resolution, so these
+    // rows measure exactly 1/2/4 workers regardless of the machine.
+    let n_threads = scaled(20_000, scale);
+    let points = fig9_workload(n_threads, 0x0F19);
+    let (around_points, around_centers) = clustered_points_with_centers::<2>(
+        n_threads,
+        scaled(64, scale).min(n_threads),
+        0.01,
+        0xA401,
+    );
+    let mut any_sanity = Vec::new();
+    let mut around_sanity = Vec::new();
+    for t in [1usize, 2, 4] {
+        let query = SgbQuery::any(0.3)
+            .metric(Metric::L2)
+            .algorithm(Algorithm::Grid)
+            .threads(t);
+        let (out, secs) = time(|| query.run(&points));
+        eprintln!(
+            "#   grid sgb-any threads={t} Grid: {secs:.4}s ({} groups)",
+            out.num_groups()
+        );
+        any_sanity.push(out.num_groups());
+        rows.push(GridBenchRow {
+            op: "sgb-any",
+            sweep: "threads",
+            x: t as f64,
+            n: n_threads,
+            algorithm: "Grid",
+            threads: out.threads(),
+            seconds: secs,
+            groups: out.num_groups(),
+        });
+        let query = SgbQuery::around(around_centers.clone())
+            .max_radius(0.03)
+            .algorithm(Algorithm::Grid)
+            .threads(t);
+        let (out, secs) = time(|| query.run(&around_points));
+        eprintln!(
+            "#   grid sgb-around threads={t} Grid: {secs:.4}s ({} occupied)",
+            out.num_groups()
+        );
+        around_sanity.push(out.num_groups());
+        rows.push(GridBenchRow {
+            op: "sgb-around",
+            sweep: "threads",
+            x: t as f64,
+            n: n_threads,
+            algorithm: "Grid",
+            threads: out.threads(),
+            seconds: secs,
+            groups: out.num_groups(),
+        });
+    }
+    assert!(
+        any_sanity.windows(2).all(|w| w[0] == w[1]),
+        "SGB-Any thread counts disagree: {any_sanity:?}"
+    );
+    assert!(
+        around_sanity.windows(2).all(|w| w[0] == w[1]),
+        "SGB-Around thread counts disagree: {around_sanity:?}"
+    );
     rows
 }
 
@@ -949,10 +1031,20 @@ mod tests {
 
     #[test]
     fn grid_comparison_smoke() {
-        let rows = grid_comparison(0.01);
+        let rows = grid_comparison(0.01, 0);
         // (4 n-points + 3 eps-points) × (5 All + 4 Any algorithms)
-        // + 5 center-points × 4 Around algorithms.
-        assert_eq!(rows.len(), 7 * 9 + 5 * 4);
+        // + 5 center-points × 4 Around algorithms
+        // + 3 thread-counts × 2 parallelisable grid paths.
+        assert_eq!(rows.len(), 7 * 9 + 5 * 4 + 6);
+        // The thread sweep pins explicit worker counts (1, 2, 4) and the
+        // auto-resolved rows report the threads they actually ran on.
+        let thread_rows: Vec<&GridBenchRow> =
+            rows.iter().filter(|r| r.sweep == "threads").collect();
+        assert_eq!(thread_rows.len(), 6);
+        for r in &thread_rows {
+            assert_eq!(r.threads, r.x as usize, "{r:?}");
+        }
+        assert!(rows.iter().all(|r| r.threads >= 1));
         for op in ["sgb-all", "sgb-any", "sgb-around"] {
             assert!(rows.iter().any(|r| r.op == op), "{op}");
             assert!(

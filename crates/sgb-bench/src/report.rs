@@ -12,7 +12,8 @@
 
 use std::fmt::Write as _;
 
-/// Parsed common benchmark CLI: `[positional] [--scale f] [--out path]`.
+/// Parsed common benchmark CLI:
+/// `[positional] [--scale f] [--out path] [--threads n]`.
 #[derive(Clone, Debug, PartialEq)]
 pub struct BenchCli {
     /// Workload multiplier (`--scale`), validated by
@@ -20,6 +21,9 @@ pub struct BenchCli {
     pub scale: f64,
     /// Output path override (`--out`), when the binary writes a report.
     pub out: Option<String>,
+    /// Worker-thread override (`--threads`, 0 = auto) for binaries with
+    /// parallel execution paths. Defaults to `0`.
+    pub threads: usize,
     /// First free-standing argument (the `paper` binary's experiment
     /// name); at most one is accepted.
     pub positional: Option<String>,
@@ -32,6 +36,7 @@ pub fn parse_bench_cli(args: impl IntoIterator<Item = String>) -> Result<BenchCl
     let mut cli = BenchCli {
         scale: 1.0,
         out: None,
+        threads: 0,
         positional: None,
     };
     let mut i = 0;
@@ -49,6 +54,13 @@ pub fn parse_bench_cli(args: impl IntoIterator<Item = String>) -> Result<BenchCl
                     return Err("--out requires a path".into());
                 };
                 cli.out = Some(p.clone());
+                i += 2;
+            }
+            "--threads" => {
+                let Some(t) = args.get(i + 1).and_then(|s| s.parse::<usize>().ok()) else {
+                    return Err("--threads requires a non-negative integer".into());
+                };
+                cli.threads = t;
                 i += 2;
             }
             "--help" | "-h" => return Err("help requested".into()),
@@ -253,17 +265,29 @@ mod tests {
 
     #[test]
     fn cli_parses_flags_and_positional() {
-        let cli =
-            parse_bench_cli(["fig9a", "--scale", "0.5", "--out", "/tmp/x.json"].map(String::from))
-                .unwrap();
+        let cli = parse_bench_cli(
+            [
+                "fig9a",
+                "--scale",
+                "0.5",
+                "--out",
+                "/tmp/x.json",
+                "--threads",
+                "4",
+            ]
+            .map(String::from),
+        )
+        .unwrap();
         assert_eq!(cli.positional.as_deref(), Some("fig9a"));
         assert_eq!(cli.scale, 0.5);
         assert_eq!(cli.out.as_deref(), Some("/tmp/x.json"));
+        assert_eq!(cli.threads, 4);
         assert_eq!(
             parse_bench_cli([] as [String; 0]).unwrap(),
             BenchCli {
                 scale: 1.0,
                 out: None,
+                threads: 0,
                 positional: None
             }
         );
@@ -272,6 +296,8 @@ mod tests {
             vec!["--scale", "inf"],
             vec!["--scale", "0"],
             vec!["--out"],
+            vec!["--threads"],
+            vec!["--threads", "-1"],
             vec!["--bogus"],
             vec!["a", "b"],
         ] {

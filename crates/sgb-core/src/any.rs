@@ -22,7 +22,13 @@
 //! R-tree, one pass for the grid) instead of paying insert-at-a-time
 //! construction, and probes each point against the full index — the
 //! ε-graph is symmetric, so restricting unions to earlier neighbours
-//! yields exactly the streaming components.
+//! yields exactly the streaming components. On the grid path the ε-join
+//! can further run **sharded across worker threads** (see
+//! [`SgbAnyConfig::threads`]): cells partition by hashed key, each worker
+//! unions its shard's close pairs into a private forest, and the forests
+//! fold with [`DisjointSet::merge_from`] — connectivity depends only on
+//! the union of the edge sets, so the result is bit-identical to the
+//! sequential join.
 
 use sgb_dsu::DisjointSet;
 use sgb_geom::Point;
@@ -244,18 +250,51 @@ pub fn sgb_any<const D: usize>(points: &[Point<D>], cfg: &SgbAnyConfig) -> Group
             }
         }
         AnyAlgorithm::Grid => {
-            // The batch ε-join: each candidate pair surfaces exactly once
-            // from the neighbour-cell scan (a constant number of hash
-            // lookups per occupied cell), verified canonically, unioned.
+            // The batch ε-join: each close pair surfaces exactly once from
+            // the neighbour-cell scan (a constant number of hash lookups
+            // per occupied cell), verified with the exact `Metric::within`
+            // arithmetic, unioned.
             let index: Grid<D, RecordId> = Grid::from_points(
                 Grid::<D, RecordId>::side_for_eps(eps),
                 points.iter().enumerate().map(|(i, p)| (*p, i)),
             );
-            index.for_each_close_pair(eps, metric, |p, &i, q, &j| {
-                if metric.within(p, q, eps) {
+            let (threads, _) = cost::threads_for_any(AnyAlgorithm::Grid, cfg.threads, points.len());
+            if threads <= 1 {
+                index.for_each_pair_within(eps, metric, |&i, &j| {
                     dsu.union(i, j);
+                });
+            } else {
+                // Sharded join: cells are partitioned by hashed key across
+                // `threads` shards and every close pair belongs to exactly
+                // one shard, so the per-shard forests union the same edge
+                // set a sequential run sees. Merging forests is
+                // commutative over edges, hence the final `into_groups`
+                // output is bit-identical to the sequential twin
+                // (asserted by `tests/proptest_parallel.rs`).
+                let mut forests: Vec<DisjointSet> = (0..threads)
+                    .map(|_| DisjointSet::with_len(points.len()))
+                    .collect();
+                let index = &index;
+                let mut pool = scoped_threadpool::Pool::new(threads as u32);
+                pool.scoped(|scope| {
+                    for (shard, forest) in forests.iter_mut().enumerate() {
+                        scope.execute(move || {
+                            index.for_each_pair_within_sharded(
+                                eps,
+                                metric,
+                                shard,
+                                threads,
+                                |&i, &j| {
+                                    forest.union(i, j);
+                                },
+                            );
+                        });
+                    }
+                });
+                for forest in &forests {
+                    dsu.merge_from(forest);
                 }
-            });
+            }
         }
         AnyAlgorithm::Auto => unreachable!("resolve_any never returns Auto"),
     }
@@ -508,6 +547,35 @@ mod tests {
         assert_eq!(op.len(), 5);
         let out = op.finish();
         assert_eq!(out.sizes(), vec![5]);
+    }
+
+    #[test]
+    fn sharded_parallel_grid_join_is_bit_identical_to_sequential() {
+        let mut state: u64 = 0x5A4D;
+        let mut next = || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) as f64) / (u32::MAX as f64)
+        };
+        let points: Vec<Point<2>> = (0..900)
+            .map(|_| Point::new([next() * 10.0, next() * 10.0]))
+            .collect();
+        for metric in Metric::ALL {
+            let base = SgbAnyConfig::new(0.3)
+                .metric(metric)
+                .algorithm(AnyAlgorithm::Grid);
+            let sequential = sgb_any(&points, &base.clone().threads(1));
+            for threads in [2, 3, 7] {
+                let parallel = sgb_any(&points, &base.clone().threads(threads));
+                // Exact equality, not normalized: group numbering and
+                // member order must match the sequential run bit for bit.
+                assert_eq!(
+                    parallel.groups, sequential.groups,
+                    "{metric} threads={threads}"
+                );
+            }
+        }
     }
 
     #[test]

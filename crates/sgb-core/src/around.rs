@@ -233,33 +233,8 @@ impl<const D: usize> SgbAround<D> {
     }
 
     /// The nearest center of `p`, ties towards the lowest center index.
-    ///
-    /// The brute path compares canonical [`sgb_geom::Metric::distance`]
-    /// values so its tie set is identical to the indexed path's
-    /// ([`RTree::nearest_one_with`] reports the same floating-point
-    /// distances for point entries and breaks ties by ascending payload).
     fn nearest_center(&mut self, p: &Point<D>) -> CenterId {
-        match &self.index {
-            CenterIndex::Scan => {
-                let metric = self.cfg.metric;
-                let mut best = (f64::INFINITY, 0);
-                for (c, q) in self.cfg.centers.iter().enumerate() {
-                    let d = metric.distance(p, q);
-                    if d < best.0 {
-                        best = (d, c);
-                    }
-                }
-                best.1
-            }
-            CenterIndex::Tree(ix) => {
-                let hit = ix.nearest_one_with(p, self.cfg.metric, &mut self.scratch);
-                hit.expect("center list is never empty").1
-            }
-            CenterIndex::Cells(grid) => {
-                let hit = grid.nearest_one(p, self.cfg.metric);
-                hit.expect("center list is never empty").1
-            }
-        }
+        nearest_center_in(&self.index, &self.cfg, &mut self.scratch, p)
     }
 
     /// Assigns one point to its nearest center (or the outlier group),
@@ -269,18 +244,68 @@ impl<const D: usize> SgbAround<D> {
         let id = self.pushed;
         self.pushed += 1;
         let c = self.nearest_center(&p);
-        // Radius bound with the canonical predicate, evaluated identically
-        // on both paths (never against the index's reported distance).
-        let outlier = match self.cfg.max_radius {
-            Some(r) => !self.cfg.metric.within(&p, &self.cfg.centers[c], r),
-            None => false,
-        };
-        if outlier {
+        if is_outlier(&self.cfg, &p, c) {
             self.outliers.push(id);
         } else {
             self.groups[c].push(id);
         }
         id
+    }
+
+    /// Assigns a complete batch of points, equivalent to pushing each in
+    /// order — but when the configuration requests (or the cost model
+    /// grants, see [`crate::cost::threads_for_around`]) more than one
+    /// worker, the nearest-center classification runs **in parallel over
+    /// tuple chunks**. Assignment depends only on the tuple itself, so
+    /// each worker classifies its chunk independently into a shared slot
+    /// array; a sequential arrival-order stitch then appends record ids to
+    /// their groups, reproducing the member order of a sequential run
+    /// exactly (asserted by `tests/proptest_parallel.rs`).
+    pub fn extend_from_slice(&mut self, points: &[Point<D>]) {
+        let (threads, _) = cost::threads_for_around(self.cfg.threads, points.len());
+        if threads <= 1 {
+            for p in points {
+                self.push(*p);
+            }
+            return;
+        }
+        assert!(
+            self.cfg.centers.len() < u32::MAX as usize,
+            "too many centers for the parallel assignment encoding"
+        );
+        const OUTLIER: u32 = u32::MAX;
+        let mut assign = vec![OUTLIER; points.len()];
+        // Several chunks per worker so an uneven cluster layout still
+        // balances; chunk geometry never affects results.
+        let chunk = points.len().div_ceil(threads * 4).max(1);
+        let index = &self.index;
+        let cfg = &self.cfg;
+        let mut pool = scoped_threadpool::Pool::new(threads as u32);
+        pool.scoped(|scope| {
+            for (pts, out) in points.chunks(chunk).zip(assign.chunks_mut(chunk)) {
+                scope.execute(move || {
+                    let mut scratch = Vec::new();
+                    for (p, slot) in pts.iter().zip(out.iter_mut()) {
+                        assert!(p.is_finite(), "points must have finite coordinates");
+                        let c = nearest_center_in(index, cfg, &mut scratch, p);
+                        *slot = if is_outlier(cfg, p, c) {
+                            OUTLIER
+                        } else {
+                            c as u32
+                        };
+                    }
+                });
+            }
+        });
+        for &code in &assign {
+            let id = self.pushed;
+            self.pushed += 1;
+            if code == OUTLIER {
+                self.outliers.push(id);
+            } else {
+                self.groups[code as usize].push(id);
+            }
+        }
     }
 
     /// Materialises the answer groups.
@@ -292,12 +317,60 @@ impl<const D: usize> SgbAround<D> {
     }
 }
 
-/// One-shot convenience: runs SGB-Around over a slice of points.
+/// The nearest center of `p` under `cfg.metric`, ties towards the lowest
+/// center index. Free function (rather than a method) so the parallel
+/// batch path can classify from a shared `&CenterIndex` with per-worker
+/// traversal scratch.
+///
+/// The brute path compares canonical [`sgb_geom::Metric::distance`]
+/// values so its tie set is identical to the indexed path's
+/// ([`RTree::nearest_one_with`] reports the same floating-point distances
+/// for point entries and breaks ties by ascending payload).
+fn nearest_center_in<const D: usize>(
+    index: &CenterIndex<D>,
+    cfg: &SgbAroundConfig<D>,
+    scratch: &mut Vec<usize>,
+    p: &Point<D>,
+) -> CenterId {
+    match index {
+        CenterIndex::Scan => {
+            let metric = cfg.metric;
+            let mut best = (f64::INFINITY, 0);
+            for (c, q) in cfg.centers.iter().enumerate() {
+                let d = metric.distance(p, q);
+                if d < best.0 {
+                    best = (d, c);
+                }
+            }
+            best.1
+        }
+        CenterIndex::Tree(ix) => {
+            let hit = ix.nearest_one_with(p, cfg.metric, scratch);
+            hit.expect("center list is never empty").1
+        }
+        CenterIndex::Cells(grid) => {
+            let hit = grid.nearest_one(p, cfg.metric);
+            hit.expect("center list is never empty").1
+        }
+    }
+}
+
+/// Radius bound with the canonical predicate, evaluated identically on
+/// every path (never against the index's reported distance).
+#[inline]
+fn is_outlier<const D: usize>(cfg: &SgbAroundConfig<D>, p: &Point<D>, c: CenterId) -> bool {
+    match cfg.max_radius {
+        Some(r) => !cfg.metric.within(p, &cfg.centers[c], r),
+        None => false,
+    }
+}
+
+/// One-shot convenience: runs SGB-Around over a slice of points (in
+/// parallel when [`SgbAroundConfig::threads`] asks for it — see
+/// [`SgbAround::extend_from_slice`]).
 pub fn sgb_around<const D: usize>(points: &[Point<D>], cfg: &SgbAroundConfig<D>) -> AroundGrouping {
     let mut op = SgbAround::new(cfg.clone());
-    for p in points {
-        op.push(*p);
-    }
+    op.extend_from_slice(points);
     op.finish()
 }
 
@@ -547,6 +620,34 @@ mod tests {
                     .algorithm(algo);
                 let out = sgb_around(&points, &cfg);
                 assert_eq!(out.groups, vec![vec![0, 2], vec![1]], "{algo:?} {metric}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_assignment_is_bit_identical_to_sequential() {
+        let points = cloud(800, 0xFA57, 10.0);
+        let centers: Vec<Point<2>> = cloud(23, 0xC0DE, 10.0);
+        for metric in Metric::ALL {
+            for algo in ALGOS {
+                for radius in [None, Some(1.2)] {
+                    let mut base = SgbAroundConfig::new(centers.clone())
+                        .metric(metric)
+                        .algorithm(algo);
+                    if let Some(r) = radius {
+                        base = base.max_radius(r);
+                    }
+                    let sequential = sgb_around(&points, &base.clone().threads(1));
+                    for threads in [2, 3, 7] {
+                        let parallel = sgb_around(&points, &base.clone().threads(threads));
+                        // Exact equality: member order within every group
+                        // and the outlier order must match arrival order.
+                        assert_eq!(
+                            parallel, sequential,
+                            "{algo:?} {metric} radius {radius:?} threads={threads}"
+                        );
+                    }
+                }
             }
         }
     }

@@ -316,6 +316,11 @@ pub struct SgbAnyConfig {
     /// Fan-out of the on-the-fly R-tree (`Points_IX`) used by
     /// [`AnyAlgorithm::Indexed`].
     pub rtree_fanout: usize,
+    /// Worker threads for the one-shot grid ε-join (0 = auto, see
+    /// [`crate::cost::resolve_threads`]). Only [`AnyAlgorithm::Grid`]
+    /// parallelises; the other paths ignore the knob. Never affects
+    /// results — the sharded join is bit-identical to the sequential one.
+    pub threads: usize,
 }
 
 impl SgbAnyConfig {
@@ -332,6 +337,7 @@ impl SgbAnyConfig {
             metric: Metric::default(),
             algorithm: AnyAlgorithm::default(),
             rtree_fanout: 12,
+            threads: 0,
         }
     }
 
@@ -354,6 +360,13 @@ impl SgbAnyConfig {
     pub fn rtree_fanout(mut self, fanout: usize) -> Self {
         assert!(fanout >= 4, "R-tree fan-out must be at least 4");
         self.rtree_fanout = fanout;
+        self
+    }
+
+    /// Sets the worker-thread count (0 = auto).
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
         self
     }
 }
@@ -400,6 +413,11 @@ pub struct SgbAroundConfig<const D: usize> {
     pub algorithm: AroundAlgorithm,
     /// Fan-out of the center R-tree used by [`AroundAlgorithm::Indexed`].
     pub rtree_fanout: usize,
+    /// Worker threads for the one-shot nearest-center assignment (0 =
+    /// auto, see [`crate::cost::resolve_threads`]). Assignment is
+    /// independent per tuple, so every concrete algorithm parallelises.
+    /// Never affects results.
+    pub threads: usize,
 }
 
 impl<const D: usize> SgbAroundConfig<D> {
@@ -420,6 +438,7 @@ impl<const D: usize> SgbAroundConfig<D> {
             max_radius: None,
             algorithm: AroundAlgorithm::default(),
             rtree_fanout: 12,
+            threads: 0,
         }
     }
 
@@ -453,6 +472,13 @@ impl<const D: usize> SgbAroundConfig<D> {
     pub fn rtree_fanout(mut self, fanout: usize) -> Self {
         assert!(fanout >= 4, "R-tree fan-out must be at least 4");
         self.rtree_fanout = fanout;
+        self
+    }
+
+    /// Sets the worker-thread count (0 = auto).
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
         self
     }
 }
@@ -499,9 +525,12 @@ mod tests {
 
         let cfg = SgbAnyConfig::new(1.0)
             .metric(Metric::LInf)
-            .algorithm(AnyAlgorithm::AllPairs);
+            .algorithm(AnyAlgorithm::AllPairs)
+            .threads(3);
         assert_eq!(cfg.metric, Metric::LInf);
         assert_eq!(cfg.algorithm, AnyAlgorithm::AllPairs);
+        assert_eq!(cfg.threads, 3);
+        assert_eq!(SgbAnyConfig::new(1.0).threads, 0, "auto by default");
     }
 
     #[test]
@@ -522,16 +551,19 @@ mod tests {
             .metric(Metric::L1)
             .max_radius(0.5)
             .algorithm(AroundAlgorithm::BruteForce)
-            .rtree_fanout(8);
+            .rtree_fanout(8)
+            .threads(2);
         assert_eq!(cfg.centers.len(), 2);
         assert_eq!(cfg.metric, Metric::L1);
         assert_eq!(cfg.max_radius, Some(0.5));
         assert_eq!(cfg.algorithm, AroundAlgorithm::BruteForce);
         assert_eq!(cfg.rtree_fanout, 8);
+        assert_eq!(cfg.threads, 2);
         let default = SgbAroundConfig::new(vec![Point::new([0.0, 0.0])]);
         assert_eq!(default.metric, Metric::L2);
         assert_eq!(default.max_radius, None);
         assert_eq!(default.algorithm, AroundAlgorithm::Auto);
+        assert_eq!(default.threads, 0, "auto by default");
     }
 
     #[test]

@@ -60,6 +60,12 @@ pub const AROUND_BRUTE_MAX_CENTERS: usize = 128;
 /// per-probe cell neighbourhood (`5^D`) outgrows an R-tree descent.
 pub const GRID_MAX_DIMS: usize = 3;
 
+/// Below this input cardinality the parallel engine stays sequential even
+/// when threads were left on auto: spawning workers and merging per-shard
+/// results costs tens of microseconds, which a small input cannot win
+/// back.
+pub const PARALLEL_MIN_N: usize = 8192;
+
 /// Marker reason for explicitly configured (non-`Auto`) algorithms.
 fn configured() -> String {
     "configured explicitly".to_owned()
@@ -218,6 +224,67 @@ pub fn resolve_around(
     }
 }
 
+/// Resolves the worker-thread count for a parallelisable path over `n`
+/// tuples. `requested == 0` means auto: stay sequential below
+/// [`PARALLEL_MIN_N`], otherwise use the machine's available parallelism,
+/// capped so every worker still owns at least `PARALLEL_MIN_N / 2` tuples
+/// (a shard smaller than that spends more time in spawn/merge than in the
+/// join). An explicit `requested > 0` always wins — benchmarks and the
+/// determinism tests pin exact counts.
+///
+/// Thread count never affects results: the parallel paths are proven
+/// bit-identical to their sequential twins (see `proptest_parallel`), so
+/// this choice, like algorithm selection, only moves *when* the answer
+/// arrives.
+pub fn resolve_threads(requested: usize, n: usize) -> (usize, String) {
+    if requested > 0 {
+        return (requested, configured());
+    }
+    if n < PARALLEL_MIN_N {
+        return (
+            1,
+            format!("auto: n = {n} < {PARALLEL_MIN_N}, sequential (spawn + merge would dominate)"),
+        );
+    }
+    let available = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let useful = (n / (PARALLEL_MIN_N / 2)).max(1);
+    let threads = available.min(useful).max(1);
+    (
+        threads,
+        format!("auto: n = {n}, {available} hardware threads, using {threads}"),
+    )
+}
+
+/// Threads for SGB-All: always 1. The operator's semantics are
+/// arrival-order sensitive (ON-OVERLAP arbitration depends on which groups
+/// already exist when a point arrives), so there is no parallel twin to be
+/// bit-identical to; a requested thread count is accepted and ignored.
+pub fn threads_for_all() -> (usize, String) {
+    (
+        1,
+        "sequential: SGB-All arbitration is arrival-order sensitive".to_owned(),
+    )
+}
+
+/// Threads for a *resolved* (concrete) SGB-Any algorithm: only the ε-grid
+/// path shards its close-pair join, so the other paths run sequentially
+/// regardless of the request.
+pub fn threads_for_any(algorithm: AnyAlgorithm, requested: usize, n: usize) -> (usize, String) {
+    match algorithm {
+        AnyAlgorithm::Grid => resolve_threads(requested, n),
+        _ => (
+            1,
+            "sequential: only the grid eps-join shards across threads".to_owned(),
+        ),
+    }
+}
+
+/// Threads for SGB-Around over `n` tuples: the nearest-center assignment
+/// is independent per tuple, so every concrete algorithm parallelises.
+pub fn threads_for_around(requested: usize, n: usize) -> (usize, String) {
+    resolve_threads(requested, n)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -315,6 +382,47 @@ mod tests {
             resolve_all_streaming(AllAlgorithm::BoundsChecking, 2),
             AllAlgorithm::BoundsChecking
         );
+    }
+
+    #[test]
+    fn explicit_thread_requests_always_win() {
+        for n in [1, PARALLEL_MIN_N, 1_000_000] {
+            let (t, reason) = resolve_threads(7, n);
+            assert_eq!(t, 7);
+            assert!(reason.contains("configured"), "{reason}");
+        }
+    }
+
+    #[test]
+    fn auto_threads_stay_sequential_below_the_threshold() {
+        for n in [0, 1, PARALLEL_MIN_N - 1] {
+            let (t, reason) = resolve_threads(0, n);
+            assert_eq!(t, 1);
+            assert!(reason.contains("sequential"), "{reason}");
+        }
+    }
+
+    #[test]
+    fn auto_threads_are_bounded_by_useful_work() {
+        // A shard must own at least PARALLEL_MIN_N / 2 tuples.
+        let (t, _) = resolve_threads(0, PARALLEL_MIN_N);
+        assert!(t <= PARALLEL_MIN_N / (PARALLEL_MIN_N / 2));
+        let (t, _) = resolve_threads(0, 1_000_000);
+        let available = std::thread::available_parallelism().map_or(1, |p| p.get());
+        assert!(t >= 1 && t <= available);
+    }
+
+    #[test]
+    fn operator_thread_policies() {
+        // SGB-All never parallelises, even when asked.
+        assert_eq!(threads_for_all().0, 1);
+        // SGB-Any: only the grid path shards.
+        assert_eq!(threads_for_any(AnyAlgorithm::Grid, 3, 100_000).0, 3);
+        assert_eq!(threads_for_any(AnyAlgorithm::AllPairs, 3, 100_000).0, 1);
+        assert_eq!(threads_for_any(AnyAlgorithm::Indexed, 3, 100_000).0, 1);
+        // SGB-Around parallelises on every concrete path.
+        assert_eq!(threads_for_around(5, 10).0, 5);
+        assert_eq!(threads_for_around(0, 10).0, 1);
     }
 
     #[test]

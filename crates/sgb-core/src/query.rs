@@ -87,6 +87,7 @@ pub struct Grouping {
     outliers: Vec<RecordId>,
     algorithm: Algorithm,
     selection: String,
+    threads: usize,
 }
 
 impl Grouping {
@@ -101,17 +102,24 @@ impl Grouping {
             outliers: Vec::new(),
             algorithm: Algorithm::AllPairs,
             selection: "empty input, nothing ran".to_owned(),
+            threads: 1,
         }
     }
 
     /// Wraps a flat SGB-All / SGB-Any answer set.
-    pub(crate) fn from_flat(flat: FlatGrouping, algorithm: Algorithm, selection: String) -> Self {
+    pub(crate) fn from_flat(
+        flat: FlatGrouping,
+        algorithm: Algorithm,
+        selection: String,
+        threads: usize,
+    ) -> Self {
         Grouping {
             groups: flat.groups,
             eliminated: flat.eliminated,
             outliers: Vec::new(),
             algorithm,
             selection,
+            threads,
         }
     }
 
@@ -121,6 +129,7 @@ impl Grouping {
         around: AroundGrouping,
         algorithm: Algorithm,
         selection: String,
+        threads: usize,
     ) -> Self {
         Grouping {
             groups: around
@@ -132,6 +141,7 @@ impl Grouping {
             outliers: around.outliers,
             algorithm,
             selection,
+            threads,
         }
     }
 
@@ -210,6 +220,16 @@ impl Grouping {
         &self.selection
     }
 
+    /// How many worker threads the run actually used (1 for every
+    /// sequential path, including all of SGB-All). Like
+    /// [`resolved_algorithm`](Self::resolved_algorithm), this is execution
+    /// metadata: it never influences the answer sets and is excluded from
+    /// equality.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
     /// Maps each record id in `0..n` to the index of the answer group
     /// containing it (`None` for eliminated, outlier, or never-seen
     /// records).
@@ -252,6 +272,7 @@ impl Grouping {
             outliers,
             algorithm: self.algorithm,
             selection: self.selection.clone(),
+            threads: self.threads,
         }
     }
 
@@ -363,6 +384,7 @@ pub struct SgbQuery<const D: usize> {
     seed: u64,
     hull_threshold: usize,
     rtree_fanout: usize,
+    threads: usize,
 }
 
 impl<const D: usize> SgbQuery<D> {
@@ -374,6 +396,7 @@ impl<const D: usize> SgbQuery<D> {
             seed: 0x5EED,
             hull_threshold: 16,
             rtree_fanout: 12,
+            threads: 0,
         }
     }
 
@@ -451,6 +474,20 @@ impl<const D: usize> SgbQuery<D> {
     pub fn rtree_fanout(mut self, fanout: usize) -> Self {
         assert!(fanout >= 4, "R-tree fan-out must be at least 4");
         self.rtree_fanout = fanout;
+        self
+    }
+
+    /// Sets the worker-thread count for [`run`](Self::run) (default 0 =
+    /// auto: the cost model decides, see
+    /// [`cost::resolve_threads`]). Accepted on every operator — paths with
+    /// no parallel twin (all of SGB-All, SGB-Any's non-grid algorithms)
+    /// resolve back to 1 worker rather than rejecting the knob, so one
+    /// session-level setting can apply to a whole workload. Thread count
+    /// never affects results; the actual count used is reported by
+    /// [`Grouping::threads`].
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
         self
     }
 
@@ -538,6 +575,12 @@ impl<const D: usize> SgbQuery<D> {
         self.algorithm
     }
 
+    /// The configured worker-thread count (0 = auto).
+    #[must_use]
+    pub fn configured_threads(&self) -> usize {
+        self.threads
+    }
+
     /// The ε threshold (SGB-All / SGB-Any) — `None` for SGB-Around, whose
     /// `WITHIN` is the radius bound.
     #[must_use]
@@ -604,18 +647,30 @@ impl<const D: usize> SgbQuery<D> {
     /// resolution — every concrete path is bit-identical.
     #[must_use]
     pub fn run(&self, points: &[Point<D>]) -> Grouping {
+        // One shared contract for the whole family: non-finite coordinates
+        // are rejected here, at the query boundary, so every operator arm
+        // (including the parallel bulk paths, which bypass the streaming
+        // `push` asserts) fails identically and early.
+        assert!(
+            points.iter().all(Point::is_finite),
+            "points must have finite coordinates"
+        );
         match &self.op {
             OpSpec::All { eps, overlap } => {
                 let (resolved, reason) =
                     cost::resolve_all(self.algorithm.for_all(), points.len(), D);
+                // A requested thread count is accepted but resolves to 1:
+                // SGB-All's arbitration is arrival-order sensitive.
+                let (threads, _) = cost::threads_for_all();
                 let cfg = self.all_config(*eps, *overlap).algorithm(resolved);
-                Grouping::from_flat(sgb_all(points, &cfg), resolved.into(), reason)
+                Grouping::from_flat(sgb_all(points, &cfg), resolved.into(), reason, threads)
             }
             OpSpec::Any { eps } => {
                 let base = self.algorithm.for_any().expect("validated by algorithm()");
                 let (resolved, reason) = cost::resolve_any(base, points.len(), D);
-                let cfg = self.any_config(*eps).algorithm(resolved);
-                Grouping::from_flat(sgb_any(points, &cfg), resolved.into(), reason)
+                let (threads, _) = cost::threads_for_any(resolved, self.threads, points.len());
+                let cfg = self.any_config(*eps).algorithm(resolved).threads(threads);
+                Grouping::from_flat(sgb_any(points, &cfg), resolved.into(), reason, threads)
             }
             OpSpec::Around {
                 centers,
@@ -626,17 +681,17 @@ impl<const D: usize> SgbQuery<D> {
                     .for_around()
                     .expect("validated by algorithm()");
                 let (resolved, reason) = cost::resolve_around(base, centers.len(), D);
+                let (threads, _) = cost::threads_for_around(self.threads, points.len());
                 let cfg = self
                     .around_config(centers.clone(), *max_radius)
-                    .algorithm(resolved);
+                    .algorithm(resolved)
+                    .threads(threads);
                 // Feed the engine directly instead of going through
                 // `sgb_around(&cfg)`, which would clone the center list a
                 // second time per run. Same code path, bit-identical.
                 let mut op = SgbAround::new(cfg);
-                for p in points {
-                    op.push(*p);
-                }
-                Grouping::from_around(op.finish(), resolved.into(), reason)
+                op.extend_from_slice(points);
+                Grouping::from_around(op.finish(), resolved.into(), reason, threads)
             }
         }
     }
@@ -773,15 +828,17 @@ impl<const D: usize> SgbStream<D> {
     /// Completes the operator and materialises the answer groups.
     #[must_use]
     pub fn finish(self) -> Grouping {
+        // Streams process points in arrival order one at a time; every
+        // streaming path is sequential by construction.
         match self.inner {
             StreamInner::All(op) => {
-                Grouping::from_flat(op.finish(), self.algorithm, self.selection)
+                Grouping::from_flat(op.finish(), self.algorithm, self.selection, 1)
             }
             StreamInner::Any(op) => {
-                Grouping::from_flat(op.finish(), self.algorithm, self.selection)
+                Grouping::from_flat(op.finish(), self.algorithm, self.selection, 1)
             }
             StreamInner::Around(op) => {
-                Grouping::from_around(op.finish(), self.algorithm, self.selection)
+                Grouping::from_around(op.finish(), self.algorithm, self.selection, 1)
             }
         }
     }
@@ -934,6 +991,51 @@ mod tests {
     #[should_panic(expected = "at least one center")]
     fn around_rejects_empty_centers() {
         let _ = SgbQuery::<2>::around(Vec::new());
+    }
+
+    #[test]
+    fn threads_knob_is_accepted_on_every_operator() {
+        let points = fig2();
+        // SGB-All accepts the knob but always runs sequentially: the
+        // ON-OVERLAP arbitration is arrival-order sensitive.
+        let out = SgbQuery::all(3.0).threads(7).run(&points);
+        assert_eq!(out.threads(), 1);
+        assert_eq!(out, SgbQuery::all(3.0).run(&points));
+        // SGB-Any: the knob is honored only on the grid path.
+        let out = SgbQuery::any(3.0)
+            .algorithm(Algorithm::Grid)
+            .threads(2)
+            .run(&points);
+        assert_eq!(out.threads(), 2);
+        let out = SgbQuery::any(3.0)
+            .algorithm(Algorithm::AllPairs)
+            .threads(2)
+            .run(&points);
+        assert_eq!(out.threads(), 1);
+        // SGB-Around parallelises on every path.
+        let out = SgbQuery::around(pts(&[[0.0, 0.0]])).threads(3).run(&points);
+        assert_eq!(out.threads(), 3);
+        // Auto stays sequential below the cost-model threshold.
+        let out = SgbQuery::any(3.0).run(&points);
+        assert_eq!(out.threads(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn run_rejects_non_finite_points_for_all() {
+        let _ = SgbQuery::all(1.0).run(&[Point::new([f64::NAN, 0.0])]);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn run_rejects_non_finite_points_for_any() {
+        let _ = SgbQuery::any(1.0).run(&[Point::new([0.0, f64::INFINITY])]);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn run_rejects_non_finite_points_for_around() {
+        let _ = SgbQuery::around(pts(&[[0.0, 0.0]])).run(&[Point::new([f64::NEG_INFINITY, 0.0])]);
     }
 
     #[test]

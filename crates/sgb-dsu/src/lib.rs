@@ -135,6 +135,39 @@ impl DisjointSet {
         self.size[r] as usize
     }
 
+    /// Merges another forest over the **same** elements into this one:
+    /// afterwards `a` and `b` are connected here iff they were connected
+    /// in either forest — the union of the two edge sets.
+    ///
+    /// This is the shard-merge step of the parallel SGB-Any engine: each
+    /// worker unions the ε-pairs of its cell shard into a private forest,
+    /// and the forests fold into one with `len` cheap unions apiece.
+    /// Because connectivity (and therefore [`into_groups`]'s output, which
+    /// orders components and members by id alone) depends only on the
+    /// union of the edge sets, the merged forest is bit-identical to a
+    /// sequential run over all pairs in any order.
+    ///
+    /// [`into_groups`]: Self::into_groups
+    ///
+    /// # Panics
+    ///
+    /// Panics when the forests have different lengths.
+    pub fn merge_from(&mut self, other: &DisjointSet) {
+        assert_eq!(
+            self.len(),
+            other.len(),
+            "can only merge forests over the same elements"
+        );
+        // Each element's parent edge carries the other forest's whole
+        // connectivity: x ~ parent[x] spans every component.
+        for x in 0..other.parent.len() {
+            let p = other.parent[x] as usize;
+            if p != x {
+                self.union(x, p);
+            }
+        }
+    }
+
     /// Groups all elements by component, returning one `Vec` of member ids
     /// per component. Members appear in increasing id order; component order
     /// follows the smallest member id. This materialises the final SGB-Any

@@ -162,6 +162,63 @@ fn adversarial_chain_still_answers_correctly() {
 }
 
 #[test]
+fn shard_merged_forests_are_bit_identical_to_a_sequential_run() {
+    // The parallel SGB-Any invariant: partition a random edge list into k
+    // shards, union each shard into a private forest, fold the forests
+    // with `merge_from` — the merged forest's `into_groups` output must be
+    // bit-identical (group numbering, member order) to a single sequential
+    // forest over all edges, for every shard count and edge permutation.
+    let n = 120;
+    let mut lcg = Lcg(0x5EED);
+    let edges: Vec<(usize, usize)> = (0..220).map(|_| (lcg.next() % n, lcg.next() % n)).collect();
+    let mut sequential = DisjointSet::with_len(n);
+    for &(a, b) in &edges {
+        sequential.union(a, b);
+    }
+    let expected = sequential.into_groups();
+    for shards in [1usize, 2, 3, 7, 16] {
+        let mut forests: Vec<DisjointSet> = (0..shards).map(|_| DisjointSet::with_len(n)).collect();
+        // Deterministic but arbitrary shard assignment, unrelated to edge
+        // order — like hashed grid cells.
+        for (i, &(a, b)) in edges.iter().enumerate() {
+            forests[(i * 7 + 3) % shards].union(a, b);
+        }
+        let mut merged = DisjointSet::with_len(n);
+        for f in &forests {
+            merged.merge_from(f);
+        }
+        assert_eq!(merged.components(), expected.len(), "shards={shards}");
+        assert_eq!(merged.into_groups(), expected, "shards={shards}");
+    }
+}
+
+#[test]
+fn merge_from_with_disjoint_edge_sets_unions_connectivity() {
+    let mut a = DisjointSet::with_len(6);
+    a.union(0, 1);
+    a.union(2, 3);
+    let mut b = DisjointSet::with_len(6);
+    b.union(1, 2);
+    b.union(4, 5);
+    a.merge_from(&b);
+    assert!(a.connected(0, 3), "connectivity is the union of edge sets");
+    assert!(a.connected(4, 5));
+    assert!(!a.connected(0, 4));
+    assert_eq!(a.components(), 2);
+    // Merging an all-singleton forest is a no-op.
+    let before = a.clone().into_groups();
+    a.merge_from(&DisjointSet::with_len(6));
+    assert_eq!(a.into_groups(), before);
+}
+
+#[test]
+#[should_panic(expected = "same elements")]
+fn merge_from_rejects_length_mismatch() {
+    let mut a = DisjointSet::with_len(4);
+    a.merge_from(&DisjointSet::with_len(5));
+}
+
+#[test]
 fn interleaved_random_model_check() {
     // Model-check against naive label propagation with pushes interleaved
     // between unions (the seed's unit test only covers a fixed universe).

@@ -195,6 +195,7 @@ pub fn execute(plan: &Plan, db: &Database) -> Result<Table> {
             metric,
             radius,
             algorithm,
+            threads,
             aggs,
             having,
             outputs,
@@ -202,7 +203,9 @@ pub fn execute(plan: &Plan, db: &Database) -> Result<Table> {
             ..
         } => {
             let t = execute(input, db)?;
-            let grouping = run_around(&t.rows, coords, centers, *metric, *radius, *algorithm)?;
+            let grouping = run_around(
+                &t.rows, coords, centers, *metric, *radius, *algorithm, *threads,
+            )?;
             aggregate_grouping(&t, &grouping, aggs, having, outputs, schema)
         }
         Plan::Sort { input, keys } => {
@@ -344,6 +347,7 @@ fn run_sgb_d<const D: usize>(
             eps,
             metric,
             algorithm,
+            threads,
             ..
         } => {
             // The planner only emits algorithms the operator implements;
@@ -356,6 +360,7 @@ fn run_sgb_d<const D: usize>(
             SgbQuery::any(*eps)
                 .metric(*metric)
                 .algorithm(*algorithm)
+                .threads(*threads)
                 .run(&points)
         }
     })
@@ -364,6 +369,7 @@ fn run_sgb_d<const D: usize>(
 /// Runs SGB-Around over the grouping points: every row joins the group of
 /// its nearest center; rows beyond `radius` (when set) form the trailing
 /// outlier group.
+#[allow(clippy::too_many_arguments)]
 fn run_around(
     rows: &[Row],
     coords: &[BoundExpr],
@@ -371,16 +377,18 @@ fn run_around(
     metric: Metric,
     radius: Option<f64>,
     algorithm: Algorithm,
+    threads: usize,
 ) -> Result<Grouping> {
     match coords.len() {
-        2 => run_around_d::<2>(rows, coords, centers, metric, radius, algorithm),
-        3 => run_around_d::<3>(rows, coords, centers, metric, radius, algorithm),
+        2 => run_around_d::<2>(rows, coords, centers, metric, radius, algorithm, threads),
+        3 => run_around_d::<3>(rows, coords, centers, metric, radius, algorithm, threads),
         n => Err(Error::Unsupported(format!(
             "similarity grouping over {n} attributes (2 or 3 supported)"
         ))),
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_around_d<const D: usize>(
     rows: &[Row],
     coords: &[BoundExpr],
@@ -388,6 +396,7 @@ fn run_around_d<const D: usize>(
     metric: Metric,
     radius: Option<f64>,
     algorithm: Algorithm,
+    threads: usize,
 ) -> Result<Grouping> {
     let points = extract_points::<D>(rows, coords)?;
     // The parser guarantees a non-empty list of finite, correctly-sized
@@ -418,7 +427,8 @@ fn run_around_d<const D: usize>(
     }
     let mut query = SgbQuery::around(center_points)
         .metric(metric)
-        .algorithm(algorithm);
+        .algorithm(algorithm)
+        .threads(threads);
     if let Some(r) = radius {
         if !r.is_finite() || r < 0.0 {
             return Err(Error::Eval(format!(

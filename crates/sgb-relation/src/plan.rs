@@ -79,6 +79,9 @@ pub enum SgbMode {
         algorithm: Algorithm,
         /// Seed for `JOIN-ANY`.
         seed: u64,
+        /// Worker threads the executor will use (always 1: SGB-All's
+        /// arbitration is arrival-order sensitive).
+        threads: usize,
         /// Why `algorithm` was chosen ("configured explicitly" or the
         /// cost model's reason).
         selection: String,
@@ -91,6 +94,11 @@ pub enum SgbMode {
         metric: Metric,
         /// Search algorithm (resolved — never `Auto`).
         algorithm: Algorithm,
+        /// Worker threads the executor will use (resolved at plan time
+        /// from the session's `threads` option and the estimated input
+        /// cardinality; only the grid path shards, so this is 1 for the
+        /// other algorithms).
+        threads: usize,
         /// Why `algorithm` was chosen ("configured explicitly" or the
         /// cost model's reason).
         selection: String,
@@ -205,6 +213,9 @@ pub enum Plan {
         /// brute center scan, `Indexed` the center R-tree, `Grid` the
         /// center grid).
         algorithm: Algorithm,
+        /// Worker threads the executor will use (resolved at plan time;
+        /// the nearest-center assignment parallelises on every path).
+        threads: usize,
         /// Why `algorithm` was chosen ("configured explicitly" or the
         /// cost model's reason).
         selection: String,
@@ -306,6 +317,7 @@ impl Plan {
                         metric,
                         overlap,
                         algorithm,
+                        threads,
                         selection,
                         ..
                     } => (
@@ -314,16 +326,17 @@ impl Plan {
                             metric.sql_keyword(),
                             overlap.sql_keyword()
                         ),
-                        format!("path: {algorithm}; {selection}"),
+                        format!("path: {algorithm}, threads: {threads}; {selection}"),
                     ),
                     SgbMode::Any {
                         eps,
                         metric,
                         algorithm,
+                        threads,
                         selection,
                     } => (
                         format!("SGB-Any {} WITHIN {eps}", metric.sql_keyword()),
-                        format!("path: {algorithm}; {selection}"),
+                        format!("path: {algorithm}, threads: {threads}; {selection}"),
                     ),
                 };
                 out.push_str(&format!(
@@ -338,6 +351,7 @@ impl Plan {
                 metric,
                 radius,
                 algorithm,
+                threads,
                 selection,
                 aggs,
                 ..
@@ -347,8 +361,8 @@ impl Plan {
                     None => String::new(),
                 };
                 out.push_str(&format!(
-                    "{pad}SimilarityAround [{} centers, {}{bound}, path: {algorithm}] \
-                     [{selection}] (aggs: {})\n",
+                    "{pad}SimilarityAround [{} centers, {}{bound}, path: {algorithm}, \
+                     threads: {threads}] [{selection}] (aggs: {})\n",
                     centers.len(),
                     metric.sql_keyword(),
                     aggs.len()

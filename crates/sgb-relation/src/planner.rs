@@ -181,6 +181,7 @@ impl<'a> Planner<'a> {
                     overlap: *overlap,
                     algorithm: resolved.into(),
                     seed: self.db.session().seed,
+                    threads: sgb_core::cost::threads_for_all().0,
                     selection: session_selection(configured, selection),
                 };
                 self.build_similarity(acc, exprs, mode, stmt)?
@@ -195,10 +196,13 @@ impl<'a> Planner<'a> {
                     ))
                 })?;
                 let (resolved, selection) = sgb_core::cost::resolve_any(base, n, exprs.len());
+                let (threads, _) =
+                    sgb_core::cost::threads_for_any(resolved, self.db.session().threads, n);
                 let mode = SgbMode::Any {
                     eps: *eps,
                     metric: *metric,
                     algorithm: resolved.into(),
+                    threads,
                     selection: session_selection(configured, selection),
                 };
                 self.build_similarity(acc, exprs, mode, stmt)?
@@ -422,6 +426,10 @@ impl<'a> Planner<'a> {
         })?;
         let (resolved, selection) =
             sgb_core::cost::resolve_around(base, centers.len(), grouping.len());
+        let (threads, _) = sgb_core::cost::threads_for_around(
+            self.db.session().threads,
+            estimate_rows(&input, self.db),
+        );
         Ok(Plan::SimilarityAround {
             input: Box::new(input),
             coords,
@@ -429,6 +437,7 @@ impl<'a> Planner<'a> {
             metric,
             radius,
             algorithm: resolved.into(),
+            threads,
             selection: session_selection(configured, selection),
             aggs: ctx.aggs,
             having,

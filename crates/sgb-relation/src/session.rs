@@ -2,8 +2,9 @@
 //!
 //! Everything the engine lets a session tune about similarity-query
 //! execution lives in [`SessionOptions`]: per-operator [`Algorithm`]
-//! overrides and the `JOIN-ANY` arbitration seed (future cost-model
-//! tunables slot in here too). A [`crate::Database`] is constructed with a
+//! overrides, the `JOIN-ANY` arbitration seed, and the worker-thread
+//! count for the parallel execution paths (future cost-model tunables
+//! slot in here too). A [`crate::Database`] is constructed with a
 //! set of options ([`crate::Database::with_options`]) and exposes them for
 //! later adjustment through one mutable surface
 //! ([`crate::Database::session_mut`]); the planner reads them when lowering
@@ -47,6 +48,14 @@ pub struct SessionOptions {
     pub around_algorithm: Algorithm,
     /// Seed for `ON-OVERLAP JOIN-ANY` arbitration (reproducible runs).
     pub seed: u64,
+    /// Worker threads for the parallelisable execution paths (0 = auto:
+    /// the cost model decides per query from the estimated input
+    /// cardinality, see `sgb_core::cost::resolve_threads`). Paths with no
+    /// parallel twin — all of SGB-All, SGB-Any's non-grid algorithms —
+    /// ignore the setting and run on 1 worker. Thread count never affects
+    /// results: the parallel paths are bit-identical to their sequential
+    /// twins.
+    pub threads: usize,
 }
 
 impl SessionOptions {
@@ -83,6 +92,13 @@ impl SessionOptions {
         self.seed = seed;
         self
     }
+
+    /// Sets the worker-thread count (0 = auto).
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -95,11 +111,13 @@ mod tests {
             .with_all_algorithm(Algorithm::BoundsChecking)
             .with_any_algorithm(Algorithm::Grid)
             .with_around_algorithm(Algorithm::Indexed)
-            .with_seed(7);
+            .with_seed(7)
+            .with_threads(4);
         assert_eq!(opts.all_algorithm, Algorithm::BoundsChecking);
         assert_eq!(opts.any_algorithm, Algorithm::Grid);
         assert_eq!(opts.around_algorithm, Algorithm::Indexed);
         assert_eq!(opts.seed, 7);
+        assert_eq!(opts.threads, 4);
     }
 
     #[test]
@@ -109,5 +127,6 @@ mod tests {
         assert_eq!(opts.any_algorithm, Algorithm::Auto);
         assert_eq!(opts.around_algorithm, Algorithm::Auto);
         assert_eq!(opts.seed, 0);
+        assert_eq!(opts.threads, 0, "auto parallelism by default");
     }
 }

@@ -849,6 +849,7 @@ fn programmatic_around_plan_with_bad_centers_errors_cleanly() {
         metric: sgb_core::Metric::L2,
         radius,
         algorithm: sgb_core::Algorithm::Indexed,
+        threads: 1,
         selection: "hand-built".into(),
         aggs: vec![],
         having: None,
@@ -886,6 +887,7 @@ fn programmatic_around_plan_with_bad_centers_errors_cleanly() {
             eps: 1.0,
             metric: sgb_core::Metric::L2,
             algorithm: sgb_core::Algorithm::BoundsChecking,
+            threads: 1,
             selection: "hand-built".into(),
         },
         aggs: vec![],

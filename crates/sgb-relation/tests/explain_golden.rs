@@ -32,7 +32,8 @@ fn sgb_all_explain_snapshot() {
     assert_eq!(
         plan,
         "SimilarityGroupBy [SGB-All LINF WITHIN 3 ON-OVERLAP ELIMINATE] \
-         [path: AllPairs; auto: n = 5 <= 256, plain scan beats index construction] (aggs: 1)\n\
+         [path: AllPairs, threads: 1; auto: n = 5 <= 256, plain scan beats index construction] \
+         (aggs: 1)\n\
          \x20 Scan pts\n"
     );
 }
@@ -46,7 +47,8 @@ fn sgb_any_explain_snapshot() {
     assert_eq!(
         plan,
         "SimilarityGroupBy [SGB-Any L2 WITHIN 1.5] \
-         [path: AllPairs; auto: n = 5 <= 512, plain scan beats index construction] (aggs: 1)\n\
+         [path: AllPairs, threads: 1; auto: n = 5 <= 512, plain scan beats index construction] \
+         (aggs: 1)\n\
          \x20 Scan pts\n"
     );
 }
@@ -63,7 +65,7 @@ fn sgb_around_explain_snapshot() {
     // The brute center scan speaks the unified vocabulary: `AllPairs`.
     assert_eq!(
         plan,
-        "SimilarityAround [3 centers, L1 WITHIN 2.5, path: AllPairs] \
+        "SimilarityAround [3 centers, L1 WITHIN 2.5, path: AllPairs, threads: 1] \
          [auto: 3 centers <= 128, center scan beats index construction \
          (BENCH_around.json crossover ~1k)] (aggs: 1)\n\
          \x20 Scan pts\n"
@@ -82,7 +84,7 @@ fn session_pinned_algorithm_explain_snapshot() {
     assert_eq!(
         plan,
         "SimilarityGroupBy [SGB-Any L2 WITHIN 1.5] \
-         [path: Indexed; pinned by session options] (aggs: 1)\n\
+         [path: Indexed, threads: 1; pinned by session options] (aggs: 1)\n\
          \x20 Scan pts\n"
     );
 }
@@ -109,7 +111,7 @@ fn session_options_at_construction_match_session_mut() {
     assert!(a
         .explain(sql)
         .unwrap()
-        .contains("path: Grid; pinned by session options"));
+        .contains("path: Grid, threads: 1; pinned by session options"));
 }
 
 #[test]

@@ -297,11 +297,144 @@ impl<const D: usize, T> Grid<D, T> {
         &self,
         eps: f64,
         metric: Metric,
+        visit: F,
+    ) {
+        self.for_each_close_pair_sharded(eps, metric, 0, 1, visit);
+    }
+
+    /// One shard of the bulk ε-join: like
+    /// [`for_each_close_pair`](Self::for_each_close_pair), but only for
+    /// candidate pairs **owned** by shard `shard` of a `shards`-way
+    /// partition of the cell space (ownership by hashed cell key: an
+    /// intra-cell pair belongs to its cell, a cross-cell pair to the cell
+    /// from which the offset to the other is lexicographically positive).
+    ///
+    /// Every candidate pair is owned by exactly one shard, so the union of
+    /// the pair sets over shards `0..shards` equals the unsharded join's
+    /// pair set with each pair surfacing exactly once — which is what lets
+    /// parallel callers run one shard per worker over a shared `&Grid` and
+    /// merge the results without deduplication.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `shards` is zero or `shard >= shards`.
+    pub fn for_each_close_pair_sharded<F: FnMut(&Point<D>, &T, &Point<D>, &T)>(
+        &self,
+        eps: f64,
+        metric: Metric,
+        shard: usize,
+        shards: usize,
+        mut visit: F,
+    ) {
+        self.for_each_cell_join(
+            eps,
+            metric,
+            shard,
+            shards,
+            |_, entries, other| match other {
+                None => {
+                    for i in 0..entries.len() {
+                        let (pa, ta) = &entries[i];
+                        for (pb, tb) in &entries[i + 1..] {
+                            visit(pa, ta, pb, tb);
+                        }
+                    }
+                }
+                Some((_, others)) => {
+                    for (pa, ta) in entries {
+                        for (pb, tb) in others {
+                            visit(pa, ta, pb, tb);
+                        }
+                    }
+                }
+            },
+        );
+    }
+
+    /// Exact bulk ε-join: invokes `visit` once for every unordered pair of
+    /// entries satisfying the canonical predicate [`Metric::within`] —
+    /// the verified counterpart of the candidate-pair join
+    /// [`for_each_close_pair`](Self::for_each_close_pair), with the
+    /// verification run inside the grid over a structure-of-arrays mirror
+    /// of the cell contents, so the per-pair distance loops read
+    /// contiguous coordinate columns instead of strided `(Point, T)`
+    /// tuples. The accepted pair set is bit-identical to filtering the
+    /// candidate join through `Metric::within`.
+    pub fn for_each_pair_within<F: FnMut(&T, &T)>(&self, eps: f64, metric: Metric, visit: F) {
+        self.for_each_pair_within_sharded(eps, metric, 0, 1, visit);
+    }
+
+    /// One shard of the exact bulk ε-join: the pairs of
+    /// [`for_each_pair_within`](Self::for_each_pair_within) owned by shard
+    /// `shard` of a `shards`-way partition of the cell space (same
+    /// hashed-cell-key ownership as
+    /// [`for_each_close_pair_sharded`](Self::for_each_close_pair_sharded):
+    /// each within-ε pair surfaces in exactly one shard).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `shards` is zero or `shard >= shards`.
+    pub fn for_each_pair_within_sharded<F: FnMut(&T, &T)>(
+        &self,
+        eps: f64,
+        metric: Metric,
+        shard: usize,
+        shards: usize,
         mut visit: F,
     ) {
         if self.len == 0 {
+            assert!(shards >= 1 && shard < shards, "shard out of range");
             return;
         }
+        let soa = SoaCells::build(self);
+        self.for_each_cell_join(
+            eps,
+            metric,
+            shard,
+            shards,
+            |key, entries, other| match other {
+                None => {
+                    let slot = soa.slots[key];
+                    for (a, (pa, ta)) in entries.iter().enumerate() {
+                        soa.for_each_hit(slot, a + 1, pa, eps, metric, |b| {
+                            visit(ta, &entries[b].1);
+                        });
+                    }
+                }
+                Some((nkey, others)) => {
+                    let nslot = soa.slots[nkey];
+                    for (pa, ta) in entries {
+                        soa.for_each_hit(nslot, 0, pa, eps, metric, |b| {
+                            visit(ta, &others[b].1);
+                        });
+                    }
+                }
+            },
+        );
+    }
+
+    /// Shared driver of the bulk ε-joins: invokes `cell_job` once with
+    /// `(key, entries, None)` for the intra-cell join of every owned cell
+    /// and once with `(key, entries, Some((nkey, nentries)))` for every
+    /// unordered pair of occupied cells that could hold a within-ε pair,
+    /// attributed to the cell from which the offset is lexicographically
+    /// positive. `shard`/`shards` restrict ownership to one shard of the
+    /// hashed-cell-key partition (`0`/`1` ⇒ everything).
+    fn for_each_cell_join<'g, F>(
+        &'g self,
+        eps: f64,
+        metric: Metric,
+        shard: usize,
+        shards: usize,
+        mut cell_job: F,
+    ) where
+        F: FnMut(&'g CellKey<D>, &'g [(Point<D>, T)], Option<(&CellKey<D>, &'g [(Point<D>, T)])>),
+    {
+        assert!(shards >= 1 && shard < shards, "shard out of range");
+        if self.len == 0 {
+            return;
+        }
+        let owned = |key: &CellKey<D>| shards == 1 || shard_of(key, shards) == shard;
         let relaxed = eps * (1.0 + 4.0 * f64::EPSILON);
         // One pad cell against quantisation rounding, as in the per-point
         // probe; the prune below gets an absolute slack of `cell · 1e-5`,
@@ -309,56 +442,114 @@ impl<const D: usize, T> Grid<D, T> {
         // this engine targets (< 2³²) and far below the one-cell
         // granularity the prune operates at.
         let reach = (((eps / self.cell).ceil() as i64).max(0)).saturating_add(1);
+        // Clamp the probe window to the occupied span per dimension: an
+        // offset larger than the span can never connect two occupied
+        // cells, and without the clamp a degenerate ε ≫ cell ratio makes
+        // the window enumeration explode (or saturate `reach` at
+        // `i64::MAX`) even over a handful of points.
+        let mut lo_off = [0i64; D];
+        let mut hi_off = [0i64; D];
+        let mut window = 1.0f64;
+        for d in 0..D {
+            let span = (self.hi[d] as i128 - self.lo[d] as i128).min(i64::MAX as i128) as i64;
+            let r = reach.min(span);
+            lo_off[d] = -r;
+            hi_off[d] = r;
+            window *= 2.0 * r as f64 + 1.0;
+        }
         let slack = self.cell * 1e-5;
-        let mut offsets: Vec<CellKey<D>> = Vec::new();
-        for_each_key_in_box(&[-reach; D], &[reach; D], |off| {
-            // Keep each unordered cell pair once: strictly positive in the
-            // first non-zero component.
-            let lex_positive = off
-                .iter()
-                .find(|&&c| c != 0)
-                .is_some_and(|&first| first > 0);
-            if !lex_positive {
-                return;
-            }
-            // Minimum possible distance between points of two cells
-            // separated by `off`: per-dimension gaps of (|off| − 1) cells.
-            let mut gaps = [0.0; D];
-            for d in 0..D {
-                gaps[d] = (off[d].abs() - 1).max(0) as f64 * self.cell;
-            }
-            let min_dist = match metric {
-                Metric::L1 => gaps.iter().sum(),
-                Metric::L2 => gaps.iter().map(|g| g * g).sum::<f64>().sqrt(),
-                Metric::LInf => gaps.iter().fold(0.0f64, |a, &g| a.max(g)),
-            };
-            if min_dist <= relaxed + slack {
-                offsets.push(*off);
-            }
-        });
-        for (key, entries) in &self.cells {
-            for i in 0..entries.len() {
-                let (pa, ta) = &entries[i];
-                for (pb, tb) in &entries[i + 1..] {
-                    visit(pa, ta, pb, tb);
+        let min_dist_of = |gaps: &[f64; D]| match metric {
+            Metric::L1 => gaps.iter().sum(),
+            Metric::L2 => gaps.iter().map(|g| g * g).sum::<f64>().sqrt(),
+            Metric::LInf => gaps.iter().fold(0.0f64, |a, &g| a.max(g)),
+        };
+        if window <= self.cells.len() as f64 {
+            // Window enumeration: one offset list, probed from every owned
+            // cell (the regular regime — for the ε-sized cells the
+            // operators use, the window is 5^D).
+            let mut offsets: Vec<CellKey<D>> = Vec::new();
+            for_each_key_in_box(&lo_off, &hi_off, |off| {
+                // Keep each unordered cell pair once: strictly positive in
+                // the first non-zero component.
+                let lex_positive = off
+                    .iter()
+                    .find(|&&c| c != 0)
+                    .is_some_and(|&first| first > 0);
+                if !lex_positive {
+                    return;
                 }
-            }
-            'offsets: for off in &offsets {
-                let mut neighbour = *key;
+                // Minimum possible distance between points of two cells
+                // separated by `off`: per-dimension gaps of (|off| − 1)
+                // cells.
+                let mut gaps = [0.0; D];
                 for d in 0..D {
-                    let Some(nk) = key[d].checked_add(off[d]) else {
-                        continue 'offsets;
-                    };
-                    if nk < self.lo[d] || nk > self.hi[d] {
-                        continue 'offsets;
-                    }
-                    neighbour[d] = nk;
+                    gaps[d] = (off[d].abs() - 1).max(0) as f64 * self.cell;
                 }
-                if let Some(other) = self.cells.get(&neighbour) {
-                    for (pa, ta) in entries {
-                        for (pb, tb) in other {
-                            visit(pa, ta, pb, tb);
+                if min_dist_of(&gaps) <= relaxed + slack {
+                    offsets.push(*off);
+                }
+            });
+            for (key, entries) in &self.cells {
+                if !owned(key) {
+                    continue;
+                }
+                cell_job(key, entries, None);
+                'offsets: for off in &offsets {
+                    let mut neighbour = *key;
+                    for d in 0..D {
+                        let Some(nk) = key[d].checked_add(off[d]) else {
+                            continue 'offsets;
+                        };
+                        if nk < self.lo[d] || nk > self.hi[d] {
+                            continue 'offsets;
                         }
+                        neighbour[d] = nk;
+                    }
+                    if let Some(other) = self.cells.get(&neighbour) {
+                        cell_job(key, entries, Some((&neighbour, other)));
+                    }
+                }
+            }
+        } else {
+            // The window holds more cells than are occupied (ε ≫ cell, or
+            // saturated keys): scanning all unordered occupied-cell pairs
+            // is cheaper than enumerating the window, and produces the
+            // same candidate set (each pair attributed to the same owner).
+            let cells: Vec<(&CellKey<D>, &Vec<(Point<D>, T)>)> = self.cells.iter().collect();
+            for &(key, entries) in &cells {
+                if owned(key) {
+                    cell_job(key, entries, None);
+                }
+            }
+            for (i, &(ka, ea)) in cells.iter().enumerate() {
+                for &(kb, eb) in &cells[i + 1..] {
+                    // Key differences in i128: saturated keys can differ
+                    // by more than i64::MAX.
+                    let mut diff = [0i128; D];
+                    for d in 0..D {
+                        diff[d] = kb[d] as i128 - ka[d] as i128;
+                    }
+                    let mut gaps = [0.0; D];
+                    for d in 0..D {
+                        gaps[d] = (diff[d].abs() - 1).max(0) as f64 * self.cell;
+                    }
+                    if min_dist_of(&gaps) > relaxed + slack {
+                        continue;
+                    }
+                    // Owner = the cell from which the offset to the other
+                    // is lexicographically positive, exactly as in the
+                    // window path.
+                    let a_owns = diff
+                        .iter()
+                        .find(|&&c| c != 0)
+                        .is_some_and(|&first| first > 0);
+                    let (okey, oentries, nkey, nentries) = if a_owns {
+                        (ka, ea, kb, eb)
+                    } else {
+                        (kb, eb, ka, ea)
+                    };
+                    if owned(okey) {
+                        cell_job(okey, oentries, Some((nkey, nentries)));
                     }
                 }
             }
@@ -476,6 +667,111 @@ impl<const D: usize, T> Grid<D, T> {
                         f(entries);
                     }
                 });
+            }
+        }
+    }
+}
+
+/// The shard owning `key` under a `shards`-way partition of the cell
+/// space, derived from the same multiplicative hash the cell map uses.
+fn shard_of<const D: usize>(key: &CellKey<D>, shards: usize) -> usize {
+    use std::hash::Hash;
+    let mut h = CellHasher::default();
+    key.hash(&mut h);
+    (h.finish() % shards as u64) as usize
+}
+
+/// Structure-of-arrays mirror of a grid's occupied cells, built once per
+/// bulk ε-join: every cell's coordinates are transposed into column-major
+/// blocks of one flat arena, so the per-pair distance loops of
+/// [`Grid::for_each_pair_within`] stream contiguous `f64` columns instead
+/// of striding over `(Point, T)` tuples — the layout batches and
+/// auto-vectorizes where the tuple layout cannot.
+struct SoaCells<'g, const D: usize, T> {
+    /// Per occupied cell: the original entry slice and the start of its
+    /// column block in `arena` (dimension `d` of a cell with `len`
+    /// entries occupies `arena[start + d·len .. start + (d + 1)·len]`).
+    cells: Vec<(&'g [(Point<D>, T)], usize)>,
+    arena: Vec<f64>,
+    /// Cell key → index into `cells`, for neighbour lookups.
+    slots: HashMap<CellKey<D>, usize, BuildHasherDefault<CellHasher>>,
+}
+
+impl<'g, const D: usize, T> SoaCells<'g, D, T> {
+    fn build(grid: &'g Grid<D, T>) -> Self {
+        let mut cells = Vec::with_capacity(grid.cells.len());
+        let mut arena = Vec::with_capacity(grid.len * D);
+        let mut slots =
+            HashMap::with_capacity_and_hasher(grid.cells.len(), BuildHasherDefault::default());
+        for (key, entries) in &grid.cells {
+            let start = arena.len();
+            for d in 0..D {
+                arena.extend(entries.iter().map(|(p, _)| p.coord(d)));
+            }
+            slots.insert(*key, cells.len());
+            cells.push((entries.as_slice(), start));
+        }
+        SoaCells {
+            cells,
+            arena,
+            slots,
+        }
+    }
+
+    /// Invokes `hit(k)` for every entry index `k ∈ from..len` of cell
+    /// `slot` whose point satisfies the canonical [`Metric::within`]
+    /// predicate against `q`. The accumulation order per pair matches the
+    /// point-wise distance kernels dimension for dimension, so the
+    /// accepted set is bit-identical to calling `metric.within(q, p, eps)`
+    /// per entry.
+    #[inline]
+    fn for_each_hit<F: FnMut(usize)>(
+        &self,
+        slot: usize,
+        from: usize,
+        q: &Point<D>,
+        eps: f64,
+        metric: Metric,
+        mut hit: F,
+    ) {
+        let (entries, start) = self.cells[slot];
+        let len = entries.len();
+        let block = &self.arena[start..start + D * len];
+        match metric {
+            Metric::L1 => {
+                for k in from..len {
+                    let mut acc = 0.0;
+                    for d in 0..D {
+                        acc += (q.coord(d) - block[d * len + k]).abs();
+                    }
+                    if acc <= eps {
+                        hit(k);
+                    }
+                }
+            }
+            Metric::L2 => {
+                let eps2 = eps * eps;
+                for k in from..len {
+                    let mut acc = 0.0;
+                    for d in 0..D {
+                        let diff = q.coord(d) - block[d * len + k];
+                        acc += diff * diff;
+                    }
+                    if acc <= eps2 {
+                        hit(k);
+                    }
+                }
+            }
+            Metric::LInf => {
+                for k in from..len {
+                    let mut acc = 0.0f64;
+                    for d in 0..D {
+                        acc = acc.max((q.coord(d) - block[d * len + k]).abs());
+                    }
+                    if acc <= eps {
+                        hit(k);
+                    }
+                }
             }
         }
     }
@@ -650,6 +946,143 @@ mod tests {
                 }
             }
         }
+    }
+
+    /// All unordered close-pair candidates of a grid, as sorted payload
+    /// pairs — shared by the sharding and degenerate-geometry tests.
+    fn close_pairs(grid: &Grid<2, usize>, eps: f64, metric: Metric) -> Vec<(usize, usize)> {
+        let mut pairs = Vec::new();
+        grid.for_each_close_pair(eps, metric, |_, &a, _, &b| {
+            pairs.push((a.min(b), a.max(b)));
+        });
+        pairs.sort_unstable();
+        pairs
+    }
+
+    #[test]
+    fn sharded_close_pair_join_partitions_the_pair_set() {
+        // Every candidate pair must surface in exactly one shard, and the
+        // union over shards must equal the unsharded join — the invariant
+        // the parallel SGB-Any engine is built on.
+        let grid: Grid<2, usize> = Grid::from_points(1.0, lattice(300));
+        for metric in Metric::ALL {
+            let whole = close_pairs(&grid, 2.0, metric);
+            for shards in [1usize, 2, 3, 7] {
+                let mut union = Vec::new();
+                for shard in 0..shards {
+                    grid.for_each_close_pair_sharded(2.0, metric, shard, shards, |_, &a, _, &b| {
+                        union.push((a.min(b), a.max(b)));
+                    });
+                }
+                union.sort_unstable();
+                assert_eq!(union, whole, "{metric} shards={shards}");
+            }
+        }
+    }
+
+    #[test]
+    fn pair_within_matches_verified_close_pairs_sharded_and_not() {
+        // The SoA exact join must accept exactly the candidate pairs that
+        // pass the canonical predicate, sharded or not.
+        let points = lattice(350);
+        for metric in Metric::ALL {
+            for (cell, eps) in [(1.0, 1.0), (2.5, 2.5), (1.0, 3.0), (0.7, 0.0)] {
+                let grid: Grid<2, usize> = Grid::from_points(cell, points.clone());
+                let expected: Vec<(usize, usize)> = {
+                    let mut v = Vec::new();
+                    grid.for_each_close_pair(eps, metric, |pa, &a, pb, &b| {
+                        if metric.within(pa, pb, eps) {
+                            v.push((a.min(b), a.max(b)));
+                        }
+                    });
+                    v.sort_unstable();
+                    v
+                };
+                let mut exact = Vec::new();
+                grid.for_each_pair_within(eps, metric, |&a, &b| {
+                    exact.push((a.min(b), a.max(b)));
+                });
+                exact.sort_unstable();
+                assert_eq!(exact, expected, "{metric} cell={cell} eps={eps}");
+                for shards in [2usize, 5] {
+                    let mut union = Vec::new();
+                    for shard in 0..shards {
+                        grid.for_each_pair_within_sharded(eps, metric, shard, shards, |&a, &b| {
+                            union.push((a.min(b), a.max(b)));
+                        });
+                    }
+                    union.sort_unstable();
+                    assert_eq!(union, expected, "{metric} cell={cell} eps={eps} x{shards}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn close_pair_join_eps_zero_still_pairs_exact_duplicates() {
+        // Degenerate ε = 0: the probe window must not collapse below the
+        // cell pair's own cell — coordinate-identical points (and only
+        // those, after verification) must still surface.
+        let mut grid: Grid<2, usize> = Grid::new(1.0);
+        grid.insert(pt(1.0, 1.0), 0);
+        grid.insert(pt(1.0, 1.0), 1);
+        grid.insert(pt(2.0, 2.0), 2); // cell-adjacent, but not within 0
+        for metric in Metric::ALL {
+            let mut verified = Vec::new();
+            grid.for_each_close_pair(0.0, metric, |pa, &a, pb, &b| {
+                if metric.within(pa, pb, 0.0) {
+                    verified.push((a.min(b), a.max(b)));
+                }
+            });
+            assert_eq!(verified, vec![(0, 1)], "{metric}");
+        }
+    }
+
+    #[test]
+    fn close_pair_join_eps_much_larger_than_cell_is_bounded_and_complete() {
+        // ε/cell = 10⁹: before the occupied-span clamp and the
+        // occupied-pair fallback this enumerated a ~(2·10⁹)² offset
+        // window (an effective hang); it must instead terminate promptly
+        // and still find every pair.
+        let points: Vec<(Point<2>, usize)> = (0..40)
+            .map(|i| (pt((i % 8) as f64 * 0.1, (i / 8) as f64 * 0.1), i))
+            .collect();
+        let grid: Grid<2, usize> = Grid::from_points(1e-6, points.clone());
+        for metric in Metric::ALL {
+            let pairs = close_pairs(&grid, 1e3, metric);
+            // Every one of the 40·39/2 pairs is within ε = 1000.
+            assert_eq!(pairs.len(), 40 * 39 / 2, "{metric}");
+            let mut exact = Vec::new();
+            grid.for_each_pair_within(1e3, metric, |&a, &b| exact.push((a.min(b), a.max(b))));
+            assert_eq!(exact.len(), 40 * 39 / 2, "{metric}");
+        }
+    }
+
+    #[test]
+    fn close_pair_join_survives_saturated_cell_keys() {
+        // Coordinates near the i64 cell-key saturation boundary: the join
+        // must terminate, not overflow, and keep every verified pair.
+        let mut grid: Grid<2, usize> = Grid::new(1e-3);
+        grid.insert(pt(1e300, 0.0), 0);
+        grid.insert(pt(1e300, 0.0), 1); // same saturated cell, distance 0
+        grid.insert(pt(-1e300, 0.0), 2);
+        grid.insert(pt(0.25, 0.0), 3);
+        grid.insert(pt(0.2501, 0.0), 4);
+        let verified: Vec<(usize, usize)> = close_pairs(&grid, 0.01, Metric::L2)
+            .into_iter()
+            .filter(|&(a, b)| {
+                // Re-verify against the true coordinates.
+                let coords = [
+                    pt(1e300, 0.0),
+                    pt(1e300, 0.0),
+                    pt(-1e300, 0.0),
+                    pt(0.25, 0.0),
+                    pt(0.2501, 0.0),
+                ];
+                Metric::L2.within(&coords[a], &coords[b], 0.01)
+            })
+            .collect();
+        assert_eq!(verified, vec![(0, 1), (3, 4)]);
     }
 
     #[test]

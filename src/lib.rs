@@ -88,7 +88,7 @@
 //! let plan = db
 //!     .explain("SELECT count(*) FROM p GROUP BY x, y DISTANCE-TO-ANY L2 WITHIN 1")
 //!     .unwrap();
-//! assert!(plan.contains("path: Grid; pinned by session options"));
+//! assert!(plan.contains("path: Grid, threads: 1; pinned by session options"));
 //! ```
 
 /// Clustering baselines (K-means, DBSCAN, BIRCH).

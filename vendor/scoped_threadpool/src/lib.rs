@@ -1,0 +1,245 @@
+//! Offline vendored stand-in for the `scoped_threadpool` crate: a scoped
+//! data-parallel worker pool (API-compatible subset).
+//!
+//! The build environment has no crates-registry access (see
+//! `vendor/README.md`), so the parallel execution engine cannot depend on
+//! `rayon` or the real `scoped_threadpool`. This stand-in provides the
+//! same two-call surface — [`Pool::new`] and [`Pool::scoped`] with
+//! [`Scope::execute`] — built on [`std::thread::scope`], which is what
+//! makes borrowing non-`'static` data from the caller's stack sound: the
+//! scope joins every worker before `scoped` returns, so a job may freely
+//! borrow anything that outlives the `scoped` call.
+//!
+//! Jobs go through a chunked work queue (a mutex-guarded deque with a
+//! condvar): workers pop and run jobs until the scope closure has returned
+//! *and* the queue has drained, so `scoped` is an implicit `join_all`.
+//!
+//! Behavioral differences from upstream `scoped_threadpool 0.1`:
+//!
+//! * workers are spawned per `scoped` call instead of living for the
+//!   lifetime of the [`Pool`] — a few tens of microseconds per call, which
+//!   the cost model's parallelism threshold already amortises;
+//! * `Scope::join_all` / `Scope::forever` are not provided (the implicit
+//!   join at scope end is the only synchronisation point).
+//!
+//! ```
+//! use scoped_threadpool::Pool;
+//!
+//! let mut data = [3u64, 1, 4, 1, 5, 9, 2, 6];
+//! let mut pool = Pool::new(4);
+//! pool.scoped(|scope| {
+//!     for chunk in data.chunks_mut(2) {
+//!         scope.execute(move || {
+//!             for v in chunk.iter_mut() {
+//!                 *v *= 10;
+//!             }
+//!         });
+//!     }
+//! });
+//! assert_eq!(data, [30, 10, 40, 10, 50, 90, 20, 60]);
+//! ```
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// A boxed job, borrowing at most `'scope` data.
+type Job<'scope> = Box<dyn FnOnce() + Send + 'scope>;
+
+/// The shared work queue one `scoped` call drains.
+struct Queue<'scope> {
+    state: Mutex<QueueState<'scope>>,
+    ready: Condvar,
+}
+
+struct QueueState<'scope> {
+    jobs: VecDeque<Job<'scope>>,
+    /// Set once the scope closure has returned: no further jobs will
+    /// arrive, workers exit when the deque is empty.
+    closed: bool,
+}
+
+impl<'scope> Queue<'scope> {
+    fn new() -> Self {
+        Queue {
+            state: Mutex::new(QueueState {
+                jobs: VecDeque::new(),
+                closed: false,
+            }),
+            ready: Condvar::new(),
+        }
+    }
+
+    fn push(&self, job: Job<'scope>) {
+        self.state.lock().unwrap().jobs.push_back(job);
+        self.ready.notify_one();
+    }
+
+    fn close(&self) {
+        self.state.lock().unwrap().closed = true;
+        self.ready.notify_all();
+    }
+
+    /// Blocks for the next job; `None` once the queue is closed and empty.
+    fn pop(&self) -> Option<Job<'scope>> {
+        let mut st = self.state.lock().unwrap();
+        loop {
+            if let Some(job) = st.jobs.pop_front() {
+                return Some(job);
+            }
+            if st.closed {
+                return None;
+            }
+            st = self.ready.wait(st).unwrap();
+        }
+    }
+}
+
+/// A pool of `n` worker threads for scoped, borrowing jobs.
+pub struct Pool {
+    threads: u32,
+}
+
+impl Pool {
+    /// A pool that runs jobs on `threads` workers.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `threads` is zero.
+    pub fn new(threads: u32) -> Pool {
+        assert!(threads >= 1, "a thread pool needs at least one worker");
+        Pool { threads }
+    }
+
+    /// Number of worker threads a `scoped` call will use.
+    pub fn thread_count(&self) -> u32 {
+        self.threads
+    }
+
+    /// Runs `f` with a [`Scope`] through which jobs borrowing `'scope`
+    /// data can be submitted; returns only after every submitted job has
+    /// finished (workers are joined), then yields `f`'s result.
+    ///
+    /// A panicking job aborts the scope: the panic is resurfaced on the
+    /// calling thread once the remaining workers have been joined.
+    pub fn scoped<'scope, F, R>(&mut self, f: F) -> R
+    where
+        F: FnOnce(&Scope<'_, 'scope>) -> R,
+    {
+        let queue = Queue::new();
+        std::thread::scope(|s| {
+            for _ in 0..self.threads {
+                s.spawn(|| {
+                    while let Some(job) = queue.pop() {
+                        job();
+                    }
+                });
+            }
+            let result = f(&Scope { queue: &queue });
+            queue.close();
+            result
+        })
+    }
+}
+
+/// Handle submitting jobs to the workers of one [`Pool::scoped`] call.
+pub struct Scope<'pool, 'scope> {
+    queue: &'pool Queue<'scope>,
+}
+
+impl<'pool, 'scope> Scope<'pool, 'scope> {
+    /// Queues `f` to run on a worker thread. The job may borrow anything
+    /// that outlives the enclosing [`Pool::scoped`] call; it is guaranteed
+    /// to have finished by the time `scoped` returns.
+    pub fn execute<F>(&self, f: F)
+    where
+        F: FnOnce() + Send + 'scope,
+    {
+        self.queue.push(Box::new(f));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn runs_every_job_before_returning() {
+        let counter = AtomicUsize::new(0);
+        let mut pool = Pool::new(4);
+        pool.scoped(|scope| {
+            for _ in 0..100 {
+                scope.execute(|| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn jobs_borrow_disjoint_mutable_chunks() {
+        let mut data = vec![0u64; 1000];
+        let mut pool = Pool::new(3);
+        pool.scoped(|scope| {
+            for (c, chunk) in data.chunks_mut(128).enumerate() {
+                scope.execute(move || {
+                    for (i, v) in chunk.iter_mut().enumerate() {
+                        *v = (c * 128 + i) as u64;
+                    }
+                });
+            }
+        });
+        for (i, v) in data.iter().enumerate() {
+            assert_eq!(*v, i as u64);
+        }
+    }
+
+    #[test]
+    fn scoped_returns_the_closure_result() {
+        let mut pool = Pool::new(2);
+        let r = pool.scoped(|scope| {
+            scope.execute(|| {});
+            7
+        });
+        assert_eq!(r, 7);
+        assert_eq!(pool.thread_count(), 2);
+    }
+
+    #[test]
+    fn single_worker_pool_drains_the_queue() {
+        let sum = AtomicUsize::new(0);
+        let mut pool = Pool::new(1);
+        pool.scoped(|scope| {
+            for i in 1..=10 {
+                let sum = &sum;
+                scope.execute(move || {
+                    sum.fetch_add(i, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 55);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_is_rejected() {
+        let _ = Pool::new(0);
+    }
+
+    #[test]
+    fn scoped_can_be_called_repeatedly() {
+        let mut pool = Pool::new(2);
+        let total = AtomicUsize::new(0);
+        for _ in 0..5 {
+            pool.scoped(|scope| {
+                for _ in 0..4 {
+                    scope.execute(|| {
+                        total.fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+            });
+        }
+        assert_eq!(total.load(Ordering::Relaxed), 20);
+    }
+}
