@@ -1,0 +1,233 @@
+//! Multi-query (shared-work) benchmark: 1000 mixed similarity queries
+//! drawn from a fixed pool, executed twice over the same table — once by
+//! a **cold** session (`SessionOptions::with_cache(false)`, every query
+//! rebuilds its index from scratch) and once by a **warm** session with
+//! the shared-work caches on (index cache with ε-superset grid reuse plus
+//! the whole-result cache). Every query asserts that the two sessions
+//! return bit-identical result tables, so a full run doubles as an
+//! equivalence check; the report header carries the warm session's
+//! `cache_stats()` counters so the JSON pins how much work was shared.
+//!
+//! ```text
+//! mqo [--scale f] [--out path]
+//! ```
+//!
+//! By default the report is written to `BENCH_mqo.json` at the repository
+//! root and a per-pool-query table goes to stderr. The base table holds
+//! `20_000 × scale` points; the query mix is deterministic (LCG), so two
+//! runs at one scale measure the same workload.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use sgb_bench::report::{parse_bench_cli, Report};
+use sgb_relation::{Database, Schema, SessionOptions, Table, Value};
+
+/// Default output path: `<repo root>/BENCH_mqo.json`.
+fn default_out() -> String {
+    concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_mqo.json").to_owned()
+}
+
+/// Total queries executed per session (repeats included).
+const TOTAL_QUERIES: usize = 1000;
+
+/// A deterministic LCG (same constants as the core tests) so the data
+/// and the query schedule are reproducible without `rand`.
+struct Lcg(u64);
+
+impl Lcg {
+    fn next_f64(&mut self) -> f64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (self.0 >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    fn next_usize(&mut self, bound: usize) -> usize {
+        (self.next_f64() * bound as f64) as usize % bound.max(1)
+    }
+}
+
+/// The uniform point table: `n` rows over `[0, 10)²`.
+fn base_table(n: usize) -> Table {
+    let mut rng = Lcg(0x5eed_1234_5678_9abc);
+    let mut t = Table::empty(Schema::new(["x", "y"]));
+    for _ in 0..n {
+        let x = rng.next_f64() * 10.0;
+        let y = rng.next_f64() * 10.0;
+        t.push(vec![Value::Float(x), Value::Float(y)])
+            .expect("generated rows match the schema");
+    }
+    t
+}
+
+/// The distinct-query pool: ε-grid SGB-Any sweeps (two metrics × a range
+/// of ε, so ε-superset grid reuse has work to share), SGB-Around with a
+/// center set large enough that `Auto` builds a center index, and a few
+/// SGB-All shapes (result-cache only — its incremental index is never
+/// shareable).
+fn query_pool() -> Vec<(&'static str, String)> {
+    let mut pool = Vec::new();
+    for metric in ["L2", "LINF"] {
+        for k in 0..16 {
+            let eps = 0.25 + 0.05 * f64::from(k);
+            pool.push((
+                "any",
+                format!(
+                    "SELECT count(*) FROM pts GROUP BY x, y DISTANCE-TO-ANY {metric} WITHIN {eps}"
+                ),
+            ));
+        }
+    }
+    // 160 centers on a regular lattice: above the brute-force crossover,
+    // so Auto builds (and the warm session caches) a center index.
+    let mut centers = String::new();
+    let mut rng = Lcg(0xc0ffee);
+    for i in 0..160 {
+        if i > 0 {
+            centers.push_str(", ");
+        }
+        let x = rng.next_f64() * 10.0;
+        let y = rng.next_f64() * 10.0;
+        centers.push_str(&format!("({x}, {y})"));
+    }
+    for (metric, radius) in [("L2", 1.5), ("LINF", 1.0), ("L1", 2.0)] {
+        pool.push((
+            "around",
+            format!(
+                "SELECT count(*) FROM pts GROUP BY x, y AROUND ({centers}) {metric} WITHIN {radius}"
+            ),
+        ));
+    }
+    for eps in [3.0, 3.5, 4.0] {
+        pool.push((
+            "all",
+            format!("SELECT count(*) FROM pts GROUP BY x, y DISTANCE-TO-ALL L2 WITHIN {eps}"),
+        ));
+    }
+    pool
+}
+
+/// Per-pool-query accumulators across the schedule's repeats.
+#[derive(Default)]
+struct Acc {
+    runs: usize,
+    seconds_cold: f64,
+    seconds_warm: f64,
+    groups_cold: usize,
+    groups_warm: usize,
+}
+
+fn main() -> ExitCode {
+    let cli = match parse_bench_cli(std::env::args().skip(1)) {
+        Ok(cli) if cli.positional.is_none() && cli.threads == 0 => cli,
+        _ => {
+            eprintln!("usage: mqo [--scale f] [--out path]");
+            return ExitCode::FAILURE;
+        }
+    };
+    let out_path = cli.out.unwrap_or_else(default_out);
+    let n = ((20_000.0 * cli.scale) as usize).max(16);
+
+    let table = base_table(n);
+    let mut cold = Database::with_options(SessionOptions::new().with_cache(false));
+    let mut warm = Database::with_options(SessionOptions::new());
+    cold.register("pts", table.clone());
+    warm.register("pts", table);
+
+    let pool = query_pool();
+    let mut schedule = Lcg(0xdecade);
+    let mut accs: BTreeMap<usize, Acc> = BTreeMap::new();
+    let (mut total_cold, mut total_warm) = (0.0f64, 0.0f64);
+    for _ in 0..TOTAL_QUERIES {
+        let qi = schedule.next_usize(pool.len());
+        let sql = &pool[qi].1;
+
+        let t0 = Instant::now();
+        let out_cold = cold.query(sql).expect("pool queries are valid");
+        let dt_cold = t0.elapsed().as_secs_f64();
+
+        let t1 = Instant::now();
+        let out_warm = warm.query(sql).expect("pool queries are valid");
+        let dt_warm = t1.elapsed().as_secs_f64();
+
+        assert_eq!(
+            out_cold, out_warm,
+            "cold and warm sessions must return bit-identical tables for {sql}"
+        );
+
+        let acc = accs.entry(qi).or_default();
+        acc.runs += 1;
+        acc.seconds_cold += dt_cold;
+        acc.seconds_warm += dt_warm;
+        acc.groups_cold = out_cold.len();
+        acc.groups_warm = out_warm.len();
+        total_cold += dt_cold;
+        total_warm += dt_warm;
+    }
+
+    let stats = warm.cache_stats();
+    let speedup = total_cold / total_warm.max(1e-12);
+    eprintln!("# shared-work multi-query: {TOTAL_QUERIES} queries, n = {n}");
+    eprintln!(
+        "# cold {total_cold:.3}s  warm {total_warm:.3}s  speedup {speedup:.1}x  \
+         index {}h/{}m  result {}h/{}m  evictions {}  validations skipped {}",
+        stats.index_hits,
+        stats.index_misses,
+        stats.result_hits,
+        stats.result_misses,
+        stats.evictions,
+        stats.validations_skipped
+    );
+    eprintln!(
+        "{:<8} {:<6} {:>6} {:>12} {:>12} {:>8} {:>8}",
+        "op", "query", "runs", "cold_s", "warm_s", "g_cold", "g_warm"
+    );
+    for (qi, acc) in &accs {
+        eprintln!(
+            "{:<8} {:<6} {:>6} {:>12.4} {:>12.4} {:>8} {:>8}",
+            pool[*qi].0,
+            qi,
+            acc.runs,
+            acc.seconds_cold,
+            acc.seconds_warm,
+            acc.groups_cold,
+            acc.groups_warm
+        );
+    }
+
+    let mut report = Report::new("mqo_shared_work")
+        .field_num("scale", cli.scale)
+        .field_num("n", n as f64)
+        .field_num("queries", TOTAL_QUERIES as f64)
+        .field_num("pool", pool.len() as f64)
+        .field_num("seconds_cold", total_cold)
+        .field_num("seconds_warm", total_warm)
+        .field_num("speedup", speedup)
+        .field_num("index_hits", stats.index_hits as f64)
+        .field_num("index_misses", stats.index_misses as f64)
+        .field_num("result_hits", stats.result_hits as f64)
+        .field_num("result_misses", stats.result_misses as f64)
+        .field_num("evictions", stats.evictions as f64)
+        .field_num("validations_skipped", stats.validations_skipped as f64);
+    for (qi, acc) in &accs {
+        report.push_row(format!(
+            "{{\"op\": \"{}\", \"query\": {}, \"runs\": {}, \"seconds_cold\": {:.6}, \
+             \"seconds_warm\": {:.6}, \"groups_cold\": {}, \"groups_warm\": {}}}",
+            pool[*qi].0,
+            qi,
+            acc.runs,
+            acc.seconds_cold,
+            acc.seconds_warm,
+            acc.groups_cold,
+            acc.groups_warm
+        ));
+    }
+    if let Err(e) = report.write(&out_path) {
+        eprintln!("{e}");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -354,7 +354,12 @@ mod tests {
     /// must stay parseable.
     #[test]
     fn committed_bench_reports_parse() {
-        for name in ["BENCH_metrics.json", "BENCH_around.json", "BENCH_grid.json"] {
+        for name in [
+            "BENCH_metrics.json",
+            "BENCH_around.json",
+            "BENCH_grid.json",
+            "BENCH_mqo.json",
+        ] {
             let path = format!("{}/../../{name}", env!("CARGO_MANIFEST_DIR"));
             let text = std::fs::read_to_string(&path)
                 .unwrap_or_else(|e| panic!("committed report {name} must exist: {e}"));

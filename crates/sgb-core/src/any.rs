@@ -222,81 +222,108 @@ impl<const D: usize> SgbAny<D> {
 ///   bit for bit.
 pub fn sgb_any<const D: usize>(points: &[Point<D>], cfg: &SgbAnyConfig) -> Grouping {
     let (algorithm, _) = cost::resolve_any(cfg.algorithm, points.len(), D);
-    let (eps, metric) = (cfg.eps, cfg.metric);
     for p in points {
         assert!(p.is_finite(), "points must have finite coordinates");
     }
-    let mut dsu = DisjointSet::with_len(points.len());
     match algorithm {
         AnyAlgorithm::AllPairs => {
             let mut op = SgbAny::new(cfg.clone().algorithm(AnyAlgorithm::AllPairs));
             for p in points {
                 op.push(*p);
             }
-            return op.finish();
+            op.finish()
         }
         AnyAlgorithm::Indexed => {
             let index: RTree<D, RecordId> = RTree::from_points(
                 cfg.rtree_fanout,
                 points.iter().enumerate().map(|(i, p)| (*p, i)),
             );
-            let mut stack = Vec::new();
-            for (i, p) in points.iter().enumerate() {
-                index.for_each_within(p, eps, metric, &mut stack, |_, &j| {
-                    if j < i && metric.within(p, &points[j], eps) {
-                        dsu.union(i, j);
-                    }
-                });
-            }
+            sgb_any_tree(points, cfg, &index)
         }
         AnyAlgorithm::Grid => {
-            // The batch ε-join: each close pair surfaces exactly once from
-            // the neighbour-cell scan (a constant number of hash lookups
-            // per occupied cell), verified with the exact `Metric::within`
-            // arithmetic, unioned.
             let index: Grid<D, RecordId> = Grid::from_points(
-                Grid::<D, RecordId>::side_for_eps(eps),
+                Grid::<D, RecordId>::side_for_eps(cfg.eps),
                 points.iter().enumerate().map(|(i, p)| (*p, i)),
             );
             let (threads, _) = cost::threads_for_any(AnyAlgorithm::Grid, cfg.threads, points.len());
-            if threads <= 1 {
-                index.for_each_pair_within(eps, metric, |&i, &j| {
-                    dsu.union(i, j);
-                });
-            } else {
-                // Sharded join: cells are partitioned by hashed key across
-                // `threads` shards and every close pair belongs to exactly
-                // one shard, so the per-shard forests union the same edge
-                // set a sequential run sees. Merging forests is
-                // commutative over edges, hence the final `into_groups`
-                // output is bit-identical to the sequential twin
-                // (asserted by `tests/proptest_parallel.rs`).
-                let mut forests: Vec<DisjointSet> = (0..threads)
-                    .map(|_| DisjointSet::with_len(points.len()))
-                    .collect();
-                let index = &index;
-                let mut pool = scoped_threadpool::Pool::new(threads as u32);
-                pool.scoped(|scope| {
-                    for (shard, forest) in forests.iter_mut().enumerate() {
-                        scope.execute(move || {
-                            index.for_each_pair_within_sharded(
-                                eps,
-                                metric,
-                                shard,
-                                threads,
-                                |&i, &j| {
-                                    forest.union(i, j);
-                                },
-                            );
-                        });
-                    }
-                });
-                for forest in &forests {
-                    dsu.merge_from(forest);
-                }
-            }
+            sgb_any_grid(points, cfg, &index, threads)
         }
         AnyAlgorithm::Auto => unreachable!("resolve_any never returns Auto"),
+    }
+}
+
+/// The batch `Indexed` join of [`sgb_any`] over an already-built point
+/// R-tree — split out so the session index cache can run it against a
+/// tree shared across queries. Only neighbours with a smaller record id
+/// are unioned (the ε-graph is symmetric), reproducing the streaming
+/// components bit for bit.
+pub(crate) fn sgb_any_tree<const D: usize>(
+    points: &[Point<D>],
+    cfg: &SgbAnyConfig,
+    index: &RTree<D, RecordId>,
+) -> Grouping {
+    let (eps, metric) = (cfg.eps, cfg.metric);
+    let mut dsu = DisjointSet::with_len(points.len());
+    let mut stack = Vec::new();
+    for (i, p) in points.iter().enumerate() {
+        index.for_each_within(p, eps, metric, &mut stack, |_, &j| {
+            if j < i && metric.within(p, &points[j], eps) {
+                dsu.union(i, j);
+            }
+        });
+    }
+    Grouping {
+        groups: dsu.into_groups(),
+        eliminated: Vec::new(),
+    }
+}
+
+/// The batch ε-join of [`sgb_any`] over an already-built ε-grid: each
+/// close pair surfaces exactly once from the neighbour-cell scan (a
+/// constant number of hash lookups per occupied cell), verified with the
+/// exact `Metric::within` arithmetic, unioned.
+///
+/// Split out so the session index cache can run it against a shared grid;
+/// the grid's cell side may be *smaller* than ε (ε-superset reuse — the
+/// probe window widens to `ceil(ε / cell) + 1` cells), which never changes
+/// the verified pair set, so the grouping is bit-identical to a grid built
+/// at cell side ε.
+pub(crate) fn sgb_any_grid<const D: usize>(
+    points: &[Point<D>],
+    cfg: &SgbAnyConfig,
+    index: &Grid<D, RecordId>,
+    threads: usize,
+) -> Grouping {
+    let (eps, metric) = (cfg.eps, cfg.metric);
+    let mut dsu = DisjointSet::with_len(points.len());
+    if threads <= 1 {
+        index.for_each_pair_within(eps, metric, |&i, &j| {
+            dsu.union(i, j);
+        });
+    } else {
+        // Sharded join: cells are partitioned by hashed key across
+        // `threads` shards and every close pair belongs to exactly
+        // one shard, so the per-shard forests union the same edge
+        // set a sequential run sees. Merging forests is
+        // commutative over edges, hence the final `into_groups`
+        // output is bit-identical to the sequential twin
+        // (asserted by `tests/proptest_parallel.rs`).
+        let mut forests: Vec<DisjointSet> = (0..threads)
+            .map(|_| DisjointSet::with_len(points.len()))
+            .collect();
+        let mut pool = scoped_threadpool::Pool::new(threads as u32);
+        pool.scoped(|scope| {
+            for (shard, forest) in forests.iter_mut().enumerate() {
+                scope.execute(move || {
+                    index.for_each_pair_within_sharded(eps, metric, shard, threads, |&i, &j| {
+                        forest.union(i, j);
+                    });
+                });
+            }
+        });
+        for forest in &forests {
+            dsu.merge_from(forest);
+        }
     }
     Grouping {
         groups: dsu.into_groups(),

@@ -36,6 +36,8 @@
 //! grid's ring search computes the same canonical distances with the same
 //! `(distance, payload)`-lexicographic argmin.
 
+use std::sync::Arc;
+
 use sgb_geom::Point;
 use sgb_spatial::{Grid, RTree};
 
@@ -45,14 +47,43 @@ use crate::{cost, AroundAlgorithm, Grouping, RecordId, SgbAroundConfig};
 pub type CenterId = usize;
 
 /// The per-tuple nearest-center search structure, per concrete algorithm.
+/// Crate-visible (behind an `Arc`) so the session index cache can build a
+/// center index once and share it across queries — its construction reads
+/// only the query's center coordinates, never the table, so a cached
+/// entry stays valid across table versions and metrics.
 #[derive(Clone, Debug)]
-enum CenterIndex<const D: usize> {
+pub(crate) enum CenterIndex<const D: usize> {
     /// Brute force: scan the configured center list.
     Scan,
     /// Center R-tree, STR bulk-loaded once at construction.
     Tree(RTree<D, CenterId>),
     /// Center grid, bulk-loaded once at construction.
     Cells(Grid<D, CenterId>),
+}
+
+/// Bulk-loads the center search structure for a *concrete* algorithm —
+/// the construction half of [`SgbAround::new`], split out so the session
+/// cache can build (and retain) an index without an operator instance.
+///
+/// # Panics
+/// On [`AroundAlgorithm::Auto`] (resolve first).
+pub(crate) fn build_center_index<const D: usize>(
+    algorithm: AroundAlgorithm,
+    rtree_fanout: usize,
+    centers: &[Point<D>],
+) -> CenterIndex<D> {
+    match algorithm {
+        AroundAlgorithm::BruteForce => CenterIndex::Scan,
+        AroundAlgorithm::Indexed => CenterIndex::Tree(RTree::from_points(
+            rtree_fanout,
+            centers.iter().enumerate().map(|(c, p)| (*p, c)),
+        )),
+        AroundAlgorithm::Grid => CenterIndex::Cells(Grid::from_points(
+            Grid::<D, CenterId>::side_for_points(centers),
+            centers.iter().enumerate().map(|(c, p)| (*p, c)),
+        )),
+        AroundAlgorithm::Auto => unreachable!("resolve_around never returns Auto"),
+    }
 }
 
 /// The answer set of SGB-Around: one group per center (index-aligned with
@@ -168,8 +199,10 @@ pub struct SgbAround<const D: usize> {
     cfg: SgbAroundConfig<D>,
     /// Nearest-center search structure, bulk-loaded once at construction
     /// (centers never change during a run). [`AroundAlgorithm::Auto`]
-    /// resolves from the center count before this is built.
-    index: CenterIndex<D>,
+    /// resolves from the center count before this is built. Shared
+    /// (`Arc`) so the session index cache can hand the same built
+    /// structure to many operator instances.
+    index: Arc<CenterIndex<D>>,
     groups: Vec<Vec<RecordId>>,
     outliers: Vec<RecordId>,
     pushed: usize,
@@ -184,18 +217,20 @@ impl<const D: usize> SgbAround<D> {
     /// algorithm is selected.
     pub fn new(cfg: SgbAroundConfig<D>) -> Self {
         let (algorithm, _) = cost::resolve_around(cfg.algorithm, cfg.centers.len(), D);
-        let index = match algorithm {
-            AroundAlgorithm::BruteForce => CenterIndex::Scan,
-            AroundAlgorithm::Indexed => CenterIndex::Tree(RTree::from_points(
-                cfg.rtree_fanout,
-                cfg.centers.iter().enumerate().map(|(c, p)| (*p, c)),
-            )),
-            AroundAlgorithm::Grid => CenterIndex::Cells(Grid::from_points(
-                Grid::<D, CenterId>::side_for_points(&cfg.centers),
-                cfg.centers.iter().enumerate().map(|(c, p)| (*p, c)),
-            )),
-            AroundAlgorithm::Auto => unreachable!("resolve_around never returns Auto"),
-        };
+        let index = Arc::new(build_center_index(
+            algorithm,
+            cfg.rtree_fanout,
+            &cfg.centers,
+        ));
+        Self::with_center_index(cfg, index)
+    }
+
+    /// Creates the operator around an already-built center index (the
+    /// session cache's entry point). The index must have been built from
+    /// `cfg.centers` in order — construction ignores the metric and the
+    /// table, so one built index serves every query over the same center
+    /// list.
+    pub(crate) fn with_center_index(cfg: SgbAroundConfig<D>, index: Arc<CenterIndex<D>>) -> Self {
         let groups = vec![Vec::new(); cfg.centers.len()];
         Self {
             cfg,
@@ -215,7 +250,7 @@ impl<const D: usize> SgbAround<D> {
     /// The concrete search strategy this operator runs with
     /// ([`AroundAlgorithm::Auto`] resolved at construction).
     pub fn resolved_algorithm(&self) -> AroundAlgorithm {
-        match &self.index {
+        match &*self.index {
             CenterIndex::Scan => AroundAlgorithm::BruteForce,
             CenterIndex::Tree(_) => AroundAlgorithm::Indexed,
             CenterIndex::Cells(_) => AroundAlgorithm::Grid,

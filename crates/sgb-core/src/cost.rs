@@ -162,6 +162,27 @@ pub fn resolve_any(configured_algo: AnyAlgorithm, n: usize, dims: usize) -> (Any
     }
 }
 
+/// [`resolve_any`] for a session that may already hold a usable cached
+/// ε-grid for the input's table version. A cached grid has zero build
+/// cost, which flips the small-n trade-off: the plain scan only won
+/// because index *construction* dominated, so when construction is free
+/// the grid path wins at every cardinality (within its dimensionality
+/// sweet spot). Non-`Auto` inputs still pass through unchanged.
+pub fn resolve_any_with_cache(
+    configured_algo: AnyAlgorithm,
+    n: usize,
+    dims: usize,
+    cached_grid: bool,
+) -> (AnyAlgorithm, String) {
+    if configured_algo == AnyAlgorithm::Auto && cached_grid && dims <= GRID_MAX_DIMS {
+        return (
+            AnyAlgorithm::Grid,
+            format!("auto: cached eps-grid for this table version, zero build cost (n = {n})"),
+        );
+    }
+    resolve_any(configured_algo, n, dims)
+}
+
 /// Streaming counterpart of [`resolve_any`] — see
 /// [`resolve_all_streaming`] for the rationale.
 pub fn resolve_any_streaming(configured_algo: AnyAlgorithm, dims: usize) -> AnyAlgorithm {
@@ -222,6 +243,29 @@ pub fn resolve_around(
         }
         other => (other, configured()),
     }
+}
+
+/// [`resolve_around`] for a session that may already hold a cached center
+/// index for this exact center set. Center indexes are built from the
+/// query's centers (not the table), so a hit means zero build cost and
+/// `Auto` reuses the cached structure even below the brute-force
+/// crossover. `cached` names the concrete algorithm of the cached index,
+/// when one exists. Non-`Auto` inputs still pass through unchanged.
+pub fn resolve_around_with_cache(
+    configured_algo: AroundAlgorithm,
+    centers: usize,
+    dims: usize,
+    cached: Option<AroundAlgorithm>,
+) -> (AroundAlgorithm, String) {
+    if configured_algo == AroundAlgorithm::Auto && dims <= GRID_MAX_DIMS {
+        if let Some(algo @ (AroundAlgorithm::Grid | AroundAlgorithm::Indexed)) = cached {
+            return (
+                algo,
+                format!("auto: cached center index, zero build cost ({centers} centers)"),
+            );
+        }
+    }
+    resolve_around(configured_algo, centers, dims)
 }
 
 /// Resolves the worker-thread count for a parallelisable path over `n`
@@ -423,6 +467,48 @@ mod tests {
         // SGB-Around parallelises on every concrete path.
         assert_eq!(threads_for_around(5, 10).0, 5);
         assert_eq!(threads_for_around(0, 10).0, 1);
+    }
+
+    #[test]
+    fn cache_aware_resolution_prefers_the_free_index() {
+        // A cached grid flips Auto onto the grid path even below the
+        // build-amortisation threshold…
+        let (algo, reason) = resolve_any_with_cache(AnyAlgorithm::Auto, 10, 2, true);
+        assert_eq!(algo, AnyAlgorithm::Grid);
+        assert!(reason.contains("zero build cost"), "{reason}");
+        // …but never outside the grid's dimensionality sweet spot, never
+        // without a cached index, and never over an explicit choice.
+        assert_eq!(
+            resolve_any_with_cache(AnyAlgorithm::Auto, 10_000, 5, true).0,
+            AnyAlgorithm::Indexed
+        );
+        assert_eq!(
+            resolve_any_with_cache(AnyAlgorithm::Auto, 10, 2, false),
+            resolve_any(AnyAlgorithm::Auto, 10, 2)
+        );
+        assert_eq!(
+            resolve_any_with_cache(AnyAlgorithm::AllPairs, 10_000, 2, true).0,
+            AnyAlgorithm::AllPairs
+        );
+
+        let (algo, reason) =
+            resolve_around_with_cache(AroundAlgorithm::Auto, 3, 2, Some(AroundAlgorithm::Grid));
+        assert_eq!(algo, AroundAlgorithm::Grid);
+        assert!(reason.contains("zero build cost"), "{reason}");
+        assert_eq!(
+            resolve_around_with_cache(AroundAlgorithm::Auto, 3, 2, None),
+            resolve_around(AroundAlgorithm::Auto, 3, 2)
+        );
+        // A cached brute "index" is no index at all: fall through.
+        assert_eq!(
+            resolve_around_with_cache(
+                AroundAlgorithm::Auto,
+                3,
+                2,
+                Some(AroundAlgorithm::BruteForce)
+            ),
+            resolve_around(AroundAlgorithm::Auto, 3, 2)
+        );
     }
 
     #[test]

@@ -76,6 +76,7 @@ pub mod aggregate;
 pub mod all;
 pub mod any;
 pub mod around;
+pub mod cache;
 pub mod config;
 pub mod cost;
 pub mod grouping;
@@ -85,6 +86,7 @@ pub use aggregate::{aggregate_groups, collect_groups, AggregateFn, GroupAggregat
 pub use all::{sgb_all, SgbAll};
 pub use any::{sgb_any, SgbAny};
 pub use around::{sgb_around, AroundGrouping, CenterId, SgbAround};
+pub use cache::{CacheStats, SgbCache};
 pub use config::{
     Algorithm, AllAlgorithm, AnyAlgorithm, AroundAlgorithm, OverlapAction, SgbAllConfig,
     SgbAnyConfig, SgbAroundConfig,

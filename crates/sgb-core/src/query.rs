@@ -47,13 +47,18 @@
 //! assert!(out.outliers().is_empty());
 //! ```
 
-use sgb_geom::{Metric, Point};
+use std::sync::Arc;
 
-use crate::around::AroundGrouping;
+use sgb_geom::{Metric, Point};
+use sgb_spatial::{Grid, RTree};
+
+use crate::any::{sgb_any_grid, sgb_any_tree};
+use crate::around::{AroundGrouping, CenterIndex};
+use crate::cache::SgbCache;
 use crate::grouping::Grouping as FlatGrouping;
 use crate::{
-    cost, sgb_all, sgb_any, Algorithm, OverlapAction, RecordId, SgbAll, SgbAllConfig, SgbAny,
-    SgbAnyConfig, SgbAround, SgbAroundConfig,
+    cost, sgb_all, sgb_any, Algorithm, AnyAlgorithm, AroundAlgorithm, OverlapAction, RecordId,
+    SgbAll, SgbAllConfig, SgbAny, SgbAnyConfig, SgbAround, SgbAroundConfig,
 };
 
 /// The unified answer set of the SGB operator family (Definition 3, plus
@@ -387,6 +392,11 @@ pub struct SgbQuery<const D: usize> {
     threads: usize,
 }
 
+/// The default R-tree fan-out of a freshly-built query (shared with the
+/// SQL layer, whose cache probes must key on the same value the executor
+/// will build with).
+pub const DEFAULT_RTREE_FANOUT: usize = 12;
+
 impl<const D: usize> SgbQuery<D> {
     fn new(op: OpSpec<D>) -> Self {
         Self {
@@ -395,7 +405,7 @@ impl<const D: usize> SgbQuery<D> {
             algorithm: Algorithm::default(),
             seed: 0x5EED,
             hull_threshold: 16,
-            rtree_fanout: 12,
+            rtree_fanout: DEFAULT_RTREE_FANOUT,
             threads: 0,
         }
     }
@@ -694,6 +704,156 @@ impl<const D: usize> SgbQuery<D> {
                 Grouping::from_around(op.finish(), resolved.into(), reason, threads)
             }
         }
+    }
+
+    /// Runs the query through a shared-work [`SgbCache`], reusing spatial
+    /// indexes (and whole results) built by earlier queries over the same
+    /// point set.
+    ///
+    /// `version` is the caller's monotone counter for the point set: bump
+    /// it on every content change and cached state from older versions is
+    /// dropped, never served. Under an unchanged version the cache
+    /// supplies:
+    ///
+    /// * the SGB-Any ε-grid — including **ε-superset reuse**, where one
+    ///   grid serves nearby larger ε values by widening the probe window;
+    /// * the SGB-Any point R-tree (keyed on fan-out);
+    /// * the SGB-Around center index — version-free, since it is built
+    ///   from the query's centers, never the table;
+    /// * the complete [`Grouping`] of an exact repeat query;
+    /// * the once-per-version finiteness validation, skipping
+    ///   [`run`](Self::run)'s O(n·d) scan on every warm execution.
+    ///
+    /// [`Algorithm::Auto`] resolves cache-aware
+    /// ([`cost::resolve_any_with_cache`] /
+    /// [`cost::resolve_around_with_cache`]): a cached index has zero build
+    /// cost, so it can win below the cold crossover. Whatever path runs,
+    /// the answer sets are **bit-identical** to [`run`](Self::run) — index
+    /// probes verify with the canonical predicate and SGB-Any's component
+    /// extraction is union-order insensitive.
+    ///
+    /// # Panics
+    /// Like [`run`](Self::run) if any point has a non-finite coordinate.
+    #[must_use]
+    pub fn run_cached(&self, points: &[Point<D>], cache: &SgbCache<D>, version: u64) -> Grouping {
+        cache.validate_once(version, points);
+        let fingerprint = self.fingerprint();
+        if let Some(hit) = cache.lookup_result(version, &fingerprint) {
+            return hit;
+        }
+        let out = match &self.op {
+            // SGB-All builds no reusable structure (its index tracks the
+            // *live groups*, which exist only mid-run), so only the whole
+            // result is cacheable — it is deterministic given the seed.
+            OpSpec::All { eps, overlap } => {
+                let (resolved, reason) =
+                    cost::resolve_all(self.algorithm.for_all(), points.len(), D);
+                let (threads, _) = cost::threads_for_all();
+                let cfg = self.all_config(*eps, *overlap).algorithm(resolved);
+                Grouping::from_flat(sgb_all(points, &cfg), resolved.into(), reason, threads)
+            }
+            OpSpec::Any { eps } => {
+                let base = self.algorithm.for_any().expect("validated by algorithm()");
+                let (resolved, reason) = cost::resolve_any_with_cache(
+                    base,
+                    points.len(),
+                    D,
+                    cache.has_usable_grid(version, *eps),
+                );
+                let (threads, _) = cost::threads_for_any(resolved, self.threads, points.len());
+                let cfg = self.any_config(*eps).algorithm(resolved).threads(threads);
+                let flat = match resolved {
+                    AnyAlgorithm::AllPairs => sgb_any(points, &cfg),
+                    AnyAlgorithm::Indexed => {
+                        let index = cache.get_or_build_tree(version, self.rtree_fanout, || {
+                            RTree::from_points(
+                                self.rtree_fanout,
+                                points.iter().enumerate().map(|(i, p)| (*p, i)),
+                            )
+                        });
+                        sgb_any_tree(points, &cfg, &index)
+                    }
+                    AnyAlgorithm::Grid => {
+                        let index = cache.get_or_build_grid(version, *eps, |side| {
+                            Grid::from_points(side, points.iter().enumerate().map(|(i, p)| (*p, i)))
+                        });
+                        sgb_any_grid(points, &cfg, &index, threads)
+                    }
+                    AnyAlgorithm::Auto => unreachable!("resolve_any never returns Auto"),
+                };
+                Grouping::from_flat(flat, resolved.into(), reason, threads)
+            }
+            OpSpec::Around {
+                centers,
+                max_radius,
+            } => {
+                let base = self
+                    .algorithm
+                    .for_around()
+                    .expect("validated by algorithm()");
+                let (resolved, reason) = cost::resolve_around_with_cache(
+                    base,
+                    centers.len(),
+                    D,
+                    cache.cached_center_algorithm(centers, self.rtree_fanout),
+                );
+                let (threads, _) = cost::threads_for_around(self.threads, points.len());
+                let cfg = self
+                    .around_config(centers.clone(), *max_radius)
+                    .algorithm(resolved)
+                    .threads(threads);
+                let index = match resolved {
+                    // The brute scan has no structure worth caching.
+                    AroundAlgorithm::BruteForce => Arc::new(CenterIndex::Scan),
+                    AroundAlgorithm::Indexed | AroundAlgorithm::Grid => {
+                        cache.get_or_build_center_index(resolved, self.rtree_fanout, centers)
+                    }
+                    AroundAlgorithm::Auto => unreachable!("resolve_around never returns Auto"),
+                };
+                let mut op = SgbAround::with_center_index(cfg, index);
+                op.extend_from_slice(points);
+                Grouping::from_around(op.finish(), resolved.into(), reason, threads)
+            }
+        };
+        cache.store_result(version, fingerprint, out.clone());
+        out
+    }
+
+    /// A total encoding of every knob that can influence this query's
+    /// grouping *or its metadata* — the key of the whole-result cache.
+    /// Floats enter by bit pattern (all finite by construction).
+    fn fingerprint(&self) -> Vec<u64> {
+        let mut fp = vec![
+            self.metric as u64,
+            self.algorithm as u64,
+            self.seed,
+            self.hull_threshold as u64,
+            self.rtree_fanout as u64,
+            self.threads as u64,
+        ];
+        match &self.op {
+            OpSpec::All { eps, overlap } => {
+                fp.extend([1, eps.to_bits(), *overlap as u64]);
+            }
+            OpSpec::Any { eps } => fp.extend([2, eps.to_bits()]),
+            OpSpec::Around {
+                centers,
+                max_radius,
+            } => {
+                fp.extend([
+                    3,
+                    max_radius.is_some() as u64,
+                    max_radius.unwrap_or(0.0).to_bits(),
+                    centers.len() as u64,
+                ]);
+                fp.extend(
+                    centers
+                        .iter()
+                        .flat_map(|p| p.coords().iter().map(|c| c.to_bits())),
+                );
+            }
+        }
+        fp
     }
 
     /// Turns the query into a streaming operator: push points in arrival

@@ -1,9 +1,15 @@
 //! The database façade: catalog + SQL entry points.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
+use sgb_core::{Algorithm, CacheStats};
+
+use crate::cache::{slot_key, SessionCaches};
 use crate::error::{Error, Result};
-use crate::exec::execute;
+use crate::exec::{execute, extract_points};
+use crate::expr::BoundExpr;
+use crate::plan::{Plan, SgbMode};
 use crate::planner::plan_select;
 use crate::schema::Schema;
 use crate::session::SessionOptions;
@@ -25,10 +31,26 @@ use crate::table::Table;
 ///     .unwrap();
 /// assert_eq!(out.len(), 2); // {1,2} and {9}
 /// ```
-#[derive(Clone, Debug, Default)]
+#[derive(Debug, Default)]
 pub struct Database {
     tables: HashMap<String, Table>,
     session: SessionOptions,
+    caches: Arc<SessionCaches>,
+}
+
+impl Clone for Database {
+    fn clone(&self) -> Self {
+        // A clone is an independent session: it keeps the catalog and
+        // options but starts with empty shared-work caches, so two
+        // sessions never interleave their hit/miss counters (the cloned
+        // tables keep their versions — indexes simply rebuild on first
+        // use).
+        Self {
+            tables: self.tables.clone(),
+            session: self.session,
+            caches: Arc::new(SessionCaches::default()),
+        }
+    }
 }
 
 impl Database {
@@ -55,6 +77,7 @@ impl Database {
         Self {
             tables: HashMap::new(),
             session,
+            caches: Arc::new(SessionCaches::default()),
         }
     }
 
@@ -81,13 +104,21 @@ impl Database {
     }
 
     /// Registers (or replaces) a table under `name`.
-    pub fn register(&mut self, name: &str, table: Table) {
-        self.tables.insert(name.to_ascii_lowercase(), table);
+    pub fn register(&mut self, name: &str, mut table: Table) {
+        let key = name.to_ascii_lowercase();
+        // The incoming table may be a clone that was mutated through its
+        // public `rows` since its version was drawn; re-version it so no
+        // cached state built for the original can be mistaken for it.
+        table.bump_version();
+        self.caches.remove_table(&key);
+        self.tables.insert(key, table);
     }
 
     /// Removes a table; `true` when it existed.
     pub fn drop_table(&mut self, name: &str) -> bool {
-        self.tables.remove(&name.to_ascii_lowercase()).is_some()
+        let key = name.to_ascii_lowercase();
+        self.caches.remove_table(&key);
+        self.tables.remove(&key).is_some()
     }
 
     /// Looks up a table.
@@ -168,5 +199,149 @@ impl Database {
             Statement::Select(stmt) => Ok(plan_select(self, &stmt)?.explain()),
             _ => Err(Error::Unsupported("explain() only accepts SELECT".into())),
         }
+    }
+
+    /// The session's shared-work caches (executor fetch-or-build, planner
+    /// read-only probes).
+    pub(crate) fn caches(&self) -> &SessionCaches {
+        &self.caches
+    }
+
+    /// The summed hit/miss/eviction counters of the session's shared-work
+    /// caches (see [`SessionOptions::cache`]). Counters only move when a
+    /// query executes — `EXPLAIN` probes without counting.
+    ///
+    /// ```
+    /// use sgb_relation::Database;
+    ///
+    /// let mut db = Database::new();
+    /// db.execute("CREATE TABLE pts (x DOUBLE, y DOUBLE)").unwrap();
+    /// db.execute("INSERT INTO pts VALUES (1.0, 1.0), (2.0, 2.0)").unwrap();
+    /// let q = "SELECT count(*) FROM pts GROUP BY x, y DISTANCE-TO-ANY L2 WITHIN 1.5";
+    /// db.execute(q).unwrap();
+    /// db.execute(q).unwrap(); // exact repeat: served from the result cache
+    /// assert_eq!(db.cache_stats().result_hits, 1);
+    /// ```
+    pub fn cache_stats(&self) -> CacheStats {
+        self.caches.stats()
+    }
+
+    /// Executes a batch of statements in order, sharing index builds
+    /// across each contiguous run of SELECTs: the run's ε-grid queries
+    /// over one table are grouped and their grid is built **once**, sized
+    /// for the smallest ε, then every ε-superset query in the run reuses
+    /// it. Results are identical to executing the statements one by one
+    /// (the shared grid verifies with the canonical predicate); errors
+    /// surface at their statement's position, having executed everything
+    /// before it.
+    pub fn run_batch(&mut self, statements: &[&str]) -> Result<Vec<Table>> {
+        let mut results = Vec::with_capacity(statements.len());
+        let mut i = 0;
+        while i < statements.len() {
+            // The maximal run of SELECTs starting at `i` (a statement
+            // that fails to parse joins no run; it errors below in
+            // execution order).
+            let mut j = i;
+            while j < statements.len()
+                && matches!(parse_statement(statements[j]), Ok(Statement::Select(_)))
+            {
+                j += 1;
+            }
+            if j > i && self.session.cache {
+                self.prewarm_batch(&statements[i..j]);
+            }
+            let end = j.max(i + 1);
+            for sql in &statements[i..end] {
+                results.push(self.execute(sql)?);
+            }
+            i = end;
+        }
+        Ok(results)
+    }
+
+    /// Best-effort batch prewarm: plans each SELECT, collects the ε-grid
+    /// similarity nodes that scan a base table directly, and builds one
+    /// grid per `(table, coordinates)` group at the group's smallest ε.
+    /// Any failure is ignored — execution simply rebuilds cold.
+    fn prewarm_batch(&self, statements: &[&str]) {
+        let mut groups: HashMap<(String, String, usize), (f64, Vec<BoundExpr>)> = HashMap::new();
+        for sql in statements {
+            let Ok(Statement::Select(stmt)) = parse_statement(sql) else {
+                continue;
+            };
+            let Ok(plan) = plan_select(self, &stmt) else {
+                continue;
+            };
+            collect_grid_targets(&plan, &mut groups);
+        }
+        for ((table, coords_key, dims), (eps, coords)) in groups {
+            let Ok(t) = self.table(&table) else { continue };
+            let version = t.version();
+            match dims {
+                2 => {
+                    let slot = self.caches.slot2(&table, &coords_key);
+                    if let Ok(points) =
+                        slot.points_for(version, || extract_points::<2>(&t.rows, &coords))
+                    {
+                        slot.core().prewarm_grid(version, eps, &points);
+                    }
+                }
+                3 => {
+                    let slot = self.caches.slot3(&table, &coords_key);
+                    if let Ok(points) =
+                        slot.points_for(version, || extract_points::<3>(&t.rows, &coords))
+                    {
+                        slot.core().prewarm_grid(version, eps, &points);
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+/// Collects the batch-prewarmable similarity nodes of a plan: SGB-Any
+/// resolved to the ε-grid, reading a base table directly (only then does
+/// the table version describe the node's input). Keeps the smallest ε
+/// per `(table, coordinates, dims)` group — the grid every other ε in
+/// the group can reuse.
+fn collect_grid_targets(
+    plan: &Plan,
+    out: &mut HashMap<(String, String, usize), (f64, Vec<BoundExpr>)>,
+) {
+    match plan {
+        Plan::SimilarityGroupBy {
+            input,
+            coords,
+            mode:
+                SgbMode::Any {
+                    eps,
+                    algorithm: Algorithm::Grid,
+                    ..
+                },
+            ..
+        } => {
+            if let Plan::Scan { table, .. } = &**input {
+                if !table.is_empty() {
+                    let key = (table.to_ascii_lowercase(), slot_key(coords), coords.len());
+                    out.entry(key)
+                        .and_modify(|(e, _)| *e = e.min(*eps))
+                        .or_insert_with(|| (*eps, coords.clone()));
+                }
+            }
+            collect_grid_targets(input, out);
+        }
+        Plan::Filter { input, .. }
+        | Plan::Project { input, .. }
+        | Plan::Sort { input, .. }
+        | Plan::Limit { input, .. }
+        | Plan::HashAggregate { input, .. }
+        | Plan::SimilarityGroupBy { input, .. }
+        | Plan::SimilarityAround { input, .. } => collect_grid_targets(input, out),
+        Plan::HashJoin { left, right, .. } | Plan::CrossJoin { left, right, .. } => {
+            collect_grid_targets(left, out);
+            collect_grid_targets(right, out);
+        }
+        Plan::Scan { .. } => {}
     }
 }

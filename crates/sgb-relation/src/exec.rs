@@ -6,6 +6,7 @@ use sgb_core::query::Grouping;
 use sgb_core::{Algorithm, SgbQuery};
 use sgb_geom::{Metric, Point};
 
+use crate::cache::{slot_key, Slot};
 use crate::engine::Database;
 use crate::error::{Error, Result};
 use crate::expr::BoundExpr;
@@ -18,10 +19,7 @@ pub fn execute(plan: &Plan, db: &Database) -> Result<Table> {
     match plan {
         Plan::Scan { table, .. } => {
             let t = db.table(table)?;
-            Ok(Table {
-                schema: plan.schema().clone(),
-                rows: t.rows.clone(),
-            })
+            Ok(Table::from_parts(plan.schema().clone(), t.rows.clone()))
         }
         Plan::Filter { input, predicate } => {
             let mut t = execute(input, db)?;
@@ -48,10 +46,7 @@ pub fn execute(plan: &Plan, db: &Database) -> Result<Table> {
                 }
                 rows.push(out);
             }
-            Ok(Table {
-                schema: schema.clone(),
-                rows,
-            })
+            Ok(Table::from_parts(schema.clone(), rows))
         }
         Plan::HashJoin {
             left,
@@ -93,10 +88,7 @@ pub fn execute(plan: &Plan, db: &Database) -> Result<Table> {
                     }
                 }
             }
-            Ok(Table {
-                schema: schema.clone(),
-                rows,
-            })
+            Ok(Table::from_parts(schema.clone(), rows))
         }
         Plan::CrossJoin {
             left,
@@ -113,10 +105,7 @@ pub fn execute(plan: &Plan, db: &Database) -> Result<Table> {
                     rows.push(out);
                 }
             }
-            Ok(Table {
-                schema: schema.clone(),
-                rows,
-            })
+            Ok(Table::from_parts(schema.clone(), rows))
         }
         Plan::HashAggregate {
             input,
@@ -170,10 +159,7 @@ pub fn execute(plan: &Plan, db: &Database) -> Result<Table> {
                 }
                 rows.push(out);
             }
-            Ok(Table {
-                schema: schema.clone(),
-                rows,
-            })
+            Ok(Table::from_parts(schema.clone(), rows))
         }
         Plan::SimilarityGroupBy {
             input,
@@ -185,7 +171,13 @@ pub fn execute(plan: &Plan, db: &Database) -> Result<Table> {
             schema,
         } => {
             let t = execute(input, db)?;
-            let grouping = run_sgb(&t.rows, coords, mode)?;
+            // Route through the session's shared-work cache when the node
+            // reads a base table directly — only then does the table's
+            // version counter describe the operator's actual input.
+            let grouping = match cached_scan_table(db, input) {
+                Some(table) => run_sgb_cached(db, &table, &t.rows, coords, mode)?,
+                None => run_sgb(&t.rows, coords, mode)?,
+            };
             aggregate_grouping(&t, &grouping, aggs, having, outputs, schema)
         }
         Plan::SimilarityAround {
@@ -203,9 +195,14 @@ pub fn execute(plan: &Plan, db: &Database) -> Result<Table> {
             ..
         } => {
             let t = execute(input, db)?;
-            let grouping = run_around(
-                &t.rows, coords, centers, *metric, *radius, *algorithm, *threads,
-            )?;
+            let grouping = match cached_scan_table(db, input) {
+                Some(table) => run_around_cached(
+                    db, &table, &t.rows, coords, centers, *metric, *radius, *algorithm, *threads,
+                )?,
+                None => run_around(
+                    &t.rows, coords, centers, *metric, *radius, *algorithm, *threads,
+                )?,
+            };
             aggregate_grouping(&t, &grouping, aggs, having, outputs, schema)
         }
         Plan::Sort { input, keys } => {
@@ -278,15 +275,29 @@ fn aggregate_grouping(
         }
         rows.push(out);
     }
-    Ok(Table {
-        schema: schema.clone(),
-        rows,
-    })
+    Ok(Table::from_parts(schema.clone(), rows))
+}
+
+/// The table a similarity node's cache slot is scoped to, when caching
+/// applies: the session cache is on and the node's input is a bare
+/// catalog scan (the planner's pushdown briefly uses empty-named `Scan`
+/// placeholders; those never qualify). Lower-cased, matching the catalog.
+fn cached_scan_table(db: &Database, input: &Plan) -> Option<String> {
+    if !db.session().cache {
+        return None;
+    }
+    match input {
+        Plan::Scan { table, .. } if !table.is_empty() => Some(table.to_ascii_lowercase()),
+        _ => None,
+    }
 }
 
 /// Extracts the 2-D or 3-D grouping points of every row (the paper's "two
 /// and three dimensional data space").
-fn extract_points<const D: usize>(rows: &[Row], coords: &[BoundExpr]) -> Result<Vec<Point<D>>> {
+pub(crate) fn extract_points<const D: usize>(
+    rows: &[Row],
+    coords: &[BoundExpr],
+) -> Result<Vec<Point<D>>> {
     debug_assert_eq!(coords.len(), D);
     let mut points: Vec<Point<D>> = Vec::with_capacity(rows.len());
     for row in rows {
@@ -327,8 +338,13 @@ fn run_sgb_d<const D: usize>(
     mode: &SgbMode,
 ) -> Result<Grouping> {
     let points = extract_points::<D>(rows, coords)?;
-    // The plan's algorithm is already resolved (never `Auto`), so the
-    // query's own cost model passes it through unchanged.
+    Ok(sgb_query::<D>(mode)?.run(&points))
+}
+
+/// Lowers a plan's SGB-All / SGB-Any mode into the core query. The plan's
+/// algorithm is already resolved (never `Auto`), so the query's own cost
+/// model passes it through unchanged.
+fn sgb_query<const D: usize>(mode: &SgbMode) -> Result<SgbQuery<D>> {
     Ok(match mode {
         SgbMode::All {
             eps,
@@ -341,8 +357,7 @@ fn run_sgb_d<const D: usize>(
             .metric(*metric)
             .overlap(*overlap)
             .algorithm(*algorithm)
-            .seed(*seed)
-            .run(&points),
+            .seed(*seed),
         SgbMode::Any {
             eps,
             metric,
@@ -361,9 +376,49 @@ fn run_sgb_d<const D: usize>(
                 .metric(*metric)
                 .algorithm(*algorithm)
                 .threads(*threads)
-                .run(&points)
         }
     })
+}
+
+/// [`run_sgb`] through the session's shared-work cache: the slot supplies
+/// the extracted points of the current table version (skipping the
+/// O(n·d) conversion-and-validation pass on repeats), the cached spatial
+/// indexes, and whole results of exact repeat queries. Bit-identical to
+/// the cold path.
+fn run_sgb_cached(
+    db: &Database,
+    table: &str,
+    rows: &[Row],
+    coords: &[BoundExpr],
+    mode: &SgbMode,
+) -> Result<Grouping> {
+    let key = slot_key(coords);
+    match coords.len() {
+        2 => {
+            let slot = db.caches().slot2(table, &key);
+            run_sgb_cached_d::<2>(db, table, rows, coords, mode, &slot)
+        }
+        3 => {
+            let slot = db.caches().slot3(table, &key);
+            run_sgb_cached_d::<3>(db, table, rows, coords, mode, &slot)
+        }
+        n => Err(Error::Unsupported(format!(
+            "similarity grouping over {n} attributes (2 or 3 supported)"
+        ))),
+    }
+}
+
+fn run_sgb_cached_d<const D: usize>(
+    db: &Database,
+    table: &str,
+    rows: &[Row],
+    coords: &[BoundExpr],
+    mode: &SgbMode,
+    slot: &Slot<D>,
+) -> Result<Grouping> {
+    let version = db.table(table)?.version();
+    let points = slot.points_for(version, || extract_points::<D>(rows, coords))?;
+    Ok(sgb_query::<D>(mode)?.run_cached(&points, slot.core(), version))
 }
 
 /// Runs SGB-Around over the grouping points: every row joins the group of
@@ -399,6 +454,17 @@ fn run_around_d<const D: usize>(
     threads: usize,
 ) -> Result<Grouping> {
     let points = extract_points::<D>(rows, coords)?;
+    Ok(around_query::<D>(centers, metric, radius, algorithm, threads)?.run(&points))
+}
+
+/// Lowers a plan's AROUND parameters into the core query.
+fn around_query<const D: usize>(
+    centers: &[Vec<f64>],
+    metric: Metric,
+    radius: Option<f64>,
+    algorithm: Algorithm,
+    threads: usize,
+) -> Result<SgbQuery<D>> {
     // The parser guarantees a non-empty list of finite, correctly-sized
     // centers and a valid radius; keep defensive errors for plans built
     // programmatically (the core config asserts on these and would abort).
@@ -437,7 +503,54 @@ fn run_around_d<const D: usize>(
         }
         query = query.max_radius(r);
     }
-    Ok(query.run(&points))
+    Ok(query)
+}
+
+/// [`run_around`] through the session's shared-work cache; see
+/// [`run_sgb_cached`]. The center index additionally survives table
+/// mutations — it is built from the query's centers, never the table.
+#[allow(clippy::too_many_arguments)]
+fn run_around_cached(
+    db: &Database,
+    table: &str,
+    rows: &[Row],
+    coords: &[BoundExpr],
+    centers: &[Vec<f64>],
+    metric: Metric,
+    radius: Option<f64>,
+    algorithm: Algorithm,
+    threads: usize,
+) -> Result<Grouping> {
+    let key = slot_key(coords);
+    match coords.len() {
+        2 => {
+            let slot = db.caches().slot2(table, &key);
+            let version = db.table(table)?.version();
+            let points = slot.points_for(version, || extract_points::<2>(rows, coords))?;
+            Ok(
+                around_query::<2>(centers, metric, radius, algorithm, threads)?.run_cached(
+                    &points,
+                    slot.core(),
+                    version,
+                ),
+            )
+        }
+        3 => {
+            let slot = db.caches().slot3(table, &key);
+            let version = db.table(table)?.version();
+            let points = slot.points_for(version, || extract_points::<3>(rows, coords))?;
+            Ok(
+                around_query::<3>(centers, metric, radius, algorithm, threads)?.run_cached(
+                    &points,
+                    slot.core(),
+                    version,
+                ),
+            )
+        }
+        n => Err(Error::Unsupported(format!(
+            "similarity grouping over {n} attributes (2 or 3 supported)"
+        ))),
+    }
 }
 
 /// Running accumulator for one aggregate call.

@@ -37,6 +37,7 @@
 //! assert_eq!(counts, vec!["2", "2"]);
 //! ```
 
+mod cache;
 pub mod engine;
 pub mod error;
 pub mod exec;
@@ -52,8 +53,12 @@ pub mod value;
 pub use engine::Database;
 pub use error::{Error, Result};
 pub use expr::{BinOp, BoundExpr};
-pub use plan::{AggCall, AggKind, Plan, SgbMode};
+pub use plan::{AggCall, AggKind, IndexCacheStatus, Plan, SgbMode};
 pub use schema::{Column, Schema};
 pub use session::SessionOptions;
 pub use table::{Row, Table};
 pub use value::Value;
+
+// Re-export the cache counters so sessions can read `cache_stats()`
+// without importing sgb-core directly.
+pub use sgb_core::CacheStats;

@@ -56,6 +56,41 @@ pub struct AggCall {
     pub arg: Option<BoundExpr>,
 }
 
+/// What the session's index cache will do for a similarity node — resolved
+/// at plan time so `EXPLAIN` can report it, and rendered as the trailing
+/// `index: …` note of the node's path block.
+///
+/// The planner only *probes* the cache (read-only); the counters in
+/// [`crate::Database::cache_stats`] move when the executor actually
+/// fetches or builds the index.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum IndexCacheStatus {
+    /// A usable cached index exists for the table version — the executor
+    /// will reuse it (`index: cached (hit)`).
+    Hit,
+    /// No usable cached index — the executor builds one and caches it
+    /// (`index: built`).
+    Built,
+    /// The session cache is disabled; the index is built and thrown away
+    /// (`index: built (session cache disabled)`).
+    Disabled,
+    /// The resolved path uses no spatial index at all (`index: none`) —
+    /// plain scans, and every SGB-All path (its arbitration is
+    /// arrival-order sensitive, so its state is never shareable).
+    NotApplicable,
+}
+
+impl std::fmt::Display for IndexCacheStatus {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            IndexCacheStatus::Hit => "cached (hit)",
+            IndexCacheStatus::Built => "built",
+            IndexCacheStatus::Disabled => "built (session cache disabled)",
+            IndexCacheStatus::NotApplicable => "none",
+        })
+    }
+}
+
 /// Parameters of a similarity group-by node.
 ///
 /// The `algorithm` fields carry the **resolved** concrete strategy in the
@@ -85,6 +120,9 @@ pub enum SgbMode {
         /// Why `algorithm` was chosen ("configured explicitly" or the
         /// cost model's reason).
         selection: String,
+        /// Cache disposition of the node's spatial index (always
+        /// [`IndexCacheStatus::NotApplicable`] for SGB-All).
+        index: IndexCacheStatus,
     },
     /// `DISTANCE-TO-ANY` (connected components, Section 4.2).
     Any {
@@ -102,6 +140,8 @@ pub enum SgbMode {
         /// Why `algorithm` was chosen ("configured explicitly" or the
         /// cost model's reason).
         selection: String,
+        /// Cache disposition of the node's spatial index.
+        index: IndexCacheStatus,
     },
 }
 
@@ -219,6 +259,8 @@ pub enum Plan {
         /// Why `algorithm` was chosen ("configured explicitly" or the
         /// cost model's reason).
         selection: String,
+        /// Cache disposition of the node's center index.
+        index: IndexCacheStatus,
         /// Aggregate calls over the input schema.
         aggs: Vec<AggCall>,
         /// Post-grouping filter over the internal layout.
@@ -319,6 +361,7 @@ impl Plan {
                         algorithm,
                         threads,
                         selection,
+                        index,
                         ..
                     } => (
                         format!(
@@ -326,7 +369,9 @@ impl Plan {
                             metric.sql_keyword(),
                             overlap.sql_keyword()
                         ),
-                        format!("path: {algorithm}, threads: {threads}; {selection}"),
+                        format!(
+                            "path: {algorithm}, threads: {threads}; {selection}; index: {index}"
+                        ),
                     ),
                     SgbMode::Any {
                         eps,
@@ -334,9 +379,12 @@ impl Plan {
                         algorithm,
                         threads,
                         selection,
+                        index,
                     } => (
                         format!("SGB-Any {} WITHIN {eps}", metric.sql_keyword()),
-                        format!("path: {algorithm}, threads: {threads}; {selection}"),
+                        format!(
+                            "path: {algorithm}, threads: {threads}; {selection}; index: {index}"
+                        ),
                     ),
                 };
                 out.push_str(&format!(
@@ -353,6 +401,7 @@ impl Plan {
                 algorithm,
                 threads,
                 selection,
+                index,
                 aggs,
                 ..
             } => {
@@ -362,7 +411,7 @@ impl Plan {
                 };
                 out.push_str(&format!(
                     "{pad}SimilarityAround [{} centers, {}{bound}, path: {algorithm}, \
-                     threads: {threads}] [{selection}] (aggs: {})\n",
+                     threads: {threads}] [{selection}; index: {index}] (aggs: {})\n",
                     centers.len(),
                     metric.sql_keyword(),
                     aggs.len()

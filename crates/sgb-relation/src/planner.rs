@@ -11,13 +11,15 @@
 use std::collections::HashSet;
 use std::sync::Arc;
 
-use sgb_core::Algorithm;
+use sgb_core::query::DEFAULT_RTREE_FANOUT;
+use sgb_core::{Algorithm, AnyAlgorithm, AroundAlgorithm};
 
+use crate::cache::slot_key;
 use crate::engine::Database;
 use crate::error::{Error, Result};
 use crate::exec::execute;
 use crate::expr::{BinOp, BoundExpr};
-use crate::plan::{AggCall, AggKind, Plan, SgbMode};
+use crate::plan::{AggCall, AggKind, IndexCacheStatus, Plan, SgbMode};
 use crate::schema::{Column, Schema};
 use crate::sql::ast::{Expr, GroupBy, Select, SelectItem, TableRef};
 use crate::value::Value;
@@ -183,6 +185,9 @@ impl<'a> Planner<'a> {
                     seed: self.db.session().seed,
                     threads: sgb_core::cost::threads_for_all().0,
                     selection: session_selection(configured, selection),
+                    // SGB-All's index tracks the *live groups*, which only
+                    // exist mid-run — never shareable across queries.
+                    index: IndexCacheStatus::NotApplicable,
                 };
                 self.build_similarity(acc, exprs, mode, stmt)?
             }
@@ -195,15 +200,46 @@ impl<'a> Planner<'a> {
                          DISTANCE-TO-ANY (valid: Auto, AllPairs, Indexed, Grid)"
                     ))
                 })?;
-                let (resolved, selection) = sgb_core::cost::resolve_any(base, n, exprs.len());
+                // Probe the session cache (read-only) when the operator
+                // reads a base table directly — only then does the cached,
+                // version-scoped index describe this node's input — so
+                // `Auto` can account for a zero-build-cost index and
+                // EXPLAIN can report the cache disposition.
+                let probe = self.cache_probe(&acc, exprs)?;
+                let cached_grid = probe.as_ref().is_some_and(|p| {
+                    self.db
+                        .caches()
+                        .has_usable_grid(&p.table, &p.coords_key, p.version, *eps)
+                });
+                let (resolved, selection) =
+                    sgb_core::cost::resolve_any_with_cache(base, n, exprs.len(), cached_grid);
                 let (threads, _) =
                     sgb_core::cost::threads_for_any(resolved, self.db.session().threads, n);
+                let index = match resolved {
+                    AnyAlgorithm::AllPairs => IndexCacheStatus::NotApplicable,
+                    _ if !self.db.session().cache => IndexCacheStatus::Disabled,
+                    AnyAlgorithm::Grid if cached_grid => IndexCacheStatus::Hit,
+                    AnyAlgorithm::Indexed
+                        if probe.as_ref().is_some_and(|p| {
+                            self.db.caches().has_tree(
+                                &p.table,
+                                &p.coords_key,
+                                p.version,
+                                DEFAULT_RTREE_FANOUT,
+                            )
+                        }) =>
+                    {
+                        IndexCacheStatus::Hit
+                    }
+                    _ => IndexCacheStatus::Built,
+                };
                 let mode = SgbMode::Any {
                     eps: *eps,
                     metric: *metric,
                     algorithm: resolved.into(),
                     threads,
                     selection: session_selection(configured, selection),
+                    index,
                 };
                 self.build_similarity(acc, exprs, mode, stmt)?
             }
@@ -416,7 +452,10 @@ impl<'a> Planner<'a> {
             None => None,
         };
         // `Auto` resolves from the center count (the quantity the
-        // per-tuple cost depends on); the reason lands in EXPLAIN.
+        // per-tuple cost depends on); the reason lands in EXPLAIN. A
+        // cached center index (version-free: it is built from the query's
+        // centers, never the table) has zero build cost, so `Auto`
+        // prefers it below the cold crossover.
         let configured = self.db.session().around_algorithm;
         let base = configured.for_around().ok_or_else(|| {
             Error::Unsupported(format!(
@@ -424,12 +463,41 @@ impl<'a> Planner<'a> {
                  AROUND (valid: Auto, AllPairs, Indexed, Grid)"
             ))
         })?;
+        let probe = bare_scan_table(&input)
+            .filter(|_| self.db.session().cache)
+            .map(|t| (t.to_ascii_lowercase(), slot_key(&coords)));
+        let cached = probe.as_ref().and_then(|(table, coords_key)| {
+            self.db.caches().cached_center_algorithm(
+                table,
+                coords_key,
+                centers,
+                DEFAULT_RTREE_FANOUT,
+            )
+        });
         let (resolved, selection) =
-            sgb_core::cost::resolve_around(base, centers.len(), grouping.len());
+            sgb_core::cost::resolve_around_with_cache(base, centers.len(), grouping.len(), cached);
         let (threads, _) = sgb_core::cost::threads_for_around(
             self.db.session().threads,
             estimate_rows(&input, self.db),
         );
+        let index = match resolved {
+            AroundAlgorithm::BruteForce => IndexCacheStatus::NotApplicable,
+            _ if !self.db.session().cache => IndexCacheStatus::Disabled,
+            concrete
+                if probe.as_ref().is_some_and(|(table, coords_key)| {
+                    self.db.caches().has_center_index(
+                        table,
+                        coords_key,
+                        concrete,
+                        centers,
+                        DEFAULT_RTREE_FANOUT,
+                    )
+                }) =>
+            {
+                IndexCacheStatus::Hit
+            }
+            _ => IndexCacheStatus::Built,
+        };
         Ok(Plan::SimilarityAround {
             input: Box::new(input),
             coords,
@@ -439,6 +507,7 @@ impl<'a> Planner<'a> {
             algorithm: resolved.into(),
             threads,
             selection: session_selection(configured, selection),
+            index,
             aggs: ctx.aggs,
             having,
             outputs,
@@ -659,6 +728,31 @@ impl<'a> Planner<'a> {
         }
     }
 
+    /// The cache-probe coordinates of a similarity node, when probing
+    /// makes sense: the session cache is on and the node reads a base
+    /// table directly (only then does the cached, version-scoped index
+    /// describe the node's input). Binds the grouping expressions the
+    /// same way the node itself will — a binding error here would recur
+    /// there, so it propagates.
+    fn cache_probe(&self, input: &Plan, exprs: &[Expr]) -> Result<Option<CacheProbe>> {
+        if !self.db.session().cache {
+            return Ok(None);
+        }
+        let Some(table) = bare_scan_table(input) else {
+            return Ok(None);
+        };
+        let coords: Vec<BoundExpr> = exprs
+            .iter()
+            .map(|g| self.bind(g, input.schema()))
+            .collect::<Result<_>>()?;
+        let version = self.db.table(table)?.version();
+        Ok(Some(CacheProbe {
+            table: table.to_ascii_lowercase(),
+            coords_key: slot_key(&coords),
+            version,
+        }))
+    }
+
     /// `true` when every column `expr` references resolves in `schema`.
     fn resolvable(&self, schema: &Schema, expr: &Expr) -> bool {
         let mut cols = Vec::new();
@@ -693,6 +787,24 @@ impl<'a> Planner<'a> {
         } else {
             None
         }
+    }
+}
+
+/// Where a similarity node's cache slot lives: lower-cased table name,
+/// coordinate key, and the table's current version.
+struct CacheProbe {
+    table: String,
+    coords_key: String,
+    version: u64,
+}
+
+/// The table a plan node scans directly, if it is a bare catalog scan
+/// (the planner's pushdown briefly uses empty-named `Scan` placeholders;
+/// those never qualify).
+fn bare_scan_table(plan: &Plan) -> Option<&str> {
+    match plan {
+        Plan::Scan { table, .. } if !table.is_empty() => Some(table),
+        _ => None,
     }
 }
 

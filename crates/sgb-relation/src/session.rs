@@ -34,7 +34,7 @@ use sgb_core::Algorithm;
 /// db.session_mut().seed = 42;
 /// db.session_mut().any_algorithm = Algorithm::Auto;
 /// ```
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct SessionOptions {
     /// Execution path for `DISTANCE-TO-ALL` queries (every [`Algorithm`]
     /// variant applies).
@@ -56,10 +56,38 @@ pub struct SessionOptions {
     /// results: the parallel paths are bit-identical to their sequential
     /// twins.
     pub threads: usize,
+    /// Shared-work caching across the session's queries (on by default):
+    /// built spatial indexes — the SGB-Any ε-grid (with ε-superset reuse)
+    /// and R-tree, the SGB-Around center index — plus whole groupings of
+    /// exact repeat queries, invalidated by the table's version counter on
+    /// any mutation. Caching never changes results, only build work;
+    /// `EXPLAIN` reports the disposition per node (`index: cached (hit)` /
+    /// `built` / `built (session cache disabled)`) and
+    /// [`crate::Database::cache_stats`] the hit/miss/eviction counters.
+    pub cache: bool,
+    /// Capacity of the per-slot whole-result cache (groupings retained
+    /// per `(table, grouping attributes)`; 0 disables result caching
+    /// while leaving index caching on).
+    pub cache_capacity: usize,
+}
+
+impl Default for SessionOptions {
+    fn default() -> Self {
+        Self {
+            all_algorithm: Algorithm::Auto,
+            any_algorithm: Algorithm::Auto,
+            around_algorithm: Algorithm::Auto,
+            seed: 0,
+            threads: 0,
+            cache: true,
+            cache_capacity: 128,
+        }
+    }
 }
 
 impl SessionOptions {
-    /// The default options: every operator on [`Algorithm::Auto`], seed 0.
+    /// The default options: every operator on [`Algorithm::Auto`], seed 0,
+    /// shared-work caching on.
     #[must_use]
     pub fn new() -> Self {
         Self::default()
@@ -99,6 +127,21 @@ impl SessionOptions {
         self.threads = threads;
         self
     }
+
+    /// Enables or disables shared-work caching (indexes + results).
+    #[must_use]
+    pub fn with_cache(mut self, cache: bool) -> Self {
+        self.cache = cache;
+        self
+    }
+
+    /// Sets the per-slot whole-result cache capacity (0 disables result
+    /// caching; index caching is unaffected).
+    #[must_use]
+    pub fn with_cache_capacity(mut self, capacity: usize) -> Self {
+        self.cache_capacity = capacity;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -112,12 +155,16 @@ mod tests {
             .with_any_algorithm(Algorithm::Grid)
             .with_around_algorithm(Algorithm::Indexed)
             .with_seed(7)
-            .with_threads(4);
+            .with_threads(4)
+            .with_cache(false)
+            .with_cache_capacity(9);
         assert_eq!(opts.all_algorithm, Algorithm::BoundsChecking);
         assert_eq!(opts.any_algorithm, Algorithm::Grid);
         assert_eq!(opts.around_algorithm, Algorithm::Indexed);
         assert_eq!(opts.seed, 7);
         assert_eq!(opts.threads, 4);
+        assert!(!opts.cache);
+        assert_eq!(opts.cache_capacity, 9);
     }
 
     #[test]
@@ -128,5 +175,7 @@ mod tests {
         assert_eq!(opts.around_algorithm, Algorithm::Auto);
         assert_eq!(opts.seed, 0);
         assert_eq!(opts.threads, 0, "auto parallelism by default");
+        assert!(opts.cache, "shared-work caching on by default");
+        assert_eq!(opts.cache_capacity, 128);
     }
 }

@@ -1,6 +1,7 @@
 //! In-memory row-oriented tables.
 
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use crate::error::{Error, Result};
 use crate::schema::Schema;
@@ -9,13 +10,43 @@ use crate::value::Value;
 /// A row of cell values.
 pub type Row = Vec<Value>;
 
+/// Process-global monotone counter backing [`Table::version`]. Every
+/// freshly constructed or mutated table draws a new value, so two tables
+/// (or two mutation epochs of one table) never share a version — the
+/// property the session's index/result caches key invalidation on.
+static NEXT_VERSION: AtomicU64 = AtomicU64::new(1);
+
+fn fresh_version() -> u64 {
+    NEXT_VERSION.fetch_add(1, Ordering::Relaxed)
+}
+
 /// A materialised relation: a schema plus rows.
-#[derive(Clone, Debug, Default, PartialEq)]
+#[derive(Clone, Debug)]
 pub struct Table {
     /// Output schema.
     pub schema: Schema,
     /// Row data.
     pub rows: Vec<Row>,
+    /// Monotone content version (see [`Table::version`]).
+    version: u64,
+}
+
+impl Default for Table {
+    fn default() -> Self {
+        Self {
+            schema: Schema::default(),
+            rows: Vec::new(),
+            version: fresh_version(),
+        }
+    }
+}
+
+/// Equality compares content (schema + rows) only; the cache version is
+/// bookkeeping, not data.
+impl PartialEq for Table {
+    fn eq(&self, other: &Self) -> bool {
+        self.schema == other.schema && self.rows == other.rows
+    }
 }
 
 impl Table {
@@ -24,6 +55,7 @@ impl Table {
         Self {
             schema,
             rows: Vec::new(),
+            version: fresh_version(),
         }
     }
 
@@ -36,7 +68,36 @@ impl Table {
                 bad.len()
             )));
         }
-        Ok(Self { schema, rows })
+        Ok(Self {
+            schema,
+            rows,
+            version: fresh_version(),
+        })
+    }
+
+    /// An intermediate result table (no width validation — the executor
+    /// constructs rows that already match the schema).
+    pub(crate) fn from_parts(schema: Schema, rows: Vec<Row>) -> Self {
+        Self {
+            schema,
+            rows,
+            version: fresh_version(),
+        }
+    }
+
+    /// The table's content version: a process-globally unique, monotone
+    /// value drawn at construction and refreshed on every mutation
+    /// ([`Table::push`], the crate-internal `bump_version`). The session
+    /// caches key
+    /// built spatial indexes and groupings on it, so any content change
+    /// invalidates them without scanning the data.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Refreshes the content version after an out-of-band mutation.
+    pub(crate) fn bump_version(&mut self) {
+        self.version = fresh_version();
     }
 
     /// Number of rows.
@@ -59,6 +120,7 @@ impl Table {
             )));
         }
         self.rows.push(row);
+        self.version = fresh_version();
         Ok(())
     }
 
@@ -81,8 +143,11 @@ impl Table {
     }
 
     /// Sorts rows lexicographically (stable canonical order for
-    /// result comparison in tests).
+    /// result comparison in tests). Row order is content for the
+    /// similarity operators (record ids follow it), so the version is
+    /// refreshed.
     pub fn sorted(mut self) -> Self {
+        self.version = fresh_version();
         self.rows.sort_by(|a, b| {
             for (x, y) in a.iter().zip(b.iter()) {
                 let ord = match (x.is_null(), y.is_null()) {
@@ -190,6 +255,22 @@ mod tests {
         assert!(s.contains("| id | name |"), "got:\n{s}");
         assert!(s.contains("| 2  | bob  |"), "got:\n{s}");
         assert!(s.ends_with("(2 rows)"), "got:\n{s}");
+    }
+
+    #[test]
+    fn versions_are_unique_and_bump_on_mutation() {
+        let mut a = Table::empty(Schema::new(["x"]));
+        let b = Table::empty(Schema::new(["x"]));
+        assert_ne!(a.version(), b.version(), "fresh tables get fresh versions");
+        assert_eq!(a, b, "equality ignores the version");
+        let v0 = a.version();
+        a.push(vec![Value::Int(1)]).unwrap();
+        assert_ne!(a.version(), v0, "push refreshes the version");
+        let v1 = a.version();
+        let clone = a.clone();
+        assert_eq!(clone.version(), v1, "clones share content and version");
+        a.bump_version();
+        assert_ne!(a.version(), v1);
     }
 
     #[test]

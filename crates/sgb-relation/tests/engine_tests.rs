@@ -851,6 +851,7 @@ fn programmatic_around_plan_with_bad_centers_errors_cleanly() {
         algorithm: sgb_core::Algorithm::Indexed,
         threads: 1,
         selection: "hand-built".into(),
+        index: sgb_relation::IndexCacheStatus::Built,
         aggs: vec![],
         having: None,
         outputs: vec![],
@@ -889,6 +890,7 @@ fn programmatic_around_plan_with_bad_centers_errors_cleanly() {
             algorithm: sgb_core::Algorithm::BoundsChecking,
             threads: 1,
             selection: "hand-built".into(),
+            index: sgb_relation::IndexCacheStatus::Built,
         },
         aggs: vec![],
         having: None,

@@ -32,8 +32,8 @@ fn sgb_all_explain_snapshot() {
     assert_eq!(
         plan,
         "SimilarityGroupBy [SGB-All LINF WITHIN 3 ON-OVERLAP ELIMINATE] \
-         [path: AllPairs, threads: 1; auto: n = 5 <= 256, plain scan beats index construction] \
-         (aggs: 1)\n\
+         [path: AllPairs, threads: 1; auto: n = 5 <= 256, plain scan beats index construction; \
+         index: none] (aggs: 1)\n\
          \x20 Scan pts\n"
     );
 }
@@ -47,8 +47,8 @@ fn sgb_any_explain_snapshot() {
     assert_eq!(
         plan,
         "SimilarityGroupBy [SGB-Any L2 WITHIN 1.5] \
-         [path: AllPairs, threads: 1; auto: n = 5 <= 512, plain scan beats index construction] \
-         (aggs: 1)\n\
+         [path: AllPairs, threads: 1; auto: n = 5 <= 512, plain scan beats index construction; \
+         index: none] (aggs: 1)\n\
          \x20 Scan pts\n"
     );
 }
@@ -67,7 +67,7 @@ fn sgb_around_explain_snapshot() {
         plan,
         "SimilarityAround [3 centers, L1 WITHIN 2.5, path: AllPairs, threads: 1] \
          [auto: 3 centers <= 128, center scan beats index construction \
-         (BENCH_around.json crossover ~1k)] (aggs: 1)\n\
+         (BENCH_around.json crossover ~1k); index: none] (aggs: 1)\n\
          \x20 Scan pts\n"
     );
 }
@@ -84,7 +84,59 @@ fn session_pinned_algorithm_explain_snapshot() {
     assert_eq!(
         plan,
         "SimilarityGroupBy [SGB-Any L2 WITHIN 1.5] \
-         [path: Indexed, threads: 1; pinned by session options] (aggs: 1)\n\
+         [path: Indexed, threads: 1; pinned by session options; index: built] (aggs: 1)\n\
+         \x20 Scan pts\n"
+    );
+}
+
+#[test]
+fn cache_hit_explain_snapshot() {
+    // Executing the query builds the R-tree into the session cache; the
+    // next EXPLAIN of the same shape reports the index as already cached.
+    let mut db = fig2_db();
+    db.session_mut().any_algorithm = Algorithm::Indexed;
+    let sql = "SELECT count(*) FROM pts GROUP BY x, y DISTANCE-TO-ANY L2 WITHIN 1.5";
+    db.execute(sql).unwrap();
+    assert_eq!(
+        db.explain(sql).unwrap(),
+        "SimilarityGroupBy [SGB-Any L2 WITHIN 1.5] \
+         [path: Indexed, threads: 1; pinned by session options; index: cached (hit)] \
+         (aggs: 1)\n\
+         \x20 Scan pts\n"
+    );
+}
+
+#[test]
+fn cache_invalidation_explain_snapshot() {
+    // An INSERT bumps the table version: the cached index no longer
+    // applies and EXPLAIN goes back to reporting a fresh build.
+    let mut db = fig2_db();
+    db.session_mut().any_algorithm = Algorithm::Indexed;
+    let sql = "SELECT count(*) FROM pts GROUP BY x, y DISTANCE-TO-ANY L2 WITHIN 1.5";
+    db.execute(sql).unwrap();
+    db.execute("INSERT INTO pts VALUES (8.0, 8.0)").unwrap();
+    assert_eq!(
+        db.explain(sql).unwrap(),
+        "SimilarityGroupBy [SGB-Any L2 WITHIN 1.5] \
+         [path: Indexed, threads: 1; pinned by session options; index: built] (aggs: 1)\n\
+         \x20 Scan pts\n"
+    );
+}
+
+#[test]
+fn cache_disabled_explain_snapshot() {
+    // With the session cache off, index paths report that every build is
+    // per-query — even after executing the same query.
+    let mut db = fig2_db();
+    db.session_mut().any_algorithm = Algorithm::Indexed;
+    db.session_mut().cache = false;
+    let sql = "SELECT count(*) FROM pts GROUP BY x, y DISTANCE-TO-ANY L2 WITHIN 1.5";
+    db.execute(sql).unwrap();
+    assert_eq!(
+        db.explain(sql).unwrap(),
+        "SimilarityGroupBy [SGB-Any L2 WITHIN 1.5] \
+         [path: Indexed, threads: 1; pinned by session options; \
+         index: built (session cache disabled)] (aggs: 1)\n\
          \x20 Scan pts\n"
     );
 }

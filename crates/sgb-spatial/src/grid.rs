@@ -293,6 +293,14 @@ impl<const D: usize, T> Grid<D, T> {
     /// the one-shot SGB-Any ε-join fast. Offsets whose minimum inter-cell
     /// distance under `metric` exceeds the (slack-padded) threshold are
     /// pruned up front — e.g. the corner cells of the window under `L2`.
+    ///
+    /// `eps` may exceed the grid's cell side: the join widens its probe
+    /// window to `ceil(eps / cell) + 1` neighbour rings, visiting every
+    /// close pair regardless of the ratio. This is the contract the
+    /// shared-work cache's ε-superset reuse relies on — one grid built
+    /// for a small ε serves any larger ε′ query bit-identically (the
+    /// widened window only grows the candidate set; the exact `within`
+    /// check is unchanged).
     pub fn for_each_close_pair<F: FnMut(&Point<D>, &T, &Point<D>, &T)>(
         &self,
         eps: f64,

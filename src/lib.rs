@@ -90,6 +90,23 @@
 //!     .unwrap();
 //! assert!(plan.contains("path: Grid, threads: 1; pinned by session options"));
 //! ```
+//!
+//! Each `Database` session keeps a **shared-work cache** across queries:
+//! built indexes are reused (one ε-grid serves any larger-ε query), exact
+//! repeats return straight from a result cache, and `EXPLAIN` reports
+//! `index: cached (hit)` vs `built`:
+//!
+//! ```
+//! use sgb::Database;
+//!
+//! let mut db = Database::new();
+//! db.execute("CREATE TABLE p (x DOUBLE, y DOUBLE)").unwrap();
+//! db.execute("INSERT INTO p VALUES (1.0, 1.0), (1.5, 1.2), (5.0, 5.0)").unwrap();
+//! let q = "SELECT count(*) FROM p GROUP BY x, y DISTANCE-TO-ANY L2 WITHIN 1";
+//! let first = db.execute(q).unwrap();
+//! assert_eq!(db.execute(q).unwrap(), first); // served from the result cache
+//! assert_eq!(db.cache_stats().result_hits, 1);
+//! ```
 
 /// Clustering baselines (K-means, DBSCAN, BIRCH).
 pub use sgb_cluster as cluster;
