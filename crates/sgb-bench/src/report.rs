@@ -359,6 +359,7 @@ mod tests {
             "BENCH_around.json",
             "BENCH_grid.json",
             "BENCH_mqo.json",
+            "BENCH_incremental.json",
         ] {
             let path = format!("{}/../../{name}", env!("CARGO_MANIFEST_DIR"));
             let text = std::fs::read_to_string(&path)

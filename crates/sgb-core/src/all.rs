@@ -133,8 +133,9 @@ fn scan_overlap<const D: usize>(g: &GroupState<D>, p: &Point<D>, cfg: &SgbAllCon
 
 /// One processing pass of the SGB-All framework over a stream of points.
 /// `FORM-NEW-GROUP` runs several passes (the recursion over `S'`), each on a
-/// fresh `Engine`.
-#[derive(Debug)]
+/// fresh `Engine`. `Clone` lets the incremental engine materialise a
+/// snapshot (clone + [`SgbAll::finish`]) without disturbing the live state.
+#[derive(Clone, Debug)]
 struct Engine<const D: usize> {
     cfg: SgbAllConfig,
     /// The concrete search strategy ([`AllAlgorithm::Auto`] resolved at
@@ -538,6 +539,38 @@ impl<const D: usize> Engine<D> {
         }
     }
 
+    /// Removes a record that forms a live **singleton** group, marking the
+    /// group dead in place. Returns `false` when no live singleton group
+    /// holds `ext`.
+    ///
+    /// This is only sound for records that are ε-isolated from every other
+    /// input point: such a record created its own group on arrival, never
+    /// appeared in any other point's candidate or overlap sets (so it
+    /// consumed no arbitration randomness and triggered no overlap
+    /// processing), and its group's regions never admitted another point.
+    /// Marking the group dead therefore leaves the engine in exactly the
+    /// state a from-scratch run over the remaining points (in the same
+    /// relative order) produces, up to dead-group padding that every scan
+    /// skips and that group creation order ignores.
+    fn remove_isolated_singleton(&mut self, ext: RecordId) -> bool {
+        let Some(gid) = self
+            .groups
+            .iter()
+            .position(|g| !g.is_dead() && g.members.len() == 1 && g.members[0].0 == ext)
+        else {
+            return false;
+        };
+        self.groups[gid].members.clear();
+        if self.grid.is_some() {
+            // The grid entry stays behind as an inert tombstone, exactly
+            // like overlap-processing removals; membership is the source
+            // of truth.
+            self.membership.remove(&ext);
+        }
+        self.rebuild_group(gid);
+        true
+    }
+
     /// Drains the live groups (record ids in join order, groups in creation
     /// order) into `out`.
     fn drain_groups_into(&mut self, out: &mut Vec<Vec<RecordId>>) {
@@ -568,7 +601,7 @@ impl<const D: usize> Engine<D> {
 /// assert_eq!(out.sorted_sizes(), vec![2, 2]); // the overlapping point is dropped
 /// assert_eq!(out.eliminated, vec![4]);
 /// ```
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct SgbAll<const D: usize> {
     engine: Engine<D>,
     pushed: usize,
@@ -618,6 +651,15 @@ impl<const D: usize> SgbAll<D> {
         self.pushed += 1;
         self.engine.process(id, p);
         id
+    }
+
+    /// Removes a previously pushed record that is ε-isolated from every
+    /// other input point (the incremental engine's delete fast path — see
+    /// `Engine::remove_isolated_singleton` for why isolation makes the
+    /// in-place removal exact). Returns `false` when `ext` is not held by a
+    /// live singleton group; callers must then fall back to a rebuild.
+    pub(crate) fn remove_isolated_singleton(&mut self, ext: RecordId) -> bool {
+        self.engine.remove_isolated_singleton(ext)
     }
 
     /// Completes the operator: runs the FORM-NEW-GROUP recursion over `S'`

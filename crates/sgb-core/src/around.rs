@@ -361,7 +361,7 @@ impl<const D: usize> SgbAround<D> {
 /// values so its tie set is identical to the indexed path's
 /// ([`RTree::nearest_one_with`] reports the same floating-point distances
 /// for point entries and breaks ties by ascending payload).
-fn nearest_center_in<const D: usize>(
+pub(crate) fn nearest_center_in<const D: usize>(
     index: &CenterIndex<D>,
     cfg: &SgbAroundConfig<D>,
     scratch: &mut Vec<usize>,
@@ -393,7 +393,11 @@ fn nearest_center_in<const D: usize>(
 /// Radius bound with the canonical predicate, evaluated identically on
 /// every path (never against the index's reported distance).
 #[inline]
-fn is_outlier<const D: usize>(cfg: &SgbAroundConfig<D>, p: &Point<D>, c: CenterId) -> bool {
+pub(crate) fn is_outlier<const D: usize>(
+    cfg: &SgbAroundConfig<D>,
+    p: &Point<D>,
+    c: CenterId,
+) -> bool {
     match cfg.max_radius {
         Some(r) => !cfg.metric.within(p, &cfg.centers[c], r),
         None => false,

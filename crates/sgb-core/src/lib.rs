@@ -80,6 +80,7 @@ pub mod cache;
 pub mod config;
 pub mod cost;
 pub mod grouping;
+pub mod incremental;
 pub mod query;
 
 pub use aggregate::{aggregate_groups, collect_groups, AggregateFn, GroupAggregates};
@@ -92,6 +93,7 @@ pub use config::{
     SgbAnyConfig, SgbAroundConfig,
 };
 pub use grouping::{Grouping, RecordId};
+pub use incremental::{MaintainedGrouping, SlotId};
 pub use query::{SgbQuery, SgbStream};
 
 // Re-export the geometry vocabulary so downstream users need one import.

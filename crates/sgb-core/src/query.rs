@@ -329,7 +329,7 @@ impl<'a> IntoIterator for &'a Grouping {
 /// The operator-specific part of a query: which membership rule applies
 /// and its private knobs.
 #[derive(Clone, Debug, PartialEq)]
-enum OpSpec<const D: usize> {
+pub(crate) enum OpSpec<const D: usize> {
     /// SGB-All: ε-cliques with `ON-OVERLAP` arbitration.
     All { eps: f64, overlap: OverlapAction },
     /// SGB-Any: connected components of the ε-threshold graph.
@@ -383,7 +383,7 @@ impl<const D: usize> OpSpec<D> {
 /// ```
 #[derive(Clone, Debug, PartialEq)]
 pub struct SgbQuery<const D: usize> {
-    op: OpSpec<D>,
+    pub(crate) op: OpSpec<D>,
     metric: Metric,
     algorithm: Algorithm,
     seed: u64,
@@ -622,7 +622,7 @@ impl<const D: usize> SgbQuery<D> {
 
     // -- lowering ------------------------------------------------------------
 
-    fn all_config(&self, eps: f64, overlap: OverlapAction) -> SgbAllConfig {
+    pub(crate) fn all_config(&self, eps: f64, overlap: OverlapAction) -> SgbAllConfig {
         SgbAllConfig::new(eps)
             .metric(self.metric)
             .overlap(overlap)
@@ -631,13 +631,17 @@ impl<const D: usize> SgbQuery<D> {
             .rtree_fanout(self.rtree_fanout)
     }
 
-    fn any_config(&self, eps: f64) -> SgbAnyConfig {
+    pub(crate) fn any_config(&self, eps: f64) -> SgbAnyConfig {
         SgbAnyConfig::new(eps)
             .metric(self.metric)
             .rtree_fanout(self.rtree_fanout)
     }
 
-    fn around_config(&self, centers: Vec<Point<D>>, max_radius: Option<f64>) -> SgbAroundConfig<D> {
+    pub(crate) fn around_config(
+        &self,
+        centers: Vec<Point<D>>,
+        max_radius: Option<f64>,
+    ) -> SgbAroundConfig<D> {
         let mut cfg = SgbAroundConfig::new(centers)
             .metric(self.metric)
             .rtree_fanout(self.rtree_fanout);

@@ -191,6 +191,230 @@ impl DisjointSet {
     }
 }
 
+/// A deletion-aware disjoint-set forest: [`DisjointSet`] extended with
+/// per-component **member lists** and **edge counts**, the bookkeeping the
+/// incremental SGB-Any engine needs to decide whether removing a tuple can
+/// split its ε-connectivity component without re-clustering.
+///
+/// Elements are dense slot ids added with [`TrackedDsu::push`]; ids are
+/// never reused. Edges are added with [`TrackedDsu::add_edge`] — the caller
+/// must add each unordered ε-pair **exactly once** so that
+/// [`edge_count`](Self::edge_count) equals the true edge cardinality of the
+/// component (the completeness test `|E| = m(m−1)/2` relies on it).
+///
+/// Deletion never restructures the forest: a removed element becomes a
+/// *ghost* — it stays in the parent array (possibly even as a component's
+/// root, holding that component's member list) but is excluded from member
+/// lists and [`groups`](Self::groups). When a removal could split a
+/// component the caller dissolves it with
+/// [`dissolve_component`](Self::dissolve_component) and re-adds the
+/// surviving edges.
+#[derive(Clone, Debug, Default)]
+pub struct TrackedDsu {
+    /// parent[i] is i for roots; chains may pass through ghosts.
+    parent: Vec<u32>,
+    /// Live member ids per component; meaningful only at roots.
+    members: Vec<Vec<u32>>,
+    /// Number of edges ever added to the component minus those removed
+    /// with members; meaningful only at roots.
+    edges: Vec<u64>,
+    /// `false` once an element has been removed (ghost).
+    alive: Vec<bool>,
+    /// Number of live elements.
+    live: usize,
+    /// Number of live components (components with ≥ 1 live member).
+    components: usize,
+}
+
+impl TrackedDsu {
+    /// An empty forest.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a new live singleton element, returning its id.
+    pub fn push(&mut self) -> usize {
+        let id = self.parent.len();
+        assert!(
+            id < u32::MAX as usize,
+            "TrackedDsu supports at most u32::MAX elements"
+        );
+        self.parent.push(id as u32);
+        self.members.push(vec![id as u32]);
+        self.edges.push(0);
+        self.alive.push(true);
+        self.live += 1;
+        self.components += 1;
+        id
+    }
+
+    /// Number of elements ever added (live + ghosts).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// `true` when no element was ever added.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Number of live (non-removed) elements.
+    #[inline]
+    pub fn live_count(&self) -> usize {
+        self.live
+    }
+
+    /// Number of components with at least one live member.
+    #[inline]
+    pub fn components(&self) -> usize {
+        self.components
+    }
+
+    /// `true` when `x` has not been removed.
+    #[inline]
+    pub fn is_alive(&self, x: usize) -> bool {
+        self.alive[x]
+    }
+
+    /// The canonical representative (root) of `x`'s component, with
+    /// two-pass path compression. Ghosts keep their component identity so
+    /// chains through them stay valid.
+    pub fn find(&mut self, x: usize) -> usize {
+        debug_assert!(x < self.parent.len());
+        let mut root = x as u32;
+        while self.parent[root as usize] != root {
+            root = self.parent[root as usize];
+        }
+        let mut cur = x as u32;
+        while self.parent[cur as usize] != root {
+            let next = self.parent[cur as usize];
+            self.parent[cur as usize] = root;
+            cur = next;
+        }
+        root as usize
+    }
+
+    /// Root lookup without mutation (no compression).
+    pub fn find_immutable(&self, x: usize) -> usize {
+        let mut cur = x as u32;
+        while self.parent[cur as usize] != cur {
+            cur = self.parent[cur as usize];
+        }
+        cur as usize
+    }
+
+    /// Records the ε-edge `{a, b}` (both must be live, `a ≠ b`), merging
+    /// their components when distinct. Returns the root of the (possibly
+    /// merged) component. Each unordered pair must be added exactly once
+    /// for the edge count to stay exact.
+    pub fn add_edge(&mut self, a: usize, b: usize) -> usize {
+        debug_assert!(a != b, "self-loops are not ε-edges");
+        debug_assert!(self.alive[a] && self.alive[b], "edges join live members");
+        let ra = self.find(a);
+        let rb = self.find(b);
+        if ra == rb {
+            self.edges[ra] += 1;
+            return ra;
+        }
+        // Union by live member count: small-to-large keeps the total
+        // member-list merge cost O(n log n).
+        let (big, small) = if self.members[ra].len() >= self.members[rb].len() {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        self.parent[small] = big as u32;
+        let moved = std::mem::take(&mut self.members[small]);
+        self.members[big].extend(moved);
+        self.edges[big] += self.edges[small] + 1;
+        self.edges[small] = 0;
+        self.components -= 1;
+        big
+    }
+
+    /// Live members of `x`'s component (unordered).
+    pub fn component_members(&mut self, x: usize) -> &[u32] {
+        let r = self.find(x);
+        &self.members[r]
+    }
+
+    /// Number of edges currently attributed to `x`'s component.
+    pub fn edge_count(&mut self, x: usize) -> u64 {
+        let r = self.find(x);
+        self.edges[r]
+    }
+
+    /// Removes `x` from its component without restructuring: `x` becomes a
+    /// ghost, its component loses one member and `degree` edges (the
+    /// caller supplies `x`'s exact live ε-degree). **Only sound when the
+    /// removal cannot split the component** — `x` is a singleton, a leaf
+    /// (`degree ≤ 1`), or the caller has proven the remainder connected
+    /// (e.g. the remaining edge count equals the complete-graph count).
+    pub fn remove_member(&mut self, x: usize, degree: u64) {
+        assert!(self.alive[x], "cannot remove a ghost");
+        let r = self.find(x);
+        debug_assert!(self.edges[r] >= degree);
+        let pos = self.members[r]
+            .iter()
+            .position(|&m| m as usize == x)
+            .expect("live member is listed at its root");
+        self.members[r].swap_remove(pos);
+        self.edges[r] -= degree;
+        self.alive[x] = false;
+        self.live -= 1;
+        if self.members[r].is_empty() {
+            self.edges[r] = 0;
+            self.components -= 1;
+        }
+    }
+
+    /// Dissolves `x`'s component: every live member (including `x`) is
+    /// reset to a singleton with zero edges, and the former member list is
+    /// returned. The caller then re-adds the surviving edges (each
+    /// unordered pair once) — the scoped re-cluster path of a deletion
+    /// that may have split the component.
+    pub fn dissolve_component(&mut self, x: usize) -> Vec<u32> {
+        let r = self.find(x);
+        let members = std::mem::take(&mut self.members[r]);
+        self.edges[r] = 0;
+        self.components -= 1;
+        for &m in &members {
+            self.parent[m as usize] = m;
+            self.members[m as usize] = vec![m];
+            self.edges[m as usize] = 0;
+            self.components += 1;
+        }
+        members
+    }
+
+    /// Groups all live elements by component: one `Vec` of member ids per
+    /// component, members in increasing id order, components ordered by
+    /// smallest member id — the same canonical order as
+    /// [`DisjointSet::into_groups`] over the live subset.
+    pub fn groups(&self) -> Vec<Vec<usize>> {
+        let n = self.parent.len();
+        let mut by_root: Vec<Vec<usize>> = Vec::new();
+        let mut root_slot: Vec<u32> = vec![u32::MAX; n];
+        for x in 0..n {
+            if !self.alive[x] {
+                continue;
+            }
+            let r = self.find_immutable(x);
+            let slot = if root_slot[r] == u32::MAX {
+                root_slot[r] = by_root.len() as u32;
+                by_root.push(Vec::new());
+                by_root.len() - 1
+            } else {
+                root_slot[r] as usize
+            };
+            by_root[slot].push(x);
+        }
+        by_root
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -298,6 +522,113 @@ mod tests {
             let _ = dsu.find(i);
             assert_eq!(dsu.parent[i], root as u32);
         }
+    }
+
+    #[test]
+    fn tracked_counts_edges_and_members() {
+        let mut dsu = TrackedDsu::new();
+        for _ in 0..5 {
+            dsu.push();
+        }
+        assert_eq!(dsu.components(), 5);
+        dsu.add_edge(0, 1);
+        dsu.add_edge(1, 2);
+        dsu.add_edge(0, 2); // intra-component edge: count bumps, no merge
+        assert_eq!(dsu.components(), 3);
+        assert_eq!(dsu.edge_count(0), 3);
+        let mut m = dsu.component_members(2).to_vec();
+        m.sort_unstable();
+        assert_eq!(m, vec![0, 1, 2]);
+        assert_eq!(dsu.edge_count(3), 0);
+        assert_eq!(dsu.groups(), vec![vec![0, 1, 2], vec![3], vec![4]]);
+    }
+
+    #[test]
+    fn tracked_leaf_removal_keeps_component_intact() {
+        // 0–1–2 chain plus 0–2: removing leaf-ish 1 (degree 2 here, but
+        // remainder {0,2} is complete) must keep {0,2} together.
+        let mut dsu = TrackedDsu::new();
+        for _ in 0..3 {
+            dsu.push();
+        }
+        dsu.add_edge(0, 1);
+        dsu.add_edge(1, 2);
+        dsu.add_edge(0, 2);
+        dsu.remove_member(1, 2);
+        assert!(!dsu.is_alive(1));
+        assert_eq!(dsu.live_count(), 2);
+        assert_eq!(dsu.edge_count(0), 1);
+        assert_eq!(dsu.groups(), vec![vec![0, 2]]);
+    }
+
+    #[test]
+    fn tracked_ghost_root_keeps_serving_its_component() {
+        // Make element 0 the root, then remove it: 1 and 2 stay connected
+        // through the ghost.
+        let mut dsu = TrackedDsu::new();
+        for _ in 0..3 {
+            dsu.push();
+        }
+        dsu.add_edge(0, 1);
+        dsu.add_edge(0, 2);
+        dsu.add_edge(1, 2);
+        dsu.remove_member(0, 2);
+        assert_eq!(dsu.groups(), vec![vec![1, 2]]);
+        assert_eq!(dsu.edge_count(1), 1);
+        assert_eq!(dsu.components(), 1);
+    }
+
+    #[test]
+    fn tracked_dissolve_and_recluster_splits() {
+        // Star around 2: 0–2, 1–2, 3–2. Deleting the hub splits the rest
+        // into singletons; the caller dissolves and re-adds no edges.
+        let mut dsu = TrackedDsu::new();
+        for _ in 0..4 {
+            dsu.push();
+        }
+        dsu.add_edge(0, 2);
+        dsu.add_edge(1, 2);
+        dsu.add_edge(3, 2);
+        assert_eq!(dsu.components(), 1);
+        let mut members = dsu.dissolve_component(2);
+        members.sort_unstable();
+        assert_eq!(members, vec![0, 1, 2, 3]);
+        assert_eq!(dsu.components(), 4);
+        dsu.remove_member(2, 0);
+        assert_eq!(dsu.groups(), vec![vec![0], vec![1], vec![3]]);
+        // Re-cluster with a surviving edge: 0–1 reconnects part of it.
+        dsu.add_edge(0, 1);
+        assert_eq!(dsu.groups(), vec![vec![0, 1], vec![3]]);
+        assert_eq!(dsu.edge_count(0), 1);
+    }
+
+    #[test]
+    fn tracked_singleton_removal_drops_component() {
+        let mut dsu = TrackedDsu::new();
+        dsu.push();
+        dsu.push();
+        dsu.remove_member(0, 0);
+        assert_eq!(dsu.components(), 1);
+        assert_eq!(dsu.live_count(), 1);
+        assert_eq!(dsu.groups(), vec![vec![1]]);
+    }
+
+    #[test]
+    fn tracked_groups_match_plain_dsu_over_live_subset() {
+        // Same edge script into both structures; TrackedDsu::groups must
+        // equal DisjointSet::into_groups when nothing was removed.
+        let mut tracked = TrackedDsu::new();
+        let mut plain = DisjointSet::new();
+        for _ in 0..12 {
+            tracked.push();
+            plain.push();
+        }
+        let edges = [(0, 5), (5, 7), (2, 3), (3, 2), (8, 9), (10, 11), (9, 10)];
+        for (a, b) in edges {
+            tracked.add_edge(a, b);
+            plain.union(a, b);
+        }
+        assert_eq!(tracked.groups(), plain.into_groups());
     }
 
     #[test]

@@ -7,14 +7,15 @@ use sgb_core::{Algorithm, CacheStats};
 
 use crate::cache::{slot_key, SessionCaches};
 use crate::error::{Error, Result};
-use crate::exec::{execute, extract_points};
+use crate::exec::{around_query, execute, extract_points, sgb_query};
 use crate::expr::BoundExpr;
 use crate::plan::{Plan, SgbMode};
-use crate::planner::plan_select;
+use crate::planner::{plan_predicate, plan_select};
 use crate::schema::Schema;
 use crate::session::SessionOptions;
 use crate::sql::ast::Statement;
 use crate::sql::parser::parse_statement;
+use crate::subscription::{build_maintained, QueryKey, SubscriptionHandle, SubscriptionSet};
 use crate::table::Table;
 
 /// An in-memory database: named tables plus the session's engine options
@@ -36,19 +37,22 @@ pub struct Database {
     tables: HashMap<String, Table>,
     session: SessionOptions,
     caches: Arc<SessionCaches>,
+    subscriptions: SubscriptionSet,
 }
 
 impl Clone for Database {
     fn clone(&self) -> Self {
         // A clone is an independent session: it keeps the catalog and
-        // options but starts with empty shared-work caches, so two
-        // sessions never interleave their hit/miss counters (the cloned
-        // tables keep their versions — indexes simply rebuild on first
-        // use).
+        // options but starts with empty shared-work caches and no
+        // subscriptions, so two sessions never interleave their hit/miss
+        // counters or maintained groupings (the cloned tables keep their
+        // versions — indexes simply rebuild on first use; subscriptions
+        // re-register with `subscribe`).
         Self {
             tables: self.tables.clone(),
             session: self.session,
             caches: Arc::new(SessionCaches::default()),
+            subscriptions: SubscriptionSet::default(),
         }
     }
 }
@@ -78,6 +82,7 @@ impl Database {
             tables: HashMap::new(),
             session,
             caches: Arc::new(SessionCaches::default()),
+            subscriptions: SubscriptionSet::default(),
         }
     }
 
@@ -103,7 +108,9 @@ impl Database {
         &mut self.session
     }
 
-    /// Registers (or replaces) a table under `name`.
+    /// Registers (or replaces) a table under `name`. Any subscriptions
+    /// over a replaced table are dropped (their handles deactivate): the
+    /// contents changed wholesale, outside the delta stream they track.
     pub fn register(&mut self, name: &str, mut table: Table) {
         let key = name.to_ascii_lowercase();
         // The incoming table may be a clone that was mutated through its
@@ -111,13 +118,16 @@ impl Database {
         // cached state built for the original can be mistaken for it.
         table.bump_version();
         self.caches.remove_table(&key);
+        self.subscriptions.on_drop(&key);
         self.tables.insert(key, table);
     }
 
-    /// Removes a table; `true` when it existed.
+    /// Removes a table; `true` when it existed. Subscriptions over it are
+    /// dropped (their handles deactivate, keeping the last snapshot).
     pub fn drop_table(&mut self, name: &str) -> bool {
         let key = name.to_ascii_lowercase();
         self.caches.remove_table(&key);
+        self.subscriptions.on_drop(&key);
         self.tables.remove(&key).is_some()
     }
 
@@ -135,8 +145,8 @@ impl Database {
         names
     }
 
-    /// Executes any statement (SELECT, CREATE TABLE, INSERT, DROP TABLE).
-    /// DDL/DML return an empty result table.
+    /// Executes any statement (SELECT, CREATE TABLE, INSERT, DELETE, DROP
+    /// TABLE). DDL/DML return an empty result table.
     pub fn execute(&mut self, sql: &str) -> Result<Table> {
         match parse_statement(sql)? {
             Statement::Select(stmt) => {
@@ -164,12 +174,66 @@ impl Database {
                     })
                     .collect();
                 let planner_rows = planner_rows?;
+                let key = table.to_ascii_lowercase();
                 let t = self
                     .tables
-                    .get_mut(&table.to_ascii_lowercase())
+                    .get_mut(&key)
                     .ok_or_else(|| Error::Binding(format!("unknown table '{table}'")))?;
-                for row in planner_rows {
-                    t.push(row)?;
+                // Validate every width up front so the statement is
+                // all-or-nothing — subscriptions see either the whole
+                // batch or none of it.
+                let width = t.schema.len();
+                if let Some(bad) = planner_rows.iter().find(|r| r.len() != width) {
+                    return Err(Error::Eval(format!(
+                        "row width {} does not match schema width {width}",
+                        bad.len()
+                    )));
+                }
+                for row in &planner_rows {
+                    t.push(row.clone())?;
+                }
+                let version = t.version();
+                self.subscriptions.on_insert(&key, &planner_rows, version);
+                Ok(Table::default())
+            }
+            Statement::Delete { table, predicate } => {
+                let key = table.to_ascii_lowercase();
+                let schema = self
+                    .tables
+                    .get(&key)
+                    .ok_or_else(|| Error::Binding(format!("unknown table '{table}'")))?
+                    .schema
+                    .clone();
+                let bound = predicate
+                    .as_ref()
+                    .map(|e| plan_predicate(self, &schema, e))
+                    .transpose()?;
+                let t = self.tables.get_mut(&key).expect("existence checked above");
+                // Evaluate the predicate over every row *before* mutating,
+                // so an evaluation error leaves the table untouched.
+                let mut removed = Vec::new();
+                match &bound {
+                    Some(p) => {
+                        for (i, row) in t.rows.iter().enumerate() {
+                            if p.eval_predicate(row)? {
+                                removed.push(i);
+                            }
+                        }
+                    }
+                    None => removed.extend(0..t.rows.len()),
+                }
+                if !removed.is_empty() {
+                    let mut keep = vec![true; t.rows.len()];
+                    for &i in &removed {
+                        keep[i] = false;
+                    }
+                    let mut it = keep.iter();
+                    t.rows.retain(|_| *it.next().unwrap());
+                    // The version bump is what invalidates the session's
+                    // shared-work caches — deletes exactly like inserts.
+                    t.bump_version();
+                    let version = t.version();
+                    self.subscriptions.on_delete(&key, &removed, version);
                 }
                 Ok(Table::default())
             }
@@ -199,6 +263,130 @@ impl Database {
             Statement::Select(stmt) => Ok(plan_select(self, &stmt)?.explain()),
             _ => Err(Error::Unsupported("explain() only accepts SELECT".into())),
         }
+    }
+
+    /// Registers a continuous similarity query over a base table and
+    /// returns a handle serving immutable, version-stamped snapshots of
+    /// its grouping (see [`crate::subscription`]).
+    ///
+    /// `sql` must be a SELECT whose plan is exactly a similarity group-by
+    /// over one bare table — no WHERE, joins, ORDER BY, or LIMIT: the
+    /// subscription maintains the *grouping* of the whole table under
+    /// INSERT / DELETE deltas; the select list and HAVING still apply per
+    /// query when the executor serves from the snapshot. Errors when
+    /// [`SessionOptions::subscriptions`] is off.
+    ///
+    /// ```
+    /// use sgb_relation::Database;
+    ///
+    /// let mut db = Database::new();
+    /// db.execute("CREATE TABLE pts (x DOUBLE, y DOUBLE)").unwrap();
+    /// db.execute("INSERT INTO pts VALUES (1.0, 1.0), (2.0, 2.0), (9.0, 9.0)").unwrap();
+    /// let sub = db
+    ///     .subscribe("SELECT count(*) FROM pts GROUP BY x, y DISTANCE-TO-ANY L2 WITHIN 1.5")
+    ///     .unwrap();
+    /// assert_eq!(sub.snapshot().grouping().num_groups(), 2);
+    /// db.execute("DELETE FROM pts WHERE x > 5").unwrap();
+    /// assert_eq!(sub.snapshot().grouping().num_groups(), 1);
+    /// ```
+    pub fn subscribe(&mut self, sql: &str) -> Result<SubscriptionHandle> {
+        if !self.session.subscriptions {
+            return Err(Error::Unsupported(
+                "subscriptions are disabled for this session \
+                 (SessionOptions::subscriptions)"
+                    .into(),
+            ));
+        }
+        let stmt = match parse_statement(sql)? {
+            Statement::Select(s) => s,
+            _ => return Err(Error::Unsupported("subscribe() only accepts SELECT".into())),
+        };
+        let plan = plan_select(self, &stmt)?;
+        let shape_err = || {
+            Error::Unsupported(
+                "subscribe() requires a similarity GROUP BY over a single base \
+                 table (no WHERE, joins, ORDER BY, or LIMIT)"
+                    .into(),
+            )
+        };
+        // The maintained grouping is built from the node's own lowering
+        // (same resolved algorithm, seed, and threads the plan records),
+        // so the initial snapshot is bit-identical to a cold run.
+        let (table, coords, key, maintained) = match &plan {
+            Plan::SimilarityGroupBy {
+                input,
+                coords,
+                mode,
+                ..
+            } => {
+                let Plan::Scan { table, .. } = &**input else {
+                    return Err(shape_err());
+                };
+                if table.is_empty() {
+                    return Err(shape_err());
+                }
+                let t = self.table(table)?;
+                let maintained = build_maintained(
+                    &t.rows,
+                    coords,
+                    || sgb_query::<2>(mode),
+                    || sgb_query::<3>(mode),
+                )?;
+                (
+                    table.to_ascii_lowercase(),
+                    coords.clone(),
+                    QueryKey::from_sgb_mode(mode),
+                    maintained,
+                )
+            }
+            Plan::SimilarityAround {
+                input,
+                coords,
+                centers,
+                metric,
+                radius,
+                algorithm,
+                threads,
+                ..
+            } => {
+                let Plan::Scan { table, .. } = &**input else {
+                    return Err(shape_err());
+                };
+                if table.is_empty() {
+                    return Err(shape_err());
+                }
+                let t = self.table(table)?;
+                let maintained = build_maintained(
+                    &t.rows,
+                    coords,
+                    || around_query::<2>(centers, *metric, *radius, *algorithm, *threads),
+                    || around_query::<3>(centers, *metric, *radius, *algorithm, *threads),
+                )?;
+                (
+                    table.to_ascii_lowercase(),
+                    coords.clone(),
+                    QueryKey::around(centers, *metric, *radius),
+                    maintained,
+                )
+            }
+            _ => return Err(shape_err()),
+        };
+        let t = self.table(&table)?;
+        let (n_rows, version) = (t.rows.len(), t.version());
+        Ok(self.subscriptions.register(
+            table,
+            slot_key(&coords),
+            coords,
+            key,
+            maintained,
+            n_rows,
+            version,
+        ))
+    }
+
+    /// The session's subscriptions (executor serve, planner probe).
+    pub(crate) fn subscriptions(&self) -> &SubscriptionSet {
+        &self.subscriptions
     }
 
     /// The session's shared-work caches (executor fetch-or-build, planner

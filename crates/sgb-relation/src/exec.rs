@@ -11,6 +11,7 @@ use crate::engine::Database;
 use crate::error::{Error, Result};
 use crate::expr::BoundExpr;
 use crate::plan::{AggCall, AggKind, Plan, SgbMode};
+use crate::subscription::QueryKey;
 use crate::table::{Row, Table};
 use crate::value::Value;
 
@@ -169,14 +170,20 @@ pub fn execute(plan: &Plan, db: &Database) -> Result<Table> {
             having,
             outputs,
             schema,
+            ..
         } => {
             let t = execute(input, db)?;
-            // Route through the session's shared-work cache when the node
-            // reads a base table directly — only then does the table's
-            // version counter describe the operator's actual input.
-            let grouping = match cached_scan_table(db, input) {
-                Some(table) => run_sgb_cached(db, &table, &t.rows, coords, mode)?,
-                None => run_sgb(&t.rows, coords, mode)?,
+            // Serve from a fresh subscription snapshot when one matches;
+            // otherwise route through the session's shared-work cache when
+            // the node reads a base table directly — only then does the
+            // table's version counter describe the operator's actual input.
+            let served = subscription_grouping(db, input, coords, &QueryKey::from_sgb_mode(mode));
+            let grouping = match served {
+                Some(g) => g,
+                None => match cached_scan_table(db, input) {
+                    Some(table) => run_sgb_cached(db, &table, &t.rows, coords, mode)?,
+                    None => run_sgb(&t.rows, coords, mode)?,
+                },
             };
             aggregate_grouping(&t, &grouping, aggs, having, outputs, schema)
         }
@@ -195,13 +202,23 @@ pub fn execute(plan: &Plan, db: &Database) -> Result<Table> {
             ..
         } => {
             let t = execute(input, db)?;
-            let grouping = match cached_scan_table(db, input) {
-                Some(table) => run_around_cached(
-                    db, &table, &t.rows, coords, centers, *metric, *radius, *algorithm, *threads,
-                )?,
-                None => run_around(
-                    &t.rows, coords, centers, *metric, *radius, *algorithm, *threads,
-                )?,
+            let served = subscription_grouping(
+                db,
+                input,
+                coords,
+                &QueryKey::around(centers, *metric, *radius),
+            );
+            let grouping = match served {
+                Some(g) => g,
+                None => match cached_scan_table(db, input) {
+                    Some(table) => run_around_cached(
+                        db, &table, &t.rows, coords, centers, *metric, *radius, *algorithm,
+                        *threads,
+                    )?,
+                    None => run_around(
+                        &t.rows, coords, centers, *metric, *radius, *algorithm, *threads,
+                    )?,
+                },
             };
             aggregate_grouping(&t, &grouping, aggs, having, outputs, schema)
         }
@@ -278,6 +295,28 @@ fn aggregate_grouping(
     Ok(Table::from_parts(schema.clone(), rows))
 }
 
+/// The grouping served from a fresh subscription snapshot, when one
+/// matches the node: the node reads a base table directly, an active
+/// subscription over it has the same grouping attributes and
+/// result-relevant operator parameters, and its published snapshot
+/// reflects the table's current version. Freshness is re-checked here at
+/// execution time, so serving is always consistent with what a recompute
+/// would produce.
+fn subscription_grouping(
+    db: &Database,
+    input: &Plan,
+    coords: &[BoundExpr],
+    key: &QueryKey,
+) -> Option<Grouping> {
+    let table = match input {
+        Plan::Scan { table, .. } if !table.is_empty() => table.to_ascii_lowercase(),
+        _ => return None,
+    };
+    let version = db.table(&table).ok()?.version();
+    db.subscriptions()
+        .serve(&table, &slot_key(coords), key, version)
+}
+
 /// The table a similarity node's cache slot is scoped to, when caching
 /// applies: the session cache is on and the node's input is a bare
 /// catalog scan (the planner's pushdown briefly uses empty-named `Scan`
@@ -344,7 +383,7 @@ fn run_sgb_d<const D: usize>(
 /// Lowers a plan's SGB-All / SGB-Any mode into the core query. The plan's
 /// algorithm is already resolved (never `Auto`), so the query's own cost
 /// model passes it through unchanged.
-fn sgb_query<const D: usize>(mode: &SgbMode) -> Result<SgbQuery<D>> {
+pub(crate) fn sgb_query<const D: usize>(mode: &SgbMode) -> Result<SgbQuery<D>> {
     Ok(match mode {
         SgbMode::All {
             eps,
@@ -458,7 +497,7 @@ fn run_around_d<const D: usize>(
 }
 
 /// Lowers a plan's AROUND parameters into the core query.
-fn around_query<const D: usize>(
+pub(crate) fn around_query<const D: usize>(
     centers: &[Vec<f64>],
     metric: Metric,
     radius: Option<f64>,

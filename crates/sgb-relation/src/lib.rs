@@ -47,15 +47,17 @@ pub mod planner;
 pub mod schema;
 pub mod session;
 pub mod sql;
+pub mod subscription;
 pub mod table;
 pub mod value;
 
 pub use engine::Database;
 pub use error::{Error, Result};
 pub use expr::{BinOp, BoundExpr};
-pub use plan::{AggCall, AggKind, IndexCacheStatus, Plan, SgbMode};
+pub use plan::{AggCall, AggKind, IndexCacheStatus, Plan, SgbMode, SnapshotInfo};
 pub use schema::{Column, Schema};
 pub use session::SessionOptions;
+pub use subscription::{GroupingSnapshot, SubscriptionHandle};
 pub use table::{Row, Table};
 pub use value::Value;
 

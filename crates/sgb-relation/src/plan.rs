@@ -91,6 +91,28 @@ impl std::fmt::Display for IndexCacheStatus {
     }
 }
 
+/// Serve-from-subscription annotation of a similarity node: the planner
+/// found an active subscription ([`crate::Database::subscribe`]) whose
+/// published snapshot matches the node's table, grouping attributes, and
+/// result-relevant operator parameters at the table's current version —
+/// the executor serves the grouping from the snapshot instead of
+/// recomputing. Rendered by `EXPLAIN` as
+/// `snapshot: subscription #id (epoch N)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SnapshotInfo {
+    /// Session-unique subscription id.
+    pub id: usize,
+    /// Maintenance epoch of the published snapshot (row deltas applied
+    /// since registration).
+    pub epoch: u64,
+}
+
+impl std::fmt::Display for SnapshotInfo {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "subscription #{} (epoch {})", self.id, self.epoch)
+    }
+}
+
 /// Parameters of a similarity group-by node.
 ///
 /// The `algorithm` fields carry the **resolved** concrete strategy in the
@@ -223,6 +245,8 @@ pub enum Plan {
         coords: Vec<BoundExpr>,
         /// Operator parameters.
         mode: SgbMode,
+        /// Set when a fresh subscription snapshot will serve this node.
+        snapshot: Option<SnapshotInfo>,
         /// Aggregate calls over the input schema.
         aggs: Vec<AggCall>,
         /// Post-grouping filter over the internal layout.
@@ -261,6 +285,8 @@ pub enum Plan {
         selection: String,
         /// Cache disposition of the node's center index.
         index: IndexCacheStatus,
+        /// Set when a fresh subscription snapshot will serve this node.
+        snapshot: Option<SnapshotInfo>,
         /// Aggregate calls over the input schema.
         aggs: Vec<AggCall>,
         /// Post-grouping filter over the internal layout.
@@ -351,7 +377,11 @@ impl Plan {
                 input.explain_into(depth + 1, out);
             }
             Plan::SimilarityGroupBy {
-                input, mode, aggs, ..
+                input,
+                mode,
+                snapshot,
+                aggs,
+                ..
             } => {
                 let (desc, path) = match mode {
                     SgbMode::All {
@@ -387,6 +417,10 @@ impl Plan {
                         ),
                     ),
                 };
+                let path = match snapshot {
+                    Some(s) => format!("{path}; snapshot: {s}"),
+                    None => path,
+                };
                 out.push_str(&format!(
                     "{pad}SimilarityGroupBy [{desc}] [{path}] (aggs: {})\n",
                     aggs.len()
@@ -402,6 +436,7 @@ impl Plan {
                 threads,
                 selection,
                 index,
+                snapshot,
                 aggs,
                 ..
             } => {
@@ -409,9 +444,13 @@ impl Plan {
                     Some(r) => format!(" WITHIN {r}"),
                     None => String::new(),
                 };
+                let snap = match snapshot {
+                    Some(s) => format!("; snapshot: {s}"),
+                    None => String::new(),
+                };
                 out.push_str(&format!(
                     "{pad}SimilarityAround [{} centers, {}{bound}, path: {algorithm}, \
-                     threads: {threads}] [{selection}; index: {index}] (aggs: {})\n",
+                     threads: {threads}] [{selection}; index: {index}{snap}] (aggs: {})\n",
                     centers.len(),
                     metric.sql_keyword(),
                     aggs.len()

@@ -22,6 +22,7 @@ use crate::expr::{BinOp, BoundExpr};
 use crate::plan::{AggCall, AggKind, IndexCacheStatus, Plan, SgbMode};
 use crate::schema::{Column, Schema};
 use crate::sql::ast::{Expr, GroupBy, Select, SelectItem, TableRef};
+use crate::subscription::QueryKey;
 use crate::value::Value;
 
 /// Plans one SELECT statement against `db`.
@@ -33,6 +34,13 @@ pub fn plan_select(db: &Database, stmt: &Select) -> Result<Plan> {
 /// literals; subqueries and arithmetic still work.
 pub(crate) fn plan_const(db: &Database, expr: &Expr) -> Result<BoundExpr> {
     Planner { db }.bind(expr, &Schema::default())
+}
+
+/// Binds a scalar predicate against a table schema — used for the DELETE
+/// row filter; uncorrelated `IN (SELECT …)` subqueries still materialise
+/// at bind time, exactly as in a WHERE clause.
+pub(crate) fn plan_predicate(db: &Database, schema: &Schema, expr: &Expr) -> Result<BoundExpr> {
+    Planner { db }.bind(expr, schema)
 }
 
 struct Planner<'a> {
@@ -406,10 +414,12 @@ impl<'a> Planner<'a> {
             Some(h) => Some(self.rewrite_agg(h, &mut ctx, &input_schema)?),
             None => None,
         };
+        let snapshot = self.subscription_probe(&input, &coords, &QueryKey::from_sgb_mode(&mode));
         Ok(Plan::SimilarityGroupBy {
             input: Box::new(input),
             coords,
             mode,
+            snapshot,
             aggs: ctx.aggs,
             having,
             outputs,
@@ -498,6 +508,8 @@ impl<'a> Planner<'a> {
             }
             _ => IndexCacheStatus::Built,
         };
+        let snapshot =
+            self.subscription_probe(&input, &coords, &QueryKey::around(centers, metric, radius));
         Ok(Plan::SimilarityAround {
             input: Box::new(input),
             coords,
@@ -508,6 +520,7 @@ impl<'a> Planner<'a> {
             threads,
             selection: session_selection(configured, selection),
             index,
+            snapshot,
             aggs: ctx.aggs,
             having,
             outputs,
@@ -751,6 +764,26 @@ impl<'a> Planner<'a> {
             coords_key: slot_key(&coords),
             version,
         }))
+    }
+
+    /// The serve-from-subscription annotation of a similarity node: an
+    /// active subscription over the node's base table with the same
+    /// grouping attributes and result-relevant operator parameters, whose
+    /// published snapshot reflects the table's current version. Read-only
+    /// — the executor re-checks freshness at run time, so a stale
+    /// annotation (table mutated between plan and execution) only makes
+    /// EXPLAIN optimistic, never the result wrong.
+    fn subscription_probe(
+        &self,
+        input: &Plan,
+        coords: &[BoundExpr],
+        key: &QueryKey,
+    ) -> Option<crate::plan::SnapshotInfo> {
+        let table = bare_scan_table(input)?;
+        let version = self.db.table(table).ok()?.version();
+        self.db
+            .subscriptions()
+            .probe(&table.to_ascii_lowercase(), &slot_key(coords), key, version)
     }
 
     /// `true` when every column `expr` references resolves in `schema`.

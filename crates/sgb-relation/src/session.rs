@@ -69,6 +69,14 @@ pub struct SessionOptions {
     /// per `(table, grouping attributes)`; 0 disables result caching
     /// while leaving index caching on).
     pub cache_capacity: usize,
+    /// Continuous-query registration (on by default):
+    /// [`crate::Database::subscribe`] maintains a grouping incrementally
+    /// under INSERT / DELETE deltas and publishes immutable
+    /// version-stamped snapshots; matching SELECTs are served from the
+    /// fresh snapshot (`EXPLAIN` reports `snapshot: subscription #N`).
+    /// Turning this off rejects new registrations; subscriptions already
+    /// registered keep being maintained.
+    pub subscriptions: bool,
 }
 
 impl Default for SessionOptions {
@@ -81,6 +89,7 @@ impl Default for SessionOptions {
             threads: 0,
             cache: true,
             cache_capacity: 128,
+            subscriptions: true,
         }
     }
 }
@@ -142,6 +151,14 @@ impl SessionOptions {
         self.cache_capacity = capacity;
         self
     }
+
+    /// Enables or disables continuous-query registration
+    /// ([`crate::Database::subscribe`]).
+    #[must_use]
+    pub fn with_subscriptions(mut self, subscriptions: bool) -> Self {
+        self.subscriptions = subscriptions;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -157,7 +174,8 @@ mod tests {
             .with_seed(7)
             .with_threads(4)
             .with_cache(false)
-            .with_cache_capacity(9);
+            .with_cache_capacity(9)
+            .with_subscriptions(false);
         assert_eq!(opts.all_algorithm, Algorithm::BoundsChecking);
         assert_eq!(opts.any_algorithm, Algorithm::Grid);
         assert_eq!(opts.around_algorithm, Algorithm::Indexed);
@@ -165,6 +183,7 @@ mod tests {
         assert_eq!(opts.threads, 4);
         assert!(!opts.cache);
         assert_eq!(opts.cache_capacity, 9);
+        assert!(!opts.subscriptions);
     }
 
     #[test]
@@ -177,5 +196,6 @@ mod tests {
         assert_eq!(opts.threads, 0, "auto parallelism by default");
         assert!(opts.cache, "shared-work caching on by default");
         assert_eq!(opts.cache_capacity, 128);
+        assert!(opts.subscriptions, "continuous queries on by default");
     }
 }

@@ -196,6 +196,13 @@ pub enum Statement {
         /// Row literals.
         rows: Vec<Vec<Expr>>,
     },
+    /// `DELETE FROM name [WHERE pred]`.
+    Delete {
+        /// Target table.
+        table: String,
+        /// Row predicate; `None` deletes every row.
+        predicate: Option<Expr>,
+    },
     /// `DROP TABLE name`.
     DropTable {
         /// Table name.

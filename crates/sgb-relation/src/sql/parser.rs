@@ -160,6 +160,7 @@ impl Parser {
             Some(t) if t.is_kw("select") => Ok(Statement::Select(Box::new(self.select()?))),
             Some(t) if t.is_kw("create") => self.create_table(),
             Some(t) if t.is_kw("insert") => self.insert(),
+            Some(t) if t.is_kw("delete") => self.delete(),
             Some(t) if t.is_kw("drop") => self.drop_table(),
             other => Err(Error::Parse(format!(
                 "expected a statement, found {other:?}"
@@ -219,6 +220,18 @@ impl Parser {
             }
         }
         Ok(Statement::Insert { table, rows })
+    }
+
+    fn delete(&mut self) -> Result<Statement> {
+        self.expect_kw("delete")?;
+        self.expect_kw("from")?;
+        let table = self.expect_ident()?;
+        let predicate = if self.eat_kw("where") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        Ok(Statement::Delete { table, predicate })
     }
 
     fn drop_table(&mut self) -> Result<Statement> {
@@ -1189,6 +1202,31 @@ mod tests {
             parse_statement("DROP TABLE t").unwrap(),
             Statement::DropTable { .. }
         ));
+    }
+
+    #[test]
+    fn delete_with_and_without_predicate() {
+        let d = parse_statement("DELETE FROM t WHERE a > 1 AND b = 'x'").unwrap();
+        let Statement::Delete { table, predicate } = d else {
+            panic!()
+        };
+        assert_eq!(table, "t");
+        assert!(matches!(
+            predicate,
+            Some(Expr::Binary { op: BinOp::And, .. })
+        ));
+        let d = parse_statement("DELETE FROM t;").unwrap();
+        assert_eq!(
+            d,
+            Statement::Delete {
+                table: "t".into(),
+                predicate: None
+            }
+        );
+        // DELETE needs FROM; trailing garbage is rejected.
+        assert!(parse_statement("DELETE t").is_err());
+        assert!(parse_statement("DELETE FROM t WHERE").is_err());
+        assert!(parse_statement("DELETE FROM t 7").is_err());
     }
 
     #[test]

@@ -852,6 +852,7 @@ fn programmatic_around_plan_with_bad_centers_errors_cleanly() {
         threads: 1,
         selection: "hand-built".into(),
         index: sgb_relation::IndexCacheStatus::Built,
+        snapshot: None,
         aggs: vec![],
         having: None,
         outputs: vec![],
@@ -892,6 +893,7 @@ fn programmatic_around_plan_with_bad_centers_errors_cleanly() {
             selection: "hand-built".into(),
             index: sgb_relation::IndexCacheStatus::Built,
         },
+        snapshot: None,
         aggs: vec![],
         having: None,
         outputs: vec![],
@@ -899,4 +901,175 @@ fn programmatic_around_plan_with_bad_centers_errors_cleanly() {
     };
     let err = execute(&bad_any, &db).unwrap_err();
     assert!(err.to_string().contains("BoundsChecking"), "got: {err}");
+}
+
+// -- DELETE + subscriptions ---------------------------------------------------
+
+#[test]
+fn delete_removes_matching_rows_end_to_end() {
+    let mut db = db_with_people();
+    db.execute("DELETE FROM people WHERE city = 'rome' AND age > 30")
+        .unwrap();
+    let out = db.query("SELECT id FROM people ORDER BY id").unwrap();
+    assert_eq!(ints(&out, 0), vec![2, 4, 5]);
+    // No predicate: empties the table but keeps the schema.
+    db.execute("DELETE FROM people").unwrap();
+    assert_eq!(db.query("SELECT * FROM people").unwrap().len(), 0);
+    assert_eq!(db.table("people").unwrap().schema.len(), 4);
+    // Unknown table and evaluation errors surface cleanly.
+    assert!(db.execute("DELETE FROM nope").is_err());
+    assert!(db.execute("DELETE FROM people WHERE nope = 1").is_err());
+}
+
+#[test]
+fn delete_predicate_error_leaves_rows_untouched() {
+    let mut db = db_with_people();
+    // `age + name` type-errors on row 1 — the whole statement must fail
+    // without removing anything (predicates evaluate before any mutation).
+    assert!(db
+        .execute("DELETE FROM people WHERE age + name > 0")
+        .is_err());
+    assert_eq!(db.query("SELECT * FROM people").unwrap().len(), 5);
+}
+
+#[test]
+fn delete_bumps_version_and_invalidates_caches() {
+    let mut db = Database::new();
+    db.session_mut().any_algorithm = Algorithm::Indexed;
+    db.execute("CREATE TABLE pts (x DOUBLE, y DOUBLE)").unwrap();
+    db.execute("INSERT INTO pts VALUES (1.0, 1.0), (2.0, 2.0), (9.0, 9.0)")
+        .unwrap();
+    let sql = "SELECT count(*) FROM pts GROUP BY x, y DISTANCE-TO-ANY L2 WITHIN 1.5";
+    let before = db.table("pts").unwrap().version();
+    db.execute(sql).unwrap();
+    assert!(db.explain(sql).unwrap().contains("index: cached (hit)"));
+    db.execute("DELETE FROM pts WHERE x > 5").unwrap();
+    assert!(db.table("pts").unwrap().version() > before);
+    // The cached index no longer applies — exactly as after an INSERT.
+    assert!(db.explain(sql).unwrap().contains("index: built"));
+    let out = db.execute(sql).unwrap();
+    assert_eq!(out.len(), 1);
+    assert_eq!(ints(&out, 0), vec![2]);
+    // A DELETE matching nothing keeps the version (nothing changed).
+    let v = db.table("pts").unwrap().version();
+    db.execute("DELETE FROM pts WHERE x > 100").unwrap();
+    assert_eq!(db.table("pts").unwrap().version(), v);
+}
+
+#[test]
+fn subscription_maintains_grouping_under_mixed_traffic() {
+    let mut db = Database::new();
+    db.execute("CREATE TABLE pts (x DOUBLE, y DOUBLE)").unwrap();
+    db.execute("INSERT INTO pts VALUES (1.0, 1.0), (2.0, 2.0), (9.0, 9.0)")
+        .unwrap();
+    let sql = "SELECT count(*) FROM pts GROUP BY x, y DISTANCE-TO-ANY L2 WITHIN 1.5";
+    let sub = db.subscribe(sql).unwrap();
+    assert!(sub.is_active());
+    assert_eq!(sub.snapshot().epoch(), 0);
+    assert_eq!(sub.snapshot().grouping().sorted_sizes(), vec![2, 1]);
+
+    // Insert a bridge point: {1,2} ∪ {3} via (2.9, 2.9)… still far from 9.
+    db.execute("INSERT INTO pts VALUES (3.0, 3.0)").unwrap();
+    assert_eq!(sub.snapshot().epoch(), 1);
+    assert_eq!(sub.snapshot().grouping().sorted_sizes(), vec![3, 1]);
+
+    // Delete the bridge: (1,1) and (3,3) are > 1.5 apart, so the merged
+    // component splits into singletons.
+    db.execute("DELETE FROM pts WHERE x = 2").unwrap();
+    assert_eq!(sub.snapshot().epoch(), 2);
+    assert_eq!(sub.snapshot().grouping().sorted_sizes(), vec![1, 1, 1]);
+
+    // The published snapshot always matches a from-scratch SQL run.
+    let direct = db.query(sql).unwrap();
+    let counts: Vec<i64> = ints(&direct, 0);
+    let mut sizes = sub.snapshot().grouping().sizes();
+    sizes.sort_unstable();
+    let mut direct_sizes: Vec<usize> = counts.iter().map(|&c| c as usize).collect();
+    direct_sizes.sort_unstable();
+    assert_eq!(sizes, direct_sizes);
+
+    // Snapshots are immutable: one taken before an edit never changes.
+    let pinned = sub.snapshot();
+    db.execute("INSERT INTO pts VALUES (50.0, 50.0)").unwrap();
+    assert_eq!(pinned.epoch(), 2);
+    assert_eq!(sub.snapshot().epoch(), 3);
+}
+
+#[test]
+fn subscription_serves_identical_results_and_deactivates_on_drop() {
+    let mut db = Database::new();
+    db.execute("CREATE TABLE pts (x DOUBLE, y DOUBLE)").unwrap();
+    db.execute("INSERT INTO pts VALUES (1.0, 1.0), (1.5, 1.2), (9.0, 9.0), (8.5, 8.8)")
+        .unwrap();
+    let sql = "SELECT count(*) FROM pts \
+               GROUP BY x, y AROUND ((1, 1), (9, 9)) L2 WITHIN 2";
+    let cold = db.query(sql).unwrap();
+    let sub = db.subscribe(sql).unwrap();
+    assert!(db.explain(sql).unwrap().contains("snapshot: subscription"));
+    let served = db.query(sql).unwrap();
+    assert_eq!(cold, served, "serving from the snapshot must be invisible");
+
+    db.execute("DROP TABLE pts").unwrap();
+    assert!(!sub.is_active());
+    // The last snapshot stays readable after the drop.
+    assert_eq!(sub.snapshot().grouping().num_groups(), 2);
+}
+
+#[test]
+fn subscription_rejects_unsupported_shapes_and_disabled_sessions() {
+    let mut db = db_with_people();
+    db.execute("CREATE TABLE pts (x DOUBLE, y DOUBLE)").unwrap();
+    db.execute("INSERT INTO pts VALUES (1.0, 1.0)").unwrap();
+    for bad in [
+        "SELECT id FROM people",             // no similarity clause
+        "INSERT INTO pts VALUES (2.0, 2.0)", // not a SELECT
+        "SELECT count(*) FROM pts WHERE x > 0 \
+         GROUP BY x, y DISTANCE-TO-ANY L2 WITHIN 1", // filtered input
+        "SELECT count(*) FROM pts GROUP BY x, y \
+         DISTANCE-TO-ANY L2 WITHIN 1 ORDER BY count(*)", // post-grouping sort
+    ] {
+        assert!(db.subscribe(bad).is_err(), "must reject: {bad}");
+    }
+
+    let mut gated =
+        Database::with_options(sgb_relation::SessionOptions::new().with_subscriptions(false));
+    gated
+        .execute("CREATE TABLE pts (x DOUBLE, y DOUBLE)")
+        .unwrap();
+    let err = gated
+        .subscribe("SELECT count(*) FROM pts GROUP BY x, y DISTANCE-TO-ANY L2 WITHIN 1")
+        .unwrap_err();
+    assert!(err.to_string().contains("disabled"), "got: {err}");
+}
+
+#[test]
+fn subscription_deactivates_on_bad_insert_but_keeps_last_snapshot() {
+    let mut db = Database::new();
+    db.execute("CREATE TABLE pts (x DOUBLE, y TEXT)").unwrap();
+    db.execute("INSERT INTO pts VALUES (1.0, '2.0')").unwrap();
+    // The text column coerces… no: as_f64 on Str fails, so even the
+    // initial build rejects non-numeric grouping attributes.
+    assert!(db
+        .subscribe("SELECT count(*) FROM pts GROUP BY x, y DISTANCE-TO-ANY L2 WITHIN 1")
+        .is_err());
+
+    let mut db = Database::new();
+    db.execute("CREATE TABLE pts (x DOUBLE, y DOUBLE)").unwrap();
+    db.execute("INSERT INTO pts VALUES (1.0, 1.0)").unwrap();
+    let sub = db
+        .subscribe("SELECT count(*) FROM pts GROUP BY x, y DISTANCE-TO-ANY L2 WITHIN 1")
+        .unwrap();
+    // A later insert with a non-numeric grouping attribute cannot be
+    // applied as a delta: the subscription deactivates, the table keeps
+    // the row, and the last snapshot stays readable.
+    db.execute("INSERT INTO pts VALUES (2.0, 'oops')").unwrap();
+    assert!(!sub.is_active());
+    assert_eq!(sub.snapshot().epoch(), 0);
+    assert_eq!(db.query("SELECT * FROM pts").unwrap().len(), 2);
+    // Queries no longer serve from the stale snapshot (and now error on
+    // the bad attribute, like any cold run would).
+    assert!(!db
+        .explain("SELECT count(*) FROM pts GROUP BY x, y DISTANCE-TO-ANY L2 WITHIN 1")
+        .unwrap()
+        .contains("snapshot:"));
 }

@@ -142,6 +142,53 @@ fn cache_disabled_explain_snapshot() {
 }
 
 #[test]
+fn subscription_snapshot_explain_snapshot() {
+    // With an active subscription whose published snapshot is fresh, the
+    // node reports serve-from-snapshot; a DELETE advances the epoch (the
+    // subscription keeps pace, so the annotation stays); dropping the
+    // table would deactivate it entirely.
+    let mut db = fig2_db();
+    let sql = "SELECT count(*) FROM pts GROUP BY x, y DISTANCE-TO-ANY L2 WITHIN 1.5";
+    db.subscribe(sql).unwrap();
+    assert_eq!(
+        db.explain(sql).unwrap(),
+        "SimilarityGroupBy [SGB-Any L2 WITHIN 1.5] \
+         [path: AllPairs, threads: 1; auto: n = 5 <= 512, plain scan beats index construction; \
+         index: none; snapshot: subscription #0 (epoch 0)] (aggs: 1)\n\
+         \x20 Scan pts\n"
+    );
+    db.execute("DELETE FROM pts WHERE x = 4").unwrap();
+    assert_eq!(
+        db.explain(sql).unwrap(),
+        "SimilarityGroupBy [SGB-Any L2 WITHIN 1.5] \
+         [path: AllPairs, threads: 1; auto: n = 4 <= 512, plain scan beats index construction; \
+         index: none; snapshot: subscription #0 (epoch 1)] (aggs: 1)\n\
+         \x20 Scan pts\n"
+    );
+    // A different ε is a different grouping — no snapshot annotation.
+    let other = db
+        .explain("SELECT count(*) FROM pts GROUP BY x, y DISTANCE-TO-ANY L2 WITHIN 2.5")
+        .unwrap();
+    assert!(!other.contains("snapshot:"), "got: {other}");
+}
+
+#[test]
+fn subscription_around_explain_snapshot() {
+    let mut db = fig2_db();
+    let sql = "SELECT count(*) FROM pts \
+               GROUP BY x, y AROUND ((1, 1), (9, 9), (4, 4)) L1 WITHIN 2.5";
+    db.subscribe(sql).unwrap();
+    assert_eq!(
+        db.explain(sql).unwrap(),
+        "SimilarityAround [3 centers, L1 WITHIN 2.5, path: AllPairs, threads: 1] \
+         [auto: 3 centers <= 128, center scan beats index construction \
+         (BENCH_around.json crossover ~1k); index: none; \
+         snapshot: subscription #0 (epoch 0)] (aggs: 1)\n\
+         \x20 Scan pts\n"
+    );
+}
+
+#[test]
 fn session_options_at_construction_match_session_mut() {
     // `Database::with_options` and `session_mut` are the same surface:
     // identical options produce identical plans.

@@ -219,6 +219,39 @@ impl<const D: usize, T> Grid<D, T> {
         self.len += 1;
     }
 
+    /// Removes one entry matching `p` and `item` exactly (coordinate
+    /// equality per dimension, payload equality); returns `true` when an
+    /// entry was removed. When the entry was the last of its cell the cell itself is
+    /// dropped, so a long insert/delete workload never accumulates empty
+    /// cells (an empty cell would still widen `occupied_cells` and the
+    /// occupied-scan fallback of the probes, never correctness).
+    ///
+    /// The occupied bounding box is **not** shrunk: recomputing it exactly
+    /// would cost a scan of the occupied set, and a conservative
+    /// (too-large) box only admits extra candidate cells — every probe
+    /// verifies hits against the canonical predicate anyway.
+    pub fn remove(&mut self, p: &Point<D>, item: &T) -> bool
+    where
+        T: PartialEq,
+    {
+        let key = self.cell_of(p);
+        let Some(entries) = self.cells.get_mut(&key) else {
+            return false;
+        };
+        let Some(idx) = entries
+            .iter()
+            .position(|(q, t)| q.coords() == p.coords() && t == item)
+        else {
+            return false;
+        };
+        entries.swap_remove(idx);
+        if entries.is_empty() {
+            self.cells.remove(&key);
+        }
+        self.len -= 1;
+        true
+    }
+
     /// The ε-probe: invokes `visit` for every entry stored in a cell that
     /// could hold a point within `eps` of `center` — a guaranteed superset
     /// of the canonical predicate [`Metric::within`] under every metric
@@ -1239,6 +1272,71 @@ mod tests {
             }
             assert_eq!(got, best, "{metric}");
         }
+    }
+
+    #[test]
+    fn remove_drops_empty_cells_and_roundtrips() {
+        let mut grid: Grid<2, usize> = Grid::new(1.0);
+        grid.insert(pt(0.2, 0.2), 0);
+        grid.insert(pt(0.9, 0.2), 1); // same cell as 0
+        grid.insert(pt(5.0, 5.0), 2);
+        assert_eq!(grid.occupied_cells(), 2);
+
+        // Removing one of two entries keeps the cell.
+        assert!(grid.remove(&pt(0.2, 0.2), &0));
+        assert_eq!(grid.len(), 2);
+        assert_eq!(grid.occupied_cells(), 2);
+        // Removing the last entry of a cell drops the cell.
+        assert!(grid.remove(&pt(5.0, 5.0), &2));
+        assert_eq!(grid.occupied_cells(), 1);
+        // Misses: wrong point, wrong payload, already removed.
+        assert!(!grid.remove(&pt(5.0, 5.0), &2));
+        assert!(!grid.remove(&pt(0.9, 0.2), &7));
+        assert!(!grid.remove(&pt(0.95, 0.2), &1));
+        assert_eq!(grid.len(), 1);
+
+        // Re-insert what was removed: probes see the same set as a fresh
+        // grid built from the final contents.
+        grid.insert(pt(0.2, 0.2), 0);
+        grid.insert(pt(5.0, 5.0), 2);
+        let fresh: Grid<2, usize> = Grid::from_points(
+            1.0,
+            [(pt(0.2, 0.2), 0), (pt(0.9, 0.2), 1), (pt(5.0, 5.0), 2)],
+        );
+        for metric in Metric::ALL {
+            let collect = |g: &Grid<2, usize>| {
+                let mut out = Vec::new();
+                g.for_each_within(&pt(0.5, 0.5), 6.0, metric, |_, &i| out.push(i));
+                out.sort_unstable();
+                out
+            };
+            assert_eq!(collect(&grid), collect(&fresh), "{metric}");
+            assert_eq!(
+                grid.nearest_one(&pt(4.0, 4.0), metric),
+                fresh.nearest_one(&pt(4.0, 4.0), metric)
+            );
+        }
+    }
+
+    #[test]
+    fn remove_then_reinsert_under_churn_matches_rebuild() {
+        // A long alternating insert/delete workload must not accumulate
+        // empty cells (the probe-window fallback compares against
+        // occupied_cells) and must keep probe results exact.
+        let mut grid: Grid<2, usize> = Grid::new(1.0);
+        for round in 0..50 {
+            for (p, i) in lattice(40) {
+                grid.insert(p, i + round * 40);
+            }
+            for (p, i) in lattice(40) {
+                assert!(grid.remove(&p, &(i + round * 40)), "round {round} id {i}");
+            }
+        }
+        assert!(grid.is_empty());
+        assert_eq!(grid.occupied_cells(), 0, "no empty cells accumulate");
+        grid.insert(pt(1.5, 1.5), 99);
+        let got = grid.nearest_one(&pt(0.0, 0.0), Metric::L2).unwrap();
+        assert_eq!(got.1, 99);
     }
 
     #[test]

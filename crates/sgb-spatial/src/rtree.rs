@@ -1,4 +1,13 @@
 //! Dynamic R-tree with quadratic split (Guttman's original algorithm).
+//!
+//! Deletion audit (incremental-maintenance engine): unlike [`crate::Grid`],
+//! which only gained [`crate::Grid::remove`] when delta maintenance was
+//! added, the R-tree has supported removal from the start —
+//! [`RTree::remove`] implements Guttman's `Delete` + `CondenseTree`, so
+//! underfull nodes are dissolved and their entries re-inserted rather than
+//! left as empty husks. No structural change was needed for delete-heavy
+//! workloads; the incremental engine maintains ε-grids (O(1) cell updates)
+//! and treats R-trees as per-query rebuilt indexes.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;

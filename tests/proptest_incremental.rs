@@ -1,0 +1,200 @@
+//! Property tests for the incremental maintenance engine: over random
+//! insert/delete edit scripts, a [`MaintainedGrouping`] must stay equal —
+//! full `Grouping` equality (groups, eliminated, outliers), not just group
+//! counts — to a from-scratch `SgbQuery::run` over the live points, for
+//! all three operator families × all three metrics. A multi-threaded
+//! smoke test then pins the relation layer's serving contract: concurrent
+//! readers of a subscription only ever observe complete, epoch-monotone
+//! snapshots while a writer streams INSERT / DELETE statements.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use sgb::core::incremental::MaintainedGrouping;
+use sgb::core::{OverlapAction, SgbQuery};
+use sgb::geom::{Metric, Point};
+use sgb::relation::Database;
+
+/// One step of a random edit script. `Delete` carries a raw index that is
+/// reduced modulo the current slot count, so scripts stay valid however
+/// many inserts precede them — and sometimes hit an already-deleted slot,
+/// which must be a reported no-op.
+#[derive(Clone, Debug)]
+enum Edit {
+    Insert(f64, f64),
+    Delete(usize),
+}
+
+fn arb_edit() -> impl Strategy<Value = Edit> {
+    prop_oneof![
+        (0.0f64..8.0, 0.0f64..8.0).prop_map(|(x, y)| Edit::Insert(x, y)),
+        (0usize..64).prop_map(Edit::Delete),
+    ]
+}
+
+fn metric(i: usize) -> Metric {
+    [Metric::L1, Metric::L2, Metric::LInf][i]
+}
+
+/// A random query of each family. SGB-All includes the overlap action and
+/// seed in the mix — the maintained state must reproduce the exact
+/// arrival-order-sensitive result of a from-scratch run.
+fn eps() -> impl Strategy<Value = f64> {
+    (1u32..6).prop_map(|k| f64::from(k) * 0.5)
+}
+
+fn arb_query() -> impl Strategy<Value = SgbQuery<2>> {
+    prop_oneof![
+        (eps(), 0usize..3).prop_map(|(e, m)| SgbQuery::any(e).metric(metric(m))),
+        (eps(), 0usize..3, 0usize..3, 0u64..4).prop_map(|(e, m, o, s)| {
+            let overlap = [
+                OverlapAction::JoinAny,
+                OverlapAction::Eliminate,
+                OverlapAction::FormNewGroup,
+            ][o];
+            SgbQuery::all(e).metric(metric(m)).overlap(overlap).seed(s)
+        }),
+        (eps(), 0usize..3).prop_map(|(e, m)| {
+            SgbQuery::around(vec![
+                Point::new([1.0, 1.0]),
+                Point::new([5.0, 5.0]),
+                Point::new([2.5, 6.0]),
+            ])
+            .max_radius(e)
+            .metric(metric(m))
+        }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// After **every** edit of a random script, the maintained grouping
+    /// equals the from-scratch recompute over the live points — for
+    /// SGB-All (every overlap action), SGB-Any, and SGB-Around under
+    /// L1 / L2 / L∞.
+    #[test]
+    fn incremental_equals_recompute_after_every_edit(
+        query in arb_query(),
+        initial in vec((0.0f64..8.0, 0.0f64..8.0), 0..12),
+        edits in vec(arb_edit(), 1..16),
+    ) {
+        let points: Vec<Point<2>> =
+            initial.iter().map(|&(x, y)| Point::new([x, y])).collect();
+        let mut maintained = MaintainedGrouping::new(query.clone(), &points);
+        // Mirror of the slot table: `None` once deleted, never shrinks.
+        let mut mirror: Vec<Option<Point<2>>> =
+            points.into_iter().map(Some).collect();
+        for edit in edits {
+            match edit {
+                Edit::Insert(x, y) => {
+                    let slot = maintained.insert(Point::new([x, y]));
+                    prop_assert_eq!(slot, mirror.len(), "slots are append-only");
+                    mirror.push(Some(Point::new([x, y])));
+                }
+                Edit::Delete(raw) => {
+                    if mirror.is_empty() {
+                        continue;
+                    }
+                    let slot = raw % mirror.len();
+                    let was_live = mirror[slot].is_some();
+                    prop_assert_eq!(maintained.delete(slot), was_live);
+                    mirror[slot] = None;
+                }
+            }
+            let live: Vec<Point<2>> = mirror.iter().flatten().copied().collect();
+            prop_assert_eq!(maintained.live_points(), live.clone());
+            prop_assert_eq!(maintained.len(), live.len());
+            let incremental = maintained.snapshot();
+            let scratch = query.run(&live);
+            prop_assert_eq!(
+                &incremental, &scratch,
+                "maintained grouping diverged from recompute after {} edits",
+                maintained.epoch()
+            );
+            incremental.check_partition(live.len());
+        }
+        // Deleting past the slot table is a reported no-op.
+        prop_assert!(!maintained.delete(mirror.len()));
+    }
+}
+
+/// Concurrent snapshot serving: readers holding a [`SubscriptionHandle`]
+/// clone never block the writer and only ever observe *complete* published
+/// snapshots. The writer's script is deterministic — every point is far
+/// from every other under ε = 1, so the grouping at epoch `e` is exactly
+/// `expected[e]` singletons — which lets each reader verify any snapshot
+/// it happens to catch, at any interleaving, without synchronising with
+/// the writer.
+#[test]
+fn concurrent_readers_observe_only_complete_snapshots() {
+    const INSERTS: usize = 24;
+    const DELETES: usize = 8;
+
+    let mut db = Database::new();
+    db.execute("CREATE TABLE pts (x DOUBLE, y DOUBLE)").unwrap();
+    db.execute("INSERT INTO pts VALUES (0.0, 0.0), (10.0, 0.0), (20.0, 0.0)")
+        .unwrap();
+    let sub = db
+        .subscribe("SELECT count(*) FROM pts GROUP BY x, y DISTANCE-TO-ANY L2 WITHIN 1")
+        .unwrap();
+
+    // Group count per epoch: 3 initial singletons, one more per insert,
+    // one fewer per delete.
+    let mut expected = vec![3usize];
+    for i in 0..INSERTS {
+        expected.push(3 + i + 1);
+    }
+    for j in 0..DELETES {
+        expected.push(3 + INSERTS - (j + 1));
+    }
+    let final_epoch = (INSERTS + DELETES) as u64;
+
+    std::thread::scope(|scope| {
+        for _ in 0..4 {
+            let handle = sub.clone();
+            let expected = &expected;
+            scope.spawn(move || {
+                let mut last = 0u64;
+                loop {
+                    let snap = handle.snapshot();
+                    let epoch = snap.epoch();
+                    assert!(epoch >= last, "epochs went backwards: {last} -> {epoch}");
+                    last = epoch;
+                    let g = snap.grouping();
+                    let want = expected[usize::try_from(epoch).unwrap()];
+                    assert_eq!(
+                        g.num_groups(),
+                        want,
+                        "snapshot at epoch {epoch} is not the published grouping"
+                    );
+                    assert!(g.sizes().iter().all(|&s| s == 1), "all groups singleton");
+                    g.check_partition(want);
+                    if epoch == final_epoch {
+                        return;
+                    }
+                    std::thread::yield_now();
+                }
+            });
+        }
+
+        // The writer never waits for readers: publishing swaps an Arc
+        // under a write lock held only for the pointer swap.
+        for i in 0..INSERTS {
+            let x = 10.0 * (i + 3) as f64;
+            db.execute(&format!("INSERT INTO pts VALUES ({x}, 0.0)"))
+                .unwrap();
+        }
+        for j in 0..DELETES {
+            let x = 10.0 * (INSERTS + 2 - j) as f64;
+            db.execute(&format!("DELETE FROM pts WHERE x = {x}"))
+                .unwrap();
+        }
+    });
+
+    assert_eq!(sub.snapshot().epoch(), final_epoch);
+    assert_eq!(
+        sub.snapshot().grouping().num_groups(),
+        3 + INSERTS - DELETES
+    );
+}

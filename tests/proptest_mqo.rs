@@ -13,13 +13,15 @@ use sgb::core::{Algorithm, Metric, SgbCache, SgbQuery};
 use sgb::geom::Point;
 use sgb::relation::{Database, SessionOptions};
 
-/// One step of a random session: a similarity SELECT, an INSERT, or a
-/// DROP + CREATE cycle that resets the table (and must invalidate every
-/// cached index and result built for it).
+/// One step of a random session: a similarity SELECT, an INSERT, a
+/// predicate DELETE, or a DROP + CREATE cycle that resets the table (both
+/// mutation kinds must invalidate every cached index and result built for
+/// the table).
 #[derive(Clone, Debug)]
 enum Op {
     Query(String),
     Insert(f64, f64),
+    Delete(f64),
     Recreate,
 }
 
@@ -28,6 +30,7 @@ impl Op {
         match self {
             Op::Query(sql) => vec![sql.clone()],
             Op::Insert(x, y) => vec![format!("INSERT INTO t VALUES ({x}, {y})")],
+            Op::Delete(cut) => vec![format!("DELETE FROM t WHERE x > {cut}")],
             Op::Recreate => vec![
                 "DROP TABLE t".into(),
                 "CREATE TABLE t (x DOUBLE, y DOUBLE)".into(),
@@ -70,6 +73,9 @@ fn arb_op() -> impl Strategy<Value = Op> {
         arb_query().prop_map(Op::Query),
         arb_query().prop_map(Op::Query),
         (0.0f64..8.0, 0.0f64..8.0).prop_map(|(x, y)| Op::Insert(x, y)),
+        // A high cut deletes a thin slice (often nothing); a low cut can
+        // empty the table — both ends stress cache invalidation.
+        (0.0f64..8.0).prop_map(Op::Delete),
         Just(Op::Recreate),
     ]
 }
@@ -140,6 +146,7 @@ proptest! {
                 arb_query().prop_map(Op::Query),
                 arb_query().prop_map(Op::Query),
                 (0.0f64..8.0, 0.0f64..8.0).prop_map(|(x, y)| Op::Insert(x, y)),
+                (0.0f64..8.0).prop_map(Op::Delete),
             ],
             1..20,
         ),
