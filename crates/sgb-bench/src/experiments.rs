@@ -7,8 +7,8 @@
 
 use sgb_cluster::{birch, dbscan, kmeans, BirchConfig, DbscanConfig, KMeansConfig};
 use sgb_core::{
-    sgb_all, sgb_any, Algorithm, AllAlgorithm, AnyAlgorithm, OverlapAction, SgbAllConfig,
-    SgbAnyConfig, SgbQuery,
+    sgb_all, sgb_any, Algorithm, AllAlgorithm, AnyAlgorithm, OverlapAction, QueryGovernor,
+    SgbAllConfig, SgbAnyConfig, SgbQuery,
 };
 use sgb_datagen::{clustered_points, clustered_points_with_centers, CheckinConfig, TpchConfig};
 use sgb_geom::{Metric, Point};
@@ -928,6 +928,70 @@ pub fn table2(scale: f64) -> Experiment {
         xlabel: "query_index".into(),
         series,
     }
+}
+
+/// One row of the governor-overhead smoke bench (`governor` bin).
+#[derive(Clone, Debug)]
+pub struct GovernorBenchRow {
+    /// Input cardinality.
+    pub n: usize,
+    /// Similarity threshold ε.
+    pub eps: f64,
+    /// Best-of-k seconds for the legacy infallible `run`.
+    pub ungoverned_secs: f64,
+    /// Best-of-k seconds for `try_run` under an unrestricted governor.
+    pub governed_secs: f64,
+    /// `(governed − ungoverned) / ungoverned`, in percent (can be
+    /// negative: both are minima of noisy samples).
+    pub overhead_pct: f64,
+    /// Answer groups — identical on both paths by assertion.
+    pub groups: usize,
+}
+
+/// Measures what the governor's cooperative checks cost when **nothing
+/// is restricted**: the BENCH_grid SGB-Any grid row (ε-grid join, L2,
+/// the Figure 9 workload) timed as `run` vs `try_run(&unrestricted)`.
+/// The two paths alternate within each round, so clock drift and cache
+/// warmth hit both equally, and every round asserts they return the same
+/// grouping. The `governor` bin gates on the reported overhead.
+pub fn governor_overhead(scale: f64) -> Vec<GovernorBenchRow> {
+    const ROUNDS: usize = 7;
+    let mut rows = Vec::new();
+    for base in [10_000usize, 20_000] {
+        let n = scaled(base, scale);
+        let points = fig9_workload(n, 0x0F19);
+        let eps = 0.3;
+        let query = SgbQuery::any(eps)
+            .metric(Metric::L2)
+            .algorithm(Algorithm::Grid);
+        let governor = QueryGovernor::unrestricted();
+        let mut best_run = f64::INFINITY;
+        let mut best_try = f64::INFINITY;
+        let mut groups = 0;
+        for _ in 0..ROUNDS {
+            let (out, secs) = time(|| query.run(&points));
+            best_run = best_run.min(secs);
+            groups = out.num_groups();
+            let (tried, secs) = time(|| query.try_run(&points, &governor));
+            best_try = best_try.min(secs);
+            let tried = tried.expect("an unrestricted governor never aborts");
+            assert_eq!(out, tried, "governed and ungoverned runs disagree at n={n}");
+        }
+        let overhead_pct = (best_try - best_run) / best_run * 100.0;
+        eprintln!(
+            "#   governor sgb-any grid n={n}: run {best_run:.6}s, \
+             try_run {best_try:.6}s ({overhead_pct:+.2}%)"
+        );
+        rows.push(GovernorBenchRow {
+            n,
+            eps,
+            ungoverned_secs: best_run,
+            governed_secs: best_try,
+            overhead_pct,
+            groups,
+        });
+    }
+    rows
 }
 
 #[cfg(test)]

@@ -360,6 +360,7 @@ mod tests {
             "BENCH_grid.json",
             "BENCH_mqo.json",
             "BENCH_incremental.json",
+            "BENCH_governor.json",
         ] {
             let path = format!("{}/../../{name}", env!("CARGO_MANIFEST_DIR"));
             let text = std::fs::read_to_string(&path)

@@ -34,6 +34,7 @@ use sgb_dsu::DisjointSet;
 use sgb_geom::Point;
 use sgb_spatial::{Grid, RTree};
 
+use crate::governor::{Pacer, QueryGovernor, SgbError, CHECK_INTERVAL};
 use crate::{cost, AnyAlgorithm, Grouping, RecordId, SgbAnyConfig};
 
 /// The index state behind `FindCandidateGroups`, per algorithm.
@@ -331,6 +332,139 @@ pub(crate) fn sgb_any_grid<const D: usize>(
     }
 }
 
+/// Governed twin of the all-pairs scan: the direct pairwise loop with a
+/// [`Pacer`] tick per comparison. It unions edge `(i, j)` for every
+/// `j < i` in ascending order — exactly the unions the streaming
+/// [`SgbAny::push`] scan performs — so the grouping is bit-identical.
+pub(crate) fn try_sgb_any_all_pairs<const D: usize>(
+    points: &[Point<D>],
+    cfg: &SgbAnyConfig,
+    governor: &QueryGovernor,
+) -> Result<Grouping, SgbError> {
+    governor.check()?;
+    let (eps, metric) = (cfg.eps, cfg.metric);
+    let mut dsu = DisjointSet::with_len(points.len());
+    let mut pacer = Pacer::new();
+    for i in 0..points.len() {
+        for j in 0..i {
+            pacer.tick(governor)?;
+            if metric.within(&points[i], &points[j], eps) {
+                dsu.union(i, j);
+            }
+        }
+    }
+    Ok(Grouping {
+        groups: dsu.into_groups(),
+        eliminated: Vec::new(),
+    })
+}
+
+/// Governed twin of [`sgb_any_tree`]: same probes, same unions, plus a
+/// deadline/cancellation check per tuple (each probe is the unit of work
+/// worth pacing — the per-hit callback stays infallible and branch-free).
+pub(crate) fn try_sgb_any_tree<const D: usize>(
+    points: &[Point<D>],
+    cfg: &SgbAnyConfig,
+    index: &RTree<D, RecordId>,
+    governor: &QueryGovernor,
+) -> Result<Grouping, SgbError> {
+    governor.check()?;
+    let (eps, metric) = (cfg.eps, cfg.metric);
+    let mut dsu = DisjointSet::with_len(points.len());
+    let mut stack = Vec::new();
+    let mut pacer = Pacer::new();
+    for (i, p) in points.iter().enumerate() {
+        pacer.tick(governor)?;
+        index.for_each_within(p, eps, metric, &mut stack, |_, &j| {
+            if j < i && metric.within(p, &points[j], eps) {
+                dsu.union(i, j);
+            }
+        });
+    }
+    Ok(Grouping {
+        groups: dsu.into_groups(),
+        eliminated: Vec::new(),
+    })
+}
+
+/// Governed twin of [`sgb_any_grid`]. Both the sequential and the sharded
+/// join run the grid's *paced* variant: the per-pair visitor is
+/// infallible (same codegen as the ungoverned join) and the governance
+/// check runs at cell-row boundaries, every ≤ [`CHECK_INTERVAL`]
+/// candidates. Each shard paces against the *shared* governor at its own
+/// cadence and parks its verdict in a per-shard slot — no cross-thread
+/// abort flag needed. A panicking worker surfaces
+/// as [`SgbError::WorkerPanicked`] (the pool cancels the remaining shards
+/// and keeps its queue lock un-poisoned — see `vendor/scoped_threadpool`).
+///
+/// On `Ok`, the grouping is bit-identical to [`sgb_any_grid`]; on `Err`,
+/// everything built here is dropped — no partial grouping escapes.
+pub(crate) fn try_sgb_any_grid<const D: usize>(
+    points: &[Point<D>],
+    cfg: &SgbAnyConfig,
+    index: &Grid<D, RecordId>,
+    threads: usize,
+    governor: &QueryGovernor,
+) -> Result<Grouping, SgbError> {
+    failpoints::fail_point!("sgb_core::any::grid_join", |_| Err(SgbError::Cancelled));
+    governor.check()?;
+    let (eps, metric) = (cfg.eps, cfg.metric);
+    let mut dsu = DisjointSet::with_len(points.len());
+    if threads <= 1 {
+        // Paced join: the per-pair visitor stays infallible (identical
+        // codegen to the ungoverned join); the deadline/cancellation
+        // check runs at cell-row boundaries, every ≤ CHECK_INTERVAL
+        // candidate comparisons.
+        index.try_for_each_pair_within_paced(
+            eps,
+            metric,
+            |&i, &j| {
+                dsu.union(i, j);
+            },
+            CHECK_INTERVAL as usize,
+            || governor.check(),
+        )?;
+    } else {
+        let mut forests: Vec<DisjointSet> = (0..threads)
+            .map(|_| DisjointSet::with_len(points.len()))
+            .collect();
+        let mut verdicts: Vec<Result<(), SgbError>> = vec![Ok(()); threads];
+        let mut pool = scoped_threadpool::Pool::new(threads as u32);
+        pool.try_scoped(|scope| {
+            for (shard, (forest, verdict)) in
+                forests.iter_mut().zip(verdicts.iter_mut()).enumerate()
+            {
+                scope.execute(move || {
+                    *verdict = index.try_for_each_pair_within_sharded_paced(
+                        eps,
+                        metric,
+                        shard,
+                        threads,
+                        |&i, &j| {
+                            forest.union(i, j);
+                        },
+                        CHECK_INTERVAL as usize,
+                        || governor.check(),
+                    );
+                });
+            }
+        })
+        .map_err(|p| SgbError::WorkerPanicked {
+            message: p.message().to_owned(),
+        })?;
+        for verdict in verdicts {
+            verdict?;
+        }
+        for forest in &forests {
+            dsu.try_merge_from(forest, || governor.check())?;
+        }
+    }
+    Ok(Grouping {
+        groups: dsu.into_groups(),
+        eliminated: Vec::new(),
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -602,6 +736,64 @@ mod tests {
                     "{metric} threads={threads}"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn governed_joins_match_their_infallible_twins_and_honor_deadlines() {
+        let mut state: u64 = 0x60BE;
+        let mut next = || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) as f64) / (u32::MAX as f64)
+        };
+        let points: Vec<Point<2>> = (0..900)
+            .map(|_| Point::new([next() * 10.0, next() * 10.0]))
+            .collect();
+        let eps = 0.3;
+        let free = QueryGovernor::unrestricted();
+        let cfg = SgbAnyConfig::new(eps);
+        let grid: Grid<2, RecordId> = Grid::from_points(
+            Grid::<2, RecordId>::side_for_eps(eps),
+            points.iter().enumerate().map(|(i, p)| (*p, i)),
+        );
+        let tree: RTree<2, RecordId> = RTree::from_points(
+            cfg.rtree_fanout,
+            points.iter().enumerate().map(|(i, p)| (*p, i)),
+        );
+        let expected = sgb_any(&points, &cfg.clone().algorithm(AnyAlgorithm::AllPairs));
+        assert_eq!(
+            try_sgb_any_all_pairs(&points, &cfg, &free).unwrap(),
+            expected
+        );
+        assert_eq!(
+            try_sgb_any_tree(&points, &cfg, &tree, &free).unwrap(),
+            expected
+        );
+        for threads in [1, 3] {
+            assert_eq!(
+                try_sgb_any_grid(&points, &cfg, &grid, threads, &free).unwrap(),
+                expected,
+                "threads={threads}"
+            );
+        }
+        // An already-expired deadline aborts every path with `Timeout`.
+        let expired =
+            QueryGovernor::unrestricted().with_deadline(std::time::Duration::from_secs(0));
+        assert!(matches!(
+            try_sgb_any_all_pairs(&points, &cfg, &expired),
+            Err(SgbError::Timeout)
+        ));
+        assert!(matches!(
+            try_sgb_any_tree(&points, &cfg, &tree, &expired),
+            Err(SgbError::Timeout)
+        ));
+        for threads in [1, 3] {
+            assert!(matches!(
+                try_sgb_any_grid(&points, &cfg, &grid, threads, &expired),
+                Err(SgbError::Timeout)
+            ));
         }
     }
 

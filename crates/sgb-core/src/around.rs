@@ -41,6 +41,7 @@ use std::sync::Arc;
 use sgb_geom::Point;
 use sgb_spatial::{Grid, RTree};
 
+use crate::governor::{Pacer, QueryGovernor, SgbError};
 use crate::{cost, AroundAlgorithm, Grouping, RecordId, SgbAroundConfig};
 
 /// Index of a center in the configured center list.
@@ -341,6 +342,84 @@ impl<const D: usize> SgbAround<D> {
                 self.groups[code as usize].push(id);
             }
         }
+    }
+
+    /// Governed twin of [`extend_from_slice`](Self::extend_from_slice):
+    /// same classification, same arrival-order stitch, plus a
+    /// deadline/cancellation check per tuple (each parallel worker paces
+    /// its own chunk against the shared governor and parks its verdict in
+    /// a per-chunk slot; the stitch runs only when every chunk succeeded).
+    ///
+    /// On `Ok`, the operator state is bit-identical to the infallible
+    /// batch. On `Err`, the state may have absorbed a prefix of the batch
+    /// — **discard the operator**; the governed query entry points build a
+    /// fresh operator per call, so no partial grouping is observable.
+    pub(crate) fn try_extend_from_slice(
+        &mut self,
+        points: &[Point<D>],
+        governor: &QueryGovernor,
+    ) -> Result<(), SgbError> {
+        failpoints::fail_point!("sgb_core::around::assign", |_| Err(SgbError::Cancelled));
+        governor.check()?;
+        let (threads, _) = cost::threads_for_around(self.cfg.threads, points.len());
+        if threads <= 1 {
+            let mut pacer = Pacer::new();
+            for p in points {
+                pacer.tick(governor)?;
+                self.push(*p);
+            }
+            return Ok(());
+        }
+        assert!(
+            self.cfg.centers.len() < u32::MAX as usize,
+            "too many centers for the parallel assignment encoding"
+        );
+        const OUTLIER: u32 = u32::MAX;
+        let mut assign = vec![OUTLIER; points.len()];
+        let chunk = points.len().div_ceil(threads * 4).max(1);
+        let mut verdicts: Vec<Result<(), SgbError>> = vec![Ok(()); points.len().div_ceil(chunk)];
+        let index = &self.index;
+        let cfg = &self.cfg;
+        let mut pool = scoped_threadpool::Pool::new(threads as u32);
+        pool.try_scoped(|scope| {
+            for ((pts, out), verdict) in points
+                .chunks(chunk)
+                .zip(assign.chunks_mut(chunk))
+                .zip(verdicts.iter_mut())
+            {
+                scope.execute(move || {
+                    let mut scratch = Vec::new();
+                    let mut pacer = Pacer::new();
+                    *verdict = pts.iter().zip(out.iter_mut()).try_for_each(|(p, slot)| {
+                        pacer.tick(governor)?;
+                        debug_assert!(p.is_finite(), "validated at the query boundary");
+                        let c = nearest_center_in(index, cfg, &mut scratch, p);
+                        *slot = if is_outlier(cfg, p, c) {
+                            OUTLIER
+                        } else {
+                            c as u32
+                        };
+                        Ok(())
+                    });
+                });
+            }
+        })
+        .map_err(|p| SgbError::WorkerPanicked {
+            message: p.message().to_owned(),
+        })?;
+        for verdict in verdicts {
+            verdict?;
+        }
+        for &code in &assign {
+            let id = self.pushed;
+            self.pushed += 1;
+            if code == OUTLIER {
+                self.outliers.push(id);
+            } else {
+                self.groups[code as usize].push(id);
+            }
+        }
+        Ok(())
     }
 
     /// Materialises the answer groups.

@@ -179,7 +179,14 @@ impl<const D: usize> SgbCache<D> {
     }
 
     fn lock(&self) -> std::sync::MutexGuard<'_, CacheInner<D>> {
-        self.inner.lock().expect("cache mutex poisoned")
+        // Poison-tolerant: every mutation under this lock is
+        // transactional (entries are inserted fully built or not at all),
+        // so a panic on one thread never leaves half-written state —
+        // propagating poison would only turn one failed query into a
+        // permanently unusable session cache.
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 
     /// Validates that every point is finite — once per table version.
@@ -391,6 +398,10 @@ impl<const D: usize> SgbCache<D> {
 
     /// Caches a complete grouping under the query fingerprint.
     pub(crate) fn store_result(&self, version: u64, fingerprint: Vec<u64>, result: Grouping) {
+        // Chaos site: a fired `return` drops the store on the floor (a
+        // cache write failure costs a recompute, never correctness); a
+        // fired `panic` exercises the poison-tolerant lock above.
+        failpoints::fail_point!("sgb_core::cache::store_result", |_| ());
         if self.result_capacity == 0 {
             return;
         }

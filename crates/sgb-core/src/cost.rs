@@ -28,6 +28,7 @@
 //! bit-identical (see the `proptest_grid` suite), so `Auto` only ever
 //! changes *when* the answer arrives.
 
+use crate::governor::{QueryGovernor, SgbError};
 use crate::{AllAlgorithm, AnyAlgorithm, AroundAlgorithm};
 
 /// Below this input cardinality SGB-All's `Auto` stays with the all-pairs
@@ -181,6 +182,64 @@ pub fn resolve_any_with_cache(
         );
     }
     resolve_any(configured_algo, n, dims)
+}
+
+/// Rough upper bound on the resident bytes of an ε-grid over `n` points
+/// in `dims` dimensions: each entry stores the point's coordinates plus a
+/// payload id, doubled for hash-map slack and per-cell vector headroom,
+/// plus a fixed base for the map itself. Deliberately pessimistic — the
+/// governor's memory budget is an admission control, not an allocator.
+pub fn estimated_grid_bytes(n: usize, dims: usize) -> usize {
+    n.saturating_mul(dims * 8 + 8)
+        .saturating_mul(2)
+        .saturating_add(1024)
+}
+
+/// [`resolve_any_with_cache`] under a [`QueryGovernor`] memory budget.
+///
+/// The budget governs the one structure whose footprint scales with the
+/// *table* — the ε-grid (the R-tree variants are an explicit opt-in, and
+/// SGB-Around's center index scales with the query's centers). When the
+/// estimated grid would not fit:
+///
+/// * `Auto` **degrades gracefully** to the streaming all-pairs scan —
+///   O(1) extra memory, bit-identical output — and the returned reason
+///   records the fallback for `EXPLAIN`;
+/// * an **explicitly configured** `Grid` fails with
+///   [`SgbError::BudgetExceeded`] instead of silently running something
+///   else.
+///
+/// A usable *cached* grid is admitted regardless of the budget: it already
+/// exists, so running against it allocates nothing new.
+pub fn resolve_any_governed(
+    configured_algo: AnyAlgorithm,
+    n: usize,
+    dims: usize,
+    cached_grid: bool,
+    governor: &QueryGovernor,
+) -> Result<(AnyAlgorithm, String), SgbError> {
+    let (resolved, reason) = resolve_any_with_cache(configured_algo, n, dims, cached_grid);
+    if resolved != AnyAlgorithm::Grid || cached_grid {
+        return Ok((resolved, reason));
+    }
+    let needed = estimated_grid_bytes(n, dims);
+    if governor.fits_budget(needed) {
+        return Ok((resolved, reason));
+    }
+    let budget = governor
+        .memory_budget()
+        .expect("a budget exists whenever fits_budget is false");
+    if configured_algo == AnyAlgorithm::Auto {
+        Ok((
+            AnyAlgorithm::AllPairs,
+            format!(
+                "auto: eps-grid needs ~{needed} B, over the {budget} B memory budget; \
+                 degraded to the streaming all-pairs scan"
+            ),
+        ))
+    } else {
+        Err(SgbError::BudgetExceeded { needed, budget })
+    }
 }
 
 /// Streaming counterpart of [`resolve_any`] — see
@@ -509,6 +568,31 @@ mod tests {
             ),
             resolve_around(AroundAlgorithm::Auto, 3, 2)
         );
+    }
+
+    #[test]
+    fn governed_resolution_enforces_the_memory_budget() {
+        let unrestricted = QueryGovernor::unrestricted();
+        // No budget: identical to the cache-aware resolver.
+        assert_eq!(
+            resolve_any_governed(AnyAlgorithm::Auto, 10_000, 2, false, &unrestricted).unwrap(),
+            resolve_any_with_cache(AnyAlgorithm::Auto, 10_000, 2, false)
+        );
+        // A budget too small for the grid degrades Auto to all-pairs…
+        let tight = QueryGovernor::unrestricted().with_memory_budget(64);
+        let (algo, reason) =
+            resolve_any_governed(AnyAlgorithm::Auto, 10_000, 2, false, &tight).unwrap();
+        assert_eq!(algo, AnyAlgorithm::AllPairs);
+        assert!(reason.contains("memory budget"), "{reason}");
+        // …but an explicit Grid request fails loudly instead.
+        let err = resolve_any_governed(AnyAlgorithm::Grid, 10_000, 2, false, &tight).unwrap_err();
+        assert!(matches!(err, SgbError::BudgetExceeded { .. }), "{err:?}");
+        // A cached grid allocates nothing new, so the budget never blocks it.
+        let (algo, _) = resolve_any_governed(AnyAlgorithm::Auto, 10_000, 2, true, &tight).unwrap();
+        assert_eq!(algo, AnyAlgorithm::Grid);
+        // The estimate grows with n and never panics at the extremes.
+        assert!(estimated_grid_bytes(10, 2) < estimated_grid_bytes(10_000, 2));
+        let _ = estimated_grid_bytes(usize::MAX, 3);
     }
 
     #[test]

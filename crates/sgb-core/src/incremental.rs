@@ -47,6 +47,7 @@ use sgb_spatial::Grid;
 use crate::around::{
     build_center_index, is_outlier, nearest_center_in, AroundGrouping, CenterIndex,
 };
+use crate::governor::{QueryGovernor, SgbError};
 use crate::grouping::Grouping as FlatGrouping;
 use crate::query::{Grouping, OpSpec, SgbQuery};
 use crate::{cost, AroundAlgorithm, RecordId, SgbAll, SgbAroundConfig};
@@ -309,6 +310,61 @@ impl<const D: usize> MaintainedGrouping<D> {
         self.live += 1;
         self.epoch += 1;
         slot
+    }
+
+    /// Governed twin of [`insert`](Self::insert): rejects non-finite
+    /// coordinates as [`SgbError::NonFinite`] and honors the governor's
+    /// deadline/cancellation instead of panicking or running away.
+    ///
+    /// Failure atomicity: an error raised **before** the delta touches the
+    /// engine (validation, the governor check, the `_pre` chaos site)
+    /// leaves the maintained state untouched. The `_post` chaos site fires
+    /// **after** the delta applied — modelling a fault mid-transaction —
+    /// so on any `Err` the caller must treat the state as unspecified and
+    /// rebuild from its source of truth (the relation layer rebuilds from
+    /// the table and restores the epoch with
+    /// [`advance_epoch_to`](Self::advance_epoch_to)).
+    pub fn try_insert(
+        &mut self,
+        p: Point<D>,
+        governor: &QueryGovernor,
+    ) -> Result<SlotId, SgbError> {
+        if !p.is_finite() {
+            return Err(SgbError::NonFinite);
+        }
+        governor.check()?;
+        failpoints::fail_point!("sgb_core::incremental::insert_pre", |_| Err(
+            SgbError::Cancelled
+        ));
+        let slot = self.insert(p);
+        failpoints::fail_point!("sgb_core::incremental::insert_post", |_| Err(
+            SgbError::Cancelled
+        ));
+        Ok(slot)
+    }
+
+    /// Governed twin of [`delete`](Self::delete), with the same failure
+    /// atomicity contract as [`try_insert`](Self::try_insert): errors
+    /// before the `_pre` site leave the state untouched; an `Err` after it
+    /// means the caller must rebuild.
+    pub fn try_delete(&mut self, slot: SlotId, governor: &QueryGovernor) -> Result<bool, SgbError> {
+        governor.check()?;
+        failpoints::fail_point!("sgb_core::incremental::delete_pre", |_| Err(
+            SgbError::Cancelled
+        ));
+        let applied = self.delete(slot);
+        failpoints::fail_point!("sgb_core::incremental::delete_post", |_| Err(
+            SgbError::Cancelled
+        ));
+        Ok(applied)
+    }
+
+    /// Raises the epoch to at least `floor`. Serving layers that replace a
+    /// faulted maintained state with a fresh [`new`](Self::new) build call
+    /// this with the old engine's last epoch (plus the aborted delta) so
+    /// published snapshot epochs stay **monotone** across the rebuild.
+    pub fn advance_epoch_to(&mut self, floor: u64) {
+        self.epoch = self.epoch.max(floor);
     }
 
     /// Applies one delete delta. Returns `false` (and changes nothing)
@@ -664,6 +720,41 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn governed_deltas_validate_check_and_stay_atomic_pre_apply() {
+        let q = SgbQuery::any(1.0);
+        let mut m = MaintainedGrouping::new(q.clone(), &[pt(0.0, 0.0)]);
+        let free = QueryGovernor::unrestricted();
+        let slot = m.try_insert(pt(1.0, 0.0), &free).unwrap();
+        assert!(m.try_delete(slot, &free).unwrap());
+        assert!(matches!(
+            m.try_insert(pt(f64::NAN, 0.0), &free),
+            Err(SgbError::NonFinite)
+        ));
+        let token = crate::CancelToken::new();
+        token.cancel();
+        let cancelled = QueryGovernor::unrestricted().with_cancel_token(token);
+        let before = m.epoch();
+        assert!(matches!(
+            m.try_insert(pt(2.0, 0.0), &cancelled),
+            Err(SgbError::Cancelled)
+        ));
+        assert!(matches!(
+            m.try_delete(0, &cancelled),
+            Err(SgbError::Cancelled)
+        ));
+        assert_eq!(
+            m.epoch(),
+            before,
+            "pre-apply failures leave the state untouched"
+        );
+        m.advance_epoch_to(100);
+        assert_eq!(m.epoch(), 100);
+        m.advance_epoch_to(5);
+        assert_eq!(m.epoch(), 100, "the epoch never goes backwards");
+        assert_eq!(m.snapshot(), q.run(&m.live_points()));
     }
 
     #[test]

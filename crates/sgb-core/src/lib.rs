@@ -79,6 +79,7 @@ pub mod around;
 pub mod cache;
 pub mod config;
 pub mod cost;
+pub mod governor;
 pub mod grouping;
 pub mod incremental;
 pub mod query;
@@ -92,6 +93,7 @@ pub use config::{
     Algorithm, AllAlgorithm, AnyAlgorithm, AroundAlgorithm, OverlapAction, SgbAllConfig,
     SgbAnyConfig, SgbAroundConfig,
 };
+pub use governor::{CancelToken, Pacer, QueryGovernor, SgbError};
 pub use grouping::{Grouping, RecordId};
 pub use incremental::{MaintainedGrouping, SlotId};
 pub use query::{SgbQuery, SgbStream};

@@ -52,9 +52,12 @@ use std::sync::Arc;
 use sgb_geom::{Metric, Point};
 use sgb_spatial::{Grid, RTree};
 
-use crate::any::{sgb_any_grid, sgb_any_tree};
+use crate::any::{
+    sgb_any_grid, sgb_any_tree, try_sgb_any_all_pairs, try_sgb_any_grid, try_sgb_any_tree,
+};
 use crate::around::{AroundGrouping, CenterIndex};
 use crate::cache::SgbCache;
+use crate::governor::{QueryGovernor, SgbError};
 use crate::grouping::Grouping as FlatGrouping;
 use crate::{
     cost, sgb_all, sgb_any, Algorithm, AnyAlgorithm, AroundAlgorithm, OverlapAction, RecordId,
@@ -821,6 +824,219 @@ impl<const D: usize> SgbQuery<D> {
         };
         cache.store_result(version, fingerprint, out.clone());
         out
+    }
+
+    /// Governed twin of [`run`](Self::run): executes under a
+    /// [`QueryGovernor`] and returns a typed [`SgbError`] instead of
+    /// panicking or running away.
+    ///
+    /// * Non-finite coordinates yield [`SgbError::NonFinite`] (where
+    ///   [`run`](Self::run) panics).
+    /// * A deadline or cancellation aborts the hot loops within
+    ///   [`governor::CHECK_INTERVAL`](crate::governor::CHECK_INTERVAL)
+    ///   units of work per worker — [`SgbError::Timeout`] /
+    ///   [`SgbError::Cancelled`].
+    /// * A memory budget too small for the SGB-Any ε-grid degrades
+    ///   [`Algorithm::Auto`] to the O(1)-memory all-pairs scan (the reason
+    ///   on the grouping records the fallback); an explicitly requested
+    ///   grid fails with [`SgbError::BudgetExceeded`] instead.
+    /// * A panic on a parallel worker is captured and surfaced as
+    ///   [`SgbError::WorkerPanicked`] — never a process abort, never a
+    ///   poisoned lock.
+    ///
+    /// On `Ok`, the grouping is **bit-identical** to [`run`](Self::run)
+    /// under the same knobs (modulo the recorded reason when the budget
+    /// forced a fallback). On `Err`, every partial structure is dropped —
+    /// no partial grouping is observable anywhere.
+    pub fn try_run(
+        &self,
+        points: &[Point<D>],
+        governor: &QueryGovernor,
+    ) -> Result<Grouping, SgbError> {
+        if !points.iter().all(Point::is_finite) {
+            return Err(SgbError::NonFinite);
+        }
+        governor.check()?;
+        match &self.op {
+            OpSpec::All { eps, overlap } => {
+                let (resolved, reason) =
+                    cost::resolve_all(self.algorithm.for_all(), points.len(), D);
+                let (threads, _) = cost::threads_for_all();
+                let cfg = self.all_config(*eps, *overlap).algorithm(resolved);
+                // Stream pushes exactly like `sgb_all`, with a governor
+                // check per tuple: each push does a candidate search, so
+                // the check is cheap relative to the work it bounds.
+                let mut op = SgbAll::new(cfg);
+                for p in points {
+                    governor.check()?;
+                    op.push(*p);
+                }
+                Ok(Grouping::from_flat(
+                    op.finish(),
+                    resolved.into(),
+                    reason,
+                    threads,
+                ))
+            }
+            OpSpec::Any { eps } => {
+                let base = self.algorithm.for_any().expect("validated by algorithm()");
+                let (resolved, reason) =
+                    cost::resolve_any_governed(base, points.len(), D, false, governor)?;
+                let (threads, _) = cost::threads_for_any(resolved, self.threads, points.len());
+                let cfg = self.any_config(*eps).algorithm(resolved).threads(threads);
+                let flat = match resolved {
+                    AnyAlgorithm::AllPairs => try_sgb_any_all_pairs(points, &cfg, governor)?,
+                    AnyAlgorithm::Indexed => {
+                        let index: RTree<D, RecordId> = RTree::from_points(
+                            self.rtree_fanout,
+                            points.iter().enumerate().map(|(i, p)| (*p, i)),
+                        );
+                        try_sgb_any_tree(points, &cfg, &index, governor)?
+                    }
+                    AnyAlgorithm::Grid => {
+                        // `resolve_any_governed` admitted the build.
+                        let index: Grid<D, RecordId> = Grid::from_points(
+                            Grid::<D, RecordId>::side_for_eps(*eps),
+                            points.iter().enumerate().map(|(i, p)| (*p, i)),
+                        );
+                        try_sgb_any_grid(points, &cfg, &index, threads, governor)?
+                    }
+                    AnyAlgorithm::Auto => unreachable!("resolve_any_governed never returns Auto"),
+                };
+                Ok(Grouping::from_flat(flat, resolved.into(), reason, threads))
+            }
+            OpSpec::Around {
+                centers,
+                max_radius,
+            } => {
+                let base = self
+                    .algorithm
+                    .for_around()
+                    .expect("validated by algorithm()");
+                let (resolved, reason) = cost::resolve_around(base, centers.len(), D);
+                let (threads, _) = cost::threads_for_around(self.threads, points.len());
+                let cfg = self
+                    .around_config(centers.clone(), *max_radius)
+                    .algorithm(resolved)
+                    .threads(threads);
+                let mut op = SgbAround::new(cfg);
+                op.try_extend_from_slice(points, governor)?;
+                Ok(Grouping::from_around(
+                    op.finish(),
+                    resolved.into(),
+                    reason,
+                    threads,
+                ))
+            }
+        }
+    }
+
+    /// Governed twin of [`run_cached`](Self::run_cached): the shared-work
+    /// cache plus the [`QueryGovernor`] contract of [`try_run`](Self::try_run).
+    ///
+    /// Failure hygiene: a grouping is stored in the result cache **only on
+    /// success** — a timed-out, cancelled, or faulted execution never
+    /// plants a partial answer for a later query to reuse. Spatial indexes
+    /// the cache finished building before the failure remain cached; they
+    /// are complete, version-checked structures, so reusing them later is
+    /// sound. A usable cached ε-grid is admitted past the memory budget
+    /// (it already exists — running against it allocates nothing new).
+    pub fn try_run_cached(
+        &self,
+        points: &[Point<D>],
+        cache: &SgbCache<D>,
+        version: u64,
+        governor: &QueryGovernor,
+    ) -> Result<Grouping, SgbError> {
+        if !points.iter().all(Point::is_finite) {
+            return Err(SgbError::NonFinite);
+        }
+        // Already validated above, so this only memoizes the version's
+        // validation flag (and can never hit the panicking path).
+        cache.validate_once(version, points);
+        governor.check()?;
+        let fingerprint = self.fingerprint();
+        if let Some(hit) = cache.lookup_result(version, &fingerprint) {
+            return Ok(hit);
+        }
+        let out = match &self.op {
+            OpSpec::All { eps, overlap } => {
+                let (resolved, reason) =
+                    cost::resolve_all(self.algorithm.for_all(), points.len(), D);
+                let (threads, _) = cost::threads_for_all();
+                let cfg = self.all_config(*eps, *overlap).algorithm(resolved);
+                let mut op = SgbAll::new(cfg);
+                for p in points {
+                    governor.check()?;
+                    op.push(*p);
+                }
+                Grouping::from_flat(op.finish(), resolved.into(), reason, threads)
+            }
+            OpSpec::Any { eps } => {
+                let base = self.algorithm.for_any().expect("validated by algorithm()");
+                let (resolved, reason) = cost::resolve_any_governed(
+                    base,
+                    points.len(),
+                    D,
+                    cache.has_usable_grid(version, *eps),
+                    governor,
+                )?;
+                let (threads, _) = cost::threads_for_any(resolved, self.threads, points.len());
+                let cfg = self.any_config(*eps).algorithm(resolved).threads(threads);
+                let flat = match resolved {
+                    AnyAlgorithm::AllPairs => try_sgb_any_all_pairs(points, &cfg, governor)?,
+                    AnyAlgorithm::Indexed => {
+                        let index = cache.get_or_build_tree(version, self.rtree_fanout, || {
+                            RTree::from_points(
+                                self.rtree_fanout,
+                                points.iter().enumerate().map(|(i, p)| (*p, i)),
+                            )
+                        });
+                        try_sgb_any_tree(points, &cfg, &index, governor)?
+                    }
+                    AnyAlgorithm::Grid => {
+                        let index = cache.get_or_build_grid(version, *eps, |side| {
+                            Grid::from_points(side, points.iter().enumerate().map(|(i, p)| (*p, i)))
+                        });
+                        try_sgb_any_grid(points, &cfg, &index, threads, governor)?
+                    }
+                    AnyAlgorithm::Auto => unreachable!("resolve_any_governed never returns Auto"),
+                };
+                Grouping::from_flat(flat, resolved.into(), reason, threads)
+            }
+            OpSpec::Around {
+                centers,
+                max_radius,
+            } => {
+                let base = self
+                    .algorithm
+                    .for_around()
+                    .expect("validated by algorithm()");
+                let (resolved, reason) = cost::resolve_around_with_cache(
+                    base,
+                    centers.len(),
+                    D,
+                    cache.cached_center_algorithm(centers, self.rtree_fanout),
+                );
+                let (threads, _) = cost::threads_for_around(self.threads, points.len());
+                let cfg = self
+                    .around_config(centers.clone(), *max_radius)
+                    .algorithm(resolved)
+                    .threads(threads);
+                let index = match resolved {
+                    AroundAlgorithm::BruteForce => Arc::new(CenterIndex::Scan),
+                    AroundAlgorithm::Indexed | AroundAlgorithm::Grid => {
+                        cache.get_or_build_center_index(resolved, self.rtree_fanout, centers)
+                    }
+                    AroundAlgorithm::Auto => unreachable!("resolve_around never returns Auto"),
+                };
+                let mut op = SgbAround::with_center_index(cfg, index);
+                op.try_extend_from_slice(points, governor)?;
+                Grouping::from_around(op.finish(), resolved.into(), reason, threads)
+            }
+        };
+        cache.store_result(version, fingerprint, out.clone());
+        Ok(out)
     }
 
     /// A total encoding of every knob that can influence this query's

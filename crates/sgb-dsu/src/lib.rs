@@ -168,6 +168,44 @@ impl DisjointSet {
         }
     }
 
+    /// Fallible [`merge_from`](Self::merge_from): `pause` is invoked once
+    /// per ~4096 merged elements, and its error abandons the merge. The
+    /// edge set absorbed so far is a subset of `other`'s — callers that
+    /// abort discard this forest, so partial connectivity never escapes.
+    ///
+    /// This is the governance hook of the parallel SGB-Any shard fold:
+    /// `pause` ticks the query deadline/cancellation check, keeping even
+    /// the merge phase of a huge join responsive.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first error `pause` reports.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the forests have different lengths.
+    pub fn try_merge_from<E>(
+        &mut self,
+        other: &DisjointSet,
+        mut pause: impl FnMut() -> Result<(), E>,
+    ) -> Result<(), E> {
+        assert_eq!(
+            self.len(),
+            other.len(),
+            "can only merge forests over the same elements"
+        );
+        for x in 0..other.parent.len() {
+            if x % 4096 == 0 {
+                pause()?;
+            }
+            let p = other.parent[x] as usize;
+            if p != x {
+                self.union(x, p);
+            }
+        }
+        Ok(())
+    }
+
     /// Groups all elements by component, returning one `Vec` of member ids
     /// per component. Members appear in increasing id order; component order
     /// follows the smallest member id. This materialises the final SGB-Any
@@ -418,6 +456,29 @@ impl TrackedDsu {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn try_merge_from_pauses_and_propagates_errors() {
+        // Ok pauses: identical outcome to the infallible merge.
+        let mut other = DisjointSet::with_len(10_000);
+        for x in 0..9_999 {
+            other.union(x, x + 1);
+        }
+        let mut merged = DisjointSet::with_len(10_000);
+        let mut pauses = 0usize;
+        merged
+            .try_merge_from(&other, || {
+                pauses += 1;
+                Ok::<(), ()>(())
+            })
+            .unwrap_or(());
+        assert_eq!(merged.components(), 1);
+        assert!(pauses >= 2, "pause ran periodically, {pauses} times");
+        // Failing pause: the error comes back and the merge stops.
+        let mut aborted = DisjointSet::with_len(10_000);
+        assert_eq!(aborted.try_merge_from(&other, || Err("stop")), Err("stop"));
+        assert_eq!(aborted.components(), 10_000, "nothing merged before tick 0");
+    }
 
     #[test]
     fn fresh_elements_are_singletons() {

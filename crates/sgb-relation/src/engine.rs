@@ -1,9 +1,11 @@
 //! The database façade: catalog + SQL entry points.
+#![deny(clippy::unwrap_used)]
 
 use std::collections::HashMap;
 use std::sync::Arc;
+use std::time::Duration;
 
-use sgb_core::{Algorithm, CacheStats};
+use sgb_core::{Algorithm, CacheStats, CancelToken, QueryGovernor};
 
 use crate::cache::{slot_key, SessionCaches};
 use crate::error::{Error, Result};
@@ -16,7 +18,8 @@ use crate::session::SessionOptions;
 use crate::sql::ast::Statement;
 use crate::sql::parser::parse_statement;
 use crate::subscription::{build_maintained, QueryKey, SubscriptionHandle, SubscriptionSet};
-use crate::table::Table;
+use crate::table::{Row, Table};
+use crate::value::Value;
 
 /// An in-memory database: named tables plus the session's engine options
 /// for the similarity operators ([`SessionOptions`]).
@@ -38,6 +41,7 @@ pub struct Database {
     session: SessionOptions,
     caches: Arc<SessionCaches>,
     subscriptions: SubscriptionSet,
+    cancel: Option<CancelToken>,
 }
 
 impl Clone for Database {
@@ -53,6 +57,7 @@ impl Clone for Database {
             session: self.session,
             caches: Arc::new(SessionCaches::default()),
             subscriptions: SubscriptionSet::default(),
+            cancel: None,
         }
     }
 }
@@ -83,7 +88,38 @@ impl Database {
             session,
             caches: Arc::new(SessionCaches::default()),
             subscriptions: SubscriptionSet::default(),
+            cancel: None,
         }
+    }
+
+    /// Installs (or clears) a cooperative cancellation token observed by
+    /// every subsequent statement: once [`CancelToken::cancel`] fires —
+    /// typically from another thread holding a clone — the running
+    /// similarity operator stops at its next governance check and the
+    /// statement fails with [`Error::Aborted`]`(Cancelled)`. The session
+    /// stays fully usable afterwards; clear (or replace) the token to run
+    /// further statements.
+    pub fn set_cancel_token(&mut self, token: Option<CancelToken>) {
+        self.cancel = token;
+    }
+
+    /// The resource governor every statement executes under, built from
+    /// the session options: the [`SessionOptions::statement_timeout`]
+    /// deadline (drawn fresh per call), the
+    /// [`SessionOptions::memory_budget`], and the session's cancel token
+    /// ([`Database::set_cancel_token`]), when set.
+    pub(crate) fn statement_governor(&self) -> QueryGovernor {
+        let mut governor = QueryGovernor::unrestricted();
+        if let Some(timeout) = self.session.statement_timeout {
+            governor = governor.with_deadline(timeout);
+        }
+        if let Some(budget) = self.session.memory_budget {
+            governor = governor.with_memory_budget(budget);
+        }
+        if let Some(token) = &self.cancel {
+            governor = governor.with_cancel_token(token.clone());
+        }
+        governor
     }
 
     /// The session's engine options. The planner resolves every similarity
@@ -193,7 +229,8 @@ impl Database {
                     t.push(row.clone())?;
                 }
                 let version = t.version();
-                self.subscriptions.on_insert(&key, &planner_rows, version);
+                self.subscriptions
+                    .on_insert(&key, &planner_rows, &t.rows, version);
                 Ok(Table::default())
             }
             Statement::Delete { table, predicate } => {
@@ -208,7 +245,10 @@ impl Database {
                     .as_ref()
                     .map(|e| plan_predicate(self, &schema, e))
                     .transpose()?;
-                let t = self.tables.get_mut(&key).expect("existence checked above");
+                let t = self
+                    .tables
+                    .get_mut(&key)
+                    .ok_or_else(|| Error::Binding(format!("unknown table '{table}'")))?;
                 // Evaluate the predicate over every row *before* mutating,
                 // so an evaluation error leaves the table untouched.
                 let mut removed = Vec::new();
@@ -223,18 +263,89 @@ impl Database {
                     None => removed.extend(0..t.rows.len()),
                 }
                 if !removed.is_empty() {
-                    let mut keep = vec![true; t.rows.len()];
-                    for &i in &removed {
-                        keep[i] = false;
-                    }
-                    let mut it = keep.iter();
-                    t.rows.retain(|_| *it.next().unwrap());
+                    retain_kept(&mut t.rows, &removed);
                     // The version bump is what invalidates the session's
                     // shared-work caches — deletes exactly like inserts.
                     t.bump_version();
                     let version = t.version();
-                    self.subscriptions.on_delete(&key, &removed, version);
+                    self.subscriptions
+                        .on_delete(&key, &removed, &t.rows, version);
                 }
+                Ok(Table::default())
+            }
+            Statement::Update {
+                table,
+                assignments,
+                predicate,
+            } => {
+                let key = table.to_ascii_lowercase();
+                let schema = self
+                    .tables
+                    .get(&key)
+                    .ok_or_else(|| Error::Binding(format!("unknown table '{table}'")))?
+                    .schema
+                    .clone();
+                // Bind the SET targets and right-hand sides against the
+                // table schema (the RHS may read columns of the old row).
+                let mut sets = Vec::with_capacity(assignments.len());
+                for (col, expr) in &assignments {
+                    let idx = schema.resolve(None, col)?;
+                    sets.push((idx, plan_predicate(self, &schema, expr)?));
+                }
+                let bound = predicate
+                    .as_ref()
+                    .map(|e| plan_predicate(self, &schema, e))
+                    .transpose()?;
+                let t = self
+                    .tables
+                    .get_mut(&key)
+                    .ok_or_else(|| Error::Binding(format!("unknown table '{table}'")))?;
+                // Evaluate the predicate and every replacement row *before*
+                // mutating, so an evaluation error leaves the table
+                // untouched (all-or-nothing, like INSERT and DELETE).
+                let mut touched = Vec::new();
+                let mut replacements = Vec::new();
+                for (i, row) in t.rows.iter().enumerate() {
+                    let hit = match &bound {
+                        Some(p) => p.eval_predicate(row)?,
+                        None => true,
+                    };
+                    if hit {
+                        let mut next = row.clone();
+                        // Every RHS sees the *old* row, per SQL semantics.
+                        for (idx, e) in &sets {
+                            next[*idx] = e.eval(row)?;
+                        }
+                        touched.push(i);
+                        replacements.push(next);
+                    }
+                }
+                if !touched.is_empty() {
+                    // Executed as a delete+insert pair so the change flows
+                    // through the same incremental-maintenance path as
+                    // DELETE and INSERT: subscriptions apply the two delta
+                    // batches, and the version bumps invalidate the
+                    // session's shared-work caches. Updated rows therefore
+                    // move to the end of the table, exactly as a manual
+                    // DELETE + INSERT would place them.
+                    retain_kept(&mut t.rows, &touched);
+                    t.bump_version();
+                    let delete_version = t.version();
+                    self.subscriptions
+                        .on_delete(&key, &touched, &t.rows, delete_version);
+                    for row in &replacements {
+                        t.push(row.clone())?;
+                    }
+                    let version = t.version();
+                    self.subscriptions
+                        .on_insert(&key, &replacements, &t.rows, version);
+                }
+                Ok(Table::default())
+            }
+            Statement::SetOption { name, value } => {
+                let bound = crate::planner::plan_const(self, &value)?;
+                let v = bound.eval(&[])?;
+                self.set_session_option(&name, &v)?;
                 Ok(Table::default())
             }
             Statement::DropTable { name } => {
@@ -384,6 +495,35 @@ impl Database {
         ))
     }
 
+    /// Applies `SET <option> = <value>`. Options are session-scoped and
+    /// take effect from the next statement.
+    fn set_session_option(&mut self, name: &str, value: &Value) -> Result<()> {
+        let non_negative_int = |what: &str| -> Result<u64> {
+            match value {
+                Value::Int(n) if *n >= 0 => Ok(*n as u64),
+                other => Err(Error::Eval(format!(
+                    "SET {what} expects a non-negative integer, got {other}"
+                ))),
+            }
+        };
+        if name.eq_ignore_ascii_case("statement_timeout") {
+            // Milliseconds; 0 clears the deadline.
+            let ms = non_negative_int("STATEMENT_TIMEOUT")?;
+            self.session.statement_timeout = (ms > 0).then(|| Duration::from_millis(ms));
+            Ok(())
+        } else if name.eq_ignore_ascii_case("memory_budget") {
+            // Bytes; 0 clears the budget.
+            let bytes = non_negative_int("MEMORY_BUDGET")?;
+            self.session.memory_budget = (bytes > 0).then_some(bytes as usize);
+            Ok(())
+        } else {
+            Err(Error::Unsupported(format!(
+                "unknown session option '{name}' \
+                 (valid: STATEMENT_TIMEOUT, MEMORY_BUDGET)"
+            )))
+        }
+    }
+
     /// The session's subscriptions (executor serve, planner probe).
     pub(crate) fn subscriptions(&self) -> &SubscriptionSet {
         &self.subscriptions
@@ -486,6 +626,23 @@ impl Database {
             }
         }
     }
+}
+
+/// Removes the rows at the given pre-delete indices (out-of-range entries
+/// ignored), preserving the survivors' order.
+fn retain_kept(rows: &mut Vec<Row>, removed: &[usize]) {
+    let mut keep = vec![true; rows.len()];
+    for &i in removed {
+        if let Some(k) = keep.get_mut(i) {
+            *k = false;
+        }
+    }
+    let mut i = 0;
+    rows.retain(|_| {
+        let kept = keep[i];
+        i += 1;
+        kept
+    });
 }
 
 /// Collects the batch-prewarmable similarity nodes of a plan: SGB-Any

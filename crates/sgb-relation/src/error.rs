@@ -2,6 +2,8 @@
 
 use std::fmt;
 
+use sgb_core::SgbError;
+
 /// Errors surfaced by the SQL front-end, planner, and executor.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Error {
@@ -13,6 +15,13 @@ pub enum Error {
     Unsupported(String),
     /// Runtime evaluation error (type mismatch, bad cast, …).
     Eval(String),
+    /// A governed execution stopped before completing: the statement
+    /// timeout passed, a [`sgb_core::CancelToken`] fired, the memory
+    /// budget ruled out a pinned execution path, or a worker thread
+    /// panicked. The statement produced nothing — no partial result
+    /// entered the session's caches or subscriptions, and the database
+    /// stays fully usable.
+    Aborted(SgbError),
 }
 
 impl fmt::Display for Error {
@@ -22,11 +31,27 @@ impl fmt::Display for Error {
             Error::Binding(msg) => write!(f, "binding error: {msg}"),
             Error::Unsupported(msg) => write!(f, "unsupported: {msg}"),
             Error::Eval(msg) => write!(f, "evaluation error: {msg}"),
+            Error::Aborted(e) => write!(f, "statement aborted: {e}"),
         }
     }
 }
 
 impl std::error::Error for Error {}
+
+/// Maps a core engine error onto the SQL error taxonomy. Resource /
+/// fault conditions surface as [`Error::Aborted`]; `NonFinite` is a data
+/// error and keeps the exact message the executor's own point-extraction
+/// pass produces for the same input.
+impl From<SgbError> for Error {
+    fn from(e: SgbError) -> Self {
+        match e {
+            SgbError::NonFinite => {
+                Error::Eval("similarity grouping attributes must be finite".into())
+            }
+            other => Error::Aborted(other),
+        }
+    }
+}
 
 /// Convenience alias.
 pub type Result<T> = std::result::Result<T, Error>;

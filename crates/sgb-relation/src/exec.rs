@@ -1,9 +1,18 @@
 //! Plan executor: materialises a [`Plan`] tree bottom-up.
+//!
+//! Every statement executes under a [`QueryGovernor`] built from the
+//! session options (`Database::statement_governor`): the
+//! similarity operators run through the core's governed `try_run` /
+//! `try_run_cached` entry points, so a statement that overruns its
+//! deadline, gets cancelled, or exceeds the memory budget fails with
+//! [`Error::Aborted`] — and fails *cleanly*: no partial grouping enters
+//! the session caches, and the database stays fully usable.
+#![deny(clippy::unwrap_used)]
 
 use std::collections::HashMap;
 
 use sgb_core::query::Grouping;
-use sgb_core::{Algorithm, SgbQuery};
+use sgb_core::{Algorithm, QueryGovernor, SgbQuery};
 use sgb_geom::{Metric, Point};
 
 use crate::cache::{slot_key, Slot};
@@ -15,8 +24,18 @@ use crate::subscription::QueryKey;
 use crate::table::{Row, Table};
 use crate::value::Value;
 
-/// Executes `plan` against the database catalog.
+/// Executes `plan` against the database catalog, under a statement
+/// governor drawn from the session options (deadline, memory budget,
+/// session cancel token).
 pub fn execute(plan: &Plan, db: &Database) -> Result<Table> {
+    let governor = db.statement_governor();
+    execute_governed(plan, db, &governor)
+}
+
+/// [`execute`] under an explicit governor — the recursive worker; one
+/// governor (and thus one deadline) spans the whole plan tree.
+fn execute_governed(plan: &Plan, db: &Database, governor: &QueryGovernor) -> Result<Table> {
+    let execute = |plan: &Plan, db: &Database| execute_governed(plan, db, governor);
     match plan {
         Plan::Scan { table, .. } => {
             let t = db.table(table)?;
@@ -181,8 +200,8 @@ pub fn execute(plan: &Plan, db: &Database) -> Result<Table> {
             let grouping = match served {
                 Some(g) => g,
                 None => match cached_scan_table(db, input) {
-                    Some(table) => run_sgb_cached(db, &table, &t.rows, coords, mode)?,
-                    None => run_sgb(&t.rows, coords, mode)?,
+                    Some(table) => run_sgb_cached(db, &table, &t.rows, coords, mode, governor)?,
+                    None => run_sgb(&t.rows, coords, mode, governor)?,
                 },
             };
             aggregate_grouping(&t, &grouping, aggs, having, outputs, schema)
@@ -213,10 +232,10 @@ pub fn execute(plan: &Plan, db: &Database) -> Result<Table> {
                 None => match cached_scan_table(db, input) {
                     Some(table) => run_around_cached(
                         db, &table, &t.rows, coords, centers, *metric, *radius, *algorithm,
-                        *threads,
+                        *threads, governor,
                     )?,
                     None => run_around(
-                        &t.rows, coords, centers, *metric, *radius, *algorithm, *threads,
+                        &t.rows, coords, centers, *metric, *radius, *algorithm, *threads, governor,
                     )?,
                 },
             };
@@ -361,10 +380,15 @@ pub(crate) fn extract_points<const D: usize>(
 }
 
 /// Runs the configured SGB-All / SGB-Any operator over the grouping points.
-fn run_sgb(rows: &[Row], coords: &[BoundExpr], mode: &SgbMode) -> Result<Grouping> {
+fn run_sgb(
+    rows: &[Row],
+    coords: &[BoundExpr],
+    mode: &SgbMode,
+    governor: &QueryGovernor,
+) -> Result<Grouping> {
     match coords.len() {
-        2 => run_sgb_d::<2>(rows, coords, mode),
-        3 => run_sgb_d::<3>(rows, coords, mode),
+        2 => run_sgb_d::<2>(rows, coords, mode, governor),
+        3 => run_sgb_d::<3>(rows, coords, mode, governor),
         n => Err(Error::Unsupported(format!(
             "similarity grouping over {n} attributes (2 or 3 supported)"
         ))),
@@ -375,9 +399,10 @@ fn run_sgb_d<const D: usize>(
     rows: &[Row],
     coords: &[BoundExpr],
     mode: &SgbMode,
+    governor: &QueryGovernor,
 ) -> Result<Grouping> {
     let points = extract_points::<D>(rows, coords)?;
-    Ok(sgb_query::<D>(mode)?.run(&points))
+    Ok(sgb_query::<D>(mode)?.try_run(&points, governor)?)
 }
 
 /// Lowers a plan's SGB-All / SGB-Any mode into the core query. The plan's
@@ -430,16 +455,17 @@ fn run_sgb_cached(
     rows: &[Row],
     coords: &[BoundExpr],
     mode: &SgbMode,
+    governor: &QueryGovernor,
 ) -> Result<Grouping> {
     let key = slot_key(coords);
     match coords.len() {
         2 => {
             let slot = db.caches().slot2(table, &key);
-            run_sgb_cached_d::<2>(db, table, rows, coords, mode, &slot)
+            run_sgb_cached_d::<2>(db, table, rows, coords, mode, &slot, governor)
         }
         3 => {
             let slot = db.caches().slot3(table, &key);
-            run_sgb_cached_d::<3>(db, table, rows, coords, mode, &slot)
+            run_sgb_cached_d::<3>(db, table, rows, coords, mode, &slot, governor)
         }
         n => Err(Error::Unsupported(format!(
             "similarity grouping over {n} attributes (2 or 3 supported)"
@@ -454,10 +480,11 @@ fn run_sgb_cached_d<const D: usize>(
     coords: &[BoundExpr],
     mode: &SgbMode,
     slot: &Slot<D>,
+    governor: &QueryGovernor,
 ) -> Result<Grouping> {
     let version = db.table(table)?.version();
     let points = slot.points_for(version, || extract_points::<D>(rows, coords))?;
-    Ok(sgb_query::<D>(mode)?.run_cached(&points, slot.core(), version))
+    Ok(sgb_query::<D>(mode)?.try_run_cached(&points, slot.core(), version, governor)?)
 }
 
 /// Runs SGB-Around over the grouping points: every row joins the group of
@@ -472,10 +499,15 @@ fn run_around(
     radius: Option<f64>,
     algorithm: Algorithm,
     threads: usize,
+    governor: &QueryGovernor,
 ) -> Result<Grouping> {
     match coords.len() {
-        2 => run_around_d::<2>(rows, coords, centers, metric, radius, algorithm, threads),
-        3 => run_around_d::<3>(rows, coords, centers, metric, radius, algorithm, threads),
+        2 => run_around_d::<2>(
+            rows, coords, centers, metric, radius, algorithm, threads, governor,
+        ),
+        3 => run_around_d::<3>(
+            rows, coords, centers, metric, radius, algorithm, threads, governor,
+        ),
         n => Err(Error::Unsupported(format!(
             "similarity grouping over {n} attributes (2 or 3 supported)"
         ))),
@@ -491,9 +523,13 @@ fn run_around_d<const D: usize>(
     radius: Option<f64>,
     algorithm: Algorithm,
     threads: usize,
+    governor: &QueryGovernor,
 ) -> Result<Grouping> {
     let points = extract_points::<D>(rows, coords)?;
-    Ok(around_query::<D>(centers, metric, radius, algorithm, threads)?.run(&points))
+    Ok(
+        around_query::<D>(centers, metric, radius, algorithm, threads)?
+            .try_run(&points, governor)?,
+    )
 }
 
 /// Lowers a plan's AROUND parameters into the core query.
@@ -559,6 +595,7 @@ fn run_around_cached(
     radius: Option<f64>,
     algorithm: Algorithm,
     threads: usize,
+    governor: &QueryGovernor,
 ) -> Result<Grouping> {
     let key = slot_key(coords);
     match coords.len() {
@@ -567,11 +604,12 @@ fn run_around_cached(
             let version = db.table(table)?.version();
             let points = slot.points_for(version, || extract_points::<2>(rows, coords))?;
             Ok(
-                around_query::<2>(centers, metric, radius, algorithm, threads)?.run_cached(
+                around_query::<2>(centers, metric, radius, algorithm, threads)?.try_run_cached(
                     &points,
                     slot.core(),
                     version,
-                ),
+                    governor,
+                )?,
             )
         }
         3 => {
@@ -579,11 +617,12 @@ fn run_around_cached(
             let version = db.table(table)?.version();
             let points = slot.points_for(version, || extract_points::<3>(rows, coords))?;
             Ok(
-                around_query::<3>(centers, metric, radius, algorithm, threads)?.run_cached(
+                around_query::<3>(centers, metric, radius, algorithm, threads)?.try_run_cached(
                     &points,
                     slot.core(),
                     version,
-                ),
+                    governor,
+                )?,
             )
         }
         n => Err(Error::Unsupported(format!(
@@ -625,16 +664,18 @@ impl AggState {
             *n += 1;
             return Ok(());
         }
-        let arg = call
-            .arg
-            .as_ref()
-            .expect("non-count(*) aggregates carry an argument")
-            .eval(row)?;
+        // The planner always attaches an argument to non-count(*)
+        // aggregates; a hand-built plan without one gets an Err, not a
+        // panic.
+        let Some(arg_expr) = call.arg.as_ref() else {
+            return Err(Error::Eval("aggregate call is missing its argument".into()));
+        };
+        let arg = arg_expr.eval(row)?;
         if arg.is_null() {
             return Ok(()); // SQL aggregates skip NULLs
         }
         match self {
-            AggState::CountStar(_) => unreachable!(),
+            AggState::CountStar(_) => {} // handled by the early return above
             AggState::Count(n) => *n += 1,
             AggState::Sum { sum, all_int, seen } => {
                 let v = arg

@@ -62,5 +62,6 @@ pub use table::{Row, Table};
 pub use value::Value;
 
 // Re-export the cache counters so sessions can read `cache_stats()`
-// without importing sgb-core directly.
-pub use sgb_core::CacheStats;
+// without importing sgb-core directly, and the governor vocabulary so
+// sessions can build cancel tokens and match `Error::Aborted` payloads.
+pub use sgb_core::{CacheStats, CancelToken, SgbError};

@@ -7,6 +7,7 @@
 //! *equi-join extraction* (WHERE `a = b` conjuncts across inputs become
 //! hash joins instead of filtered cartesian products). Uncorrelated
 //! `IN (SELECT …)` subqueries are materialised once at plan time.
+#![deny(clippy::unwrap_used)]
 
 use std::collections::HashSet;
 use std::sync::Arc;
@@ -69,7 +70,7 @@ impl<'a> Planner<'a> {
             conjuncts = flat.into_iter().map(Some).collect();
         }
         for slot in conjuncts.iter_mut() {
-            let c = slot.as_ref().unwrap();
+            let Some(c) = slot.as_ref() else { continue };
             let homes: Vec<usize> = inputs
                 .iter()
                 .enumerate()
@@ -120,7 +121,9 @@ impl<'a> Planner<'a> {
                     let mut left_keys = Vec::new();
                     let mut right_keys = Vec::new();
                     for ci in used {
-                        let c = conjuncts[ci].take().unwrap();
+                        let Some(c) = conjuncts[ci].take() else {
+                            continue;
+                        };
                         let (l, r) = self
                             .equi_key(acc.schema(), cand.schema(), &c)
                             .expect("re-check of equi key");
@@ -219,8 +222,18 @@ impl<'a> Planner<'a> {
                         .caches()
                         .has_usable_grid(&p.table, &p.coords_key, p.version, *eps)
                 });
-                let (resolved, selection) =
-                    sgb_core::cost::resolve_any_with_cache(base, n, exprs.len(), cached_grid);
+                // Resolve under the session's memory budget: when the
+                // budget rules out building the ε-grid, `Auto` degrades
+                // to the streaming scan and EXPLAIN records why; a
+                // session-pinned `Grid` fails here with `BudgetExceeded`.
+                let governor = self.db.statement_governor();
+                let (resolved, selection) = sgb_core::cost::resolve_any_governed(
+                    base,
+                    n,
+                    exprs.len(),
+                    cached_grid,
+                    &governor,
+                )?;
                 let (threads, _) =
                     sgb_core::cost::threads_for_any(resolved, self.db.session().threads, n);
                 let index = match resolved {
@@ -707,7 +720,7 @@ impl<'a> Planner<'a> {
                 let set: HashSet<Value> = table
                     .rows
                     .into_iter()
-                    .map(|mut r| r.pop().unwrap())
+                    .filter_map(|mut r| r.pop())
                     .filter(|v| !v.is_null())
                     .collect();
                 Ok(BoundExpr::InSet {

@@ -13,6 +13,8 @@
 //! `EXPLAIN` always reports the exact session options a plan was built
 //! under.
 
+use std::time::Duration;
+
 use sgb_core::Algorithm;
 
 /// Typed session options for similarity-query execution.
@@ -77,6 +79,23 @@ pub struct SessionOptions {
     /// Turning this off rejects new registrations; subscriptions already
     /// registered keep being maintained.
     pub subscriptions: bool,
+    /// Per-statement execution deadline (`None` = unlimited). Each
+    /// statement draws a fresh deadline when it starts executing; a
+    /// similarity operator that overruns it stops at the next governor
+    /// check and the statement fails with
+    /// [`crate::Error::Aborted`]`(Timeout)`. A failed statement leaves the
+    /// session fully usable: no partial grouping enters the caches or
+    /// subscriptions. Also settable through SQL:
+    /// `SET STATEMENT_TIMEOUT = 250` (milliseconds; `0` clears it).
+    pub statement_timeout: Option<Duration>,
+    /// Approximate per-statement memory budget in bytes for building
+    /// spatial indexes (`None` = unlimited). When the budget rules out
+    /// the SGB-Any ε-grid, `Auto` degrades to the streaming all-pairs
+    /// scan (EXPLAIN records the reason); a session-pinned `Grid` fails
+    /// with [`crate::Error::Aborted`]`(BudgetExceeded)` instead. A
+    /// version-fresh cached grid costs no new memory and is always
+    /// admitted.
+    pub memory_budget: Option<usize>,
 }
 
 impl Default for SessionOptions {
@@ -90,6 +109,8 @@ impl Default for SessionOptions {
             cache: true,
             cache_capacity: 128,
             subscriptions: true,
+            statement_timeout: None,
+            memory_budget: None,
         }
     }
 }
@@ -159,6 +180,21 @@ impl SessionOptions {
         self.subscriptions = subscriptions;
         self
     }
+
+    /// Sets the per-statement execution deadline (`None` = unlimited).
+    #[must_use]
+    pub fn with_statement_timeout(mut self, timeout: Option<Duration>) -> Self {
+        self.statement_timeout = timeout;
+        self
+    }
+
+    /// Sets the approximate per-statement memory budget in bytes for
+    /// spatial-index builds (`None` = unlimited).
+    #[must_use]
+    pub fn with_memory_budget(mut self, budget: Option<usize>) -> Self {
+        self.memory_budget = budget;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -175,7 +211,9 @@ mod tests {
             .with_threads(4)
             .with_cache(false)
             .with_cache_capacity(9)
-            .with_subscriptions(false);
+            .with_subscriptions(false)
+            .with_statement_timeout(Some(Duration::from_millis(250)))
+            .with_memory_budget(Some(1 << 20));
         assert_eq!(opts.all_algorithm, Algorithm::BoundsChecking);
         assert_eq!(opts.any_algorithm, Algorithm::Grid);
         assert_eq!(opts.around_algorithm, Algorithm::Indexed);
@@ -184,6 +222,8 @@ mod tests {
         assert!(!opts.cache);
         assert_eq!(opts.cache_capacity, 9);
         assert!(!opts.subscriptions);
+        assert_eq!(opts.statement_timeout, Some(Duration::from_millis(250)));
+        assert_eq!(opts.memory_budget, Some(1 << 20));
     }
 
     #[test]
@@ -197,5 +237,7 @@ mod tests {
         assert!(opts.cache, "shared-work caching on by default");
         assert_eq!(opts.cache_capacity, 128);
         assert!(opts.subscriptions, "continuous queries on by default");
+        assert_eq!(opts.statement_timeout, None, "no deadline by default");
+        assert_eq!(opts.memory_budget, None, "no memory budget by default");
     }
 }

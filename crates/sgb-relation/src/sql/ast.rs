@@ -203,6 +203,23 @@ pub enum Statement {
         /// Row predicate; `None` deletes every row.
         predicate: Option<Expr>,
     },
+    /// `UPDATE name SET col = expr, … [WHERE pred]` — executed as a
+    /// delete+insert pair through the incremental-maintenance path.
+    Update {
+        /// Target table.
+        table: String,
+        /// `col = expr` assignments, in statement order.
+        assignments: Vec<(String, Expr)>,
+        /// Row predicate; `None` updates every row.
+        predicate: Option<Expr>,
+    },
+    /// `SET name = value` — a session option (e.g. `STATEMENT_TIMEOUT`).
+    SetOption {
+        /// Option name (original spelling; matched case-insensitively).
+        name: String,
+        /// Constant value expression.
+        value: Expr,
+    },
     /// `DROP TABLE name`.
     DropTable {
         /// Table name.

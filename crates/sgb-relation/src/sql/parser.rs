@@ -161,6 +161,8 @@ impl Parser {
             Some(t) if t.is_kw("create") => self.create_table(),
             Some(t) if t.is_kw("insert") => self.insert(),
             Some(t) if t.is_kw("delete") => self.delete(),
+            Some(t) if t.is_kw("update") => self.update(),
+            Some(t) if t.is_kw("set") => self.set_option(),
             Some(t) if t.is_kw("drop") => self.drop_table(),
             other => Err(Error::Parse(format!(
                 "expected a statement, found {other:?}"
@@ -232,6 +234,39 @@ impl Parser {
             None
         };
         Ok(Statement::Delete { table, predicate })
+    }
+
+    fn update(&mut self) -> Result<Statement> {
+        self.expect_kw("update")?;
+        let table = self.expect_ident()?;
+        self.expect_kw("set")?;
+        let mut assignments = Vec::new();
+        loop {
+            let col = self.expect_ident()?;
+            self.expect(&Token::Eq)?;
+            assignments.push((col, self.expr()?));
+            if !self.eat(&Token::Comma) {
+                break;
+            }
+        }
+        let predicate = if self.eat_kw("where") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        Ok(Statement::Update {
+            table,
+            assignments,
+            predicate,
+        })
+    }
+
+    fn set_option(&mut self) -> Result<Statement> {
+        self.expect_kw("set")?;
+        let name = self.expect_ident()?;
+        self.expect(&Token::Eq)?;
+        let value = self.expr()?;
+        Ok(Statement::SetOption { name, value })
     }
 
     fn drop_table(&mut self) -> Result<Statement> {

@@ -37,7 +37,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, RwLock};
 
 use sgb_core::query::Grouping;
-use sgb_core::{MaintainedGrouping, OverlapAction};
+use sgb_core::{MaintainedGrouping, OverlapAction, QueryGovernor};
 use sgb_geom::Metric;
 
 use crate::error::{Error, Result};
@@ -201,23 +201,61 @@ pub(crate) enum Maintained {
 }
 
 impl Maintained {
-    fn insert_row(&mut self, coords: &[BoundExpr], row: &Row) -> Result<usize> {
+    /// Applies one inserted row as a governed delta. An `Err` means the
+    /// maintained state may be mid-transaction — the caller must recover
+    /// by rebuilding from the table's rows (see [`Subscription::recover`]).
+    fn try_insert_row(
+        &mut self,
+        coords: &[BoundExpr],
+        row: &Row,
+        governor: &QueryGovernor,
+    ) -> Result<usize> {
         match self {
             Maintained::D2(m) => {
                 let pts = extract_points::<2>(std::slice::from_ref(row), coords)?;
-                Ok(m.insert(pts[0]))
+                Ok(m.try_insert(pts[0], governor)?)
             }
             Maintained::D3(m) => {
                 let pts = extract_points::<3>(std::slice::from_ref(row), coords)?;
-                Ok(m.insert(pts[0]))
+                Ok(m.try_insert(pts[0], governor)?)
             }
         }
     }
 
-    fn delete(&mut self, slot: usize) -> bool {
+    /// Applies one deletion as a governed delta; same recovery contract
+    /// as [`Maintained::try_insert_row`].
+    fn try_delete(&mut self, slot: usize, governor: &QueryGovernor) -> Result<bool> {
         match self {
-            Maintained::D2(m) => m.delete(slot),
-            Maintained::D3(m) => m.delete(slot),
+            Maintained::D2(m) => Ok(m.try_delete(slot, governor)?),
+            Maintained::D3(m) => Ok(m.try_delete(slot, governor)?),
+        }
+    }
+
+    /// A fresh maintained grouping over `rows` under the same query
+    /// configuration — the recovery path after a failed delta.
+    fn rebuilt_from(&self, coords: &[BoundExpr], rows: &[Row]) -> Result<Maintained> {
+        match self {
+            Maintained::D2(m) => {
+                let points = extract_points::<2>(rows, coords)?;
+                Ok(Maintained::D2(MaintainedGrouping::new(
+                    m.query().clone(),
+                    &points,
+                )))
+            }
+            Maintained::D3(m) => {
+                let points = extract_points::<3>(rows, coords)?;
+                Ok(Maintained::D3(MaintainedGrouping::new(
+                    m.query().clone(),
+                    &points,
+                )))
+            }
+        }
+    }
+
+    fn advance_epoch_to(&mut self, floor: u64) {
+        match self {
+            Maintained::D2(m) => m.advance_epoch_to(floor),
+            Maintained::D3(m) => m.advance_epoch_to(floor),
         }
     }
 
@@ -292,6 +330,27 @@ impl Subscription {
             .unwrap_or_else(|e| e.into_inner()) = snapshot;
     }
 
+    /// Recovery after a delta failed mid-apply (an injected fault or a
+    /// governed abort): the maintained state may be mid-transaction, so it
+    /// is rebuilt wholesale from the table's current rows — the source of
+    /// truth — under the same query configuration, and the epoch is
+    /// advanced past everything previously published so snapshot epochs
+    /// stay strictly monotone. Only when even the rebuild fails (e.g. the
+    /// table now holds a row with non-numeric grouping attributes) does
+    /// the subscription deactivate, keeping the last snapshot readable.
+    fn recover(&mut self, all_rows: &[Row], version: u64) {
+        let floor = self.maintained.epoch() + 1;
+        match self.maintained.rebuilt_from(&self.coords, all_rows) {
+            Ok(mut rebuilt) => {
+                rebuilt.advance_epoch_to(floor);
+                self.maintained = rebuilt;
+                self.row_slots = (0..all_rows.len()).collect();
+                self.publish(version);
+            }
+            Err(_) => self.deactivate(),
+        }
+    }
+
     /// The published snapshot, when it reflects `version` — the serve /
     /// EXPLAIN freshness test.
     fn fresh_snapshot(&self, version: u64) -> Option<Arc<GroupingSnapshot>> {
@@ -356,20 +415,25 @@ impl SubscriptionSet {
         handle
     }
 
-    /// Applies the rows just appended to `table` (now at `version`) and
-    /// republishes. A row whose grouping attributes fail to extract
-    /// deactivates the subscription (the last snapshot stays readable).
-    pub(crate) fn on_insert(&mut self, table: &str, rows: &[Row], version: u64) {
+    /// Applies the rows just appended to `table` (now at `version`,
+    /// `all_rows` its full post-insert contents) and republishes. A delta
+    /// that fails mid-apply triggers [`Subscription::recover`]: the
+    /// grouping is rebuilt from `all_rows` with a strictly advancing
+    /// epoch, so readers never observe a half-applied delta or an epoch
+    /// rollback.
+    pub(crate) fn on_insert(&mut self, table: &str, rows: &[Row], all_rows: &[Row], version: u64) {
+        // Deltas are maintenance, not statements: they run ungoverned so a
+        // session deadline can never strand a subscription mid-batch.
+        let governor = QueryGovernor::unrestricted();
         for sub in self.subs.iter_mut() {
             if sub.table != table || !sub.is_active() {
                 continue;
             }
             let mut ok = true;
             for row in rows {
-                match sub.maintained.insert_row(&sub.coords, row) {
+                match sub.maintained.try_insert_row(&sub.coords, row, &governor) {
                     Ok(slot) => sub.row_slots.push(slot),
                     Err(_) => {
-                        sub.deactivate();
                         ok = false;
                         break;
                     }
@@ -377,26 +441,49 @@ impl SubscriptionSet {
             }
             if ok {
                 sub.publish(version);
+            } else {
+                sub.recover(all_rows, version);
             }
         }
     }
 
     /// Applies a deletion of `removed` (ascending pre-delete row indices)
-    /// from `table` (now at `version`) and republishes.
-    pub(crate) fn on_delete(&mut self, table: &str, removed: &[usize], version: u64) {
+    /// from `table` (now at `version`, `all_rows` its full post-delete
+    /// contents) and republishes; failed deltas recover exactly as in
+    /// [`SubscriptionSet::on_insert`].
+    pub(crate) fn on_delete(
+        &mut self,
+        table: &str,
+        removed: &[usize],
+        all_rows: &[Row],
+        version: u64,
+    ) {
+        let governor = QueryGovernor::unrestricted();
         for sub in self.subs.iter_mut() {
             if sub.table != table || !sub.is_active() {
                 continue;
             }
             let mut keep = vec![true; sub.row_slots.len()];
+            let mut ok = true;
             for &i in removed {
                 if let Some(k) = keep.get_mut(i) {
                     *k = false;
-                    sub.maintained.delete(sub.row_slots[i]);
+                    if sub
+                        .maintained
+                        .try_delete(sub.row_slots[i], &governor)
+                        .is_err()
+                    {
+                        ok = false;
+                        break;
+                    }
                 }
             }
+            if !ok {
+                sub.recover(all_rows, version);
+                continue;
+            }
             let mut it = keep.iter();
-            sub.row_slots.retain(|_| *it.next().unwrap());
+            sub.row_slots.retain(|_| matches!(it.next(), Some(true)));
             sub.publish(version);
         }
     }

@@ -1073,3 +1073,108 @@ fn subscription_deactivates_on_bad_insert_but_keeps_last_snapshot() {
         .unwrap()
         .contains("snapshot:"));
 }
+
+// -- UPDATE -------------------------------------------------------------------
+
+#[test]
+fn update_rewrites_matching_rows_end_to_end() {
+    let mut db = db_with_people();
+    db.execute("UPDATE people SET age = age + 1 WHERE city = 'rome'")
+        .unwrap();
+    let out = db.query("SELECT id, age FROM people ORDER BY id").unwrap();
+    assert_eq!(ints(&out, 1), vec![35, 28, 35, 51, 29]);
+    // Executed as delete+insert: the rewritten rows move to the end of
+    // the table, exactly as a manual DELETE + INSERT would place them.
+    let scan = db.query("SELECT id FROM people").unwrap();
+    assert_eq!(ints(&scan, 0), vec![2, 4, 1, 3, 5]);
+    // No predicate: every row updates.
+    db.execute("UPDATE people SET age = 0").unwrap();
+    let all = db.query("SELECT sum(age) FROM people").unwrap();
+    assert_eq!(ints(&all, 0), vec![0]);
+    // Unknown table / column errors surface cleanly.
+    assert!(db.execute("UPDATE nope SET age = 1").is_err());
+    assert!(db.execute("UPDATE people SET nope = 1").is_err());
+    assert!(db
+        .execute("UPDATE people SET age = 1 WHERE nope = 2")
+        .is_err());
+}
+
+#[test]
+fn update_rhs_sees_the_old_row() {
+    let mut db = Database::new();
+    db.execute("CREATE TABLE pts (x DOUBLE, y DOUBLE)").unwrap();
+    db.execute("INSERT INTO pts VALUES (1.0, 9.0)").unwrap();
+    // Both right-hand sides evaluate against the pre-update row, so this
+    // swaps instead of cascading x into y.
+    db.execute("UPDATE pts SET x = y, y = x").unwrap();
+    let out = db.query("SELECT x, y FROM pts").unwrap();
+    assert_eq!(out.rows[0][0].as_f64().unwrap(), 9.0);
+    assert_eq!(out.rows[0][1].as_f64().unwrap(), 1.0);
+}
+
+#[test]
+fn update_error_leaves_rows_untouched() {
+    let mut db = db_with_people();
+    let before = db.table("people").unwrap().version();
+    // `age + name` type-errors on the first row — the whole statement
+    // fails without rewriting anything (replacements evaluate before any
+    // mutation, like INSERT and DELETE).
+    assert!(db.execute("UPDATE people SET age = age + name").is_err());
+    assert!(db
+        .execute("UPDATE people SET age = 1 WHERE age + name > 0")
+        .is_err());
+    let out = db.query("SELECT id, age FROM people ORDER BY id").unwrap();
+    assert_eq!(ints(&out, 1), vec![34, 28, 34, 51, 28]);
+    assert_eq!(db.table("people").unwrap().version(), before);
+}
+
+#[test]
+fn update_bumps_version_and_invalidates_caches() {
+    let mut db = Database::new();
+    db.session_mut().any_algorithm = Algorithm::Indexed;
+    db.execute("CREATE TABLE pts (x DOUBLE, y DOUBLE)").unwrap();
+    db.execute("INSERT INTO pts VALUES (1.0, 1.0), (2.0, 2.0), (9.0, 9.0)")
+        .unwrap();
+    let sql = "SELECT count(*) FROM pts GROUP BY x, y DISTANCE-TO-ANY L2 WITHIN 1.5";
+    let first = db.execute(sql).unwrap();
+    assert_eq!(first.len(), 2);
+    assert!(db.explain(sql).unwrap().contains("index: cached (hit)"));
+    // Moving the far point next to the pair must recompute, not serve the
+    // stale cached result or index.
+    db.execute("UPDATE pts SET x = 3.0, y = 3.0 WHERE x = 9.0")
+        .unwrap();
+    assert!(db.explain(sql).unwrap().contains("index: built"));
+    let out = db.execute(sql).unwrap();
+    assert_eq!(out.len(), 1);
+    assert_eq!(ints(&out, 0), vec![3]);
+    // An UPDATE matching nothing keeps the version (nothing changed).
+    let v = db.table("pts").unwrap().version();
+    db.execute("UPDATE pts SET x = 0.0 WHERE x > 100").unwrap();
+    assert_eq!(db.table("pts").unwrap().version(), v);
+}
+
+#[test]
+fn update_flows_through_subscriptions_as_delete_plus_insert() {
+    let mut db = Database::new();
+    db.execute("CREATE TABLE pts (x DOUBLE, y DOUBLE)").unwrap();
+    db.execute("INSERT INTO pts VALUES (1.0, 1.0), (1.5, 1.5), (9.0, 9.0)")
+        .unwrap();
+    let sub = db
+        .subscribe("SELECT count(*) FROM pts GROUP BY x, y DISTANCE-TO-ANY L2 WITHIN 1")
+        .unwrap();
+    assert_eq!(sub.snapshot().grouping().num_groups(), 2);
+    let epoch = sub.snapshot().epoch();
+    // The UPDATE reaches the maintained grouping as a delete batch plus
+    // an insert batch: the far point joins the near pair.
+    db.execute("UPDATE pts SET x = 2.0, y = 2.0 WHERE x = 9.0")
+        .unwrap();
+    let snap = sub.snapshot();
+    assert!(snap.epoch() > epoch, "epoch must advance across an UPDATE");
+    assert_eq!(snap.grouping().num_groups(), 1);
+    assert!(sub.is_active());
+    // Similarity queries can serve straight from the refreshed snapshot.
+    let out = db
+        .execute("SELECT count(*) FROM pts GROUP BY x, y DISTANCE-TO-ANY L2 WITHIN 1")
+        .unwrap();
+    assert_eq!(ints(&out, 0), vec![3]);
+}

@@ -26,6 +26,7 @@
 
 use std::collections::HashMap;
 use std::hash::{BuildHasherDefault, Hasher};
+use std::ops::ControlFlow;
 
 use sgb_geom::{Metric, Point};
 
@@ -343,6 +344,28 @@ impl<const D: usize, T> Grid<D, T> {
         self.for_each_close_pair_sharded(eps, metric, 0, 1, visit);
     }
 
+    /// Fallible bulk ε-join: like
+    /// [`for_each_close_pair`](Self::for_each_close_pair), but `visit` may
+    /// return an error, which stops the join promptly (within the current
+    /// cell's hit scan) and is propagated to the caller. With an
+    /// always-`Ok` visitor the visited pair sequence is identical to the
+    /// infallible join — the infallible methods are thin wrappers over
+    /// this one, so there is only one join driver to trust.
+    ///
+    /// This is the governance hook: the similarity operators pass a
+    /// visitor that ticks a deadline/cancellation pacer and returns the
+    /// governor's error to abandon the join mid-flight.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first error `visit` reports.
+    pub fn try_for_each_close_pair<E, F>(&self, eps: f64, metric: Metric, visit: F) -> Result<(), E>
+    where
+        F: FnMut(&Point<D>, &T, &Point<D>, &T) -> Result<(), E>,
+    {
+        self.try_for_each_close_pair_sharded(eps, metric, 0, 1, visit)
+    }
+
     /// One shard of the bulk ε-join: like
     /// [`for_each_close_pair`](Self::for_each_close_pair), but only for
     /// candidate pairs **owned** by shard `shard` of a `shards`-way
@@ -367,29 +390,70 @@ impl<const D: usize, T> Grid<D, T> {
         shards: usize,
         mut visit: F,
     ) {
-        self.for_each_cell_join(
+        self.try_for_each_close_pair_sharded::<std::convert::Infallible, _>(
             eps,
             metric,
             shard,
             shards,
-            |_, entries, other| match other {
+            |pa, ta, pb, tb| {
+                visit(pa, ta, pb, tb);
+                Ok(())
+            },
+        )
+        .unwrap_or(());
+    }
+
+    /// One shard of the fallible bulk ε-join: the sharded counterpart of
+    /// [`try_for_each_close_pair`](Self::try_for_each_close_pair), with
+    /// the ownership partition of
+    /// [`for_each_close_pair_sharded`](Self::for_each_close_pair_sharded).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first error `visit` reports.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `shards` is zero or `shard >= shards`.
+    pub fn try_for_each_close_pair_sharded<E, F>(
+        &self,
+        eps: f64,
+        metric: Metric,
+        shard: usize,
+        shards: usize,
+        mut visit: F,
+    ) -> Result<(), E>
+    where
+        F: FnMut(&Point<D>, &T, &Point<D>, &T) -> Result<(), E>,
+    {
+        let flow = self.for_each_cell_join(eps, metric, shard, shards, |_, entries, other| {
+            match other {
                 None => {
                     for i in 0..entries.len() {
                         let (pa, ta) = &entries[i];
                         for (pb, tb) in &entries[i + 1..] {
-                            visit(pa, ta, pb, tb);
+                            if let Err(e) = visit(pa, ta, pb, tb) {
+                                return ControlFlow::Break(e);
+                            }
                         }
                     }
                 }
                 Some((_, others)) => {
                     for (pa, ta) in entries {
                         for (pb, tb) in others {
-                            visit(pa, ta, pb, tb);
+                            if let Err(e) = visit(pa, ta, pb, tb) {
+                                return ControlFlow::Break(e);
+                            }
                         }
                     }
                 }
-            },
-        );
+            }
+            ControlFlow::Continue(())
+        });
+        match flow {
+            ControlFlow::Continue(()) => Ok(()),
+            ControlFlow::Break(e) => Err(e),
+        }
     }
 
     /// Exact bulk ε-join: invokes `visit` once for every unordered pair of
@@ -403,6 +467,133 @@ impl<const D: usize, T> Grid<D, T> {
     /// candidate join through `Metric::within`.
     pub fn for_each_pair_within<F: FnMut(&T, &T)>(&self, eps: f64, metric: Metric, visit: F) {
         self.for_each_pair_within_sharded(eps, metric, 0, 1, visit);
+    }
+
+    /// Fallible exact bulk ε-join: like
+    /// [`for_each_pair_within`](Self::for_each_pair_within), but `visit`
+    /// may return an error, which stops the join promptly and is
+    /// propagated. With an always-`Ok` visitor the accepted pair sequence
+    /// is identical to the infallible join.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first error `visit` reports.
+    pub fn try_for_each_pair_within<E, F>(
+        &self,
+        eps: f64,
+        metric: Metric,
+        visit: F,
+    ) -> Result<(), E>
+    where
+        F: FnMut(&T, &T) -> Result<(), E>,
+    {
+        self.try_for_each_pair_within_sharded(eps, metric, 0, 1, visit)
+    }
+
+    /// Exact bulk ε-join with the governance check hoisted *out* of the
+    /// hot loop: `visit` stays infallible — the per-pair codegen is the
+    /// same as [`for_each_pair_within`](Self::for_each_pair_within) — and
+    /// `pace` runs at cell-row boundaries instead, at least once every
+    /// `interval` candidate comparisons. The first error `pace` reports
+    /// stops the join promptly (one cell row is the response-time
+    /// granularity: bounded by the occupancy of a single cell). With a
+    /// never-`Err` `pace` the accepted pair sequence is identical to the
+    /// infallible join.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first error `pace` reports.
+    pub fn try_for_each_pair_within_paced<E, F, P>(
+        &self,
+        eps: f64,
+        metric: Metric,
+        visit: F,
+        interval: usize,
+        pace: P,
+    ) -> Result<(), E>
+    where
+        F: FnMut(&T, &T),
+        P: FnMut() -> Result<(), E>,
+    {
+        self.try_for_each_pair_within_sharded_paced(eps, metric, 0, 1, visit, interval, pace)
+    }
+
+    /// One shard of the paced exact bulk ε-join: the sharded counterpart
+    /// of
+    /// [`try_for_each_pair_within_paced`](Self::try_for_each_pair_within_paced),
+    /// with the ownership partition of
+    /// [`for_each_pair_within_sharded`](Self::for_each_pair_within_sharded).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first error `pace` reports.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `shards` is zero or `shard >= shards`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn try_for_each_pair_within_sharded_paced<E, F, P>(
+        &self,
+        eps: f64,
+        metric: Metric,
+        shard: usize,
+        shards: usize,
+        mut visit: F,
+        interval: usize,
+        mut pace: P,
+    ) -> Result<(), E>
+    where
+        F: FnMut(&T, &T),
+        P: FnMut() -> Result<(), E>,
+    {
+        if self.len == 0 {
+            assert!(shards >= 1 && shard < shards, "shard out of range");
+            return Ok(());
+        }
+        let soa = SoaCells::build(self);
+        let interval = interval.max(1);
+        // Candidate comparisons until the next `pace` call; a row longer
+        // than the remaining budget saturates it to zero.
+        let mut budget = interval;
+        let flow = self.for_each_cell_join(eps, metric, shard, shards, |key, entries, other| {
+            match other {
+                None => {
+                    let slot = soa.slots[key];
+                    for (a, (pa, ta)) in entries.iter().enumerate() {
+                        soa.for_each_hit(slot, a + 1, pa, eps, metric, |b| {
+                            visit(ta, &entries[b].1);
+                        });
+                        budget = budget.saturating_sub(entries.len() - a - 1);
+                        if budget == 0 {
+                            budget = interval;
+                            if let Err(e) = pace() {
+                                return ControlFlow::Break(e);
+                            }
+                        }
+                    }
+                }
+                Some((nkey, others)) => {
+                    let nslot = soa.slots[nkey];
+                    for (pa, ta) in entries {
+                        soa.for_each_hit(nslot, 0, pa, eps, metric, |b| {
+                            visit(ta, &others[b].1);
+                        });
+                        budget = budget.saturating_sub(others.len());
+                        if budget == 0 {
+                            budget = interval;
+                            if let Err(e) = pace() {
+                                return ControlFlow::Break(e);
+                            }
+                        }
+                    }
+                }
+            }
+            ControlFlow::Continue(())
+        });
+        match flow {
+            ControlFlow::Continue(()) => Ok(()),
+            ControlFlow::Break(e) => Err(e),
+        }
     }
 
     /// One shard of the exact bulk ε-join: the pairs of
@@ -423,35 +614,87 @@ impl<const D: usize, T> Grid<D, T> {
         shards: usize,
         mut visit: F,
     ) {
-        if self.len == 0 {
-            assert!(shards >= 1 && shard < shards, "shard out of range");
-            return;
-        }
-        let soa = SoaCells::build(self);
-        self.for_each_cell_join(
+        self.try_for_each_pair_within_sharded::<std::convert::Infallible, _>(
             eps,
             metric,
             shard,
             shards,
-            |key, entries, other| match other {
+            |ta, tb| {
+                visit(ta, tb);
+                Ok(())
+            },
+        )
+        .unwrap_or(());
+    }
+
+    /// One shard of the fallible exact bulk ε-join: the sharded
+    /// counterpart of
+    /// [`try_for_each_pair_within`](Self::try_for_each_pair_within), with
+    /// the ownership partition of
+    /// [`for_each_pair_within_sharded`](Self::for_each_pair_within_sharded).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first error `visit` reports.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `shards` is zero or `shard >= shards`.
+    pub fn try_for_each_pair_within_sharded<E, F>(
+        &self,
+        eps: f64,
+        metric: Metric,
+        shard: usize,
+        shards: usize,
+        mut visit: F,
+    ) -> Result<(), E>
+    where
+        F: FnMut(&T, &T) -> Result<(), E>,
+    {
+        if self.len == 0 {
+            assert!(shards >= 1 && shard < shards, "shard out of range");
+            return Ok(());
+        }
+        let soa = SoaCells::build(self);
+        // `for_each_hit` is infallible, so the error is parked in a slot
+        // and the join breaks at the next cell-pair boundary — prompt
+        // enough for governance (one cell's hit scan is bounded work).
+        let mut err: Option<E> = None;
+        let flow = self.for_each_cell_join(eps, metric, shard, shards, |key, entries, other| {
+            match other {
                 None => {
                     let slot = soa.slots[key];
                     for (a, (pa, ta)) in entries.iter().enumerate() {
                         soa.for_each_hit(slot, a + 1, pa, eps, metric, |b| {
-                            visit(ta, &entries[b].1);
+                            if err.is_none() {
+                                err = visit(ta, &entries[b].1).err();
+                            }
                         });
+                        if let Some(e) = err.take() {
+                            return ControlFlow::Break(e);
+                        }
                     }
                 }
                 Some((nkey, others)) => {
                     let nslot = soa.slots[nkey];
                     for (pa, ta) in entries {
                         soa.for_each_hit(nslot, 0, pa, eps, metric, |b| {
-                            visit(ta, &others[b].1);
+                            if err.is_none() {
+                                err = visit(ta, &others[b].1).err();
+                            }
                         });
+                        if let Some(e) = err.take() {
+                            return ControlFlow::Break(e);
+                        }
                     }
                 }
-            },
-        );
+            }
+            ControlFlow::Continue(())
+        });
+        match flow {
+            ControlFlow::Continue(()) => Ok(()),
+            ControlFlow::Break(e) => Err(e),
+        }
     }
 
     /// Shared driver of the bulk ε-joins: invokes `cell_job` once with
@@ -460,20 +703,27 @@ impl<const D: usize, T> Grid<D, T> {
     /// unordered pair of occupied cells that could hold a within-ε pair,
     /// attributed to the cell from which the offset is lexicographically
     /// positive. `shard`/`shards` restrict ownership to one shard of the
-    /// hashed-cell-key partition (`0`/`1` ⇒ everything).
-    fn for_each_cell_join<'g, F>(
+    /// hashed-cell-key partition (`0`/`1` ⇒ everything). `cell_job` may
+    /// break with a value, which stops the enumeration immediately and is
+    /// returned (the hook behind the fallible `try_*` joins).
+    fn for_each_cell_join<'g, B, F>(
         &'g self,
         eps: f64,
         metric: Metric,
         shard: usize,
         shards: usize,
         mut cell_job: F,
-    ) where
-        F: FnMut(&'g CellKey<D>, &'g [(Point<D>, T)], Option<(&CellKey<D>, &'g [(Point<D>, T)])>),
+    ) -> ControlFlow<B>
+    where
+        F: FnMut(
+            &'g CellKey<D>,
+            &'g [(Point<D>, T)],
+            Option<(&CellKey<D>, &'g [(Point<D>, T)])>,
+        ) -> ControlFlow<B>,
     {
         assert!(shards >= 1 && shard < shards, "shard out of range");
         if self.len == 0 {
-            return;
+            return ControlFlow::Continue(());
         }
         let owned = |key: &CellKey<D>| shards == 1 || shard_of(key, shards) == shard;
         let relaxed = eps * (1.0 + 4.0 * f64::EPSILON);
@@ -534,7 +784,7 @@ impl<const D: usize, T> Grid<D, T> {
                 if !owned(key) {
                     continue;
                 }
-                cell_job(key, entries, None);
+                cell_job(key, entries, None)?;
                 'offsets: for off in &offsets {
                     let mut neighbour = *key;
                     for d in 0..D {
@@ -547,7 +797,7 @@ impl<const D: usize, T> Grid<D, T> {
                         neighbour[d] = nk;
                     }
                     if let Some(other) = self.cells.get(&neighbour) {
-                        cell_job(key, entries, Some((&neighbour, other)));
+                        cell_job(key, entries, Some((&neighbour, other)))?;
                     }
                 }
             }
@@ -559,7 +809,7 @@ impl<const D: usize, T> Grid<D, T> {
             let cells: Vec<(&CellKey<D>, &Vec<(Point<D>, T)>)> = self.cells.iter().collect();
             for &(key, entries) in &cells {
                 if owned(key) {
-                    cell_job(key, entries, None);
+                    cell_job(key, entries, None)?;
                 }
             }
             for (i, &(ka, ea)) in cells.iter().enumerate() {
@@ -590,11 +840,12 @@ impl<const D: usize, T> Grid<D, T> {
                         (kb, eb, ka, ea)
                     };
                     if owned(okey) {
-                        cell_job(okey, oentries, Some((nkey, nentries)));
+                        cell_job(okey, oentries, Some((nkey, nentries)))?;
                     }
                 }
             }
         }
+        ControlFlow::Continue(())
     }
 
     /// The entry nearest to `q` under `metric`, as `(distance, payload)` —
@@ -1057,6 +1308,51 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn try_joins_propagate_the_error_and_stop_early() {
+        let grid: Grid<2, usize> = Grid::from_points(1.0, lattice(300));
+        let total = close_pairs(&grid, 2.0, Metric::L2).len();
+        assert!(total > 100);
+        // Candidate join: error after 5 pairs stops the enumeration.
+        let mut seen = 0usize;
+        let got = grid.try_for_each_close_pair(2.0, Metric::L2, |_, _, _, _| {
+            seen += 1;
+            if seen == 5 {
+                Err("stop")
+            } else {
+                Ok(())
+            }
+        });
+        assert_eq!(got, Err("stop"));
+        assert_eq!(seen, 5, "no pairs visited after the error");
+        // Exact join: the error breaks at the next cell boundary, so the
+        // overshoot is bounded by one cell's hit scan, not the whole join.
+        let mut seen = 0usize;
+        let got = grid.try_for_each_pair_within(2.0, Metric::L2, |_, _| {
+            seen += 1;
+            if seen == 5 {
+                Err("stop")
+            } else {
+                Ok(())
+            }
+        });
+        assert_eq!(got, Err("stop"));
+        assert!(seen >= 5 && seen < total / 2, "stopped early, saw {seen}");
+        // Always-Ok visitors match the infallible joins exactly.
+        let mut pairs = Vec::new();
+        grid.try_for_each_close_pair::<std::convert::Infallible, _>(
+            2.0,
+            Metric::L2,
+            |_, &a, _, &b| {
+                pairs.push((a.min(b), a.max(b)));
+                Ok(())
+            },
+        )
+        .unwrap_or(());
+        pairs.sort_unstable();
+        assert_eq!(pairs, close_pairs(&grid, 2.0, Metric::L2));
     }
 
     #[test]

@@ -14,14 +14,16 @@ use sgb::geom::Point;
 use sgb::relation::{Database, SessionOptions};
 
 /// One step of a random session: a similarity SELECT, an INSERT, a
-/// predicate DELETE, or a DROP + CREATE cycle that resets the table (both
-/// mutation kinds must invalidate every cached index and result built for
-/// the table).
+/// predicate DELETE, a predicate UPDATE (a delete+insert pair through the
+/// same maintenance path), or a DROP + CREATE cycle that resets the table
+/// (every mutation kind must invalidate the cached indexes and results
+/// built for the table).
 #[derive(Clone, Debug)]
 enum Op {
     Query(String),
     Insert(f64, f64),
     Delete(f64),
+    Update(f64, f64),
     Recreate,
 }
 
@@ -31,6 +33,9 @@ impl Op {
             Op::Query(sql) => vec![sql.clone()],
             Op::Insert(x, y) => vec![format!("INSERT INTO t VALUES ({x}, {y})")],
             Op::Delete(cut) => vec![format!("DELETE FROM t WHERE x > {cut}")],
+            Op::Update(cut, shift) => vec![format!(
+                "UPDATE t SET x = x + {shift}, y = y WHERE x < {cut}"
+            )],
             Op::Recreate => vec![
                 "DROP TABLE t".into(),
                 "CREATE TABLE t (x DOUBLE, y DOUBLE)".into(),
@@ -76,6 +81,9 @@ fn arb_op() -> impl Strategy<Value = Op> {
         // A high cut deletes a thin slice (often nothing); a low cut can
         // empty the table — both ends stress cache invalidation.
         (0.0f64..8.0).prop_map(Op::Delete),
+        // Updates rewrite a random slice in place (rows move to the end of
+        // the table), exercising the delete+insert maintenance route.
+        (0.0f64..8.0, -2.0f64..2.0).prop_map(|(cut, shift)| Op::Update(cut, shift)),
         Just(Op::Recreate),
     ]
 }
@@ -147,6 +155,7 @@ proptest! {
                 arb_query().prop_map(Op::Query),
                 (0.0f64..8.0, 0.0f64..8.0).prop_map(|(x, y)| Op::Insert(x, y)),
                 (0.0f64..8.0).prop_map(Op::Delete),
+                (0.0f64..8.0, -2.0f64..2.0).prop_map(|(cut, shift)| Op::Update(cut, shift)),
             ],
             1..20,
         ),

@@ -1,0 +1,313 @@
+//! Offline vendored stand-in for the `fail` crate: named fault-injection
+//! points (an API-compatible subset).
+//!
+//! The build environment has no crates-registry access (see
+//! `vendor/README.md`), so the chaos-testing harness cannot depend on the
+//! real [`fail`](https://crates.io/crates/fail) crate. This stand-in
+//! provides the subset the workspace uses:
+//!
+//! * [`fail_point!`] — marks an injection site. The unit form can only
+//!   *panic* when triggered; the closure form early-`return`s the closure's
+//!   value, which is how sites inject typed errors.
+//! * [`cfg`] / [`remove`] / [`teardown`] — configure what a site does, with
+//!   the upstream action grammar subset `[P%]action[(arg)]` where `action`
+//!   is `off`, `panic`, or `return` and `P` is an integer firing
+//!   probability in percent (default 100).
+//! * [`set_seed`] — seeds the global PRNG behind probabilistic actions, so
+//!   a chaos run is reproducible from one integer.
+//! * [`fires`] / [`fire_count`] — how many times faults actually triggered
+//!   (globally / per site), letting tests assert a minimum fault volume.
+//!
+//! **Zero-cost when disabled.** Everything here is gated on the `enabled`
+//! cargo feature. Without it the evaluators are `#[inline(always)]` stubs
+//! returning `None`/`()` and every `fail_point!` site constant-folds away;
+//! the configuration functions become no-ops so test code compiles
+//! unchanged in both modes.
+//!
+//! The registry is **process-global** (like upstream): tests that configure
+//! failpoints must not run concurrently with tests that assume none are
+//! armed. The workspace keeps all failpoint-driven assertions in a single
+//! `#[test]` per binary.
+
+/// The evaluated outcome of a live, firing failpoint.
+#[doc(hidden)]
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Triggered {
+    /// `panic` / `panic(msg)` — the site must panic.
+    Panic(String),
+    /// `return` / `return(arg)` — the closure form early-returns.
+    Return(Option<String>),
+}
+
+#[cfg(feature = "enabled")]
+mod imp {
+    use super::Triggered;
+    use std::collections::HashMap;
+    use std::sync::Mutex;
+
+    /// One configured action: what to do and how often.
+    #[derive(Clone, Debug)]
+    struct Action {
+        /// Firing probability in percent (0..=100).
+        probability: u32,
+        task: Task,
+    }
+
+    #[derive(Clone, Debug)]
+    enum Task {
+        Off,
+        Panic(Option<String>),
+        Return(Option<String>),
+    }
+
+    #[derive(Default)]
+    struct Registry {
+        points: HashMap<String, Action>,
+        /// xorshift64* state behind probabilistic actions.
+        rng: u64,
+        /// Total number of times any site actually fired.
+        fires: u64,
+        /// Per-site fire counters.
+        counts: HashMap<String, u64>,
+    }
+
+    fn registry() -> &'static Mutex<Registry> {
+        static REGISTRY: std::sync::OnceLock<Mutex<Registry>> = std::sync::OnceLock::new();
+        REGISTRY.get_or_init(|| {
+            Mutex::new(Registry {
+                rng: 0x9E3779B97F4A7C15,
+                ..Registry::default()
+            })
+        })
+    }
+
+    fn lock() -> std::sync::MutexGuard<'static, Registry> {
+        registry().lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Parses `[P%]action[(arg)]`.
+    fn parse(spec: &str) -> Result<Action, String> {
+        let spec = spec.trim();
+        let (probability, rest) = match spec.split_once('%') {
+            Some((p, rest)) => {
+                let p: u32 = p
+                    .trim()
+                    .parse()
+                    .map_err(|_| format!("bad probability in failpoint action '{spec}'"))?;
+                if p > 100 {
+                    return Err(format!("probability {p}% out of range in '{spec}'"));
+                }
+                (p, rest.trim())
+            }
+            None => (100, spec),
+        };
+        let (name, arg) = match rest.split_once('(') {
+            Some((name, tail)) => {
+                let arg = tail
+                    .strip_suffix(')')
+                    .ok_or_else(|| format!("unclosed '(' in failpoint action '{spec}'"))?;
+                (name.trim(), Some(arg.to_owned()))
+            }
+            None => (rest, None),
+        };
+        let task = match name {
+            "off" => Task::Off,
+            "panic" => Task::Panic(arg),
+            "return" => Task::Return(arg),
+            other => return Err(format!("unknown failpoint action '{other}'")),
+        };
+        Ok(Action { probability, task })
+    }
+
+    pub fn cfg(name: impl Into<String>, action: &str) -> Result<(), String> {
+        let action = parse(action)?;
+        lock().points.insert(name.into(), action);
+        Ok(())
+    }
+
+    pub fn remove(name: &str) {
+        lock().points.remove(name);
+    }
+
+    pub fn teardown() {
+        let mut reg = lock();
+        reg.points.clear();
+    }
+
+    pub fn set_seed(seed: u64) {
+        // xorshift needs a nonzero state.
+        lock().rng = seed | 1;
+    }
+
+    pub fn fires() -> u64 {
+        lock().fires
+    }
+
+    pub fn fire_count(name: &str) -> u64 {
+        lock().counts.get(name).copied().unwrap_or(0)
+    }
+
+    /// Rolls the registry's PRNG and decides whether `name` fires; records
+    /// the fire when it does.
+    pub fn trigger(name: &str) -> Option<Triggered> {
+        let mut reg = lock();
+        let action = reg.points.get(name)?.clone();
+        if action.probability < 100 {
+            // xorshift64* — deterministic under `set_seed`.
+            let mut x = reg.rng;
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            reg.rng = x;
+            let roll = (x.wrapping_mul(0x2545F4914F6CDD1D) >> 33) % 100;
+            if roll as u32 >= action.probability {
+                return None;
+            }
+        }
+        let out = match action.task {
+            Task::Off => return None,
+            Task::Panic(msg) => {
+                Triggered::Panic(msg.unwrap_or_else(|| format!("failpoint '{name}' panicked")))
+            }
+            Task::Return(arg) => Triggered::Return(arg),
+        };
+        reg.fires += 1;
+        *reg.counts.entry(name.to_owned()).or_insert(0) += 1;
+        Some(out)
+    }
+}
+
+#[cfg(feature = "enabled")]
+pub use imp::{cfg, fire_count, fires, remove, set_seed, teardown};
+
+// ---- disabled stubs: every call folds to a constant ------------------------
+
+/// Configures a failpoint (no-op without the `enabled` feature).
+#[cfg(not(feature = "enabled"))]
+#[inline(always)]
+pub fn cfg(_name: impl Into<String>, _action: &str) -> Result<(), String> {
+    Ok(())
+}
+
+/// Removes a failpoint (no-op without the `enabled` feature).
+#[cfg(not(feature = "enabled"))]
+#[inline(always)]
+pub fn remove(_name: &str) {}
+
+/// Removes every failpoint (no-op without the `enabled` feature).
+#[cfg(not(feature = "enabled"))]
+#[inline(always)]
+pub fn teardown() {}
+
+/// Seeds the action PRNG (no-op without the `enabled` feature).
+#[cfg(not(feature = "enabled"))]
+#[inline(always)]
+pub fn set_seed(_seed: u64) {}
+
+/// Total fired faults (always 0 without the `enabled` feature).
+#[cfg(not(feature = "enabled"))]
+#[inline(always)]
+pub fn fires() -> u64 {
+    0
+}
+
+/// Per-site fired faults (always 0 without the `enabled` feature).
+#[cfg(not(feature = "enabled"))]
+#[inline(always)]
+pub fn fire_count(_name: &str) -> u64 {
+    0
+}
+
+/// Evaluates a site for the unit `fail_point!` form: panics when the
+/// configured action says so. Sites call this through the macro only.
+#[doc(hidden)]
+#[cfg(feature = "enabled")]
+pub fn eval_unit(name: &str) {
+    match imp::trigger(name) {
+        Some(Triggered::Panic(msg)) => panic!("{msg}"),
+        Some(Triggered::Return(_)) | None => {}
+    }
+}
+
+#[doc(hidden)]
+#[cfg(not(feature = "enabled"))]
+#[inline(always)]
+pub fn eval_unit(_name: &str) {}
+
+/// Evaluates a site for the closure `fail_point!` form: `Some(arg)` when
+/// the site fires with a `return` action (the macro early-returns the
+/// closure's value), panicking directly on a `panic` action.
+#[doc(hidden)]
+#[cfg(feature = "enabled")]
+pub fn eval_return(name: &str) -> Option<Option<String>> {
+    match imp::trigger(name) {
+        Some(Triggered::Panic(msg)) => panic!("{msg}"),
+        Some(Triggered::Return(arg)) => Some(arg),
+        None => None,
+    }
+}
+
+#[doc(hidden)]
+#[cfg(not(feature = "enabled"))]
+#[inline(always)]
+pub fn eval_return(_name: &str) -> Option<Option<String>> {
+    None
+}
+
+/// Marks a fault-injection site.
+///
+/// * `fail_point!("site")` — the site can be made to **panic** via
+///   [`cfg`]`("site", "panic(msg)")`.
+/// * `fail_point!("site", |arg| expr)` — additionally supports the
+///   `return(arg)` action: when it fires, the enclosing function
+///   early-returns `expr` (the closure receives the optional action
+///   argument), which is how sites inject typed errors.
+///
+/// Both forms compile to nothing without the `enabled` feature.
+#[macro_export]
+macro_rules! fail_point {
+    ($name:expr) => {
+        $crate::eval_unit($name)
+    };
+    ($name:expr, $body:expr) => {
+        if let Some(arg) = $crate::eval_return($name) {
+            #[allow(clippy::redundant_closure_call)]
+            return ($body)(arg);
+        }
+    };
+}
+
+#[cfg(all(test, feature = "enabled"))]
+mod tests {
+    #[test]
+    fn parse_cfg_fire_and_count() {
+        super::teardown();
+        super::set_seed(42);
+        assert!(super::cfg("t::always", "return(x)").is_ok());
+        assert!(super::cfg("t::off", "off").is_ok());
+        assert!(super::cfg("t::bad", "explode").is_err());
+        assert!(super::cfg("t::bad", "150%panic").is_err());
+
+        fn probe() -> Option<String> {
+            crate::fail_point!("t::always", |arg: Option<String>| arg);
+            None
+        }
+        assert_eq!(probe(), Some("x".to_owned()));
+        assert_eq!(super::fire_count("t::always"), 1);
+        assert!(super::fires() >= 1);
+
+        super::eval_unit("t::off"); // must not panic
+        super::remove("t::always");
+        assert_eq!(probe(), None);
+
+        // Probabilistic actions fire roughly at their rate, deterministically.
+        assert!(super::cfg("t::half", "50%return").is_ok());
+        let fired = (0..1000).filter(|_| probe_half()).count();
+        fn probe_half() -> bool {
+            crate::fail_point!("t::half", |_| true);
+            false
+        }
+        assert!(fired > 300 && fired < 700, "fired {fired}/1000");
+        super::teardown();
+    }
+}

@@ -14,6 +14,19 @@
 //! condvar): workers pop and run jobs until the scope closure has returned
 //! *and* the queue has drained, so `scoped` is an implicit `join_all`.
 //!
+//! **Panic isolation.** Every job runs under
+//! [`std::panic::catch_unwind`], and the queue recovers poisoned locks
+//! (`unwrap_or_else(PoisonError::into_inner)`), so a panicking job can
+//! never poison the queue mutex or deadlock the scope. The *first* panic
+//! payload is captured, the remaining queued jobs are cancelled (drained
+//! without running), and the outcome is surfaced two ways:
+//!
+//! * [`Pool::scoped`] resumes the captured panic on the calling thread —
+//!   the upstream contract, unchanged;
+//! * [`Pool::try_scoped`] returns it as an [`Err(Panicked)`](Panicked)
+//!   value instead, which is how the engine maps a failed shard to a typed
+//!   `WorkerPanicked` error rather than a process abort.
+//!
 //! Behavioral differences from upstream `scoped_threadpool 0.1`:
 //!
 //! * workers are spawned per `scoped` call instead of living for the
@@ -39,11 +52,48 @@
 //! assert_eq!(data, [30, 10, 40, 10, 50, 90, 20, 60]);
 //! ```
 
+use std::any::Any;
 use std::collections::VecDeque;
-use std::sync::{Condvar, Mutex};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
 
 /// A boxed job, borrowing at most `'scope` data.
 type Job<'scope> = Box<dyn FnOnce() + Send + 'scope>;
+
+/// A captured panic payload from a worker job, returned by
+/// [`Pool::try_scoped`]. [`message`](Panicked::message) extracts the
+/// conventional `&str` / `String` payload; [`into_payload`](Panicked::into_payload)
+/// recovers the raw payload for re-raising.
+pub struct Panicked {
+    payload: Box<dyn Any + Send + 'static>,
+}
+
+impl Panicked {
+    /// The panic message, when the payload is the conventional `&str` or
+    /// `String` produced by `panic!`; a fixed fallback otherwise.
+    pub fn message(&self) -> &str {
+        if let Some(s) = self.payload.downcast_ref::<&str>() {
+            s
+        } else if let Some(s) = self.payload.downcast_ref::<String>() {
+            s
+        } else {
+            "worker panicked with a non-string payload"
+        }
+    }
+
+    /// The raw panic payload, suitable for [`std::panic::resume_unwind`].
+    pub fn into_payload(self) -> Box<dyn Any + Send + 'static> {
+        self.payload
+    }
+}
+
+impl std::fmt::Debug for Panicked {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Panicked")
+            .field("message", &self.message())
+            .finish()
+    }
+}
 
 /// The shared work queue one `scoped` call drains.
 struct Queue<'scope> {
@@ -56,6 +106,11 @@ struct QueueState<'scope> {
     /// Set once the scope closure has returned: no further jobs will
     /// arrive, workers exit when the deque is empty.
     closed: bool,
+    /// Set by the first panicking job: queued jobs are cancelled (dropped
+    /// without running) and workers exit as soon as they observe it.
+    cancelled: bool,
+    /// The first captured panic payload.
+    panic: Option<Box<dyn Any + Send + 'static>>,
 }
 
 impl<'scope> Queue<'scope> {
@@ -64,33 +119,75 @@ impl<'scope> Queue<'scope> {
             state: Mutex::new(QueueState {
                 jobs: VecDeque::new(),
                 closed: false,
+                cancelled: false,
+                panic: None,
             }),
             ready: Condvar::new(),
         }
     }
 
+    /// Locks the queue state, recovering from poisoning: the state is a
+    /// plain deque plus flags and stays consistent across a panic at any
+    /// point, so a poisoned lock carries no torn invariants. Without this,
+    /// one panicking job would poison the mutex and every later
+    /// `lock().unwrap()` would panic inside `std::thread::scope`,
+    /// escalating to a process abort.
+    fn lock(&self) -> MutexGuard<'_, QueueState<'scope>> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     fn push(&self, job: Job<'scope>) {
-        self.state.lock().unwrap().jobs.push_back(job);
+        let mut st = self.lock();
+        // After a panic the scope is doomed: accepting more work would
+        // only waste it, so new jobs are dropped immediately.
+        if !st.cancelled {
+            st.jobs.push_back(job);
+        }
+        drop(st);
         self.ready.notify_one();
     }
 
     fn close(&self) {
-        self.state.lock().unwrap().closed = true;
+        self.lock().closed = true;
         self.ready.notify_all();
     }
 
-    /// Blocks for the next job; `None` once the queue is closed and empty.
+    /// Blocks for the next job; `None` once the queue is closed and empty
+    /// or the scope was cancelled by a panicking job.
     fn pop(&self) -> Option<Job<'scope>> {
-        let mut st = self.state.lock().unwrap();
+        let mut st = self.lock();
         loop {
+            if st.cancelled {
+                // Cancelled: drop the backlog so buffered closures (and
+                // whatever they captured) are released promptly.
+                st.jobs.clear();
+                return None;
+            }
             if let Some(job) = st.jobs.pop_front() {
                 return Some(job);
             }
             if st.closed {
                 return None;
             }
-            st = self.ready.wait(st).unwrap();
+            st = self.ready.wait(st).unwrap_or_else(PoisonError::into_inner);
         }
+    }
+
+    /// Records a job panic: the first payload wins, every queued job is
+    /// cancelled, and all waiting workers are woken so they can exit.
+    fn record_panic(&self, payload: Box<dyn Any + Send + 'static>) {
+        let mut st = self.lock();
+        st.cancelled = true;
+        if st.panic.is_none() {
+            st.panic = Some(payload);
+        }
+        st.jobs.clear();
+        drop(st);
+        self.ready.notify_all();
+    }
+
+    fn take_panic(&self) -> Option<Box<dyn Any + Send + 'static>> {
+        self.lock().panic.take()
     }
 }
 
@@ -119,25 +216,59 @@ impl Pool {
     /// data can be submitted; returns only after every submitted job has
     /// finished (workers are joined), then yields `f`'s result.
     ///
-    /// A panicking job aborts the scope: the panic is resurfaced on the
-    /// calling thread once the remaining workers have been joined.
+    /// A panicking job aborts the scope: remaining queued jobs are
+    /// cancelled and the first panic is resurfaced on the calling thread
+    /// once the workers have been joined. Use [`try_scoped`](Self::try_scoped)
+    /// to receive the panic as a value instead.
     pub fn scoped<'scope, F, R>(&mut self, f: F) -> R
     where
         F: FnOnce(&Scope<'_, 'scope>) -> R,
     {
+        match self.try_scoped(f) {
+            Ok(r) => r,
+            Err(panicked) => resume_unwind(panicked.into_payload()),
+        }
+    }
+
+    /// Like [`scoped`](Self::scoped), but a worker panic is returned as
+    /// [`Err(Panicked)`](Panicked) instead of being resumed — the calling
+    /// thread keeps control and can surface the failure as a typed error.
+    ///
+    /// On `Err`, every job either ran to completion or was cancelled
+    /// before starting; no job is left half-run mid-queue and the pool is
+    /// fully reusable (workers are per-call, nothing stays poisoned).
+    pub fn try_scoped<'scope, F, R>(&mut self, f: F) -> Result<R, Panicked>
+    where
+        F: FnOnce(&Scope<'_, 'scope>) -> R,
+    {
         let queue = Queue::new();
-        std::thread::scope(|s| {
+        let result = std::thread::scope(|s| {
             for _ in 0..self.threads {
                 s.spawn(|| {
                     while let Some(job) = queue.pop() {
-                        job();
+                        // The job is consumed either way; shared state it
+                        // touched is the caller's responsibility (the
+                        // engine's shards own disjoint data), which is
+                        // what the AssertUnwindSafe asserts. The failpoint
+                        // sits *inside* the catch so an injected panic is
+                        // indistinguishable from a real job panic.
+                        if let Err(payload) = catch_unwind(AssertUnwindSafe(|| {
+                            failpoints::fail_point!("scoped_threadpool::run_job");
+                            job();
+                        })) {
+                            queue.record_panic(payload);
+                        }
                     }
                 });
             }
             let result = f(&Scope { queue: &queue });
             queue.close();
             result
-        })
+        });
+        match queue.take_panic() {
+            Some(payload) => Err(Panicked { payload }),
+            None => Ok(result),
+        }
     }
 }
 
@@ -149,7 +280,8 @@ pub struct Scope<'pool, 'scope> {
 impl<'pool, 'scope> Scope<'pool, 'scope> {
     /// Queues `f` to run on a worker thread. The job may borrow anything
     /// that outlives the enclosing [`Pool::scoped`] call; it is guaranteed
-    /// to have finished by the time `scoped` returns.
+    /// to have finished (or been cancelled after an earlier job's panic)
+    /// by the time `scoped` returns.
     pub fn execute<F>(&self, f: F)
     where
         F: FnOnce() + Send + 'scope,
@@ -241,5 +373,71 @@ mod tests {
             });
         }
         assert_eq!(total.load(Ordering::Relaxed), 20);
+    }
+
+    #[test]
+    fn try_scoped_surfaces_the_first_panic_as_a_value() {
+        let mut pool = Pool::new(2);
+        let err = pool
+            .try_scoped(|scope| {
+                scope.execute(|| panic!("shard 3 exploded"));
+            })
+            .unwrap_err();
+        assert_eq!(err.message(), "shard 3 exploded");
+    }
+
+    #[test]
+    fn panic_cancels_queued_jobs_and_pool_stays_usable() {
+        let ran = AtomicUsize::new(0);
+        // One worker: the first job panics; the many queued jobs behind it
+        // must be cancelled, not run.
+        let mut pool = Pool::new(1);
+        let err = pool.try_scoped(|scope| {
+            scope.execute(|| panic!("first"));
+            for _ in 0..100 {
+                let ran = &ran;
+                scope.execute(move || {
+                    ran.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        assert!(err.is_err());
+        assert_eq!(ran.load(Ordering::Relaxed), 0, "queued jobs were cancelled");
+
+        // The queue mutex was not poisoned: the same pool runs fresh work.
+        let after = AtomicUsize::new(0);
+        pool.scoped(|scope| {
+            for _ in 0..8 {
+                let after = &after;
+                scope.execute(move || {
+                    after.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(after.load(Ordering::Relaxed), 8);
+    }
+
+    #[test]
+    fn scoped_resumes_the_panic_on_the_caller() {
+        let mut pool = Pool::new(2);
+        let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.scoped(|scope| {
+                scope.execute(|| panic!("resurfaced"));
+            });
+        }));
+        let payload = caught.unwrap_err();
+        assert_eq!(payload.downcast_ref::<&str>(), Some(&"resurfaced"));
+    }
+
+    #[test]
+    fn non_string_payloads_get_a_fallback_message() {
+        let mut pool = Pool::new(1);
+        let err = pool
+            .try_scoped(|scope| {
+                scope.execute(|| std::panic::panic_any(42_u32));
+            })
+            .unwrap_err();
+        assert_eq!(err.message(), "worker panicked with a non-string payload");
+        assert_eq!(err.into_payload().downcast_ref::<u32>(), Some(&42));
     }
 }
