@@ -1,0 +1,104 @@
+//! Telemetry-overhead smoke bench: times the BENCH_grid SGB-Any grid row
+//! bare (no telemetry handle), with an explicitly installed **disabled**
+//! handle, and with a live profiling sink, and fails the run when the
+//! disabled handle — the production default — costs more than the
+//! budgeted overhead. This is the subsystem's zero-cost invariant as a
+//! gate: when no profile sink is installed, the hot path must cost
+//! nothing measurable. Results are written as JSON so the repository
+//! accumulates the trajectory alongside the other BENCH_*.json reports.
+//!
+//! ```text
+//! telemetry [--scale f] [--out path]
+//! ```
+//!
+//! The gate is `< 2%` relative overhead on the best-of-k minima, with an
+//! absolute noise floor (2 ms) so tiny CI-scale runs — where one
+//! scheduler hiccup dwarfs the whole join — cannot flake the build.
+//! It mirrors the `governor` bin's gate exactly.
+
+use std::process::ExitCode;
+
+use sgb_bench::experiments::telemetry_overhead;
+use sgb_bench::report::{parse_bench_cli, Report};
+
+/// Relative overhead budget for the disabled handle, percent.
+const MAX_OVERHEAD_PCT: f64 = 2.0;
+/// Absolute noise floor, seconds: deltas under this never fail the gate.
+const NOISE_FLOOR_SECS: f64 = 0.002;
+
+/// Default output path: `<repo root>/BENCH_telemetry.json`.
+fn default_out() -> String {
+    concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_telemetry.json").to_owned()
+}
+
+fn main() -> ExitCode {
+    let cli = match parse_bench_cli(std::env::args().skip(1)) {
+        Ok(cli) if cli.positional.is_none() => cli,
+        _ => {
+            eprintln!("usage: telemetry [--scale f] [--out path]");
+            return ExitCode::FAILURE;
+        }
+    };
+    let out_path = cli.out.unwrap_or_else(default_out);
+
+    let rows = telemetry_overhead(cli.scale);
+
+    eprintln!("# telemetry checks: bare vs off-handle vs live sink, SGB-Any grid");
+    eprintln!(
+        "{:<8} {:<6} {:>12} {:>12} {:>10} {:>12} {:>10} {:>8}",
+        "n", "eps", "bare_s", "off_s", "off_over", "on_s", "on_over", "groups"
+    );
+    for r in &rows {
+        eprintln!(
+            "{:<8} {:<6} {:>12.6} {:>12.6} {:>9.2}% {:>12.6} {:>9.2}% {:>8}",
+            r.n,
+            r.eps,
+            r.baseline_secs,
+            r.disabled_secs,
+            r.disabled_overhead_pct,
+            r.enabled_secs,
+            r.enabled_overhead_pct,
+            r.groups
+        );
+    }
+
+    let mut report = Report::new("telemetry_overhead").field_num("scale", cli.scale);
+    for r in &rows {
+        report.push_row(format!(
+            "{{\"n\": {}, \"eps\": {}, \"baseline_secs\": {:.6}, \
+             \"disabled_secs\": {:.6}, \"disabled_overhead_pct\": {:.3}, \
+             \"enabled_secs\": {:.6}, \"enabled_overhead_pct\": {:.3}, \
+             \"groups\": {}}}",
+            r.n,
+            r.eps,
+            r.baseline_secs,
+            r.disabled_secs,
+            r.disabled_overhead_pct,
+            r.enabled_secs,
+            r.enabled_overhead_pct,
+            r.groups
+        ));
+    }
+    if let Err(e) = report.write(&out_path) {
+        eprintln!("{e}");
+        return ExitCode::FAILURE;
+    }
+
+    let mut ok = true;
+    for r in &rows {
+        let delta = r.disabled_secs - r.baseline_secs;
+        if r.disabled_overhead_pct > MAX_OVERHEAD_PCT && delta > NOISE_FLOOR_SECS {
+            eprintln!(
+                "telemetry overhead gate FAILED at n={}: {:+.2}% (> {MAX_OVERHEAD_PCT}%, \
+                 delta {delta:.6}s > noise floor {NOISE_FLOOR_SECS}s)",
+                r.n, r.disabled_overhead_pct
+            );
+            ok = false;
+        }
+    }
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -13,6 +13,7 @@ use sgb_core::{
 use sgb_datagen::{clustered_points, clustered_points_with_centers, CheckinConfig, TpchConfig};
 use sgb_geom::{Metric, Point};
 use sgb_relation::Database;
+use sgb_telemetry::{Counter, Telemetry};
 
 use crate::queries;
 use crate::timing::time;
@@ -988,6 +989,95 @@ pub fn governor_overhead(scale: f64) -> Vec<GovernorBenchRow> {
             ungoverned_secs: best_run,
             governed_secs: best_try,
             overhead_pct,
+            groups,
+        });
+    }
+    rows
+}
+
+/// One row of the telemetry-overhead smoke bench (`telemetry` bin).
+#[derive(Clone, Debug)]
+pub struct TelemetryBenchRow {
+    /// Input cardinality.
+    pub n: usize,
+    /// Similarity threshold ε.
+    pub eps: f64,
+    /// Best-of-k seconds with no telemetry handle (the production
+    /// default: the disabled `Telemetry::off()` sink).
+    pub baseline_secs: f64,
+    /// Best-of-k seconds with an explicitly installed disabled handle —
+    /// the path the zero-cost invariant gates.
+    pub disabled_secs: f64,
+    /// Best-of-k seconds with a live profiling sink installed.
+    pub enabled_secs: f64,
+    /// `(disabled − baseline) / baseline`, percent (can be negative:
+    /// both are minima of noisy samples). **Gated** `< 2%`.
+    pub disabled_overhead_pct: f64,
+    /// `(enabled − baseline) / baseline`, percent. Reported, not gated:
+    /// a live sink is allowed to pay for its clock reads.
+    pub enabled_overhead_pct: f64,
+    /// Answer groups — identical on all three paths by assertion.
+    pub groups: usize,
+}
+
+/// Measures what the telemetry instrumentation costs when **no profile
+/// sink is installed** — the subsystem's zero-cost invariant — on the
+/// BENCH_grid SGB-Any grid row (ε-grid join, L2, the Figure 9 workload).
+/// Three variants alternate within each round, so clock drift and cache
+/// warmth hit all equally: the bare `run` (no handle), `run` with an
+/// explicit [`Telemetry::off`] handle (the gated disabled path), and
+/// `run` with a live [`Telemetry::new`] sink (reported for context).
+/// Every round asserts all three return the same grouping. The
+/// `telemetry` bin gates on the disabled overhead, mirroring the
+/// `governor` gate.
+pub fn telemetry_overhead(scale: f64) -> Vec<TelemetryBenchRow> {
+    // More rounds than the governor bench: the gated pair are *identical*
+    // code paths (a disabled handle is the default), so any reported
+    // overhead is scheduler noise and best-of-k needs more draws to
+    // converge on the true minimum.
+    const ROUNDS: usize = 21;
+    let mut rows = Vec::new();
+    for base in [10_000usize, 20_000] {
+        let n = scaled(base, scale);
+        let points = fig9_workload(n, 0x0F19);
+        let eps = 0.3;
+        let query = SgbQuery::any(eps)
+            .metric(Metric::L2)
+            .algorithm(Algorithm::Grid);
+        let mut best_base = f64::INFINITY;
+        let mut best_off = f64::INFINITY;
+        let mut best_on = f64::INFINITY;
+        let mut groups = 0;
+        for _ in 0..ROUNDS {
+            let (out, secs) = time(|| query.run(&points));
+            best_base = best_base.min(secs);
+            groups = out.num_groups();
+            let off_query = query.clone().telemetry(Telemetry::off());
+            let (off_out, secs) = time(|| off_query.run(&points));
+            best_off = best_off.min(secs);
+            assert_eq!(out, off_out, "disabled-telemetry run disagrees at n={n}");
+            let on_query = query.clone().telemetry(Telemetry::new());
+            let (on_out, secs) = time(|| on_query.run(&points));
+            best_on = best_on.min(secs);
+            assert_eq!(out, on_out, "profiled run disagrees at n={n}");
+            let profile = on_out.profile().expect("a live sink records a profile");
+            assert_eq!(profile.counter(Counter::Groups), groups as u64);
+        }
+        let disabled_overhead_pct = (best_off - best_base) / best_base * 100.0;
+        let enabled_overhead_pct = (best_on - best_base) / best_base * 100.0;
+        eprintln!(
+            "#   telemetry sgb-any grid n={n}: bare {best_base:.6}s, \
+             off {best_off:.6}s ({disabled_overhead_pct:+.2}%), \
+             on {best_on:.6}s ({enabled_overhead_pct:+.2}%)"
+        );
+        rows.push(TelemetryBenchRow {
+            n,
+            eps,
+            baseline_secs: best_base,
+            disabled_secs: best_off,
+            enabled_secs: best_on,
+            disabled_overhead_pct,
+            enabled_overhead_pct,
             groups,
         });
     }

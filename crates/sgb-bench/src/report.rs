@@ -361,6 +361,7 @@ mod tests {
             "BENCH_mqo.json",
             "BENCH_incremental.json",
             "BENCH_governor.json",
+            "BENCH_telemetry.json",
         ] {
             let path = format!("{}/../../{name}", env!("CARGO_MANIFEST_DIR"));
             let text = std::fs::read_to_string(&path)

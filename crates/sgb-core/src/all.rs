@@ -177,6 +177,10 @@ struct Engine<const D: usize> {
     /// Traversal scratch for the R-tree range probe, so the indexed hot
     /// loop allocates nothing per point.
     scratch_stack: Vec<usize>,
+    /// Candidate/overlap groups surfaced by `FindCloseGroups` across every
+    /// processed point — the SGB-All analogue of a join's candidate-pair
+    /// count, surfaced through the query telemetry.
+    candidates_tested: u64,
 }
 
 impl<const D: usize> Engine<D> {
@@ -207,6 +211,7 @@ impl<const D: usize> Engine<D> {
             scratch_overlaps: Vec::new(),
             scratch_window: Vec::new(),
             scratch_stack: Vec::new(),
+            candidates_tested: 0,
         }
     }
 
@@ -225,6 +230,7 @@ impl<const D: usize> Engine<D> {
         overlaps.clear();
 
         self.find_close_groups(&p, &mut candidates, &mut overlaps);
+        self.candidates_tested += (candidates.len() + overlaps.len()) as u64;
         self.process_grouping(ext, p, &candidates);
         if self.cfg.overlap != OverlapAction::JoinAny && !overlaps.is_empty() {
             self.process_overlap(&p, &overlaps);
@@ -642,6 +648,14 @@ impl<const D: usize> SgbAll<D> {
     /// recursion re-groups the deferred set).
     pub fn num_groups(&self) -> usize {
         self.engine.live_groups
+    }
+
+    /// Candidate/overlap groups inspected so far by `FindCloseGroups` —
+    /// the main-pass candidate count surfaced through query telemetry
+    /// (FORM-NEW-GROUP sub-passes are not included; read before
+    /// [`SgbAll::finish`]).
+    pub(crate) fn candidates_tested(&self) -> u64 {
+        self.engine.candidates_tested
     }
 
     /// Processes one point (Procedure 1 body), returning its record id.

@@ -32,7 +32,8 @@
 
 use sgb_dsu::DisjointSet;
 use sgb_geom::Point;
-use sgb_spatial::{Grid, RTree};
+use sgb_spatial::{Grid, JoinTally, RTree};
+use sgb_telemetry::{Counter, Phase, Telemetry};
 
 use crate::governor::{Pacer, QueryGovernor, SgbError, CHECK_INTERVAL};
 use crate::{cost, AnyAlgorithm, Grouping, RecordId, SgbAnyConfig};
@@ -222,6 +223,18 @@ impl<const D: usize> SgbAny<D> {
 ///   from its later endpoint), which reproduces the streaming components
 ///   bit for bit.
 pub fn sgb_any<const D: usize>(points: &[Point<D>], cfg: &SgbAnyConfig) -> Grouping {
+    sgb_any_with(points, cfg, &Telemetry::off())
+}
+
+/// [`sgb_any`] with a telemetry handle: the query surface routes through
+/// this so profiles capture index-build time and join candidate counts;
+/// the public one-shot passes [`Telemetry::off`], keeping its hot path
+/// byte-identical to the pre-telemetry engine.
+pub(crate) fn sgb_any_with<const D: usize>(
+    points: &[Point<D>],
+    cfg: &SgbAnyConfig,
+    tel: &Telemetry,
+) -> Grouping {
     let (algorithm, _) = cost::resolve_any(cfg.algorithm, points.len(), D);
     for p in points {
         assert!(p.is_finite(), "points must have finite coordinates");
@@ -229,25 +242,36 @@ pub fn sgb_any<const D: usize>(points: &[Point<D>], cfg: &SgbAnyConfig) -> Group
     match algorithm {
         AnyAlgorithm::AllPairs => {
             let mut op = SgbAny::new(cfg.clone().algorithm(AnyAlgorithm::AllPairs));
+            let join = tel.phase(Phase::Join);
             for p in points {
                 op.push(*p);
             }
-            op.finish()
+            drop(join);
+            let n = points.len() as u64;
+            tel.add(Counter::CandidatePairs, n * n.saturating_sub(1) / 2);
+            let merge = tel.phase(Phase::Merge);
+            let grouping = op.finish();
+            drop(merge);
+            grouping
         }
         AnyAlgorithm::Indexed => {
+            let build = tel.phase(Phase::IndexBuild);
             let index: RTree<D, RecordId> = RTree::from_points(
                 cfg.rtree_fanout,
                 points.iter().enumerate().map(|(i, p)| (*p, i)),
             );
-            sgb_any_tree(points, cfg, &index)
+            drop(build);
+            sgb_any_tree(points, cfg, &index, tel)
         }
         AnyAlgorithm::Grid => {
+            let build = tel.phase(Phase::IndexBuild);
             let index: Grid<D, RecordId> = Grid::from_points(
                 Grid::<D, RecordId>::side_for_eps(cfg.eps),
                 points.iter().enumerate().map(|(i, p)| (*p, i)),
             );
+            drop(build);
             let (threads, _) = cost::threads_for_any(AnyAlgorithm::Grid, cfg.threads, points.len());
-            sgb_any_grid(points, cfg, &index, threads)
+            sgb_any_grid(points, cfg, &index, threads, tel)
         }
         AnyAlgorithm::Auto => unreachable!("resolve_any never returns Auto"),
     }
@@ -262,19 +286,32 @@ pub(crate) fn sgb_any_tree<const D: usize>(
     points: &[Point<D>],
     cfg: &SgbAnyConfig,
     index: &RTree<D, RecordId>,
+    tel: &Telemetry,
 ) -> Grouping {
     let (eps, metric) = (cfg.eps, cfg.metric);
     let mut dsu = DisjointSet::with_len(points.len());
     let mut stack = Vec::new();
+    // Branchless candidate tally: `enabled` folds to 0 when the handle is
+    // off, so the probe loop stays a register add away from its
+    // pre-telemetry codegen.
+    let enabled = tel.is_enabled() as u64;
+    let mut visited: u64 = 0;
+    let join = tel.phase(Phase::Join);
     for (i, p) in points.iter().enumerate() {
         index.for_each_within(p, eps, metric, &mut stack, |_, &j| {
+            visited += enabled;
             if j < i && metric.within(p, &points[j], eps) {
                 dsu.union(i, j);
             }
         });
     }
+    drop(join);
+    tel.add(Counter::CandidatePairs, visited);
+    let merge = tel.phase(Phase::Merge);
+    let groups = dsu.into_groups();
+    drop(merge);
     Grouping {
-        groups: dsu.into_groups(),
+        groups,
         eliminated: Vec::new(),
     }
 }
@@ -294,13 +331,42 @@ pub(crate) fn sgb_any_grid<const D: usize>(
     cfg: &SgbAnyConfig,
     index: &Grid<D, RecordId>,
     threads: usize,
+    tel: &Telemetry,
 ) -> Grouping {
     let (eps, metric) = (cfg.eps, cfg.metric);
     let mut dsu = DisjointSet::with_len(points.len());
     if threads <= 1 {
-        index.for_each_pair_within(eps, metric, |&i, &j| {
-            dsu.union(i, j);
-        });
+        if tel.is_enabled() {
+            // Tallied twin of the plain join (same cell enumeration, same
+            // verified pair set — asserted in `sgb_spatial::grid`); the
+            // pace budget is unbounded so no governance check ever fires.
+            let mut tally = JoinTally::default();
+            let join = tel.phase(Phase::Join);
+            index
+                .try_for_each_pair_within_sharded_paced_tallied(
+                    eps,
+                    metric,
+                    0,
+                    1,
+                    |&i, &j| {
+                        dsu.union(i, j);
+                    },
+                    usize::MAX,
+                    || Ok::<(), std::convert::Infallible>(()),
+                    Some(&mut tally),
+                )
+                .unwrap();
+            drop(join);
+            join_tally_into(tel, &tally);
+        } else {
+            // Disabled handle: the pre-telemetry join, untouched — the
+            // `telemetry` bench gate pins this path at < 2% overhead.
+            let join = tel.phase(Phase::Join);
+            index.for_each_pair_within(eps, metric, |&i, &j| {
+                dsu.union(i, j);
+            });
+            drop(join);
+        }
     } else {
         // Sharded join: cells are partitioned by hashed key across
         // `threads` shards and every close pair belongs to exactly
@@ -312,24 +378,70 @@ pub(crate) fn sgb_any_grid<const D: usize>(
         let mut forests: Vec<DisjointSet> = (0..threads)
             .map(|_| DisjointSet::with_len(points.len()))
             .collect();
+        let enabled = tel.is_enabled();
+        let mut tallies: Vec<JoinTally> = vec![JoinTally::default(); threads];
+        let join = tel.phase(Phase::Join);
         let mut pool = scoped_threadpool::Pool::new(threads as u32);
         pool.scoped(|scope| {
-            for (shard, forest) in forests.iter_mut().enumerate() {
+            for (shard, (forest, tally)) in forests.iter_mut().zip(tallies.iter_mut()).enumerate() {
                 scope.execute(move || {
-                    index.for_each_pair_within_sharded(eps, metric, shard, threads, |&i, &j| {
-                        forest.union(i, j);
-                    });
+                    if enabled {
+                        index
+                            .try_for_each_pair_within_sharded_paced_tallied(
+                                eps,
+                                metric,
+                                shard,
+                                threads,
+                                |&i, &j| {
+                                    forest.union(i, j);
+                                },
+                                usize::MAX,
+                                || Ok::<(), std::convert::Infallible>(()),
+                                Some(tally),
+                            )
+                            .unwrap();
+                    } else {
+                        index.for_each_pair_within_sharded(
+                            eps,
+                            metric,
+                            shard,
+                            threads,
+                            |&i, &j| {
+                                forest.union(i, j);
+                            },
+                        );
+                    }
                 });
             }
         });
+        drop(join);
+        if enabled {
+            let mut total = JoinTally::default();
+            for tally in &tallies {
+                total.merge(tally);
+            }
+            join_tally_into(tel, &total);
+            tel.record_max(Counter::ThreadsUsed, threads as u64);
+        }
+        let merge = tel.phase(Phase::Merge);
         for forest in &forests {
             dsu.merge_from(forest);
         }
+        drop(merge);
     }
+    let merge = tel.phase(Phase::Merge);
+    let groups = dsu.into_groups();
+    drop(merge);
     Grouping {
-        groups: dsu.into_groups(),
+        groups,
         eliminated: Vec::new(),
     }
+}
+
+/// Records a grid join's tally into the profile counters.
+fn join_tally_into(tel: &Telemetry, tally: &JoinTally) {
+    tel.add(Counter::CandidatePairs, tally.candidate_pairs);
+    tel.add(Counter::CellsProbed, tally.cells_visited);
 }
 
 /// Governed twin of the all-pairs scan: the direct pairwise loop with a
@@ -340,11 +452,13 @@ pub(crate) fn try_sgb_any_all_pairs<const D: usize>(
     points: &[Point<D>],
     cfg: &SgbAnyConfig,
     governor: &QueryGovernor,
+    tel: &Telemetry,
 ) -> Result<Grouping, SgbError> {
     governor.check()?;
     let (eps, metric) = (cfg.eps, cfg.metric);
     let mut dsu = DisjointSet::with_len(points.len());
     let mut pacer = Pacer::new();
+    let join = tel.phase(Phase::Join);
     for i in 0..points.len() {
         for j in 0..i {
             pacer.tick(governor)?;
@@ -353,8 +467,22 @@ pub(crate) fn try_sgb_any_all_pairs<const D: usize>(
             }
         }
     }
+    drop(join);
+    // The scan's work is exactly the pair triangle, and the pacer polls
+    // the governor once per CHECK_INTERVAL ticks (plus the entry check)
+    // — both are arithmetic, so the governed loop needs no inline tally.
+    let n = points.len() as u64;
+    let pairs = n * n.saturating_sub(1) / 2;
+    tel.add(Counter::CandidatePairs, pairs);
+    tel.add(
+        Counter::GovernorPolls,
+        1 + pairs / u64::from(CHECK_INTERVAL),
+    );
+    let merge = tel.phase(Phase::Merge);
+    let groups = dsu.into_groups();
+    drop(merge);
     Ok(Grouping {
-        groups: dsu.into_groups(),
+        groups,
         eliminated: Vec::new(),
     })
 }
@@ -367,22 +495,36 @@ pub(crate) fn try_sgb_any_tree<const D: usize>(
     cfg: &SgbAnyConfig,
     index: &RTree<D, RecordId>,
     governor: &QueryGovernor,
+    tel: &Telemetry,
 ) -> Result<Grouping, SgbError> {
     governor.check()?;
     let (eps, metric) = (cfg.eps, cfg.metric);
     let mut dsu = DisjointSet::with_len(points.len());
     let mut stack = Vec::new();
     let mut pacer = Pacer::new();
+    let enabled = tel.is_enabled() as u64;
+    let mut visited: u64 = 0;
+    let join = tel.phase(Phase::Join);
     for (i, p) in points.iter().enumerate() {
         pacer.tick(governor)?;
         index.for_each_within(p, eps, metric, &mut stack, |_, &j| {
+            visited += enabled;
             if j < i && metric.within(p, &points[j], eps) {
                 dsu.union(i, j);
             }
         });
     }
+    drop(join);
+    tel.add(Counter::CandidatePairs, visited);
+    tel.add(
+        Counter::GovernorPolls,
+        1 + points.len() as u64 / u64::from(CHECK_INTERVAL),
+    );
+    let merge = tel.phase(Phase::Merge);
+    let groups = dsu.into_groups();
+    drop(merge);
     Ok(Grouping {
-        groups: dsu.into_groups(),
+        groups,
         eliminated: Vec::new(),
     })
 }
@@ -405,37 +547,73 @@ pub(crate) fn try_sgb_any_grid<const D: usize>(
     index: &Grid<D, RecordId>,
     threads: usize,
     governor: &QueryGovernor,
+    tel: &Telemetry,
 ) -> Result<Grouping, SgbError> {
     failpoints::fail_point!("sgb_core::any::grid_join", |_| Err(SgbError::Cancelled));
     governor.check()?;
     let (eps, metric) = (cfg.eps, cfg.metric);
     let mut dsu = DisjointSet::with_len(points.len());
     if threads <= 1 {
-        // Paced join: the per-pair visitor stays infallible (identical
-        // codegen to the ungoverned join); the deadline/cancellation
-        // check runs at cell-row boundaries, every ≤ CHECK_INTERVAL
-        // candidate comparisons.
-        index.try_for_each_pair_within_paced(
-            eps,
-            metric,
-            |&i, &j| {
-                dsu.union(i, j);
-            },
-            CHECK_INTERVAL as usize,
-            || governor.check(),
-        )?;
+        if tel.is_enabled() {
+            // Tallied twin of the paced join: same pair enumeration, same
+            // governance cadence, plus the candidate/cell tally and a
+            // poll count from the pace closure (which runs once per
+            // ≤ CHECK_INTERVAL candidates — off the hot loop).
+            let mut tally = JoinTally::default();
+            let mut polls: u64 = 1;
+            let join = tel.phase(Phase::Join);
+            let verdict = index.try_for_each_pair_within_sharded_paced_tallied(
+                eps,
+                metric,
+                0,
+                1,
+                |&i, &j| {
+                    dsu.union(i, j);
+                },
+                CHECK_INTERVAL as usize,
+                || {
+                    polls += 1;
+                    governor.check()
+                },
+                Some(&mut tally),
+            );
+            drop(join);
+            join_tally_into(tel, &tally);
+            tel.add(Counter::GovernorPolls, polls);
+            verdict?;
+        } else {
+            // Paced join: the per-pair visitor stays infallible (identical
+            // codegen to the ungoverned join); the deadline/cancellation
+            // check runs at cell-row boundaries, every ≤ CHECK_INTERVAL
+            // candidate comparisons.
+            index.try_for_each_pair_within_paced(
+                eps,
+                metric,
+                |&i, &j| {
+                    dsu.union(i, j);
+                },
+                CHECK_INTERVAL as usize,
+                || governor.check(),
+            )?;
+        }
     } else {
         let mut forests: Vec<DisjointSet> = (0..threads)
             .map(|_| DisjointSet::with_len(points.len()))
             .collect();
         let mut verdicts: Vec<Result<(), SgbError>> = vec![Ok(()); threads];
+        let enabled = tel.is_enabled();
+        let mut tallies: Vec<JoinTally> = vec![JoinTally::default(); threads];
+        let join = tel.phase(Phase::Join);
         let mut pool = scoped_threadpool::Pool::new(threads as u32);
         pool.try_scoped(|scope| {
-            for (shard, (forest, verdict)) in
-                forests.iter_mut().zip(verdicts.iter_mut()).enumerate()
+            for (shard, ((forest, verdict), tally)) in forests
+                .iter_mut()
+                .zip(verdicts.iter_mut())
+                .zip(tallies.iter_mut())
+                .enumerate()
             {
                 scope.execute(move || {
-                    *verdict = index.try_for_each_pair_within_sharded_paced(
+                    *verdict = index.try_for_each_pair_within_sharded_paced_tallied(
                         eps,
                         metric,
                         shard,
@@ -445,6 +623,7 @@ pub(crate) fn try_sgb_any_grid<const D: usize>(
                         },
                         CHECK_INTERVAL as usize,
                         || governor.check(),
+                        if enabled { Some(tally) } else { None },
                     );
                 });
             }
@@ -452,15 +631,33 @@ pub(crate) fn try_sgb_any_grid<const D: usize>(
         .map_err(|p| SgbError::WorkerPanicked {
             message: p.message().to_owned(),
         })?;
+        drop(join);
+        if enabled {
+            let mut total = JoinTally::default();
+            for tally in &tallies {
+                total.merge(tally);
+            }
+            join_tally_into(tel, &total);
+            tel.add(
+                Counter::GovernorPolls,
+                threads as u64 + total.candidate_pairs / u64::from(CHECK_INTERVAL),
+            );
+            tel.record_max(Counter::ThreadsUsed, threads as u64);
+        }
         for verdict in verdicts {
             verdict?;
         }
+        let merge = tel.phase(Phase::Merge);
         for forest in &forests {
             dsu.try_merge_from(forest, || governor.check())?;
         }
+        drop(merge);
     }
+    let merge = tel.phase(Phase::Merge);
+    let groups = dsu.into_groups();
+    drop(merge);
     Ok(Grouping {
-        groups: dsu.into_groups(),
+        groups,
         eliminated: Vec::new(),
     })
 }
@@ -762,18 +959,19 @@ mod tests {
             cfg.rtree_fanout,
             points.iter().enumerate().map(|(i, p)| (*p, i)),
         );
+        let off = Telemetry::off();
         let expected = sgb_any(&points, &cfg.clone().algorithm(AnyAlgorithm::AllPairs));
         assert_eq!(
-            try_sgb_any_all_pairs(&points, &cfg, &free).unwrap(),
+            try_sgb_any_all_pairs(&points, &cfg, &free, &off).unwrap(),
             expected
         );
         assert_eq!(
-            try_sgb_any_tree(&points, &cfg, &tree, &free).unwrap(),
+            try_sgb_any_tree(&points, &cfg, &tree, &free, &off).unwrap(),
             expected
         );
         for threads in [1, 3] {
             assert_eq!(
-                try_sgb_any_grid(&points, &cfg, &grid, threads, &free).unwrap(),
+                try_sgb_any_grid(&points, &cfg, &grid, threads, &free, &off).unwrap(),
                 expected,
                 "threads={threads}"
             );
@@ -782,19 +980,119 @@ mod tests {
         let expired =
             QueryGovernor::unrestricted().with_deadline(std::time::Duration::from_secs(0));
         assert!(matches!(
-            try_sgb_any_all_pairs(&points, &cfg, &expired),
+            try_sgb_any_all_pairs(&points, &cfg, &expired, &off),
             Err(SgbError::Timeout)
         ));
         assert!(matches!(
-            try_sgb_any_tree(&points, &cfg, &tree, &expired),
+            try_sgb_any_tree(&points, &cfg, &tree, &expired, &off),
             Err(SgbError::Timeout)
         ));
         for threads in [1, 3] {
             assert!(matches!(
-                try_sgb_any_grid(&points, &cfg, &grid, threads, &expired),
+                try_sgb_any_grid(&points, &cfg, &grid, threads, &expired, &off),
                 Err(SgbError::Timeout)
             ));
         }
+    }
+
+    #[test]
+    fn telemetry_tallies_do_not_change_groupings_and_count_candidates() {
+        let mut state: u64 = 0x7E1E;
+        let mut next = || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) as f64) / (u32::MAX as f64)
+        };
+        let points: Vec<Point<2>> = (0..600)
+            .map(|_| Point::new([next() * 10.0, next() * 10.0]))
+            .collect();
+        let eps = 0.3;
+        let free = QueryGovernor::unrestricted();
+        let cfg = SgbAnyConfig::new(eps);
+        let grid: Grid<2, RecordId> = Grid::from_points(
+            Grid::<2, RecordId>::side_for_eps(eps),
+            points.iter().enumerate().map(|(i, p)| (*p, i)),
+        );
+        let tree: RTree<2, RecordId> = RTree::from_points(
+            cfg.rtree_fanout,
+            points.iter().enumerate().map(|(i, p)| (*p, i)),
+        );
+        let expected = sgb_any(&points, &cfg.clone().algorithm(AnyAlgorithm::AllPairs));
+        // Connecting the components needs at least a spanning forest of
+        // ε-edges, so every join must have visited at least this many
+        // candidates (a component of size k can have as few as k-1 edges).
+        let accepted = (points.len() - expected.groups.len()) as u64;
+
+        // Every instrumented path groups identically to its silent twin
+        // and reports at least as many candidates as the ε-graph's edge
+        // lower bound, with the join/merge phases timed.
+        let runs: Vec<(&str, Grouping, Telemetry)> = vec![
+            {
+                let tel = Telemetry::new();
+                let out = sgb_any_with(&points, &cfg, &tel);
+                ("auto", out, tel)
+            },
+            {
+                let tel = Telemetry::new();
+                let out = sgb_any_tree(&points, &cfg, &tree, &tel);
+                ("tree", out, tel)
+            },
+            {
+                let tel = Telemetry::new();
+                let out = sgb_any_grid(&points, &cfg, &grid, 3, &tel);
+                ("grid3", out, tel)
+            },
+            {
+                let tel = Telemetry::new();
+                let out = try_sgb_any_all_pairs(&points, &cfg, &free, &tel).unwrap();
+                ("try-allpairs", out, tel)
+            },
+            {
+                let tel = Telemetry::new();
+                let out = try_sgb_any_tree(&points, &cfg, &tree, &free, &tel).unwrap();
+                ("try-tree", out, tel)
+            },
+            {
+                let tel = Telemetry::new();
+                let out = try_sgb_any_grid(&points, &cfg, &grid, 1, &free, &tel).unwrap();
+                ("try-grid1", out, tel)
+            },
+            {
+                let tel = Telemetry::new();
+                let out = try_sgb_any_grid(&points, &cfg, &grid, 3, &free, &tel).unwrap();
+                ("try-grid3", out, tel)
+            },
+        ];
+        for (label, out, tel) in runs {
+            assert_eq!(out, expected, "{label}");
+            let profile = tel.profile().unwrap();
+            assert!(
+                profile.counter(Counter::CandidatePairs) >= accepted,
+                "{label}: candidates {} < accepted pairs {accepted}",
+                profile.counter(Counter::CandidatePairs)
+            );
+            assert!(profile.phase_nanos(Phase::Join) > 0, "{label}: join timed");
+            assert!(
+                profile.phase_nanos(Phase::Merge) > 0,
+                "{label}: merge timed"
+            );
+        }
+
+        // Sharded grid tallies agree with the sequential tally.
+        let (seq, par) = (Telemetry::new(), Telemetry::new());
+        try_sgb_any_grid(&points, &cfg, &grid, 1, &free, &seq).unwrap();
+        try_sgb_any_grid(&points, &cfg, &grid, 3, &free, &par).unwrap();
+        let (seq, par) = (seq.profile().unwrap(), par.profile().unwrap());
+        assert_eq!(
+            seq.counter(Counter::CandidatePairs),
+            par.counter(Counter::CandidatePairs)
+        );
+        assert_eq!(
+            seq.counter(Counter::CellsProbed),
+            par.counter(Counter::CellsProbed)
+        );
+        assert_eq!(par.counter(Counter::ThreadsUsed), 3);
     }
 
     #[test]

@@ -195,22 +195,31 @@ pub fn estimated_grid_bytes(n: usize, dims: usize) -> usize {
         .saturating_add(1024)
 }
 
-/// [`resolve_any_with_cache`] under a [`QueryGovernor`] memory budget.
-///
-/// The budget governs the one structure whose footprint scales with the
-/// *table* — the ε-grid (the R-tree variants are an explicit opt-in, and
-/// SGB-Around's center index scales with the query's centers). When the
-/// estimated grid would not fit:
-///
-/// * `Auto` **degrades gracefully** to the streaming all-pairs scan —
-///   O(1) extra memory, bit-identical output — and the returned reason
-///   records the fallback for `EXPLAIN`;
-/// * an **explicitly configured** `Grid` fails with
-///   [`SgbError::BudgetExceeded`] instead of silently running something
-///   else.
-///
-/// A usable *cached* grid is admitted regardless of the budget: it already
-/// exists, so running against it allocates nothing new.
+/// Rough upper bound on the resident bytes of a bulk-loaded point R-tree
+/// over `n` points in `dims` dimensions: each leaf entry stores an MBR
+/// (two corners) plus a payload id, internal nodes add roughly one entry
+/// per fan-out'd child, doubled for arena slack. Like
+/// [`estimated_grid_bytes`], deliberately pessimistic — admission control,
+/// not an allocator.
+pub fn estimated_rtree_bytes(n: usize, dims: usize) -> usize {
+    n.saturating_mul(dims * 16 + 16)
+        .saturating_mul(2)
+        .saturating_add(1024)
+}
+
+/// Rough upper bound on the resident bytes of an SGB-Around center index
+/// over `centers` centers in `dims` dimensions. The R-tree bound is the
+/// pessimistic superset of both concrete center indexes (the grid stores
+/// one corner per entry where the tree stores two), so one bound prices
+/// either structure.
+pub fn estimated_center_index_bytes(centers: usize, dims: usize) -> usize {
+    estimated_rtree_bytes(centers, dims)
+}
+
+/// [`resolve_any_with_cache`] under a [`QueryGovernor`] memory budget,
+/// pricing only the ε-grid. Kept for callers without an R-tree cache
+/// probe; equivalent to [`resolve_any_governed_full`] with
+/// `cached_tree = false`.
 pub fn resolve_any_governed(
     configured_algo: AnyAlgorithm,
     n: usize,
@@ -218,12 +227,41 @@ pub fn resolve_any_governed(
     cached_grid: bool,
     governor: &QueryGovernor,
 ) -> Result<(AnyAlgorithm, String), SgbError> {
+    resolve_any_governed_full(configured_algo, n, dims, cached_grid, false, governor)
+}
+
+/// [`resolve_any_with_cache`] under a [`QueryGovernor`] memory budget.
+///
+/// The budget governs the structures whose footprint scales with the
+/// *table*: the ε-grid ([`estimated_grid_bytes`]) and the bulk-loaded
+/// point R-tree ([`estimated_rtree_bytes`]). When the estimated build
+/// would not fit:
+///
+/// * `Auto` **degrades gracefully** to the streaming all-pairs scan —
+///   O(1) extra memory, bit-identical output — and the returned reason
+///   records the fallback for `EXPLAIN`;
+/// * an **explicitly configured** `Grid` or `Indexed` fails with
+///   [`SgbError::BudgetExceeded`] instead of silently running something
+///   else.
+///
+/// A usable *cached* structure (`cached_grid` / `cached_tree`) is admitted
+/// regardless of the budget: it already exists, so running against it
+/// allocates nothing new.
+pub fn resolve_any_governed_full(
+    configured_algo: AnyAlgorithm,
+    n: usize,
+    dims: usize,
+    cached_grid: bool,
+    cached_tree: bool,
+    governor: &QueryGovernor,
+) -> Result<(AnyAlgorithm, String), SgbError> {
     let (resolved, reason) = resolve_any_with_cache(configured_algo, n, dims, cached_grid);
-    if resolved != AnyAlgorithm::Grid || cached_grid {
-        return Ok((resolved, reason));
-    }
-    let needed = estimated_grid_bytes(n, dims);
-    if governor.fits_budget(needed) {
+    let (needed, cached, structure) = match resolved {
+        AnyAlgorithm::Grid => (estimated_grid_bytes(n, dims), cached_grid, "eps-grid"),
+        AnyAlgorithm::Indexed => (estimated_rtree_bytes(n, dims), cached_tree, "point R-tree"),
+        _ => return Ok((resolved, reason)),
+    };
+    if cached || governor.fits_budget(needed) {
         return Ok((resolved, reason));
     }
     let budget = governor
@@ -233,8 +271,49 @@ pub fn resolve_any_governed(
         Ok((
             AnyAlgorithm::AllPairs,
             format!(
-                "auto: eps-grid needs ~{needed} B, over the {budget} B memory budget; \
+                "auto: {structure} needs ~{needed} B, over the {budget} B memory budget; \
                  degraded to the streaming all-pairs scan"
+            ),
+        ))
+    } else {
+        Err(SgbError::BudgetExceeded { needed, budget })
+    }
+}
+
+/// [`resolve_around_with_cache`] under a [`QueryGovernor`] memory budget:
+/// the SGB-Around center-index builds (R-tree or center grid, priced by
+/// [`estimated_center_index_bytes`]) are admitted only when they fit.
+/// A cached index matching the resolved algorithm is admitted regardless —
+/// it already exists. On a miss, `Auto` degrades to the O(1)-memory brute
+/// center scan (bit-identical output; the reason records the fallback),
+/// while an explicitly configured index path fails with
+/// [`SgbError::BudgetExceeded`].
+pub fn resolve_around_governed(
+    configured_algo: AroundAlgorithm,
+    centers: usize,
+    dims: usize,
+    cached: Option<AroundAlgorithm>,
+    governor: &QueryGovernor,
+) -> Result<(AroundAlgorithm, String), SgbError> {
+    let (resolved, reason) = resolve_around_with_cache(configured_algo, centers, dims, cached);
+    if !matches!(resolved, AroundAlgorithm::Indexed | AroundAlgorithm::Grid)
+        || cached == Some(resolved)
+    {
+        return Ok((resolved, reason));
+    }
+    let needed = estimated_center_index_bytes(centers, dims);
+    if governor.fits_budget(needed) {
+        return Ok((resolved, reason));
+    }
+    let budget = governor
+        .memory_budget()
+        .expect("a budget exists whenever fits_budget is false");
+    if configured_algo == AroundAlgorithm::Auto {
+        Ok((
+            AroundAlgorithm::BruteForce,
+            format!(
+                "auto: center index needs ~{needed} B, over the {budget} B memory budget; \
+                 degraded to the brute center scan"
             ),
         ))
     } else {
@@ -593,6 +672,65 @@ mod tests {
         // The estimate grows with n and never panics at the extremes.
         assert!(estimated_grid_bytes(10, 2) < estimated_grid_bytes(10_000, 2));
         let _ = estimated_grid_bytes(usize::MAX, 3);
+    }
+
+    #[test]
+    fn governed_resolution_prices_the_rtree_build() {
+        let tight = QueryGovernor::unrestricted().with_memory_budget(64);
+        // Auto in high dimensions resolves to the R-tree, which no longer
+        // fits: degrade to the all-pairs scan with the fallback recorded.
+        let (algo, reason) =
+            resolve_any_governed_full(AnyAlgorithm::Auto, 10_000, 5, false, false, &tight).unwrap();
+        assert_eq!(algo, AnyAlgorithm::AllPairs);
+        assert!(reason.contains("memory budget"), "{reason}");
+        assert!(reason.contains("R-tree"), "{reason}");
+        // An explicit Indexed request fails loudly instead.
+        let err = resolve_any_governed_full(AnyAlgorithm::Indexed, 10_000, 2, false, false, &tight)
+            .unwrap_err();
+        assert!(matches!(err, SgbError::BudgetExceeded { .. }), "{err:?}");
+        // A cached tree allocates nothing new, so it is always admitted.
+        let (algo, _) =
+            resolve_any_governed_full(AnyAlgorithm::Indexed, 10_000, 2, false, true, &tight)
+                .unwrap();
+        assert_eq!(algo, AnyAlgorithm::Indexed);
+        // The estimate grows with n and never panics at the extremes.
+        assert!(estimated_rtree_bytes(10, 2) < estimated_rtree_bytes(10_000, 2));
+        let _ = estimated_rtree_bytes(usize::MAX, 3);
+    }
+
+    #[test]
+    fn governed_resolution_prices_the_center_index_build() {
+        let unrestricted = QueryGovernor::unrestricted();
+        // No budget: identical to the cache-aware resolver.
+        assert_eq!(
+            resolve_around_governed(AroundAlgorithm::Auto, 4096, 2, None, &unrestricted).unwrap(),
+            resolve_around_with_cache(AroundAlgorithm::Auto, 4096, 2, None)
+        );
+        let tight = QueryGovernor::unrestricted().with_memory_budget(64);
+        // Auto above the brute crossover degrades back to the brute scan…
+        let (algo, reason) =
+            resolve_around_governed(AroundAlgorithm::Auto, 4096, 2, None, &tight).unwrap();
+        assert_eq!(algo, AroundAlgorithm::BruteForce);
+        assert!(reason.contains("memory budget"), "{reason}");
+        // …while explicit index requests fail loudly.
+        for explicit in [AroundAlgorithm::Indexed, AroundAlgorithm::Grid] {
+            let err = resolve_around_governed(explicit, 4096, 2, None, &tight).unwrap_err();
+            assert!(matches!(err, SgbError::BudgetExceeded { .. }), "{err:?}");
+        }
+        // A cached index of the resolved shape is admitted under any budget.
+        let (algo, _) = resolve_around_governed(
+            AroundAlgorithm::Grid,
+            4096,
+            2,
+            Some(AroundAlgorithm::Grid),
+            &tight,
+        )
+        .unwrap();
+        assert_eq!(algo, AroundAlgorithm::Grid);
+        // The brute scan needs no structure, so it always passes.
+        let (algo, _) =
+            resolve_around_governed(AroundAlgorithm::BruteForce, 4096, 2, None, &tight).unwrap();
+        assert_eq!(algo, AroundAlgorithm::BruteForce);
     }
 
     #[test]

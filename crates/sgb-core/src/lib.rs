@@ -100,3 +100,7 @@ pub use query::{SgbQuery, SgbStream};
 
 // Re-export the geometry vocabulary so downstream users need one import.
 pub use sgb_geom::{Metric, Point, Point2, Point3, Rect};
+
+// Re-export the telemetry vocabulary: queries accept a `Telemetry` handle
+// and groupings carry the resulting `QueryProfile`.
+pub use sgb_telemetry::{Counter, Phase, QueryProfile, Telemetry};

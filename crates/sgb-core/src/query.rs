@@ -52,16 +52,19 @@ use std::sync::Arc;
 use sgb_geom::{Metric, Point};
 use sgb_spatial::{Grid, RTree};
 
+use sgb_telemetry::{Counter, Phase, QueryProfile, Telemetry};
+
 use crate::any::{
-    sgb_any_grid, sgb_any_tree, try_sgb_any_all_pairs, try_sgb_any_grid, try_sgb_any_tree,
+    sgb_any_grid, sgb_any_tree, sgb_any_with, try_sgb_any_all_pairs, try_sgb_any_grid,
+    try_sgb_any_tree,
 };
 use crate::around::{AroundGrouping, CenterIndex};
 use crate::cache::SgbCache;
 use crate::governor::{QueryGovernor, SgbError};
 use crate::grouping::Grouping as FlatGrouping;
 use crate::{
-    cost, sgb_all, sgb_any, Algorithm, AnyAlgorithm, AroundAlgorithm, OverlapAction, RecordId,
-    SgbAll, SgbAllConfig, SgbAny, SgbAnyConfig, SgbAround, SgbAroundConfig,
+    cost, Algorithm, AnyAlgorithm, AroundAlgorithm, OverlapAction, RecordId, SgbAll, SgbAllConfig,
+    SgbAny, SgbAnyConfig, SgbAround, SgbAroundConfig,
 };
 
 /// The unified answer set of the SGB operator family (Definition 3, plus
@@ -96,6 +99,12 @@ pub struct Grouping {
     algorithm: Algorithm,
     selection: String,
     threads: usize,
+    /// The telemetry handle the producing run recorded into — off unless
+    /// the query had one installed ([`SgbQuery::telemetry`]). Carrying the
+    /// live handle (not a snapshot) lets later stages — the relational
+    /// aggregation, for one — keep recording into the same profile; a
+    /// snapshot is materialised on demand by [`Grouping::profile`].
+    telemetry: Telemetry,
 }
 
 impl Grouping {
@@ -111,6 +120,7 @@ impl Grouping {
             algorithm: Algorithm::AllPairs,
             selection: "empty input, nothing ran".to_owned(),
             threads: 1,
+            telemetry: Telemetry::off(),
         }
     }
 
@@ -128,6 +138,7 @@ impl Grouping {
             algorithm,
             selection,
             threads,
+            telemetry: Telemetry::off(),
         }
     }
 
@@ -150,6 +161,7 @@ impl Grouping {
             algorithm,
             selection,
             threads,
+            telemetry: Telemetry::off(),
         }
     }
 
@@ -238,6 +250,30 @@ impl Grouping {
         self.threads
     }
 
+    /// The query profile recorded while producing this grouping — phase
+    /// timings (validate, index build, join, merge, …) and engine counters
+    /// (candidate pairs, cells probed, cache hits, …). `None` unless the
+    /// query installed a telemetry handle ([`SgbQuery::telemetry`]). Like
+    /// [`threads`](Self::threads), this is execution metadata, excluded
+    /// from equality.
+    #[must_use]
+    pub fn profile(&self) -> Option<QueryProfile> {
+        self.telemetry.profile()
+    }
+
+    /// The live telemetry handle behind [`profile`](Self::profile), so
+    /// downstream stages (relational aggregation) can keep recording into
+    /// the same sink after the operator returns.
+    #[must_use]
+    pub fn telemetry_handle(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// Installs the telemetry handle this grouping reports through.
+    pub(crate) fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
+    }
+
     /// Maps each record id in `0..n` to the index of the answer group
     /// containing it (`None` for eliminated, outlier, or never-seen
     /// records).
@@ -281,6 +317,7 @@ impl Grouping {
             algorithm: self.algorithm,
             selection: self.selection.clone(),
             threads: self.threads,
+            telemetry: self.telemetry.clone(),
         }
     }
 
@@ -393,6 +430,11 @@ pub struct SgbQuery<const D: usize> {
     hull_threshold: usize,
     rtree_fanout: usize,
     threads: usize,
+    /// Profile sink for this query's executions ([`Telemetry::off`] by
+    /// default — zero-cost; see the `telemetry` bench gate). Excluded from
+    /// [`fingerprint`](Self::fingerprint): observing a query never changes
+    /// its cache identity.
+    telemetry: Telemetry,
 }
 
 /// The default R-tree fan-out of a freshly-built query (shared with the
@@ -410,6 +452,7 @@ impl<const D: usize> SgbQuery<D> {
             hull_threshold: 16,
             rtree_fanout: DEFAULT_RTREE_FANOUT,
             threads: 0,
+            telemetry: Telemetry::off(),
         }
     }
 
@@ -501,6 +544,19 @@ impl<const D: usize> SgbQuery<D> {
     #[must_use]
     pub fn threads(mut self, threads: usize) -> Self {
         self.threads = threads;
+        self
+    }
+
+    /// Installs a telemetry handle: every subsequent execution records its
+    /// phase timings and engine counters into the handle's shared profile,
+    /// and the produced [`Grouping`] reports it via
+    /// [`Grouping::profile`]. The default is [`Telemetry::off`], under
+    /// which every instrumentation site is a no-op branch — the hot paths
+    /// stay byte-for-byte on their pre-telemetry codegen (pinned by the
+    /// `telemetry` bench gate at < 2% overhead).
+    #[must_use]
+    pub fn telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
         self
     }
 
@@ -656,6 +712,32 @@ impl<const D: usize> SgbQuery<D> {
 
     // -- execution -----------------------------------------------------------
 
+    /// Records the result-shape counters and attaches this query's
+    /// telemetry handle to an outgoing grouping (cache-stored copies keep
+    /// their inert handle — attachment happens on the value returned to
+    /// the caller, after any `store_result`).
+    fn finalize(&self, mut out: Grouping) -> Grouping {
+        if self.telemetry.is_enabled() {
+            self.telemetry.add(Counter::Groups, out.groups.len() as u64);
+            self.telemetry
+                .add(Counter::Outliers, out.outliers.len() as u64);
+            self.telemetry
+                .record_max(Counter::ThreadsUsed, out.threads as u64);
+        }
+        out.telemetry = self.telemetry.clone();
+        out
+    }
+
+    /// Approximate SGB-Around candidate count: the brute scan compares
+    /// every point against every center; the indexed paths probe the
+    /// center index once per point.
+    fn around_candidates(&self, n: usize, centers: usize, resolved: AroundAlgorithm) -> u64 {
+        match resolved {
+            AroundAlgorithm::BruteForce => n as u64 * centers as u64,
+            _ => n as u64,
+        }
+    }
+
     /// Runs the query over a complete point set.
     ///
     /// [`Algorithm::Auto`] resolves from the true cardinality (or center
@@ -664,15 +746,18 @@ impl<const D: usize> SgbQuery<D> {
     /// resolution — every concrete path is bit-identical.
     #[must_use]
     pub fn run(&self, points: &[Point<D>]) -> Grouping {
+        let tel = &self.telemetry;
         // One shared contract for the whole family: non-finite coordinates
         // are rejected here, at the query boundary, so every operator arm
         // (including the parallel bulk paths, which bypass the streaming
         // `push` asserts) fails identically and early.
+        let validate = tel.phase(Phase::Validate);
         assert!(
             points.iter().all(Point::is_finite),
             "points must have finite coordinates"
         );
-        match &self.op {
+        drop(validate);
+        let out = match &self.op {
             OpSpec::All { eps, overlap } => {
                 let (resolved, reason) =
                     cost::resolve_all(self.algorithm.for_all(), points.len(), D);
@@ -680,14 +765,29 @@ impl<const D: usize> SgbQuery<D> {
                 // SGB-All's arbitration is arrival-order sensitive.
                 let (threads, _) = cost::threads_for_all();
                 let cfg = self.all_config(*eps, *overlap).algorithm(resolved);
-                Grouping::from_flat(sgb_all(points, &cfg), resolved.into(), reason, threads)
+                let join = tel.phase(Phase::Join);
+                let mut op = SgbAll::new(cfg);
+                for p in points {
+                    op.push(*p);
+                }
+                drop(join);
+                tel.add(Counter::CandidatePairs, op.candidates_tested());
+                let merge = tel.phase(Phase::Merge);
+                let flat = op.finish();
+                drop(merge);
+                Grouping::from_flat(flat, resolved.into(), reason, threads)
             }
             OpSpec::Any { eps } => {
                 let base = self.algorithm.for_any().expect("validated by algorithm()");
                 let (resolved, reason) = cost::resolve_any(base, points.len(), D);
                 let (threads, _) = cost::threads_for_any(resolved, self.threads, points.len());
                 let cfg = self.any_config(*eps).algorithm(resolved).threads(threads);
-                Grouping::from_flat(sgb_any(points, &cfg), resolved.into(), reason, threads)
+                Grouping::from_flat(
+                    sgb_any_with(points, &cfg, tel),
+                    resolved.into(),
+                    reason,
+                    threads,
+                )
             }
             OpSpec::Around {
                 centers,
@@ -706,11 +806,25 @@ impl<const D: usize> SgbQuery<D> {
                 // Feed the engine directly instead of going through
                 // `sgb_around(&cfg)`, which would clone the center list a
                 // second time per run. Same code path, bit-identical.
+                // `SgbAround::new` builds the center index eagerly, so it
+                // is the index-build phase; the extend is the assign join.
+                let build = tel.phase(Phase::IndexBuild);
                 let mut op = SgbAround::new(cfg);
+                drop(build);
+                let join = tel.phase(Phase::Join);
                 op.extend_from_slice(points);
-                Grouping::from_around(op.finish(), resolved.into(), reason, threads)
+                drop(join);
+                tel.add(
+                    Counter::CandidatePairs,
+                    self.around_candidates(points.len(), centers.len(), resolved),
+                );
+                let merge = tel.phase(Phase::Merge);
+                let around = op.finish();
+                drop(merge);
+                Grouping::from_around(around, resolved.into(), reason, threads)
             }
-        }
+        };
+        self.finalize(out)
     }
 
     /// Runs the query through a shared-work [`SgbCache`], reusing spatial
@@ -743,11 +857,19 @@ impl<const D: usize> SgbQuery<D> {
     /// Like [`run`](Self::run) if any point has a non-finite coordinate.
     #[must_use]
     pub fn run_cached(&self, points: &[Point<D>], cache: &SgbCache<D>, version: u64) -> Grouping {
+        let tel = &self.telemetry;
+        let validate = tel.phase(Phase::Validate);
         cache.validate_once(version, points);
+        drop(validate);
+        let probe = tel.phase(Phase::CacheProbe);
         let fingerprint = self.fingerprint();
-        if let Some(hit) = cache.lookup_result(version, &fingerprint) {
-            return hit;
+        let hit = cache.lookup_result(version, &fingerprint);
+        drop(probe);
+        if let Some(hit) = hit {
+            tel.add(Counter::CacheHits, 1);
+            return self.finalize(hit);
         }
+        tel.add(Counter::CacheMisses, 1);
         let out = match &self.op {
             // SGB-All builds no reusable structure (its index tracks the
             // *live groups*, which exist only mid-run), so only the whole
@@ -757,7 +879,17 @@ impl<const D: usize> SgbQuery<D> {
                     cost::resolve_all(self.algorithm.for_all(), points.len(), D);
                 let (threads, _) = cost::threads_for_all();
                 let cfg = self.all_config(*eps, *overlap).algorithm(resolved);
-                Grouping::from_flat(sgb_all(points, &cfg), resolved.into(), reason, threads)
+                let join = tel.phase(Phase::Join);
+                let mut op = SgbAll::new(cfg);
+                for p in points {
+                    op.push(*p);
+                }
+                drop(join);
+                tel.add(Counter::CandidatePairs, op.candidates_tested());
+                let merge = tel.phase(Phase::Merge);
+                let flat = op.finish();
+                drop(merge);
+                Grouping::from_flat(flat, resolved.into(), reason, threads)
             }
             OpSpec::Any { eps } => {
                 let base = self.algorithm.for_any().expect("validated by algorithm()");
@@ -770,21 +902,25 @@ impl<const D: usize> SgbQuery<D> {
                 let (threads, _) = cost::threads_for_any(resolved, self.threads, points.len());
                 let cfg = self.any_config(*eps).algorithm(resolved).threads(threads);
                 let flat = match resolved {
-                    AnyAlgorithm::AllPairs => sgb_any(points, &cfg),
+                    AnyAlgorithm::AllPairs => sgb_any_with(points, &cfg, tel),
                     AnyAlgorithm::Indexed => {
+                        let build = tel.phase(Phase::IndexBuild);
                         let index = cache.get_or_build_tree(version, self.rtree_fanout, || {
                             RTree::from_points(
                                 self.rtree_fanout,
                                 points.iter().enumerate().map(|(i, p)| (*p, i)),
                             )
                         });
-                        sgb_any_tree(points, &cfg, &index)
+                        drop(build);
+                        sgb_any_tree(points, &cfg, &index, tel)
                     }
                     AnyAlgorithm::Grid => {
+                        let build = tel.phase(Phase::IndexBuild);
                         let index = cache.get_or_build_grid(version, *eps, |side| {
                             Grid::from_points(side, points.iter().enumerate().map(|(i, p)| (*p, i)))
                         });
-                        sgb_any_grid(points, &cfg, &index, threads)
+                        drop(build);
+                        sgb_any_grid(points, &cfg, &index, threads, tel)
                     }
                     AnyAlgorithm::Auto => unreachable!("resolve_any never returns Auto"),
                 };
@@ -809,6 +945,7 @@ impl<const D: usize> SgbQuery<D> {
                     .around_config(centers.clone(), *max_radius)
                     .algorithm(resolved)
                     .threads(threads);
+                let build = tel.phase(Phase::IndexBuild);
                 let index = match resolved {
                     // The brute scan has no structure worth caching.
                     AroundAlgorithm::BruteForce => Arc::new(CenterIndex::Scan),
@@ -818,12 +955,22 @@ impl<const D: usize> SgbQuery<D> {
                     AroundAlgorithm::Auto => unreachable!("resolve_around never returns Auto"),
                 };
                 let mut op = SgbAround::with_center_index(cfg, index);
+                drop(build);
+                let join = tel.phase(Phase::Join);
                 op.extend_from_slice(points);
-                Grouping::from_around(op.finish(), resolved.into(), reason, threads)
+                drop(join);
+                tel.add(
+                    Counter::CandidatePairs,
+                    self.around_candidates(points.len(), centers.len(), resolved),
+                );
+                let merge = tel.phase(Phase::Merge);
+                let around = op.finish();
+                drop(merge);
+                Grouping::from_around(around, resolved.into(), reason, threads)
             }
         };
         cache.store_result(version, fingerprint, out.clone());
-        out
+        self.finalize(out)
     }
 
     /// Governed twin of [`run`](Self::run): executes under a
@@ -853,11 +1000,15 @@ impl<const D: usize> SgbQuery<D> {
         points: &[Point<D>],
         governor: &QueryGovernor,
     ) -> Result<Grouping, SgbError> {
-        if !points.iter().all(Point::is_finite) {
+        let tel = &self.telemetry;
+        let validate = tel.phase(Phase::Validate);
+        let finite = points.iter().all(Point::is_finite);
+        drop(validate);
+        if !finite {
             return Err(SgbError::NonFinite);
         }
         governor.check()?;
-        match &self.op {
+        let out = match &self.op {
             OpSpec::All { eps, overlap } => {
                 let (resolved, reason) =
                     cost::resolve_all(self.algorithm.for_all(), points.len(), D);
@@ -866,44 +1017,53 @@ impl<const D: usize> SgbQuery<D> {
                 // Stream pushes exactly like `sgb_all`, with a governor
                 // check per tuple: each push does a candidate search, so
                 // the check is cheap relative to the work it bounds.
+                let join = tel.phase(Phase::Join);
                 let mut op = SgbAll::new(cfg);
                 for p in points {
                     governor.check()?;
                     op.push(*p);
                 }
-                Ok(Grouping::from_flat(
-                    op.finish(),
-                    resolved.into(),
-                    reason,
-                    threads,
-                ))
+                drop(join);
+                tel.add(Counter::CandidatePairs, op.candidates_tested());
+                tel.add(Counter::GovernorPolls, 1 + points.len() as u64);
+                let merge = tel.phase(Phase::Merge);
+                let flat = op.finish();
+                drop(merge);
+                Grouping::from_flat(flat, resolved.into(), reason, threads)
             }
             OpSpec::Any { eps } => {
                 let base = self.algorithm.for_any().expect("validated by algorithm()");
                 let (resolved, reason) =
-                    cost::resolve_any_governed(base, points.len(), D, false, governor)?;
+                    cost::resolve_any_governed_full(base, points.len(), D, false, false, governor)?;
                 let (threads, _) = cost::threads_for_any(resolved, self.threads, points.len());
                 let cfg = self.any_config(*eps).algorithm(resolved).threads(threads);
                 let flat = match resolved {
-                    AnyAlgorithm::AllPairs => try_sgb_any_all_pairs(points, &cfg, governor)?,
+                    AnyAlgorithm::AllPairs => try_sgb_any_all_pairs(points, &cfg, governor, tel)?,
                     AnyAlgorithm::Indexed => {
+                        // `resolve_any_governed_full` admitted the build.
+                        let build = tel.phase(Phase::IndexBuild);
                         let index: RTree<D, RecordId> = RTree::from_points(
                             self.rtree_fanout,
                             points.iter().enumerate().map(|(i, p)| (*p, i)),
                         );
-                        try_sgb_any_tree(points, &cfg, &index, governor)?
+                        drop(build);
+                        try_sgb_any_tree(points, &cfg, &index, governor, tel)?
                     }
                     AnyAlgorithm::Grid => {
-                        // `resolve_any_governed` admitted the build.
+                        // `resolve_any_governed_full` admitted the build.
+                        let build = tel.phase(Phase::IndexBuild);
                         let index: Grid<D, RecordId> = Grid::from_points(
                             Grid::<D, RecordId>::side_for_eps(*eps),
                             points.iter().enumerate().map(|(i, p)| (*p, i)),
                         );
-                        try_sgb_any_grid(points, &cfg, &index, threads, governor)?
+                        drop(build);
+                        try_sgb_any_grid(points, &cfg, &index, threads, governor, tel)?
                     }
-                    AnyAlgorithm::Auto => unreachable!("resolve_any_governed never returns Auto"),
+                    AnyAlgorithm::Auto => {
+                        unreachable!("resolve_any_governed_full never returns Auto")
+                    }
                 };
-                Ok(Grouping::from_flat(flat, resolved.into(), reason, threads))
+                Grouping::from_flat(flat, resolved.into(), reason, threads)
             }
             OpSpec::Around {
                 centers,
@@ -913,22 +1073,30 @@ impl<const D: usize> SgbQuery<D> {
                     .algorithm
                     .for_around()
                     .expect("validated by algorithm()");
-                let (resolved, reason) = cost::resolve_around(base, centers.len(), D);
+                let (resolved, reason) =
+                    cost::resolve_around_governed(base, centers.len(), D, None, governor)?;
                 let (threads, _) = cost::threads_for_around(self.threads, points.len());
                 let cfg = self
                     .around_config(centers.clone(), *max_radius)
                     .algorithm(resolved)
                     .threads(threads);
+                let build = tel.phase(Phase::IndexBuild);
                 let mut op = SgbAround::new(cfg);
+                drop(build);
+                let join = tel.phase(Phase::Join);
                 op.try_extend_from_slice(points, governor)?;
-                Ok(Grouping::from_around(
-                    op.finish(),
-                    resolved.into(),
-                    reason,
-                    threads,
-                ))
+                drop(join);
+                tel.add(
+                    Counter::CandidatePairs,
+                    self.around_candidates(points.len(), centers.len(), resolved),
+                );
+                let merge = tel.phase(Phase::Merge);
+                let around = op.finish();
+                drop(merge);
+                Grouping::from_around(around, resolved.into(), reason, threads)
             }
-        }
+        };
+        Ok(self.finalize(out))
     }
 
     /// Governed twin of [`run_cached`](Self::run_cached): the shared-work
@@ -948,59 +1116,84 @@ impl<const D: usize> SgbQuery<D> {
         version: u64,
         governor: &QueryGovernor,
     ) -> Result<Grouping, SgbError> {
-        if !points.iter().all(Point::is_finite) {
+        let tel = &self.telemetry;
+        let validate = tel.phase(Phase::Validate);
+        let finite = points.iter().all(Point::is_finite);
+        if finite {
+            // Already validated above, so this only memoizes the version's
+            // validation flag (and can never hit the panicking path).
+            cache.validate_once(version, points);
+        }
+        drop(validate);
+        if !finite {
             return Err(SgbError::NonFinite);
         }
-        // Already validated above, so this only memoizes the version's
-        // validation flag (and can never hit the panicking path).
-        cache.validate_once(version, points);
         governor.check()?;
+        let probe = tel.phase(Phase::CacheProbe);
         let fingerprint = self.fingerprint();
-        if let Some(hit) = cache.lookup_result(version, &fingerprint) {
-            return Ok(hit);
+        let hit = cache.lookup_result(version, &fingerprint);
+        drop(probe);
+        if let Some(hit) = hit {
+            tel.add(Counter::CacheHits, 1);
+            return Ok(self.finalize(hit));
         }
+        tel.add(Counter::CacheMisses, 1);
         let out = match &self.op {
             OpSpec::All { eps, overlap } => {
                 let (resolved, reason) =
                     cost::resolve_all(self.algorithm.for_all(), points.len(), D);
                 let (threads, _) = cost::threads_for_all();
                 let cfg = self.all_config(*eps, *overlap).algorithm(resolved);
+                let join = tel.phase(Phase::Join);
                 let mut op = SgbAll::new(cfg);
                 for p in points {
                     governor.check()?;
                     op.push(*p);
                 }
-                Grouping::from_flat(op.finish(), resolved.into(), reason, threads)
+                drop(join);
+                tel.add(Counter::CandidatePairs, op.candidates_tested());
+                tel.add(Counter::GovernorPolls, 1 + points.len() as u64);
+                let merge = tel.phase(Phase::Merge);
+                let flat = op.finish();
+                drop(merge);
+                Grouping::from_flat(flat, resolved.into(), reason, threads)
             }
             OpSpec::Any { eps } => {
                 let base = self.algorithm.for_any().expect("validated by algorithm()");
-                let (resolved, reason) = cost::resolve_any_governed(
+                let (resolved, reason) = cost::resolve_any_governed_full(
                     base,
                     points.len(),
                     D,
                     cache.has_usable_grid(version, *eps),
+                    cache.has_tree(version, self.rtree_fanout),
                     governor,
                 )?;
                 let (threads, _) = cost::threads_for_any(resolved, self.threads, points.len());
                 let cfg = self.any_config(*eps).algorithm(resolved).threads(threads);
                 let flat = match resolved {
-                    AnyAlgorithm::AllPairs => try_sgb_any_all_pairs(points, &cfg, governor)?,
+                    AnyAlgorithm::AllPairs => try_sgb_any_all_pairs(points, &cfg, governor, tel)?,
                     AnyAlgorithm::Indexed => {
+                        let build = tel.phase(Phase::IndexBuild);
                         let index = cache.get_or_build_tree(version, self.rtree_fanout, || {
                             RTree::from_points(
                                 self.rtree_fanout,
                                 points.iter().enumerate().map(|(i, p)| (*p, i)),
                             )
                         });
-                        try_sgb_any_tree(points, &cfg, &index, governor)?
+                        drop(build);
+                        try_sgb_any_tree(points, &cfg, &index, governor, tel)?
                     }
                     AnyAlgorithm::Grid => {
+                        let build = tel.phase(Phase::IndexBuild);
                         let index = cache.get_or_build_grid(version, *eps, |side| {
                             Grid::from_points(side, points.iter().enumerate().map(|(i, p)| (*p, i)))
                         });
-                        try_sgb_any_grid(points, &cfg, &index, threads, governor)?
+                        drop(build);
+                        try_sgb_any_grid(points, &cfg, &index, threads, governor, tel)?
                     }
-                    AnyAlgorithm::Auto => unreachable!("resolve_any_governed never returns Auto"),
+                    AnyAlgorithm::Auto => {
+                        unreachable!("resolve_any_governed_full never returns Auto")
+                    }
                 };
                 Grouping::from_flat(flat, resolved.into(), reason, threads)
             }
@@ -1012,31 +1205,45 @@ impl<const D: usize> SgbQuery<D> {
                     .algorithm
                     .for_around()
                     .expect("validated by algorithm()");
-                let (resolved, reason) = cost::resolve_around_with_cache(
+                let (resolved, reason) = cost::resolve_around_governed(
                     base,
                     centers.len(),
                     D,
                     cache.cached_center_algorithm(centers, self.rtree_fanout),
-                );
+                    governor,
+                )?;
                 let (threads, _) = cost::threads_for_around(self.threads, points.len());
                 let cfg = self
                     .around_config(centers.clone(), *max_radius)
                     .algorithm(resolved)
                     .threads(threads);
+                let build = tel.phase(Phase::IndexBuild);
                 let index = match resolved {
                     AroundAlgorithm::BruteForce => Arc::new(CenterIndex::Scan),
                     AroundAlgorithm::Indexed | AroundAlgorithm::Grid => {
                         cache.get_or_build_center_index(resolved, self.rtree_fanout, centers)
                     }
-                    AroundAlgorithm::Auto => unreachable!("resolve_around never returns Auto"),
+                    AroundAlgorithm::Auto => {
+                        unreachable!("resolve_around_governed never returns Auto")
+                    }
                 };
                 let mut op = SgbAround::with_center_index(cfg, index);
+                drop(build);
+                let join = tel.phase(Phase::Join);
                 op.try_extend_from_slice(points, governor)?;
-                Grouping::from_around(op.finish(), resolved.into(), reason, threads)
+                drop(join);
+                tel.add(
+                    Counter::CandidatePairs,
+                    self.around_candidates(points.len(), centers.len(), resolved),
+                );
+                let merge = tel.phase(Phase::Merge);
+                let around = op.finish();
+                drop(merge);
+                Grouping::from_around(around, resolved.into(), reason, threads)
             }
         };
         cache.store_result(version, fingerprint, out.clone());
-        Ok(out)
+        Ok(self.finalize(out))
     }
 
     /// A total encoding of every knob that can influence this query's
@@ -1227,6 +1434,7 @@ impl<const D: usize> SgbStream<D> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::{sgb_all, sgb_any};
 
     fn pts(raw: &[[f64; 2]]) -> Vec<Point<2>> {
         raw.iter().map(|&c| Point::new(c)).collect()
@@ -1416,6 +1624,81 @@ mod tests {
     #[should_panic(expected = "finite")]
     fn run_rejects_non_finite_points_for_around() {
         let _ = SgbQuery::around(pts(&[[0.0, 0.0]])).run(&[Point::new([f64::NEG_INFINITY, 0.0])]);
+    }
+
+    #[test]
+    fn telemetry_profiles_every_operator_without_changing_results() {
+        let points = fig2();
+        // SGB-All: validate + join + merge timed, candidates counted.
+        let tel = Telemetry::new();
+        let out = SgbQuery::all(3.0).telemetry(tel.clone()).run(&points);
+        assert_eq!(out, SgbQuery::all(3.0).run(&points));
+        let p = out.profile().unwrap();
+        assert!(p.phase_nanos(Phase::Validate) > 0);
+        assert!(p.phase_nanos(Phase::Join) > 0);
+        assert_eq!(p.counter(Counter::Groups), out.num_groups() as u64);
+        assert!(p.counter(Counter::CandidatePairs) > 0);
+
+        // SGB-Any, every concrete path.
+        for algorithm in [Algorithm::AllPairs, Algorithm::Indexed, Algorithm::Grid] {
+            let q = SgbQuery::any(3.0)
+                .algorithm(algorithm)
+                .telemetry(Telemetry::new());
+            let out = q.run(&points);
+            assert_eq!(out, SgbQuery::any(3.0).run(&points), "{algorithm}");
+            let p = out.profile().unwrap();
+            assert_eq!(p.counter(Counter::Groups), out.num_groups() as u64);
+            assert!(p.phase_nanos(Phase::Join) > 0, "{algorithm}");
+        }
+
+        // SGB-Around: eager index build + assign join, outliers counted.
+        let q = SgbQuery::around(pts(&[[1.0, 7.0], [7.0, 1.0]]))
+            .max_radius(2.0)
+            .telemetry(Telemetry::new());
+        let out = q.run(&points);
+        let p = out.profile().unwrap();
+        assert_eq!(p.counter(Counter::Outliers), out.outliers().len() as u64);
+        assert!(p.counter(Counter::Outliers) > 0);
+        assert!(p.phase_nanos(Phase::Join) > 0);
+
+        // A query without a handle reports no profile.
+        assert_eq!(SgbQuery::any(3.0).run(&points).profile(), None);
+    }
+
+    #[test]
+    fn telemetry_counts_result_cache_hits_and_misses() {
+        let points = fig2();
+        let cache = SgbCache::new();
+        let tel = Telemetry::new();
+        let q = SgbQuery::any(3.0).telemetry(tel.clone());
+        let cold = q.run_cached(&points, &cache, 1);
+        let warm = q.run_cached(&points, &cache, 1);
+        assert_eq!(cold, warm);
+        let p = tel.profile().unwrap();
+        assert_eq!(p.counter(Counter::CacheMisses), 1);
+        assert_eq!(p.counter(Counter::CacheHits), 1);
+        // Both executions reported group counts into the shared profile.
+        assert_eq!(p.counter(Counter::Groups), 2 * cold.num_groups() as u64);
+        // The cache-probe phase was timed; the warm hit recorded no
+        // further join work beyond the cold run's.
+        assert!(p.phase_nanos(Phase::CacheProbe) > 0);
+
+        // Telemetry never leaks into cache identity: an observed query and
+        // its silent twin share one cache entry (the hit above proves the
+        // same; this pins the fingerprint directly).
+        let silent = SgbQuery::<2>::any(3.0);
+        assert_eq!(silent.fingerprint(), q.fingerprint());
+
+        // Governed twin: hit/miss counters behave identically.
+        let tel = Telemetry::new();
+        let free = QueryGovernor::unrestricted();
+        let q = SgbQuery::all(3.0).telemetry(tel.clone());
+        q.try_run_cached(&points, &cache, 1, &free).unwrap();
+        q.try_run_cached(&points, &cache, 1, &free).unwrap();
+        let p = tel.profile().unwrap();
+        assert_eq!(p.counter(Counter::CacheMisses), 1);
+        assert_eq!(p.counter(Counter::CacheHits), 1);
+        assert!(p.counter(Counter::GovernorPolls) > 0);
     }
 
     #[test]

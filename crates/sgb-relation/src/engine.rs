@@ -3,13 +3,14 @@
 
 use std::collections::HashMap;
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use sgb_core::{Algorithm, CacheStats, CancelToken, QueryGovernor};
+use sgb_telemetry::{MetricsRegistry, SlowQuery, SlowQueryLog};
 
 use crate::cache::{slot_key, SessionCaches};
 use crate::error::{Error, Result};
-use crate::exec::{around_query, execute, extract_points, sgb_query};
+use crate::exec::{around_query, execute, execute_with_stats, extract_points, sgb_query};
 use crate::expr::BoundExpr;
 use crate::plan::{Plan, SgbMode};
 use crate::planner::{plan_predicate, plan_select};
@@ -42,6 +43,12 @@ pub struct Database {
     caches: Arc<SessionCaches>,
     subscriptions: SubscriptionSet,
     cancel: Option<CancelToken>,
+    /// Session-scoped metrics: statement/operator counters, latency
+    /// histograms ([`Database::metrics_text`]).
+    registry: Arc<MetricsRegistry>,
+    /// Ring buffer of statements that overran
+    /// [`SessionOptions::slow_query`] ([`Database::slow_queries`]).
+    slow_log: Arc<SlowQueryLog>,
 }
 
 impl Clone for Database {
@@ -58,6 +65,8 @@ impl Clone for Database {
             caches: Arc::new(SessionCaches::default()),
             subscriptions: SubscriptionSet::default(),
             cancel: None,
+            registry: Arc::new(MetricsRegistry::new()),
+            slow_log: Arc::new(SlowQueryLog::default()),
         }
     }
 }
@@ -89,6 +98,8 @@ impl Database {
             caches: Arc::new(SessionCaches::default()),
             subscriptions: SubscriptionSet::default(),
             cancel: None,
+            registry: Arc::new(MetricsRegistry::new()),
+            slow_log: Arc::new(SlowQueryLog::default()),
         }
     }
 
@@ -182,9 +193,31 @@ impl Database {
     }
 
     /// Executes any statement (SELECT, CREATE TABLE, INSERT, DELETE, DROP
-    /// TABLE). DDL/DML return an empty result table.
+    /// TABLE, EXPLAIN \[ANALYZE\]). DDL/DML return an empty result table;
+    /// EXPLAIN returns a one-column `QUERY PLAN` table, one row per line.
+    ///
+    /// Every call — successful or not — moves the session's statement
+    /// counters and latency histogram ([`Database::metrics_text`]), and
+    /// feeds the slow-query log when [`SessionOptions::slow_query`] is set.
     pub fn execute(&mut self, sql: &str) -> Result<Table> {
-        match parse_statement(sql)? {
+        let started = Instant::now();
+        let stmt = match parse_statement(sql) {
+            Ok(stmt) => stmt,
+            Err(e) => {
+                self.observe_statement("parse", started, sql, Some(&e));
+                return Err(e);
+            }
+        };
+        let kind = statement_kind(&stmt);
+        let result = self.execute_statement(stmt);
+        self.observe_statement(kind, started, sql, result.as_ref().err());
+        result
+    }
+
+    /// The statement dispatcher behind [`Database::execute`] (which wraps
+    /// it with metrics observation).
+    fn execute_statement(&mut self, stmt: Statement) -> Result<Table> {
+        match stmt {
             Statement::Select(stmt) => {
                 let plan = plan_select(self, &stmt)?;
                 execute(&plan, self)
@@ -229,8 +262,14 @@ impl Database {
                     t.push(row.clone())?;
                 }
                 let version = t.version();
-                self.subscriptions
-                    .on_insert(&key, &planner_rows, &t.rows, version);
+                self.subscriptions.on_insert(
+                    &key,
+                    &planner_rows,
+                    &t.rows,
+                    version,
+                    self.session.statement_timeout,
+                    &self.registry,
+                );
                 Ok(Table::default())
             }
             Statement::Delete { table, predicate } => {
@@ -268,8 +307,14 @@ impl Database {
                     // shared-work caches — deletes exactly like inserts.
                     t.bump_version();
                     let version = t.version();
-                    self.subscriptions
-                        .on_delete(&key, &removed, &t.rows, version);
+                    self.subscriptions.on_delete(
+                        &key,
+                        &removed,
+                        &t.rows,
+                        version,
+                        self.session.statement_timeout,
+                        &self.registry,
+                    );
                 }
                 Ok(Table::default())
             }
@@ -331,14 +376,26 @@ impl Database {
                     retain_kept(&mut t.rows, &touched);
                     t.bump_version();
                     let delete_version = t.version();
-                    self.subscriptions
-                        .on_delete(&key, &touched, &t.rows, delete_version);
+                    self.subscriptions.on_delete(
+                        &key,
+                        &touched,
+                        &t.rows,
+                        delete_version,
+                        self.session.statement_timeout,
+                        &self.registry,
+                    );
                     for row in &replacements {
                         t.push(row.clone())?;
                     }
                     let version = t.version();
-                    self.subscriptions
-                        .on_insert(&key, &replacements, &t.rows, version);
+                    self.subscriptions.on_insert(
+                        &key,
+                        &replacements,
+                        &t.rows,
+                        version,
+                        self.session.statement_timeout,
+                        &self.registry,
+                    );
                 }
                 Ok(Table::default())
             }
@@ -354,18 +411,32 @@ impl Database {
                 }
                 Ok(Table::default())
             }
+            Statement::Explain { analyze, query } => {
+                let plan = plan_select(self, &query)?;
+                let text = if analyze {
+                    let governor = self.statement_governor();
+                    let (_, stats) = execute_with_stats(&plan, self, &governor)?;
+                    plan.explain_analyze(&stats)
+                } else {
+                    plan.explain()
+                };
+                Ok(explain_table(&text))
+            }
         }
     }
 
     /// Executes a SELECT without requiring `&mut self`.
     pub fn query(&self, sql: &str) -> Result<Table> {
-        match parse_statement(sql)? {
-            Statement::Select(stmt) => {
-                let plan = plan_select(self, &stmt)?;
-                execute(&plan, self)
+        let started = Instant::now();
+        let result = match parse_statement(sql) {
+            Ok(Statement::Select(stmt)) => {
+                plan_select(self, &stmt).and_then(|plan| execute(&plan, self))
             }
-            _ => Err(Error::Unsupported("query() only accepts SELECT".into())),
-        }
+            Ok(_) => Err(Error::Unsupported("query() only accepts SELECT".into())),
+            Err(e) => Err(e),
+        };
+        self.observe_statement("select", started, sql, result.as_ref().err());
+        result
     }
 
     /// Renders the physical plan of a SELECT (`EXPLAIN`).
@@ -516,10 +587,15 @@ impl Database {
             let bytes = non_negative_int("MEMORY_BUDGET")?;
             self.session.memory_budget = (bytes > 0).then_some(bytes as usize);
             Ok(())
+        } else if name.eq_ignore_ascii_case("slow_query_ms") {
+            // Milliseconds; 0 turns slow-query logging off.
+            let ms = non_negative_int("SLOW_QUERY_MS")?;
+            self.session.slow_query = (ms > 0).then(|| Duration::from_millis(ms));
+            Ok(())
         } else {
             Err(Error::Unsupported(format!(
                 "unknown session option '{name}' \
-                 (valid: STATEMENT_TIMEOUT, MEMORY_BUDGET)"
+                 (valid: STATEMENT_TIMEOUT, MEMORY_BUDGET, SLOW_QUERY_MS)"
             )))
         }
     }
@@ -552,6 +628,120 @@ impl Database {
     /// ```
     pub fn cache_stats(&self) -> CacheStats {
         self.caches.stats()
+    }
+
+    /// The session's metrics registry (executor operator counters).
+    pub(crate) fn registry(&self) -> &MetricsRegistry {
+        &self.registry
+    }
+
+    /// The session-scoped metrics registry: statement counters by kind and
+    /// outcome (`sgb_statements_total`), per-kind latency histograms
+    /// (`sgb_statement_ms`), similarity-operator run counters
+    /// (`sgb_operator_runs_total`), subscription delta outcomes
+    /// (`sgb_subscription_deltas_total`), and the shared-work cache
+    /// counters (`sgb_cache_events_total`) folded in from
+    /// [`Database::cache_stats`]. The fold-in happens on access, so the
+    /// two surfaces can never disagree.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        self.sync_cache_metrics();
+        &self.registry
+    }
+
+    /// Renders the session metrics in the Prometheus text exposition
+    /// format (version 0.0.4): `# TYPE` headers, counters, then
+    /// histograms with cumulative `_bucket{le=…}` / `_sum` / `_count`
+    /// series.
+    ///
+    /// ```
+    /// use sgb_relation::Database;
+    ///
+    /// let mut db = Database::new();
+    /// db.execute("CREATE TABLE pts (x DOUBLE, y DOUBLE)").unwrap();
+    /// let text = db.metrics_text();
+    /// assert!(text.contains("# TYPE sgb_statements_total counter"));
+    /// assert!(text.contains("kind=\"create_table\""));
+    /// ```
+    pub fn metrics_text(&self) -> String {
+        self.sync_cache_metrics();
+        self.registry.render()
+    }
+
+    /// Folds the current [`CacheStats`] counters into the registry as
+    /// `sgb_cache_events_total{event=…}`. `record_absolute` is a monotone
+    /// max, so repeated folds are idempotent and the registry mirrors the
+    /// live counters exactly at every render.
+    fn sync_cache_metrics(&self) {
+        let stats = self.caches.stats();
+        for (event, value) in [
+            ("index_hit", stats.index_hits),
+            ("index_miss", stats.index_misses),
+            ("result_hit", stats.result_hits),
+            ("result_miss", stats.result_misses),
+            ("eviction", stats.evictions),
+            ("validation_skipped", stats.validations_skipped),
+        ] {
+            self.registry
+                .record_absolute("sgb_cache_events_total", &[("event", event)], value);
+        }
+    }
+
+    /// The slow-query log, oldest first: every statement whose wall-clock
+    /// time reached [`SessionOptions::slow_query`] (set it via
+    /// `SET SLOW_QUERY_MS = <ms>`), successful or failed, bounded by a
+    /// fixed-capacity ring buffer that drops the oldest entry on overflow.
+    pub fn slow_queries(&self) -> Vec<SlowQuery> {
+        self.slow_log.entries()
+    }
+
+    /// Executes a SELECT and renders its `EXPLAIN ANALYZE` tree — the
+    /// plan with every node's actual elapsed time, output row count, and
+    /// operator detail (similarity nodes report group/candidate counts
+    /// and their phase breakdown). Equivalent to
+    /// `execute("EXPLAIN ANALYZE …")` joined to one string.
+    pub fn explain_analyze(&self, sql: &str) -> Result<String> {
+        let stmt = match parse_statement(sql)? {
+            Statement::Select(stmt) | Statement::Explain { query: stmt, .. } => stmt,
+            _ => {
+                return Err(Error::Unsupported(
+                    "explain_analyze() only accepts SELECT".into(),
+                ))
+            }
+        };
+        let plan = plan_select(self, &stmt)?;
+        let governor = self.statement_governor();
+        let (_, stats) = execute_with_stats(&plan, self, &governor)?;
+        Ok(plan.explain_analyze(&stats))
+    }
+
+    /// Records one finished statement into the session metrics: the
+    /// `sgb_statements_total{kind, outcome}` counter, the
+    /// `sgb_statement_ms{kind}` latency histogram, and — when the session
+    /// has a slow-query threshold and this statement reached it — the
+    /// slow-query ring buffer.
+    fn observe_statement(&self, kind: &str, started: Instant, sql: &str, err: Option<&Error>) {
+        let elapsed = started.elapsed();
+        let outcome = match err {
+            None => "ok",
+            Some(e) => e.class(),
+        };
+        self.registry.inc(
+            "sgb_statements_total",
+            &[("kind", kind), ("outcome", outcome)],
+            1,
+        );
+        let millis = elapsed.as_secs_f64() * 1e3;
+        self.registry
+            .observe_ms("sgb_statement_ms", &[("kind", kind)], millis);
+        if let Some(threshold) = self.session.slow_query {
+            if elapsed >= threshold {
+                self.slow_log.record(SlowQuery {
+                    statement: sql.to_owned(),
+                    millis,
+                    outcome: outcome.to_owned(),
+                });
+            }
+        }
     }
 
     /// Executes a batch of statements in order, sharing index builds
@@ -626,6 +816,31 @@ impl Database {
             }
         }
     }
+}
+
+/// The metrics `kind` label of a parsed statement.
+fn statement_kind(stmt: &Statement) -> &'static str {
+    match stmt {
+        Statement::Select(_) => "select",
+        Statement::CreateTable { .. } => "create_table",
+        Statement::Insert { .. } => "insert",
+        Statement::Delete { .. } => "delete",
+        Statement::Update { .. } => "update",
+        Statement::SetOption { .. } => "set",
+        Statement::DropTable { .. } => "drop_table",
+        Statement::Explain { .. } => "explain",
+    }
+}
+
+/// Renders an EXPLAIN text as a one-column result table (PostgreSQL's
+/// `QUERY PLAN` shape), one row per line.
+fn explain_table(text: &str) -> Table {
+    let schema = Schema::new(vec!["QUERY PLAN".to_owned()]);
+    let rows = text
+        .lines()
+        .map(|line| vec![Value::Str(line.to_owned())])
+        .collect();
+    Table::from_parts(schema, rows)
 }
 
 /// Removes the rows at the given pre-delete indices (out-of-range entries

@@ -24,6 +24,26 @@ pub enum Error {
     Aborted(SgbError),
 }
 
+impl Error {
+    /// Stable error-class label used by the metrics registry
+    /// (`sgb_statements_total{outcome=…}`): one lower-snake-case word per
+    /// failure mode, never a free-form message.
+    #[must_use]
+    pub fn class(&self) -> &'static str {
+        match self {
+            Error::Parse(_) => "parse",
+            Error::Binding(_) => "binding",
+            Error::Unsupported(_) => "unsupported",
+            Error::Eval(_) => "eval",
+            Error::Aborted(SgbError::Timeout) => "timeout",
+            Error::Aborted(SgbError::Cancelled) => "cancelled",
+            Error::Aborted(SgbError::BudgetExceeded { .. }) => "budget_exceeded",
+            Error::Aborted(SgbError::WorkerPanicked { .. }) => "worker_panicked",
+            Error::Aborted(SgbError::NonFinite) => "non_finite",
+        }
+    }
+}
+
 impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

@@ -9,17 +9,20 @@
 //! the session caches, and the database stays fully usable.
 #![deny(clippy::unwrap_used)]
 
+use std::cell::RefCell;
 use std::collections::HashMap;
+use std::time::Instant;
 
 use sgb_core::query::Grouping;
 use sgb_core::{Algorithm, QueryGovernor, SgbQuery};
 use sgb_geom::{Metric, Point};
+use sgb_telemetry::{Counter, Phase, Telemetry};
 
 use crate::cache::{slot_key, Slot};
 use crate::engine::Database;
 use crate::error::{Error, Result};
 use crate::expr::BoundExpr;
-use crate::plan::{AggCall, AggKind, Plan, SgbMode};
+use crate::plan::{AggCall, AggKind, NodeStat, Plan, SgbMode};
 use crate::subscription::QueryKey;
 use crate::table::{Row, Table};
 use crate::value::Value;
@@ -32,17 +35,68 @@ pub fn execute(plan: &Plan, db: &Database) -> Result<Table> {
     execute_governed(plan, db, &governor)
 }
 
-/// [`execute`] under an explicit governor — the recursive worker; one
-/// governor (and thus one deadline) spans the whole plan tree.
-fn execute_governed(plan: &Plan, db: &Database, governor: &QueryGovernor) -> Result<Table> {
-    let execute = |plan: &Plan, db: &Database| execute_governed(plan, db, governor);
+/// [`execute`] under an explicit governor; one governor (and thus one
+/// deadline) spans the whole plan tree.
+pub(crate) fn execute_governed(
+    plan: &Plan,
+    db: &Database,
+    governor: &QueryGovernor,
+) -> Result<Table> {
+    execute_node(plan, db, governor, 0, None)
+}
+
+/// `EXPLAIN ANALYZE` entry point: executes `plan` with per-node actuals
+/// collection. The returned stats are indexed in pre-order (node 0 is the
+/// root; a join's left subtree precedes its right), matching
+/// [`Plan::explain_analyze`]'s walk. Only this instrumented path pays for
+/// clock reads and per-query telemetry; plain [`execute`] passes `None`
+/// sinks throughout and stays on the zero-cost path.
+pub(crate) fn execute_with_stats(
+    plan: &Plan,
+    db: &Database,
+    governor: &QueryGovernor,
+) -> Result<(Table, Vec<NodeStat>)> {
+    let stats = RefCell::new(vec![NodeStat::default(); plan.node_count()]);
+    let table = execute_node(plan, db, governor, 0, Some(&stats))?;
+    Ok((table, stats.into_inner()))
+}
+
+/// The recursive worker: executes one node (and its inputs), recording
+/// inclusive elapsed time and output cardinality into `stats[id]` when a
+/// sink is present. `id` is the node's pre-order index within the root
+/// plan.
+fn execute_node(
+    plan: &Plan,
+    db: &Database,
+    governor: &QueryGovernor,
+    id: usize,
+    stats: Option<&RefCell<Vec<NodeStat>>>,
+) -> Result<Table> {
+    let started = stats.map(|_| Instant::now());
+    let out = execute_inner(plan, db, governor, id, stats)?;
+    if let (Some(stats), Some(started)) = (stats, started) {
+        let stat = &mut stats.borrow_mut()[id];
+        stat.elapsed_nanos = started.elapsed().as_nanos() as u64;
+        stat.rows = out.rows.len();
+    }
+    Ok(out)
+}
+
+fn execute_inner(
+    plan: &Plan,
+    db: &Database,
+    governor: &QueryGovernor,
+    id: usize,
+    stats: Option<&RefCell<Vec<NodeStat>>>,
+) -> Result<Table> {
+    let execute = |plan: &Plan, child_id: usize| execute_node(plan, db, governor, child_id, stats);
     match plan {
         Plan::Scan { table, .. } => {
             let t = db.table(table)?;
             Ok(Table::from_parts(plan.schema().clone(), t.rows.clone()))
         }
         Plan::Filter { input, predicate } => {
-            let mut t = execute(input, db)?;
+            let mut t = execute(input, id + 1)?;
             let mut kept = Vec::with_capacity(t.rows.len());
             for row in t.rows.drain(..) {
                 if predicate.eval_predicate(&row)? {
@@ -57,7 +111,7 @@ fn execute_governed(plan: &Plan, db: &Database, governor: &QueryGovernor) -> Res
             exprs,
             schema,
         } => {
-            let t = execute(input, db)?;
+            let t = execute(input, id + 1)?;
             let mut rows = Vec::with_capacity(t.rows.len());
             for row in &t.rows {
                 let mut out = Vec::with_capacity(exprs.len());
@@ -75,8 +129,8 @@ fn execute_governed(plan: &Plan, db: &Database, governor: &QueryGovernor) -> Res
             right_keys,
             schema,
         } => {
-            let l = execute(left, db)?;
-            let r = execute(right, db)?;
+            let l = execute(left, id + 1)?;
+            let r = execute(right, id + 1 + left.node_count())?;
             // Build on the right input.
             let mut build: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
             'rows: for (i, row) in r.rows.iter().enumerate() {
@@ -115,8 +169,8 @@ fn execute_governed(plan: &Plan, db: &Database, governor: &QueryGovernor) -> Res
             right,
             schema,
         } => {
-            let l = execute(left, db)?;
-            let r = execute(right, db)?;
+            let l = execute(left, id + 1)?;
+            let r = execute(right, id + 1 + left.node_count())?;
             let mut rows = Vec::with_capacity(l.rows.len() * r.rows.len());
             for lrow in &l.rows {
                 for rrow in &r.rows {
@@ -135,7 +189,7 @@ fn execute_governed(plan: &Plan, db: &Database, governor: &QueryGovernor) -> Res
             outputs,
             schema,
         } => {
-            let t = execute(input, db)?;
+            let t = execute(input, id + 1)?;
             // First-seen group order (like PostgreSQL's hash agg output is
             // unordered, but determinism helps tests).
             let mut order: Vec<Vec<Value>> = Vec::new();
@@ -191,7 +245,23 @@ fn execute_governed(plan: &Plan, db: &Database, governor: &QueryGovernor) -> Res
             schema,
             ..
         } => {
-            let t = execute(input, db)?;
+            let t = execute(input, id + 1)?;
+            // Per-query profile only when an EXPLAIN ANALYZE sink exists:
+            // plain execution keeps the inert handle (zero clock reads).
+            let tel = if stats.is_some() {
+                Telemetry::new()
+            } else {
+                Telemetry::off()
+            };
+            let (op, algorithm) = match mode {
+                SgbMode::All { algorithm, .. } => ("sgb_all", *algorithm),
+                SgbMode::Any { algorithm, .. } => ("sgb_any", *algorithm),
+            };
+            db.registry().inc(
+                "sgb_operator_runs_total",
+                &[("operator", op), ("algorithm", &algorithm.to_string())],
+                1,
+            );
             // Serve from a fresh subscription snapshot when one matches;
             // otherwise route through the session's shared-work cache when
             // the node reads a base table directly — only then does the
@@ -200,11 +270,20 @@ fn execute_governed(plan: &Plan, db: &Database, governor: &QueryGovernor) -> Res
             let grouping = match served {
                 Some(g) => g,
                 None => match cached_scan_table(db, input) {
-                    Some(table) => run_sgb_cached(db, &table, &t.rows, coords, mode, governor)?,
-                    None => run_sgb(&t.rows, coords, mode, governor)?,
+                    Some(table) => {
+                        run_sgb_cached(db, &table, &t.rows, coords, mode, governor, &tel)?
+                    }
+                    None => run_sgb(&t.rows, coords, mode, governor, &tel)?,
                 },
             };
-            aggregate_grouping(&t, &grouping, aggs, having, outputs, schema)
+            let out = {
+                let _agg = tel.phase(Phase::Aggregate);
+                aggregate_grouping(&t, &grouping, aggs, having, outputs, schema)
+            };
+            if let Some(stats) = stats {
+                stats.borrow_mut()[id].detail = similarity_detail(&grouping, &tel);
+            }
+            out
         }
         Plan::SimilarityAround {
             input,
@@ -220,7 +299,20 @@ fn execute_governed(plan: &Plan, db: &Database, governor: &QueryGovernor) -> Res
             schema,
             ..
         } => {
-            let t = execute(input, db)?;
+            let t = execute(input, id + 1)?;
+            let tel = if stats.is_some() {
+                Telemetry::new()
+            } else {
+                Telemetry::off()
+            };
+            db.registry().inc(
+                "sgb_operator_runs_total",
+                &[
+                    ("operator", "around"),
+                    ("algorithm", &algorithm.to_string()),
+                ],
+                1,
+            );
             let served = subscription_grouping(
                 db,
                 input,
@@ -232,17 +324,25 @@ fn execute_governed(plan: &Plan, db: &Database, governor: &QueryGovernor) -> Res
                 None => match cached_scan_table(db, input) {
                     Some(table) => run_around_cached(
                         db, &table, &t.rows, coords, centers, *metric, *radius, *algorithm,
-                        *threads, governor,
+                        *threads, governor, &tel,
                     )?,
                     None => run_around(
                         &t.rows, coords, centers, *metric, *radius, *algorithm, *threads, governor,
+                        &tel,
                     )?,
                 },
             };
-            aggregate_grouping(&t, &grouping, aggs, having, outputs, schema)
+            let out = {
+                let _agg = tel.phase(Phase::Aggregate);
+                aggregate_grouping(&t, &grouping, aggs, having, outputs, schema)
+            };
+            if let Some(stats) = stats {
+                stats.borrow_mut()[id].detail = similarity_detail(&grouping, &tel);
+            }
+            out
         }
         Plan::Sort { input, keys } => {
-            let mut t = execute(input, db)?;
+            let mut t = execute(input, id + 1)?;
             // Pre-compute sort keys (decorate-sort-undecorate).
             let mut decorated: Vec<(Vec<Value>, Row)> = Vec::with_capacity(t.rows.len());
             for row in t.rows.drain(..) {
@@ -271,7 +371,7 @@ fn execute_governed(plan: &Plan, db: &Database, governor: &QueryGovernor) -> Res
             Ok(t)
         }
         Plan::Limit { input, n } => {
-            let mut t = execute(input, db)?;
+            let mut t = execute(input, id + 1)?;
             t.rows.truncate(*n);
             Ok(t)
         }
@@ -312,6 +412,30 @@ fn aggregate_grouping(
         rows.push(out);
     }
     Ok(Table::from_parts(schema.clone(), rows))
+}
+
+/// The `EXPLAIN ANALYZE` detail line of a similarity node: answer-group
+/// and outlier cardinality, the candidate-pair count the filter phase
+/// visited, and the phase breakdown of the query profile. Snapshot-served
+/// groupings carry no live profile — the detail then reports cardinality
+/// only, which is exactly what was (not) computed.
+fn similarity_detail(grouping: &Grouping, tel: &Telemetry) -> String {
+    let mut d = format!("groups: {}", grouping.num_groups());
+    let outliers = grouping.outliers().len();
+    if outliers > 0 {
+        d.push_str(&format!(", outliers: {outliers}"));
+    }
+    if let Some(profile) = tel.profile() {
+        let candidates = profile.counter(Counter::CandidatePairs);
+        if candidates > 0 {
+            d.push_str(&format!(", candidates: {candidates}"));
+        }
+        let phases = profile.phase_summary();
+        if !phases.is_empty() {
+            d.push_str(&format!("; phases: {phases}"));
+        }
+    }
+    d
 }
 
 /// The grouping served from a fresh subscription snapshot, when one
@@ -385,10 +509,11 @@ fn run_sgb(
     coords: &[BoundExpr],
     mode: &SgbMode,
     governor: &QueryGovernor,
+    telemetry: &Telemetry,
 ) -> Result<Grouping> {
     match coords.len() {
-        2 => run_sgb_d::<2>(rows, coords, mode, governor),
-        3 => run_sgb_d::<3>(rows, coords, mode, governor),
+        2 => run_sgb_d::<2>(rows, coords, mode, governor, telemetry),
+        3 => run_sgb_d::<3>(rows, coords, mode, governor, telemetry),
         n => Err(Error::Unsupported(format!(
             "similarity grouping over {n} attributes (2 or 3 supported)"
         ))),
@@ -400,9 +525,12 @@ fn run_sgb_d<const D: usize>(
     coords: &[BoundExpr],
     mode: &SgbMode,
     governor: &QueryGovernor,
+    telemetry: &Telemetry,
 ) -> Result<Grouping> {
     let points = extract_points::<D>(rows, coords)?;
-    Ok(sgb_query::<D>(mode)?.try_run(&points, governor)?)
+    Ok(sgb_query::<D>(mode)?
+        .telemetry(telemetry.clone())
+        .try_run(&points, governor)?)
 }
 
 /// Lowers a plan's SGB-All / SGB-Any mode into the core query. The plan's
@@ -449,6 +577,7 @@ pub(crate) fn sgb_query<const D: usize>(mode: &SgbMode) -> Result<SgbQuery<D>> {
 /// O(n·d) conversion-and-validation pass on repeats), the cached spatial
 /// indexes, and whole results of exact repeat queries. Bit-identical to
 /// the cold path.
+#[allow(clippy::too_many_arguments)]
 fn run_sgb_cached(
     db: &Database,
     table: &str,
@@ -456,16 +585,17 @@ fn run_sgb_cached(
     coords: &[BoundExpr],
     mode: &SgbMode,
     governor: &QueryGovernor,
+    telemetry: &Telemetry,
 ) -> Result<Grouping> {
     let key = slot_key(coords);
     match coords.len() {
         2 => {
             let slot = db.caches().slot2(table, &key);
-            run_sgb_cached_d::<2>(db, table, rows, coords, mode, &slot, governor)
+            run_sgb_cached_d::<2>(db, table, rows, coords, mode, &slot, governor, telemetry)
         }
         3 => {
             let slot = db.caches().slot3(table, &key);
-            run_sgb_cached_d::<3>(db, table, rows, coords, mode, &slot, governor)
+            run_sgb_cached_d::<3>(db, table, rows, coords, mode, &slot, governor, telemetry)
         }
         n => Err(Error::Unsupported(format!(
             "similarity grouping over {n} attributes (2 or 3 supported)"
@@ -473,6 +603,7 @@ fn run_sgb_cached(
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_sgb_cached_d<const D: usize>(
     db: &Database,
     table: &str,
@@ -481,10 +612,13 @@ fn run_sgb_cached_d<const D: usize>(
     mode: &SgbMode,
     slot: &Slot<D>,
     governor: &QueryGovernor,
+    telemetry: &Telemetry,
 ) -> Result<Grouping> {
     let version = db.table(table)?.version();
     let points = slot.points_for(version, || extract_points::<D>(rows, coords))?;
-    Ok(sgb_query::<D>(mode)?.try_run_cached(&points, slot.core(), version, governor)?)
+    Ok(sgb_query::<D>(mode)?
+        .telemetry(telemetry.clone())
+        .try_run_cached(&points, slot.core(), version, governor)?)
 }
 
 /// Runs SGB-Around over the grouping points: every row joins the group of
@@ -500,13 +634,14 @@ fn run_around(
     algorithm: Algorithm,
     threads: usize,
     governor: &QueryGovernor,
+    telemetry: &Telemetry,
 ) -> Result<Grouping> {
     match coords.len() {
         2 => run_around_d::<2>(
-            rows, coords, centers, metric, radius, algorithm, threads, governor,
+            rows, coords, centers, metric, radius, algorithm, threads, governor, telemetry,
         ),
         3 => run_around_d::<3>(
-            rows, coords, centers, metric, radius, algorithm, threads, governor,
+            rows, coords, centers, metric, radius, algorithm, threads, governor, telemetry,
         ),
         n => Err(Error::Unsupported(format!(
             "similarity grouping over {n} attributes (2 or 3 supported)"
@@ -524,10 +659,12 @@ fn run_around_d<const D: usize>(
     algorithm: Algorithm,
     threads: usize,
     governor: &QueryGovernor,
+    telemetry: &Telemetry,
 ) -> Result<Grouping> {
     let points = extract_points::<D>(rows, coords)?;
     Ok(
         around_query::<D>(centers, metric, radius, algorithm, threads)?
+            .telemetry(telemetry.clone())
             .try_run(&points, governor)?,
     )
 }
@@ -596,6 +733,7 @@ fn run_around_cached(
     algorithm: Algorithm,
     threads: usize,
     governor: &QueryGovernor,
+    telemetry: &Telemetry,
 ) -> Result<Grouping> {
     let key = slot_key(coords);
     match coords.len() {
@@ -604,12 +742,9 @@ fn run_around_cached(
             let version = db.table(table)?.version();
             let points = slot.points_for(version, || extract_points::<2>(rows, coords))?;
             Ok(
-                around_query::<2>(centers, metric, radius, algorithm, threads)?.try_run_cached(
-                    &points,
-                    slot.core(),
-                    version,
-                    governor,
-                )?,
+                around_query::<2>(centers, metric, radius, algorithm, threads)?
+                    .telemetry(telemetry.clone())
+                    .try_run_cached(&points, slot.core(), version, governor)?,
             )
         }
         3 => {
@@ -617,12 +752,9 @@ fn run_around_cached(
             let version = db.table(table)?.version();
             let points = slot.points_for(version, || extract_points::<3>(rows, coords))?;
             Ok(
-                around_query::<3>(centers, metric, radius, algorithm, threads)?.try_run_cached(
-                    &points,
-                    slot.core(),
-                    version,
-                    governor,
-                )?,
+                around_query::<3>(centers, metric, radius, algorithm, threads)?
+                    .telemetry(telemetry.clone())
+                    .try_run_cached(&points, slot.core(), version, governor)?,
             )
         }
         n => Err(Error::Unsupported(format!(

@@ -54,7 +54,7 @@ pub mod value;
 pub use engine::Database;
 pub use error::{Error, Result};
 pub use expr::{BinOp, BoundExpr};
-pub use plan::{AggCall, AggKind, IndexCacheStatus, Plan, SgbMode, SnapshotInfo};
+pub use plan::{AggCall, AggKind, IndexCacheStatus, NodeStat, Plan, SgbMode, SnapshotInfo};
 pub use schema::{Column, Schema};
 pub use session::SessionOptions;
 pub use subscription::{GroupingSnapshot, SubscriptionHandle};
@@ -65,3 +65,7 @@ pub use value::Value;
 // without importing sgb-core directly, and the governor vocabulary so
 // sessions can build cancel tokens and match `Error::Aborted` payloads.
 pub use sgb_core::{CacheStats, CancelToken, SgbError};
+
+// Re-export the telemetry vocabulary behind `Database::metrics` /
+// `Database::slow_queries`.
+pub use sgb_telemetry::{MetricsRegistry, SlowQuery, SlowQueryLog};

@@ -167,6 +167,20 @@ pub enum SgbMode {
     },
 }
 
+/// Per-plan-node actuals collected by an `EXPLAIN ANALYZE` execution:
+/// inclusive wall-clock time, output row count, and an optional
+/// operator-specific detail string (similarity nodes report group and
+/// candidate counts plus the phase breakdown of their query profile).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct NodeStat {
+    /// Inclusive elapsed wall-clock nanoseconds (node + its inputs).
+    pub elapsed_nanos: u64,
+    /// Rows the node produced.
+    pub rows: usize,
+    /// Operator-specific annotation; empty when the operator has none.
+    pub detail: String,
+}
+
 /// A physical plan node. Every node knows its output [`Schema`].
 #[derive(Clone, Debug)]
 pub enum Plan {
@@ -329,55 +343,48 @@ impl Plan {
         }
     }
 
-    /// An `EXPLAIN`-style indented tree rendering.
-    pub fn explain(&self) -> String {
-        let mut out = String::new();
-        self.explain_into(0, &mut out);
-        out
+    /// The node's direct inputs, in executor order (joins: left, right).
+    pub fn children(&self) -> Vec<&Plan> {
+        match self {
+            Plan::Scan { .. } => Vec::new(),
+            Plan::Filter { input, .. }
+            | Plan::Project { input, .. }
+            | Plan::HashAggregate { input, .. }
+            | Plan::SimilarityGroupBy { input, .. }
+            | Plan::SimilarityAround { input, .. }
+            | Plan::Sort { input, .. }
+            | Plan::Limit { input, .. } => vec![input],
+            Plan::HashJoin { left, right, .. } | Plan::CrossJoin { left, right, .. } => {
+                vec![left, right]
+            }
+        }
     }
 
-    fn explain_into(&self, depth: usize, out: &mut String) {
-        let pad = "  ".repeat(depth);
+    /// Total node count of the subtree rooted here (pre-order size).
+    pub(crate) fn node_count(&self) -> usize {
+        1 + self
+            .children()
+            .iter()
+            .map(|c| c.node_count())
+            .sum::<usize>()
+    }
+
+    /// The node's one-line `EXPLAIN` label (no indentation, no newline).
+    fn node_label(&self) -> String {
         match self {
-            Plan::Scan { table, .. } => out.push_str(&format!("{pad}Scan {table}\n")),
-            Plan::Filter { input, .. } => {
-                out.push_str(&format!("{pad}Filter\n"));
-                input.explain_into(depth + 1, out);
-            }
-            Plan::Project { input, exprs, .. } => {
-                out.push_str(&format!("{pad}Project ({} exprs)\n", exprs.len()));
-                input.explain_into(depth + 1, out);
-            }
-            Plan::HashJoin {
-                left,
-                right,
-                left_keys,
-                ..
-            } => {
-                out.push_str(&format!("{pad}HashJoin ({} keys)\n", left_keys.len()));
-                left.explain_into(depth + 1, out);
-                right.explain_into(depth + 1, out);
-            }
-            Plan::CrossJoin { left, right, .. } => {
-                out.push_str(&format!("{pad}CrossJoin\n"));
-                left.explain_into(depth + 1, out);
-                right.explain_into(depth + 1, out);
-            }
+            Plan::Scan { table, .. } => format!("Scan {table}"),
+            Plan::Filter { .. } => "Filter".to_owned(),
+            Plan::Project { exprs, .. } => format!("Project ({} exprs)", exprs.len()),
+            Plan::HashJoin { left_keys, .. } => format!("HashJoin ({} keys)", left_keys.len()),
+            Plan::CrossJoin { .. } => "CrossJoin".to_owned(),
             Plan::HashAggregate {
-                input,
-                group_exprs,
-                aggs,
-                ..
-            } => {
-                out.push_str(&format!(
-                    "{pad}HashAggregate (groups: {}, aggs: {})\n",
-                    group_exprs.len(),
-                    aggs.len()
-                ));
-                input.explain_into(depth + 1, out);
-            }
+                group_exprs, aggs, ..
+            } => format!(
+                "HashAggregate (groups: {}, aggs: {})",
+                group_exprs.len(),
+                aggs.len()
+            ),
             Plan::SimilarityGroupBy {
-                input,
                 mode,
                 snapshot,
                 aggs,
@@ -421,14 +428,9 @@ impl Plan {
                     Some(s) => format!("{path}; snapshot: {s}"),
                     None => path,
                 };
-                out.push_str(&format!(
-                    "{pad}SimilarityGroupBy [{desc}] [{path}] (aggs: {})\n",
-                    aggs.len()
-                ));
-                input.explain_into(depth + 1, out);
+                format!("SimilarityGroupBy [{desc}] [{path}] (aggs: {})", aggs.len())
             }
             Plan::SimilarityAround {
-                input,
                 centers,
                 metric,
                 radius,
@@ -448,23 +450,65 @@ impl Plan {
                     Some(s) => format!("; snapshot: {s}"),
                     None => String::new(),
                 };
-                out.push_str(&format!(
-                    "{pad}SimilarityAround [{} centers, {}{bound}, path: {algorithm}, \
-                     threads: {threads}] [{selection}; index: {index}{snap}] (aggs: {})\n",
+                format!(
+                    "SimilarityAround [{} centers, {}{bound}, path: {algorithm}, \
+                     threads: {threads}] [{selection}; index: {index}{snap}] (aggs: {})",
                     centers.len(),
                     metric.sql_keyword(),
                     aggs.len()
-                ));
-                input.explain_into(depth + 1, out);
+                )
             }
-            Plan::Sort { input, keys } => {
-                out.push_str(&format!("{pad}Sort ({} keys)\n", keys.len()));
-                input.explain_into(depth + 1, out);
+            Plan::Sort { keys, .. } => format!("Sort ({} keys)", keys.len()),
+            Plan::Limit { n, .. } => format!("Limit {n}"),
+        }
+    }
+
+    /// An `EXPLAIN`-style indented tree rendering.
+    pub fn explain(&self) -> String {
+        let mut out = String::new();
+        self.explain_into(0, &mut out);
+        out
+    }
+
+    fn explain_into(&self, depth: usize, out: &mut String) {
+        let pad = "  ".repeat(depth);
+        out.push_str(&pad);
+        out.push_str(&self.node_label());
+        out.push('\n');
+        for child in self.children() {
+            child.explain_into(depth + 1, out);
+        }
+    }
+
+    /// The `EXPLAIN ANALYZE` rendering: the `explain` tree with every
+    /// node's actual inclusive time, output row count, and operator
+    /// detail appended. `stats` is indexed in pre-order (joins: left
+    /// subtree before right), exactly as the executor's instrumented walk
+    /// (`exec::execute_with_stats`) fills it.
+    pub fn explain_analyze(&self, stats: &[NodeStat]) -> String {
+        let mut out = String::new();
+        let mut idx = 0;
+        self.analyze_into(0, &mut idx, stats, &mut out);
+        out
+    }
+
+    fn analyze_into(&self, depth: usize, idx: &mut usize, stats: &[NodeStat], out: &mut String) {
+        let pad = "  ".repeat(depth);
+        out.push_str(&pad);
+        out.push_str(&self.node_label());
+        if let Some(stat) = stats.get(*idx) {
+            let ms = stat.elapsed_nanos as f64 / 1e6;
+            out.push_str(&format!(" (actual time: {ms:.3} ms, rows: {}", stat.rows));
+            if !stat.detail.is_empty() {
+                out.push_str(", ");
+                out.push_str(&stat.detail);
             }
-            Plan::Limit { input, n } => {
-                out.push_str(&format!("{pad}Limit {n}\n"));
-                input.explain_into(depth + 1, out);
-            }
+            out.push(')');
+        }
+        out.push('\n');
+        *idx += 1;
+        for child in self.children() {
+            child.analyze_into(depth + 1, idx, stats, out);
         }
     }
 }

@@ -222,16 +222,27 @@ impl<'a> Planner<'a> {
                         .caches()
                         .has_usable_grid(&p.table, &p.coords_key, p.version, *eps)
                 });
+                let cached_tree = probe.as_ref().is_some_and(|p| {
+                    self.db.caches().has_tree(
+                        &p.table,
+                        &p.coords_key,
+                        p.version,
+                        DEFAULT_RTREE_FANOUT,
+                    )
+                });
                 // Resolve under the session's memory budget: when the
-                // budget rules out building the ε-grid, `Auto` degrades
-                // to the streaming scan and EXPLAIN records why; a
-                // session-pinned `Grid` fails here with `BudgetExceeded`.
+                // budget rules out building the ε-grid (or the R-tree),
+                // `Auto` degrades to the streaming scan and EXPLAIN
+                // records why; a session-pinned `Grid` / `Indexed` fails
+                // here with `BudgetExceeded`. Version-fresh cached
+                // structures cost no new memory and are always admitted.
                 let governor = self.db.statement_governor();
-                let (resolved, selection) = sgb_core::cost::resolve_any_governed(
+                let (resolved, selection) = sgb_core::cost::resolve_any_governed_full(
                     base,
                     n,
                     exprs.len(),
                     cached_grid,
+                    cached_tree,
                     &governor,
                 )?;
                 let (threads, _) =
@@ -240,18 +251,7 @@ impl<'a> Planner<'a> {
                     AnyAlgorithm::AllPairs => IndexCacheStatus::NotApplicable,
                     _ if !self.db.session().cache => IndexCacheStatus::Disabled,
                     AnyAlgorithm::Grid if cached_grid => IndexCacheStatus::Hit,
-                    AnyAlgorithm::Indexed
-                        if probe.as_ref().is_some_and(|p| {
-                            self.db.caches().has_tree(
-                                &p.table,
-                                &p.coords_key,
-                                p.version,
-                                DEFAULT_RTREE_FANOUT,
-                            )
-                        }) =>
-                    {
-                        IndexCacheStatus::Hit
-                    }
+                    AnyAlgorithm::Indexed if cached_tree => IndexCacheStatus::Hit,
                     _ => IndexCacheStatus::Built,
                 };
                 let mode = SgbMode::Any {
@@ -497,8 +497,19 @@ impl<'a> Planner<'a> {
                 DEFAULT_RTREE_FANOUT,
             )
         });
-        let (resolved, selection) =
-            sgb_core::cost::resolve_around_with_cache(base, centers.len(), grouping.len(), cached);
+        // Resolve under the session's memory budget, mirroring SGB-Any:
+        // a budget that rules out the center index degrades `Auto` to the
+        // brute scan (EXPLAIN records why) and fails a session-pinned
+        // `Indexed` / `Grid` with `BudgetExceeded`; a cached center index
+        // costs no new memory and is always admitted.
+        let governor = self.db.statement_governor();
+        let (resolved, selection) = sgb_core::cost::resolve_around_governed(
+            base,
+            centers.len(),
+            grouping.len(),
+            cached,
+            &governor,
+        )?;
         let (threads, _) = sgb_core::cost::threads_for_around(
             self.db.session().threads,
             estimate_rows(&input, self.db),

@@ -96,6 +96,12 @@ pub struct SessionOptions {
     /// version-fresh cached grid costs no new memory and is always
     /// admitted.
     pub memory_budget: Option<usize>,
+    /// Slow-query threshold (`None` = logging off). A statement whose
+    /// wall-clock execution time reaches this duration is appended —
+    /// successful or not — to the session's ring-buffer slow-query log
+    /// ([`crate::Database::slow_queries`]). Also settable through SQL:
+    /// `SET SLOW_QUERY_MS = 250` (milliseconds; `0` clears it).
+    pub slow_query: Option<Duration>,
 }
 
 impl Default for SessionOptions {
@@ -111,6 +117,7 @@ impl Default for SessionOptions {
             subscriptions: true,
             statement_timeout: None,
             memory_budget: None,
+            slow_query: None,
         }
     }
 }
@@ -195,6 +202,13 @@ impl SessionOptions {
         self.memory_budget = budget;
         self
     }
+
+    /// Sets the slow-query logging threshold (`None` = logging off).
+    #[must_use]
+    pub fn with_slow_query(mut self, threshold: Option<Duration>) -> Self {
+        self.slow_query = threshold;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -213,7 +227,8 @@ mod tests {
             .with_cache_capacity(9)
             .with_subscriptions(false)
             .with_statement_timeout(Some(Duration::from_millis(250)))
-            .with_memory_budget(Some(1 << 20));
+            .with_memory_budget(Some(1 << 20))
+            .with_slow_query(Some(Duration::from_millis(100)));
         assert_eq!(opts.all_algorithm, Algorithm::BoundsChecking);
         assert_eq!(opts.any_algorithm, Algorithm::Grid);
         assert_eq!(opts.around_algorithm, Algorithm::Indexed);
@@ -224,6 +239,7 @@ mod tests {
         assert!(!opts.subscriptions);
         assert_eq!(opts.statement_timeout, Some(Duration::from_millis(250)));
         assert_eq!(opts.memory_budget, Some(1 << 20));
+        assert_eq!(opts.slow_query, Some(Duration::from_millis(100)));
     }
 
     #[test]
@@ -239,5 +255,6 @@ mod tests {
         assert!(opts.subscriptions, "continuous queries on by default");
         assert_eq!(opts.statement_timeout, None, "no deadline by default");
         assert_eq!(opts.memory_budget, None, "no memory budget by default");
+        assert_eq!(opts.slow_query, None, "slow-query logging off by default");
     }
 }

@@ -225,4 +225,13 @@ pub enum Statement {
         /// Table name.
         name: String,
     },
+    /// `EXPLAIN [ANALYZE] SELECT …` — render the physical plan; with
+    /// `ANALYZE`, execute the query and annotate every plan node with its
+    /// actual elapsed time, output row count, and operator detail.
+    Explain {
+        /// `true` for `EXPLAIN ANALYZE` (executes the query).
+        analyze: bool,
+        /// The query being explained.
+        query: Box<Select>,
+    },
 }

@@ -164,10 +164,18 @@ impl Parser {
             Some(t) if t.is_kw("update") => self.update(),
             Some(t) if t.is_kw("set") => self.set_option(),
             Some(t) if t.is_kw("drop") => self.drop_table(),
+            Some(t) if t.is_kw("explain") => self.explain_stmt(),
             other => Err(Error::Parse(format!(
                 "expected a statement, found {other:?}"
             ))),
         }
+    }
+
+    fn explain_stmt(&mut self) -> Result<Statement> {
+        self.expect_kw("explain")?;
+        let analyze = self.eat_kw("analyze");
+        let query = Box::new(self.select()?);
+        Ok(Statement::Explain { analyze, query })
     }
 
     fn create_table(&mut self) -> Result<Statement> {

@@ -35,10 +35,12 @@
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, RwLock};
+use std::time::Duration;
 
 use sgb_core::query::Grouping;
-use sgb_core::{MaintainedGrouping, OverlapAction, QueryGovernor};
+use sgb_core::{MaintainedGrouping, OverlapAction, QueryGovernor, SgbError};
 use sgb_geom::Metric;
+use sgb_telemetry::MetricsRegistry;
 
 use crate::error::{Error, Result};
 use crate::exec::extract_points;
@@ -193,8 +195,23 @@ impl SubscriptionHandle {
     }
 }
 
+/// Registry counter family for subscription delta outcomes.
+const DELTAS_COUNTER: &str = "sgb_subscription_deltas_total";
+
+/// The governor a delta batch runs under: unrestricted except for the
+/// session deadline, when one is set. Deltas are maintenance, not
+/// statements — memory budgets and cancel tokens do not apply — but a
+/// slow regrouping must not stall the mutating statement past the
+/// session's own patience.
+fn delta_governor(deadline: Option<Duration>) -> QueryGovernor {
+    match deadline {
+        Some(d) => QueryGovernor::unrestricted().with_deadline(d),
+        None => QueryGovernor::unrestricted(),
+    }
+}
+
 /// The maintained grouping, dimension-erased.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub(crate) enum Maintained {
     D2(MaintainedGrouping<2>),
     D3(MaintainedGrouping<3>),
@@ -420,71 +437,112 @@ impl SubscriptionSet {
     /// that fails mid-apply triggers [`Subscription::recover`]: the
     /// grouping is rebuilt from `all_rows` with a strictly advancing
     /// epoch, so readers never observe a half-applied delta or an epoch
-    /// rollback.
-    pub(crate) fn on_insert(&mut self, table: &str, rows: &[Row], all_rows: &[Row], version: u64) {
-        // Deltas are maintenance, not statements: they run ungoverned so a
-        // session deadline can never strand a subscription mid-batch.
-        let governor = QueryGovernor::unrestricted();
+    /// rollback. Exception: a delta that overruns the session `deadline`
+    /// is **rejected atomically** — the pre-delta state is restored,
+    /// nothing is published (the snapshot epoch does not advance), and the
+    /// subscription deactivates, because its maintained state would
+    /// otherwise desynchronise from the table's rows the next time a delta
+    /// arrived.
+    pub(crate) fn on_insert(
+        &mut self,
+        table: &str,
+        rows: &[Row],
+        all_rows: &[Row],
+        version: u64,
+        deadline: Option<Duration>,
+        registry: &MetricsRegistry,
+    ) {
+        let governor = delta_governor(deadline);
         for sub in self.subs.iter_mut() {
             if sub.table != table || !sub.is_active() {
                 continue;
             }
-            let mut ok = true;
+            // The rollback copy is only taken when a deadline could
+            // actually reject the delta; the common ungoverned path clones
+            // nothing.
+            let backup = deadline.map(|_| (sub.maintained.clone(), sub.row_slots.clone()));
+            let mut err = None;
             for row in rows {
                 match sub.maintained.try_insert_row(&sub.coords, row, &governor) {
                     Ok(slot) => sub.row_slots.push(slot),
-                    Err(_) => {
-                        ok = false;
+                    Err(e) => {
+                        err = Some(e);
                         break;
                     }
                 }
             }
-            if ok {
-                sub.publish(version);
-            } else {
-                sub.recover(all_rows, version);
+            match err {
+                None => {
+                    sub.publish(version);
+                    registry.inc(DELTAS_COUNTER, &[("outcome", "applied")], 1);
+                }
+                Some(Error::Aborted(SgbError::Timeout)) => {
+                    if let Some((maintained, row_slots)) = backup {
+                        sub.maintained = maintained;
+                        sub.row_slots = row_slots;
+                    }
+                    sub.deactivate();
+                    registry.inc(DELTAS_COUNTER, &[("outcome", "rejected")], 1);
+                }
+                Some(_) => {
+                    sub.recover(all_rows, version);
+                    registry.inc(DELTAS_COUNTER, &[("outcome", "recovered")], 1);
+                }
             }
         }
     }
 
     /// Applies a deletion of `removed` (ascending pre-delete row indices)
     /// from `table` (now at `version`, `all_rows` its full post-delete
-    /// contents) and republishes; failed deltas recover exactly as in
-    /// [`SubscriptionSet::on_insert`].
+    /// contents) and republishes; failed and deadline-rejected deltas are
+    /// handled exactly as in [`SubscriptionSet::on_insert`].
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn on_delete(
         &mut self,
         table: &str,
         removed: &[usize],
         all_rows: &[Row],
         version: u64,
+        deadline: Option<Duration>,
+        registry: &MetricsRegistry,
     ) {
-        let governor = QueryGovernor::unrestricted();
+        let governor = delta_governor(deadline);
         for sub in self.subs.iter_mut() {
             if sub.table != table || !sub.is_active() {
                 continue;
             }
+            let backup = deadline.map(|_| (sub.maintained.clone(), sub.row_slots.clone()));
             let mut keep = vec![true; sub.row_slots.len()];
-            let mut ok = true;
+            let mut err = None;
             for &i in removed {
                 if let Some(k) = keep.get_mut(i) {
                     *k = false;
-                    if sub
-                        .maintained
-                        .try_delete(sub.row_slots[i], &governor)
-                        .is_err()
-                    {
-                        ok = false;
+                    if let Err(e) = sub.maintained.try_delete(sub.row_slots[i], &governor) {
+                        err = Some(e);
                         break;
                     }
                 }
             }
-            if !ok {
-                sub.recover(all_rows, version);
-                continue;
+            match err {
+                None => {
+                    let mut it = keep.iter();
+                    sub.row_slots.retain(|_| matches!(it.next(), Some(true)));
+                    sub.publish(version);
+                    registry.inc(DELTAS_COUNTER, &[("outcome", "applied")], 1);
+                }
+                Some(Error::Aborted(SgbError::Timeout)) => {
+                    if let Some((maintained, row_slots)) = backup {
+                        sub.maintained = maintained;
+                        sub.row_slots = row_slots;
+                    }
+                    sub.deactivate();
+                    registry.inc(DELTAS_COUNTER, &[("outcome", "rejected")], 1);
+                }
+                Some(_) => {
+                    sub.recover(all_rows, version);
+                    registry.inc(DELTAS_COUNTER, &[("outcome", "recovered")], 1);
+                }
             }
-            let mut it = keep.iter();
-            sub.row_slots.retain(|_| matches!(it.next(), Some(true)));
-            sub.publish(version);
         }
     }
 

@@ -72,6 +72,29 @@ impl Hasher for CellHasher {
 type CellMap<const D: usize, T> =
     HashMap<CellKey<D>, Vec<(Point<D>, T)>, BuildHasherDefault<CellHasher>>;
 
+/// Execution tally of one bulk ε-join, filled in by the `*_tallied` join
+/// variants: how many candidate comparisons the join performed (pairs
+/// whose cells were close enough to be examined, before the exact
+/// [`Metric::within`] check) and how many cell jobs it visited (one per
+/// occupied owned cell for the intra-cell scan, plus one per admitted
+/// unordered cell pair). Purely observational — the tally never changes
+/// which pairs a join visits.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct JoinTally {
+    /// Candidate pair comparisons performed.
+    pub candidate_pairs: u64,
+    /// Cell jobs (intra-cell scans + cross-cell pairings) visited.
+    pub cells_visited: u64,
+}
+
+impl JoinTally {
+    /// Folds another tally into this one (for merging per-shard tallies).
+    pub fn merge(&mut self, other: &JoinTally) {
+        self.candidate_pairs += other.candidate_pairs;
+        self.cells_visited += other.cells_visited;
+    }
+}
+
 /// A uniform hashed grid over `D`-dimensional points with payloads `T`.
 ///
 /// ```
@@ -538,9 +561,48 @@ impl<const D: usize, T> Grid<D, T> {
         metric: Metric,
         shard: usize,
         shards: usize,
+        visit: F,
+        interval: usize,
+        pace: P,
+    ) -> Result<(), E>
+    where
+        F: FnMut(&T, &T),
+        P: FnMut() -> Result<(), E>,
+    {
+        self.try_for_each_pair_within_sharded_paced_tallied(
+            eps, metric, shard, shards, visit, interval, pace, None,
+        )
+    }
+
+    /// One shard of the paced exact bulk ε-join with an optional execution
+    /// [`JoinTally`]: identical pair sequence and pacing behaviour to
+    /// [`try_for_each_pair_within_sharded_paced`](Self::try_for_each_pair_within_sharded_paced),
+    /// but when `tally` is `Some` the join additionally counts candidate
+    /// comparisons and visited cell jobs into it. Passing `None` costs
+    /// nothing: the counting branches constant-fold away, which is the
+    /// telemetry subsystem's zero-cost-when-disabled contract at this
+    /// layer. On an `Err` return the tally holds the partial counts
+    /// accumulated before the join stopped.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first error `pace` reports.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `shards` is zero or `shard >= shards`.
+    #[allow(clippy::too_many_arguments)]
+    #[inline]
+    pub fn try_for_each_pair_within_sharded_paced_tallied<E, F, P>(
+        &self,
+        eps: f64,
+        metric: Metric,
+        shard: usize,
+        shards: usize,
         mut visit: F,
         interval: usize,
         mut pace: P,
+        mut tally: Option<&mut JoinTally>,
     ) -> Result<(), E>
     where
         F: FnMut(&T, &T),
@@ -556,6 +618,9 @@ impl<const D: usize, T> Grid<D, T> {
         // than the remaining budget saturates it to zero.
         let mut budget = interval;
         let flow = self.for_each_cell_join(eps, metric, shard, shards, |key, entries, other| {
+            if let Some(t) = tally.as_deref_mut() {
+                t.cells_visited += 1;
+            }
             match other {
                 None => {
                     let slot = soa.slots[key];
@@ -563,7 +628,11 @@ impl<const D: usize, T> Grid<D, T> {
                         soa.for_each_hit(slot, a + 1, pa, eps, metric, |b| {
                             visit(ta, &entries[b].1);
                         });
-                        budget = budget.saturating_sub(entries.len() - a - 1);
+                        let row = entries.len() - a - 1;
+                        if let Some(t) = tally.as_deref_mut() {
+                            t.candidate_pairs += row as u64;
+                        }
+                        budget = budget.saturating_sub(row);
                         if budget == 0 {
                             budget = interval;
                             if let Err(e) = pace() {
@@ -578,6 +647,9 @@ impl<const D: usize, T> Grid<D, T> {
                         soa.for_each_hit(nslot, 0, pa, eps, metric, |b| {
                             visit(ta, &others[b].1);
                         });
+                        if let Some(t) = tally.as_deref_mut() {
+                            t.candidate_pairs += others.len() as u64;
+                        }
                         budget = budget.saturating_sub(others.len());
                         if budget == 0 {
                             budget = interval;
@@ -1165,6 +1237,58 @@ mod tests {
                 assert_eq!(hits, expected, "{metric} query {q:?} eps {eps}");
             }
         }
+    }
+
+    #[test]
+    fn tallied_join_counts_candidates_without_changing_pairs() {
+        let grid: Grid<2, usize> = Grid::from_points(1.0, lattice(400));
+        let mut plain: Vec<(usize, usize)> = Vec::new();
+        grid.try_for_each_pair_within_paced::<std::convert::Infallible, _, _>(
+            1.0,
+            Metric::L2,
+            |&a, &b| plain.push((a.min(b), a.max(b))),
+            64,
+            || Ok(()),
+        )
+        .unwrap();
+        let mut tallied: Vec<(usize, usize)> = Vec::new();
+        let mut tally = JoinTally::default();
+        grid.try_for_each_pair_within_sharded_paced_tallied::<std::convert::Infallible, _, _>(
+            1.0,
+            Metric::L2,
+            0,
+            1,
+            |&a, &b| tallied.push((a.min(b), a.max(b))),
+            64,
+            || Ok(()),
+            Some(&mut tally),
+        )
+        .unwrap();
+        plain.sort_unstable();
+        tallied.sort_unstable();
+        assert_eq!(plain, tallied, "tally must not change the pair set");
+        // Every accepted pair was a candidate first, and the join visited
+        // at least one cell job per occupied cell.
+        assert!(tally.candidate_pairs >= plain.len() as u64);
+        assert!(tally.cells_visited >= 400);
+        // Sharded tallies over a partition sum to the unsharded tally.
+        let mut merged = JoinTally::default();
+        for shard in 0..4 {
+            let mut part = JoinTally::default();
+            grid.try_for_each_pair_within_sharded_paced_tallied::<std::convert::Infallible, _, _>(
+                1.0,
+                Metric::L2,
+                shard,
+                4,
+                |_, _| {},
+                64,
+                || Ok(()),
+                Some(&mut part),
+            )
+            .unwrap();
+            merged.merge(&part);
+        }
+        assert_eq!(merged, tally);
     }
 
     #[test]

@@ -122,6 +122,8 @@ pub use sgb_geom as geom;
 pub use sgb_relation as relation;
 /// The R-tree spatial index.
 pub use sgb_spatial as spatial;
+/// Query profiles, the metrics registry, and the slow-query log.
+pub use sgb_telemetry as telemetry;
 
 // The unified operator surface: one builder, one algorithm selector, one
 // result type — the only way the root crate exposes algorithm selection

@@ -187,6 +187,102 @@ fn cached_grid_is_admitted_under_any_budget() {
     assert_eq!(db.execute(sql).unwrap(), warm);
 }
 
+/// The R-tree build is priced like the ε-grid: a pinned `Indexed` plan
+/// whose estimated tree would not fit fails loudly with `BudgetExceeded`,
+/// while a tree that is *already cached* by a warm run is admitted under
+/// the same budget (it exists; running against it allocates nothing new).
+#[test]
+fn rtree_build_is_priced_and_cached_tree_admitted() {
+    let sql = "SELECT count(*) FROM t GROUP BY x, y DISTANCE-TO-ANY L2 WITHIN 0.5";
+    let mut pinned = Database::with_options(
+        SessionOptions::new()
+            .with_any_algorithm(Algorithm::Indexed)
+            .with_memory_budget(Some(64)),
+    );
+    pinned
+        .execute("CREATE TABLE t (x DOUBLE, y DOUBLE)")
+        .unwrap();
+    let values: Vec<String> = cloud(600)
+        .iter()
+        .map(|p| format!("({}, {})", p.coords()[0], p.coords()[1]))
+        .collect();
+    pinned
+        .execute(&format!("INSERT INTO t VALUES {}", values.join(", ")))
+        .unwrap();
+    match pinned.execute(sql) {
+        Err(Error::Aborted(SgbError::BudgetExceeded { needed, budget })) => {
+            assert_eq!(budget, 64);
+            assert!(needed > budget, "needed {needed} B <= budget {budget} B");
+        }
+        other => panic!("expected Aborted(BudgetExceeded), got: {other:?}"),
+    }
+
+    // Warm session: build and cache the tree first, then clamp the budget.
+    let mut warm_db =
+        Database::with_options(SessionOptions::new().with_any_algorithm(Algorithm::Indexed));
+    warm_db
+        .execute("CREATE TABLE t (x DOUBLE, y DOUBLE)")
+        .unwrap();
+    warm_db
+        .execute(&format!("INSERT INTO t VALUES {}", values.join(", ")))
+        .unwrap();
+    let warm = warm_db.execute(sql).unwrap(); // builds and caches the R-tree
+    warm_db.execute("SET MEMORY_BUDGET = 64").unwrap();
+    assert_eq!(warm_db.execute(sql).unwrap(), warm);
+}
+
+/// The SGB-Around center-index build is priced into the budget too: a
+/// pinned `Indexed` center index over-budget fails with `BudgetExceeded`,
+/// `Auto` degrades to the O(1)-memory brute center scan with a
+/// bit-identical answer, and a cached center index is admitted.
+#[test]
+fn around_center_index_is_priced_and_cached_index_admitted() {
+    let sql = "SELECT count(*) FROM t \
+               GROUP BY x, y AROUND ((10, 10), (30, 30), (50, 50), (70, 70)) L2 WITHIN 5";
+    let mut pinned = Database::with_options(
+        SessionOptions::new()
+            .with_around_algorithm(Algorithm::Indexed)
+            .with_memory_budget(Some(64)),
+    );
+    pinned
+        .execute("CREATE TABLE t (x DOUBLE, y DOUBLE)")
+        .unwrap();
+    let values: Vec<String> = cloud(600)
+        .iter()
+        .map(|p| format!("({}, {})", p.coords()[0], p.coords()[1]))
+        .collect();
+    pinned
+        .execute(&format!("INSERT INTO t VALUES {}", values.join(", ")))
+        .unwrap();
+    match pinned.execute(sql) {
+        Err(Error::Aborted(SgbError::BudgetExceeded { needed, budget })) => {
+            assert_eq!(budget, 64);
+            assert!(needed > budget, "needed {needed} B <= budget {budget} B");
+        }
+        other => panic!("expected Aborted(BudgetExceeded), got: {other:?}"),
+    }
+
+    // Auto under the same budget degrades to the brute scan, same answer.
+    let mut auto_db = cloud_db(600);
+    auto_db.execute("SET MEMORY_BUDGET = 64").unwrap();
+    let governed = auto_db.execute(sql).unwrap();
+    let mut free = cloud_db(600);
+    assert_eq!(governed, free.execute(sql).unwrap());
+
+    // Warm session: cache the center index, then clamp the budget.
+    let mut warm_db =
+        Database::with_options(SessionOptions::new().with_around_algorithm(Algorithm::Indexed));
+    warm_db
+        .execute("CREATE TABLE t (x DOUBLE, y DOUBLE)")
+        .unwrap();
+    warm_db
+        .execute(&format!("INSERT INTO t VALUES {}", values.join(", ")))
+        .unwrap();
+    let warm = warm_db.execute(sql).unwrap(); // builds and caches the center index
+    warm_db.execute("SET MEMORY_BUDGET = 64").unwrap();
+    assert_eq!(warm_db.execute(sql).unwrap(), warm);
+}
+
 // ---------------------------------------------------------------------------
 // SET statement surface
 // ---------------------------------------------------------------------------

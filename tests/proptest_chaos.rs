@@ -155,6 +155,10 @@ fn chaos_faults_never_corrupt_the_session() {
     let fires_at_start = failpoints::fires();
     let mut ops = 0usize;
     let mut statements_failed = 0u64;
+    // Every subscription delta batch the loop triggers (INSERT: one;
+    // non-empty DELETE: one; non-empty UPDATE: delete+insert pair) — the
+    // oracle for the registry's delta-outcome counters.
+    let mut delta_batches = 0u64;
     while failpoints::fires() - fires_at_start < MIN_FAULTS && ops < MAX_OPS {
         ops += 1;
         arm();
@@ -193,9 +197,13 @@ fn chaos_faults_never_corrupt_the_session() {
                     .collect();
                 db.execute(&seed_statement(&rows).unwrap()).unwrap();
                 mirror.extend(rows);
+                delta_batches += 1;
             }
             3 => {
                 let cut = rng.unit() * 8.0;
+                if mirror.iter().any(|&(x, _)| x > cut) {
+                    delta_batches += 1; // an empty DELETE notifies no one
+                }
                 db.execute(&format!("DELETE FROM t WHERE x > {cut}"))
                     .unwrap();
                 mirror.retain(|&(x, _)| x <= cut);
@@ -203,6 +211,9 @@ fn chaos_faults_never_corrupt_the_session() {
             4 => {
                 let cut = rng.unit() * 8.0;
                 let shift = rng.unit() * 4.0 - 2.0;
+                if mirror.iter().any(|&(x, _)| x < cut) {
+                    delta_batches += 2; // UPDATE runs as a delete+insert pair
+                }
                 db.execute(&format!("UPDATE t SET x = x + {shift} WHERE x < {cut}"))
                     .unwrap();
                 // Replay of UPDATE-as-delete+insert: touched rows move to
@@ -225,8 +236,11 @@ fn chaos_faults_never_corrupt_the_session() {
         disarm();
 
         // After every injected fault (and periodically regardless): the
-        // session must answer exactly like a database that never saw one.
+        // session must answer exactly like a database that never saw one,
+        // and its metrics registry must stay coherent with what the loop
+        // actually observed.
         if faulted || ops % 16 == 0 {
+            assert_registry_coherent(&db, statements_failed, delta_batches);
             let mut oracle = fresh_db(&mirror);
             for probe in PROBES {
                 let got = db
@@ -264,5 +278,59 @@ fn chaos_faults_never_corrupt_the_session() {
         assert_eq!(db.execute(probe).unwrap(), oracle.execute(probe).unwrap());
     }
     db.execute("INSERT INTO t VALUES (4.25, 4.25)").unwrap();
+    delta_batches += 1;
     assert!(sub.snapshot().epoch() >= last_epoch);
+    assert_registry_coherent(&db, statements_failed, delta_batches);
+}
+
+/// The registry-coherence invariant, checked after every injected fault:
+///
+/// * the non-`ok` statement count equals the `Err`s the loop actually
+///   observed — a fault that aborts a statement is counted exactly once,
+///   and a fault the engine absorbed (a skipped cache store, a recovered
+///   delta) is not counted as a failure;
+/// * every statement produced exactly **one** latency observation — a
+///   query killed mid-flight must not leak a second, partial timing into
+///   the histogram;
+/// * the subscription delta outcomes add up: no deadline is set, so
+///   nothing may ever be `rejected`, and `applied + recovered` equals the
+///   delta batches the mutations triggered.
+fn assert_registry_coherent(db: &Database, statements_failed: u64, delta_batches: u64) {
+    let metrics = db.metrics();
+    let total = metrics.counter_total("sgb_statements_total");
+    let ok: u64 = [
+        "create_table",
+        "insert",
+        "delete",
+        "update",
+        "select",
+        "set",
+        "drop_table",
+        "explain",
+    ]
+    .iter()
+    .map(|kind| metrics.counter_value("sgb_statements_total", &[("kind", kind), ("outcome", "ok")]))
+    .sum();
+    assert_eq!(
+        total - ok,
+        statements_failed,
+        "registry error counters diverged from the Errs the loop observed"
+    );
+    assert_eq!(
+        metrics.histogram_count("sgb_statement_ms"),
+        total,
+        "statement latency observations != statements (a partial timing leaked)"
+    );
+    let deltas = "sgb_subscription_deltas_total";
+    assert_eq!(
+        metrics.counter_value(deltas, &[("outcome", "rejected")]),
+        0,
+        "a delta was deadline-rejected with no deadline set"
+    );
+    assert_eq!(
+        metrics.counter_value(deltas, &[("outcome", "applied")])
+            + metrics.counter_value(deltas, &[("outcome", "recovered")]),
+        delta_batches,
+        "delta outcomes do not add up to the batches the mutations triggered"
+    );
 }

@@ -55,10 +55,29 @@
 use std::any::Any;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
 
 /// A boxed job, borrowing at most `'scope` data.
 type Job<'scope> = Box<dyn FnOnce() + Send + 'scope>;
+
+/// Process-wide count of jobs a worker finished without panicking.
+static JOBS_EXECUTED: AtomicU64 = AtomicU64::new(0);
+/// Process-wide count of jobs that panicked inside a worker.
+static JOBS_PANICKED: AtomicU64 = AtomicU64::new(0);
+
+/// Total jobs run to completion by any pool in this process, ever —
+/// a monotone telemetry counter (upstream `scoped_threadpool` has no such
+/// hook; the engine's metrics registry snapshots it).
+pub fn jobs_executed() -> u64 {
+    JOBS_EXECUTED.load(Ordering::Relaxed)
+}
+
+/// Total jobs that panicked inside a worker in this process, ever —
+/// the monotone companion of [`jobs_executed`].
+pub fn jobs_panicked() -> u64 {
+    JOBS_PANICKED.load(Ordering::Relaxed)
+}
 
 /// A captured panic payload from a worker job, returned by
 /// [`Pool::try_scoped`]. [`message`](Panicked::message) extracts the
@@ -252,11 +271,17 @@ impl Pool {
                         // what the AssertUnwindSafe asserts. The failpoint
                         // sits *inside* the catch so an injected panic is
                         // indistinguishable from a real job panic.
-                        if let Err(payload) = catch_unwind(AssertUnwindSafe(|| {
+                        match catch_unwind(AssertUnwindSafe(|| {
                             failpoints::fail_point!("scoped_threadpool::run_job");
                             job();
                         })) {
-                            queue.record_panic(payload);
+                            Ok(()) => {
+                                JOBS_EXECUTED.fetch_add(1, Ordering::Relaxed);
+                            }
+                            Err(payload) => {
+                                JOBS_PANICKED.fetch_add(1, Ordering::Relaxed);
+                                queue.record_panic(payload);
+                            }
                         }
                     }
                 });
@@ -427,6 +452,25 @@ mod tests {
         }));
         let payload = caught.unwrap_err();
         assert_eq!(payload.downcast_ref::<&str>(), Some(&"resurfaced"));
+    }
+
+    #[test]
+    fn job_counters_are_monotone_and_account_for_panics() {
+        let before_ok = jobs_executed();
+        let before_bad = jobs_panicked();
+        let mut pool = Pool::new(2);
+        pool.scoped(|scope| {
+            for _ in 0..10 {
+                scope.execute(|| {});
+            }
+        });
+        let err = pool.try_scoped(|scope| {
+            scope.execute(|| panic!("counted"));
+        });
+        assert!(err.is_err());
+        // Other tests run concurrently, so only lower bounds hold.
+        assert!(jobs_executed() >= before_ok + 10);
+        assert!(jobs_panicked() > before_bad);
     }
 
     #[test]
